@@ -1,0 +1,411 @@
+package s3sched_test
+
+// One benchmark per table and figure of the paper's evaluation (§V),
+// plus the DESIGN.md ablations and micro-benchmarks of the hot paths.
+// The figure benches report the measured TET/ART as custom metrics so
+// `go test -bench` output doubles as the experiment record; see
+// EXPERIMENTS.md for paper-vs-measured commentary.
+
+import (
+	"fmt"
+	"testing"
+
+	"s3sched/internal/core"
+	"s3sched/internal/dfs"
+	"s3sched/internal/driver"
+	"s3sched/internal/experiments"
+	"s3sched/internal/mapreduce"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/sim"
+	"s3sched/internal/vclock"
+	"s3sched/internal/workload"
+)
+
+// BenchmarkTable1WordcountDetails regenerates Table I: the normal
+// wordcount workload profile on the real engine.
+func BenchmarkTable1WordcountDetails(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(experiments.DefaultTable1Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.MapOutputRecords), "mapOutRecords")
+			b.ReportMetric(float64(res.ReduceOutRecords), "reduceOutRecords")
+		}
+	}
+}
+
+// BenchmarkFig3CombinedJobCost regenerates Figure 3 on the real
+// engine: n jobs merged into one shared-scan batch, n = 1..10.
+func BenchmarkFig3CombinedJobCost(b *testing.B) {
+	cfg := experiments.DefaultFig3Config()
+	for n := 1; n <= cfg.MaxJobs; n++ {
+		b.Run(fmt.Sprintf("jobs=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				point, err := experiments.Fig3Single(cfg, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if point.BlockReads != int64(cfg.Blocks) {
+					b.Fatalf("block reads = %d, want %d (shared scan)", point.BlockReads, cfg.Blocks)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3SimPaperScale regenerates Figure 3's magnitudes with
+// the calibrated cost model at full 2560-block scale (paper: +25.5%
+// at n=10).
+func BenchmarkFig3SimPaperScale(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig3Sim(experiments.DefaultParams(), 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = points[9].VsSingle
+	}
+	b.ReportMetric(ratio, "n10/n1")
+}
+
+// benchPanel runs one Figure 4 panel and reports each scheme's
+// absolute and S^3-normalized metrics.
+func benchPanel(b *testing.B, panel string) {
+	b.Helper()
+	var res experiments.PanelResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Fig4Panel(panel, experiments.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Report.Rows {
+		b.ReportMetric(row.NormTET, row.Scheme+"-TET/s3")
+		b.ReportMetric(row.NormART, row.Scheme+"-ART/s3")
+	}
+}
+
+// BenchmarkFig4aSparseNormal64 — Figure 4(a): sparse pattern, normal
+// workload, 64 MB blocks.
+func BenchmarkFig4aSparseNormal64(b *testing.B) { benchPanel(b, "a") }
+
+// BenchmarkFig4bDenseNormal64 — Figure 4(b): dense pattern, normal
+// workload, 64 MB blocks.
+func BenchmarkFig4bDenseNormal64(b *testing.B) { benchPanel(b, "b") }
+
+// BenchmarkFig4cSparseHeavy64 — Figure 4(c): sparse pattern, heavy
+// workload (10x map output, 200x reduce output), 64 MB blocks.
+func BenchmarkFig4cSparseHeavy64(b *testing.B) { benchPanel(b, "c") }
+
+// BenchmarkFig4dSparseNormal128 — Figure 4(d): sparse pattern, normal
+// workload, 128 MB blocks.
+func BenchmarkFig4dSparseNormal128(b *testing.B) { benchPanel(b, "d") }
+
+// BenchmarkFig4eSparseNormal32 — Figure 4(e): sparse pattern, normal
+// workload, 32 MB blocks.
+func BenchmarkFig4eSparseNormal32(b *testing.B) { benchPanel(b, "e") }
+
+// BenchmarkFig4fSelection — Figure 4(f): selection workload over the
+// 400 GB TPC-H lineitem table.
+func BenchmarkFig4fSelection(b *testing.B) { benchPanel(b, "f") }
+
+// BenchmarkExamplesAnalytic regenerates the §III Examples 1-3 analytic
+// scenarios (the sim package asserts the exact values in tests).
+func BenchmarkExamplesAnalytic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		store := dfs.NewStore(1, 1)
+		f, err := store.AddMetaFile("input", 10, 64<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := dfs.PlanSegments(f, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exec := sim.NewExecutor(sim.NewCluster(1, 1), store, sim.CostModel{ScanMBps: 6.4})
+		res, err := driver.Run(core.New(plan, nil), exec, []driver.Arrival{
+			{Job: scheduler.JobMeta{ID: 1, File: "input"}, At: 0},
+			{Job: scheduler.JobMeta{ID: 2, File: "input"}, At: 20},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tet, _ := res.Metrics.TET(); tet != 120 {
+			b.Fatalf("TET = %v, want 120", tet)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationSlotChecking — X1: slow-node exclusion (§IV-D1).
+func BenchmarkAblationSlotChecking(b *testing.B) {
+	var res experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AblationSlotChecking(experiments.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAblation(b, res)
+}
+
+// BenchmarkAblationDynAdjust — X2: dynamic sub-job adjustment (§IV-D2).
+func BenchmarkAblationDynAdjust(b *testing.B) {
+	var res experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AblationDynAdjust(experiments.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAblation(b, res)
+}
+
+// BenchmarkAblationPartialAgg — X3: per-round partial aggregation
+// (§V-G), real engine.
+func BenchmarkAblationPartialAgg(b *testing.B) {
+	var res experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AblationPartialAgg()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(row.Extra["reduceInputRecords"], row.Name+"-reduceIn")
+	}
+}
+
+// BenchmarkAblationSegmentSize — X4: segment width vs the ideal
+// one-block-per-slot (§IV-B).
+func BenchmarkAblationSegmentSize(b *testing.B) {
+	var res experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AblationSegmentSize(experiments.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAblation(b, res)
+}
+
+// BenchmarkAblationCircularScan — X5: circular scan vs
+// restart-at-beginning (§IV-B).
+func BenchmarkAblationCircularScan(b *testing.B) {
+	var res experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AblationCircularScan(experiments.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAblation(b, res)
+}
+
+func reportAblation(b *testing.B, res experiments.AblationResult) {
+	b.Helper()
+	for _, row := range res.Rows {
+		b.ReportMetric(row.TET.Seconds(), row.Name+"-TET")
+		b.ReportMetric(row.ART.Seconds(), row.Name+"-ART")
+	}
+}
+
+// BenchmarkDistributedSharedScan measures the shared-scan saving on
+// the real RPC substrate: cluster-wide block reads under S^3 vs FIFO.
+func BenchmarkDistributedSharedScan(b *testing.B) {
+	var res experiments.DistributedResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.DistributedScanSavings(experiments.DefaultDistributedConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.S3Reads), "s3-reads")
+	b.ReportMetric(float64(res.FIFOReads), "fifo-reads")
+}
+
+// --- Beyond-paper studies ---
+
+// BenchmarkWindowStudy — time-window MRShare vs S^3 under unknown
+// arrival patterns.
+func BenchmarkWindowStudy(b *testing.B) {
+	var rows []experiments.WindowStudyRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.WindowStudy(experiments.DefaultParams(), []vclock.Duration{30, 120, 480})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.ART.Seconds(), r.Name+"-ART")
+	}
+}
+
+// BenchmarkJitterStudy — S^3's advantage under ±15% arrival
+// perturbation.
+func BenchmarkJitterStudy(b *testing.B) {
+	var res []experiments.JitterSummary
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.JitterStudy(experiments.DefaultParams(), 10, 0.15, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range res {
+		b.ReportMetric(s.MeanART, s.Scheme+"-meanART/s3")
+	}
+}
+
+// BenchmarkPoissonSweep — queueing behaviour under Poisson arrivals.
+func BenchmarkPoissonSweep(b *testing.B) {
+	var points []experiments.PoissonPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = experiments.PoissonStudy(experiments.DefaultParams(), []float64{0.5, 1.0, 1.5}, 12, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		b.ReportMetric(p.ARTRatio, fmt.Sprintf("rho%.1f-ARTratio", p.Rho))
+	}
+}
+
+// BenchmarkTaxonomyStudy — §II-B's scheduler categories, measured.
+func BenchmarkTaxonomyStudy(b *testing.B) {
+	var rows []experiments.TaxonomyRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.TaxonomyStudy(experiments.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.ART.Seconds(), r.Scheme+"-ART")
+	}
+}
+
+// BenchmarkEstimatorStudy — §IV-D1 completion-prediction accuracy.
+func BenchmarkEstimatorStudy(b *testing.B) {
+	var res experiments.EstimatorResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.EstimatorStudy(experiments.DefaultParams(), 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MAPE*100, "MAPE-pct")
+}
+
+// --- Micro-benchmarks of the hot paths ---
+
+// BenchmarkEngineSharedMapRound measures one real shared-scan round:
+// 16 blocks feeding 4 jobs.
+func BenchmarkEngineSharedMapRound(b *testing.B) {
+	store := dfs.NewStore(4, 1)
+	if _, err := workload.AddTextFile(store, "corpus", 16, 4<<10, 1); err != nil {
+		b.Fatal(err)
+	}
+	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	f, err := store.File("corpus")
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := f.Blocks()
+	prefixes := workload.DistinctPrefixes(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jobs := make([]*mapreduce.Running, 4)
+		for j := range jobs {
+			jobs[j], err = mapreduce.NewRunning(workload.WordCountJob("wc", "corpus", prefixes[j], 2))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := engine.MapRound(blocks, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkS3SchedulerThroughput measures raw JQM decision cost: one
+// Submit + k NextRound/RoundDone cycles over a 64-segment plan.
+func BenchmarkS3SchedulerThroughput(b *testing.B) {
+	store := dfs.NewStore(40, 1)
+	f, err := store.AddMetaFile("input", 2560, 64<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := dfs.PlanSegments(f, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := core.New(plan, nil)
+		if err := s.Submit(scheduler.JobMeta{ID: 1, File: "input"}, 0); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			r, ok := s.NextRound(0)
+			if !ok {
+				break
+			}
+			s.RoundDone(r, 0)
+		}
+	}
+}
+
+// BenchmarkSimExecutorRound measures the cost-model pricing of one
+// 40-block round with a 10-job batch.
+func BenchmarkSimExecutorRound(b *testing.B) {
+	env, err := experiments.NewEnv(experiments.WordcountGB, 64, experiments.NormalModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec := sim.NewExecutor(env.Cluster, env.Store, env.Model)
+	metas := workload.WordCountMetas(10, "input", 1, 1)
+	r := scheduler.Round{Segment: 0, Blocks: env.Plan.Blocks(0), Jobs: metas, FreshJobs: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.ExecRound(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTextGeneration measures corpus block generation (the
+// synthetic stand-in for disk scan).
+func BenchmarkTextGeneration(b *testing.B) {
+	g := workload.NewTextGen(1)
+	b.SetBytes(64 << 10)
+	for i := 0; i < b.N; i++ {
+		g.Block(i, 64<<10)
+	}
+}
+
+// BenchmarkLineitemGeneration measures lineitem block generation.
+func BenchmarkLineitemGeneration(b *testing.B) {
+	g := workload.NewLineitemGen(1)
+	b.SetBytes(64 << 10)
+	for i := 0; i < b.N; i++ {
+		g.Block(i, 64<<10)
+	}
+}
+
+// Keep vclock referenced for the analytic benches' literal times.
+var _ vclock.Time

@@ -1,0 +1,77 @@
+// Command s3calibrate grid-searches the simulator's cost-model and
+// arrival parameters against the paper's qualitative Figure 4 claims
+// (internal/experiments/claims.go) and prints the best candidates.
+// It is how DefaultParams was chosen; rerun it after changing the cost
+// model.
+//
+// Usage:
+//
+//	s3calibrate [-top 5] [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"s3sched/internal/experiments"
+	"s3sched/internal/vclock"
+)
+
+type candidate struct {
+	params     experiments.Params
+	violations []string
+}
+
+func main() {
+	top := flag.Int("top", 5, "how many best candidates to print")
+	full := flag.Bool("full", false, "print violations of the best candidate")
+	flag.Parse()
+
+	var cands []candidate
+	base := experiments.DefaultParams()
+	for _, jobSetup := range []float64{0.2, 0.35} {
+		for _, dispatch := range []float64{0.05} {
+			for _, redSetup := range []float64{0.01, 0.02, 0.03} {
+				for _, interGap := range []vclock.Duration{230, 240, 255} {
+					for _, tag := range []float64{0, 0.03} {
+						for _, intra := range []vclock.Duration{10, 25, 35} {
+							for _, hw := range [][2]float64{{10, 25}, {14, 25}, {18, 25}, {14, 40}} {
+								p := base
+								p.Model.JobSetup = jobSetup
+								p.Model.DispatchPerJob = dispatch
+								p.Model.TagPenalty = tag
+								p.Model.ReduceSetup = redSetup
+								p.InterGap = interGap
+								p.IntraGap = intra
+								p.HeavyMapW, p.HeavyReduceW = hw[0], hw[1]
+								panels, err := experiments.RunAllPanels(p)
+								if err != nil {
+									fmt.Println("error:", err)
+									continue
+								}
+								cands = append(cands, candidate{p, experiments.CheckPaperClaims(panels)})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		return len(cands[i].violations) < len(cands[j].violations)
+	})
+	total := experiments.NumPaperClaims()
+	for i := 0; i < *top && i < len(cands); i++ {
+		c := cands[i]
+		fmt.Printf("#%d  %d/%d claims ok  setup=%.2f redSetup=%.2f tag=%.2f inter=%v intra=%v heavy=(%g,%g)\n",
+			i+1, total-len(c.violations), total,
+			c.params.Model.JobSetup, c.params.Model.ReduceSetup, c.params.Model.TagPenalty,
+			c.params.InterGap, c.params.IntraGap, c.params.HeavyMapW, c.params.HeavyReduceW)
+		if *full && i == 0 {
+			for _, v := range c.violations {
+				fmt.Println("   still violated:", v)
+			}
+		}
+	}
+}

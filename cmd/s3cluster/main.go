@@ -1,0 +1,215 @@
+// Command s3cluster runs the distributed execution substrate: workers
+// serving map/reduce tasks over TCP, and a master driving them through
+// the S^3 scheduler. Three roles:
+//
+//	s3cluster -role demo                 # everything in one process
+//	s3cluster -role worker -listen 127.0.0.1:7001
+//	s3cluster -role master -workers 127.0.0.1:7001,127.0.0.1:7002
+//
+// Workers generate their corpus locally from the shared seed — the
+// distributed analogue of HDFS data locality: block bytes never cross
+// the network, only task descriptions and intermediate records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"s3sched/internal/core"
+	"s3sched/internal/dfs"
+	"s3sched/internal/driver"
+	"s3sched/internal/remote"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/status"
+	"s3sched/internal/vclock"
+	"s3sched/internal/workload"
+)
+
+var (
+	role      = flag.String("role", "demo", "demo | worker | master")
+	listen    = flag.String("listen", "127.0.0.1:0", "worker: address to serve on")
+	workerStr = flag.String("workers", "", "master: comma-separated worker addresses")
+	blocks    = flag.Int("blocks", 24, "corpus blocks (must match across the cluster)")
+	blockSize = flag.Int64("blocksize", 16<<10, "corpus block size in bytes")
+	seed      = flag.Int64("seed", 7, "corpus generator seed (must match across the cluster)")
+	jobs      = flag.Int("jobs", 3, "master/demo: number of wordcount jobs")
+	demoN     = flag.Int("nodes", 3, "demo: in-process worker count")
+	statAddr  = flag.String("status", "", "master/demo: serve a live status dashboard on this address (e.g. 127.0.0.1:8080)")
+)
+
+func main() {
+	flag.Parse()
+	var err error
+	switch *role {
+	case "worker":
+		err = runWorker()
+	case "master":
+		err = runMaster(strings.Split(*workerStr, ","))
+	case "demo":
+		err = runDemo()
+	default:
+		err = fmt.Errorf("unknown role %q", *role)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s3cluster:", err)
+		os.Exit(1)
+	}
+}
+
+func workerStore() (*dfs.Store, error) {
+	store := dfs.NewStore(1, 1)
+	if _, err := workload.AddTextFile(store, "corpus", *blocks, *blockSize, *seed); err != nil {
+		return nil, err
+	}
+	return store, nil
+}
+
+func runWorker() error {
+	store, err := workerStore()
+	if err != nil {
+		return err
+	}
+	w := remote.NewWorker(store, remote.NewStandardRegistry())
+	addr, err := w.Serve(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker serving corpus (%d x %d B, seed %d) on %s\n", *blocks, *blockSize, *seed, addr)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	return w.Close()
+}
+
+func jobRefs(n int) map[scheduler.JobID]remote.JobRef {
+	refs := make(map[scheduler.JobID]remote.JobRef, n)
+	prefixes := workload.DistinctPrefixes(n)
+	for i := 0; i < n; i++ {
+		refs[scheduler.JobID(i+1)] = remote.JobRef{
+			Name:      fmt.Sprintf("wordcount-%s", prefixes[i]),
+			Factory:   "wordcount",
+			Param:     prefixes[i],
+			NumReduce: 2,
+		}
+	}
+	return refs
+}
+
+func runMaster(addrs []string) error {
+	if len(addrs) == 0 || addrs[0] == "" {
+		return fmt.Errorf("master needs -workers")
+	}
+	refs := jobRefs(*jobs)
+	master, err := remote.Dial(addrs, refs)
+	if err != nil {
+		return err
+	}
+	defer master.Close()
+	return drive(master, len(addrs), refs)
+}
+
+func runDemo() error {
+	reg := remote.NewStandardRegistry()
+	var addrs []string
+	var workers []*remote.Worker
+	for i := 0; i < *demoN; i++ {
+		store, err := workerStore()
+		if err != nil {
+			return err
+		}
+		w := remote.NewWorker(store, reg)
+		addr, err := w.Serve("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		workers = append(workers, w)
+		addrs = append(addrs, addr)
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	fmt.Printf("demo: %d in-process workers on %v\n", *demoN, addrs)
+	refs := jobRefs(*jobs)
+	master, err := remote.Dial(addrs, refs)
+	if err != nil {
+		return err
+	}
+	defer master.Close()
+	return drive(master, *demoN, refs)
+}
+
+func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remote.JobRef) error {
+	master.SetTimeScale(1e6)
+
+	// The scheduler's segment plan: metadata only, matching the
+	// workers' corpus shape.
+	planStore := dfs.NewStore(numWorkers, 1)
+	f, err := planStore.AddMetaFile("corpus", *blocks, *blockSize)
+	if err != nil {
+		return err
+	}
+	plan, err := dfs.PlanSegments(f, numWorkers)
+	if err != nil {
+		return err
+	}
+
+	var arrivals []driver.Arrival
+	for id := range refs {
+		arrivals = append(arrivals, driver.Arrival{
+			Job: scheduler.JobMeta{ID: id, File: "corpus"},
+			At:  vclock.Time(id - 1),
+		})
+	}
+	sched := core.New(plan, nil)
+	var hooks driver.Hooks
+	var srv *status.Server
+	if *statAddr != "" {
+		srv = status.NewServer(sched.Name())
+		addr, err := srv.Serve(*statAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("status dashboard: http://%s/\n", addr)
+		hooks = srv.Hooks(sched)
+	}
+	res, err := driver.RunWithHooks(sched, master, arrivals, hooks)
+	if err != nil {
+		return err
+	}
+	if srv != nil {
+		tet, tErr := res.Metrics.TET()
+		art, aErr := res.Metrics.ART()
+		srv.Update(func(st *status.State) {
+			st.RunComplete = true
+			if tErr == nil {
+				st.TETSeconds = tet.Seconds()
+			}
+			if aErr == nil {
+				st.ARTSeconds = art.Seconds()
+			}
+		})
+	}
+	fmt.Printf("completed %d jobs in %d rounds\n", res.Metrics.Jobs(), res.Rounds)
+
+	stats, err := master.WorkerStats()
+	if err != nil {
+		return err
+	}
+	var reads int64
+	for i, st := range stats {
+		fmt.Printf("worker %d: %d block reads, %d map tasks, %d reduce tasks\n",
+			i, st.BlockReads, st.MapTasks, st.ReduceTasks)
+		reads += st.BlockReads
+	}
+	fmt.Printf("cluster block reads: %d (isolated jobs would need %d)\n", reads, int64(*jobs)*int64(*blocks))
+	for id, out := range master.Results() {
+		fmt.Printf("job %d (%s): %d output keys\n", id, refs[id].Name, len(out))
+	}
+	return nil
+}

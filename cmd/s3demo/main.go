@@ -1,0 +1,106 @@
+// Command s3demo walks Algorithm 1 on a tiny cluster: three wordcount
+// jobs arrive at different times over a 6-segment file, and the demo
+// prints every Job Queue Manager decision — sub-job alignment, merged
+// sub-job launches, circular cursor movement, completions — alongside
+// the physical scan ledger that proves the sharing.
+//
+// This runs the real MapReduce engine: the jobs compute actual word
+// counts over generated text and the results are printed at the end.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"s3sched/internal/core"
+	"s3sched/internal/dfs"
+	"s3sched/internal/driver"
+	"s3sched/internal/mapreduce"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/trace"
+	"s3sched/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "s3demo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		nodes     = 3
+		blocks    = 18 // 6 segments of 3 blocks
+		blockSize = 4 << 10
+	)
+	store := dfs.NewStore(nodes, 1)
+	if _, err := workload.AddTextFile(store, "corpus", blocks, blockSize, 42); err != nil {
+		return err
+	}
+	f, err := store.File("corpus")
+	if err != nil {
+		return err
+	}
+	plan, err := dfs.PlanSegments(f, nodes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("file %q: %d blocks of %d KiB in %d segments of %d blocks (one per map slot)\n\n",
+		f.Name, f.NumBlocks, blockSize>>10, plan.NumSegments(), plan.BlocksPerSegment())
+
+	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	specs := map[scheduler.JobID]mapreduce.JobSpec{
+		1: workload.WordCountJob("count-t*", "corpus", "t", 2),
+		2: workload.WordCountJob("count-a*", "corpus", "a", 2),
+		3: workload.WordCountJob("count-w*", "corpus", "w", 2),
+	}
+	exec := driver.NewEngineExecutor(engine, specs)
+	// Stretch measured wall time so the staggered virtual arrivals
+	// below land mid-run.
+	exec.SetTimeScale(1e6)
+
+	log := trace.New(512)
+	s3 := core.New(plan, log)
+	fmt.Println("submitting: job 1 at t=0, job 2 and job 3 while earlier rounds are in flight")
+	res, err := driver.Run(s3, exec, []driver.Arrival{
+		{Job: scheduler.JobMeta{ID: 1, Name: "count-t*", File: "corpus"}, At: 0},
+		{Job: scheduler.JobMeta{ID: 2, Name: "count-a*", File: "corpus"}, At: 1},
+		{Job: scheduler.JobMeta{ID: 3, Name: "count-w*", File: "corpus"}, At: 2},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\n=== Job Queue Manager decision trace (Algorithm 1) ===")
+	fmt.Print(log.String())
+
+	fmt.Println("=== physical scan ledger ===")
+	st := store.Stats()
+	fmt.Printf("block scans: %d (3 isolated jobs would need %d)\n", st.BlockReads, 3*blocks)
+	fmt.Printf("rounds launched: %d\n", res.Rounds)
+	tet, err := res.Metrics.TET()
+	if err != nil {
+		return err
+	}
+	art, err := res.Metrics.ART()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("TET %v, ART %v (virtual time)\n", tet, art)
+
+	fmt.Println("\n=== results (top words per job) ===")
+	for id := scheduler.JobID(1); id <= 3; id++ {
+		r := exec.Results()[id]
+		fmt.Printf("%s:", r.Name)
+		for i, kv := range r.Output {
+			if i == 5 {
+				fmt.Printf(" …(%d more)", len(r.Output)-5)
+				break
+			}
+			fmt.Printf(" %s=%s", kv.Key, kv.Value)
+		}
+		fmt.Println()
+	}
+	return nil
+}

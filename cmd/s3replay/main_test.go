@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"s3sched/internal/dfs"
+)
+
+func replayPlan(t *testing.T) *dfs.SegmentPlan {
+	t.Helper()
+	store := dfs.NewStore(4, 1)
+	f, err := store.AddMetaFile("input", 8, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := dfs.PlanSegments(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReplayBuildScheduler(t *testing.T) {
+	plan := replayPlan(t)
+	for _, name := range []string{"s3", "s3-static", "s3-nocircular", "fifo", "mrshare:2:2", "window:30:5"} {
+		if _, err := buildScheduler(name, plan); err != nil {
+			t.Errorf("buildScheduler(%q): %v", name, err)
+		}
+	}
+	for _, name := range []string{"", "nope", "window:30", "window:x:5", "mrshare:x"} {
+		if _, err := buildScheduler(name, plan); err == nil {
+			t.Errorf("buildScheduler(%q) should fail", name)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"testing"
+
+	"s3sched/internal/dfs"
+)
+
+func testPlan(t *testing.T) *dfs.SegmentPlan {
+	t.Helper()
+	store := dfs.NewStore(4, 1)
+	f, err := store.AddMetaFile("input", 8, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := dfs.PlanSegments(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestArrivalTimes(t *testing.T) {
+	dense, err := arrivalTimes("dense", 4, 5, 0)
+	if err != nil || len(dense) != 4 || dense[3] != 15 {
+		t.Fatalf("dense = %v, %v", dense, err)
+	}
+	sparse, err := arrivalTimes("sparse", 10, 100, 5)
+	if err != nil || len(sparse) != 10 {
+		t.Fatalf("sparse = %v, %v", sparse, err)
+	}
+	// 10 jobs -> groups of 3/3/4 starting at 0, 100, 200.
+	if sparse[3] != 100 || sparse[6] != 200 {
+		t.Fatalf("sparse group starts = %v", sparse)
+	}
+	if _, err := arrivalTimes("bogus", 2, 1, 1); err == nil {
+		t.Error("unknown pattern should fail")
+	}
+	// Small job counts still produce valid groups.
+	tiny, err := arrivalTimes("sparse", 2, 50, 5)
+	if err != nil || len(tiny) != 2 {
+		t.Fatalf("tiny sparse = %v, %v", tiny, err)
+	}
+}
+
+func TestBuildScheduler(t *testing.T) {
+	plan := testPlan(t)
+	for _, name := range []string{"s3", "s3-static", "s3-nocircular", "fifo", "mrshare:2:2", "mrs:4"} {
+		s, err := buildScheduler(name, plan, nil)
+		if err != nil {
+			t.Errorf("buildScheduler(%q): %v", name, err)
+			continue
+		}
+		if s == nil {
+			t.Errorf("buildScheduler(%q) returned nil", name)
+		}
+	}
+	for _, name := range []string{"", "nope", "mrshare", "mrshare:x", "mrshare:0"} {
+		if _, err := buildScheduler(name, plan, nil); err == nil {
+			t.Errorf("buildScheduler(%q) should fail", name)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Package s3sched reproduces "S^3: An Efficient Shared Scan Scheduler
+// on MapReduce Framework" (Shi, Li, Tan — ICPP 2011) as a
+// self-contained Go system: a from-scratch MapReduce engine and
+// block-store substrate, the S^3 scheduler with its segment/sub-job
+// machinery, the FIFO and MRShare baselines, a calibrated
+// discrete-event cluster simulator, and a benchmark harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// Layout:
+//
+//	internal/core       S^3 itself: JQM (Algorithm 1), circular scan,
+//	                    sub-job alignment, slot checking, dynamic
+//	                    segment sizing, ablation variants
+//	internal/dfs        block store, placement, segment plans
+//	internal/mapreduce  real execution engine (map/shuffle/reduce,
+//	                    merged shared-scan rounds)
+//	internal/scheduler  Scheduler interface + FIFO + MRShare
+//	internal/sim        discrete-event simulator + cost model
+//	internal/driver     arrival loop binding schedulers to executors
+//	internal/workload   text & TPC-H lineitem generators, job families
+//	internal/metrics    TET / ART, normalized Figure-4-style reports
+//	internal/experiments  every paper experiment + claim checks
+//	cmd/s3bench         regenerate all tables & figures
+//	cmd/s3sim           free-form simulator runs
+//	cmd/s3demo          Algorithm 1 walkthrough with live trace
+//	cmd/s3calibrate     cost-model calibration search
+//	examples/           runnable quickstart + workload scenarios
+//
+// The top-level bench_test.go maps each paper table/figure to one
+// testing.B benchmark; see EXPERIMENTS.md for paper-vs-measured.
+package s3sched

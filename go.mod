@@ -1,0 +1,3 @@
+module s3sched
+
+go 1.22

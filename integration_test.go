@@ -1,0 +1,401 @@
+package s3sched_test
+
+// Integration tests: whole-system scenarios that cross package
+// boundaries — every scheduler driving the real MapReduce engine,
+// failure injection with adaptive re-planning, timed batching through
+// the driver, and randomized cross-scheme invariants on the simulator.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"s3sched/internal/core"
+	"s3sched/internal/dfs"
+	"s3sched/internal/driver"
+	"s3sched/internal/mapreduce"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/sim"
+	"s3sched/internal/trace"
+	"s3sched/internal/vclock"
+	"s3sched/internal/workload"
+)
+
+// realRig builds a corpus, engine executor and metas for n wordcount
+// jobs over `blocks` blocks with `perSegment` blocks per segment.
+func realRig(t *testing.T, blocks, perSegment, n int) (*dfs.Store, *dfs.SegmentPlan, *driver.EngineExecutor, []scheduler.JobMeta) {
+	t.Helper()
+	store := dfs.NewStore(perSegment, 1)
+	if _, err := workload.AddTextFile(store, "corpus", blocks, 2048, 99); err != nil {
+		t.Fatal(err)
+	}
+	f, err := store.File("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := dfs.PlanSegments(f, perSegment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	specs := make(map[scheduler.JobID]mapreduce.JobSpec, n)
+	metas := make([]scheduler.JobMeta, n)
+	prefixes := workload.DistinctPrefixes(n)
+	for i := 0; i < n; i++ {
+		id := scheduler.JobID(i + 1)
+		specs[id] = workload.WordCountJob(fmt.Sprintf("wc%d", i), "corpus", prefixes[i], 2)
+		metas[i] = scheduler.JobMeta{ID: id, File: "corpus"}
+	}
+	return store, plan, driver.NewEngineExecutor(engine, specs), metas
+}
+
+// TestAllSchedulersAgreeOnResults drives the same three wordcount jobs
+// through every scheduler implementation on the real engine; all must
+// produce byte-identical outputs.
+func TestAllSchedulersAgreeOnResults(t *testing.T) {
+	type mk func(t *testing.T, plan *dfs.SegmentPlan) scheduler.Scheduler
+	cases := []struct {
+		name string
+		mk   mk
+	}{
+		{"s3", func(t *testing.T, p *dfs.SegmentPlan) scheduler.Scheduler { return core.New(p, nil) }},
+		{"s3-static", func(t *testing.T, p *dfs.SegmentPlan) scheduler.Scheduler { return core.NewStatic(p, nil) }},
+		{"s3-nocircular", func(t *testing.T, p *dfs.SegmentPlan) scheduler.Scheduler { return core.NewNoCircular(p, nil) }},
+		{"fifo", func(t *testing.T, p *dfs.SegmentPlan) scheduler.Scheduler { return scheduler.NewFIFO(p, nil) }},
+		{"mrshare", func(t *testing.T, p *dfs.SegmentPlan) scheduler.Scheduler {
+			m, err := scheduler.NewMRShare(p, []int{3}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}},
+		{"mrshare-window", func(t *testing.T, p *dfs.SegmentPlan) scheduler.Scheduler {
+			w, err := scheduler.NewWindowMRShare(p, 1000, 3, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return w
+		}},
+		{"s3-dynamic", func(t *testing.T, p *dfs.SegmentPlan) scheduler.Scheduler {
+			nodes := make([]dfs.NodeID, p.BlocksPerSegment())
+			for i := range nodes {
+				nodes[i] = dfs.NodeID(i)
+			}
+			d, err := core.NewDynamic(p.File(), nodes, 1, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}},
+		{"s3-multifile", func(t *testing.T, p *dfs.SegmentPlan) scheduler.Scheduler {
+			m, err := core.NewMultiFile([]*dfs.SegmentPlan{p}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}},
+	}
+
+	var reference map[scheduler.JobID]string
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, plan, exec, metas := realRig(t, 12, 4, 3)
+			exec.SetTimeScale(1e6)
+			arrivals := make([]driver.Arrival, len(metas))
+			for i := range metas {
+				arrivals[i] = driver.Arrival{Job: metas[i], At: vclock.Time(i)}
+			}
+			if _, err := driver.Run(tc.mk(t, plan), exec, arrivals); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			got := make(map[scheduler.JobID]string, 3)
+			for id, res := range exec.Results() {
+				got[id] = fmt.Sprint(res.Output)
+			}
+			if len(got) != 3 {
+				t.Fatalf("%s: %d results, want 3", tc.name, len(got))
+			}
+			if reference == nil {
+				reference = got
+				return
+			}
+			for id, want := range reference {
+				if got[id] != want {
+					t.Errorf("%s: job %d output differs from reference", tc.name, id)
+				}
+			}
+		})
+	}
+}
+
+// observingExec wraps an executor and invokes a hook after every
+// round — the "periodical slot checking" feedback path (§IV-D1).
+type observingExec struct {
+	inner   driver.Executor
+	round   int
+	onRound func(round int)
+}
+
+func (o *observingExec) ExecRound(r scheduler.Round) (vclock.Duration, error) {
+	d, err := o.inner.ExecRound(r)
+	o.round++
+	if o.onRound != nil {
+		o.onRound(o.round)
+	}
+	return d, err
+}
+
+// TestFailureInjectionSlotCheckerAdapts degrades a node mid-run; the
+// slot checker observes it through the feedback hook, DynamicS3
+// shrinks its segments, and when the node recovers the segments grow
+// back. The run must complete with every job done.
+func TestFailureInjectionSlotCheckerAdapts(t *testing.T) {
+	const nodes = 4
+	store := dfs.NewStore(nodes, 1)
+	f, err := store.AddMetaFile("input", 64, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := sim.NewCluster(nodes, 1)
+	model := sim.CostModel{ScanMBps: 64}
+	simExec := sim.NewExecutor(cluster, store, model)
+
+	log := trace.New(256)
+	checker := core.NewSlotChecker(0.5, 1.0, log)
+	all := []dfs.NodeID{0, 1, 2, 3}
+	for _, n := range all {
+		checker.Observe(n, 1.0, 0)
+	}
+	dyn, err := core.NewDynamic(f, all, 1, checker, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 2 fails down to 0.1x speed between rounds 4 and 10, then
+	// recovers. The hook plays the periodic checker's role.
+	exec := &observingExec{inner: simExec, onRound: func(round int) {
+		switch round {
+		case 4:
+			cluster.SetSpeed(2, 0.1)
+			checker.Observe(2, 0.1, 0)
+		case 10:
+			cluster.SetSpeed(2, 1.0)
+			checker.Observe(2, 1.0, 0)
+		}
+	}}
+
+	res, err := driver.Run(dyn, exec, []driver.Arrival{
+		{Job: scheduler.JobMeta{ID: 1, File: "input"}, At: 0},
+		{Job: scheduler.JobMeta{ID: 2, File: "input"}, At: 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc := res.Metrics.Incomplete(); len(inc) != 0 {
+		t.Fatalf("incomplete jobs: %v", inc)
+	}
+	if exc := log.OfKind(trace.NodeExcluded); len(exc) != 1 {
+		t.Errorf("exclusion events = %d, want 1", len(exc))
+	}
+	if rest := log.OfKind(trace.NodeRestored); len(rest) != 1 {
+		t.Errorf("restore events = %d, want 1", len(rest))
+	}
+}
+
+// TestWindowBatcherFiresWithoutArrivals checks the driver's Waker
+// path: the last batch's window expires after the final arrival, and
+// the run still completes.
+func TestWindowBatcherFiresWithoutArrivals(t *testing.T) {
+	store := dfs.NewStore(2, 1)
+	f, err := store.AddMetaFile("input", 4, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := dfs.PlanSegments(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := scheduler.NewWindowMRShare(plan, 50, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := driver.ExecutorFunc(func(scheduler.Round) (vclock.Duration, error) { return 5, nil })
+	res, err := driver.Run(w, exec, []driver.Arrival{
+		{Job: scheduler.JobMeta{ID: 1, File: "input"}, At: 0},
+		{Job: scheduler.JobMeta{ID: 2, File: "input"}, At: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch seals at t=50 (window from first arrival), runs 2 rounds
+	// of 5s: both jobs complete at 60.
+	rt, err := res.Metrics.ResponseTime(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != 60 {
+		t.Errorf("job 1 response = %v, want 60 (50 window + 10 run)", rt)
+	}
+	if res.End != 60 {
+		t.Errorf("end = %v, want 60", res.End)
+	}
+}
+
+// TestMultiFileRealEngine runs wordcount and selection jobs over two
+// different files through one MultiFile scheduler on the real engine.
+func TestMultiFileRealEngine(t *testing.T) {
+	store := dfs.NewStore(4, 1)
+	if _, err := workload.AddTextFile(store, "corpus", 8, 2048, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.AddLineitemFile(store, "lineitem", 8, 8<<10, 2); err != nil {
+		t.Fatal(err)
+	}
+	fc, err := store.File("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := store.File("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := dfs.PlanSegments(fc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := dfs.PlanSegments(fl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewMultiFile([]*dfs.SegmentPlan{pc, pl}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	exec := driver.NewEngineExecutor(engine, map[scheduler.JobID]mapreduce.JobSpec{
+		1: workload.WordCountJob("wc", "corpus", "t", 2),
+		2: workload.SelectionJob("sel", "lineitem", 5),
+	})
+	exec.SetTimeScale(1e6)
+	res, err := driver.Run(m, exec, []driver.Arrival{
+		{Job: scheduler.JobMeta{ID: 1, File: "corpus"}, At: 0},
+		{Job: scheduler.JobMeta{ID: 2, File: "lineitem"}, At: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Jobs() != 2 || len(res.Metrics.Incomplete()) != 0 {
+		t.Fatalf("metrics = %+v", res.Metrics)
+	}
+	if len(exec.Results()[1].Output) == 0 || len(exec.Results()[2].Output) == 0 {
+		t.Error("both jobs should produce output")
+	}
+}
+
+// Property: under random two-group arrival patterns on a pure-scan
+// cost model, (a) every scheme completes all jobs, (b) all schemes do
+// the same per-job map work, (c) S^3 never loses to FIFO on ART, and
+// (d) S^3 never scans more blocks than FIFO.
+func TestRandomPatternsS3DominatesFIFO(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nJobs := 2 + rng.Intn(4)
+		k := 4 + rng.Intn(6) // segments
+
+		runScheme := func(mk func(p *dfs.SegmentPlan) scheduler.Scheduler) (art float64, scans int64, tasks int64, ok bool) {
+			store := dfs.NewStore(2, 1)
+			f, err := store.AddMetaFile("input", k, 64<<20)
+			if err != nil {
+				return 0, 0, 0, false
+			}
+			plan, err := dfs.PlanSegments(f, 1)
+			if err != nil {
+				return 0, 0, 0, false
+			}
+			exec := sim.NewExecutor(sim.NewCluster(1, 1), store, sim.CostModel{ScanMBps: 6.4})
+			var arrivals []driver.Arrival
+			at := vclock.Time(0)
+			for j := 0; j < nJobs; j++ {
+				arrivals = append(arrivals, driver.Arrival{
+					Job: scheduler.JobMeta{ID: scheduler.JobID(j + 1), File: "input"},
+					At:  at,
+				})
+				at = at.Add(vclock.Duration(rng.Intn(30)))
+			}
+			res, err := driver.Run(mk(plan), exec, arrivals)
+			if err != nil {
+				return 0, 0, 0, false
+			}
+			artD, err := res.Metrics.ART()
+			if err != nil {
+				return 0, 0, 0, false
+			}
+			st := exec.Stats()
+			return artD.Seconds(), st.BlocksScanned, st.MapTasks, true
+		}
+
+		s3ART, s3Scans, s3Tasks, ok1 := runScheme(func(p *dfs.SegmentPlan) scheduler.Scheduler { return core.New(p, nil) })
+		fifoART, fifoScans, fifoTasks, ok2 := runScheme(func(p *dfs.SegmentPlan) scheduler.Scheduler { return scheduler.NewFIFO(p, nil) })
+		if !ok1 || !ok2 {
+			return false
+		}
+		if s3Tasks != fifoTasks {
+			return false // same logical work regardless of scheme
+		}
+		if s3Scans > fifoScans {
+			return false // sharing can only reduce scans
+		}
+		return s3ART <= fifoART+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStressManyJobs pushes 500 jobs with random arrivals through S^3
+// at paper scale on the simulator: everything completes, the
+// all-active-share invariant holds, and no quadratic blowup makes the
+// run crawl.
+func TestStressManyJobs(t *testing.T) {
+	const jobs = 500
+	store := dfs.NewStore(40, 1)
+	f, err := store.AddMetaFile("input", 2560, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := dfs.PlanSegments(f, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3 := core.New(plan, nil)
+	exec := sim.NewExecutor(sim.NewCluster(40, 1), store, sim.CostModel{ScanMBps: 40, TaskOverhead: 2.5})
+
+	rng := rand.New(rand.NewSource(99))
+	arrivals := make([]driver.Arrival, jobs)
+	at := vclock.Time(0)
+	for i := range arrivals {
+		arrivals[i] = driver.Arrival{
+			Job: scheduler.JobMeta{ID: scheduler.JobID(i + 1), File: "input"},
+			At:  at,
+		}
+		at = at.Add(vclock.Duration(rng.Intn(60)))
+	}
+	res, err := driver.Run(s3, exec, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Jobs() != jobs || len(res.Metrics.Incomplete()) != 0 {
+		t.Fatalf("jobs=%d incomplete=%v", res.Metrics.Jobs(), res.Metrics.Incomplete())
+	}
+	art, err := res.Metrics.ART()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: responses stay bounded (every job completes within k
+	// rounds of joining; shared rounds keep the queue from diverging).
+	maxRT, _ := res.Metrics.MaxResponse()
+	if maxRT.Seconds() > 5*art.Seconds() {
+		t.Errorf("max response %v vs ART %v: unexpected spread", maxRT, art)
+	}
+}

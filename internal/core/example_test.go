@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"fmt"
+
+	"s3sched/internal/core"
+	"s3sched/internal/dfs"
+	"s3sched/internal/scheduler"
+)
+
+// ExampleS3 walks Algorithm 1 by hand: job 1 starts alone, job 2
+// arrives two segments later, and the Job Queue Manager batches their
+// aligned sub-jobs for every shared segment.
+func ExampleS3() {
+	store := dfs.NewStore(2, 1)
+	f, _ := store.AddMetaFile("input", 8, 64<<20)
+	plan, _ := dfs.PlanSegments(f, 2) // 4 segments of 2 blocks
+
+	s3 := core.New(plan, nil)
+	_ = s3.Submit(scheduler.JobMeta{ID: 1, File: "input"}, 0)
+
+	for step := 0; ; step++ {
+		if step == 2 {
+			// Job 2 arrives after two rounds: it is admitted at the
+			// cursor and aligned with job 1's waiting sub-jobs.
+			_ = s3.Submit(scheduler.JobMeta{ID: 2, File: "input"}, 20)
+		}
+		r, ok := s3.NextRound(0)
+		if !ok {
+			break
+		}
+		done := s3.RoundDone(r, 0)
+		fmt.Printf("segment %d: batch %v, completed %v\n", r.Segment, r.JobIDs(), done)
+	}
+	// Output:
+	// segment 0: batch [1], completed []
+	// segment 1: batch [1], completed []
+	// segment 2: batch [1 2], completed []
+	// segment 3: batch [1 2], completed [1]
+	// segment 0: batch [2], completed []
+	// segment 1: batch [2], completed [2]
+}
+
+// ExampleSlotChecker shows §IV-D1 slot checking: a straggler is
+// excluded after a slow observation and restored after recovering.
+func ExampleSlotChecker() {
+	sc := core.NewSlotChecker(0.5, 1.0, nil)
+	all := []dfs.NodeID{0, 1, 2}
+	sc.Observe(1, 0.2, 0) // node 1 reports 5x slow
+	fmt.Println("available:", sc.Available(all, 1))
+	sc.Observe(1, 1.0, 2) // node 1 recovers
+	fmt.Println("available:", sc.Available(all, 3))
+	// Output:
+	// available: [0 2]
+	// available: [0 1 2]
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"s3sched/internal/dfs"
+	"s3sched/internal/scheduler"
+)
+
+// Property: DynamicS3 under randomly varying slot availability still
+// gives every job every block exactly once, in circular order from its
+// start block.
+func TestDynamicS3CoverageProperty(t *testing.T) {
+	prop := func(seed int64, blocks8, nodes8, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numBlocks := int(blocks8%30) + 2
+		numNodes := int(nodes8%5) + 1
+		nJobs := int(n8%4) + 1
+
+		store := dfs.NewStore(numNodes, 1)
+		f, err := store.AddMetaFile("input", numBlocks, 64)
+		if err != nil {
+			return false
+		}
+		// A slot checker whose estimates we mutate randomly between
+		// rounds, sometimes excluding nodes.
+		checker := NewSlotChecker(0.5, 1.0, nil)
+		all := make([]dfs.NodeID, numNodes)
+		for i := range all {
+			all[i] = dfs.NodeID(i)
+			checker.Observe(all[i], 1.0, 0)
+		}
+		d, err := NewDynamic(f, all, 1, checker, nil)
+		if err != nil {
+			return false
+		}
+
+		blockSeen := map[scheduler.JobID]map[int]int{}
+		firstBlock := map[scheduler.JobID]int{}
+		submitted := 0
+		steps := 0
+		for submitted < nJobs || d.PendingJobs() > 0 {
+			steps++
+			if steps > 10000 {
+				return false
+			}
+			if submitted < nJobs && (rng.Intn(3) == 0 || d.PendingJobs() == 0) {
+				id := scheduler.JobID(submitted + 1)
+				if err := d.Submit(scheduler.JobMeta{ID: id, File: "input"}, 0); err != nil {
+					return false
+				}
+				blockSeen[id] = map[int]int{}
+				submitted++
+				continue
+			}
+			// Random slot degradation/recovery.
+			node := dfs.NodeID(rng.Intn(numNodes))
+			if rng.Intn(2) == 0 {
+				checker.Observe(node, 0.1, 0)
+			} else {
+				checker.Observe(node, 1.0, 0)
+			}
+			r, ok := d.NextRound(0)
+			if !ok {
+				return false
+			}
+			if len(r.Blocks) == 0 || len(r.Blocks) > len(r.Nodes) {
+				return false // segment must fit the available slots
+			}
+			for _, j := range r.Jobs {
+				for _, b := range r.Blocks {
+					if _, started := firstBlock[j.ID]; !started {
+						firstBlock[j.ID] = b.Index
+					}
+					blockSeen[j.ID][b.Index]++
+				}
+			}
+			d.RoundDone(r, 0)
+		}
+		// Exactly-once coverage per job.
+		for id, seen := range blockSeen {
+			if len(seen) != numBlocks {
+				return false
+			}
+			for _, c := range seen {
+				if c != 1 {
+					return false
+				}
+			}
+			_ = id
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NoCircular always scans segments 0..k-1 in order within a
+// pass, and a job's rounds all belong to a single pass.
+func TestNoCircularPassProperty(t *testing.T) {
+	prop := func(seed int64, k8, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(k8%8) + 1
+		n := int(n8%5) + 1
+
+		store := dfs.NewStore(2, 1)
+		f, err := store.AddMetaFile("input", k, 64)
+		if err != nil {
+			return false
+		}
+		p, err := dfs.PlanSegments(f, 1)
+		if err != nil {
+			return false
+		}
+		s := NewNoCircular(p, nil)
+
+		segsByJob := map[scheduler.JobID][]int{}
+		submitted := 0
+		steps := 0
+		for submitted < n || s.PendingJobs() > 0 {
+			steps++
+			if steps > 10000 {
+				return false
+			}
+			if submitted < n && (rng.Intn(2) == 0 || s.PendingJobs() == 0) {
+				id := scheduler.JobID(submitted + 1)
+				if err := s.Submit(scheduler.JobMeta{ID: id, File: "input"}, 0); err != nil {
+					return false
+				}
+				submitted++
+				continue
+			}
+			r, ok := s.NextRound(0)
+			if !ok {
+				return false
+			}
+			for _, j := range r.Jobs {
+				segsByJob[j.ID] = append(segsByJob[j.ID], r.Segment)
+			}
+			s.RoundDone(r, 0)
+		}
+		if len(segsByJob) != n {
+			return false
+		}
+		for _, segs := range segsByJob {
+			if len(segs) != k {
+				return false
+			}
+			for i, seg := range segs {
+				if seg != i {
+					return false // always 0..k-1 in order
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MultiFile never mixes files within a round, serves only
+// files with pending jobs, and preserves each file's per-job circular
+// coverage.
+func TestMultiFileProperty(t *testing.T) {
+	prop := func(seed int64, ka8, kb8, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ka := int(ka8%6) + 1
+		kb := int(kb8%6) + 1
+		n := int(n8%6) + 2
+
+		store := dfs.NewStore(2, 1)
+		fa, err := store.AddMetaFile("alpha", ka, 64)
+		if err != nil {
+			return false
+		}
+		fb, err := store.AddMetaFile("beta", kb, 64)
+		if err != nil {
+			return false
+		}
+		pa, err := dfs.PlanSegments(fa, 1)
+		if err != nil {
+			return false
+		}
+		pb, err := dfs.PlanSegments(fb, 1)
+		if err != nil {
+			return false
+		}
+		m, err := NewMultiFile([]*dfs.SegmentPlan{pa, pb}, nil)
+		if err != nil {
+			return false
+		}
+
+		segsByJob := map[scheduler.JobID][]dfs.BlockID{}
+		fileOf := map[scheduler.JobID]string{}
+		submitted := 0
+		steps := 0
+		for submitted < n || m.PendingJobs() > 0 {
+			steps++
+			if steps > 10000 {
+				return false
+			}
+			if submitted < n && (rng.Intn(2) == 0 || m.PendingJobs() == 0) {
+				id := scheduler.JobID(submitted + 1)
+				file := "alpha"
+				if rng.Intn(2) == 0 {
+					file = "beta"
+				}
+				if err := m.Submit(scheduler.JobMeta{ID: id, File: file, Priority: rng.Intn(3)}, 0); err != nil {
+					return false
+				}
+				fileOf[id] = file
+				submitted++
+				continue
+			}
+			r, ok := m.NextRound(0)
+			if !ok {
+				return false
+			}
+			file := r.Blocks[0].File
+			for _, b := range r.Blocks {
+				if b.File != file {
+					return false
+				}
+			}
+			for _, j := range r.Jobs {
+				if fileOf[j.ID] != file {
+					return false // batch contains a foreign job
+				}
+				segsByJob[j.ID] = append(segsByJob[j.ID], r.Blocks...)
+			}
+			m.RoundDone(r, 0)
+		}
+		// Exactly-once block coverage per job, within its own file.
+		for id, blocks := range segsByJob {
+			want := ka
+			if fileOf[id] == "beta" {
+				want = kb
+			}
+			seen := map[int]bool{}
+			for _, b := range blocks {
+				if b.File != fileOf[id] || seen[b.Index] {
+					return false
+				}
+				seen[b.Index] = true
+			}
+			if len(seen) != want {
+				return false
+			}
+		}
+		return len(segsByJob) == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

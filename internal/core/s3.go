@@ -1,0 +1,215 @@
+// Package core implements S^3, the shared scan scheduler that is the
+// paper's contribution (§IV). A job over a k-segment file is split
+// into k sub-jobs, one per segment, processed in circular order
+// starting from whichever segment the scheduler reaches next after the
+// job arrives. Sub-jobs of different jobs that target the same segment
+// are aligned and launched as one batch sharing a single scan of that
+// segment.
+//
+// The package provides:
+//
+//   - S3: the Job Queue Manager (Algorithm 1) as a scheduler.Scheduler,
+//     with Snapshot/Restore persistence for master recovery.
+//   - SlotChecker + DynamicS3: §IV-D1 periodic slot checking and the
+//     dynamically sized segments of §IV-B/§IV-D2.
+//   - Estimator: §IV-D1's completion-time estimation as an online
+//     least-squares fit over observed rounds.
+//   - MultiFile: per-file S^3 queues with priority arbitration (the
+//     §VI scheduling-policy extensions).
+//   - StaticS3 and NoCircular: ablation variants that disable dynamic
+//     sub-job adjustment and the circular scan, respectively.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"s3sched/internal/dfs"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/trace"
+	"s3sched/internal/vclock"
+)
+
+// JobState tracks one active job inside the Job Queue Manager.
+type JobState struct {
+	Meta scheduler.JobMeta
+	// StartSegment is the segment the job was admitted at — ss_i in
+	// Algorithm 1's JobQueue notation J_i(ss_i).
+	StartSegment int
+	// Remaining is how many of the job's k sub-jobs have not yet run.
+	Remaining int
+	// SubmittedAt is when the job arrived.
+	SubmittedAt vclock.Time
+}
+
+// S3 is the Shared Scan Scheduler's Job Queue Manager. It implements
+// scheduler.Scheduler.
+//
+// Invariant (tested property): every active job still needs the cursor
+// segment. This is what makes Algorithm 1 sound: jobs are admitted at
+// the cursor, consume segments in the same circular order the cursor
+// moves, and complete exactly when the cursor returns to the segment
+// before their start — so batching "all active jobs" for the cursor
+// segment never scans a segment for a job that does not want it.
+type S3 struct {
+	plan   *dfs.SegmentPlan
+	log    *trace.Log
+	cursor int // next segment to be scheduled
+	active []*JobState
+	seen   map[scheduler.JobID]bool
+
+	inFlight bool
+	// launchedFor records which jobs are in the in-flight round, so a
+	// job submitted mid-round is not credited for a scan it missed.
+	launchedFor map[scheduler.JobID]bool
+}
+
+var _ scheduler.Scheduler = (*S3)(nil)
+
+// New returns an S^3 scheduler over the segment plan. log may be nil.
+func New(plan *dfs.SegmentPlan, log *trace.Log) *S3 {
+	return &S3{
+		plan: plan,
+		log:  log,
+		seen: make(map[scheduler.JobID]bool),
+	}
+}
+
+// Name implements Scheduler.
+func (s *S3) Name() string { return "s3" }
+
+// Plan returns the segment plan the scheduler runs over.
+func (s *S3) Plan() *dfs.SegmentPlan { return s.plan }
+
+// Cursor returns the next segment to be scheduled.
+func (s *S3) Cursor() int { return s.cursor }
+
+// Active returns a snapshot of the active job states, ordered by
+// submission.
+func (s *S3) Active() []JobState {
+	out := make([]JobState, len(s.active))
+	for i, js := range s.active {
+		out[i] = *js
+	}
+	return out
+}
+
+// Submit implements Scheduler. The job is split into k sub-jobs and
+// aligned with the waiting queue: its first sub-job targets the
+// cursor segment (the next to be scheduled), so the job starts
+// processing in the very next round (paper §IV-C).
+func (s *S3) Submit(job scheduler.JobMeta, at vclock.Time) error {
+	if s.seen[job.ID] {
+		return fmt.Errorf("%w: %d", scheduler.ErrDuplicateJob, job.ID)
+	}
+	if job.File != s.plan.File().Name {
+		return fmt.Errorf("%w: job %d reads %q, plan is for %q", scheduler.ErrWrongFile, job.ID, job.File, s.plan.File().Name)
+	}
+	s.seen[job.ID] = true
+	job = normalize(job)
+	start := s.cursor
+	if s.inFlight {
+		// The cursor segment is being scanned right now without this
+		// job, so its first sub-job targets the following segment.
+		start = s.plan.Next(s.cursor)
+	}
+	js := &JobState{
+		Meta:         job,
+		StartSegment: start,
+		Remaining:    s.plan.NumSegments(),
+		SubmittedAt:  at,
+	}
+	s.active = append(s.active, js)
+	s.log.Addf(at, trace.JobSubmitted, int(job.ID), start, "s3 split into %d sub-jobs from segment %d", js.Remaining, start)
+	s.log.Addf(at, trace.SubJobAligned, int(job.ID), start, "aligned with %d waiting job(s)", len(s.active)-1)
+	return nil
+}
+
+// NextRound implements Scheduler: it is Algorithm 1's
+// batchSubJobs(JobQueue, Segment) followed by processNextSubJob — all
+// active jobs' sub-jobs for the cursor segment are merged into one
+// batch.
+func (s *S3) NextRound(now vclock.Time) (scheduler.Round, bool) {
+	if s.inFlight {
+		panic("core: S3.NextRound called with a round in flight")
+	}
+	if len(s.active) == 0 {
+		return scheduler.Round{}, false
+	}
+	jobs := make([]scheduler.JobMeta, len(s.active))
+	var completes []scheduler.JobID
+	launched := make(map[scheduler.JobID]bool, len(s.active))
+	for i, js := range s.active {
+		jobs[i] = js.Meta
+		launched[js.Meta.ID] = true
+		if js.Remaining == 1 {
+			completes = append(completes, js.Meta.ID)
+		}
+	}
+	r := scheduler.Round{
+		Segment:   s.cursor,
+		Blocks:    s.plan.Blocks(s.cursor),
+		Jobs:      jobs,
+		Completes: completes,
+		// Every S^3 round is a freshly initialized merged sub-job
+		// (§IV-D3 runtime sub-job initialization), and every sub-job
+		// is a complete MapReduce job with its own reduce phase.
+		FreshJobs:    1,
+		SubJobReduce: true,
+	}
+	s.inFlight = true
+	s.launchedFor = launched
+	s.log.Addf(now, trace.RoundLaunched, -1, s.cursor, "s3 merged sub-job of %d job(s)", len(jobs))
+	return r, true
+}
+
+// RoundDone implements Scheduler: lines 5–13 of Algorithm 1 — retire
+// completed jobs and advance the segment cursor circularly.
+func (s *S3) RoundDone(r scheduler.Round, now vclock.Time) []scheduler.JobID {
+	if !s.inFlight {
+		panic("core: S3.RoundDone without a round in flight")
+	}
+	s.inFlight = false
+	s.log.Addf(now, trace.RoundFinished, -1, r.Segment, "s3")
+
+	var done []scheduler.JobID
+	remaining := s.active[:0]
+	for _, js := range s.active {
+		if !s.launchedFor[js.Meta.ID] {
+			// Submitted mid-round; it did not share this scan.
+			remaining = append(remaining, js)
+			continue
+		}
+		js.Remaining--
+		if js.Remaining == 0 {
+			done = append(done, js.Meta.ID)
+			s.log.Addf(now, trace.JobCompleted, int(js.Meta.ID), r.Segment, "s3 started at segment %d", js.StartSegment)
+			continue
+		}
+		remaining = append(remaining, js)
+	}
+	// Zero the tail so retired *JobState values do not linger.
+	for i := len(remaining); i < len(s.active); i++ {
+		s.active[i] = nil
+	}
+	s.active = remaining
+	s.launchedFor = nil
+
+	s.cursor = s.plan.Next(s.cursor)
+	s.log.Addf(now, trace.SegmentAdvanced, -1, s.cursor, "")
+	sort.Slice(done, func(i, j int) bool { return done[i] < done[j] })
+	return done
+}
+
+// PendingJobs implements Scheduler.
+func (s *S3) PendingJobs() int { return len(s.active) }
+
+func normalize(m scheduler.JobMeta) scheduler.JobMeta {
+	if m.Weight == 0 {
+		m.Weight = 1
+	}
+	if m.ReduceWeight == 0 {
+		m.ReduceWeight = 1
+	}
+	return m
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"s3sched/internal/dfs"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/trace"
+	"s3sched/internal/vclock"
+)
+
+// Job Queue Manager snapshot/restore. The JQM's entire state is a
+// cursor plus per-job (start segment, remaining sub-jobs) — small
+// enough to persist after every round, so a restarted master resumes
+// scheduling exactly where the old one stopped. Sub-jobs are
+// idempotent units: re-running the round that was in flight during a
+// crash re-scans one segment, nothing more.
+
+// JobSnapshot is one active job's persisted state.
+type JobSnapshot struct {
+	Meta         scheduler.JobMeta `json:"meta"`
+	StartSegment int               `json:"startSegment"`
+	Remaining    int               `json:"remaining"`
+	SubmittedAt  vclock.Time       `json:"submittedAt"`
+}
+
+// Snapshot is the JQM's full persisted state.
+type Snapshot struct {
+	File     string        `json:"file"`
+	Segments int           `json:"segments"`
+	Cursor   int           `json:"cursor"`
+	Jobs     []JobSnapshot `json:"jobs"`
+}
+
+// Snapshot captures the scheduler's state. It fails while a round is
+// in flight: snapshot after RoundDone, when the state is consistent.
+func (s *S3) Snapshot() (Snapshot, error) {
+	if s.inFlight {
+		return Snapshot{}, fmt.Errorf("core: cannot snapshot with a round in flight")
+	}
+	snap := Snapshot{
+		File:     s.plan.File().Name,
+		Segments: s.plan.NumSegments(),
+		Cursor:   s.cursor,
+	}
+	for _, js := range s.active {
+		snap.Jobs = append(snap.Jobs, JobSnapshot{
+			Meta:         js.Meta,
+			StartSegment: js.StartSegment,
+			Remaining:    js.Remaining,
+			SubmittedAt:  js.SubmittedAt,
+		})
+	}
+	return snap, nil
+}
+
+// MarshalJSON-friendly helpers for persisting to disk.
+
+// EncodeSnapshot serializes a snapshot.
+func EncodeSnapshot(snap Snapshot) ([]byte, error) {
+	return json.MarshalIndent(snap, "", "  ")
+}
+
+// DecodeSnapshot parses a serialized snapshot.
+func DecodeSnapshot(data []byte) (Snapshot, error) {
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return Snapshot{}, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	return snap, nil
+}
+
+// Restore rebuilds an S^3 scheduler from a snapshot over the given
+// plan, which must match the snapshot's file and segment count.
+func Restore(plan *dfs.SegmentPlan, snap Snapshot, log *trace.Log) (*S3, error) {
+	if plan.File().Name != snap.File {
+		return nil, fmt.Errorf("core: snapshot is for file %q, plan is for %q", snap.File, plan.File().Name)
+	}
+	if plan.NumSegments() != snap.Segments {
+		return nil, fmt.Errorf("core: snapshot has %d segments, plan has %d", snap.Segments, plan.NumSegments())
+	}
+	if snap.Cursor < 0 || snap.Cursor >= plan.NumSegments() {
+		return nil, fmt.Errorf("core: snapshot cursor %d out of range [0,%d)", snap.Cursor, plan.NumSegments())
+	}
+	s := New(plan, log)
+	s.cursor = snap.Cursor
+	for _, js := range snap.Jobs {
+		if js.Remaining < 1 || js.Remaining > plan.NumSegments() {
+			return nil, fmt.Errorf("core: job %d remaining %d out of range [1,%d]", js.Meta.ID, js.Remaining, plan.NumSegments())
+		}
+		if js.StartSegment < 0 || js.StartSegment >= plan.NumSegments() {
+			return nil, fmt.Errorf("core: job %d start segment %d out of range", js.Meta.ID, js.StartSegment)
+		}
+		if s.seen[js.Meta.ID] {
+			return nil, fmt.Errorf("core: snapshot repeats job %d", js.Meta.ID)
+		}
+		s.seen[js.Meta.ID] = true
+		s.active = append(s.active, &JobState{
+			Meta:         normalize(js.Meta),
+			StartSegment: js.StartSegment,
+			Remaining:    js.Remaining,
+			SubmittedAt:  js.SubmittedAt,
+		})
+	}
+	s.log.Addf(0, trace.BatchAdjusted, -1, snap.Cursor, "restored %d job(s) at cursor %d", len(snap.Jobs), snap.Cursor)
+	return s, nil
+}

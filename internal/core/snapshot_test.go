@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"s3sched/internal/scheduler"
+)
+
+func TestSnapshotRestoreContinuesIdentically(t *testing.T) {
+	// Reference: uninterrupted run.
+	ref := New(makePlan(t, 12, 3), nil) // 4 segments
+	if err := ref.Submit(job(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	var refTrace []string
+	step := func(s scheduler.Scheduler, submitAt int, traceOut *[]string) bool {
+		r, ok := s.NextRound(0)
+		if !ok {
+			return false
+		}
+		done := s.RoundDone(r, 0)
+		*traceOut = append(*traceOut, roundKey(r, done))
+		return true
+	}
+	// Run 2 rounds, then submit job 2 and run to completion.
+	for i := 0; i < 2; i++ {
+		step(ref, 0, &refTrace)
+	}
+	if err := ref.Submit(job(2), 20); err != nil {
+		t.Fatal(err)
+	}
+	for step(ref, 0, &refTrace) {
+	}
+
+	// Interrupted run: same 2 rounds, snapshot, "crash", restore.
+	orig := New(makePlan(t, 12, 3), nil)
+	if err := orig.Submit(job(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	var gotTrace []string
+	for i := 0; i < 2; i++ {
+		step(orig, 0, &gotTrace)
+	}
+	snap, err := orig.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(makePlan(t, 12, 3), decoded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Submit(job(2), 20); err != nil {
+		t.Fatal(err)
+	}
+	for step(restored, 0, &gotTrace) {
+	}
+
+	if len(gotTrace) != len(refTrace) {
+		t.Fatalf("round counts differ: %v vs %v", gotTrace, refTrace)
+	}
+	for i := range refTrace {
+		if gotTrace[i] != refTrace[i] {
+			t.Fatalf("round %d differs: %q vs %q", i, gotTrace[i], refTrace[i])
+		}
+	}
+}
+
+func roundKey(r scheduler.Round, done []scheduler.JobID) string {
+	return string(rune('A'+r.Segment)) + ":" + itoa(len(r.Jobs)) + ":" + itoa(len(done))
+}
+
+func itoa(n int) string { return string(rune('0' + n)) }
+
+func TestSnapshotRejectsInFlight(t *testing.T) {
+	s := New(makePlan(t, 4, 2), nil)
+	if err := s.Submit(job(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := s.NextRound(0)
+	if _, err := s.Snapshot(); err == nil {
+		t.Error("snapshot mid-round should fail")
+	}
+	s.RoundDone(r, 1)
+	if _, err := s.Snapshot(); err != nil {
+		t.Errorf("snapshot after RoundDone: %v", err)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	plan := makePlan(t, 12, 3) // file "input", 4 segments
+	good := Snapshot{File: "input", Segments: 4, Cursor: 1, Jobs: []JobSnapshot{
+		{Meta: job(1), StartSegment: 0, Remaining: 2},
+	}}
+	if _, err := Restore(plan, good, nil); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	cases := []Snapshot{
+		{File: "other", Segments: 4, Cursor: 0},
+		{File: "input", Segments: 5, Cursor: 0},
+		{File: "input", Segments: 4, Cursor: 9},
+		{File: "input", Segments: 4, Cursor: 0, Jobs: []JobSnapshot{{Meta: job(1), Remaining: 0}}},
+		{File: "input", Segments: 4, Cursor: 0, Jobs: []JobSnapshot{{Meta: job(1), Remaining: 9}}},
+		{File: "input", Segments: 4, Cursor: 0, Jobs: []JobSnapshot{{Meta: job(1), StartSegment: -1, Remaining: 1}}},
+		{File: "input", Segments: 4, Cursor: 0, Jobs: []JobSnapshot{
+			{Meta: job(1), Remaining: 1}, {Meta: job(1), Remaining: 1},
+		}},
+	}
+	for i, snap := range cases {
+		if _, err := Restore(plan, snap, nil); err == nil {
+			t.Errorf("case %d: invalid snapshot accepted: %+v", i, snap)
+		}
+	}
+	if _, err := DecodeSnapshot([]byte("{nope")); err == nil {
+		t.Error("bad JSON should fail")
+	}
+}

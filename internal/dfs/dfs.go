@@ -1,0 +1,279 @@
+// Package dfs implements the distributed-file-system substrate the
+// schedulers operate on: files split into fixed-size blocks, block
+// placement across nodes, and the segment organization that S^3 layers
+// on top of the block list (paper §IV-B).
+//
+// The store is in-memory and single-process, but it preserves exactly
+// the properties the scheduling problem depends on: a file is an
+// ordered chain of blocks, each block lives on specific nodes, reading
+// a block costs a scan, and a segment is a set of consecutive blocks
+// sized to one round of cluster work. Every block read is counted, so
+// experiments *measure* the scan savings of shared scheduling rather
+// than assuming them.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// NodeID identifies a storage/compute node in the cluster.
+type NodeID int
+
+// BlockID identifies one block of one file.
+type BlockID struct {
+	File  string // file name
+	Index int    // 0-based position of the block within the file
+}
+
+// String renders the block id as "file#index".
+func (b BlockID) String() string { return fmt.Sprintf("%s#%d", b.File, b.Index) }
+
+// BlockSource supplies block contents on demand. Experiments at paper
+// scale register metadata-only files and never read contents; the real
+// execution engine registers materialized or generated sources.
+type BlockSource interface {
+	// ReadBlock returns the contents of block i. It must be safe for
+	// concurrent use and must return the same bytes on every call.
+	ReadBlock(i int) ([]byte, error)
+}
+
+// bytesSource is a BlockSource over pre-materialized block data.
+type bytesSource struct{ blocks [][]byte }
+
+func (s bytesSource) ReadBlock(i int) ([]byte, error) {
+	if i < 0 || i >= len(s.blocks) {
+		return nil, fmt.Errorf("dfs: block index %d out of range [0,%d)", i, len(s.blocks))
+	}
+	return s.blocks[i], nil
+}
+
+// funcSource adapts a generator function to BlockSource.
+type funcSource struct {
+	n   int
+	gen func(i int) ([]byte, error)
+}
+
+func (s funcSource) ReadBlock(i int) ([]byte, error) {
+	if i < 0 || i >= s.n {
+		return nil, fmt.Errorf("dfs: block index %d out of range [0,%d)", i, s.n)
+	}
+	return s.gen(i)
+}
+
+// File describes one stored file: an ordered chain of equally sized
+// blocks (the final block may be short), plus an optional content
+// source.
+type File struct {
+	Name      string
+	NumBlocks int
+	BlockSize int64 // nominal block size in bytes
+	LastSize  int64 // size of the final block (== BlockSize when exact)
+	source    BlockSource
+}
+
+// Size returns the total file size in bytes.
+func (f *File) Size() int64 {
+	if f.NumBlocks == 0 {
+		return 0
+	}
+	return int64(f.NumBlocks-1)*f.BlockSize + f.LastSize
+}
+
+// BlockLen returns the size in bytes of block i.
+func (f *File) BlockLen(i int) int64 {
+	if i == f.NumBlocks-1 {
+		return f.LastSize
+	}
+	return f.BlockSize
+}
+
+// Blocks returns the ordered list of the file's block ids.
+func (f *File) Blocks() []BlockID {
+	out := make([]BlockID, f.NumBlocks)
+	for i := range out {
+		out[i] = BlockID{File: f.Name, Index: i}
+	}
+	return out
+}
+
+// Stats holds cumulative scan accounting for a store.
+type Stats struct {
+	BlockReads   int64 // number of ReadBlock calls served
+	BytesScanned int64 // total bytes returned by ReadBlock
+}
+
+// Store is the in-memory distributed block store.
+type Store struct {
+	mu        sync.RWMutex
+	nodes     int
+	replicas  int
+	racks     int // 0 or 1 = no topology
+	files     map[string]*File
+	placement map[BlockID][]NodeID
+
+	blockReads   atomic.Int64
+	bytesScanned atomic.Int64
+}
+
+// ErrNoSuchFile is returned when a file name is not registered.
+var ErrNoSuchFile = errors.New("dfs: no such file")
+
+// NewStore creates a store spanning the given number of nodes with the
+// given replication factor (the paper uses 1). Blocks are placed
+// round-robin with replicas on consecutive nodes, which mirrors how a
+// rack-unaware HDFS placement spreads a large sequentially written
+// file.
+func NewStore(nodes, replicas int) *Store {
+	if nodes <= 0 {
+		panic("dfs: store needs at least one node")
+	}
+	if replicas <= 0 || replicas > nodes {
+		panic(fmt.Sprintf("dfs: replication factor %d invalid for %d nodes", replicas, nodes))
+	}
+	return &Store{
+		nodes:     nodes,
+		replicas:  replicas,
+		files:     make(map[string]*File),
+		placement: make(map[BlockID][]NodeID),
+	}
+}
+
+// Nodes returns the number of nodes the store spans.
+func (s *Store) Nodes() int { return s.nodes }
+
+// AddFile registers a file from pre-materialized block data. Every
+// block except the last must be the same length.
+func (s *Store) AddFile(name string, blockSize int64, blocks [][]byte) (*File, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("dfs: file %q has no blocks", name)
+	}
+	for i, b := range blocks[:len(blocks)-1] {
+		if int64(len(b)) != blockSize {
+			return nil, fmt.Errorf("dfs: file %q block %d has %d bytes, want %d", name, i, len(b), blockSize)
+		}
+	}
+	last := int64(len(blocks[len(blocks)-1]))
+	if last > blockSize || last == 0 {
+		return nil, fmt.Errorf("dfs: file %q last block has %d bytes, want 1..%d", name, last, blockSize)
+	}
+	f := &File{
+		Name:      name,
+		NumBlocks: len(blocks),
+		BlockSize: blockSize,
+		LastSize:  last,
+		source:    bytesSource{blocks: blocks},
+	}
+	return f, s.register(f)
+}
+
+// AddGeneratedFile registers a file whose block contents are produced
+// on demand by gen. All blocks report the nominal block size.
+func (s *Store) AddGeneratedFile(name string, numBlocks int, blockSize int64, gen func(i int) ([]byte, error)) (*File, error) {
+	if numBlocks <= 0 {
+		return nil, fmt.Errorf("dfs: file %q has no blocks", name)
+	}
+	f := &File{
+		Name:      name,
+		NumBlocks: numBlocks,
+		BlockSize: blockSize,
+		LastSize:  blockSize,
+		source:    funcSource{n: numBlocks, gen: gen},
+	}
+	return f, s.register(f)
+}
+
+// AddMetaFile registers a metadata-only file (no readable contents).
+// The discrete-event simulator uses these: it needs block and segment
+// structure but never block bytes.
+func (s *Store) AddMetaFile(name string, numBlocks int, blockSize int64) (*File, error) {
+	if numBlocks <= 0 {
+		return nil, fmt.Errorf("dfs: file %q has no blocks", name)
+	}
+	f := &File{Name: name, NumBlocks: numBlocks, BlockSize: blockSize, LastSize: blockSize}
+	return f, s.register(f)
+}
+
+func (s *Store) register(f *File) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.files[f.Name]; dup {
+		return fmt.Errorf("dfs: file %q already exists", f.Name)
+	}
+	s.files[f.Name] = f
+	for i := 0; i < f.NumBlocks; i++ {
+		id := BlockID{File: f.Name, Index: i}
+		s.placement[id] = s.placeLocked(i)
+	}
+	return nil
+}
+
+// File returns the registered file with the given name.
+func (s *Store) File(name string) (*File, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchFile, name)
+	}
+	return f, nil
+}
+
+// Locations returns the nodes holding replicas of the block, or nil if
+// the block is unknown.
+func (s *Store) Locations(id BlockID) []NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	locs := s.placement[id]
+	out := make([]NodeID, len(locs))
+	copy(out, locs)
+	return out
+}
+
+// HasLocal reports whether node holds a replica of the block.
+func (s *Store) HasLocal(id BlockID, node NodeID) bool {
+	for _, n := range s.Locations(id) {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadBlock returns the contents of a block and charges the scan to the
+// store's counters. One call == one physical scan of the block; shared
+// scheduling shows up directly as fewer ReadBlock calls.
+func (s *Store) ReadBlock(id BlockID) ([]byte, error) {
+	s.mu.RLock()
+	f, ok := s.files[id.File]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchFile, id.File)
+	}
+	if f.source == nil {
+		return nil, fmt.Errorf("dfs: file %q is metadata-only; block %d has no contents", id.File, id.Index)
+	}
+	data, err := f.source.ReadBlock(id.Index)
+	if err != nil {
+		return nil, err
+	}
+	s.blockReads.Add(1)
+	s.bytesScanned.Add(int64(len(data)))
+	return data, nil
+}
+
+// Stats returns a snapshot of cumulative scan accounting.
+func (s *Store) Stats() Stats {
+	return Stats{
+		BlockReads:   s.blockReads.Load(),
+		BytesScanned: s.bytesScanned.Load(),
+	}
+}
+
+// ResetStats zeroes the scan counters (between experiment runs).
+func (s *Store) ResetStats() {
+	s.blockReads.Store(0)
+	s.bytesScanned.Store(0)
+}

@@ -1,0 +1,24 @@
+package dfs_test
+
+import (
+	"fmt"
+
+	"s3sched/internal/dfs"
+)
+
+// ExampleSegmentPlan_CircularOrder shows the round-robin data scan of
+// §IV-B: a job admitted at segment 2 of a 5-segment file processes
+// 2, 3, 4 and then wraps to 0, 1.
+func ExampleSegmentPlan_CircularOrder() {
+	store := dfs.NewStore(4, 1)
+	f, _ := store.AddMetaFile("input", 20, 64<<20)
+	plan, _ := dfs.PlanSegments(f, 4) // 5 segments of 4 blocks
+
+	fmt.Println("segments:", plan.NumSegments())
+	fmt.Println("order from 2:", plan.CircularOrder(2))
+	fmt.Println("blocks of segment 2:", plan.Blocks(2))
+	// Output:
+	// segments: 5
+	// order from 2: [2 3 4 0 1]
+	// blocks of segment 2: [input#8 input#9 input#10 input#11]
+}

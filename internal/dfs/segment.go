@@ -1,0 +1,106 @@
+package dfs
+
+import "fmt"
+
+// SegmentPlan partitions a file's block chain into k segments of m
+// consecutive blocks each (paper §IV-B). m should equal the number of
+// concurrent map slots in the cluster so that one segment is exactly
+// one round of cluster work; the final segment may be short when the
+// block count is not a multiple of m.
+//
+// A plan is immutable once built. S^3's dynamic segment resizing is
+// realized by building a fresh plan for the *remaining* work, never by
+// mutating an existing one.
+type SegmentPlan struct {
+	file        *File
+	perSegment  int
+	numSegments int
+}
+
+// PlanSegments builds the segment plan for file with blocksPerSegment
+// blocks per segment.
+func PlanSegments(file *File, blocksPerSegment int) (*SegmentPlan, error) {
+	if file == nil {
+		return nil, fmt.Errorf("dfs: nil file")
+	}
+	if blocksPerSegment <= 0 {
+		return nil, fmt.Errorf("dfs: blocksPerSegment must be positive, got %d", blocksPerSegment)
+	}
+	k := (file.NumBlocks + blocksPerSegment - 1) / blocksPerSegment
+	return &SegmentPlan{file: file, perSegment: blocksPerSegment, numSegments: k}, nil
+}
+
+// File returns the file the plan covers.
+func (p *SegmentPlan) File() *File { return p.file }
+
+// NumSegments returns k, the number of segments.
+func (p *SegmentPlan) NumSegments() int { return p.numSegments }
+
+// BlocksPerSegment returns m, the nominal segment width in blocks.
+func (p *SegmentPlan) BlocksPerSegment() int { return p.perSegment }
+
+// Blocks returns the block ids in segment seg (0-based).
+func (p *SegmentPlan) Blocks(seg int) []BlockID {
+	if seg < 0 || seg >= p.numSegments {
+		panic(fmt.Sprintf("dfs: segment %d out of range [0,%d)", seg, p.numSegments))
+	}
+	lo := seg * p.perSegment
+	hi := lo + p.perSegment
+	if hi > p.file.NumBlocks {
+		hi = p.file.NumBlocks
+	}
+	out := make([]BlockID, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, BlockID{File: p.file.Name, Index: i})
+	}
+	return out
+}
+
+// SegmentOf returns the segment that contains block index blockIdx.
+func (p *SegmentPlan) SegmentOf(blockIdx int) int {
+	if blockIdx < 0 || blockIdx >= p.file.NumBlocks {
+		panic(fmt.Sprintf("dfs: block index %d out of range [0,%d)", blockIdx, p.file.NumBlocks))
+	}
+	return blockIdx / p.perSegment
+}
+
+// SegmentBytes returns the total bytes in segment seg.
+func (p *SegmentPlan) SegmentBytes(seg int) int64 {
+	var total int64
+	for _, b := range p.Blocks(seg) {
+		total += p.file.BlockLen(b.Index)
+	}
+	return total
+}
+
+// CircularOrder returns the segments in the order a job admitted at
+// segment start processes them: start, start+1, …, k-1, 0, …, start-1
+// (paper §IV-B round-robin data scan).
+func (p *SegmentPlan) CircularOrder(start int) []int {
+	if start < 0 || start >= p.numSegments {
+		panic(fmt.Sprintf("dfs: start segment %d out of range [0,%d)", start, p.numSegments))
+	}
+	out := make([]int, p.numSegments)
+	for i := range out {
+		out[i] = (start + i) % p.numSegments
+	}
+	return out
+}
+
+// Next returns the segment after seg in circular order.
+func (p *SegmentPlan) Next(seg int) int {
+	if seg < 0 || seg >= p.numSegments {
+		panic(fmt.Sprintf("dfs: segment %d out of range [0,%d)", seg, p.numSegments))
+	}
+	return (seg + 1) % p.numSegments
+}
+
+// Distance returns how many forward steps separate segment from target
+// in circular order (0 when equal). A job admitted at segment s
+// finishes after processing the segment at distance k-1 from s.
+func (p *SegmentPlan) Distance(from, to int) int {
+	if from < 0 || from >= p.numSegments || to < 0 || to >= p.numSegments {
+		panic(fmt.Sprintf("dfs: segment pair (%d,%d) out of range [0,%d)", from, to, p.numSegments))
+	}
+	return (to - from + p.numSegments) % p.numSegments
+}

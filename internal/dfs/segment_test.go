@@ -1,0 +1,260 @@
+package dfs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustPlan(t *testing.T, numBlocks, perSegment int) *SegmentPlan {
+	t.Helper()
+	s := NewStore(4, 1)
+	f, err := s.AddMetaFile("f", numBlocks, 64)
+	if err != nil {
+		t.Fatalf("AddMetaFile: %v", err)
+	}
+	p, err := PlanSegments(f, perSegment)
+	if err != nil {
+		t.Fatalf("PlanSegments: %v", err)
+	}
+	return p
+}
+
+func TestPlanExactDivision(t *testing.T) {
+	p := mustPlan(t, 12, 3)
+	if p.NumSegments() != 4 {
+		t.Fatalf("NumSegments = %d, want 4", p.NumSegments())
+	}
+	for seg := 0; seg < 4; seg++ {
+		blocks := p.Blocks(seg)
+		if len(blocks) != 3 {
+			t.Fatalf("segment %d has %d blocks, want 3", seg, len(blocks))
+		}
+		for j, b := range blocks {
+			if b.Index != seg*3+j {
+				t.Fatalf("segment %d block %d = index %d, want %d", seg, j, b.Index, seg*3+j)
+			}
+		}
+	}
+}
+
+func TestPlanRaggedTail(t *testing.T) {
+	p := mustPlan(t, 10, 4)
+	if p.NumSegments() != 3 {
+		t.Fatalf("NumSegments = %d, want 3", p.NumSegments())
+	}
+	if got := len(p.Blocks(2)); got != 2 {
+		t.Fatalf("last segment has %d blocks, want 2", got)
+	}
+}
+
+func TestPlanSingleSegment(t *testing.T) {
+	p := mustPlan(t, 3, 10)
+	if p.NumSegments() != 1 {
+		t.Fatalf("NumSegments = %d, want 1", p.NumSegments())
+	}
+	if got := len(p.Blocks(0)); got != 3 {
+		t.Fatalf("segment 0 has %d blocks, want 3", got)
+	}
+}
+
+func TestPlanRejectsBadInput(t *testing.T) {
+	if _, err := PlanSegments(nil, 3); err == nil {
+		t.Error("nil file should fail")
+	}
+	s := NewStore(2, 1)
+	f, _ := s.AddMetaFile("f", 4, 64)
+	if _, err := PlanSegments(f, 0); err == nil {
+		t.Error("zero blocksPerSegment should fail")
+	}
+	if _, err := PlanSegments(f, -1); err == nil {
+		t.Error("negative blocksPerSegment should fail")
+	}
+}
+
+func TestSegmentOf(t *testing.T) {
+	p := mustPlan(t, 10, 4)
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2}
+	for i, w := range want {
+		if got := p.SegmentOf(i); got != w {
+			t.Fatalf("SegmentOf(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestCircularOrder(t *testing.T) {
+	p := mustPlan(t, 12, 3) // 4 segments
+	got := p.CircularOrder(2)
+	want := []int{2, 3, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CircularOrder(2) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNextWraps(t *testing.T) {
+	p := mustPlan(t, 12, 3)
+	if p.Next(3) != 0 {
+		t.Fatalf("Next(3) = %d, want 0", p.Next(3))
+	}
+	if p.Next(1) != 2 {
+		t.Fatalf("Next(1) = %d, want 2", p.Next(1))
+	}
+}
+
+func TestDistance(t *testing.T) {
+	p := mustPlan(t, 12, 3) // 4 segments
+	cases := []struct{ from, to, want int }{
+		{0, 0, 0}, {0, 3, 3}, {3, 0, 1}, {2, 1, 3}, {1, 2, 1},
+	}
+	for _, c := range cases {
+		if got := p.Distance(c.from, c.to); got != c.want {
+			t.Fatalf("Distance(%d,%d) = %d, want %d", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestSegmentBytes(t *testing.T) {
+	s := NewStore(2, 1)
+	blocks := mkBlocks(5, 64)
+	blocks[4] = blocks[4][:16]
+	f, err := s.AddFile("f", 64, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PlanSegments(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.SegmentBytes(0); got != 128 {
+		t.Fatalf("SegmentBytes(0) = %d, want 128", got)
+	}
+	if got := p.SegmentBytes(2); got != 16 {
+		t.Fatalf("SegmentBytes(2) = %d, want 16", got)
+	}
+}
+
+// Property: a segment plan partitions the block list — every block
+// appears in exactly one segment, in order.
+func TestPlanPartitionProperty(t *testing.T) {
+	prop := func(nBlocks8, per8 uint8) bool {
+		nBlocks := int(nBlocks8%200) + 1
+		per := int(per8%50) + 1
+		s := NewStore(4, 1)
+		f, err := s.AddMetaFile("f", nBlocks, 64)
+		if err != nil {
+			return false
+		}
+		p, err := PlanSegments(f, per)
+		if err != nil {
+			return false
+		}
+		var all []BlockID
+		for seg := 0; seg < p.NumSegments(); seg++ {
+			blocks := p.Blocks(seg)
+			if seg < p.NumSegments()-1 && len(blocks) != per {
+				return false
+			}
+			all = append(all, blocks...)
+		}
+		if len(all) != nBlocks {
+			return false
+		}
+		for i, b := range all {
+			if b.Index != i || p.SegmentOf(i) > seg(len(all), per, i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func seg(_, per, i int) int { return i / per }
+
+// Property: CircularOrder visits every segment exactly once from any
+// starting point, beginning at the start segment.
+func TestCircularOrderProperty(t *testing.T) {
+	prop := func(nBlocks8, per8, start8 uint8) bool {
+		nBlocks := int(nBlocks8%200) + 1
+		per := int(per8%50) + 1
+		s := NewStore(4, 1)
+		f, err := s.AddMetaFile("f", nBlocks, 64)
+		if err != nil {
+			return false
+		}
+		p, err := PlanSegments(f, per)
+		if err != nil {
+			return false
+		}
+		start := int(start8) % p.NumSegments()
+		order := p.CircularOrder(start)
+		if len(order) != p.NumSegments() || order[0] != start {
+			return false
+		}
+		seen := make(map[int]bool, len(order))
+		for i, sgt := range order {
+			if seen[sgt] {
+				return false
+			}
+			seen[sgt] = true
+			if i > 0 && sgt != p.Next(order[i-1]) {
+				return false
+			}
+		}
+		return len(seen) == p.NumSegments()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Distance is consistent with walking the circular order.
+func TestDistanceProperty(t *testing.T) {
+	prop := func(k8, from8, to8 uint8) bool {
+		k := int(k8%30) + 1
+		s := NewStore(4, 1)
+		f, err := s.AddMetaFile("f", k, 64)
+		if err != nil {
+			return false
+		}
+		p, err := PlanSegments(f, 1) // k segments of 1 block
+		if err != nil {
+			return false
+		}
+		from := int(from8) % k
+		to := int(to8) % k
+		d := p.Distance(from, to)
+		cur := from
+		for i := 0; i < d; i++ {
+			cur = p.Next(cur)
+		}
+		return cur == to && d >= 0 && d < k
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentPanicsOnBadIndex(t *testing.T) {
+	p := mustPlan(t, 8, 4)
+	for _, fn := range []func(){
+		func() { p.Blocks(-1) },
+		func() { p.Blocks(2) },
+		func() { p.SegmentOf(8) },
+		func() { p.CircularOrder(2) },
+		func() { p.Next(-1) },
+		func() { p.Distance(0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on out-of-range segment index")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,116 @@
+package dfs
+
+import "fmt"
+
+// Rack topology. The paper's cluster is organized in three racks of
+// 10-15 nodes (§V-A); rack placement matters because a block fetched
+// across racks crosses the aggregation switch. The store's default is
+// a single rack; SetRacks splits the nodes into contiguous,
+// near-equal groups and re-places existing replicas rack-aware.
+//
+// Placement policy with topology (HDFS's default):
+//
+//	replica 1: the block's home node;
+//	replica 2: a node on a *different* rack;
+//	replica 3: a different node on replica 2's rack;
+//	further replicas: spread round-robin.
+
+// SetRacks organizes the store's nodes into numRacks contiguous racks
+// and re-places all existing blocks rack-aware. It must be called
+// before files are added for placement to matter; calling it later
+// re-places everything (cheap — placement is metadata).
+func (s *Store) SetRacks(numRacks int) error {
+	if numRacks <= 0 || numRacks > s.nodes {
+		return fmt.Errorf("dfs: %d racks invalid for %d nodes", numRacks, s.nodes)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.racks = numRacks
+	for id := range s.placement {
+		s.placement[id] = s.placeLocked(id.Index)
+	}
+	return nil
+}
+
+// Racks returns the number of racks (1 when no topology is set).
+func (s *Store) Racks() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.racks == 0 {
+		return 1
+	}
+	return s.racks
+}
+
+// Rack returns the rack index of a node.
+func (s *Store) Rack(node NodeID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rackLocked(node)
+}
+
+func (s *Store) rackLocked(node NodeID) int {
+	if s.racks <= 1 {
+		return 0
+	}
+	// Contiguous near-equal split: rack r holds nodes
+	// [r*n/racks, (r+1)*n/racks).
+	return int(node) * s.racks / s.nodes
+}
+
+// rackPeers returns the nodes on the given rack.
+func (s *Store) rackPeersLocked(rack int) []NodeID {
+	var out []NodeID
+	for n := 0; n < s.nodes; n++ {
+		if s.rackLocked(NodeID(n)) == rack {
+			out = append(out, NodeID(n))
+		}
+	}
+	return out
+}
+
+// placeLocked computes the replica list for block index i under the
+// current topology.
+func (s *Store) placeLocked(i int) []NodeID {
+	home := NodeID(i % s.nodes)
+	if s.replicas == 1 || s.racks <= 1 {
+		// No topology: consecutive nodes (the original policy).
+		out := make([]NodeID, s.replicas)
+		for r := 0; r < s.replicas; r++ {
+			out[r] = NodeID((i + r) % s.nodes)
+		}
+		return out
+	}
+	out := []NodeID{home}
+	used := map[NodeID]bool{home: true}
+	homeRack := s.rackLocked(home)
+
+	// Replica 2: a node on a different rack, chosen deterministically
+	// from the block index.
+	otherRack := (homeRack + 1 + i%(s.racks-1)) % s.racks
+	peers := s.rackPeersLocked(otherRack)
+	second := peers[i%len(peers)]
+	out = append(out, second)
+	used[second] = true
+
+	// Replica 3: another node on replica 2's rack if possible.
+	if s.replicas >= 3 {
+		for off := 1; off <= len(peers); off++ {
+			cand := peers[(i+off)%len(peers)]
+			if !used[cand] {
+				out = append(out, cand)
+				used[cand] = true
+				break
+			}
+		}
+	}
+	// Any further replicas: round-robin over remaining nodes.
+	for n := 0; len(out) < s.replicas && n < s.nodes; n++ {
+		cand := NodeID((i + n) % s.nodes)
+		if !used[cand] {
+			out = append(out, cand)
+			used[cand] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package dfs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetRacksValidation(t *testing.T) {
+	s := NewStore(6, 1)
+	if err := s.SetRacks(0); err == nil {
+		t.Error("0 racks should fail")
+	}
+	if err := s.SetRacks(7); err == nil {
+		t.Error("more racks than nodes should fail")
+	}
+	if err := s.SetRacks(3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Racks() != 3 {
+		t.Errorf("Racks = %d", s.Racks())
+	}
+}
+
+func TestRackAssignmentContiguous(t *testing.T) {
+	s := NewStore(12, 1)
+	if err := s.SetRacks(3); err != nil {
+		t.Fatal(err)
+	}
+	// 12 nodes over 3 racks: 0-3, 4-7, 8-11.
+	for n := 0; n < 12; n++ {
+		want := n / 4
+		if got := s.Rack(NodeID(n)); got != want {
+			t.Errorf("Rack(%d) = %d, want %d", n, got, want)
+		}
+	}
+	// No topology: everything rack 0.
+	s2 := NewStore(4, 1)
+	if s2.Rack(3) != 0 || s2.Racks() != 1 {
+		t.Error("default topology should be a single rack")
+	}
+}
+
+func TestRackAwarePlacement(t *testing.T) {
+	s := NewStore(12, 3)
+	if err := s.SetRacks(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddMetaFile("f", 24, 64); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		locs := s.Locations(BlockID{File: "f", Index: i})
+		if len(locs) != 3 {
+			t.Fatalf("block %d has %d replicas", i, len(locs))
+		}
+		if locs[0] != NodeID(i%12) {
+			t.Errorf("block %d first replica on %d, want home %d", i, locs[0], i%12)
+		}
+		homeRack := s.Rack(locs[0])
+		secondRack := s.Rack(locs[1])
+		thirdRack := s.Rack(locs[2])
+		if secondRack == homeRack {
+			t.Errorf("block %d second replica on home rack", i)
+		}
+		if thirdRack != secondRack {
+			t.Errorf("block %d third replica on rack %d, want %d (same as second)", i, thirdRack, secondRack)
+		}
+		// All distinct nodes.
+		seen := map[NodeID]bool{}
+		for _, n := range locs {
+			if seen[n] {
+				t.Errorf("block %d repeats node %d", i, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestSetRacksReplacesExistingFiles(t *testing.T) {
+	s := NewStore(12, 3)
+	if _, err := s.AddMetaFile("f", 6, 64); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Locations(BlockID{File: "f", Index: 0})
+	if err := s.SetRacks(3); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Locations(BlockID{File: "f", Index: 0})
+	if s.Rack(after[1]) == s.Rack(after[0]) {
+		t.Errorf("re-placement not rack-aware: %v (racks %d,%d)", after, s.Rack(after[0]), s.Rack(after[1]))
+	}
+	_ = before
+}
+
+// Property: under any topology, every block keeps exactly `replicas`
+// distinct replica holders and replica 2 is always off the home rack
+// when more than one rack exists.
+func TestRackPlacementProperty(t *testing.T) {
+	prop := func(nodes8, racks8, reps8, blocks8 uint8) bool {
+		nodes := int(nodes8%20) + 2
+		racks := int(racks8%uint8(nodes)) + 1
+		reps := int(reps8%3) + 1
+		if reps > nodes {
+			reps = nodes
+		}
+		blocks := int(blocks8%40) + 1
+
+		s := NewStore(nodes, reps)
+		if err := s.SetRacks(racks); err != nil {
+			return false
+		}
+		if _, err := s.AddMetaFile("f", blocks, 64); err != nil {
+			return false
+		}
+		for i := 0; i < blocks; i++ {
+			locs := s.Locations(BlockID{File: "f", Index: i})
+			if len(locs) != reps {
+				return false
+			}
+			seen := map[NodeID]bool{}
+			for _, n := range locs {
+				if seen[n] || int(n) < 0 || int(n) >= nodes {
+					return false
+				}
+				seen[n] = true
+			}
+			if reps >= 2 && racks >= 2 && s.Rack(locs[1]) == s.Rack(locs[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package driver runs an arrival sequence of jobs through a scheduler
+// and an executor under a virtual clock, producing the per-job timings
+// the paper's metrics are computed from.
+//
+// The same driver serves both execution substrates: the real
+// in-process MapReduce engine (rounds take measured wall time) and the
+// discrete-event cost model (rounds take computed time). Either way
+// the loop is the paper's: the cluster runs one merged round at a
+// time; jobs arriving while a round is in flight are submitted to the
+// scheduler before the next round is formed, which is exactly the
+// window S^3's sub-job alignment exploits.
+package driver
+
+import (
+	"fmt"
+	"sort"
+
+	"s3sched/internal/metrics"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/vclock"
+)
+
+// Executor runs one round of cluster work and reports how long it took.
+type Executor interface {
+	ExecRound(r scheduler.Round) (vclock.Duration, error)
+}
+
+// ExecutorFunc adapts a function to Executor.
+type ExecutorFunc func(r scheduler.Round) (vclock.Duration, error)
+
+// ExecRound calls f.
+func (f ExecutorFunc) ExecRound(r scheduler.Round) (vclock.Duration, error) { return f(r) }
+
+// Arrival is one job submission event.
+type Arrival struct {
+	Job scheduler.JobMeta
+	At  vclock.Time
+}
+
+// Stalled is implemented by schedulers that can report a permanent
+// stall (MRShare with an unfillable batch). The driver surfaces it as
+// an error instead of spinning forever.
+type Stalled interface {
+	Stalled() bool
+}
+
+// Waker is implemented by time-driven schedulers (e.g. window-based
+// batchers) that may have work at a future instant even with no
+// arrivals left. The driver advances the clock to the wake time when
+// the scheduler is otherwise idle.
+type Waker interface {
+	// NextWake returns the next time the scheduler should be polled
+	// again, or ok=false when it has no timed work.
+	NextWake(now vclock.Time) (vclock.Time, bool)
+}
+
+// Result is the outcome of one driver run.
+type Result struct {
+	Metrics *metrics.Collector
+	Rounds  int
+	// End is the virtual time when the last job completed.
+	End vclock.Time
+}
+
+// Hooks observe the run loop. Both callbacks are invoked from the
+// driver's goroutine, so they may read scheduler state safely but must
+// not call back into it.
+type Hooks struct {
+	// OnRoundStart fires after a round is formed, before it executes.
+	OnRoundStart func(r scheduler.Round, now vclock.Time)
+	// OnRoundDone fires after the round is retired, with the jobs that
+	// completed in it.
+	OnRoundDone func(r scheduler.Round, now vclock.Time, completed []scheduler.JobID)
+}
+
+// Run feeds the arrivals through the scheduler, executing rounds until
+// every submitted job completes. Arrivals may be given in any order;
+// they are processed by time, ties by job id.
+func Run(sched scheduler.Scheduler, exec Executor, arrivals []Arrival) (*Result, error) {
+	return RunWithHooks(sched, exec, arrivals, Hooks{})
+}
+
+// RunWithHooks is Run with observation callbacks.
+func RunWithHooks(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, hooks Hooks) (*Result, error) {
+	evs := make([]Arrival, len(arrivals))
+	copy(evs, arrivals)
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		return evs[i].Job.ID < evs[j].Job.ID
+	})
+	for i, a := range evs {
+		if a.At < 0 {
+			return nil, fmt.Errorf("driver: arrival %d at negative time %v", i, a.At)
+		}
+	}
+
+	clock := vclock.NewVirtual()
+	coll := metrics.NewCollector()
+	res := &Result{Metrics: coll}
+	next := 0 // index of next undelivered arrival
+
+	deliverDue := func(now vclock.Time) error {
+		for next < len(evs) && evs[next].At <= now {
+			a := evs[next]
+			if err := sched.Submit(a.Job, a.At); err != nil {
+				return err
+			}
+			coll.Submit(a.Job.ID, a.At)
+			next++
+		}
+		return nil
+	}
+
+	for {
+		now := clock.Now()
+		if err := deliverDue(now); err != nil {
+			return nil, err
+		}
+		r, ok := sched.NextRound(now)
+		if !ok {
+			// Idle: sleep until whichever comes first — the next
+			// arrival or the scheduler's own timer (window batchers).
+			var target vclock.Time
+			haveTarget := false
+			if next < len(evs) {
+				target = evs[next].At
+				haveTarget = true
+			}
+			if w, isWaker := sched.(Waker); isWaker {
+				if wake, wok := w.NextWake(now); wok && wake > now && (!haveTarget || wake < target) {
+					target = wake
+					haveTarget = true
+				}
+			}
+			if haveTarget {
+				if target < now {
+					target = now
+				}
+				clock.AdvanceTo(target)
+				continue
+			}
+			// No work, no arrivals, no timers.
+			if sched.PendingJobs() > 0 {
+				if st, isSt := sched.(Stalled); isSt && st.Stalled() {
+					return nil, fmt.Errorf("driver: scheduler %q stalled with %d pending job(s): %v",
+						sched.Name(), sched.PendingJobs(), coll.Incomplete())
+				}
+				return nil, fmt.Errorf("driver: scheduler %q idle but %d job(s) incomplete: %v",
+					sched.Name(), sched.PendingJobs(), coll.Incomplete())
+			}
+			break
+		}
+		// The launch of a round is each included job's transition
+		// from waiting to processing (§III-B decomposition).
+		for _, id := range r.JobIDs() {
+			coll.Start(id, now)
+		}
+		if hooks.OnRoundStart != nil {
+			hooks.OnRoundStart(r, now)
+		}
+		dur, err := exec.ExecRound(r)
+		if err != nil {
+			return nil, fmt.Errorf("driver: round over segment %d failed: %w", r.Segment, err)
+		}
+		if dur < 0 {
+			return nil, fmt.Errorf("driver: executor returned negative duration %v", dur)
+		}
+		res.Rounds++
+		clock.Advance(dur)
+		now = clock.Now()
+		// Jobs that arrived while the round ran join the queue before
+		// the round is retired, so the very next round can include
+		// them (S^3 dynamic sub-job adjustment, §IV-D2).
+		if err := deliverDue(now); err != nil {
+			return nil, err
+		}
+		completed := sched.RoundDone(r, now)
+		for _, id := range completed {
+			coll.Complete(id, now)
+		}
+		if hooks.OnRoundDone != nil {
+			hooks.OnRoundDone(r, now, completed)
+		}
+	}
+	res.End = clock.Now()
+	return res, nil
+}

@@ -1,0 +1,207 @@
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"s3sched/internal/core"
+	"s3sched/internal/dfs"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/vclock"
+)
+
+func makePlan(t *testing.T, numBlocks, perSegment int) *dfs.SegmentPlan {
+	t.Helper()
+	store := dfs.NewStore(4, 1)
+	f, err := store.AddMetaFile("input", numBlocks, 64<<20)
+	if err != nil {
+		t.Fatalf("AddMetaFile: %v", err)
+	}
+	p, err := dfs.PlanSegments(f, perSegment)
+	if err != nil {
+		t.Fatalf("PlanSegments: %v", err)
+	}
+	return p
+}
+
+func job(id int) scheduler.JobMeta {
+	return scheduler.JobMeta{ID: scheduler.JobID(id), File: "input", Weight: 1, ReduceWeight: 1}
+}
+
+// fixed returns an executor where every round takes d seconds.
+func fixed(d vclock.Duration) Executor {
+	return ExecutorFunc(func(scheduler.Round) (vclock.Duration, error) { return d, nil })
+}
+
+func TestRunFIFOSequential(t *testing.T) {
+	p := makePlan(t, 10, 1) // 10 segments, 10s each -> 100s per job
+	f := scheduler.NewFIFO(p, nil)
+	res, err := Run(f, fixed(10), []Arrival{
+		{Job: job(1), At: 0},
+		{Job: job(2), At: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tet, _ := res.Metrics.TET()
+	art, _ := res.Metrics.ART()
+	if tet != 200 || art != 140 {
+		t.Errorf("FIFO TET/ART = %v/%v, want 200/140 (paper Example 1)", tet, art)
+	}
+	if res.Rounds != 20 {
+		t.Errorf("rounds = %d, want 20", res.Rounds)
+	}
+}
+
+func TestRunS3SharedScan(t *testing.T) {
+	p := makePlan(t, 10, 1)
+	s := core.New(p, nil)
+	res, err := Run(s, fixed(10), []Arrival{
+		{Job: job(1), At: 0},
+		{Job: job(2), At: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tet, _ := res.Metrics.TET()
+	art, _ := res.Metrics.ART()
+	if tet != 120 || art != 100 {
+		t.Errorf("S3 TET/ART = %v/%v, want 120/100 (paper Example 3)", tet, art)
+	}
+	// 12 rounds: segments 0..9 for job 1, plus 0,1 again for job 2.
+	if res.Rounds != 12 {
+		t.Errorf("rounds = %d, want 12", res.Rounds)
+	}
+}
+
+func TestRunIdleGapBetweenJobs(t *testing.T) {
+	p := makePlan(t, 2, 1) // 2 segments, job takes 2 rounds
+	s := core.New(p, nil)
+	res, err := Run(s, fixed(5), []Arrival{
+		{Job: job(1), At: 0},
+		{Job: job(2), At: 100}, // long after job 1 finished
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt1, _ := res.Metrics.ResponseTime(1)
+	rt2, _ := res.Metrics.ResponseTime(2)
+	if rt1 != 10 || rt2 != 10 {
+		t.Errorf("response times = %v/%v, want 10/10 (no interference)", rt1, rt2)
+	}
+	tet, _ := res.Metrics.TET()
+	if tet != 110 {
+		t.Errorf("TET = %v, want 110 (idle gap included)", tet)
+	}
+	if res.End != 110 {
+		t.Errorf("End = %v, want 110", res.End)
+	}
+}
+
+func TestRunArrivalsUnsorted(t *testing.T) {
+	p := makePlan(t, 2, 1)
+	s := core.New(p, nil)
+	res, err := Run(s, fixed(1), []Arrival{
+		{Job: job(2), At: 50},
+		{Job: job(1), At: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Jobs() != 2 {
+		t.Errorf("jobs = %d", res.Metrics.Jobs())
+	}
+}
+
+func TestRunRejectsNegativeArrival(t *testing.T) {
+	p := makePlan(t, 2, 1)
+	s := core.New(p, nil)
+	if _, err := Run(s, fixed(1), []Arrival{{Job: job(1), At: -5}}); err == nil {
+		t.Error("negative arrival should fail")
+	}
+}
+
+func TestRunExecutorErrorPropagates(t *testing.T) {
+	p := makePlan(t, 2, 1)
+	s := core.New(p, nil)
+	boom := errors.New("exec-fail")
+	exec := ExecutorFunc(func(scheduler.Round) (vclock.Duration, error) { return 0, boom })
+	if _, err := Run(s, exec, []Arrival{{Job: job(1), At: 0}}); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestRunNegativeDurationRejected(t *testing.T) {
+	p := makePlan(t, 2, 1)
+	s := core.New(p, nil)
+	exec := ExecutorFunc(func(scheduler.Round) (vclock.Duration, error) { return -1, nil })
+	if _, err := Run(s, exec, []Arrival{{Job: job(1), At: 0}}); err == nil {
+		t.Error("negative duration should fail")
+	}
+}
+
+func TestRunMRShareStallSurfaces(t *testing.T) {
+	p := makePlan(t, 2, 1)
+	m, err := scheduler.NewMRShare(p, []int{3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 2 of 3 batch members ever arrive.
+	_, err = Run(m, fixed(1), []Arrival{
+		{Job: job(1), At: 0},
+		{Job: job(2), At: 1},
+	})
+	if err == nil || !strings.Contains(err.Error(), "stalled") {
+		t.Errorf("err = %v, want stall report", err)
+	}
+}
+
+func TestRunSubmitErrorPropagates(t *testing.T) {
+	p := makePlan(t, 2, 1)
+	s := core.New(p, nil)
+	_, err := Run(s, fixed(1), []Arrival{
+		{Job: job(1), At: 0},
+		{Job: job(1), At: 1}, // duplicate id
+	})
+	if !errors.Is(err, scheduler.ErrDuplicateJob) {
+		t.Errorf("err = %v, want ErrDuplicateJob", err)
+	}
+}
+
+func TestRunEmptyArrivals(t *testing.T) {
+	p := makePlan(t, 2, 1)
+	s := core.New(p, nil)
+	res, err := Run(s, fixed(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || res.Metrics.Jobs() != 0 {
+		t.Errorf("empty run = %+v", res)
+	}
+}
+
+func TestRunMidRoundArrivalJoinsNextRound(t *testing.T) {
+	p := makePlan(t, 4, 1) // 4 segments
+	s := core.New(p, nil)
+	var batchSizes []int
+	exec := ExecutorFunc(func(r scheduler.Round) (vclock.Duration, error) {
+		batchSizes = append(batchSizes, len(r.Jobs))
+		return 10, nil
+	})
+	// Job 2 arrives at t=5, during job 1's first round (0..10). It
+	// must share every round from the second on.
+	_, err := Run(s, exec, []Arrival{
+		{Job: job(1), At: 0},
+		{Job: job(2), At: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprint([]int{1, 2, 2, 2, 1}) // seg0 alone; 1..3 shared; seg0 again for job 2...
+	// Job 2 needs 4 segments: 1,2,3,0 -> rounds: [1],[2],[2],[2],[1]
+	if got := fmt.Sprint(batchSizes); got != want {
+		t.Errorf("batch sizes = %v, want %v", got, want)
+	}
+}

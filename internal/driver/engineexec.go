@@ -1,0 +1,192 @@
+package driver
+
+import (
+	"fmt"
+
+	"s3sched/internal/mapreduce"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/vclock"
+)
+
+// OutputMode selects how an S^3 job's output accumulates across its
+// sub-job rounds (§V-G's output collection schemes).
+type OutputMode int
+
+const (
+	// AccumulateShuffle carries raw shuffle records between rounds and
+	// runs one reduce phase when the job completes. Minimal reduce
+	// work, but the carried state grows with the input.
+	AccumulateShuffle OutputMode = iota
+	// PerRoundReduce runs every merged sub-job's reduce at the end of
+	// its round — the paper's actual execution, where each sub-job is
+	// a complete MapReduce job producing a partial result — and folds
+	// the partial outputs into the final answer at completion. The
+	// fold applies the job's Reducer to the concatenated partials, so
+	// the mode requires reducers whose outputs can be re-reduced
+	// (sums, counts, min/max, or map-only jobs); this is the same
+	// restriction §V-G places on its aggregation-query optimization.
+	PerRoundReduce
+)
+
+// EngineExecutor runs rounds on the real in-process MapReduce engine:
+// every block in a round is physically scanned once and fed to every
+// job in the batch, and jobs' reduce phases run when their last round
+// completes. Round duration is the measured wall time, scaled by
+// TimeScale so scaled-down datasets can stand in for paper-sized ones
+// without distorting the scheduler's relative timings.
+type EngineExecutor struct {
+	engine *mapreduce.Engine
+	specs  map[scheduler.JobID]mapreduce.JobSpec
+	// timeScale converts measured wall seconds into virtual seconds
+	// (default 1).
+	timeScale float64
+	// compact, when non-nil, folds each job's accumulated intermediate
+	// records through this combiner after every round — the §V-G
+	// output-collection optimization for aggregation queries.
+	compact mapreduce.Reducer
+
+	mode OutputMode
+
+	clock   *vclock.Wall
+	running map[scheduler.JobID]*mapreduce.Running
+	results map[scheduler.JobID]*mapreduce.Result
+	// partials accumulates per-round reduced outputs in PerRoundReduce
+	// mode.
+	partials map[scheduler.JobID][]mapreduce.KV
+	// peakCarried tracks the largest record count carried between
+	// rounds per job — the state-size measurement §V-G's schemes trade
+	// against.
+	peakCarried map[scheduler.JobID]int
+}
+
+// NewEngineExecutor builds an executor over the engine. specs maps
+// every job id the schedulers will see to its executable definition.
+func NewEngineExecutor(engine *mapreduce.Engine, specs map[scheduler.JobID]mapreduce.JobSpec) *EngineExecutor {
+	return &EngineExecutor{
+		engine:      engine,
+		specs:       specs,
+		timeScale:   1,
+		clock:       vclock.NewWall(),
+		running:     make(map[scheduler.JobID]*mapreduce.Running),
+		results:     make(map[scheduler.JobID]*mapreduce.Result),
+		partials:    make(map[scheduler.JobID][]mapreduce.KV),
+		peakCarried: make(map[scheduler.JobID]int),
+	}
+}
+
+// SetOutputMode selects the output collection scheme. Must be called
+// before the first round.
+func (e *EngineExecutor) SetOutputMode(mode OutputMode) {
+	if len(e.running) > 0 || len(e.results) > 0 {
+		panic("driver: SetOutputMode after execution started")
+	}
+	e.mode = mode
+}
+
+// PeakCarriedRecords reports the largest intermediate record count the
+// executor carried between rounds for the job.
+func (e *EngineExecutor) PeakCarriedRecords(id scheduler.JobID) int {
+	return e.peakCarried[id]
+}
+
+func (e *EngineExecutor) trackCarried(id scheduler.JobID, n int) {
+	if n > e.peakCarried[id] {
+		e.peakCarried[id] = n
+	}
+}
+
+// SetTimeScale sets the virtual-seconds-per-wall-second factor.
+func (e *EngineExecutor) SetTimeScale(scale float64) {
+	if scale <= 0 {
+		panic(fmt.Sprintf("driver: time scale must be positive, got %v", scale))
+	}
+	e.timeScale = scale
+}
+
+// EnablePartialAggregation folds every job's intermediate records
+// through combiner after each round (§V-G): partial aggregates shrink
+// the state carried between sub-jobs and let the final aggregation
+// start from near-finished results.
+func (e *EngineExecutor) EnablePartialAggregation(combiner mapreduce.Reducer) {
+	e.compact = combiner
+}
+
+// Results returns the completed jobs' outputs keyed by job id.
+func (e *EngineExecutor) Results() map[scheduler.JobID]*mapreduce.Result {
+	return e.results
+}
+
+// ExecRound implements Executor.
+func (e *EngineExecutor) ExecRound(r scheduler.Round) (vclock.Duration, error) {
+	start := e.clock.Now()
+	jobs := make([]*mapreduce.Running, 0, len(r.Jobs))
+	for _, meta := range r.Jobs {
+		run, ok := e.running[meta.ID]
+		if !ok {
+			spec, have := e.specs[meta.ID]
+			if !have {
+				return 0, fmt.Errorf("driver: no JobSpec registered for job %d", meta.ID)
+			}
+			var err error
+			run, err = mapreduce.NewRunning(spec)
+			if err != nil {
+				return 0, err
+			}
+			e.running[meta.ID] = run
+		}
+		jobs = append(jobs, run)
+	}
+	if _, err := e.engine.MapRound(r.Blocks, jobs); err != nil {
+		return 0, err
+	}
+	if e.compact != nil {
+		for _, run := range jobs {
+			if err := run.Compact(e.compact); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if e.mode == PerRoundReduce {
+		// Every merged sub-job is a complete MapReduce job: reduce its
+		// round now and collect the partial output (§V-G).
+		for i, run := range jobs {
+			partial, err := e.engine.ReduceRound(run)
+			if err != nil {
+				return 0, err
+			}
+			id := r.Jobs[i].ID
+			e.partials[id] = append(e.partials[id], partial...)
+			e.trackCarried(id, len(e.partials[id]))
+		}
+	} else {
+		for i, run := range jobs {
+			e.trackCarried(r.Jobs[i].ID, run.IntermediateRecords())
+		}
+	}
+	for _, id := range r.Completes {
+		run, ok := e.running[id]
+		if !ok {
+			return 0, fmt.Errorf("driver: round completes unknown job %d", id)
+		}
+		res, err := e.engine.Finish(run)
+		if err != nil {
+			return 0, err
+		}
+		if e.mode == PerRoundReduce {
+			// Final output collection: fold the per-round partials.
+			// Finish consumed an empty shuffle space, so res.Output is
+			// empty; the fold re-reduces the partial results, which is
+			// exact for re-reducible reducers (and map-only jobs).
+			folded, err := mapreduce.ReducePartition(e.partials[id], run.Spec.Reducer)
+			if err != nil {
+				return 0, fmt.Errorf("driver: folding job %d partials: %w", id, err)
+			}
+			res.Output = folded
+			delete(e.partials, id)
+		}
+		e.results[id] = res
+		delete(e.running, id)
+	}
+	elapsed := e.clock.Now().Sub(start)
+	return vclock.Duration(elapsed.Seconds() * e.timeScale), nil
+}

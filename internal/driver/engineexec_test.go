@@ -1,0 +1,302 @@
+package driver
+
+import (
+	"fmt"
+	"testing"
+
+	"s3sched/internal/core"
+	"s3sched/internal/dfs"
+	"s3sched/internal/mapreduce"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/workload"
+)
+
+// realSetup builds a small generated corpus, a cluster, and wordcount
+// specs for n jobs.
+func realSetup(t *testing.T, blocks, n int) (*dfs.Store, *dfs.SegmentPlan, *EngineExecutor, []scheduler.JobMeta) {
+	t.Helper()
+	store := dfs.NewStore(4, 1)
+	if _, err := workload.AddTextFile(store, "corpus", blocks, 2048, 7); err != nil {
+		t.Fatal(err)
+	}
+	f, err := store.File("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := dfs.PlanSegments(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	specs := make(map[scheduler.JobID]mapreduce.JobSpec, n)
+	metas := make([]scheduler.JobMeta, n)
+	prefixes := workload.DistinctPrefixes(n)
+	for i := 0; i < n; i++ {
+		id := scheduler.JobID(i + 1)
+		specs[id] = workload.WordCountJob(fmt.Sprintf("wc%d", i), "corpus", prefixes[i], 2)
+		metas[i] = scheduler.JobMeta{ID: id, File: "corpus"}
+	}
+	return store, plan, NewEngineExecutor(engine, specs), metas
+}
+
+func TestEngineExecutorS3ProducesCorrectResults(t *testing.T) {
+	store, plan, exec, metas := realSetup(t, 8, 2)
+	// Reference: run each job alone on a fresh engine.
+	refStore := dfs.NewStore(4, 1)
+	if _, err := workload.AddTextFile(refStore, "corpus", 8, 2048, 7); err != nil {
+		t.Fatal(err)
+	}
+	refEngine := mapreduce.NewEngine(mapreduce.NewCluster(refStore, 1))
+	want := map[scheduler.JobID]string{}
+	prefixes := workload.DistinctPrefixes(2)
+	for i, meta := range metas {
+		res, err := refEngine.RunJob(workload.WordCountJob("ref", "corpus", prefixes[i], 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[meta.ID] = fmt.Sprint(res.Output)
+	}
+
+	// Drive through S3 with a staggered arrival: job 2 joins after
+	// round 1, so its scan order differs from block order.
+	s := core.New(plan, nil)
+	res, err := Run(s, exec, []Arrival{
+		{Job: metas[0], At: 0},
+		{Job: metas[1], At: 0.000001}, // arrives during round 1 (wall-timed)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Jobs() != 2 {
+		t.Fatalf("jobs = %d", res.Metrics.Jobs())
+	}
+	for id, wantOut := range want {
+		got, ok := exec.Results()[id]
+		if !ok {
+			t.Fatalf("no result for job %d", id)
+		}
+		if fmt.Sprint(got.Output) != wantOut {
+			t.Errorf("job %d output differs from isolated run", id)
+		}
+	}
+	// Shared scheduling must not have scanned more than 2 full passes.
+	if reads := store.Stats().BlockReads; reads > 16 {
+		t.Errorf("block reads = %d, want <= 16", reads)
+	}
+}
+
+func TestEngineExecutorSharedScanSavesReads(t *testing.T) {
+	// Both jobs at t=0: S3 batches every round -> exactly one pass.
+	store, plan, exec, metas := realSetup(t, 8, 3)
+	s := core.New(plan, nil)
+	_, err := Run(s, exec, []Arrival{
+		{Job: metas[0], At: 0},
+		{Job: metas[1], At: 0},
+		{Job: metas[2], At: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads := store.Stats().BlockReads; reads != 8 {
+		t.Errorf("block reads = %d, want 8 (one shared pass for 3 jobs)", reads)
+	}
+
+	// FIFO scans once per job.
+	store2, plan2, exec2, metas2 := realSetup(t, 8, 3)
+	f := scheduler.NewFIFO(plan2, nil)
+	_, err = Run(f, exec2, []Arrival{
+		{Job: metas2[0], At: 0},
+		{Job: metas2[1], At: 0},
+		{Job: metas2[2], At: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads := store2.Stats().BlockReads; reads != 24 {
+		t.Errorf("FIFO block reads = %d, want 24 (3 isolated passes)", reads)
+	}
+}
+
+func TestEngineExecutorMRShareMatchesS3Output(t *testing.T) {
+	_, plan, exec, metas := realSetup(t, 8, 2)
+	m, err := scheduler.NewMRShare(plan, []int{2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(m, exec, []Arrival{
+		{Job: metas[0], At: 0},
+		{Job: metas[1], At: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, plan2, exec2, metas2 := realSetup(t, 8, 2)
+	s := core.New(plan2, nil)
+	_, err = Run(s, exec2, []Arrival{
+		{Job: metas2[0], At: 0},
+		{Job: metas2[1], At: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []scheduler.JobID{1, 2} {
+		a := fmt.Sprint(exec.Results()[id].Output)
+		b := fmt.Sprint(exec2.Results()[id].Output)
+		if a != b {
+			t.Errorf("job %d: MRShare and S3 outputs differ", id)
+		}
+	}
+}
+
+func TestEngineExecutorPartialAggregation(t *testing.T) {
+	_, plan, exec, metas := realSetup(t, 8, 1)
+	exec.EnablePartialAggregation(workload.SumReducer{})
+
+	s := core.New(plan, nil)
+	_, err := Run(s, exec, []Arrival{{Job: metas[0], At: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withAgg := fmt.Sprint(exec.Results()[1].Output)
+
+	_, plan2, exec2, metas2 := realSetup(t, 8, 1)
+	s2 := core.New(plan2, nil)
+	if _, err := Run(s2, exec2, []Arrival{{Job: metas2[0], At: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	without := fmt.Sprint(exec2.Results()[1].Output)
+	if withAgg != without {
+		t.Error("partial aggregation changed the final result")
+	}
+}
+
+func TestEngineExecutorUnknownJob(t *testing.T) {
+	_, plan, exec, _ := realSetup(t, 4, 1)
+	s := core.New(plan, nil)
+	ghost := scheduler.JobMeta{ID: 99, File: "corpus"}
+	if _, err := Run(s, exec, []Arrival{{Job: ghost, At: 0}}); err == nil {
+		t.Error("job without a registered spec should fail")
+	}
+}
+
+func TestEngineExecutorTimeScale(t *testing.T) {
+	_, _, exec, _ := realSetup(t, 4, 1)
+	exec.SetTimeScale(100)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive scale should panic")
+		}
+	}()
+	exec.SetTimeScale(0)
+}
+
+func TestOutputModesAgree(t *testing.T) {
+	// Wordcount (re-reducible sums) staggered across rounds: the
+	// accumulate-shuffle and per-round-reduce schemes must produce
+	// identical final outputs.
+	var want map[scheduler.JobID]string
+	for _, mode := range []OutputMode{AccumulateShuffle, PerRoundReduce} {
+		_, plan, exec, metas := realSetup(t, 8, 2)
+		exec.SetOutputMode(mode)
+		exec.SetTimeScale(1e6)
+		s := core.New(plan, nil)
+		_, err := Run(s, exec, []Arrival{
+			{Job: metas[0], At: 0},
+			{Job: metas[1], At: 1},
+		})
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		got := map[scheduler.JobID]string{}
+		for id, res := range exec.Results() {
+			got[id] = fmt.Sprint(res.Output)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for id, w := range want {
+			if got[id] != w {
+				t.Errorf("mode %v: job %d output differs", mode, id)
+			}
+		}
+	}
+}
+
+func TestPerRoundReduceShrinksCarriedState(t *testing.T) {
+	_, plan, exec, metas := realSetup(t, 8, 1)
+	exec.SetTimeScale(1e6)
+	s := core.New(plan, nil)
+	if _, err := Run(s, exec, []Arrival{{Job: metas[0], At: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	accumulated := exec.PeakCarriedRecords(1)
+
+	_, plan2, exec2, metas2 := realSetup(t, 8, 1)
+	exec2.SetOutputMode(PerRoundReduce)
+	exec2.SetTimeScale(1e6)
+	s2 := core.New(plan2, nil)
+	if _, err := Run(s2, exec2, []Arrival{{Job: metas2[0], At: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	perRound := exec2.PeakCarriedRecords(1)
+	if perRound >= accumulated {
+		t.Errorf("per-round carried %d records, accumulate carried %d; expected shrink", perRound, accumulated)
+	}
+	if perRound == 0 || accumulated == 0 {
+		t.Errorf("peaks not tracked: %d / %d", perRound, accumulated)
+	}
+}
+
+func TestSetOutputModeAfterStartPanics(t *testing.T) {
+	_, plan, exec, metas := realSetup(t, 4, 1)
+	s := core.New(plan, nil)
+	if _, err := Run(s, exec, []Arrival{{Job: metas[0], At: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetOutputMode after execution should panic")
+		}
+	}()
+	exec.SetOutputMode(PerRoundReduce)
+}
+
+func TestPerRoundReduceMapOnlyJob(t *testing.T) {
+	// Selection (nil reducer): the fold is a sorted concatenation and
+	// must match the accumulate path.
+	store := dfs.NewStore(4, 1)
+	if _, err := workload.AddLineitemFile(store, "lineitem", 8, 8<<10, 3); err != nil {
+		t.Fatal(err)
+	}
+	f, err := store.File("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := dfs.PlanSegments(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	for _, mode := range []OutputMode{AccumulateShuffle, PerRoundReduce} {
+		engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+		exec := NewEngineExecutor(engine, map[scheduler.JobID]mapreduce.JobSpec{
+			1: workload.SelectionJob("sel", "lineitem", 5),
+		})
+		exec.SetOutputMode(mode)
+		exec.SetTimeScale(1e6)
+		s := core.New(plan, nil)
+		if _, err := Run(s, exec, []Arrival{{Job: scheduler.JobMeta{ID: 1, File: "lineitem"}, At: 0}}); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		got := fmt.Sprint(exec.Results()[1].Output)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("map-only outputs differ between modes")
+		}
+	}
+}

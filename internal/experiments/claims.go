@@ -1,0 +1,221 @@
+package experiments
+
+import "fmt"
+
+// The paper's qualitative claims about Figure 4 (§V-D..G), encoded as
+// machine-checkable predicates. Reproduction targets the *shape* of
+// the results — orderings, approximate ratios, crossovers — not the
+// authors' absolute seconds. CheckPaperClaims is used both by the
+// calibration harness (which searches parameters until all claims
+// hold) and by the test suite (which pins the shipped calibration).
+
+// claim is one predicate over the panel set.
+type claim struct {
+	id   string
+	desc string
+	ok   func(p map[string]PanelResult) bool
+}
+
+func tet(p PanelResult, scheme string) float64 {
+	return p.Schemes[scheme].Summary.TET.Seconds()
+}
+
+func art(p PanelResult, scheme string) float64 {
+	return p.Schemes[scheme].Summary.ART.Seconds()
+}
+
+var mrsVariants = []string{"mrs1", "mrs2", "mrs3"}
+
+func paperClaims() []claim {
+	return []claim{
+		// --- Figure 4(a): sparse, normal, 64 MB ---
+		{"a1", "fig4a: S3 has the lowest TET of all schemes", func(p map[string]PanelResult) bool {
+			a := p["a"]
+			for _, s := range []string{"fifo", "mrs1", "mrs2", "mrs3"} {
+				if tet(a, s) <= tet(a, "s3") {
+					return false
+				}
+			}
+			return true
+		}},
+		{"a2", "fig4a: S3 has the lowest ART of all schemes", func(p map[string]PanelResult) bool {
+			a := p["a"]
+			for _, s := range []string{"fifo", "mrs1", "mrs2", "mrs3"} {
+				if art(a, s) <= art(a, "s3") {
+					return false
+				}
+			}
+			return true
+		}},
+		{"a3", "fig4a: FIFO TET ≈ 2.2x S3 (within [1.5,3.0])", func(p map[string]PanelResult) bool {
+			r := tet(p["a"], "fifo") / tet(p["a"], "s3")
+			return r >= 1.5 && r <= 3.0
+		}},
+		{"a4", "fig4a: FIFO ART ≈ 2.5x S3 (within [1.8,4.0])", func(p map[string]PanelResult) bool {
+			r := art(p["a"], "fifo") / art(p["a"], "s3")
+			return r >= 1.8 && r <= 4.0
+		}},
+		{"a5", "fig4a: MRShare TET within ~1.03-1.32x S3 (allow [1.005,1.7])", func(p map[string]PanelResult) bool {
+			for _, s := range mrsVariants {
+				r := tet(p["a"], s) / tet(p["a"], "s3")
+				if r < 1.005 || r > 1.7 {
+					return false
+				}
+			}
+			return true
+		}},
+		{"a6", "fig4a: MRS1 has very high ART (worst among MRShare)", func(p map[string]PanelResult) bool {
+			a := p["a"]
+			return art(a, "mrs1") > art(a, "mrs2") && art(a, "mrs1") > art(a, "mrs3")
+		}},
+		{"a7", "fig4a: MRS2 has the shortest TET among MRShare (ties allowed)", func(p map[string]PanelResult) bool {
+			a := p["a"]
+			return tet(a, "mrs2") <= 1.01*tet(a, "mrs1") && tet(a, "mrs2") <= 1.01*tet(a, "mrs3")
+		}},
+		{"a8", "fig4a: MRS3 has the best ART among MRShare", func(p map[string]PanelResult) bool {
+			a := p["a"]
+			return art(a, "mrs3") <= art(a, "mrs1") && art(a, "mrs3") <= art(a, "mrs2")
+		}},
+
+		// --- Figure 4(b): dense, normal, 64 MB ---
+		{"b1", "fig4b: MRS1 beats S3 on TET and ART (dense favors batching)", func(p map[string]PanelResult) bool {
+			b := p["b"]
+			return tet(b, "mrs1") <= 1.01*tet(b, "s3") && art(b, "mrs1") <= 1.01*art(b, "s3")
+		}},
+		{"b2", "fig4b: MRS3 is much worse than S3 (≥1.5x TET, ≥1.25x ART)", func(p map[string]PanelResult) bool {
+			b := p["b"]
+			return tet(b, "mrs3") >= 1.5*tet(b, "s3") && art(b, "mrs3") >= 1.25*art(b, "s3")
+		}},
+		{"b3", "fig4b: FIFO absolute TET barely changes from sparse to dense (±5%)", func(p map[string]PanelResult) bool {
+			r := tet(p["b"], "fifo") / tet(p["a"], "fifo")
+			return r >= 0.95 && r <= 1.05
+		}},
+		{"b4", "fig4b: S3 beats MRS2 and MRS3 in both metrics", func(p map[string]PanelResult) bool {
+			b := p["b"]
+			return tet(b, "s3") < tet(b, "mrs2") && tet(b, "s3") < tet(b, "mrs3") &&
+				art(b, "s3") < art(b, "mrs2") && art(b, "s3") < art(b, "mrs3")
+		}},
+
+		// --- Figure 4(c): sparse, heavy, 64 MB ---
+		{"c1", "fig4c: S3 TET grows ≈40% over the normal workload (within [1.2,1.8])", func(p map[string]PanelResult) bool {
+			r := tet(p["c"], "s3") / tet(p["a"], "s3")
+			return r >= 1.2 && r <= 1.8
+		}},
+		{"c2", "fig4c: MRS2 TET at or below S3 (paper: saves 15%)", func(p map[string]PanelResult) bool {
+			return tet(p["c"], "mrs2") <= 1.02*tet(p["c"], "s3")
+		}},
+		{"c3", "fig4c: MRS3 TET grows ≈40% over its own normal-workload TET (≥1.2x)", func(p map[string]PanelResult) bool {
+			return tet(p["c"], "mrs3") >= 1.2*tet(p["a"], "mrs3")
+		}},
+		// The paper says all MRShare variants "do not perform well in
+		// ART" under the heavy workload. MRS1's batch-formation wait
+		// reproduces cleanly; MRS2/MRS3's penalty conflicts with claim
+		// c2 in any linear cost model (see EXPERIMENTS.md), so only
+		// MRS1 is pinned here.
+		{"c4", "fig4c: MRS1 has worse ART than S3 under the heavy workload", func(p map[string]PanelResult) bool {
+			return art(p["c"], "mrs1") > art(p["c"], "s3")
+		}},
+
+		// --- Figure 4(d): sparse, normal, 128 MB ---
+		{"d1", "fig4d: S3's TET edge over FIFO shrinks at 128 MB (smaller ratio than at 64 MB, still >1)", func(p map[string]PanelResult) bool {
+			r128 := tet(p["d"], "fifo") / tet(p["d"], "s3")
+			r64 := tet(p["a"], "fifo") / tet(p["a"], "s3")
+			return r128 > 1.0 && r128 < r64
+		}},
+		{"d2", "fig4d: S3 still clearly wins ART vs FIFO (≥1.3x)", func(p map[string]PanelResult) bool {
+			return art(p["d"], "fifo") >= 1.3*art(p["d"], "s3")
+		}},
+		{"d3", "fig4d: MRShare beats S3 in neither TET nor ART (1% tie tolerance)", func(p map[string]PanelResult) bool {
+			for _, s := range mrsVariants {
+				if tet(p["d"], s) < 0.99*tet(p["d"], "s3") || art(p["d"], s) < 0.99*art(p["d"], "s3") {
+					return false
+				}
+			}
+			return true
+		}},
+		{"d4", "fig4d: 128 MB blocks give the fastest single-scheme processing (S3 TET below 64 MB run)", func(p map[string]PanelResult) bool {
+			return tet(p["d"], "s3") < tet(p["a"], "s3")
+		}},
+
+		// --- Figure 4(e): sparse, normal, 32 MB ---
+		{"e1", "fig4e: all schemes slower than at 64 MB (more tasks, more overhead)", func(p map[string]PanelResult) bool {
+			for _, s := range []string{"s3", "fifo", "mrs1", "mrs2", "mrs3"} {
+				if tet(p["e"], s) <= tet(p["a"], s) {
+					return false
+				}
+			}
+			return true
+		}},
+		{"e2", "fig4e: MRShare TET 1.35-1.72x S3 (allow [1.005,2.0])", func(p map[string]PanelResult) bool {
+			for _, s := range mrsVariants {
+				r := tet(p["e"], s) / tet(p["e"], "s3")
+				if r < 1.005 || r > 2.0 {
+					return false
+				}
+			}
+			return true
+		}},
+		{"e3", "fig4e: MRShare ART 2-3.86x S3 (allow [1.25,4.3])", func(p map[string]PanelResult) bool {
+			for _, s := range mrsVariants {
+				r := art(p["e"], s) / art(p["e"], "s3")
+				if r < 1.25 || r > 4.3 {
+					return false
+				}
+			}
+			return true
+		}},
+		{"e4", "fig4e: S3 keeps its gain (best TET and ART)", func(p map[string]PanelResult) bool {
+			e := p["e"]
+			for _, s := range []string{"fifo", "mrs1", "mrs2", "mrs3"} {
+				if tet(e, s) <= tet(e, "s3") || art(e, s) <= art(e, "s3") {
+					return false
+				}
+			}
+			return true
+		}},
+
+		// --- Figure 4(f): selection workload ---
+		{"f1", "fig4f: S3 outperforms MRShare in both TET and ART", func(p map[string]PanelResult) bool {
+			f := p["f"]
+			for _, s := range mrsVariants {
+				if tet(f, s) <= tet(f, "s3") || art(f, s) <= art(f, "s3") {
+					return false
+				}
+			}
+			return true
+		}},
+		{"f2", "fig4f: FIFO much worse than S3 (TET ≥1.7x, ART ≥2x)", func(p map[string]PanelResult) bool {
+			f := p["f"]
+			return tet(f, "fifo") >= 1.7*tet(f, "s3") && art(f, "fifo") >= 2*art(f, "s3")
+		}},
+	}
+}
+
+// RunAllPanels runs every Figure 4 panel under p.
+func RunAllPanels(p Params) (map[string]PanelResult, error) {
+	out := make(map[string]PanelResult, 6)
+	for _, panel := range []string{"a", "b", "c", "d", "e", "f"} {
+		res, err := Fig4Panel(panel, p)
+		if err != nil {
+			return nil, fmt.Errorf("panel %s: %w", panel, err)
+		}
+		out[panel] = res
+	}
+	return out, nil
+}
+
+// CheckPaperClaims evaluates every encoded claim against the panel set
+// and returns the ids+descriptions of violated claims (empty when the
+// reproduction matches the paper's shape).
+func CheckPaperClaims(panels map[string]PanelResult) []string {
+	var violations []string
+	for _, c := range paperClaims() {
+		if !c.ok(panels) {
+			violations = append(violations, fmt.Sprintf("%s: %s", c.id, c.desc))
+		}
+	}
+	return violations
+}
+
+// NumPaperClaims reports how many claims are encoded.
+func NumPaperClaims() int { return len(paperClaims()) }

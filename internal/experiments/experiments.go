@@ -1,0 +1,286 @@
+// Package experiments configures and runs every experiment in the
+// paper's evaluation (§V): Table I's workload profile, Figure 3's
+// combined-job cost study, and Figure 4's six scheduling comparisons,
+// plus the ablations DESIGN.md calls out.
+//
+// Figure 4 runs on the discrete-event simulator at the paper's full
+// scale (40 nodes, 160 GB / 400 GB inputs) with a cost model
+// calibrated so a normal wordcount job takes ≈240 s alone (Table I).
+// Table I and Figure 3 run on the real in-process MapReduce engine
+// over scaled-down generated data, because they measure execution
+// profile rather than arrival timing.
+package experiments
+
+import (
+	"fmt"
+
+	"s3sched/internal/core"
+	"s3sched/internal/dfs"
+	"s3sched/internal/driver"
+	"s3sched/internal/metrics"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/sim"
+	"s3sched/internal/vclock"
+	"s3sched/internal/workload"
+)
+
+// Paper-scale constants (§V-A).
+const (
+	// Nodes is the paper's cluster: 40 slaves, one map slot each.
+	Nodes = 40
+	// SlotsPerNode is 1 in every paper experiment.
+	SlotsPerNode = 1
+	// WordcountGB is the wordcount input size (4 GB/node × 40).
+	WordcountGB = 160
+	// SelectionGB is the lineitem input size (10 GB/node × 40).
+	SelectionGB = 400
+	// NumJobs is the job count in every Figure 4 panel.
+	NumJobs = 10
+)
+
+// NormalModel is the calibrated cost model for the normal wordcount
+// workload at 64 MB blocks. With 2560 blocks in 64 segments of 40, one
+// job alone takes ≈229 s (paper Table I: ≈240 s), and combining 10
+// jobs costs ≈25% extra (paper Figure 3: 25.5%).
+// The base rates are fitted to the paper's own anchor points: a normal
+// wordcount job takes ≈240 s alone at 64 MB blocks (Table I), 128 MB
+// blocks give the fastest absolute processing and 32 MB the slowest
+// (§V-F) — which pins ScanMBps ≈ 68 and ≈2.8 s of fixed per-task cost.
+func NormalModel() sim.CostModel {
+	return sim.CostModel{
+		ScanMBps:       68,    // sequential scan rate per slot
+		MapMBps:        2048,  // light wordcount map function
+		TaskOverhead:   2.5,   // task launch + heartbeat, per block
+		DispatchPerJob: 0.05,  // merged-record dispatch per extra job
+		RoundOverhead:  0.3,   // wave coordination
+		JobSetup:       0.2,   // MR job submission (per S^3 sub-job!)
+		SharePenalty:   0.01,  // merged scan interference
+		TagPenalty:     0,     // MRShare tagging; ablation knob
+		ReducePerRound: 0.015, // small reduce output (1.5 MB)
+		ReduceSetup:    0.02,  // reduce-phase setup/commit per weight
+	}
+}
+
+// HeavyWeights returns the (map, reduce) weights that turn the normal
+// model into the heavy workload: 10x map output and 200x reduce output
+// make one job ≈1.5x slower alone (§V-B, §V-E).
+func HeavyWeights() (mapWeight, reduceWeight float64) { return 14, 25 }
+
+// Env bundles the simulator state for one Figure 4 panel.
+type Env struct {
+	Store   *dfs.Store
+	Plan    *dfs.SegmentPlan
+	Cluster *sim.Cluster
+	Model   sim.CostModel
+}
+
+// NewEnv builds a paper-scale simulation environment: a cluster of
+// Nodes nodes over a metadata-only file of inputGB gigabytes in
+// blockMB-megabyte blocks, segmented at one block per map slot.
+func NewEnv(inputGB, blockMB int, model sim.CostModel) (*Env, error) {
+	if inputGB <= 0 || blockMB <= 0 {
+		return nil, fmt.Errorf("experiments: invalid sizes inputGB=%d blockMB=%d", inputGB, blockMB)
+	}
+	numBlocks := inputGB * 1024 / blockMB
+	store := dfs.NewStore(Nodes, 1)
+	f, err := store.AddMetaFile("input", numBlocks, int64(blockMB)<<20)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := dfs.PlanSegments(f, Nodes*SlotsPerNode)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Store:   store,
+		Plan:    plan,
+		Cluster: sim.NewCluster(Nodes, SlotsPerNode),
+		Model:   model,
+	}, nil
+}
+
+// SchemeResult is one scheduling scheme's outcome in a panel.
+type SchemeResult struct {
+	Summary metrics.Summary
+	Rounds  int
+	Stats   sim.Stats
+}
+
+// PanelResult is one Figure 4 panel: all schemes, normalized to S^3.
+type PanelResult struct {
+	ID      string
+	Report  metrics.Report
+	Schemes map[string]SchemeResult
+}
+
+// SchemeSpec names a scheme and builds a fresh scheduler for a plan.
+type SchemeSpec struct {
+	Name string
+	Make func(plan *dfs.SegmentPlan) (scheduler.Scheduler, error)
+}
+
+// PaperSchemes returns the five schemes of Figure 4: S^3, FIFO, and
+// the three MRShare batching variants (§V-D).
+func PaperSchemes() []SchemeSpec {
+	return []SchemeSpec{
+		{Name: "s3", Make: func(p *dfs.SegmentPlan) (scheduler.Scheduler, error) {
+			return core.New(p, nil), nil
+		}},
+		{Name: "fifo", Make: func(p *dfs.SegmentPlan) (scheduler.Scheduler, error) {
+			return scheduler.NewFIFO(p, nil), nil
+		}},
+		{Name: "mrs1", Make: func(p *dfs.SegmentPlan) (scheduler.Scheduler, error) {
+			return scheduler.NewMRShare(p, []int{10}, nil)
+		}},
+		{Name: "mrs2", Make: func(p *dfs.SegmentPlan) (scheduler.Scheduler, error) {
+			return scheduler.NewMRShare(p, []int{6, 4}, nil)
+		}},
+		{Name: "mrs3", Make: func(p *dfs.SegmentPlan) (scheduler.Scheduler, error) {
+			return scheduler.NewMRShare(p, []int{3, 3, 4}, nil)
+		}},
+	}
+}
+
+// RunPanel runs every scheme over the same arrival sequence in env and
+// normalizes the results against S^3, like Figure 4's presentation.
+func RunPanel(id string, env *Env, metas []scheduler.JobMeta, times []vclock.Time, schemes []SchemeSpec) (PanelResult, error) {
+	if len(metas) != len(times) {
+		return PanelResult{}, fmt.Errorf("experiments: %d jobs but %d arrival times", len(metas), len(times))
+	}
+	arrivals := make([]driver.Arrival, len(metas))
+	for i := range metas {
+		arrivals[i] = driver.Arrival{Job: metas[i], At: times[i]}
+	}
+	out := PanelResult{ID: id, Schemes: make(map[string]SchemeResult)}
+	var summaries []metrics.Summary
+	for _, spec := range schemes {
+		sched, err := spec.Make(env.Plan)
+		if err != nil {
+			return PanelResult{}, fmt.Errorf("experiments: building %s: %w", spec.Name, err)
+		}
+		exec := sim.NewExecutor(env.Cluster, env.Store, env.Model)
+		res, err := driver.Run(sched, exec, arrivals)
+		if err != nil {
+			return PanelResult{}, fmt.Errorf("experiments: running %s: %w", spec.Name, err)
+		}
+		sum, err := res.Metrics.Summarize(spec.Name)
+		if err != nil {
+			return PanelResult{}, fmt.Errorf("experiments: summarizing %s: %w", spec.Name, err)
+		}
+		summaries = append(summaries, sum)
+		out.Schemes[spec.Name] = SchemeResult{Summary: sum, Rounds: res.Rounds, Stats: exec.Stats()}
+	}
+	rep, err := metrics.Normalize("s3", summaries)
+	if err != nil {
+		return PanelResult{}, err
+	}
+	out.Report = rep
+	return out, nil
+}
+
+// Params collects everything the Figure 4 panels depend on, so the
+// calibration harness (cmd/s3calibrate) can search over them and tests
+// can pin them.
+type Params struct {
+	Model sim.CostModel
+	// IntraGap/InterGap shape the sparse pattern: three groups of
+	// 3, 3 and 4 jobs, jobs IntraGap apart within a group, group
+	// starts InterGap apart (§V-D, Figure 1(b)).
+	IntraGap vclock.Duration
+	InterGap vclock.Duration
+	// DenseGap is the submission spacing in the dense pattern.
+	DenseGap vclock.Duration
+	// HeavyMapW/HeavyReduceW are the heavy workload's weights.
+	HeavyMapW    float64
+	HeavyReduceW float64
+	// SelGapScale stretches the sparse gaps for the selection panel,
+	// whose jobs are 2.5x longer (400 GB input).
+	SelGapScale float64
+}
+
+// DefaultParams returns the calibration used throughout the repo; see
+// EXPERIMENTS.md for how it was fit against the paper's reported
+// ratios.
+func DefaultParams() Params {
+	w, rw := HeavyWeights()
+	return Params{
+		Model:        NormalModel(),
+		IntraGap:     25,
+		InterGap:     230,
+		DenseGap:     5,
+		HeavyMapW:    w,
+		HeavyReduceW: rw,
+		SelGapScale:  2.5,
+	}
+}
+
+// SparsePattern is the paper's sparse submission pattern under p.
+func (p Params) SparsePattern() []vclock.Time {
+	return workload.SparseGroups([]int{3, 3, 4}, p.IntraGap, p.InterGap)
+}
+
+// DensePattern is the dense submission pattern under p.
+func (p Params) DensePattern() []vclock.Time {
+	return workload.DensePattern(NumJobs, p.DenseGap)
+}
+
+// Fig4Panel runs one Figure 4 panel ("a".."f") under p.
+func Fig4Panel(panel string, p Params) (PanelResult, error) {
+	type cfg struct {
+		inputGB int
+		blockMB int
+		weight  float64
+		rweight float64
+		times   []vclock.Time
+		sel     bool
+	}
+	var c cfg
+	switch panel {
+	case "a":
+		c = cfg{WordcountGB, 64, 1, 1, p.SparsePattern(), false}
+	case "b":
+		c = cfg{WordcountGB, 64, 1, 1, p.DensePattern(), false}
+	case "c":
+		c = cfg{WordcountGB, 64, p.HeavyMapW, p.HeavyReduceW, p.SparsePattern(), false}
+	case "d":
+		c = cfg{WordcountGB, 128, 1, 1, p.SparsePattern(), false}
+	case "e":
+		c = cfg{WordcountGB, 32, 1, 1, p.SparsePattern(), false}
+	case "f":
+		c = cfg{SelectionGB, 64, 1, 1, workload.SparseGroups([]int{3, 3, 4},
+			vclock.Duration(float64(p.IntraGap)*p.SelGapScale),
+			vclock.Duration(float64(p.InterGap)*p.SelGapScale)), true}
+	default:
+		return PanelResult{}, fmt.Errorf("experiments: unknown panel %q", panel)
+	}
+	env, err := NewEnv(c.inputGB, c.blockMB, p.Model)
+	if err != nil {
+		return PanelResult{}, err
+	}
+	var metas []scheduler.JobMeta
+	if c.sel {
+		metas = workload.SelectionMetas(NumJobs, "input", c.weight, c.rweight)
+	} else {
+		metas = workload.WordCountMetas(NumJobs, "input", c.weight, c.rweight)
+	}
+	return RunPanel("fig4"+panel, env, metas, c.times, PaperSchemes())
+}
+
+// Fig4a: sparse pattern, normal workload, 64 MB blocks.
+func Fig4a() (PanelResult, error) { return Fig4Panel("a", DefaultParams()) }
+
+// Fig4b: dense pattern, normal workload, 64 MB blocks.
+func Fig4b() (PanelResult, error) { return Fig4Panel("b", DefaultParams()) }
+
+// Fig4c: sparse pattern, heavy workload, 64 MB blocks.
+func Fig4c() (PanelResult, error) { return Fig4Panel("c", DefaultParams()) }
+
+// Fig4d: sparse pattern, normal workload, 128 MB blocks.
+func Fig4d() (PanelResult, error) { return Fig4Panel("d", DefaultParams()) }
+
+// Fig4e: sparse pattern, normal workload, 32 MB blocks.
+func Fig4e() (PanelResult, error) { return Fig4Panel("e", DefaultParams()) }
+
+// Fig4f: selection workload over the 400 GB lineitem table, sparse
+// pattern, 64 MB blocks (§V-G).
+func Fig4f() (PanelResult, error) { return Fig4Panel("f", DefaultParams()) }

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"s3sched/internal/core"
+	"s3sched/internal/dfs"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/vclock"
+	"s3sched/internal/workload"
+)
+
+// Robustness study: the pinned Figure 4 results come from one exact
+// arrival sequence. JitterStudy perturbs every arrival time by a
+// seeded uniform factor and re-runs the sparse normal-workload panel
+// many times, reporting the distribution of FIFO/S^3 and MRShare/S^3
+// ratios. If S^3's advantage held only at the calibrated knife-edge,
+// it would vanish here.
+
+// JitterSummary aggregates one scheme's ratio-to-S^3 across trials.
+type JitterSummary struct {
+	Scheme  string
+	Trials  int
+	MeanTET float64
+	MinTET  float64
+	MaxTET  float64
+	MeanART float64
+	MinART  float64
+	MaxART  float64
+	// S3WinsTET/ART count trials where S^3 strictly won the metric.
+	S3WinsTET int
+	S3WinsART int
+}
+
+// JitterStudy runs `trials` perturbed sparse panels. Each arrival time
+// is scaled by a uniform factor in [1-spread, 1+spread] drawn from the
+// seeded generator, so results are reproducible.
+func JitterStudy(p Params, trials int, spread float64, seed int64) ([]JitterSummary, error) {
+	if trials <= 0 || spread < 0 || spread >= 1 {
+		return nil, fmt.Errorf("experiments: invalid jitter study (trials=%d spread=%v)", trials, spread)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	metas := workload.WordCountMetas(NumJobs, "input", 1, 1)
+	base := p.SparsePattern()
+
+	type agg struct {
+		tets, arts       []float64
+		winsTET, winsART int
+	}
+	schemes := []struct {
+		name string
+		mk   func(plan *dfs.SegmentPlan) (scheduler.Scheduler, error)
+	}{
+		{"fifo", func(plan *dfs.SegmentPlan) (scheduler.Scheduler, error) {
+			return scheduler.NewFIFO(plan, nil), nil
+		}},
+		{"mrs3", func(plan *dfs.SegmentPlan) (scheduler.Scheduler, error) {
+			return scheduler.NewMRShare(plan, []int{3, 3, 4}, nil)
+		}},
+	}
+	aggs := map[string]*agg{}
+	for _, s := range schemes {
+		aggs[s.name] = &agg{}
+	}
+
+	for trial := 0; trial < trials; trial++ {
+		times := make([]vclock.Time, len(base))
+		for i, t := range base {
+			factor := 1 + spread*(2*rng.Float64()-1)
+			times[i] = vclock.Time(float64(t) * factor)
+		}
+		// S^3 baseline for this perturbed pattern.
+		env, err := NewEnv(WordcountGB, 64, p.Model)
+		if err != nil {
+			return nil, err
+		}
+		s3Row, err := runVariant("s3", env, core.New(env.Plan, nil), metas, times)
+		if err != nil {
+			return nil, fmt.Errorf("jitter trial %d: %w", trial, err)
+		}
+		for _, s := range schemes {
+			env, err := NewEnv(WordcountGB, 64, p.Model)
+			if err != nil {
+				return nil, err
+			}
+			sched, err := s.mk(env.Plan)
+			if err != nil {
+				return nil, err
+			}
+			row, err := runVariant(s.name, env, sched, metas, times)
+			if err != nil {
+				return nil, fmt.Errorf("jitter trial %d (%s): %w", trial, s.name, err)
+			}
+			a := aggs[s.name]
+			a.tets = append(a.tets, row.TET.Seconds()/s3Row.TET.Seconds())
+			a.arts = append(a.arts, row.ART.Seconds()/s3Row.ART.Seconds())
+			if row.TET > s3Row.TET {
+				a.winsTET++
+			}
+			if row.ART > s3Row.ART {
+				a.winsART++
+			}
+		}
+	}
+
+	var out []JitterSummary
+	for _, s := range schemes {
+		a := aggs[s.name]
+		out = append(out, JitterSummary{
+			Scheme:  s.name,
+			Trials:  trials,
+			MeanTET: mean(a.tets), MinTET: minOf(a.tets), MaxTET: maxOf(a.tets),
+			MeanART: mean(a.arts), MinART: minOf(a.arts), MaxART: maxOf(a.arts),
+			S3WinsTET: a.winsTET, S3WinsART: a.winsART,
+		})
+	}
+	return out, nil
+}
+
+func mean(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}
+
+func minOf(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

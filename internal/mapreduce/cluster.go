@@ -1,0 +1,117 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"s3sched/internal/dfs"
+)
+
+// Node is one worker machine: a fixed number of map slots (the paper
+// configures one per node) and a relative processing speed used by the
+// slot checker and the simulator.
+type Node struct {
+	ID       dfs.NodeID
+	MapSlots int
+	// Speed is the node's relative processing speed (1.0 = nominal).
+	// The real engine does not slow goroutines down; Speed feeds the
+	// slot checker's completion-time estimates and the simulator.
+	Speed float64
+
+	sem chan struct{} // buffered to MapSlots; one token per running task
+}
+
+// acquire takes one map slot, blocking until available.
+func (n *Node) acquire() { n.sem <- struct{}{} }
+
+// release returns one map slot.
+func (n *Node) release() { <-n.sem }
+
+// Cluster is a set of nodes over a shared block store.
+type Cluster struct {
+	store *dfs.Store
+	nodes []*Node
+}
+
+// NewCluster builds a cluster of n identical nodes with the given map
+// slots each, matching the store's node count.
+func NewCluster(store *dfs.Store, slotsPerNode int) *Cluster {
+	if slotsPerNode <= 0 {
+		panic("mapreduce: slotsPerNode must be positive")
+	}
+	nodes := make([]*Node, store.Nodes())
+	for i := range nodes {
+		nodes[i] = &Node{
+			ID:       dfs.NodeID(i),
+			MapSlots: slotsPerNode,
+			Speed:    1.0,
+			sem:      make(chan struct{}, slotsPerNode),
+		}
+	}
+	return &Cluster{store: store, nodes: nodes}
+}
+
+// Store returns the block store the cluster computes over.
+func (c *Cluster) Store() *dfs.Store { return c.store }
+
+// Nodes returns the cluster's nodes. Callers must not mutate the slice.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Node returns the node with the given id.
+func (c *Cluster) Node(id dfs.NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		panic(fmt.Sprintf("mapreduce: node %d out of range [0,%d)", id, len(c.nodes)))
+	}
+	return c.nodes[id]
+}
+
+// TotalMapSlots returns the cluster-wide concurrent map task capacity —
+// the paper's ideal blocks-per-segment (§IV-B).
+func (c *Cluster) TotalMapSlots() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.MapSlots
+	}
+	return total
+}
+
+// assignment maps each block of a round to the node that will run its
+// map task, plus whether the choice was data-local.
+type assignment struct {
+	block dfs.BlockID
+	node  *Node
+	local bool
+}
+
+// assignBlocks picks a node per block, preferring replica holders and
+// balancing task counts across nodes. This mirrors Hadoop's locality-
+// first task assignment closely enough for scheduling purposes: with
+// the paper's replication factor 1 and one slot per node, every block
+// lands on its holder.
+func (c *Cluster) assignBlocks(blocks []dfs.BlockID) []assignment {
+	load := make([]int, len(c.nodes))
+	out := make([]assignment, 0, len(blocks))
+	for _, b := range blocks {
+		var best *Node
+		local := false
+		// Prefer the least-loaded replica holder.
+		for _, nid := range c.store.Locations(b) {
+			n := c.Node(nid)
+			if best == nil || load[n.ID] < load[best.ID] {
+				best = n
+				local = true
+			}
+		}
+		// Fall back to the globally least-loaded node.
+		if best == nil {
+			for _, n := range c.nodes {
+				if best == nil || load[n.ID] < load[best.ID] {
+					best = n
+				}
+			}
+			local = false
+		}
+		load[best.ID]++
+		out = append(out, assignment{block: b, node: best, local: local})
+	}
+	return out
+}

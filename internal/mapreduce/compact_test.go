@@ -1,0 +1,91 @@
+package mapreduce
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCompactShrinksIntermediateState(t *testing.T) {
+	blocks := textBlocks(
+		"a a a a b b", "a a b b b b", "a b a b a b", "b b b a a a",
+	)
+	cluster, _ := testCluster(t, 2, blocks)
+	e := NewEngine(cluster)
+
+	// Reference without compaction.
+	ref, err := e.RunJob(wordCountSpec("ref"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	job, err := NewRunning(wordCountSpec("compacted"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := cluster.Store().File("input")
+	all := f.Blocks()
+	// Two rounds with compaction after each (the §V-G pattern).
+	if _, err := e.MapRound(all[:2], []*Running{job}); err != nil {
+		t.Fatal(err)
+	}
+	before := job.IntermediateRecords()
+	if err := job.Compact(sumReducer{}); err != nil {
+		t.Fatal(err)
+	}
+	after := job.IntermediateRecords()
+	if after >= before {
+		t.Errorf("compaction did not shrink state: %d -> %d", before, after)
+	}
+	// Exactly the distinct words (2) remain after compaction.
+	if after != 2 {
+		t.Errorf("records after compaction = %d, want 2", after)
+	}
+	if _, err := e.MapRound(all[2:], []*Running{job}); err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Compact(sumReducer{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Finish(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(res.Output) != fmt.Sprint(ref.Output) {
+		t.Errorf("compacted output %v != reference %v", res.Output, ref.Output)
+	}
+}
+
+func TestCompactErrors(t *testing.T) {
+	cluster, _ := testCluster(t, 2, textBlocks("a"))
+	e := NewEngine(cluster)
+	job, err := NewRunning(wordCountSpec("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Compact(nil); err == nil {
+		t.Error("nil combiner should fail")
+	}
+	f, _ := cluster.Store().File("input")
+	if _, err := e.MapRound(f.Blocks(), []*Running{job}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Finish(job); err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Compact(sumReducer{}); err == nil {
+		t.Error("compact after finish should fail")
+	}
+}
+
+func TestCompactEmptyJobIsNoop(t *testing.T) {
+	job, err := NewRunning(wordCountSpec("empty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Compact(sumReducer{}); err != nil {
+		t.Fatalf("compact on empty job: %v", err)
+	}
+	if job.IntermediateRecords() != 0 {
+		t.Error("empty job should stay empty")
+	}
+}

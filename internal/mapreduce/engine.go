@@ -1,0 +1,413 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"s3sched/internal/dfs"
+)
+
+// InputRecordCounter is an optional interface a Mapper can implement
+// to report how many logical records (lines, tuples, …) a block
+// contains, so the engine can charge map.input.records the way Hadoop
+// does. Without it only byte-level input accounting is available.
+type InputRecordCounter interface {
+	CountInputRecords(data []byte) int64
+}
+
+// RoundStats summarizes one map round's physical work.
+type RoundStats struct {
+	Blocks       int   // blocks scanned (each at least once)
+	BytesScanned int64 // bytes read from the store
+	MapTasks     int   // map task executions (blocks × jobs)
+	LocalTasks   int   // block-scan tasks that ran on a replica holder
+	// Speculative counts duplicate block attempts launched by
+	// speculative execution (0 when speculation is off).
+	Speculative int
+}
+
+// Engine executes map rounds and reduce phases on a cluster.
+//
+// The engine is deliberately round-oriented: FIFO runs a job as one
+// round over all its blocks; MRShare runs a merged batch as one round
+// over all blocks; S^3 runs one round per segment with whatever batch
+// of sub-jobs the JQM aligned. In every case a block is read exactly
+// once per round no matter how many jobs consume it.
+type Engine struct {
+	cluster *Cluster
+	// speculation, when positive, enables Hadoop-style speculative
+	// execution: once a round's tasks start finishing, a task running
+	// longer than speculation x the median completed-task duration is
+	// duplicated on another node and the first finisher wins. The
+	// paper's experiments disable speculation (§V-A), which is also
+	// this engine's default.
+	speculation float64
+}
+
+// NewEngine returns an engine over the cluster. Speculative execution
+// is off, matching the paper's configuration.
+func NewEngine(cluster *Cluster) *Engine {
+	return &Engine{cluster: cluster}
+}
+
+// EnableSpeculation turns on speculative re-execution of straggler
+// tasks: a task is duplicated when it has run longer than factor times
+// the median duration of the round's completed tasks. factor must be
+// at least 1.
+func (e *Engine) EnableSpeculation(factor float64) {
+	if factor < 1 {
+		panic(fmt.Sprintf("mapreduce: speculation factor %v < 1", factor))
+	}
+	e.speculation = factor
+}
+
+// Cluster returns the engine's cluster.
+func (e *Engine) Cluster() *Cluster { return e.cluster }
+
+// MapRound scans each block once (twice if a speculative duplicate is
+// launched) and feeds its contents to the mapper of every job in jobs,
+// shuffling each job's output into its own reduce partitions. Tasks
+// run concurrently, bounded by per-node map slots, preferring
+// data-local placement. Exactly one attempt per block commits its
+// output, so results are identical with or without speculation.
+func (e *Engine) MapRound(blocks []dfs.BlockID, jobs []*Running) (RoundStats, error) {
+	if len(jobs) == 0 {
+		return RoundStats{}, fmt.Errorf("mapreduce: MapRound with no jobs")
+	}
+	assignments := e.cluster.assignBlocks(blocks)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		stats    RoundStats
+	)
+	stats.Blocks = len(blocks)
+
+	committed := make([]bool, len(assignments))  // block slot -> output committed
+	speculated := make([]bool, len(assignments)) // duplicate already launched
+	started := make([]time.Time, len(assignments))
+	var durations []time.Duration // completed attempt durations
+	remaining := len(assignments)
+
+	// attempt runs one execution of block slot i on node n and commits
+	// if it finishes first.
+	var attempt func(i int, asg assignment)
+	attempt = func(i int, asg assignment) {
+		defer wg.Done()
+		asg.node.acquire()
+		defer asg.node.release()
+		begin := time.Now()
+
+		data, err := e.cluster.store.ReadBlock(asg.block)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		type jobOut struct {
+			parts  [][]KV
+			counts taskCounts
+		}
+		outs := make([]jobOut, len(jobs))
+		for j, job := range jobs {
+			parts, counts, err := e.computeMapTask(asg.block, data, job)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("job %q block %v: %w", job.Spec.Name, asg.block, err)
+				}
+				mu.Unlock()
+				return
+			}
+			outs[j] = jobOut{parts: parts, counts: counts}
+		}
+
+		mu.Lock()
+		if committed[i] || firstErr != nil {
+			mu.Unlock()
+			return // a duplicate won, or the round already failed
+		}
+		committed[i] = true
+		remaining--
+		durations = append(durations, time.Since(begin))
+		stats.BytesScanned += int64(len(data))
+		stats.MapTasks += len(jobs)
+		if asg.local {
+			stats.LocalTasks++
+		}
+		mu.Unlock()
+
+		for j, job := range jobs {
+			if err := e.commitMapTask(job, outs[j].parts, outs[j].counts); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+		}
+	}
+
+	now := time.Now()
+	for i, asg := range assignments {
+		started[i] = now
+		wg.Add(1)
+		go attempt(i, asg)
+	}
+
+	// Speculation monitor: once half the blocks have finished, any
+	// block running longer than factor x the median completed duration
+	// gets a duplicate attempt on another node.
+	if e.speculation > 0 && len(assignments) > 1 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				time.Sleep(200 * time.Microsecond)
+				mu.Lock()
+				if remaining == 0 || firstErr != nil {
+					mu.Unlock()
+					return
+				}
+				if len(durations)*2 < len(assignments) {
+					mu.Unlock()
+					continue
+				}
+				med := medianDuration(durations)
+				threshold := time.Duration(e.speculation * float64(med))
+				for i, asg := range assignments {
+					if committed[i] || speculated[i] {
+						continue
+					}
+					if time.Since(started[i]) > threshold {
+						speculated[i] = true
+						stats.Speculative++
+						other := e.cluster.nodes[(int(asg.node.ID)+1)%len(e.cluster.nodes)]
+						dup := assignment{block: asg.block, node: other, local: e.cluster.store.HasLocal(asg.block, other.ID)}
+						wg.Add(1)
+						go attempt(i, dup)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	wg.Wait()
+	return stats, firstErr
+}
+
+// medianDuration returns the median of ds (ds must be non-empty).
+func medianDuration(ds []time.Duration) time.Duration {
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
+}
+
+// taskCounts carries one map task's counter deltas; they are charged
+// only by the attempt that commits, so speculative duplicates never
+// distort the job's statistics.
+type taskCounts struct {
+	inputBytes      int64
+	inputRecords    int64
+	outputRecords   int64
+	outputBytes     int64
+	combineRecords  int64
+	combinerApplied bool
+}
+
+// computeMapTask executes one job's mapper over one block without
+// touching shared state.
+func (e *Engine) computeMapTask(block dfs.BlockID, data []byte, job *Running) ([][]KV, taskCounts, error) {
+	var raw []KV
+	err := job.Spec.Mapper.Map(block, data, func(kv KV) {
+		raw = append(raw, kv)
+	})
+	if err != nil {
+		return nil, taskCounts{}, err
+	}
+	counts := taskCounts{
+		inputBytes:    int64(len(data)),
+		outputRecords: int64(len(raw)),
+		outputBytes:   kvBytes(raw),
+	}
+	if rc, ok := job.Spec.Mapper.(InputRecordCounter); ok {
+		counts.inputRecords = rc.CountInputRecords(data)
+	}
+	if job.Spec.Combiner != nil && len(raw) > 0 {
+		combined, err := combine(raw, job.Spec.Combiner)
+		if err != nil {
+			return nil, taskCounts{}, fmt.Errorf("combiner: %w", err)
+		}
+		counts.combineRecords = int64(len(combined))
+		counts.combinerApplied = true
+		raw = combined
+	}
+	return partition(raw, job.Spec.reduceWidth()), counts, nil
+}
+
+// commitMapTask charges the task's counters and merges its output into
+// the job's shuffle space.
+func (e *Engine) commitMapTask(job *Running, parts [][]KV, counts taskCounts) error {
+	c := job.Counters
+	c.Add(CounterMapTasks, 1)
+	c.Add(CounterMapInputBytes, counts.inputBytes)
+	if counts.inputRecords > 0 {
+		c.Add(CounterMapInputRecords, counts.inputRecords)
+	}
+	c.Add(CounterMapOutputRecords, counts.outputRecords)
+	c.Add(CounterMapOutputBytes, counts.outputBytes)
+	if counts.combinerApplied {
+		c.Add(CounterCombineOutRecords, counts.combineRecords)
+	}
+	return job.addIntermediate(parts)
+}
+
+// ReduceRound drains the job's current shuffle space and runs its
+// reduce phase over it, returning the sub-job's partial output (sorted
+// by key). The job stays runnable for further map rounds — this is the
+// §IV-D3 execution where every merged sub-job is a complete MapReduce
+// job, and the caller collects the partial results (§V-G).
+func (e *Engine) ReduceRound(job *Running) ([]KV, error) {
+	parts := job.DrainPartitions()
+	outputs := make([][]KV, len(parts))
+	for p, records := range parts {
+		out, err := e.runReduceTask(records, job)
+		if err != nil {
+			return nil, fmt.Errorf("job %q sub-job partition %d: %w", job.Spec.Name, p, err)
+		}
+		outputs[p] = out
+	}
+	job.Counters.Add(CounterReduceTasks, int64(len(parts)))
+	merged := MergeSorted(outputs)
+	job.Counters.Add(CounterReduceOutRecords, int64(len(merged)))
+	job.Counters.Add(CounterReduceOutBytes, kvBytes(merged))
+	return merged, nil
+}
+
+// Finish runs the job's reduce phase over everything its map tasks
+// produced and returns the completed result. A job must be finished
+// exactly once, after its final map round.
+func (e *Engine) Finish(job *Running) (*Result, error) {
+	parts := job.takePartitions()
+	c := job.Counters
+
+	outputs := make([][]KV, len(parts))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for p, records := range parts {
+		wg.Add(1)
+		go func(p int, records []KV) {
+			defer wg.Done()
+			out, err := e.runReduceTask(records, job)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("job %q partition %d: %w", job.Spec.Name, p, err)
+				return
+			}
+			outputs[p] = out
+		}(p, records)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	var all []KV
+	for _, out := range outputs {
+		all = append(all, out...)
+	}
+	sortKVs(all)
+	c.Add(CounterReduceTasks, int64(len(parts)))
+	c.Add(CounterReduceOutRecords, int64(len(all)))
+	c.Add(CounterReduceOutBytes, kvBytes(all))
+	return &Result{Name: job.Spec.Name, Output: all, Counters: c}, nil
+}
+
+// runReduceTask sorts, groups and reduces one partition.
+func (e *Engine) runReduceTask(records []KV, job *Running) ([]KV, error) {
+	job.Counters.Add(CounterReduceInputRecords, int64(len(records)))
+	sortKVs(records)
+	if job.Spec.Reducer == nil {
+		return records, nil
+	}
+	var out []KV
+	err := groupByKey(records, func(key string, values []string) error {
+		return job.Spec.Reducer.Reduce(key, values, func(kv KV) {
+			out = append(out, kv)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunJob executes a single job start to finish: one map round over all
+// of its input blocks, then the reduce phase.
+func (e *Engine) RunJob(spec JobSpec) (*Result, error) {
+	results, err := e.RunMerged([]JobSpec{spec})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// RunMerged executes several jobs over the same input file as one
+// merged batch: every block is scanned once and feeds all jobs
+// (MRShare-style whole-file shared scan). Results are returned in spec
+// order.
+func (e *Engine) RunMerged(specs []JobSpec) ([]*Result, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("mapreduce: RunMerged with no jobs")
+	}
+	file := specs[0].File
+	jobs := make([]*Running, len(specs))
+	for i, spec := range specs {
+		if spec.File != file {
+			return nil, fmt.Errorf("mapreduce: merged jobs must share an input file: %q vs %q", spec.File, file)
+		}
+		job, err := NewRunning(spec)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = job
+	}
+	f, err := e.cluster.store.File(file)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.MapRound(f.Blocks(), jobs); err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(jobs))
+	for i, job := range jobs {
+		res, err := e.Finish(job)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
+// kvBytes returns the payload size of records (keys + values).
+func kvBytes(kvs []KV) int64 {
+	var n int64
+	for _, kv := range kvs {
+		n += int64(len(kv.Key) + len(kv.Value))
+	}
+	return n
+}

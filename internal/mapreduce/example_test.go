@@ -1,0 +1,52 @@
+package mapreduce_test
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"s3sched/internal/dfs"
+	"s3sched/internal/mapreduce"
+)
+
+// ExampleEngine_RunMerged runs two different wordcount jobs as one
+// merged batch: the input is scanned once and feeds both mappers.
+func ExampleEngine_RunMerged() {
+	store := dfs.NewStore(2, 1)
+	blocks := [][]byte{
+		[]byte("ant bee ant"),
+		[]byte("bee cat bee"),
+	}
+	_, _ = store.AddFile("input", int64(len(blocks[0])), blocks)
+
+	mapper := mapreduce.MapperFunc(func(_ dfs.BlockID, data []byte, emit mapreduce.Emit) error {
+		for _, w := range strings.Fields(string(data)) {
+			emit(mapreduce.KV{Key: w, Value: "1"})
+		}
+		return nil
+	})
+	sum := mapreduce.ReducerFunc(func(key string, values []string, emit mapreduce.Emit) error {
+		total := 0
+		for _, v := range values {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		emit(mapreduce.KV{Key: key, Value: strconv.Itoa(total)})
+		return nil
+	})
+
+	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	results, _ := engine.RunMerged([]mapreduce.JobSpec{
+		{Name: "count-all", File: "input", Mapper: mapper, Reducer: sum},
+		{Name: "count-all-again", File: "input", Mapper: mapper, Reducer: sum},
+	})
+
+	fmt.Println(results[0].Name, results[0].Output)
+	fmt.Println("block scans:", store.Stats().BlockReads, "(one per block for the whole batch)")
+	// Output:
+	// count-all [{ant 2} {bee 3} {cat 1}]
+	// block scans: 2 (one per block for the whole batch)
+}

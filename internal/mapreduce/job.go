@@ -1,0 +1,211 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+
+	"s3sched/internal/dfs"
+)
+
+// Mapper transforms one input block into intermediate records. A
+// mapper must be safe for concurrent use: the engine invokes it from
+// several map slots at once.
+type Mapper interface {
+	Map(block dfs.BlockID, data []byte, emit Emit) error
+}
+
+// Reducer merges all intermediate values sharing a key. Reducers (and
+// combiners, which share the signature) must be safe for concurrent
+// use across keys/partitions.
+type Reducer interface {
+	Reduce(key string, values []string, emit Emit) error
+}
+
+// MapperFunc adapts a function to the Mapper interface.
+type MapperFunc func(block dfs.BlockID, data []byte, emit Emit) error
+
+// Map calls f.
+func (f MapperFunc) Map(block dfs.BlockID, data []byte, emit Emit) error {
+	return f(block, data, emit)
+}
+
+// ReducerFunc adapts a function to the Reducer interface.
+type ReducerFunc func(key string, values []string, emit Emit) error
+
+// Reduce calls f.
+func (f ReducerFunc) Reduce(key string, values []string, emit Emit) error {
+	return f(key, values, emit)
+}
+
+// JobSpec describes one MapReduce job.
+type JobSpec struct {
+	Name   string
+	File   string // input file name in the dfs.Store
+	Mapper Mapper
+	// Reducer merges intermediate records. If nil the job is map-only
+	// and the intermediate records are the output.
+	Reducer Reducer
+	// Combiner, if non-nil, is applied to each map task's output before
+	// shuffle (classic wordcount local aggregation).
+	Combiner Reducer
+	// NumReduce is the number of reduce partitions (default 1).
+	NumReduce int
+}
+
+// Validate reports whether the spec is executable.
+func (s *JobSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("mapreduce: job has no name")
+	}
+	if s.File == "" {
+		return fmt.Errorf("mapreduce: job %q has no input file", s.Name)
+	}
+	if s.Mapper == nil {
+		return fmt.Errorf("mapreduce: job %q has no mapper", s.Name)
+	}
+	if s.NumReduce < 0 {
+		return fmt.Errorf("mapreduce: job %q has negative NumReduce", s.Name)
+	}
+	return nil
+}
+
+func (s *JobSpec) reduceWidth() int {
+	if s.NumReduce <= 0 {
+		return 1
+	}
+	return s.NumReduce
+}
+
+// Running is the engine-side state of a job in flight: the shuffle
+// space its map tasks fill and the counters they charge. One Running
+// may receive map output across many rounds (S^3 sub-jobs) before
+// Finish is called.
+type Running struct {
+	Spec     JobSpec
+	Counters *Counters
+
+	mu         sync.Mutex
+	partitions [][]KV // intermediate records per reduce partition
+	finished   bool
+}
+
+// NewRunning prepares engine-side state for a job.
+func NewRunning(spec JobSpec) (*Running, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Running{
+		Spec:       spec,
+		Counters:   NewCounters(),
+		partitions: make([][]KV, spec.reduceWidth()),
+	}, nil
+}
+
+// addIntermediate appends shuffled records into the job's partitions.
+// It fails if the job has already been finished: a scheduler that maps
+// after reduce has violated the sub-job protocol, and the error is
+// reported from the offending round rather than crashing worker
+// goroutines.
+func (r *Running) addIntermediate(byPartition [][]KV) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.finished {
+		return fmt.Errorf("mapreduce: job %q received map output after Finish", r.Spec.Name)
+	}
+	for p, kvs := range byPartition {
+		r.partitions[p] = append(r.partitions[p], kvs...)
+	}
+	return nil
+}
+
+// Compact folds the job's accumulated intermediate records through a
+// combiner, partition by partition, replacing many records per key
+// with one partial aggregate. This is the §V-G output-collection
+// optimization: a sub-job's partial results are aggregated as they
+// are produced, so the state carried between rounds stays small and
+// the final reduce starts from near-finished values. Compact preserves
+// reduce semantics only for combiners that are associative and
+// commutative over their value stream (e.g. sums, counts, min/max).
+func (r *Running) Compact(combiner Reducer) error {
+	if combiner == nil {
+		return fmt.Errorf("mapreduce: Compact needs a combiner")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.finished {
+		return fmt.Errorf("mapreduce: job %q compacted after Finish", r.Spec.Name)
+	}
+	for p, records := range r.partitions {
+		if len(records) == 0 {
+			continue
+		}
+		compacted, err := combine(records, combiner)
+		if err != nil {
+			return fmt.Errorf("mapreduce: compacting job %q partition %d: %w", r.Spec.Name, p, err)
+		}
+		r.partitions[p] = compacted
+	}
+	return nil
+}
+
+// IntermediateRecords reports how many shuffle records the job is
+// currently holding across all partitions.
+func (r *Running) IntermediateRecords() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0
+	for _, p := range r.partitions {
+		total += len(p)
+	}
+	return total
+}
+
+// DrainPartitions hands out the job's current shuffle records and
+// resets the partitions, leaving the job runnable. This is the
+// per-round reduce path (§IV-D3: each sub-job is a complete MapReduce
+// job): the caller reduces the drained records into a partial result
+// and later folds the partials into the job's final output.
+func (r *Running) DrainPartitions() [][]KV {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.finished {
+		panic(fmt.Sprintf("mapreduce: job %q drained after Finish", r.Spec.Name))
+	}
+	parts := r.partitions
+	r.partitions = make([][]KV, r.Spec.reduceWidth())
+	return parts
+}
+
+// takePartitions marks the job finished and hands the shuffle space to
+// the reduce phase.
+func (r *Running) takePartitions() [][]KV {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.finished {
+		panic(fmt.Sprintf("mapreduce: job %q finished twice", r.Spec.Name))
+	}
+	r.finished = true
+	parts := r.partitions
+	r.partitions = nil
+	return parts
+}
+
+// Result is a completed job's output.
+type Result struct {
+	Name     string
+	Output   []KV // sorted by key then value
+	Counters *Counters
+}
+
+// OutputMap returns the output as a map. It panics if a key repeats,
+// which cannot happen for single-emit-per-key reducers.
+func (res *Result) OutputMap() map[string]string {
+	out := make(map[string]string, len(res.Output))
+	for _, kv := range res.Output {
+		if _, dup := out[kv.Key]; dup {
+			panic(fmt.Sprintf("mapreduce: duplicate output key %q in job %q", kv.Key, res.Name))
+		}
+		out[kv.Key] = kv.Value
+	}
+	return out
+}

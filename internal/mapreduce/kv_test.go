@@ -1,0 +1,201 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortKVs(t *testing.T) {
+	kvs := []KV{{"b", "2"}, {"a", "9"}, {"b", "1"}, {"a", "1"}}
+	sortKVs(kvs)
+	want := []KV{{"a", "1"}, {"a", "9"}, {"b", "1"}, {"b", "2"}}
+	if fmt.Sprint(kvs) != fmt.Sprint(want) {
+		t.Fatalf("sorted = %v, want %v", kvs, want)
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	kvs := []KV{{"a", "1"}, {"a", "2"}, {"b", "3"}, {"c", "4"}, {"c", "5"}, {"c", "6"}}
+	var groups []string
+	err := groupByKey(kvs, func(key string, values []string) error {
+		groups = append(groups, fmt.Sprintf("%s:%s", key, strings.Join(values, ",")))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a:1,2", "b:3", "c:4,5,6"}
+	if fmt.Sprint(groups) != fmt.Sprint(want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+}
+
+func TestGroupByKeyEmpty(t *testing.T) {
+	called := false
+	if err := groupByKey(nil, func(string, []string) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("fn called on empty input")
+	}
+}
+
+func TestGroupByKeyError(t *testing.T) {
+	boom := errors.New("x")
+	err := groupByKey([]KV{{"a", "1"}}, func(string, []string) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+// Property: grouping a sorted record set preserves every value exactly
+// once and yields strictly increasing keys.
+func TestGroupByKeyProperty(t *testing.T) {
+	prop := func(seed int64, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8 % 64)
+		kvs := make([]KV, n)
+		for i := range kvs {
+			kvs[i] = KV{
+				Key:   fmt.Sprintf("k%d", rng.Intn(8)),
+				Value: fmt.Sprintf("v%d", i),
+			}
+		}
+		sortKVs(kvs)
+		var keys []string
+		total := 0
+		err := groupByKey(kvs, func(key string, values []string) error {
+			keys = append(keys, key)
+			total += len(values)
+			return nil
+		})
+		if err != nil || total != n {
+			return false
+		}
+		return sort.StringsAreSorted(keys) && len(keys) == len(uniq(keys))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func uniq(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestPartitionOf(t *testing.T) {
+	if partitionOf("anything", 1) != 0 {
+		t.Error("width 1 must always map to partition 0")
+	}
+	// Deterministic.
+	if partitionOf("key", 7) != partitionOf("key", 7) {
+		t.Error("partitionOf not deterministic")
+	}
+}
+
+// Property: partition splits records without loss and each record lands
+// in the partition its key hashes to.
+func TestPartitionProperty(t *testing.T) {
+	prop := func(seed int64, width8 uint8) bool {
+		width := int(width8%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100)
+		kvs := make([]KV, n)
+		for i := range kvs {
+			kvs[i] = KV{Key: fmt.Sprintf("k%d", rng.Intn(20)), Value: fmt.Sprint(i)}
+		}
+		parts := partition(kvs, width)
+		if len(parts) != width {
+			return false
+		}
+		total := 0
+		for p, part := range parts {
+			for _, kv := range part {
+				if partitionOf(kv.Key, width) != p {
+					return false
+				}
+			}
+			total += len(part)
+		}
+		return total == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombineHelper(t *testing.T) {
+	raw := []KV{{"a", "1"}, {"b", "1"}, {"a", "1"}, {"a", "1"}}
+	out, err := combine(raw, sumReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []KV{{"a", "3"}, {"b", "1"}}
+	if fmt.Sprint(out) != fmt.Sprint(want) {
+		t.Fatalf("combine = %v, want %v", out, want)
+	}
+}
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	c.Add("x", 2)
+	c.Add("x", 3)
+	c.Add("y", 1)
+	if c.Get("x") != 5 || c.Get("y") != 1 || c.Get("z") != 0 {
+		t.Fatalf("counters = %v", c.Snapshot())
+	}
+	other := NewCounters()
+	other.Add("x", 10)
+	other.Add("w", 7)
+	c.Merge(other)
+	if c.Get("x") != 15 || c.Get("w") != 7 {
+		t.Fatalf("after merge = %v", c.Snapshot())
+	}
+	s := c.String()
+	for _, name := range []string{"w", "x", "y"} {
+		if !strings.Contains(s, name) {
+			t.Errorf("String() missing %q:\n%s", name, s)
+		}
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("n"); got != 800 {
+		t.Fatalf("n = %d, want 800", got)
+	}
+}
+
+func TestKVBytes(t *testing.T) {
+	if got := kvBytes([]KV{{"ab", "c"}, {"", "xyz"}}); got != 6 {
+		t.Fatalf("kvBytes = %d, want 6", got)
+	}
+	if kvBytes(nil) != 0 {
+		t.Fatal("kvBytes(nil) != 0")
+	}
+}

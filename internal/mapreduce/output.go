@@ -1,0 +1,90 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"s3sched/internal/dfs"
+)
+
+// Job output persistence: a completed Result can be written back into
+// the block store as a new file — the way Hadoop jobs leave their
+// reduce output in HDFS — so downstream jobs can scan it. Records are
+// serialized one per line as "key\tvalue\n"; keys and values must not
+// contain tabs or newlines.
+
+// StoreResult writes res into store as a file named name with the
+// given block size, and returns the new file. Every block except the
+// last is exactly blockSize bytes; records never straddle blocks
+// (blocks are padded with spaces), so any block can be mapped
+// independently — the same framing the workload generators use.
+func StoreResult(store *dfs.Store, name string, blockSize int64, res *Result) (*dfs.File, error) {
+	if res == nil {
+		return nil, fmt.Errorf("mapreduce: nil result")
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("mapreduce: block size must be positive, got %d", blockSize)
+	}
+	var blocks [][]byte
+	cur := bytes.NewBuffer(make([]byte, 0, blockSize))
+	flush := func() {
+		for int64(cur.Len()) < blockSize {
+			cur.WriteByte(' ')
+		}
+		b := make([]byte, cur.Len())
+		copy(b, cur.Bytes())
+		blocks = append(blocks, b)
+		cur.Reset()
+	}
+	for _, kv := range res.Output {
+		if strings.ContainsAny(kv.Key, "\t\n") || strings.ContainsAny(kv.Value, "\t\n") {
+			return nil, fmt.Errorf("mapreduce: record %q/%q contains tab or newline", kv.Key, kv.Value)
+		}
+		line := kv.Key + "\t" + kv.Value + "\n"
+		if int64(len(line)) > blockSize {
+			return nil, fmt.Errorf("mapreduce: record %q longer than block size %d", kv.Key, blockSize)
+		}
+		if int64(cur.Len()+len(line)) > blockSize {
+			flush()
+		}
+		cur.WriteString(line)
+	}
+	if cur.Len() > 0 || len(blocks) == 0 {
+		if cur.Len() == 0 {
+			cur.WriteByte('\n') // an empty result still needs one block
+		}
+		flush()
+	}
+	return store.AddFile(name, blockSize, blocks)
+}
+
+// KVLineMapper parses "key\tvalue" lines — the framing StoreResult
+// writes — and hands each record to Each, which decides what to emit.
+// It is the input adapter for jobs chained over another job's output.
+type KVLineMapper struct {
+	Each func(key, value string, emit Emit) error
+}
+
+var _ Mapper = KVLineMapper{}
+
+// Map implements Mapper.
+func (m KVLineMapper) Map(_ dfs.BlockID, data []byte, emit Emit) error {
+	if m.Each == nil {
+		return fmt.Errorf("mapreduce: KVLineMapper needs an Each function")
+	}
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		tab := bytes.IndexByte(line, '\t')
+		if tab < 0 {
+			return fmt.Errorf("mapreduce: malformed kv line %q", line)
+		}
+		if err := m.Each(string(line[:tab]), string(line[tab+1:]), emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}

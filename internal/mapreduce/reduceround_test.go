@@ -1,0 +1,146 @@
+package mapreduce
+
+import (
+	"fmt"
+	"testing"
+
+	"s3sched/internal/dfs"
+)
+
+func TestReduceRoundPartialsFoldToOneShot(t *testing.T) {
+	blocks := textBlocks("a b a b", "b c b c", "c a c a", "a a b b")
+	cluster, _ := testCluster(t, 2, blocks)
+	e := NewEngine(cluster)
+	if e.Cluster() != cluster {
+		t.Fatal("Cluster accessor broken")
+	}
+
+	oneShot, err := e.RunJob(wordCountSpec("ref"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-round reduce: two rounds, each reduced immediately; fold the
+	// partials through the same reducer.
+	job, err := NewRunning(wordCountSpec("rounds"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := cluster.Store().File("input")
+	all := f.Blocks()
+	var partials []KV
+	for _, half := range [][]dfs.BlockID{all[:2], all[2:]} {
+		if _, err := e.MapRound(half, []*Running{job}); err != nil {
+			t.Fatal(err)
+		}
+		partial, err := e.ReduceRound(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(partial) == 0 {
+			t.Fatal("empty partial")
+		}
+		partials = append(partials, partial...)
+	}
+	folded, err := ReducePartition(partials, job.Spec.Reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(folded) != fmt.Sprint(oneShot.Output) {
+		t.Errorf("folded partials %v != one-shot %v", folded, oneShot.Output)
+	}
+	// The job is still runnable (not finished) and now empty.
+	if job.IntermediateRecords() != 0 {
+		t.Errorf("shuffle space not drained: %d records", job.IntermediateRecords())
+	}
+	if _, err := e.Finish(job); err != nil {
+		t.Fatalf("Finish after per-round reduces: %v", err)
+	}
+}
+
+func TestReduceRoundCounters(t *testing.T) {
+	cluster, _ := testCluster(t, 2, textBlocks("a a b"))
+	e := NewEngine(cluster)
+	job, err := NewRunning(wordCountSpec("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := cluster.Store().File("input")
+	if _, err := e.MapRound(f.Blocks(), []*Running{job}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.ReduceRound(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 { // a, b
+		t.Fatalf("partial = %v", out)
+	}
+	if got := job.Counters.Get(CounterReduceTasks); got != 3 {
+		t.Errorf("reduce tasks = %d, want 3 (NumReduce)", got)
+	}
+	if got := job.Counters.Get(CounterReduceOutRecords); got != 2 {
+		t.Errorf("reduce out records = %d, want 2", got)
+	}
+}
+
+func TestDrainAfterFinishPanics(t *testing.T) {
+	cluster, _ := testCluster(t, 2, textBlocks("a"))
+	e := NewEngine(cluster)
+	job, err := NewRunning(wordCountSpec("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := cluster.Store().File("input")
+	if _, err := e.MapRound(f.Blocks(), []*Running{job}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Finish(job); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("DrainPartitions after Finish should panic")
+		}
+	}()
+	job.DrainPartitions()
+}
+
+func TestTaskAPIInPackage(t *testing.T) {
+	parts, err := MapBlockForJob(dfs.BlockID{File: "x"}, []byte("a b a"), wordCountMapper{}, sumReducer{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != 2 { // combiner folded "a a" -> one record + "b"
+		t.Errorf("records = %d, want 2", total)
+	}
+	merged := MergeSorted(parts)
+	if len(merged) != 2 || merged[0].Key != "a" {
+		t.Errorf("merged = %v", merged)
+	}
+	out, err := ReducePartition(merged, sumReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(out) != fmt.Sprint([]KV{{Key: "a", Value: "2"}, {Key: "b", Value: "1"}}) {
+		t.Errorf("reduced = %v", out)
+	}
+	// Error paths.
+	if _, err := MapBlockForJob(dfs.BlockID{}, nil, nil, nil, 1); err == nil {
+		t.Error("nil mapper should fail")
+	}
+	if _, err := MapBlockForJob(dfs.BlockID{}, nil, wordCountMapper{}, nil, 0); err == nil {
+		t.Error("zero width should fail")
+	}
+	bad := ReducerFunc(func(string, []string, Emit) error { return fmt.Errorf("boom") })
+	if _, err := ReducePartition([]KV{{Key: "a", Value: "1"}}, bad); err == nil {
+		t.Error("reducer error should propagate")
+	}
+	if _, err := MapBlockForJob(dfs.BlockID{}, []byte("a a"), wordCountMapper{}, bad, 1); err == nil {
+		t.Error("combiner error should propagate")
+	}
+}

@@ -1,0 +1,41 @@
+package mapreduce
+
+import "hash/fnv"
+
+// partitionOf returns the reduce partition for a key, matching
+// Hadoop's default hash partitioner.
+func partitionOf(key string, width int) int {
+	if width == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(width))
+}
+
+// partition splits records into width per-partition slices.
+func partition(kvs []KV, width int) [][]KV {
+	out := make([][]KV, width)
+	for _, kv := range kvs {
+		p := partitionOf(kv.Key, width)
+		out[p] = append(out[p], kv)
+	}
+	return out
+}
+
+// combine applies a combiner to one map task's raw output: sort, group
+// by key, re-emit. Returns the combined records and how many records
+// the combiner emitted.
+func combine(raw []KV, combiner Reducer) ([]KV, error) {
+	sortKVs(raw)
+	combined := make([]KV, 0, len(raw))
+	err := groupByKey(raw, func(key string, values []string) error {
+		return combiner.Reduce(key, values, func(kv KV) {
+			combined = append(combined, kv)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return combined, nil
+}

@@ -1,0 +1,66 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"s3sched/internal/dfs"
+)
+
+// Single-task primitives, exported so other execution substrates
+// (internal/remote's distributed workers) run exactly the same task
+// logic as the in-process engine.
+
+// MapBlockForJob executes one map task: run mapper over the block's
+// data, apply the optional combiner, and split the output into width
+// reduce partitions.
+func MapBlockForJob(block dfs.BlockID, data []byte, mapper Mapper, combiner Reducer, width int) ([][]KV, error) {
+	if mapper == nil {
+		return nil, fmt.Errorf("mapreduce: MapBlockForJob needs a mapper")
+	}
+	if width <= 0 {
+		return nil, fmt.Errorf("mapreduce: partition width must be positive, got %d", width)
+	}
+	var raw []KV
+	if err := mapper.Map(block, data, func(kv KV) { raw = append(raw, kv) }); err != nil {
+		return nil, err
+	}
+	if combiner != nil && len(raw) > 0 {
+		combined, err := combine(raw, combiner)
+		if err != nil {
+			return nil, fmt.Errorf("combiner: %w", err)
+		}
+		raw = combined
+	}
+	return partition(raw, width), nil
+}
+
+// ReducePartition executes one reduce task: sort the partition's
+// records, group by key, and reduce. A nil reducer yields the sorted
+// records unchanged (map-only jobs).
+func ReducePartition(records []KV, reducer Reducer) ([]KV, error) {
+	sorted := make([]KV, len(records))
+	copy(sorted, records)
+	sortKVs(sorted)
+	if reducer == nil {
+		return sorted, nil
+	}
+	var out []KV
+	err := groupByKey(sorted, func(key string, values []string) error {
+		return reducer.Reduce(key, values, func(kv KV) { out = append(out, kv) })
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MergeSorted merges per-partition reduce outputs into one sorted
+// result slice.
+func MergeSorted(partitions [][]KV) []KV {
+	var all []KV
+	for _, p := range partitions {
+		all = append(all, p...)
+	}
+	sortKVs(all)
+	return all
+}

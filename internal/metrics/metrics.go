@@ -1,0 +1,334 @@
+// Package metrics computes the paper's two performance metrics
+// (§III-B): total execution time (TET — first submission to last
+// completion) and average response time (ART — mean per-job
+// submission-to-completion interval), plus the normalized report rows
+// Figure 4 presents.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"s3sched/internal/scheduler"
+	"s3sched/internal/vclock"
+)
+
+// Collector accumulates per-job submission, first-scheduling and
+// completion times. The optional start times let ART be decomposed the
+// way §III-B describes: response = waiting (submission → first round
+// that includes the job) + processing (first round → completion).
+type Collector struct {
+	submitted map[scheduler.JobID]vclock.Time
+	started   map[scheduler.JobID]vclock.Time
+	completed map[scheduler.JobID]vclock.Time
+	order     []scheduler.JobID // submission order
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		submitted: make(map[scheduler.JobID]vclock.Time),
+		started:   make(map[scheduler.JobID]vclock.Time),
+		completed: make(map[scheduler.JobID]vclock.Time),
+	}
+}
+
+// Submit records job id arriving at time t. Resubmission panics: it
+// would silently corrupt ART.
+func (c *Collector) Submit(id scheduler.JobID, t vclock.Time) {
+	if _, dup := c.submitted[id]; dup {
+		panic(fmt.Sprintf("metrics: job %d submitted twice", id))
+	}
+	c.submitted[id] = t
+	c.order = append(c.order, id)
+}
+
+// Start records the first time job id was included in a launched
+// round. Only the first call per job takes effect, so callers may
+// report every round's batch without bookkeeping.
+func (c *Collector) Start(id scheduler.JobID, t vclock.Time) {
+	sub, ok := c.submitted[id]
+	if !ok {
+		panic(fmt.Sprintf("metrics: job %d started but never submitted", id))
+	}
+	if t < sub {
+		panic(fmt.Sprintf("metrics: job %d started at %v before submission at %v", id, t, sub))
+	}
+	if _, dup := c.started[id]; dup {
+		return
+	}
+	c.started[id] = t
+}
+
+// Complete records job id finishing at time t. Completing an
+// unsubmitted or already-completed job panics.
+func (c *Collector) Complete(id scheduler.JobID, t vclock.Time) {
+	sub, ok := c.submitted[id]
+	if !ok {
+		panic(fmt.Sprintf("metrics: job %d completed but never submitted", id))
+	}
+	if _, dup := c.completed[id]; dup {
+		panic(fmt.Sprintf("metrics: job %d completed twice", id))
+	}
+	if t < sub {
+		panic(fmt.Sprintf("metrics: job %d completed at %v before submission at %v", id, t, sub))
+	}
+	c.completed[id] = t
+}
+
+// Jobs returns how many jobs were submitted.
+func (c *Collector) Jobs() int { return len(c.submitted) }
+
+// Incomplete returns the submitted jobs that never completed, in
+// submission order.
+func (c *Collector) Incomplete() []scheduler.JobID {
+	var out []scheduler.JobID
+	for _, id := range c.order {
+		if _, done := c.completed[id]; !done {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ResponseTime returns a job's submission-to-completion interval.
+func (c *Collector) ResponseTime(id scheduler.JobID) (vclock.Duration, error) {
+	sub, ok := c.submitted[id]
+	if !ok {
+		return 0, fmt.Errorf("metrics: job %d was never submitted", id)
+	}
+	done, ok := c.completed[id]
+	if !ok {
+		return 0, fmt.Errorf("metrics: job %d has not completed", id)
+	}
+	return done.Sub(sub), nil
+}
+
+// WaitingTime returns the interval from a job's submission to the
+// launch of the first round that included it (§III-B's waiting
+// component). It fails when no start was recorded.
+func (c *Collector) WaitingTime(id scheduler.JobID) (vclock.Duration, error) {
+	sub, ok := c.submitted[id]
+	if !ok {
+		return 0, fmt.Errorf("metrics: job %d was never submitted", id)
+	}
+	start, ok := c.started[id]
+	if !ok {
+		return 0, fmt.Errorf("metrics: job %d has no recorded start", id)
+	}
+	return start.Sub(sub), nil
+}
+
+// ProcessingTime returns the interval from a job's first scheduled
+// round to its completion (§III-B's processing component).
+func (c *Collector) ProcessingTime(id scheduler.JobID) (vclock.Duration, error) {
+	start, ok := c.started[id]
+	if !ok {
+		return 0, fmt.Errorf("metrics: job %d has no recorded start", id)
+	}
+	done, ok := c.completed[id]
+	if !ok {
+		return 0, fmt.Errorf("metrics: job %d has not completed", id)
+	}
+	return done.Sub(start), nil
+}
+
+// AverageWaiting returns the mean waiting time across completed jobs
+// with recorded starts. It fails if any job lacks a start or
+// completion.
+func (c *Collector) AverageWaiting() (vclock.Duration, error) {
+	if len(c.order) == 0 {
+		return 0, fmt.Errorf("metrics: no jobs recorded")
+	}
+	var total vclock.Duration
+	for _, id := range c.order {
+		w, err := c.WaitingTime(id)
+		if err != nil {
+			return 0, err
+		}
+		total += w
+	}
+	return total / vclock.Duration(len(c.order)), nil
+}
+
+// TET returns the total execution time: the interval between the first
+// job's submission and the last job's completion. It fails if any job
+// is incomplete.
+func (c *Collector) TET() (vclock.Duration, error) {
+	if len(c.submitted) == 0 {
+		return 0, fmt.Errorf("metrics: no jobs recorded")
+	}
+	if inc := c.Incomplete(); len(inc) > 0 {
+		return 0, fmt.Errorf("metrics: %d job(s) incomplete: %v", len(inc), inc)
+	}
+	var first vclock.Time
+	var last vclock.Time
+	firstSet := false
+	for _, t := range c.submitted {
+		if !firstSet || t < first {
+			first = t
+			firstSet = true
+		}
+	}
+	for _, t := range c.completed {
+		if t > last {
+			last = t
+		}
+	}
+	return last.Sub(first), nil
+}
+
+// ART returns the average response time across all jobs. It fails if
+// any job is incomplete.
+func (c *Collector) ART() (vclock.Duration, error) {
+	if len(c.submitted) == 0 {
+		return 0, fmt.Errorf("metrics: no jobs recorded")
+	}
+	if inc := c.Incomplete(); len(inc) > 0 {
+		return 0, fmt.Errorf("metrics: %d job(s) incomplete: %v", len(inc), inc)
+	}
+	var total vclock.Duration
+	for _, id := range c.order {
+		rt, err := c.ResponseTime(id)
+		if err != nil {
+			return 0, err
+		}
+		total += rt
+	}
+	return total / vclock.Duration(len(c.order)), nil
+}
+
+// ResponseTimes returns every completed job's response time in
+// submission order. It fails if any job is incomplete.
+func (c *Collector) ResponseTimes() ([]vclock.Duration, error) {
+	if len(c.order) == 0 {
+		return nil, fmt.Errorf("metrics: no jobs recorded")
+	}
+	out := make([]vclock.Duration, 0, len(c.order))
+	for _, id := range c.order {
+		rt, err := c.ResponseTime(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rt)
+	}
+	return out, nil
+}
+
+// PercentileResponse returns the p-th percentile response time
+// (0 < p <= 100) using the nearest-rank method.
+func (c *Collector) PercentileResponse(p float64) (vclock.Duration, error) {
+	if p <= 0 || p > 100 {
+		return 0, fmt.Errorf("metrics: percentile %v outside (0,100]", p)
+	}
+	rts, err := c.ResponseTimes()
+	if err != nil {
+		return 0, err
+	}
+	sort.Slice(rts, func(i, j int) bool { return rts[i] < rts[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(rts))))
+	if rank < 1 {
+		rank = 1
+	}
+	return rts[rank-1], nil
+}
+
+// MaxResponse returns the worst per-job response time.
+func (c *Collector) MaxResponse() (vclock.Duration, error) {
+	return c.PercentileResponse(100)
+}
+
+// Summary is the measured outcome of one scheduler run.
+type Summary struct {
+	Scheme string
+	TET    vclock.Duration
+	ART    vclock.Duration
+}
+
+// Summarize computes a Summary for a completed run.
+func (c *Collector) Summarize(scheme string) (Summary, error) {
+	tet, err := c.TET()
+	if err != nil {
+		return Summary{}, err
+	}
+	art, err := c.ART()
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{Scheme: scheme, TET: tet, ART: art}, nil
+}
+
+// Report is a set of Summaries normalized against a baseline scheme,
+// matching Figure 4's presentation (the S^3 bar is defined as 1.0).
+type Report struct {
+	Baseline string
+	Rows     []ReportRow
+}
+
+// ReportRow is one scheme's absolute and normalized metrics.
+type ReportRow struct {
+	Scheme  string
+	TET     vclock.Duration
+	ART     vclock.Duration
+	NormTET float64
+	NormART float64
+}
+
+// Normalize builds a Report dividing every summary's metrics by the
+// baseline scheme's (paper: normalized so S^3 = 1).
+func Normalize(baseline string, summaries []Summary) (Report, error) {
+	var base *Summary
+	for i := range summaries {
+		if summaries[i].Scheme == baseline {
+			base = &summaries[i]
+			break
+		}
+	}
+	if base == nil {
+		return Report{}, fmt.Errorf("metrics: baseline scheme %q not among summaries", baseline)
+	}
+	if base.TET <= 0 || base.ART <= 0 {
+		return Report{}, fmt.Errorf("metrics: baseline %q has non-positive metrics %+v", baseline, *base)
+	}
+	rep := Report{Baseline: baseline}
+	for _, s := range summaries {
+		rep.Rows = append(rep.Rows, ReportRow{
+			Scheme:  s.Scheme,
+			TET:     s.TET,
+			ART:     s.ART,
+			NormTET: s.TET.Seconds() / base.TET.Seconds(),
+			NormART: s.ART.Seconds() / base.ART.Seconds(),
+		})
+	}
+	return rep, nil
+}
+
+// Row returns the report row for a scheme.
+func (r Report) Row(scheme string) (ReportRow, bool) {
+	for _, row := range r.Rows {
+		if row.Scheme == scheme {
+			return row, true
+		}
+	}
+	return ReportRow{}, false
+}
+
+// String renders the report as an aligned table sorted by scheme name,
+// with the baseline first.
+func (r Report) String() string {
+	rows := make([]ReportRow, len(r.Rows))
+	copy(rows, r.Rows)
+	sort.Slice(rows, func(i, j int) bool {
+		if (rows[i].Scheme == r.Baseline) != (rows[j].Scheme == r.Baseline) {
+			return rows[i].Scheme == r.Baseline
+		}
+		return rows[i].Scheme < rows[j].Scheme
+	})
+	out := fmt.Sprintf("%-10s %12s %12s %9s %9s\n", "scheme", "TET", "ART", "TET/base", "ART/base")
+	for _, row := range rows {
+		out += fmt.Sprintf("%-10s %12s %12s %9.2f %9.2f\n",
+			row.Scheme, row.TET, row.ART, row.NormTET, row.NormART)
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+package remote
+
+import (
+	"fmt"
+	"net/rpc"
+	"sync"
+
+	"s3sched/internal/mapreduce"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/vclock"
+)
+
+// Master drives scheduler rounds on remote workers. It implements
+// driver.Executor, so the same driver loop that runs the in-process
+// engine and the simulator also runs the distributed cluster.
+//
+// Task placement is locality-first: block i is mapped on worker
+// i mod W, which owns that block locally; reduce partition p of a job
+// runs on worker p mod W.
+type Master struct {
+	clients []*rpc.Client
+	jobs    map[scheduler.JobID]JobRef
+	// timeScale converts measured wall seconds to virtual seconds.
+	timeScale float64
+	clock     *vclock.Wall
+
+	mu sync.Mutex
+	// partitions[job][p] accumulates job's shuffle records.
+	partitions map[scheduler.JobID][][]mapreduce.KV
+	results    map[scheduler.JobID][]mapreduce.KV
+	failovers  int
+}
+
+// Dial connects a master to the given worker addresses and registers
+// the jobs it may be asked to run.
+func Dial(addrs []string, jobs map[scheduler.JobID]JobRef) (*Master, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("remote: master needs at least one worker")
+	}
+	m := &Master{
+		jobs:       jobs,
+		timeScale:  1,
+		clock:      vclock.NewWall(),
+		partitions: make(map[scheduler.JobID][][]mapreduce.KV),
+		results:    make(map[scheduler.JobID][]mapreduce.KV),
+	}
+	for _, addr := range addrs {
+		c, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("remote: dialing worker %s: %w", addr, err)
+		}
+		m.clients = append(m.clients, c)
+	}
+	return m, nil
+}
+
+// SetTimeScale sets the virtual-seconds-per-wall-second factor.
+func (m *Master) SetTimeScale(scale float64) {
+	if scale <= 0 {
+		panic(fmt.Sprintf("remote: time scale must be positive, got %v", scale))
+	}
+	m.timeScale = scale
+}
+
+// Close drops all worker connections.
+func (m *Master) Close() error {
+	var first error
+	for _, c := range m.clients {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	m.clients = nil
+	return first
+}
+
+// Results returns completed jobs' outputs, sorted by key.
+func (m *Master) Results() map[scheduler.JobID][]mapreduce.KV {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[scheduler.JobID][]mapreduce.KV, len(m.results))
+	for id, kvs := range m.results {
+		out[id] = kvs
+	}
+	return out
+}
+
+// WorkerStats polls every worker's counters.
+func (m *Master) WorkerStats() ([]StatsReply, error) {
+	out := make([]StatsReply, len(m.clients))
+	for i, c := range m.clients {
+		if err := c.Call("Worker.Stats", &StatsArgs{}, &out[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ExecRound implements driver.Executor: map every block of the round
+// on its home worker (one merged task per block), then reduce the
+// completed jobs' partitions across the workers.
+func (m *Master) ExecRound(r scheduler.Round) (vclock.Duration, error) {
+	start := m.clock.Now()
+	refs := make([]JobRef, len(r.Jobs))
+	ids := make([]scheduler.JobID, len(r.Jobs))
+	for i, j := range r.Jobs {
+		ref, ok := m.jobs[j.ID]
+		if !ok {
+			return 0, fmt.Errorf("remote: no JobRef registered for job %d", j.ID)
+		}
+		refs[i] = ref
+		ids[i] = j.ID
+		m.ensureJob(j.ID, ref)
+	}
+
+	// Map phase: one merged task per block, locality-first on the
+	// block's home worker, failing over to the other workers when a
+	// worker is unreachable — any worker can serve any block, exactly
+	// like re-running a task against another HDFS replica.
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for _, b := range r.Blocks {
+		wg.Add(1)
+		go func(file string, idx int) {
+			defer wg.Done()
+			reply, err := m.mapWithFailover(file, idx, refs)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			m.mu.Lock()
+			for i, parts := range reply.PerJob {
+				dst := m.partitions[ids[i]]
+				for p, kvs := range parts {
+					dst[p] = append(dst[p], kvs...)
+				}
+			}
+			m.mu.Unlock()
+		}(b.File, b.Index)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+
+	// Reduce phase for jobs completing this round.
+	for _, id := range r.Completes {
+		if err := m.finishJob(id); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := m.clock.Now().Sub(start)
+	return vclock.Duration(elapsed.Seconds() * m.timeScale), nil
+}
+
+// isTransportError distinguishes a dead connection (retry elsewhere)
+// from a task-level failure the job owns (propagate). net/rpc returns
+// rpc.ServerError for errors the remote handler produced; everything
+// else is transport.
+func isTransportError(err error) bool {
+	_, serverSide := err.(rpc.ServerError)
+	return !serverSide
+}
+
+// mapWithFailover tries the block's home worker first, then every
+// other worker. Task-level errors are returned immediately; transport
+// errors rotate to the next worker. Retried tasks re-execute from the
+// locally regenerated block, so results are unaffected.
+func (m *Master) mapWithFailover(file string, idx int, refs []JobRef) (*MapTaskReply, error) {
+	home := idx % len(m.clients)
+	var lastErr error
+	for off := 0; off < len(m.clients); off++ {
+		client := m.clients[(home+off)%len(m.clients)]
+		var reply MapTaskReply
+		err := client.Call("Worker.ExecMap", &MapTaskArgs{File: file, BlockIndex: idx, Jobs: refs}, &reply)
+		if err == nil {
+			if off > 0 {
+				m.mu.Lock()
+				m.failovers++
+				m.mu.Unlock()
+			}
+			return &reply, nil
+		}
+		if !isTransportError(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("remote: block %s#%d failed on every worker: %w", file, idx, lastErr)
+}
+
+// reduceWithFailover mirrors mapWithFailover for reduce tasks.
+func (m *Master) reduceWithFailover(ref JobRef, p int, records []mapreduce.KV) ([]mapreduce.KV, error) {
+	home := p % len(m.clients)
+	var lastErr error
+	for off := 0; off < len(m.clients); off++ {
+		client := m.clients[(home+off)%len(m.clients)]
+		var reply ReduceTaskReply
+		err := client.Call("Worker.ExecReduce", &ReduceTaskArgs{Job: ref, Partition: p, Records: records}, &reply)
+		if err == nil {
+			if off > 0 {
+				m.mu.Lock()
+				m.failovers++
+				m.mu.Unlock()
+			}
+			return reply.Output, nil
+		}
+		if !isTransportError(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("remote: job %q partition %d failed on every worker: %w", ref.Name, p, lastErr)
+}
+
+// Failovers reports how many map tasks succeeded only after moving off
+// their home worker.
+func (m *Master) Failovers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failovers
+}
+
+// ensureJob lazily allocates a job's shuffle space.
+func (m *Master) ensureJob(id scheduler.JobID, ref JobRef) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.partitions[id]; ok {
+		return
+	}
+	width := ref.NumReduce
+	if width <= 0 {
+		width = 1
+	}
+	m.partitions[id] = make([][]mapreduce.KV, width)
+}
+
+// finishJob fans the job's partitions out to workers for reduction and
+// merges the outputs.
+func (m *Master) finishJob(id scheduler.JobID) error {
+	ref := m.jobs[id]
+	m.mu.Lock()
+	parts, ok := m.partitions[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("remote: round completes unknown job %d", id)
+	}
+	delete(m.partitions, id)
+	m.mu.Unlock()
+
+	outputs := make([][]mapreduce.KV, len(parts))
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for p, records := range parts {
+		wg.Add(1)
+		go func(p int, records []mapreduce.KV) {
+			defer wg.Done()
+			out, err := m.reduceWithFailover(ref, p, records)
+			errMu.Lock()
+			defer errMu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+				return
+			}
+			outputs[p] = out
+		}(p, records)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	m.mu.Lock()
+	m.results[id] = mapreduce.MergeSorted(outputs)
+	m.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,54 @@
+package remote
+
+import "s3sched/internal/mapreduce"
+
+// Wire types for the master↔worker RPC protocol (net/rpc over gob).
+
+// JobRef names one job's executable parts for a worker's registry.
+type JobRef struct {
+	// Name identifies the job (for error messages and counters).
+	Name string
+	// Factory is the registry key; Param its argument.
+	Factory string
+	Param   string
+	// NumReduce is the job's reduce partition count.
+	NumReduce int
+}
+
+// MapTaskArgs asks a worker to scan one of its local blocks once and
+// feed it to every job in Jobs — one merged (shared-scan) map task.
+type MapTaskArgs struct {
+	File       string
+	BlockIndex int
+	Jobs       []JobRef
+}
+
+// MapTaskReply carries the shuffled output: PerJob[i][p] is the slice
+// of records job i emitted into reduce partition p.
+type MapTaskReply struct {
+	PerJob       [][][]mapreduce.KV
+	BytesScanned int64
+}
+
+// ReduceTaskArgs asks a worker to reduce one partition of one job.
+type ReduceTaskArgs struct {
+	Job       JobRef
+	Partition int
+	Records   []mapreduce.KV
+}
+
+// ReduceTaskReply carries the partition's reduced output.
+type ReduceTaskReply struct {
+	Output []mapreduce.KV
+}
+
+// StatsArgs is empty; StatsReply reports a worker's lifetime counters.
+type StatsArgs struct{}
+
+// StatsReply is one worker's physical-work ledger.
+type StatsReply struct {
+	BlockReads   int64
+	BytesScanned int64
+	MapTasks     int64
+	ReduceTasks  int64
+}

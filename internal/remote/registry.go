@@ -1,0 +1,80 @@
+// Package remote is a distributed execution substrate: a master
+// drives map and reduce tasks on worker processes over TCP (net/rpc),
+// the way the paper's S^3 plugin drives Hadoop TaskTrackers. The
+// schedulers are byte-for-byte the same ones the in-process engine and
+// the simulator use — the master simply implements driver.Executor —
+// which demonstrates the paper's claim that S^3 integrates
+// non-intrusively with the execution layer (§IV-A).
+//
+// Job code cannot cross the wire, so jobs are named factory
+// invocations: every worker holds a Registry mapping factory names to
+// mapper/reducer constructors, and the master sends
+// (factory, parameter) pairs. Workers generate their blocks locally
+// from the deterministic workload generators — the distributed
+// analogue of data locality: the bytes never travel, only task
+// descriptions and intermediate records do.
+package remote
+
+import (
+	"fmt"
+	"strconv"
+
+	"s3sched/internal/mapreduce"
+	"s3sched/internal/workload"
+)
+
+// JobFactory builds a job's executable parts from a parameter string.
+type JobFactory func(param string) (mapreduce.Mapper, mapreduce.Reducer, mapreduce.Reducer, error)
+
+// Registry resolves factory names. It is populated once at startup and
+// read-only afterwards, so it needs no locking.
+type Registry struct {
+	factories map[string]JobFactory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]JobFactory)}
+}
+
+// Register adds a factory under name. Re-registering a name is a
+// configuration bug and panics.
+func (r *Registry) Register(name string, f JobFactory) {
+	if _, dup := r.factories[name]; dup {
+		panic(fmt.Sprintf("remote: factory %q registered twice", name))
+	}
+	r.factories[name] = f
+}
+
+// Build resolves a factory and constructs the job parts.
+func (r *Registry) Build(name, param string) (mapper mapreduce.Mapper, reducer, combiner mapreduce.Reducer, err error) {
+	f, ok := r.factories[name]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("remote: unknown job factory %q", name)
+	}
+	return f(param)
+}
+
+// NewStandardRegistry returns a registry with the repository's three
+// workload families:
+//
+//	"wordcount"   param = prefix to count
+//	"selection"   param = max l_quantity (integer)
+//	"aggregation" param unused (Q1-style group-by sum)
+func NewStandardRegistry() *Registry {
+	r := NewRegistry()
+	r.Register("wordcount", func(param string) (mapreduce.Mapper, mapreduce.Reducer, mapreduce.Reducer, error) {
+		return workload.PatternCountMapper{Prefix: param}, workload.SumReducer{}, workload.SumReducer{}, nil
+	})
+	r.Register("selection", func(param string) (mapreduce.Mapper, mapreduce.Reducer, mapreduce.Reducer, error) {
+		max, err := strconv.Atoi(param)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("remote: selection wants an integer quantity, got %q", param)
+		}
+		return workload.SelectionMapper{MaxQuantity: max}, nil, nil, nil
+	})
+	r.Register("aggregation", func(string) (mapreduce.Mapper, mapreduce.Reducer, mapreduce.Reducer, error) {
+		return workload.AggregationMapper{}, workload.SumReducer{}, workload.SumReducer{}, nil
+	})
+	return r
+}

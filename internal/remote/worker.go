@@ -1,0 +1,152 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"sync/atomic"
+
+	"s3sched/internal/dfs"
+	"s3sched/internal/mapreduce"
+)
+
+// Worker executes map and reduce tasks against its own local block
+// store. In the paper's deployment this is a slave node with its HDFS
+// blocks on local disk; here the store regenerates blocks from the
+// deterministic workload generators, so no data is ever shipped.
+type Worker struct {
+	store    *dfs.Store
+	registry *Registry
+
+	mapTasks    atomic.Int64
+	reduceTasks atomic.Int64
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+}
+
+// NewWorker builds a worker over its local store and job registry.
+func NewWorker(store *dfs.Store, registry *Registry) *Worker {
+	if store == nil || registry == nil {
+		panic("remote: worker needs a store and a registry")
+	}
+	return &Worker{store: store, registry: registry}
+}
+
+// ExecMap implements the MapTask RPC: scan the block once, run every
+// job's mapper over it, combine and partition each job's output.
+func (w *Worker) ExecMap(args *MapTaskArgs, reply *MapTaskReply) error {
+	if len(args.Jobs) == 0 {
+		return fmt.Errorf("remote: map task with no jobs")
+	}
+	data, err := w.store.ReadBlock(dfs.BlockID{File: args.File, Index: args.BlockIndex})
+	if err != nil {
+		return err
+	}
+	reply.BytesScanned = int64(len(data))
+	reply.PerJob = make([][][]mapreduce.KV, len(args.Jobs))
+	for i, ref := range args.Jobs {
+		mapper, _, combiner, err := w.registry.Build(ref.Factory, ref.Param)
+		if err != nil {
+			return err
+		}
+		width := ref.NumReduce
+		if width <= 0 {
+			width = 1
+		}
+		parts, err := mapreduce.MapBlockForJob(dfs.BlockID{File: args.File, Index: args.BlockIndex},
+			data, mapper, combiner, width)
+		if err != nil {
+			return fmt.Errorf("remote: job %q block %d: %w", ref.Name, args.BlockIndex, err)
+		}
+		reply.PerJob[i] = parts
+		w.mapTasks.Add(1)
+	}
+	return nil
+}
+
+// ExecReduce implements the ReduceTask RPC: sort, group and reduce one
+// partition's records.
+func (w *Worker) ExecReduce(args *ReduceTaskArgs, reply *ReduceTaskReply) error {
+	_, reducer, _, err := w.registry.Build(args.Job.Factory, args.Job.Param)
+	if err != nil {
+		return err
+	}
+	out, err := mapreduce.ReducePartition(args.Records, reducer)
+	if err != nil {
+		return fmt.Errorf("remote: job %q partition %d: %w", args.Job.Name, args.Partition, err)
+	}
+	reply.Output = out
+	w.reduceTasks.Add(1)
+	return nil
+}
+
+// Stats implements the Stats RPC.
+func (w *Worker) Stats(_ *StatsArgs, reply *StatsReply) error {
+	st := w.store.Stats()
+	reply.BlockReads = st.BlockReads
+	reply.BytesScanned = st.BytesScanned
+	reply.MapTasks = w.mapTasks.Load()
+	reply.ReduceTasks = w.reduceTasks.Load()
+	return nil
+}
+
+// Serve starts the worker's RPC server on addr ("127.0.0.1:0" for an
+// ephemeral port) and returns the bound address. It serves until Close.
+func (w *Worker) Serve(addr string) (string, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", w); err != nil {
+		return "", err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	w.mu.Lock()
+	w.ln = ln
+	w.conns = make(map[net.Conn]struct{})
+	w.mu.Unlock()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			w.mu.Lock()
+			if w.conns == nil {
+				w.mu.Unlock()
+				conn.Close()
+				return
+			}
+			w.conns[conn] = struct{}{}
+			w.mu.Unlock()
+			go func() {
+				srv.ServeConn(conn)
+				w.mu.Lock()
+				delete(w.conns, conn)
+				w.mu.Unlock()
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close kills the worker: the listener and every live connection are
+// torn down, so in-flight and future calls from masters fail with
+// transport errors — the observable signature of a dead slave node.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.ln == nil {
+		return nil
+	}
+	err := w.ln.Close()
+	w.ln = nil
+	for conn := range w.conns {
+		conn.Close()
+	}
+	w.conns = nil
+	return err
+}

@@ -1,0 +1,108 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"s3sched/internal/dfs"
+	"s3sched/internal/trace"
+	"s3sched/internal/vclock"
+)
+
+// FIFO reproduces Hadoop's default scheduler (paper §II-B): jobs run
+// one after another in submission order, each scanning the whole file
+// from the beginning for itself. There is no sharing: a job arriving
+// while another runs waits for every job ahead of it.
+//
+// Execution is still expressed in per-segment rounds so that all
+// schemes pay identical per-round overheads in the cost model — FIFO
+// is penalized only by its lack of sharing, not by bookkeeping
+// differences.
+type FIFO struct {
+	plan  *dfs.SegmentPlan
+	log   *trace.Log
+	queue []JobMeta // waiting jobs, head first
+	cur   *fifoRun  // job currently executing, nil when idle
+	seen  map[JobID]bool
+	// inFlight guards the serial-round protocol.
+	inFlight bool
+	pending  int
+}
+
+type fifoRun struct {
+	job  JobMeta
+	next int // next segment index to scan (linear 0..k-1)
+}
+
+// NewFIFO returns a FIFO scheduler over the segment plan. log may be
+// nil.
+func NewFIFO(plan *dfs.SegmentPlan, log *trace.Log) *FIFO {
+	return &FIFO{plan: plan, log: log, seen: make(map[JobID]bool)}
+}
+
+// Name implements Scheduler.
+func (f *FIFO) Name() string { return "fifo" }
+
+// Submit implements Scheduler.
+func (f *FIFO) Submit(job JobMeta, at vclock.Time) error {
+	if f.seen[job.ID] {
+		return fmt.Errorf("%w: %d", ErrDuplicateJob, job.ID)
+	}
+	if job.File != f.plan.File().Name {
+		return fmt.Errorf("%w: job %d reads %q, plan is for %q", ErrWrongFile, job.ID, job.File, f.plan.File().Name)
+	}
+	f.seen[job.ID] = true
+	f.pending++
+	f.queue = append(f.queue, job.normalized())
+	f.log.Addf(at, trace.JobSubmitted, int(job.ID), -1, "fifo queue depth %d", len(f.queue))
+	return nil
+}
+
+// NextRound implements Scheduler.
+func (f *FIFO) NextRound(now vclock.Time) (Round, bool) {
+	if f.inFlight {
+		panic("scheduler: FIFO.NextRound called with a round in flight")
+	}
+	if f.cur == nil {
+		if len(f.queue) == 0 {
+			return Round{}, false
+		}
+		f.cur = &fifoRun{job: f.queue[0]}
+		f.queue = f.queue[1:]
+	}
+	seg := f.cur.next
+	r := Round{
+		Segment: seg,
+		Blocks:  f.plan.Blocks(seg),
+		Jobs:    []JobMeta{f.cur.job},
+	}
+	if seg == 0 {
+		r.FreshJobs = 1 // the job is submitted once, at its first wave
+	}
+	if seg == f.plan.NumSegments()-1 {
+		r.Completes = []JobID{f.cur.job.ID}
+	}
+	f.inFlight = true
+	f.log.Addf(now, trace.RoundLaunched, int(f.cur.job.ID), seg, "fifo")
+	return r, true
+}
+
+// RoundDone implements Scheduler.
+func (f *FIFO) RoundDone(r Round, now vclock.Time) []JobID {
+	if !f.inFlight {
+		panic("scheduler: FIFO.RoundDone without a round in flight")
+	}
+	f.inFlight = false
+	f.log.Addf(now, trace.RoundFinished, int(f.cur.job.ID), r.Segment, "fifo")
+	f.cur.next++
+	if f.cur.next == f.plan.NumSegments() {
+		done := f.cur.job.ID
+		f.cur = nil
+		f.pending--
+		f.log.Addf(now, trace.JobCompleted, int(done), -1, "fifo")
+		return []JobID{done}
+	}
+	return nil
+}
+
+// PendingJobs implements Scheduler.
+func (f *FIFO) PendingJobs() int { return f.pending }

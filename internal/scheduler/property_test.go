@@ -1,0 +1,208 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"s3sched/internal/dfs"
+	"s3sched/internal/vclock"
+)
+
+// Property: WindowMRShare batches never exceed the size cap, and the
+// members of one batch all arrived within one window of its first
+// member. Every job completes exactly once.
+func TestWindowBatchingProperty(t *testing.T) {
+	prop := func(seed int64, n8, window8, cap8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8%10) + 1
+		window := vclock.Duration(window8%50) + 1
+		maxBatch := int(cap8%5) + 1
+
+		store := dfs.NewStore(2, 1)
+		f, err := store.AddMetaFile("input", 2, 64)
+		if err != nil {
+			return false
+		}
+		plan, err := dfs.PlanSegments(f, 1) // 2 segments
+		if err != nil {
+			return false
+		}
+		w, err := NewWindowMRShare(plan, window, maxBatch, nil)
+		if err != nil {
+			return false
+		}
+
+		arrivalOf := map[JobID]vclock.Time{}
+		now := vclock.Time(0)
+		submitted, completed := 0, 0
+		steps := 0
+		for submitted < n || w.PendingJobs() > 0 {
+			steps++
+			if steps > 10000 {
+				return false
+			}
+			if submitted < n && rng.Intn(2) == 0 {
+				id := JobID(submitted + 1)
+				if err := w.Submit(JobMeta{ID: id, File: "input"}, now); err != nil {
+					return false
+				}
+				arrivalOf[id] = now
+				submitted++
+				now = now.Add(vclock.Duration(rng.Intn(20)))
+				continue
+			}
+			r, ok := w.NextRound(now)
+			if !ok {
+				// Idle: advance to the wake time or push the clock.
+				if wake, wok := w.NextWake(now); wok && wake > now {
+					now = wake
+				} else if submitted < n {
+					now = now.Add(1)
+				} else if w.PendingJobs() > 0 {
+					return false // stuck with no timer
+				}
+				continue
+			}
+			if len(r.Jobs) > maxBatch {
+				return false
+			}
+			// Batch members arrived within one window of the first.
+			first := arrivalOf[r.Jobs[0].ID]
+			for _, j := range r.Jobs {
+				if arrivalOf[j.ID].Sub(first) > window {
+					return false
+				}
+			}
+			now = now.Add(vclock.Duration(rng.Intn(5)) + 1)
+			completed += len(w.RoundDone(r, now))
+		}
+		return completed == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Fair gives every job exactly k slices with segments in
+// linear order, regardless of interleaved arrivals.
+func TestFairSliceProperty(t *testing.T) {
+	prop := func(seed int64, k8, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(k8%6) + 1
+		n := int(n8%5) + 1
+
+		store := dfs.NewStore(2, 1)
+		f, err := store.AddMetaFile("input", k, 64)
+		if err != nil {
+			return false
+		}
+		plan, err := dfs.PlanSegments(f, 1)
+		if err != nil {
+			return false
+		}
+		fair := NewFair(plan, nil)
+
+		segs := map[JobID][]int{}
+		submitted := 0
+		steps := 0
+		for submitted < n || fair.PendingJobs() > 0 {
+			steps++
+			if steps > 10000 {
+				return false
+			}
+			if submitted < n && (rng.Intn(2) == 0 || fair.PendingJobs() == 0) {
+				id := JobID(submitted + 1)
+				if err := fair.Submit(JobMeta{ID: id, File: "input"}, 0); err != nil {
+					return false
+				}
+				submitted++
+				continue
+			}
+			r, ok := fair.NextRound(0)
+			if !ok {
+				return false
+			}
+			if len(r.Jobs) != 1 {
+				return false // fair never merges
+			}
+			segs[r.Jobs[0].ID] = append(segs[r.Jobs[0].ID], r.Segment)
+			fair.RoundDone(r, 0)
+		}
+		if len(segs) != n {
+			return false
+		}
+		for _, ss := range segs {
+			if len(ss) != k {
+				return false
+			}
+			for i, seg := range ss {
+				if seg != i {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MRShare with random batch splits completes every job, and
+// every round's batch is exactly one configured batch.
+func TestMRShareBatchProperty(t *testing.T) {
+	prop := func(seed int64, n8, k8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8%8) + 1
+		k := int(k8%4) + 1
+		// Random batch split summing to n.
+		var sizes []int
+		left := n
+		for left > 0 {
+			sz := rng.Intn(left) + 1
+			sizes = append(sizes, sz)
+			left -= sz
+		}
+		store := dfs.NewStore(2, 1)
+		f, err := store.AddMetaFile("input", k, 64)
+		if err != nil {
+			return false
+		}
+		plan, err := dfs.PlanSegments(f, 1)
+		if err != nil {
+			return false
+		}
+		m, err := NewMRShare(plan, sizes, nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if err := m.Submit(JobMeta{ID: JobID(i + 1), File: "input"}, 0); err != nil {
+				return false
+			}
+		}
+		completed := 0
+		batchIdx := 0
+		roundsInBatch := 0
+		for {
+			r, ok := m.NextRound(0)
+			if !ok {
+				break
+			}
+			if len(r.Jobs) != sizes[batchIdx] {
+				return false
+			}
+			roundsInBatch++
+			if roundsInBatch == k {
+				batchIdx++
+				roundsInBatch = 0
+			}
+			completed += len(m.RoundDone(r, 0))
+		}
+		return completed == n && batchIdx == len(sizes)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

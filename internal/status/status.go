@@ -1,0 +1,178 @@
+// Package status exposes a run's live state over HTTP — the
+// observability layer a production scheduler deployment needs. The
+// driver's hooks publish state snapshots into a Server; the server
+// renders them as JSON (/status.json) and a minimal HTML dashboard (/).
+//
+// Publication is push-based: the single-threaded driver loop owns the
+// scheduler, so HTTP handlers never touch scheduler internals — they
+// read an atomically swapped snapshot.
+package status
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net"
+	"net/http"
+	"sync"
+
+	"s3sched/internal/driver"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/vclock"
+)
+
+// RoundInfo describes the most recent round.
+type RoundInfo struct {
+	Segment   int   `json:"segment"`
+	Blocks    int   `json:"blocks"`
+	BatchSize int   `json:"batchSize"`
+	Jobs      []int `json:"jobs"`
+	Completed []int `json:"completed"`
+}
+
+// State is the published run snapshot.
+type State struct {
+	Scheme       string             `json:"scheme"`
+	VirtualTime  float64            `json:"virtualTime"`
+	Rounds       int                `json:"rounds"`
+	PendingJobs  int                `json:"pendingJobs"`
+	DoneJobs     int                `json:"doneJobs"`
+	LastRound    *RoundInfo         `json:"lastRound,omitempty"`
+	RunComplete  bool               `json:"runComplete"`
+	FailureNote  string             `json:"failureNote,omitempty"`
+	TETSeconds   float64            `json:"tetSeconds,omitempty"`
+	ARTSeconds   float64            `json:"artSeconds,omitempty"`
+	ExtraNumbers map[string]float64 `json:"extra,omitempty"`
+}
+
+// Server publishes State over HTTP.
+type Server struct {
+	mu    sync.RWMutex
+	state State
+	ln    net.Listener
+}
+
+// NewServer returns an empty status server.
+func NewServer(scheme string) *Server {
+	return &Server{state: State{Scheme: scheme}}
+}
+
+// Update applies f to the published state under the server's lock.
+func (s *Server) Update(f func(*State)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(&s.state)
+}
+
+// Snapshot returns a copy of the current state.
+func (s *Server) Snapshot() State {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.state
+	if st.LastRound != nil {
+		lr := *st.LastRound
+		st.LastRound = &lr
+	}
+	return st
+}
+
+// Hooks returns driver hooks that publish round progress into the
+// server.
+func (s *Server) Hooks(sched scheduler.Scheduler) driver.Hooks {
+	return driver.Hooks{
+		OnRoundDone: func(r scheduler.Round, now vclock.Time, completed []scheduler.JobID) {
+			s.Update(func(st *State) {
+				st.Rounds++
+				st.VirtualTime = float64(now)
+				st.PendingJobs = sched.PendingJobs()
+				st.DoneJobs += len(completed)
+				info := &RoundInfo{
+					Segment:   r.Segment,
+					Blocks:    len(r.Blocks),
+					BatchSize: len(r.Jobs),
+				}
+				for _, id := range r.JobIDs() {
+					info.Jobs = append(info.Jobs, int(id))
+				}
+				for _, id := range completed {
+					info.Completed = append(info.Completed, int(id))
+				}
+				st.LastRound = info
+			})
+		},
+	}
+}
+
+var dashboard = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
+<html><head><title>s3sched status</title></head><body>
+<h1>s3sched — {{.Scheme}}</h1>
+<table border="1" cellpadding="4">
+<tr><td>virtual time</td><td>{{printf "%.3f" .VirtualTime}}s</td></tr>
+<tr><td>rounds</td><td>{{.Rounds}}</td></tr>
+<tr><td>pending jobs</td><td>{{.PendingJobs}}</td></tr>
+<tr><td>completed jobs</td><td>{{.DoneJobs}}</td></tr>
+<tr><td>run complete</td><td>{{.RunComplete}}</td></tr>
+{{if .LastRound}}<tr><td>last round</td><td>segment {{.LastRound.Segment}},
+batch {{.LastRound.BatchSize}}, blocks {{.LastRound.Blocks}}</td></tr>{{end}}
+{{if .TETSeconds}}<tr><td>TET</td><td>{{printf "%.3f" .TETSeconds}}s</td></tr>{{end}}
+{{if .ARTSeconds}}<tr><td>ART</td><td>{{printf "%.3f" .ARTSeconds}}s</td></tr>{{end}}
+{{if .FailureNote}}<tr><td>failure</td><td>{{.FailureNote}}</td></tr>{{end}}
+</table>
+<p><a href="/status.json">status.json</a></p>
+</body></html>`))
+
+// Handler returns the HTTP handler serving / and /status.json.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := dashboard.Execute(w, s.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// Serve starts the HTTP server on addr ("127.0.0.1:0" for ephemeral)
+// and returns the bound address. It serves until Close.
+func (s *Server) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go func() {
+		// http.Serve returns when the listener closes.
+		_ = http.Serve(ln, s.Handler())
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the HTTP listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	err := s.ln.Close()
+	s.ln = nil
+	if err != nil {
+		return fmt.Errorf("status: closing listener: %w", err)
+	}
+	return nil
+}

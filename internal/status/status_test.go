@@ -1,0 +1,115 @@
+package status
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"s3sched/internal/core"
+	"s3sched/internal/dfs"
+	"s3sched/internal/driver"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/vclock"
+)
+
+func TestStatusJSONAndHTML(t *testing.T) {
+	s := NewServer("s3")
+	s.Update(func(st *State) {
+		st.Rounds = 7
+		st.PendingJobs = 2
+		st.DoneJobs = 1
+		st.VirtualTime = 42.5
+		st.LastRound = &RoundInfo{Segment: 3, Blocks: 4, BatchSize: 2, Jobs: []int{1, 2}}
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/status.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st State
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 7 || st.Scheme != "s3" || st.LastRound == nil || st.LastRound.Segment != 3 {
+		t.Errorf("state = %+v", st)
+	}
+
+	resp2, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, _ := io.ReadAll(resp2.Body)
+	for _, want := range []string{"s3sched", "42.5", "segment 3", "status.json"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("dashboard missing %q:\n%s", want, body)
+		}
+	}
+
+	resp3, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", resp3.StatusCode)
+	}
+}
+
+func TestHooksPublishProgress(t *testing.T) {
+	store := dfs.NewStore(2, 1)
+	f, err := store.AddMetaFile("input", 4, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := dfs.PlanSegments(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := core.New(plan, nil)
+	srv := NewServer(sched.Name())
+
+	exec := driver.ExecutorFunc(func(scheduler.Round) (vclock.Duration, error) { return 10, nil })
+	res, err := driver.RunWithHooks(sched, exec, []driver.Arrival{
+		{Job: scheduler.JobMeta{ID: 1, File: "input"}, At: 0},
+		{Job: scheduler.JobMeta{ID: 2, File: "input"}, At: 5},
+	}, srv.Hooks(sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Snapshot()
+	if st.Rounds != res.Rounds {
+		t.Errorf("published rounds = %d, driver says %d", st.Rounds, res.Rounds)
+	}
+	if st.DoneJobs != 2 || st.PendingJobs != 0 {
+		t.Errorf("state = %+v", st)
+	}
+	if st.LastRound == nil || len(st.LastRound.Completed) == 0 {
+		t.Errorf("last round = %+v, want a completing round", st.LastRound)
+	}
+}
+
+func TestServeAndClose(t *testing.T) {
+	s := NewServer("x")
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/status.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Error("double close should be a no-op")
+	}
+}

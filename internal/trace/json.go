@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonEvent is the export shape of one event.
+type jsonEvent struct {
+	At      float64 `json:"at"`
+	Kind    string  `json:"kind"`
+	Job     int     `json:"job,omitempty"`
+	Segment int     `json:"segment,omitempty"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// WriteJSON serializes the retained events as a JSON array, one object
+// per event, for external analysis tooling. Negative job/segment ids
+// (meaning "not applicable") are omitted via omitempty... but zero is
+// a valid id, so they are shifted: exported ids are 1-based, 0 means
+// absent.
+func (l *Log) WriteJSON(w io.Writer) error {
+	events := l.Events()
+	out := make([]jsonEvent, len(events))
+	for i, e := range events {
+		je := jsonEvent{
+			At:     float64(e.At),
+			Kind:   e.Kind.String(),
+			Detail: e.Detail,
+		}
+		if e.Job >= 0 {
+			je.Job = e.Job + 1
+		}
+		if e.Segment >= 0 {
+			je.Segment = e.Segment + 1
+		}
+		out[i] = je
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

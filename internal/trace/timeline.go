@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"s3sched/internal/vclock"
+)
+
+// Timeline rendering: an ASCII Gantt chart of a run's rounds, built
+// from the RoundLaunched/RoundFinished event pairs a scheduler logged.
+// Each row is one round; the bar's position and width are proportional
+// to virtual time.
+
+// span is one launched-finished round interval.
+type span struct {
+	start, end vclock.Time
+	segment    int
+	detail     string
+}
+
+// RenderTimeline draws the log's rounds as a Gantt chart width
+// characters wide. It returns an empty string when the log holds no
+// complete round.
+func (l *Log) RenderTimeline(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	events := l.Events()
+	var spans []span
+	var open *span
+	for _, e := range events {
+		switch e.Kind {
+		case RoundLaunched:
+			open = &span{start: e.At, segment: e.Segment, detail: e.Detail}
+		case RoundFinished:
+			if open != nil {
+				open.end = e.At
+				spans = append(spans, *open)
+				open = nil
+			}
+		}
+	}
+	if len(spans) == 0 {
+		return ""
+	}
+	t0 := spans[0].start
+	t1 := spans[0].end
+	for _, s := range spans {
+		if s.start < t0 {
+			t0 = s.start
+		}
+		if s.end > t1 {
+			t1 = s.end
+		}
+	}
+	total := float64(t1 - t0)
+	if total <= 0 {
+		total = 1
+	}
+	scale := float64(width) / total
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %v .. %v (%d rounds)\n", t0, t1, len(spans))
+	for i, s := range spans {
+		lead := int(float64(s.start-t0) * scale)
+		bar := int(float64(s.end-s.start) * scale)
+		if bar < 1 {
+			bar = 1
+		}
+		if lead+bar > width {
+			bar = width - lead
+			if bar < 1 {
+				bar = 1
+				lead = width - 1
+			}
+		}
+		label := fmt.Sprintf("r%-3d seg %-3d", i+1, s.segment)
+		if s.segment < 0 {
+			label = fmt.Sprintf("r%-3d         ", i+1)
+		}
+		fmt.Fprintf(&b, "%s |%s%s%s| %s\n",
+			label,
+			strings.Repeat(" ", lead),
+			strings.Repeat("#", bar),
+			strings.Repeat(" ", width-lead-bar),
+			s.detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,171 @@
+// Package trace records structured scheduler events into a bounded
+// ring buffer. Tests assert on the decision sequence a scheduler made;
+// cmd/s3demo prints it for humans. Tracing is always cheap enough to
+// leave on: appending an event is a mutex-protected slice write.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"s3sched/internal/vclock"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// JobSubmitted records a job entering a scheduler.
+	JobSubmitted Kind = iota
+	// JobCompleted records a job leaving a scheduler with all work done.
+	JobCompleted
+	// RoundLaunched records a batch of work handed to the execution engine.
+	RoundLaunched
+	// RoundFinished records the engine reporting a round complete.
+	RoundFinished
+	// SubJobAligned records a sub-job being aligned into a waiting batch.
+	SubJobAligned
+	// SegmentAdvanced records the circular cursor moving to a new segment.
+	SegmentAdvanced
+	// NodeExcluded records the slot checker removing a slow node.
+	NodeExcluded
+	// NodeRestored records a previously slow node rejoining the pool.
+	NodeRestored
+	// BatchAdjusted records dynamic sub-job adjustment rewriting a
+	// waiting batch.
+	BatchAdjusted
+)
+
+var kindNames = map[Kind]string{
+	JobSubmitted:    "job-submitted",
+	JobCompleted:    "job-completed",
+	RoundLaunched:   "round-launched",
+	RoundFinished:   "round-finished",
+	SubJobAligned:   "subjob-aligned",
+	SegmentAdvanced: "segment-advanced",
+	NodeExcluded:    "node-excluded",
+	NodeRestored:    "node-restored",
+	BatchAdjusted:   "batch-adjusted",
+}
+
+// String returns the stable lowercase name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one recorded scheduler decision.
+type Event struct {
+	At   vclock.Time
+	Kind Kind
+	// Job is the job the event concerns, or -1 when not job-specific.
+	Job int
+	// Segment is the segment index concerned, or -1.
+	Segment int
+	// Detail is a free-form human-readable annotation.
+	Detail string
+}
+
+// String renders the event on one line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %-17s", e.At, e.Kind)
+	if e.Job >= 0 {
+		fmt.Fprintf(&b, " job=%d", e.Job)
+	}
+	if e.Segment >= 0 {
+		fmt.Fprintf(&b, " seg=%d", e.Segment)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " %s", e.Detail)
+	}
+	return b.String()
+}
+
+// Log is a bounded ring buffer of events. The zero value is unusable;
+// use New. A nil *Log is valid and discards all events, so components
+// can accept an optional trace without nil checks at every call site.
+type Log struct {
+	mu      sync.Mutex
+	cap     int
+	events  []Event
+	dropped int
+}
+
+// New returns a log that retains at most capacity events, discarding the
+// oldest when full. Capacity must be positive.
+func New(capacity int) *Log {
+	if capacity <= 0 {
+		panic("trace: capacity must be positive")
+	}
+	return &Log{cap: capacity}
+}
+
+// Add appends an event. Safe on a nil receiver (no-op).
+func (l *Log) Add(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.events) == l.cap {
+		copy(l.events, l.events[1:])
+		l.events = l.events[:l.cap-1]
+		l.dropped++
+	}
+	l.events = append(l.events, e)
+}
+
+// Addf records an event with a formatted detail string. Safe on nil.
+func (l *Log) Addf(at vclock.Time, k Kind, job, segment int, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.Add(Event{At: at, Kind: k, Job: job, Segment: segment, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Events returns a copy of the retained events in order of recording.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Dropped reports how many events were discarded due to capacity.
+func (l *Log) Dropped() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// OfKind returns the retained events of kind k, in order.
+func (l *Log) OfKind(k Kind) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders all retained events, one per line.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

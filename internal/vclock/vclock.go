@@ -1,0 +1,96 @@
+// Package vclock provides the clock abstraction shared by the real
+// MapReduce engine and the discrete-event simulator.
+//
+// All scheduling components in this repository express time as
+// vclock.Time (seconds, float64) instead of time.Time so that the same
+// scheduler code can run under a wall clock (examples, live runs) or a
+// virtual clock (deterministic experiments reproducing the paper's
+// analytic examples exactly).
+package vclock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Time is a point in time, in seconds since the clock's epoch.
+type Time float64
+
+// Duration is a span of time in seconds.
+type Duration float64
+
+// Add returns t shifted forward by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// String formats the time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
+
+// String formats the duration as seconds with millisecond precision.
+func (d Duration) String() string { return fmt.Sprintf("%.3fs", float64(d)) }
+
+// Seconds returns the duration as a plain float64 of seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// Clock is the minimal clock interface used across the repository.
+type Clock interface {
+	// Now returns the current time.
+	Now() Time
+}
+
+// Wall is a Clock backed by the machine's monotonic wall clock.
+// The epoch is the moment NewWall was called.
+type Wall struct {
+	start time.Time
+}
+
+// NewWall returns a wall clock whose epoch is now.
+func NewWall() *Wall { return &Wall{start: time.Now()} }
+
+// Now returns the seconds elapsed since the clock was created.
+func (w *Wall) Now() Time { return Time(time.Since(w.start).Seconds()) }
+
+// Virtual is a manually advanced Clock for deterministic simulation.
+// It is safe for concurrent use.
+type Virtual struct {
+	mu  sync.Mutex
+	now Time
+}
+
+// NewVirtual returns a virtual clock starting at time 0.
+func NewVirtual() *Virtual { return &Virtual{} }
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Advance moves the clock forward by d. It panics if d is negative:
+// simulated time never runs backwards, and a negative advance always
+// indicates a bug in the event loop.
+func (v *Virtual) Advance(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("vclock: negative advance %v", d))
+	}
+	v.mu.Lock()
+	v.now = v.now.Add(d)
+	v.mu.Unlock()
+}
+
+// AdvanceTo moves the clock forward to t. It panics if t is in the past.
+func (v *Virtual) AdvanceTo(t Time) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t < v.now {
+		panic(fmt.Sprintf("vclock: AdvanceTo(%v) before now=%v", t, v.now))
+	}
+	v.now = t
+}

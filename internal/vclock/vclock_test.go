@@ -1,0 +1,107 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualStartsAtZero(t *testing.T) {
+	v := NewVirtual()
+	if v.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", v.Now())
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual()
+	v.Advance(2.5)
+	v.Advance(1.5)
+	if got := v.Now(); got != 4 {
+		t.Fatalf("Now() = %v, want 4", got)
+	}
+}
+
+func TestVirtualAdvanceTo(t *testing.T) {
+	v := NewVirtual()
+	v.AdvanceTo(10)
+	if v.Now() != 10 {
+		t.Fatalf("Now() = %v, want 10", v.Now())
+	}
+	v.AdvanceTo(10) // same time is fine
+	if v.Now() != 10 {
+		t.Fatalf("Now() = %v, want 10", v.Now())
+	}
+}
+
+func TestVirtualRejectsBackwards(t *testing.T) {
+	v := NewVirtual()
+	v.Advance(5)
+	for _, fn := range []func(){
+		func() { v.Advance(-1) },
+		func() { v.AdvanceTo(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on backwards time")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestVirtualConcurrentAdvance(t *testing.T) {
+	v := NewVirtual()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				v.Advance(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Now(); got != 800 {
+		t.Fatalf("Now() = %v, want 800", got)
+	}
+}
+
+func TestWallMovesForward(t *testing.T) {
+	w := NewWall()
+	t0 := w.Now()
+	time.Sleep(5 * time.Millisecond)
+	t1 := w.Now()
+	if !t0.Before(t1) {
+		t.Fatalf("wall clock did not advance: %v -> %v", t0, t1)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	var t0 Time = 10
+	t1 := t0.Add(5)
+	if t1 != 15 {
+		t.Fatalf("Add = %v, want 15", t1)
+	}
+	if d := t1.Sub(t0); d != 5 {
+		t.Fatalf("Sub = %v, want 5", d)
+	}
+	if !t0.Before(t1) || t1.Before(t0) {
+		t.Fatal("Before is inconsistent")
+	}
+	if Duration(2.5).Seconds() != 2.5 {
+		t.Fatal("Seconds() mismatch")
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if got := Time(1.5).String(); got != "1.500s" {
+		t.Fatalf("Time.String = %q", got)
+	}
+	if got := Duration(0.25).String(); got != "0.250s" {
+		t.Fatalf("Duration.String = %q", got)
+	}
+}

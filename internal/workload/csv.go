@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"s3sched/internal/scheduler"
+	"s3sched/internal/vclock"
+)
+
+// CSV arrival traces: real deployments replay recorded submission logs
+// rather than synthetic patterns. The format is one job per line:
+//
+//	id,arrival_seconds,file[,weight[,reduce_weight[,priority]]]
+//
+// Lines starting with '#' and blank lines are skipped. Arrival times
+// must be non-negative; ids must be unique positive integers.
+
+// TraceEntry is one parsed arrival.
+type TraceEntry struct {
+	Job scheduler.JobMeta
+	At  vclock.Time
+}
+
+// LoadArrivalTrace parses a CSV arrival trace.
+func LoadArrivalTrace(r io.Reader) ([]TraceEntry, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // variable: optional columns
+	cr.Comment = '#'
+	cr.TrimLeadingSpace = true
+
+	var out []TraceEntry
+	seen := map[scheduler.JobID]bool{}
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("workload: arrival trace line %d: %w", line, err)
+		}
+		if len(rec) < 3 {
+			return nil, fmt.Errorf("workload: arrival trace line %d has %d fields, want at least id,at,file", line, len(rec))
+		}
+		id64, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil || id64 <= 0 {
+			return nil, fmt.Errorf("workload: arrival trace line %d: bad job id %q", line, rec[0])
+		}
+		id := scheduler.JobID(id64)
+		if seen[id] {
+			return nil, fmt.Errorf("workload: arrival trace line %d: duplicate job id %d", line, id)
+		}
+		seen[id] = true
+		at, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("workload: arrival trace line %d: bad arrival time %q", line, rec[1])
+		}
+		meta := scheduler.JobMeta{
+			ID:   id,
+			Name: fmt.Sprintf("trace-%d", id),
+			File: rec[2],
+		}
+		if meta.File == "" {
+			return nil, fmt.Errorf("workload: arrival trace line %d: empty file", line)
+		}
+		optFloat := func(idx int, dst *float64) error {
+			if len(rec) > idx && rec[idx] != "" {
+				v, err := strconv.ParseFloat(rec[idx], 64)
+				if err != nil || v <= 0 {
+					return fmt.Errorf("workload: arrival trace line %d: bad weight %q", line, rec[idx])
+				}
+				*dst = v
+			}
+			return nil
+		}
+		if err := optFloat(3, &meta.Weight); err != nil {
+			return nil, err
+		}
+		if err := optFloat(4, &meta.ReduceWeight); err != nil {
+			return nil, err
+		}
+		if len(rec) > 5 && rec[5] != "" {
+			p, err := strconv.Atoi(rec[5])
+			if err != nil {
+				return nil, fmt.Errorf("workload: arrival trace line %d: bad priority %q", line, rec[5])
+			}
+			meta.Priority = p
+		}
+		out = append(out, TraceEntry{Job: meta, At: vclock.Time(at)})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: arrival trace is empty")
+	}
+	return out, nil
+}

@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadArrivalTrace(t *testing.T) {
+	trace := `# id,at,file,weight,reduceWeight,priority
+1,0,corpus
+2,12.5,corpus,2
+3,30,lineitem,1,25,3
+`
+	entries, err := LoadArrivalTrace(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if entries[0].Job.ID != 1 || entries[0].At != 0 || entries[0].Job.File != "corpus" {
+		t.Errorf("entry 0 = %+v", entries[0])
+	}
+	if entries[1].Job.Weight != 2 || entries[1].At != 12.5 {
+		t.Errorf("entry 1 = %+v", entries[1])
+	}
+	if entries[2].Job.ReduceWeight != 25 || entries[2].Job.Priority != 3 {
+		t.Errorf("entry 2 = %+v", entries[2])
+	}
+}
+
+func TestLoadArrivalTraceErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"too few fields": "1,0\n",
+		"bad id":         "x,0,f\n",
+		"zero id":        "0,0,f\n",
+		"dup id":         "1,0,f\n1,1,f\n",
+		"bad time":       "1,x,f\n",
+		"negative time":  "1,-5,f\n",
+		"empty file":     "1,0,\n",
+		"bad weight":     "1,0,f,zero\n",
+		"neg weight":     "1,0,f,-1\n",
+		"bad rweight":    "1,0,f,1,x\n",
+		"bad priority":   "1,0,f,1,1,x\n",
+	}
+	for name, trace := range cases {
+		if _, err := LoadArrivalTrace(strings.NewReader(trace)); err == nil {
+			t.Errorf("%s: expected error for %q", name, trace)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"s3sched/internal/dfs"
+	"s3sched/internal/mapreduce"
+)
+
+// Fuzz targets: the parsers must never panic on arbitrary input — a
+// malformed block is a job error, not a worker crash. Run with
+// `go test -fuzz=FuzzSelectionMapper ./internal/workload` to explore;
+// the seed corpus runs on every plain `go test`.
+
+func FuzzSelectionMapper(f *testing.F) {
+	f.Add([]byte("1|2|3|4|5|x|x|x|R|O|d|d|d|i|m|c\n"))
+	f.Add([]byte("not a row at all"))
+	f.Add([]byte("1|2|3|4|notanumber|x\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("a|b|c|d|e|f\nrow2|b|c|d|9|f\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := SelectionMapper{MaxQuantity: 10}
+		// Must not panic; errors are fine.
+		_ = m.Map(dfs.BlockID{}, data, func(mapreduce.KV) {})
+		_ = m.CountInputRecords(data)
+	})
+}
+
+func FuzzAggregationMapper(f *testing.F) {
+	f.Add([]byte("1|2|3|4|5|p|d|t|R|O|d1|d2|d3|i|m|comment\n"))
+	f.Add([]byte("short|row"))
+	f.Add([]byte("||||||||||||\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_ = AggregationMapper{}.Map(dfs.BlockID{}, data, func(mapreduce.KV) {})
+	})
+}
+
+func FuzzPatternCountMapper(f *testing.F) {
+	f.Add([]byte("the quick brown fox"), "t")
+	f.Add([]byte(""), "")
+	f.Add([]byte("\x00\xff\xfe"), "x")
+	f.Fuzz(func(t *testing.T, data []byte, prefix string) {
+		m := PatternCountMapper{Prefix: prefix}
+		count := 0
+		_ = m.Map(dfs.BlockID{}, data, func(kv mapreduce.KV) {
+			if !strings.HasPrefix(kv.Key, prefix) {
+				t.Fatalf("emitted %q without prefix %q", kv.Key, prefix)
+			}
+			count++
+		})
+		if got := m.CountInputRecords(data); int64(count) > got {
+			t.Fatalf("emitted %d records from %d input words", count, got)
+		}
+	})
+}
+
+func FuzzKVLineMapper(f *testing.F) {
+	f.Add([]byte("key\tvalue\n"))
+	f.Add([]byte("no tab"))
+	f.Add([]byte("\t\n\t\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := mapreduce.KVLineMapper{Each: func(k, v string, emit mapreduce.Emit) error {
+			emit(mapreduce.KV{Key: k, Value: v})
+			return nil
+		}}
+		_ = m.Map(dfs.BlockID{}, data, func(mapreduce.KV) {})
+	})
+}
+
+func FuzzTextGenSizes(f *testing.F) {
+	f.Add(int64(1), 0, int64(64))
+	f.Add(int64(42), 100, int64(1))
+	f.Fuzz(func(t *testing.T, seed int64, idx int, size int64) {
+		if size <= 0 || size > 1<<16 || idx < 0 {
+			t.Skip()
+		}
+		g := NewTextGen(seed)
+		b := g.Block(idx, size)
+		if int64(len(b)) != size {
+			t.Fatalf("block size %d, want %d", len(b), size)
+		}
+	})
+}

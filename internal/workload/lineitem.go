@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"s3sched/internal/dfs"
+	"s3sched/internal/mapreduce"
+)
+
+// Lineitem generation mirrors the TPC-H lineitem table the paper's
+// selection workload scans (§V-G): 16 pipe-separated columns with
+// realistic domains. Rows are fixed within a block given the seed.
+//
+// Column order follows TPC-H:
+//
+//	l_orderkey|l_partkey|l_suppkey|l_linenumber|l_quantity|
+//	l_extendedprice|l_discount|l_tax|l_returnflag|l_linestatus|
+//	l_shipdate|l_commitdate|l_receiptdate|l_shipinstruct|l_shipmode|l_comment
+
+var (
+	returnFlags   = []string{"R", "A", "N"}
+	lineStatuses  = []string{"O", "F"}
+	shipInstructs = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	shipModes     = []string{"TRUCK", "MAIL", "SHIP", "AIR", "RAIL", "REG AIR", "FOB"}
+	commentWords  = []string{"carefully", "quickly", "furiously", "packages", "deposits", "accounts", "requests", "ideas", "pending", "final"}
+)
+
+// LineitemGen deterministically generates lineitem blocks.
+type LineitemGen struct {
+	seed int64
+}
+
+// NewLineitemGen returns a generator for the given seed.
+func NewLineitemGen(seed int64) *LineitemGen { return &LineitemGen{seed: seed} }
+
+// QuantityMax is the exclusive upper bound of l_quantity (TPC-H uses
+// 1..50); selection predicates use it to target a selectivity.
+const QuantityMax = 50
+
+// Row generates one lineitem row (no trailing newline).
+func (g *LineitemGen) row(rng *rand.Rand, orderKey int64) string {
+	qty := rng.Intn(QuantityMax) + 1
+	price := float64(qty) * (900 + rng.Float64()*9100) / 10
+	date := func() string {
+		return fmt.Sprintf("199%d-%02d-%02d", rng.Intn(8), rng.Intn(12)+1, rng.Intn(28)+1)
+	}
+	comment := commentWords[rng.Intn(len(commentWords))] + " " + commentWords[rng.Intn(len(commentWords))]
+	cols := []string{
+		strconv.FormatInt(orderKey, 10),
+		strconv.Itoa(rng.Intn(200000) + 1),
+		strconv.Itoa(rng.Intn(10000) + 1),
+		strconv.Itoa(rng.Intn(7) + 1),
+		strconv.Itoa(qty),
+		fmt.Sprintf("%.2f", price),
+		fmt.Sprintf("%.2f", float64(rng.Intn(11))/100),
+		fmt.Sprintf("%.2f", float64(rng.Intn(9))/100),
+		returnFlags[rng.Intn(len(returnFlags))],
+		lineStatuses[rng.Intn(len(lineStatuses))],
+		date(), date(), date(),
+		shipInstructs[rng.Intn(len(shipInstructs))],
+		shipModes[rng.Intn(len(shipModes))],
+		comment,
+	}
+	return strings.Join(cols, "|")
+}
+
+// Block produces block blockIdx: complete newline-terminated rows
+// filling at most size bytes (the last row is never truncated, so a
+// block may be slightly short of size; callers pad).
+func (g *LineitemGen) Block(blockIdx int, size int64) []byte {
+	rng := rand.New(rand.NewSource(g.seed*2_000_003 + int64(blockIdx)))
+	var buf bytes.Buffer
+	buf.Grow(int(size))
+	orderKey := int64(blockIdx)*100000 + 1
+	for {
+		row := g.row(rng, orderKey)
+		if int64(buf.Len()+len(row)+1) > size {
+			break
+		}
+		buf.WriteString(row)
+		buf.WriteByte('\n')
+		orderKey++
+	}
+	// Pad with spaces so every block is exactly size bytes, keeping
+	// dfs block-size invariants; the selection mapper skips blanks.
+	for int64(buf.Len()) < size {
+		buf.WriteByte(' ')
+	}
+	return buf.Bytes()
+}
+
+// AddLineitemFile registers a generated lineitem table with the store.
+func AddLineitemFile(store *dfs.Store, name string, numBlocks int, blockSize int64, seed int64) (*dfs.File, error) {
+	g := NewLineitemGen(seed)
+	return store.AddGeneratedFile(name, numBlocks, blockSize, func(i int) ([]byte, error) {
+		return g.Block(i, blockSize), nil
+	})
+}
+
+// SelectionMapper implements the paper's SQL-like selection task: it
+// parses lineitem rows and emits those whose l_quantity is at most
+// MaxQuantity. With TPC-H's uniform 1..50 quantities, MaxQuantity=5
+// selects 10% of the tuples — the paper's chosen selectivity.
+type SelectionMapper struct {
+	MaxQuantity int
+}
+
+var _ mapreduce.Mapper = SelectionMapper{}
+var _ mapreduce.InputRecordCounter = SelectionMapper{}
+
+// Map implements mapreduce.Mapper.
+func (m SelectionMapper) Map(_ dfs.BlockID, data []byte, emit mapreduce.Emit) error {
+	var err error
+	forEachLine(data, func(line []byte) {
+		if err != nil || len(bytes.TrimSpace(line)) == 0 {
+			return
+		}
+		qty, orderKey, lineNo, perr := parseQuantity(line)
+		if perr != nil {
+			err = perr
+			return
+		}
+		if qty <= m.MaxQuantity {
+			emit(mapreduce.KV{Key: orderKey + "." + lineNo, Value: string(line)})
+		}
+	})
+	return err
+}
+
+// CountInputRecords implements mapreduce.InputRecordCounter.
+func (m SelectionMapper) CountInputRecords(data []byte) int64 {
+	var n int64
+	forEachLine(data, func(line []byte) {
+		if len(bytes.TrimSpace(line)) > 0 {
+			n++
+		}
+	})
+	return n
+}
+
+// parseQuantity extracts (l_quantity, l_orderkey, l_linenumber) from a
+// row without splitting all 16 columns.
+func parseQuantity(line []byte) (qty int, orderKey, lineNo string, err error) {
+	fields := bytes.SplitN(line, []byte{'|'}, 6)
+	if len(fields) < 6 {
+		return 0, "", "", fmt.Errorf("workload: malformed lineitem row %q", line)
+	}
+	q, err := strconv.Atoi(string(fields[4]))
+	if err != nil {
+		return 0, "", "", fmt.Errorf("workload: bad l_quantity in row %q: %w", line, err)
+	}
+	return q, string(fields[0]), string(fields[3]), nil
+}
+
+// forEachLine walks newline-separated lines.
+func forEachLine(data []byte, fn func(line []byte)) {
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			fn(data[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		fn(data[start:])
+	}
+}
+
+// AggregationMapper implements a TPC-H Q1-style aggregation over
+// lineitem: it groups rows by (l_returnflag, l_linestatus) and emits
+// the quantity, so the reduce phase produces per-group quantity sums.
+// Aggregation queries are exactly the workload §V-G's output-collection
+// discussion targets: sub-job partial sums can be folded as rounds
+// complete, so the final aggregation starts from near-finished values.
+type AggregationMapper struct{}
+
+var _ mapreduce.Mapper = AggregationMapper{}
+var _ mapreduce.InputRecordCounter = AggregationMapper{}
+
+// Map implements mapreduce.Mapper.
+func (AggregationMapper) Map(_ dfs.BlockID, data []byte, emit mapreduce.Emit) error {
+	var err error
+	forEachLine(data, func(line []byte) {
+		if err != nil || len(bytes.TrimSpace(line)) == 0 {
+			return
+		}
+		fields := bytes.SplitN(line, []byte{'|'}, 11)
+		if len(fields) < 11 {
+			err = fmt.Errorf("workload: malformed lineitem row %q", line)
+			return
+		}
+		// fields[4]=l_quantity, [8]=l_returnflag, [9]=l_linestatus.
+		key := string(fields[8]) + "|" + string(fields[9])
+		emit(mapreduce.KV{Key: key, Value: string(fields[4])})
+	})
+	return err
+}
+
+// CountInputRecords implements mapreduce.InputRecordCounter.
+func (AggregationMapper) CountInputRecords(data []byte) int64 {
+	return SelectionMapper{}.CountInputRecords(data)
+}
+
+// AggregationJob builds a Q1-style "sum quantity group by returnflag,
+// linestatus" job. The SumReducer doubles as the combiner, which is
+// also the fold PartialAggregation uses between sub-jobs.
+func AggregationJob(name, file string, numReduce int) mapreduce.JobSpec {
+	return mapreduce.JobSpec{
+		Name:      name,
+		File:      file,
+		Mapper:    AggregationMapper{},
+		Reducer:   SumReducer{},
+		Combiner:  SumReducer{},
+		NumReduce: numReduce,
+	}
+}
+
+// SelectionJob builds the spec for one selection job. Different
+// maxQuantity values give distinct jobs over the same table, like the
+// paper's user-specified selection conditions. Selection is map-only
+// (SELECT * WHERE …), so Reducer is nil.
+func SelectionJob(name, file string, maxQuantity int) mapreduce.JobSpec {
+	return mapreduce.JobSpec{
+		Name:      name,
+		File:      file,
+		Mapper:    SelectionMapper{MaxQuantity: maxQuantity},
+		NumReduce: 1,
+	}
+}
