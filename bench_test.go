@@ -112,6 +112,35 @@ func BenchmarkFig4eSparseNormal32(b *testing.B) { benchPanel(b, "e") }
 // 400 GB TPC-H lineitem table.
 func BenchmarkFig4fSelection(b *testing.B) { benchPanel(b, "f") }
 
+// benchPipeline runs the stage-pipelining study in one mode and
+// reports the measured TETs (serial or pipelined depending on mode).
+func benchPipeline(b *testing.B, pipelined bool) {
+	b.Helper()
+	var res experiments.PipelineResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.PipelineStudyModes(experiments.DefaultParams(), !pipelined, pipelined)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		tet := row.SerialTET
+		if pipelined {
+			tet = row.PipelinedTET
+		}
+		b.ReportMetric(tet.Seconds(), row.Workload+"-TET")
+	}
+}
+
+// BenchmarkDriverPipelineOff — the serial round loop (reduce blocks
+// the next scan), all PipelineStudy workloads.
+func BenchmarkDriverPipelineOff(b *testing.B) { benchPipeline(b, false) }
+
+// BenchmarkDriverPipelineOn — the stage-pipelined runtime (reduce of
+// round N under scan of round N+1), all PipelineStudy workloads.
+func BenchmarkDriverPipelineOn(b *testing.B) { benchPipeline(b, true) }
+
 // BenchmarkExamplesAnalytic regenerates the §III Examples 1-3 analytic
 // scenarios (the sim package asserts the exact values in tests).
 func BenchmarkExamplesAnalytic(b *testing.B) {

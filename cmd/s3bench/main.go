@@ -28,9 +28,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig3|fig4|fig4a..fig4f|examples|ablations|window|distributed|jitter|poisson|taxonomy|estimator|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig3|fig4|fig4a..fig4f|examples|ablations|window|distributed|jitter|poisson|taxonomy|estimator|pipeline|all")
 	jsonPath := flag.String("json", "", "also write the Figure 4 panels + claim check as JSON to this file")
+	pipeMode := flag.String("pipeline", "both", "pipeline experiment mode: on|off|both (A/B)")
 	flag.Parse()
+
+	if *pipeMode != "on" && *pipeMode != "off" && *pipeMode != "both" {
+		fmt.Fprintf(os.Stderr, "unknown -pipeline mode %q (want on|off|both)\n", *pipeMode)
+		os.Exit(2)
+	}
 
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath); err != nil {
@@ -43,7 +49,8 @@ func main() {
 	var err error
 	switch *exp {
 	case "all":
-		err = firstErr(runTable1, runFig3, runExamples, runFig4All, runAblations, runWindowStudy, runDistributed, runJitter, runPoisson, runTaxonomy, runEstimator)
+		err = firstErr(runTable1, runFig3, runExamples, runFig4All, runAblations, runWindowStudy, runDistributed, runJitter, runPoisson, runTaxonomy, runEstimator,
+			func() error { return runPipeline(*pipeMode) })
 	case "table1":
 		err = runTable1()
 	case "fig3":
@@ -68,6 +75,8 @@ func main() {
 		err = runTaxonomy()
 	case "estimator":
 		err = runEstimator()
+	case "pipeline":
+		err = runPipeline(*pipeMode)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -350,6 +359,24 @@ func runEstimator() error {
 	}
 	fmt.Printf("observed %d rounds, predicted %d active jobs mid-run\n", res.ObservedRounds, res.PredictedJobs)
 	fmt.Printf("mean abs. error %.1f%% of job lifetime (worst %.1f%%)\n\n", 100*res.MAPE, 100*res.MaxErr)
+	return nil
+}
+
+func runPipeline(mode string) error {
+	fmt.Printf("== Stage pipelining: reduce of round N under scan of round N+1 (S3, %d reduce workers, -pipeline=%s) ==\n",
+		driver.DefaultReduceWorkers, mode)
+	res, err := experiments.PipelineStudyModes(experiments.DefaultParams(), mode != "on", mode != "off")
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	switch mode {
+	case "both":
+		fmt.Println("(gain tracks the reduce share of a round: heavy reduce output hides under the next scan)")
+	default:
+		fmt.Println("(single-mode run; use -pipeline=both for the A/B gain column)")
+	}
+	fmt.Println()
 	return nil
 }
 

@@ -62,9 +62,16 @@ type S3 struct {
 	// launchedFor records which jobs are in the in-flight round, so a
 	// job submitted mid-round is not credited for a scan it missed.
 	launchedFor map[scheduler.JobID]bool
+	// pendingDone queues, per pipelined round whose scan finished
+	// (MapDone) but whose reduce is still draining, the jobs that round
+	// completed. RoundDone pops in round order.
+	pendingDone [][]scheduler.JobID
 }
 
-var _ scheduler.Scheduler = (*S3)(nil)
+var (
+	_ scheduler.Scheduler  = (*S3)(nil)
+	_ scheduler.StageAware = (*S3)(nil)
+)
 
 // New returns an S^3 scheduler over the segment plan. log may be nil.
 func New(plan *dfs.SegmentPlan, log *trace.Log) *S3 {
@@ -163,15 +170,42 @@ func (s *S3) NextRound(now vclock.Time) (scheduler.Round, bool) {
 	return r, true
 }
 
+// MapDone implements scheduler.StageAware: the round's scan finished,
+// so Algorithm 1's state advances now — the scan is what consumes the
+// segment — and the next round may be formed while the reduce stage
+// drains. The completed-job list is queued for the later RoundDone.
+func (s *S3) MapDone(r scheduler.Round, now vclock.Time) {
+	if !s.inFlight {
+		panic("core: S3.MapDone without a round in flight")
+	}
+	s.inFlight = false
+	s.log.Addf(now, trace.MapStageFinished, -1, r.Segment, "s3")
+	s.pendingDone = append(s.pendingDone, s.retireScan(r, now))
+}
+
 // RoundDone implements Scheduler: lines 5–13 of Algorithm 1 — retire
-// completed jobs and advance the segment cursor circularly.
+// completed jobs and advance the segment cursor circularly. Under the
+// pipelined protocol the state already advanced at MapDone and this
+// only reports the queued completion list at the reduce-end time.
 func (s *S3) RoundDone(r scheduler.Round, now vclock.Time) []scheduler.JobID {
+	if len(s.pendingDone) > 0 {
+		done := s.pendingDone[0]
+		s.pendingDone = s.pendingDone[1:]
+		s.log.Addf(now, trace.RoundFinished, -1, r.Segment, "s3")
+		return done
+	}
 	if !s.inFlight {
 		panic("core: S3.RoundDone without a round in flight")
 	}
 	s.inFlight = false
 	s.log.Addf(now, trace.RoundFinished, -1, r.Segment, "s3")
+	return s.retireScan(r, now)
+}
 
+// retireScan applies the post-scan half of Algorithm 1: decrement every
+// launched job's remaining sub-jobs, drop the finished ones from the
+// active queue, and advance the segment cursor circularly.
+func (s *S3) retireScan(r scheduler.Round, now vclock.Time) []scheduler.JobID {
 	var done []scheduler.JobID
 	remaining := s.active[:0]
 	for _, js := range s.active {

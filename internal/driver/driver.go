@@ -80,8 +80,9 @@ func Run(sched scheduler.Scheduler, exec Executor, arrivals []Arrival) (*Result,
 	return RunWithHooks(sched, exec, arrivals, Hooks{})
 }
 
-// RunWithHooks is Run with observation callbacks.
-func RunWithHooks(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, hooks Hooks) (*Result, error) {
+// sortedArrivals validates the arrivals and returns them ordered by
+// time, ties by job id.
+func sortedArrivals(arrivals []Arrival) ([]Arrival, error) {
 	evs := make([]Arrival, len(arrivals))
 	copy(evs, arrivals)
 	sort.SliceStable(evs, func(i, j int) bool {
@@ -94,6 +95,16 @@ func RunWithHooks(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, 
 		if a.At < 0 {
 			return nil, fmt.Errorf("driver: arrival %d at negative time %v", i, a.At)
 		}
+	}
+	return evs, nil
+}
+
+// RunWithHooks is Run with observation callbacks. It always runs the
+// serial round loop; RunOpts selects the pipelined loop when asked to.
+func RunWithHooks(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, hooks Hooks) (*Result, error) {
+	evs, err := sortedArrivals(arrivals)
+	if err != nil {
+		return nil, err
 	}
 
 	clock := vclock.NewVirtual()

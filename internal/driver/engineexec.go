@@ -2,6 +2,7 @@ package driver
 
 import (
 	"fmt"
+	"sync"
 
 	"s3sched/internal/mapreduce"
 	"s3sched/internal/scheduler"
@@ -47,7 +48,12 @@ type EngineExecutor struct {
 
 	mode OutputMode
 
-	clock   *vclock.Wall
+	clock *vclock.Wall
+
+	// mu guards the job-state maps below. Under staged execution a
+	// round's reduce stage commits from a worker goroutine while the
+	// driver's goroutine starts the next round's map stage.
+	mu      sync.Mutex
 	running map[scheduler.JobID]*mapreduce.Running
 	results map[scheduler.JobID]*mapreduce.Result
 	// partials accumulates per-round reduced outputs in PerRoundReduce
@@ -57,12 +63,21 @@ type EngineExecutor struct {
 	// rounds per job — the state-size measurement §V-G's schemes trade
 	// against.
 	peakCarried map[scheduler.JobID]int
+
+	// Commit turnstile: concurrently draining reduce stages commit
+	// their outputs strictly in round (map-launch) order, so the
+	// partials a job accumulates — and therefore its final folded
+	// output — are byte-identical to the serial loop's.
+	turnMu     sync.Mutex
+	turnCond   *sync.Cond
+	nextTicket int
+	commitTurn int
 }
 
 // NewEngineExecutor builds an executor over the engine. specs maps
 // every job id the schedulers will see to its executable definition.
 func NewEngineExecutor(engine *mapreduce.Engine, specs map[scheduler.JobID]mapreduce.JobSpec) *EngineExecutor {
-	return &EngineExecutor{
+	e := &EngineExecutor{
 		engine:      engine,
 		specs:       specs,
 		timeScale:   1,
@@ -72,6 +87,8 @@ func NewEngineExecutor(engine *mapreduce.Engine, specs map[scheduler.JobID]mapre
 		partials:    make(map[scheduler.JobID][]mapreduce.KV),
 		peakCarried: make(map[scheduler.JobID]int),
 	}
+	e.turnCond = sync.NewCond(&e.turnMu)
+	return e
 }
 
 // SetOutputMode selects the output collection scheme. Must be called
@@ -86,9 +103,13 @@ func (e *EngineExecutor) SetOutputMode(mode OutputMode) {
 // PeakCarriedRecords reports the largest intermediate record count the
 // executor carried between rounds for the job.
 func (e *EngineExecutor) PeakCarriedRecords(id scheduler.JobID) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.peakCarried[id]
 }
 
+// trackCarried records a carried-state high-water mark. Callers hold
+// e.mu.
 func (e *EngineExecutor) trackCarried(id scheduler.JobID, n int) {
 	if n > e.peakCarried[id] {
 		e.peakCarried[id] = n
@@ -116,77 +137,205 @@ func (e *EngineExecutor) Results() map[scheduler.JobID]*mapreduce.Result {
 	return e.results
 }
 
-// ExecRound implements Executor.
+// ExecRound implements Executor: the map stage followed immediately by
+// its own reduce stage, which is exactly the serial semantics.
 func (e *EngineExecutor) ExecRound(r scheduler.Round) (vclock.Duration, error) {
+	mapDur, stage, err := e.ExecMapStage(r)
+	if err != nil {
+		return 0, err
+	}
+	redDur, err := stage()
+	if err != nil {
+		return 0, err
+	}
+	return mapDur + redDur, nil
+}
+
+// roundCommit is one job's reduce-stage input, snapshotted at
+// shuffle-commit.
+type roundCommit struct {
+	id      scheduler.JobID
+	run     *mapreduce.Running
+	drained [][]mapreduce.KV // this round's shuffle (PerRoundReduce)
+}
+
+// finishCommit is a completing job's sealed shuffle snapshot.
+type finishCommit struct {
+	id     scheduler.JobID
+	run    *mapreduce.Running
+	sealed [][]mapreduce.KV
+}
+
+var _ StageExecutor = (*EngineExecutor)(nil)
+
+// ExecMapStage implements StageExecutor. It physically scans the
+// round's blocks into every batched job, then performs the
+// shuffle-commit: each job's shuffle space for this round is detached
+// (DrainPartitions for mid-flight jobs, Seal for completing ones) so
+// the returned reduce stage owns an immutable snapshot and the next
+// round's map output accumulates separately. The reduce stage computes
+// partial/final reduces off that snapshot and commits the outputs
+// under a round-ordered turnstile, keeping results byte-identical to
+// serial execution no matter how rounds' reduces interleave.
+func (e *EngineExecutor) ExecMapStage(r scheduler.Round) (vclock.Duration, ReduceStage, error) {
 	start := e.clock.Now()
 	jobs := make([]*mapreduce.Running, 0, len(r.Jobs))
+	e.mu.Lock()
 	for _, meta := range r.Jobs {
 		run, ok := e.running[meta.ID]
 		if !ok {
 			spec, have := e.specs[meta.ID]
 			if !have {
-				return 0, fmt.Errorf("driver: no JobSpec registered for job %d", meta.ID)
+				e.mu.Unlock()
+				return 0, nil, fmt.Errorf("driver: no JobSpec registered for job %d", meta.ID)
 			}
 			var err error
 			run, err = mapreduce.NewRunning(spec)
 			if err != nil {
-				return 0, err
+				e.mu.Unlock()
+				return 0, nil, err
 			}
 			e.running[meta.ID] = run
 		}
 		jobs = append(jobs, run)
 	}
+	e.mu.Unlock()
 	if _, err := e.engine.MapRound(r.Blocks, jobs); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if e.compact != nil {
 		for _, run := range jobs {
 			if err := run.Compact(e.compact); err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 		}
 	}
-	if e.mode == PerRoundReduce {
-		// Every merged sub-job is a complete MapReduce job: reduce its
-		// round now and collect the partial output (§V-G).
-		for i, run := range jobs {
-			partial, err := e.engine.ReduceRound(run)
-			if err != nil {
-				return 0, err
-			}
-			id := r.Jobs[i].ID
-			e.partials[id] = append(e.partials[id], partial...)
-			e.trackCarried(id, len(e.partials[id]))
-		}
-	} else {
-		for i, run := range jobs {
+	// Shuffle-commit. Drain before Seal so a completing job's sealed
+	// snapshot holds only what this round's reduce has not claimed,
+	// mirroring the serial ReduceRound-then-Finish order.
+	commits := make([]roundCommit, len(jobs))
+	for i, run := range jobs {
+		commits[i] = roundCommit{id: r.Jobs[i].ID, run: run}
+		if e.mode == PerRoundReduce {
+			commits[i].drained = run.DrainPartitions()
+		} else {
+			e.mu.Lock()
 			e.trackCarried(r.Jobs[i].ID, run.IntermediateRecords())
+			e.mu.Unlock()
 		}
 	}
+	fins := make([]finishCommit, 0, len(r.Completes))
+	e.mu.Lock()
 	for _, id := range r.Completes {
 		run, ok := e.running[id]
 		if !ok {
-			return 0, fmt.Errorf("driver: round completes unknown job %d", id)
+			e.mu.Unlock()
+			return 0, nil, fmt.Errorf("driver: round completes unknown job %d", id)
 		}
-		res, err := e.engine.Finish(run)
-		if err != nil {
-			return 0, err
-		}
-		if e.mode == PerRoundReduce {
-			// Final output collection: fold the per-round partials.
-			// Finish consumed an empty shuffle space, so res.Output is
-			// empty; the fold re-reduces the partial results, which is
-			// exact for re-reducible reducers (and map-only jobs).
-			folded, err := mapreduce.ReducePartition(e.partials[id], run.Spec.Reducer)
-			if err != nil {
-				return 0, fmt.Errorf("driver: folding job %d partials: %w", id, err)
-			}
-			res.Output = folded
-			delete(e.partials, id)
-		}
-		e.results[id] = res
+		// The job had its last scan; later rounds never reference it.
 		delete(e.running, id)
+		fins = append(fins, finishCommit{id: id, run: run})
 	}
-	elapsed := e.clock.Now().Sub(start)
-	return vclock.Duration(elapsed.Seconds() * e.timeScale), nil
+	e.mu.Unlock()
+	for i := range fins {
+		fins[i].sealed = fins[i].run.Seal()
+	}
+	ticket := e.nextTicket
+	e.nextTicket++
+	mapDur := vclock.Duration(e.clock.Now().Sub(start).Seconds() * e.timeScale)
+	return mapDur, e.reduceStage(ticket, commits, fins), nil
+}
+
+// reduceStage builds the round's reduce closure. The closure's
+// duration covers reduce computation and commit work, excluding any
+// time spent waiting for earlier rounds' commit turns (that wait is a
+// pipelining artifact, not reduce work; it never occurs serially).
+func (e *EngineExecutor) reduceStage(ticket int, commits []roundCommit, fins []finishCommit) ReduceStage {
+	return func() (vclock.Duration, error) {
+		compStart := e.clock.Now()
+		var firstErr error
+		// Compute off the committed snapshots, no shared state touched.
+		type partialOut struct {
+			id  scheduler.JobID
+			kvs []mapreduce.KV
+		}
+		var partials []partialOut
+		if e.mode == PerRoundReduce {
+			// Every merged sub-job is a complete MapReduce job: reduce
+			// its round now and collect the partial output (§V-G).
+			partials = make([]partialOut, 0, len(commits))
+			for _, c := range commits {
+				kvs, err := e.engine.ReduceDrained(c.run, c.drained)
+				if err != nil {
+					firstErr = err
+					break
+				}
+				partials = append(partials, partialOut{id: c.id, kvs: kvs})
+			}
+		}
+		type finishOut struct {
+			id  scheduler.JobID
+			run *mapreduce.Running
+			res *mapreduce.Result
+		}
+		var finished []finishOut
+		if firstErr == nil {
+			finished = make([]finishOut, 0, len(fins))
+			for _, f := range fins {
+				res, err := e.engine.FinishDrained(f.run, f.sealed)
+				if err != nil {
+					firstErr = err
+					break
+				}
+				finished = append(finished, finishOut{id: f.id, run: f.run, res: res})
+			}
+		}
+		compDur := e.clock.Now().Sub(compStart)
+
+		// Wait for this round's commit turn. The turn must be taken and
+		// released even on error, or every later round would block.
+		e.turnMu.Lock()
+		for e.commitTurn != ticket {
+			e.turnCond.Wait()
+		}
+		e.turnMu.Unlock()
+
+		commitStart := e.clock.Now()
+		if firstErr == nil {
+			e.mu.Lock()
+			for _, p := range partials {
+				e.partials[p.id] = append(e.partials[p.id], p.kvs...)
+				e.trackCarried(p.id, len(e.partials[p.id]))
+			}
+			for _, f := range finished {
+				if e.mode == PerRoundReduce {
+					// Final output collection: fold the per-round
+					// partials. FinishDrained consumed an empty sealed
+					// shuffle, so f.res.Output is empty; the fold
+					// re-reduces the partial results, which is exact for
+					// re-reducible reducers (and map-only jobs).
+					folded, err := mapreduce.ReducePartition(e.partials[f.id], f.run.Spec.Reducer)
+					if err != nil {
+						firstErr = fmt.Errorf("driver: folding job %d partials: %w", f.id, err)
+						break
+					}
+					f.res.Output = folded
+					delete(e.partials, f.id)
+				}
+				e.results[f.id] = f.res
+			}
+			e.mu.Unlock()
+		}
+		commitDur := e.clock.Now().Sub(commitStart)
+
+		e.turnMu.Lock()
+		e.commitTurn++
+		e.turnCond.Broadcast()
+		e.turnMu.Unlock()
+
+		if firstErr != nil {
+			return 0, firstErr
+		}
+		return vclock.Duration((compDur + commitDur).Seconds() * e.timeScale), nil
+	}
 }

@@ -1,0 +1,346 @@
+package driver
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"s3sched/internal/core"
+	"s3sched/internal/dfs"
+	"s3sched/internal/mapreduce"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/sim"
+	"s3sched/internal/vclock"
+	"s3sched/internal/workload"
+)
+
+// stagedFixed is a StageExecutor whose stages take fixed durations.
+type stagedFixed struct {
+	mapD, redD vclock.Duration
+}
+
+func (s stagedFixed) ExecRound(scheduler.Round) (vclock.Duration, error) {
+	return s.mapD + s.redD, nil
+}
+
+func (s stagedFixed) ExecMapStage(scheduler.Round) (vclock.Duration, ReduceStage, error) {
+	return s.mapD, func() (vclock.Duration, error) { return s.redD, nil }, nil
+}
+
+func TestRunOptsFallsBackWithoutStageSupport(t *testing.T) {
+	// ExecutorFunc is not a StageExecutor, so Pipeline:true must run the
+	// serial loop and reproduce paper Example 3 exactly.
+	p := makePlan(t, 10, 1)
+	s := core.New(p, nil)
+	res, err := RunOpts(s, fixed(10), []Arrival{
+		{Job: job(1), At: 0},
+		{Job: job(2), At: 20},
+	}, Options{Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tet, _ := res.Metrics.TET()
+	art, _ := res.Metrics.ART()
+	if tet != 120 || art != 100 {
+		t.Errorf("fallback TET/ART = %v/%v, want 120/100", tet, art)
+	}
+	if got := res.Metrics.RoundStages(); len(got) != 0 {
+		t.Errorf("serial fallback recorded %d stage timelines, want 0", len(got))
+	}
+}
+
+func TestPipelineOverlapsReduceWithNextScan(t *testing.T) {
+	// One job, 10 per-segment rounds, map 6s + reduce 4s. Serially the
+	// job takes 100s. Pipelined, maps run back to back (round k maps
+	// over [6k, 6k+6]) and each reduce drains under the next map, so the
+	// last round retires at 9*6+6+4 = 64s.
+	p := makePlan(t, 10, 1)
+	serial, err := Run(core.New(p, nil), stagedFixed{6, 4}, []Arrival{{Job: job(1), At: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tet, _ := serial.Metrics.TET(); tet != 100 {
+		t.Fatalf("serial TET = %v, want 100", tet)
+	}
+
+	piped, err := RunOpts(core.New(p, nil), stagedFixed{6, 4}, []Arrival{{Job: job(1), At: 0}},
+		Options{Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tet, _ := piped.Metrics.TET()
+	if tet != 64 {
+		t.Errorf("pipelined TET = %v, want 64", tet)
+	}
+	if piped.Rounds != 10 {
+		t.Errorf("rounds = %d, want 10", piped.Rounds)
+	}
+	if piped.End != 64 {
+		t.Errorf("End = %v, want 64", piped.End)
+	}
+	stages := piped.Metrics.RoundStages()
+	if len(stages) != 10 {
+		t.Fatalf("stage timelines = %d, want 10", len(stages))
+	}
+	for i, st := range stages {
+		wantMapEnd := vclock.Time(6 * (i + 1))
+		if st.MapEnd != wantMapEnd || st.ReduceEnd != wantMapEnd+4 {
+			t.Errorf("round %d stages = %+v, want map end %v, reduce end %v",
+				i, st, wantMapEnd, wantMapEnd+4)
+		}
+	}
+	// Rounds 0..8 reduce entirely under round i+1's map: 9*4 = 36s.
+	if ov := piped.Metrics.PipelineOverlap(); ov != 36 {
+		t.Errorf("PipelineOverlap = %v, want 36", ov)
+	}
+}
+
+func TestPipelineIdleGapBetweenJobs(t *testing.T) {
+	// Two 2-segment jobs far apart: per-job response time is
+	// 2*6+4 = 16s (the first reduce hides under the second map), and the
+	// final reduce drains during otherwise idle time.
+	p := makePlan(t, 2, 1)
+	res, err := RunOpts(core.New(p, nil), stagedFixed{6, 4}, []Arrival{
+		{Job: job(1), At: 0},
+		{Job: job(2), At: 100},
+	}, Options{Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt1, _ := res.Metrics.ResponseTime(1)
+	rt2, _ := res.Metrics.ResponseTime(2)
+	if rt1 != 16 || rt2 != 16 {
+		t.Errorf("response times = %v/%v, want 16/16", rt1, rt2)
+	}
+	if tet, _ := res.Metrics.TET(); tet != 116 {
+		t.Errorf("TET = %v, want 116", tet)
+	}
+	if res.End != 116 {
+		t.Errorf("End = %v, want 116", res.End)
+	}
+}
+
+func TestPipelineErrorInReduceStagePropagates(t *testing.T) {
+	p := makePlan(t, 4, 1)
+	exec := failingReduce{after: 2}
+	_, err := RunOpts(core.New(p, nil), &exec, []Arrival{{Job: job(1), At: 0}},
+		Options{Pipeline: true})
+	if err == nil {
+		t.Fatal("reduce-stage error should fail the run")
+	}
+}
+
+type failingReduce struct {
+	after int // fail the reduce of the (after+1)-th round
+	calls int
+}
+
+func (f *failingReduce) ExecRound(scheduler.Round) (vclock.Duration, error) { return 1, nil }
+
+func (f *failingReduce) ExecMapStage(scheduler.Round) (vclock.Duration, ReduceStage, error) {
+	n := f.calls
+	f.calls++
+	return 1, func() (vclock.Duration, error) {
+		if n == f.after {
+			return 0, fmt.Errorf("reduce blew up at round %d", n)
+		}
+		return 1, nil
+	}, nil
+}
+
+// completionOrder runs the scheduler/executor pair and returns the
+// order job completions were reported in.
+func completionOrder(t *testing.T, sch scheduler.Scheduler, exec Executor, arrivals []Arrival, opts Options) ([]scheduler.JobID, *Result) {
+	t.Helper()
+	var order []scheduler.JobID
+	opts.Hooks = Hooks{
+		OnRoundDone: func(_ scheduler.Round, _ vclock.Time, completed []scheduler.JobID) {
+			order = append(order, completed...)
+		},
+	}
+	res, err := RunOpts(sch, exec, arrivals, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return order, res
+}
+
+// Property: on randomized arrival sequences, the pipelined runtime
+// completes jobs in exactly the serial order — S^3 admits jobs in
+// arrival order and every active job advances one segment per round,
+// so completion order equals admission order in both modes. And when
+// all jobs arrive together (identical round composition in both
+// modes), pipelining never increases TET: reduces hide under scans.
+//
+// TET is deliberately NOT compared under staggered arrivals: because
+// the pipelined runtime launches the next scan at map end, a job
+// arriving during what would serially still be round N can miss
+// round N+1's batch and pay an extra round. That trade is inherent to
+// scan/reduce overlap, and the benchmark shows it wins on aggregate.
+func TestPipelineMatchesSerialOrderProperty(t *testing.T) {
+	model := sim.CostModel{
+		ScanMBps:       40,
+		TaskOverhead:   0.5,
+		RoundOverhead:  0.3,
+		JobSetup:       0.2,
+		SharePenalty:   0.01,
+		ReducePerRound: 0.6, // reduce-heavy so pipelining matters
+		ReduceSetup:    0.2,
+	}
+	prop := func(n8, k8 uint8, gaps [6]uint8, simultaneous bool) bool {
+		n := int(n8%5) + 1
+		k := int(k8%6) + 2 // segments
+
+		mkRun := func(pipeline bool) ([]scheduler.JobID, *Result, bool) {
+			store := dfs.NewStore(k, 1)
+			f, err := store.AddMetaFile("input", k, 64<<20)
+			if err != nil {
+				return nil, nil, false
+			}
+			plan, err := dfs.PlanSegments(f, 1)
+			if err != nil {
+				return nil, nil, false
+			}
+			exec := sim.NewExecutor(sim.NewCluster(k, 1), store, model)
+			arrivals := make([]Arrival, n)
+			at := vclock.Time(0)
+			for i := 0; i < n; i++ {
+				if !simultaneous {
+					at += vclock.Time(gaps[i%len(gaps)]%40) / 10
+				}
+				arrivals[i] = Arrival{Job: job(i + 1), At: at}
+			}
+			var order []scheduler.JobID
+			res, err := RunOpts(core.New(plan, nil), exec, arrivals, Options{
+				Pipeline: pipeline,
+				Hooks: Hooks{OnRoundDone: func(_ scheduler.Round, _ vclock.Time, completed []scheduler.JobID) {
+					order = append(order, completed...)
+				}},
+			})
+			if err != nil {
+				return nil, nil, false
+			}
+			return order, res, true
+		}
+
+		serialOrder, serialRes, ok := mkRun(false)
+		if !ok {
+			return false
+		}
+		pipedOrder, pipedRes, ok := mkRun(true)
+		if !ok {
+			return false
+		}
+		if fmt.Sprint(serialOrder) != fmt.Sprint(pipedOrder) {
+			return false
+		}
+		if simultaneous {
+			if serialRes.Rounds != pipedRes.Rounds {
+				return false
+			}
+			serialTET, _ := serialRes.Metrics.TET()
+			pipedTET, _ := pipedRes.Metrics.TET()
+			return pipedTET <= serialTET+1e-9
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// stagedSetup is realSetup with a configurable segment granularity, so
+// pipelined runs have many rounds in flight.
+func stagedSetup(t *testing.T, blocks, perSegment, n int) (*dfs.SegmentPlan, *EngineExecutor, []scheduler.JobMeta) {
+	t.Helper()
+	store := dfs.NewStore(4, 1)
+	if _, err := workload.AddTextFile(store, "corpus", blocks, 2048, 7); err != nil {
+		t.Fatal(err)
+	}
+	f, err := store.File("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := dfs.PlanSegments(f, perSegment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	specs := make(map[scheduler.JobID]mapreduce.JobSpec, n)
+	metas := make([]scheduler.JobMeta, n)
+	prefixes := workload.DistinctPrefixes(n)
+	for i := 0; i < n; i++ {
+		id := scheduler.JobID(i + 1)
+		specs[id] = workload.WordCountJob(fmt.Sprintf("wc%d", i), "corpus", prefixes[i], 2)
+		metas[i] = scheduler.JobMeta{ID: id, File: "corpus"}
+	}
+	return plan, NewEngineExecutor(engine, specs), metas
+}
+
+// TestPipelineEngineMatchesSerial runs the same staggered workload on
+// the real engine serially and pipelined: final outputs must be
+// byte-identical and jobs must complete in the same order, in both
+// output-collection modes. Under -race this also exercises round N's
+// reduce committing concurrently with round N+1's map.
+func TestPipelineEngineMatchesSerial(t *testing.T) {
+	for _, mode := range []OutputMode{AccumulateShuffle, PerRoundReduce} {
+		run := func(pipeline bool) (map[scheduler.JobID]string, []scheduler.JobID) {
+			plan, exec, metas := stagedSetup(t, 8, 1, 3)
+			exec.SetOutputMode(mode)
+			exec.SetTimeScale(1e6)
+			arrivals := []Arrival{
+				{Job: metas[0], At: 0},
+				{Job: metas[1], At: 1},
+				{Job: metas[2], At: 2},
+			}
+			order, _ := completionOrder(t, core.New(plan, nil), exec, arrivals,
+				Options{Pipeline: pipeline, ReduceWorkers: 2})
+			out := map[scheduler.JobID]string{}
+			for id, res := range exec.Results() {
+				out[id] = fmt.Sprint(res.Output)
+			}
+			return out, order
+		}
+		serialOut, serialOrder := run(false)
+		pipedOut, pipedOrder := run(true)
+		if len(serialOut) != 3 || len(pipedOut) != 3 {
+			t.Fatalf("mode %v: results missing (serial %d, piped %d)", mode, len(serialOut), len(pipedOut))
+		}
+		for id, want := range serialOut {
+			if pipedOut[id] != want {
+				t.Errorf("mode %v: job %d pipelined output differs from serial", mode, id)
+			}
+		}
+		if fmt.Sprint(serialOrder) != fmt.Sprint(pipedOrder) {
+			t.Errorf("mode %v: completion order %v (pipelined) != %v (serial)", mode, pipedOrder, serialOrder)
+		}
+	}
+}
+
+// TestPipelineEngineConcurrentReduces drives many single-block rounds
+// with slow reduces through a wide worker pool, keeping several reduce
+// stages in flight while maps continue — the scenario the commit
+// turnstile orders. Primarily a -race target.
+func TestPipelineEngineConcurrentReduces(t *testing.T) {
+	plan, exec, metas := stagedSetup(t, 12, 1, 4)
+	exec.SetOutputMode(PerRoundReduce)
+	exec.SetTimeScale(1e6)
+	arrivals := make([]Arrival, len(metas))
+	for i, m := range metas {
+		arrivals[i] = Arrival{Job: m, At: vclock.Time(i)}
+	}
+	res, err := RunOpts(core.New(plan, nil), exec, arrivals,
+		Options{Pipeline: true, ReduceWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Jobs() != len(metas) {
+		t.Fatalf("jobs = %d, want %d", res.Metrics.Jobs(), len(metas))
+	}
+	if len(exec.Results()) != len(metas) {
+		t.Fatalf("results = %d, want %d", len(exec.Results()), len(metas))
+	}
+	if len(res.Metrics.RoundStages()) != res.Rounds {
+		t.Errorf("stage timelines = %d, rounds = %d", len(res.Metrics.RoundStages()), res.Rounds)
+	}
+}

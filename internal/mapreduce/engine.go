@@ -164,13 +164,16 @@ func (e *Engine) MapRound(blocks []dfs.BlockID, jobs []*Running) (RoundStats, er
 
 	// Speculation monitor: once half the blocks have finished, any
 	// block running longer than factor x the median completed duration
-	// gets a duplicate attempt on another node.
+	// gets a duplicate attempt on another node. The poll interval backs
+	// off to a fraction of the median task duration, so fast rounds get
+	// tight straggler detection while slow rounds don't busy-spin.
 	if e.speculation > 0 && len(assignments) > 1 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			poll := 200 * time.Microsecond
 			for {
-				time.Sleep(200 * time.Microsecond)
+				time.Sleep(poll)
 				mu.Lock()
 				if remaining == 0 || firstErr != nil {
 					mu.Unlock()
@@ -182,6 +185,12 @@ func (e *Engine) MapRound(blocks []dfs.BlockID, jobs []*Running) (RoundStats, er
 				}
 				med := medianDuration(durations)
 				threshold := time.Duration(e.speculation * float64(med))
+				poll = med / 8
+				if poll < 200*time.Microsecond {
+					poll = 200 * time.Microsecond
+				} else if poll > 10*time.Millisecond {
+					poll = 10 * time.Millisecond
+				}
 				for i, asg := range assignments {
 					if committed[i] || speculated[i] {
 						continue
@@ -189,7 +198,7 @@ func (e *Engine) MapRound(blocks []dfs.BlockID, jobs []*Running) (RoundStats, er
 					if time.Since(started[i]) > threshold {
 						speculated[i] = true
 						stats.Speculative++
-						other := e.cluster.nodes[(int(asg.node.ID)+1)%len(e.cluster.nodes)]
+						other := e.speculativeNode(asg.block, asg.node)
 						dup := assignment{block: asg.block, node: other, local: e.cluster.store.HasLocal(asg.block, other.ID)}
 						wg.Add(1)
 						go attempt(i, dup)
@@ -202,6 +211,22 @@ func (e *Engine) MapRound(blocks []dfs.BlockID, jobs []*Running) (RoundStats, er
 
 	wg.Wait()
 	return stats, firstErr
+}
+
+// speculativeNode picks where a duplicate attempt of block b runs when
+// its first attempt on cur looks like a straggler: another node holding
+// a replica of the block, so the duplicate scans locally. Ring order
+// from cur spreads duplicates when several replicas qualify; if no
+// other node holds a replica, fall back to cur's ring successor.
+func (e *Engine) speculativeNode(b dfs.BlockID, cur *Node) *Node {
+	n := len(e.cluster.nodes)
+	for off := 1; off < n; off++ {
+		cand := e.cluster.nodes[(int(cur.ID)+off)%n]
+		if e.cluster.store.HasLocal(b, cand.ID) {
+			return cand
+		}
+	}
+	return e.cluster.nodes[(int(cur.ID)+1)%n]
 }
 
 // medianDuration returns the median of ds (ds must be non-empty).
@@ -277,14 +302,19 @@ func (e *Engine) commitMapTask(job *Running, parts [][]KV, counts taskCounts) er
 // §IV-D3 execution where every merged sub-job is a complete MapReduce
 // job, and the caller collects the partial results (§V-G).
 func (e *Engine) ReduceRound(job *Running) ([]KV, error) {
-	parts := job.DrainPartitions()
-	outputs := make([][]KV, len(parts))
-	for p, records := range parts {
-		out, err := e.runReduceTask(records, job)
-		if err != nil {
-			return nil, fmt.Errorf("job %q sub-job partition %d: %w", job.Spec.Name, p, err)
-		}
-		outputs[p] = out
+	return e.ReduceDrained(job, job.DrainPartitions())
+}
+
+// ReduceDrained runs a sub-job's reduce phase over an already-drained
+// shuffle snapshot (see Running.DrainPartitions). Draining and reducing
+// are separate so a staged runtime can commit the shuffle at the end of
+// the scan stage and run the reduce concurrently with the next round's
+// maps; the job's live shuffle space keeps accumulating new map output
+// in the meantime.
+func (e *Engine) ReduceDrained(job *Running, parts [][]KV) ([]KV, error) {
+	outputs, err := e.reduceParts(job, parts, "sub-job partition")
+	if err != nil {
+		return nil, err
 	}
 	job.Counters.Add(CounterReduceTasks, int64(len(parts)))
 	merged := MergeSorted(outputs)
@@ -297,9 +327,34 @@ func (e *Engine) ReduceRound(job *Running) ([]KV, error) {
 // produced and returns the completed result. A job must be finished
 // exactly once, after its final map round.
 func (e *Engine) Finish(job *Running) (*Result, error) {
-	parts := job.takePartitions()
-	c := job.Counters
+	return e.FinishDrained(job, job.takePartitions())
+}
 
+// FinishDrained completes a job whose shuffle space was already sealed
+// (see Running.Seal): it reduces the sealed snapshot and returns the
+// final result. The staged runtime seals at the end of the job's last
+// scan stage and runs this concurrently with later rounds' maps.
+func (e *Engine) FinishDrained(job *Running, parts [][]KV) (*Result, error) {
+	c := job.Counters
+	outputs, err := e.reduceParts(job, parts, "partition")
+	if err != nil {
+		return nil, err
+	}
+	var all []KV
+	for _, out := range outputs {
+		all = append(all, out...)
+	}
+	sortKVs(all)
+	c.Add(CounterReduceTasks, int64(len(parts)))
+	c.Add(CounterReduceOutRecords, int64(len(all)))
+	c.Add(CounterReduceOutBytes, kvBytes(all))
+	return &Result{Name: job.Spec.Name, Output: all, Counters: c}, nil
+}
+
+// reduceParts runs one reduce task per partition concurrently,
+// committing the first error (the same worker-pool/firstErr pattern
+// every reduce phase shares).
+func (e *Engine) reduceParts(job *Running, parts [][]KV, label string) ([][]KV, error) {
 	outputs := make([][]KV, len(parts))
 	var (
 		wg       sync.WaitGroup
@@ -314,7 +369,7 @@ func (e *Engine) Finish(job *Running) (*Result, error) {
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("job %q partition %d: %w", job.Spec.Name, p, err)
+				firstErr = fmt.Errorf("job %q %s %d: %w", job.Spec.Name, label, p, err)
 				return
 			}
 			outputs[p] = out
@@ -324,16 +379,7 @@ func (e *Engine) Finish(job *Running) (*Result, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
-
-	var all []KV
-	for _, out := range outputs {
-		all = append(all, out...)
-	}
-	sortKVs(all)
-	c.Add(CounterReduceTasks, int64(len(parts)))
-	c.Add(CounterReduceOutRecords, int64(len(all)))
-	c.Add(CounterReduceOutBytes, kvBytes(all))
-	return &Result{Name: job.Spec.Name, Output: all, Counters: c}, nil
+	return outputs, nil
 }
 
 // runReduceTask sorts, groups and reduces one partition.

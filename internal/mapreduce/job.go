@@ -176,6 +176,14 @@ func (r *Running) DrainPartitions() [][]KV {
 	return parts
 }
 
+// Seal marks the job finished and hands back its remaining shuffle
+// records. This is the shuffle-commit of a job's *last* round under
+// staged execution: no further map output may arrive, and the caller
+// runs the final reduce over the sealed snapshot with
+// Engine.FinishDrained — possibly concurrently with later rounds'
+// maps for other jobs.
+func (r *Running) Seal() [][]KV { return r.takePartitions() }
+
 // takePartitions marks the job finished and hands the shuffle space to
 // the reduce phase.
 func (r *Running) takePartitions() [][]KV {

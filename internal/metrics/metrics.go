@@ -23,6 +23,60 @@ type Collector struct {
 	started   map[scheduler.JobID]vclock.Time
 	completed map[scheduler.JobID]vclock.Time
 	order     []scheduler.JobID // submission order
+	stages    []RoundStages     // per-round stage timeline (pipelined runs)
+}
+
+// RoundStages is one round's stage timeline under pipelined execution:
+// the scan/map stage occupies the cluster's map slots during
+// [MapStart, MapEnd]; the reduce stage runs during [ReduceStart,
+// ReduceEnd], concurrently with later rounds' map stages; Retired is
+// when the round's completions were reported (round-ordered, so it can
+// trail ReduceEnd when an earlier round's reduce finished later).
+type RoundStages struct {
+	Seq         int // launch order, 0-based
+	Segment     int // segment scanned, or -1 when not segment-aligned
+	MapStart    vclock.Time
+	MapEnd      vclock.Time
+	ReduceStart vclock.Time
+	ReduceEnd   vclock.Time
+	Retired     vclock.Time
+}
+
+// AddRoundStages records one pipelined round's stage timeline.
+func (c *Collector) AddRoundStages(rs RoundStages) {
+	c.stages = append(c.stages, rs)
+}
+
+// RoundStages returns the recorded stage timelines in launch order.
+// Serial runs record none.
+func (c *Collector) RoundStages() []RoundStages {
+	out := make([]RoundStages, len(c.stages))
+	copy(out, c.stages)
+	return out
+}
+
+// PipelineOverlap totals the reduce-stage time that ran concurrently
+// with a later round's map stage — the work the serial runtime would
+// have serialized. It is the sum over rounds of the overlap between
+// [ReduceStart, ReduceEnd] and any later round's [MapStart, MapEnd].
+func (c *Collector) PipelineOverlap() vclock.Duration {
+	var total vclock.Duration
+	for i, rs := range c.stages {
+		for _, later := range c.stages[i+1:] {
+			lo := rs.ReduceStart
+			if later.MapStart > lo {
+				lo = later.MapStart
+			}
+			hi := rs.ReduceEnd
+			if later.MapEnd < hi {
+				hi = later.MapEnd
+			}
+			if hi > lo {
+				total += hi.Sub(lo)
+			}
+		}
+	}
+	return total
 }
 
 // NewCollector returns an empty collector.

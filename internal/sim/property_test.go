@@ -72,6 +72,73 @@ func TestCostMonotonicityProperty(t *testing.T) {
 	}
 }
 
+// Property: splitting a round into stages conserves its cost — the
+// map-stage duration plus the reduce-stage duration equals ExecRound's
+// total, the reduce stage is non-negative, and the reduce closure is
+// pure (same answer twice).
+func TestStageSplitConservesCostProperty(t *testing.T) {
+	model := CostModel{
+		ScanMBps:       40,
+		MapMBps:        2048,
+		TaskOverhead:   2.5,
+		DispatchPerJob: 0.05,
+		RoundOverhead:  0.3,
+		JobSetup:       0.2,
+		SharePenalty:   0.01,
+		ReducePerRound: 0.015,
+		ReduceSetup:    0.02,
+	}
+	prop := func(n8, blocks8, w8 uint8, subJob bool) bool {
+		n := int(n8%8) + 1
+		blocks := int(blocks8%30) + 2
+		w := float64(w8%10) + 1
+
+		store := dfs.NewStore(blocks, 1)
+		f, err := store.AddMetaFile("input", blocks, 64<<20)
+		if err != nil {
+			return false
+		}
+		plan, err := dfs.PlanSegments(f, blocks)
+		if err != nil {
+			return false
+		}
+		ex := NewExecutor(NewCluster(blocks, 1), store, model)
+
+		jobs := make([]scheduler.JobMeta, n)
+		for i := range jobs {
+			jobs[i] = scheduler.JobMeta{ID: scheduler.JobID(i + 1), File: "input", Weight: w, ReduceWeight: 1}
+		}
+		r := scheduler.Round{Segment: 0, Blocks: plan.Blocks(0), Jobs: jobs, SubJobReduce: subJob}
+		if !subJob {
+			r.Completes = []scheduler.JobID{jobs[n-1].ID}
+		}
+
+		total, err := ex.ExecRound(r)
+		if err != nil {
+			return false
+		}
+		mapDur, stage, err := ex.ExecMapStage(r)
+		if err != nil {
+			return false
+		}
+		red1, err := stage()
+		if err != nil {
+			return false
+		}
+		red2, err := stage()
+		if err != nil {
+			return false
+		}
+		const eps = 1e-9
+		sum := mapDur + red1
+		return red1 >= 0 && red1 == red2 && mapDur >= 0 &&
+			sum > total-eps && sum < total+eps
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: slowing any node never makes a round faster.
 func TestSlowdownNeverHelpsProperty(t *testing.T) {
 	prop := func(node8, speed8 uint8) bool {

@@ -187,8 +187,34 @@ func (e *Executor) ResetStats() { e.stats = Stats{} }
 
 // ExecRound implements driver.Executor.
 func (e *Executor) ExecRound(r scheduler.Round) (vclock.Duration, error) {
+	mapSec, redSec, err := e.price(r)
+	if err != nil {
+		return 0, err
+	}
+	return vclock.Duration(mapSec + redSec), nil
+}
+
+// ExecMapStage implements driver.StageExecutor (without importing
+// driver: the stage is returned as the alias's underlying func type).
+// The cost model prices both stages at map end — the reduce cost is a
+// pure function of the round — so the returned stage only reports the
+// precomputed duration. Stats are charged here, on the driver's
+// goroutine; the closure touches no executor state and is safe to run
+// concurrently with later rounds' pricing.
+func (e *Executor) ExecMapStage(r scheduler.Round) (vclock.Duration, func() (vclock.Duration, error), error) {
+	mapSec, redSec, err := e.price(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	stage := func() (vclock.Duration, error) { return vclock.Duration(redSec), nil }
+	return vclock.Duration(mapSec), stage, nil
+}
+
+// price computes the round's map-stage and reduce-stage costs in
+// seconds and charges the work counters.
+func (e *Executor) price(r scheduler.Round) (mapSec, redSec float64, err error) {
 	if len(r.Jobs) == 0 || len(r.Blocks) == 0 {
-		return 0, fmt.Errorf("sim: empty round (jobs=%d blocks=%d)", len(r.Jobs), len(r.Blocks))
+		return 0, 0, fmt.Errorf("sim: empty round (jobs=%d blocks=%d)", len(r.Jobs), len(r.Blocks))
 	}
 	used := e.usableNodes()
 	if len(r.Nodes) > 0 {
@@ -197,13 +223,13 @@ func (e *Executor) ExecRound(r scheduler.Round) (vclock.Duration, error) {
 		used = make([]*Node, 0, len(r.Nodes))
 		for _, id := range r.Nodes {
 			if int(id) < 0 || int(id) >= len(e.cluster.nodes) {
-				return 0, fmt.Errorf("sim: round names unknown node %d", id)
+				return 0, 0, fmt.Errorf("sim: round names unknown node %d", id)
 			}
 			used = append(used, e.cluster.nodes[id])
 		}
 	}
 	if len(used) == 0 {
-		return 0, fmt.Errorf("sim: no usable nodes")
+		return 0, 0, fmt.Errorf("sim: no usable nodes")
 	}
 
 	usedSet := make(map[int]bool, len(used))
@@ -217,9 +243,9 @@ func (e *Executor) ExecRound(r scheduler.Round) (vclock.Duration, error) {
 	var remote int64
 	var perBlockTotal float64 // summed nominal processing time of all blocks
 	for _, b := range r.Blocks {
-		f, err := e.store.File(b.File)
-		if err != nil {
-			return 0, err
+		f, ferr := e.store.File(b.File)
+		if ferr != nil {
+			return 0, 0, ferr
 		}
 		mb := float64(f.BlockLen(b.Index)) / (1 << 20)
 		scanFactor := 1 + e.model.SharePenalty*(n-1)
@@ -254,18 +280,18 @@ func (e *Executor) ExecRound(r scheduler.Round) (vclock.Duration, error) {
 			slowest = nd.Speed
 		}
 	}
-	dur := e.model.RoundOverhead + e.model.JobSetup*float64(r.FreshJobs) + float64(waves)*perBlockAvg/slowest
+	mapSec = e.model.RoundOverhead + e.model.JobSetup*float64(r.FreshJobs) + float64(waves)*perBlockAvg/slowest
 
 	// Reduce work: one round's worth of every job's intermediate data
 	// is reduced, whenever its reduce phase eventually runs.
 	for _, j := range r.Jobs {
-		dur += e.model.ReducePerRound * j.ReduceWeight
+		redSec += e.model.ReducePerRound * j.ReduceWeight
 	}
 	// Reduce-phase setup: per job per round for S^3 sub-jobs (each is
 	// a full MapReduce job), once per job at completion otherwise.
 	if r.SubJobReduce {
 		for _, j := range r.Jobs {
-			dur += e.model.ReduceSetup * j.ReduceWeight
+			redSec += e.model.ReduceSetup * j.ReduceWeight
 		}
 	} else if len(r.Completes) > 0 {
 		byID := make(map[scheduler.JobID]scheduler.JobMeta, len(r.Jobs))
@@ -273,7 +299,7 @@ func (e *Executor) ExecRound(r scheduler.Round) (vclock.Duration, error) {
 			byID[j.ID] = j
 		}
 		for _, id := range r.Completes {
-			dur += e.model.ReduceSetup * byID[id].ReduceWeight
+			redSec += e.model.ReduceSetup * byID[id].ReduceWeight
 		}
 	}
 
@@ -281,8 +307,8 @@ func (e *Executor) ExecRound(r scheduler.Round) (vclock.Duration, error) {
 	e.stats.BlocksScanned += int64(len(r.Blocks))
 	e.stats.MapTasks += int64(len(r.Blocks) * len(r.Jobs))
 	e.stats.RemoteBlocks += remote
-	e.stats.SimTime += vclock.Duration(dur)
-	return vclock.Duration(dur), nil
+	e.stats.SimTime += vclock.Duration(mapSec + redSec)
+	return mapSec, redSec, nil
 }
 
 // blockLocal reports whether any replica holder of b is in the round's

@@ -35,6 +35,10 @@ const (
 	// BatchAdjusted records dynamic sub-job adjustment rewriting a
 	// waiting batch.
 	BatchAdjusted
+	// MapStageFinished records a pipelined round's scan/map stage
+	// completing; the round's reduce stage is still draining when the
+	// next round launches (RoundFinished marks the reduce end).
+	MapStageFinished
 )
 
 var kindNames = map[Kind]string{
@@ -46,7 +50,8 @@ var kindNames = map[Kind]string{
 	SegmentAdvanced: "segment-advanced",
 	NodeExcluded:    "node-excluded",
 	NodeRestored:    "node-restored",
-	BatchAdjusted:   "batch-adjusted",
+	BatchAdjusted:    "batch-adjusted",
+	MapStageFinished: "mapstage-finished",
 }
 
 // String returns the stable lowercase name of the kind.
