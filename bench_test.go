@@ -145,7 +145,7 @@ func BenchmarkDriverPipelineOn(b *testing.B) { benchPipeline(b, true) }
 // scenarios (the sim package asserts the exact values in tests).
 func BenchmarkExamplesAnalytic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		store := dfs.NewStore(1, 1)
+		store := dfs.MustStore(1, 1)
 		f, err := store.AddMetaFile("input", 10, 64<<20)
 		if err != nil {
 			b.Fatal(err)
@@ -345,11 +345,11 @@ func BenchmarkEstimatorStudy(b *testing.B) {
 // BenchmarkEngineSharedMapRound measures one real shared-scan round:
 // 16 blocks feeding 4 jobs.
 func BenchmarkEngineSharedMapRound(b *testing.B) {
-	store := dfs.NewStore(4, 1)
+	store := dfs.MustStore(4, 1)
 	if _, err := workload.AddTextFile(store, "corpus", 16, 4<<10, 1); err != nil {
 		b.Fatal(err)
 	}
-	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	engine := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
 	f, err := store.File("corpus")
 	if err != nil {
 		b.Fatal(err)
@@ -374,7 +374,7 @@ func BenchmarkEngineSharedMapRound(b *testing.B) {
 // BenchmarkS3SchedulerThroughput measures raw JQM decision cost: one
 // Submit + k NextRound/RoundDone cycles over a 64-segment plan.
 func BenchmarkS3SchedulerThroughput(b *testing.B) {
-	store := dfs.NewStore(40, 1)
+	store := dfs.MustStore(40, 1)
 	f, err := store.AddMetaFile("input", 2560, 64<<20)
 	if err != nil {
 		b.Fatal(err)

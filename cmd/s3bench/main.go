@@ -28,9 +28,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig3|fig4|fig4a..fig4f|examples|ablations|window|distributed|jitter|poisson|taxonomy|estimator|pipeline|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig3|fig4|fig4a..fig4f|examples|ablations|window|distributed|jitter|poisson|taxonomy|estimator|pipeline|faults|all")
 	jsonPath := flag.String("json", "", "also write the Figure 4 panels + claim check as JSON to this file")
 	pipeMode := flag.String("pipeline", "both", "pipeline experiment mode: on|off|both (A/B)")
+	faultRate := flag.Float64("faultrate", 0.02, "faults experiment: max transient block-failure rate in [0,1)")
+	faultSeed := flag.Int64("faultseed", 42, "faults experiment: fault schedule seed (same seed, same schedule)")
+	faultJSON := flag.String("faultjson", "", "faults experiment: also write the results as JSON to this file")
 	flag.Parse()
 
 	if *pipeMode != "on" && *pipeMode != "off" && *pipeMode != "both" {
@@ -50,7 +53,8 @@ func main() {
 	switch *exp {
 	case "all":
 		err = firstErr(runTable1, runFig3, runExamples, runFig4All, runAblations, runWindowStudy, runDistributed, runJitter, runPoisson, runTaxonomy, runEstimator,
-			func() error { return runPipeline(*pipeMode) })
+			func() error { return runPipeline(*pipeMode) },
+			func() error { return runFaults(*faultRate, *faultSeed, *faultJSON) })
 	case "table1":
 		err = runTable1()
 	case "fig3":
@@ -77,6 +81,8 @@ func main() {
 		err = runEstimator()
 	case "pipeline":
 		err = runPipeline(*pipeMode)
+	case "faults":
+		err = runFaults(*faultRate, *faultSeed, *faultJSON)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -197,7 +203,10 @@ func runExamples() error {
 		{"fifo", 80, 200, 110}, {"mrshare", 80, 180, 140}, {"s3", 80, 180, 100},
 	}
 	for _, c := range cases {
-		store := dfs.NewStore(1, 1)
+		store, err := dfs.NewStore(1, 1)
+		if err != nil {
+			return err
+		}
 		f, err := store.AddMetaFile("input", 10, 64<<20)
 		if err != nil {
 			return err
@@ -377,6 +386,77 @@ func runPipeline(mode string) error {
 		fmt.Println("(single-mode run; use -pipeline=both for the A/B gain column)")
 	}
 	fmt.Println()
+	return nil
+}
+
+// faultsJSON is the machine-readable fault-study record
+// (BENCH_faults.json).
+type faultsJSON struct {
+	Seed     int64             `json:"seed"`
+	Replicas int               `json:"replicas"`
+	Rates    []float64         `json:"rates"`
+	Points   []faultsJSONPoint `json:"points"`
+}
+
+type faultsJSONPoint struct {
+	Rate    float64                       `json:"rate"`
+	Schemes map[string]faultsJSONSchemeRe `json:"schemes"`
+}
+
+type faultsJSONSchemeRe struct {
+	TET            float64 `json:"tetSeconds"`
+	ART            float64 `json:"artSeconds"`
+	Rounds         int     `json:"rounds"`
+	Completed      int     `json:"completed"`
+	Failed         int     `json:"failed"`
+	Retries        int     `json:"retries"`
+	FailedAttempts int     `json:"failedAttempts"`
+	RequeuedRounds int     `json:"requeuedRounds"`
+}
+
+func runFaults(rate float64, seed int64, jsonPath string) error {
+	fmt.Printf("== Fault tolerance: TET/ART degradation under deterministic fault injection (seed %d) ==\n", seed)
+	res, err := experiments.FaultStudy(rate, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-6s %10s %10s %8s %6s %6s %8s\n", "rate", "scheme", "TET(s)", "ART(s)", "rounds", "done", "fail", "retries")
+	rec := faultsJSON{Seed: res.Seed, Replicas: res.Replicas, Rates: res.Rates}
+	for _, pt := range res.Points {
+		jp := faultsJSONPoint{Rate: pt.Rate, Schemes: make(map[string]faultsJSONSchemeRe)}
+		for _, name := range []string{"s3", "fifo", "mrs1"} {
+			sr, ok := pt.Schemes[name]
+			if !ok {
+				continue
+			}
+			fmt.Printf("%-8.3f %-6s %10.1f %10.1f %8d %6d %6d %8d\n",
+				pt.Rate, name, sr.Summary.TET.Seconds(), sr.Summary.ART.Seconds(),
+				sr.Rounds, sr.Completed, sr.Failed, sr.Faults.Retries)
+			jp.Schemes[name] = faultsJSONSchemeRe{
+				TET:            sr.Summary.TET.Seconds(),
+				ART:            sr.Summary.ART.Seconds(),
+				Rounds:         sr.Rounds,
+				Completed:      sr.Completed,
+				Failed:         sr.Failed,
+				Retries:        sr.Faults.Retries,
+				FailedAttempts: sr.Faults.FailedAttempts,
+				RequeuedRounds: sr.Faults.RequeuedRounds,
+			}
+		}
+		rec.Points = append(rec.Points, jp)
+	}
+	fmt.Println("(2-way replication: one crashed node leaves every block readable, so all jobs finish)")
+	fmt.Println()
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
 	return nil
 }
 

@@ -60,7 +60,10 @@ func main() {
 }
 
 func workerStore() (*dfs.Store, error) {
-	store := dfs.NewStore(1, 1)
+	store, err := dfs.NewStore(1, 1)
+	if err != nil {
+		return nil, err
+	}
 	if _, err := workload.AddTextFile(store, "corpus", *blocks, *blockSize, *seed); err != nil {
 		return nil, err
 	}
@@ -148,7 +151,10 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 
 	// The scheduler's segment plan: metadata only, matching the
 	// workers' corpus shape.
-	planStore := dfs.NewStore(numWorkers, 1)
+	planStore, err := dfs.NewStore(numWorkers, 1)
+	if err != nil {
+		return fmt.Errorf("planning store for %d workers: %w", numWorkers, err)
+	}
 	f, err := planStore.AddMetaFile("corpus", *blocks, *blockSize)
 	if err != nil {
 		return err

@@ -34,7 +34,10 @@ func run() error {
 		blocks    = 18 // 6 segments of 3 blocks
 		blockSize = 4 << 10
 	)
-	store := dfs.NewStore(nodes, 1)
+	store, err := dfs.NewStore(nodes, 1)
+	if err != nil {
+		return err
+	}
 	if _, err := workload.AddTextFile(store, "corpus", blocks, blockSize, 42); err != nil {
 		return err
 	}
@@ -49,7 +52,11 @@ func run() error {
 	fmt.Printf("file %q: %d blocks of %d KiB in %d segments of %d blocks (one per map slot)\n\n",
 		f.Name, f.NumBlocks, blockSize>>10, plan.NumSegments(), plan.BlocksPerSegment())
 
-	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	cluster, err := mapreduce.NewCluster(store, 1)
+	if err != nil {
+		return err
+	}
+	engine := mapreduce.NewEngine(cluster)
 	specs := map[scheduler.JobID]mapreduce.JobSpec{
 		1: workload.WordCountJob("count-t*", "corpus", "t", 2),
 		2: workload.WordCountJob("count-a*", "corpus", "a", 2),

@@ -77,7 +77,10 @@ func run(tracePath, schedList string, inputGB, blockMB int, perJob bool) error {
 	var summaries []metrics.Summary
 	for i, name := range strings.Split(schedList, ",") {
 		name = strings.TrimSpace(name)
-		store := dfs.NewStore(experiments.Nodes, 1)
+		store, err := dfs.NewStore(experiments.Nodes, 1)
+		if err != nil {
+			return err
+		}
 		file, err := store.AddMetaFile(fileName, inputGB*1024/blockMB, int64(blockMB)<<20)
 		if err != nil {
 			return err

@@ -8,7 +8,7 @@ import (
 
 func testPlan(t *testing.T) *dfs.SegmentPlan {
 	t.Helper()
-	store := dfs.NewStore(4, 1)
+	store := dfs.MustStore(4, 1)
 	f, err := store.AddMetaFile("input", 8, 64<<20)
 	if err != nil {
 		t.Fatal(err)

@@ -24,7 +24,7 @@ func main() {
 		blocks    = 16
 		blockSize = 16 << 10
 	)
-	store := dfs.NewStore(nodes, 1)
+	store := dfs.MustStore(nodes, 1)
 	if _, err := workload.AddLineitemFile(store, "lineitem", blocks, blockSize, 11); err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func main() {
 
 	// Stage 1: Q1-style aggregation via S^3 sub-jobs with partial
 	// aggregation between rounds.
-	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	engine := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
 	exec := driver.NewEngineExecutor(engine, map[scheduler.JobID]mapreduce.JobSpec{
 		1: workload.AggregationJob("q1", "lineitem", 2),
 	})

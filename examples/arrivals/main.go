@@ -21,7 +21,7 @@ import (
 // runOnce builds a fresh 10-segment, 100-second-per-job environment
 // and drives two jobs through the named scheme.
 func runOnce(scheme string, offset vclock.Time) (tet, art float64, err error) {
-	store := dfs.NewStore(1, 1)
+	store := dfs.MustStore(1, 1)
 	f, err := store.AddMetaFile("input", 10, 64<<20)
 	if err != nil {
 		return 0, 0, err

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	// 1. A 4-node cluster over a 16-block generated text file.
-	store := dfs.NewStore(4, 1)
+	store := dfs.MustStore(4, 1)
 	if _, err := workload.AddTextFile(store, "books", 16, 8<<10, 1); err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func main() {
 
 	// 3. Two different jobs over the same input: count words starting
 	// with "t", and words starting with "a".
-	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	engine := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
 	exec := driver.NewEngineExecutor(engine, map[scheduler.JobID]mapreduce.JobSpec{
 		1: workload.WordCountJob("t-words", "books", "t", 2),
 		2: workload.WordCountJob("a-words", "books", "a", 2),

@@ -23,7 +23,7 @@ func main() {
 		blocks    = 24
 		blockSize = 32 << 10
 	)
-	store := dfs.NewStore(nodes, 1)
+	store := dfs.MustStore(nodes, 1)
 	if _, err := workload.AddLineitemFile(store, "lineitem", blocks, blockSize, 7); err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func main() {
 
 	// Three selection jobs with different predicates: ~10%, ~20% and
 	// ~50% selectivity over the uniform 1..50 quantity domain.
-	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	engine := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
 	exec := driver.NewEngineExecutor(engine, map[scheduler.JobID]mapreduce.JobSpec{
 		1: workload.SelectionJob("qty<=5", "lineitem", 5),
 		2: workload.SelectionJob("qty<=10", "lineitem", 10),

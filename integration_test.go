@@ -26,7 +26,7 @@ import (
 // jobs over `blocks` blocks with `perSegment` blocks per segment.
 func realRig(t *testing.T, blocks, perSegment, n int) (*dfs.Store, *dfs.SegmentPlan, *driver.EngineExecutor, []scheduler.JobMeta) {
 	t.Helper()
-	store := dfs.NewStore(perSegment, 1)
+	store := dfs.MustStore(perSegment, 1)
 	if _, err := workload.AddTextFile(store, "corpus", blocks, 2048, 99); err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func realRig(t *testing.T, blocks, perSegment, n int) (*dfs.Store, *dfs.SegmentP
 	if err != nil {
 		t.Fatal(err)
 	}
-	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	engine := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
 	specs := make(map[scheduler.JobID]mapreduce.JobSpec, n)
 	metas := make([]scheduler.JobMeta, n)
 	prefixes := workload.DistinctPrefixes(n)
@@ -152,7 +152,7 @@ func (o *observingExec) ExecRound(r scheduler.Round) (vclock.Duration, error) {
 // back. The run must complete with every job done.
 func TestFailureInjectionSlotCheckerAdapts(t *testing.T) {
 	const nodes = 4
-	store := dfs.NewStore(nodes, 1)
+	store := dfs.MustStore(nodes, 1)
 	f, err := store.AddMetaFile("input", 64, 64<<20)
 	if err != nil {
 		t.Fatal(err)
@@ -207,7 +207,7 @@ func TestFailureInjectionSlotCheckerAdapts(t *testing.T) {
 // path: the last batch's window expires after the final arrival, and
 // the run still completes.
 func TestWindowBatcherFiresWithoutArrivals(t *testing.T) {
-	store := dfs.NewStore(2, 1)
+	store := dfs.MustStore(2, 1)
 	f, err := store.AddMetaFile("input", 4, 64<<20)
 	if err != nil {
 		t.Fatal(err)
@@ -245,7 +245,7 @@ func TestWindowBatcherFiresWithoutArrivals(t *testing.T) {
 // TestMultiFileRealEngine runs wordcount and selection jobs over two
 // different files through one MultiFile scheduler on the real engine.
 func TestMultiFileRealEngine(t *testing.T) {
-	store := dfs.NewStore(4, 1)
+	store := dfs.MustStore(4, 1)
 	if _, err := workload.AddTextFile(store, "corpus", 8, 2048, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +272,7 @@ func TestMultiFileRealEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	engine := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
 	exec := driver.NewEngineExecutor(engine, map[scheduler.JobID]mapreduce.JobSpec{
 		1: workload.WordCountJob("wc", "corpus", "t", 2),
 		2: workload.SelectionJob("sel", "lineitem", 5),
@@ -304,7 +304,7 @@ func TestRandomPatternsS3DominatesFIFO(t *testing.T) {
 		k := 4 + rng.Intn(6) // segments
 
 		runScheme := func(mk func(p *dfs.SegmentPlan) scheduler.Scheduler) (art float64, scans int64, tasks int64, ok bool) {
-			store := dfs.NewStore(2, 1)
+			store := dfs.MustStore(2, 1)
 			f, err := store.AddMetaFile("input", k, 64<<20)
 			if err != nil {
 				return 0, 0, 0, false
@@ -359,7 +359,7 @@ func TestRandomPatternsS3DominatesFIFO(t *testing.T) {
 // run crawl.
 func TestStressManyJobs(t *testing.T) {
 	const jobs = 500
-	store := dfs.NewStore(40, 1)
+	store := dfs.MustStore(40, 1)
 	f, err := store.AddMetaFile("input", 2560, 64<<20)
 	if err != nil {
 		t.Fatal(err)

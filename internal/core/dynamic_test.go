@@ -9,7 +9,7 @@ import (
 
 func dynFile(t *testing.T, blocks int) *dfs.File {
 	t.Helper()
-	store := dfs.NewStore(4, 1)
+	store := dfs.MustStore(4, 1)
 	f, err := store.AddMetaFile("input", blocks, 64<<20)
 	if err != nil {
 		t.Fatal(err)

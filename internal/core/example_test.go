@@ -12,7 +12,7 @@ import (
 // arrives two segments later, and the Job Queue Manager batches their
 // aligned sub-jobs for every shared segment.
 func ExampleS3() {
-	store := dfs.NewStore(2, 1)
+	store := dfs.MustStore(2, 1)
 	f, _ := store.AddMetaFile("input", 8, 64<<20)
 	plan, _ := dfs.PlanSegments(f, 2) // 4 segments of 2 blocks
 

@@ -11,7 +11,7 @@ import (
 // segments) in one store.
 func multiPlans(t *testing.T) []*dfs.SegmentPlan {
 	t.Helper()
-	store := dfs.NewStore(2, 1)
+	store := dfs.MustStore(2, 1)
 	fa, err := store.AddMetaFile("alpha", 4, 64)
 	if err != nil {
 		t.Fatal(err)

@@ -19,7 +19,7 @@ func TestDynamicS3CoverageProperty(t *testing.T) {
 		numNodes := int(nodes8%5) + 1
 		nJobs := int(n8%4) + 1
 
-		store := dfs.NewStore(numNodes, 1)
+		store := dfs.MustStore(numNodes, 1)
 		f, err := store.AddMetaFile("input", numBlocks, 64)
 		if err != nil {
 			return false
@@ -106,7 +106,7 @@ func TestNoCircularPassProperty(t *testing.T) {
 		k := int(k8%8) + 1
 		n := int(n8%5) + 1
 
-		store := dfs.NewStore(2, 1)
+		store := dfs.MustStore(2, 1)
 		f, err := store.AddMetaFile("input", k, 64)
 		if err != nil {
 			return false
@@ -172,7 +172,7 @@ func TestMultiFileProperty(t *testing.T) {
 		kb := int(kb8%6) + 1
 		n := int(n8%6) + 2
 
-		store := dfs.NewStore(2, 1)
+		store := dfs.MustStore(2, 1)
 		fa, err := store.AddMetaFile("alpha", ka, 64)
 		if err != nil {
 			return false

@@ -69,8 +69,9 @@ type S3 struct {
 }
 
 var (
-	_ scheduler.Scheduler  = (*S3)(nil)
-	_ scheduler.StageAware = (*S3)(nil)
+	_ scheduler.Scheduler   = (*S3)(nil)
+	_ scheduler.StageAware  = (*S3)(nil)
+	_ scheduler.Recoverable = (*S3)(nil)
 )
 
 // New returns an S^3 scheduler over the segment plan. log may be nil.
@@ -233,6 +234,49 @@ func (s *S3) retireScan(r scheduler.Round, now vclock.Time) []scheduler.JobID {
 	s.log.Addf(now, trace.SegmentAdvanced, -1, s.cursor, "")
 	sort.Slice(done, func(i, j int) bool { return done[i] < done[j] })
 	return done
+}
+
+// RequeueRound implements scheduler.Recoverable — the paper's dynamic
+// sub-job adjustment extended to failure. The lost round's merged
+// sub-jobs return to the queue: the cursor stays on the segment (it
+// was never consumed), every job's Remaining is untouched, and the
+// next NextRound re-forms the batch over the same segment — including
+// any jobs that aligned while the lost round was in flight — so the
+// round-robin segment order is preserved exactly.
+func (s *S3) RequeueRound(r scheduler.Round, now vclock.Time) {
+	if !s.inFlight {
+		panic("core: S3.RequeueRound without a round in flight")
+	}
+	s.inFlight = false
+	s.launchedFor = nil
+	for _, id := range r.JobIDs() {
+		s.log.Addf(now, trace.SubJobRequeued, int(id), r.Segment, "s3 round lost; cursor stays at %d", s.cursor)
+	}
+}
+
+// AbortJobs implements scheduler.Recoverable: failed jobs leave the
+// active queue and never align into another round. Their ids stay
+// registered (a reused id is still a duplicate).
+func (s *S3) AbortJobs(ids []scheduler.JobID, now vclock.Time) {
+	if len(ids) == 0 {
+		return
+	}
+	drop := make(map[scheduler.JobID]bool, len(ids))
+	for _, id := range ids {
+		drop[id] = true
+	}
+	remaining := s.active[:0]
+	for _, js := range s.active {
+		if drop[js.Meta.ID] {
+			s.log.Addf(now, trace.JobAborted, int(js.Meta.ID), -1, "s3 %d sub-job(s) unfinished", js.Remaining)
+			continue
+		}
+		remaining = append(remaining, js)
+	}
+	for i := len(remaining); i < len(s.active); i++ {
+		s.active[i] = nil
+	}
+	s.active = remaining
 }
 
 // PendingJobs implements Scheduler.

@@ -13,7 +13,7 @@ import (
 
 func makePlan(t *testing.T, numBlocks, perSegment int) *dfs.SegmentPlan {
 	t.Helper()
-	store := dfs.NewStore(4, 1)
+	store := dfs.MustStore(4, 1)
 	f, err := store.AddMetaFile("input", numBlocks, 64<<20)
 	if err != nil {
 		t.Fatalf("AddMetaFile: %v", err)
@@ -257,7 +257,7 @@ func TestS3ScheduleProperty(t *testing.T) {
 		n := int(n8%6) + 1 // 1..6 jobs
 		rng := rand.New(rand.NewSource(seed))
 
-		store := dfs.NewStore(2, 1)
+		store := dfs.MustStore(2, 1)
 		f, err := store.AddMetaFile("input", k, 64)
 		if err != nil {
 			return false

@@ -105,6 +105,12 @@ type Stats struct {
 	BytesScanned int64 // total bytes returned by ReadBlock
 }
 
+// ReadFault decides whether a read attempt of block id served by node
+// should fail before touching the data. A nil hook never fails reads.
+// Fault injectors (internal/faults) plug in here; production stores
+// leave it unset.
+type ReadFault func(id BlockID, node NodeID) error
+
 // Store is the in-memory distributed block store.
 type Store struct {
 	mu        sync.RWMutex
@@ -113,6 +119,7 @@ type Store struct {
 	racks     int // 0 or 1 = no topology
 	files     map[string]*File
 	placement map[BlockID][]NodeID
+	readFault ReadFault
 
 	blockReads   atomic.Int64
 	bytesScanned atomic.Int64
@@ -125,20 +132,40 @@ var ErrNoSuchFile = errors.New("dfs: no such file")
 // given replication factor (the paper uses 1). Blocks are placed
 // round-robin with replicas on consecutive nodes, which mirrors how a
 // rack-unaware HDFS placement spreads a large sequentially written
-// file.
-func NewStore(nodes, replicas int) *Store {
+// file. Invalid arguments return an error so callers wiring the store
+// from user input (flags, configs) can report them cleanly.
+func NewStore(nodes, replicas int) (*Store, error) {
 	if nodes <= 0 {
-		panic("dfs: store needs at least one node")
+		return nil, fmt.Errorf("dfs: store needs at least one node, got %d", nodes)
 	}
 	if replicas <= 0 || replicas > nodes {
-		panic(fmt.Sprintf("dfs: replication factor %d invalid for %d nodes", replicas, nodes))
+		return nil, fmt.Errorf("dfs: replication factor %d invalid for %d nodes (want 1..%d)", replicas, nodes, nodes)
 	}
 	return &Store{
 		nodes:     nodes,
 		replicas:  replicas,
 		files:     make(map[string]*File),
 		placement: make(map[BlockID][]NodeID),
+	}, nil
+}
+
+// MustStore is NewStore for static configurations known to be valid
+// (tests, examples); it panics on error.
+func MustStore(nodes, replicas int) *Store {
+	s, err := NewStore(nodes, replicas)
+	if err != nil {
+		panic(err)
 	}
+	return s
+}
+
+// SetReadFault installs a fault hook consulted on every block read.
+// Pass nil to clear. Install before execution starts; the hook must be
+// safe for concurrent use.
+func (s *Store) SetReadFault(f ReadFault) {
+	s.mu.Lock()
+	s.readFault = f
+	s.mu.Unlock()
 }
 
 // Nodes returns the number of nodes the store spans.
@@ -244,13 +271,29 @@ func (s *Store) HasLocal(id BlockID, node NodeID) bool {
 
 // ReadBlock returns the contents of a block and charges the scan to the
 // store's counters. One call == one physical scan of the block; shared
-// scheduling shows up directly as fewer ReadBlock calls.
+// scheduling shows up directly as fewer ReadBlock calls. Reads via
+// ReadBlock are not attributed to a node; use ReadBlockAt when the
+// serving node matters (fault injection, locality accounting).
 func (s *Store) ReadBlock(id BlockID) ([]byte, error) {
+	return s.ReadBlockAt(id, NodeID(-1))
+}
+
+// ReadBlockAt is ReadBlock attributed to the node serving the read.
+// The installed ReadFault hook (if any) sees the block and node and may
+// fail the attempt before any data is touched; failed attempts are not
+// charged to the scan counters.
+func (s *Store) ReadBlockAt(id BlockID, node NodeID) ([]byte, error) {
 	s.mu.RLock()
 	f, ok := s.files[id.File]
+	fault := s.readFault
 	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchFile, id.File)
+	}
+	if fault != nil {
+		if err := fault(id, node); err != nil {
+			return nil, err
+		}
 	}
 	if f.source == nil {
 		return nil, fmt.Errorf("dfs: file %q is metadata-only; block %d has no contents", id.File, id.Index)

@@ -19,7 +19,7 @@ func mkBlocks(n int, size int64) [][]byte {
 }
 
 func TestAddFileAndRead(t *testing.T) {
-	s := NewStore(4, 1)
+	s := MustStore(4, 1)
 	blocks := mkBlocks(6, 64)
 	f, err := s.AddFile("data", 64, blocks)
 	if err != nil {
@@ -47,7 +47,7 @@ func TestAddFileAndRead(t *testing.T) {
 }
 
 func TestAddFileShortLastBlock(t *testing.T) {
-	s := NewStore(2, 1)
+	s := MustStore(2, 1)
 	blocks := mkBlocks(3, 64)
 	blocks[2] = blocks[2][:10]
 	f, err := s.AddFile("data", 64, blocks)
@@ -69,7 +69,7 @@ func TestAddFileShortLastBlock(t *testing.T) {
 }
 
 func TestAddFileRejectsBadBlocks(t *testing.T) {
-	s := NewStore(2, 1)
+	s := MustStore(2, 1)
 	if _, err := s.AddFile("empty", 64, nil); err == nil {
 		t.Error("AddFile with no blocks should fail")
 	}
@@ -86,7 +86,7 @@ func TestAddFileRejectsBadBlocks(t *testing.T) {
 }
 
 func TestDuplicateFileRejected(t *testing.T) {
-	s := NewStore(2, 1)
+	s := MustStore(2, 1)
 	if _, err := s.AddMetaFile("f", 4, 64); err != nil {
 		t.Fatalf("AddMetaFile: %v", err)
 	}
@@ -96,7 +96,7 @@ func TestDuplicateFileRejected(t *testing.T) {
 }
 
 func TestMetaFileHasNoContents(t *testing.T) {
-	s := NewStore(2, 1)
+	s := MustStore(2, 1)
 	if _, err := s.AddMetaFile("meta", 8, 1<<20); err != nil {
 		t.Fatalf("AddMetaFile: %v", err)
 	}
@@ -109,7 +109,7 @@ func TestMetaFileHasNoContents(t *testing.T) {
 }
 
 func TestGeneratedFile(t *testing.T) {
-	s := NewStore(3, 1)
+	s := MustStore(3, 1)
 	_, err := s.AddGeneratedFile("gen", 5, 16, func(i int) ([]byte, error) {
 		return []byte(fmt.Sprintf("block-%08d....", i))[:16], nil
 	})
@@ -130,7 +130,7 @@ func TestGeneratedFile(t *testing.T) {
 }
 
 func TestReadUnknownFile(t *testing.T) {
-	s := NewStore(2, 1)
+	s := MustStore(2, 1)
 	if _, err := s.ReadBlock(BlockID{File: "nope", Index: 0}); err == nil {
 		t.Error("reading unknown file should fail")
 	}
@@ -140,7 +140,7 @@ func TestReadUnknownFile(t *testing.T) {
 }
 
 func TestPlacementRoundRobin(t *testing.T) {
-	s := NewStore(4, 1)
+	s := MustStore(4, 1)
 	if _, err := s.AddMetaFile("f", 10, 64); err != nil {
 		t.Fatalf("AddMetaFile: %v", err)
 	}
@@ -156,7 +156,7 @@ func TestPlacementRoundRobin(t *testing.T) {
 }
 
 func TestPlacementReplication(t *testing.T) {
-	s := NewStore(5, 3)
+	s := MustStore(5, 3)
 	if _, err := s.AddMetaFile("f", 7, 64); err != nil {
 		t.Fatalf("AddMetaFile: %v", err)
 	}
@@ -184,19 +184,25 @@ func TestPlacementReplication(t *testing.T) {
 
 func TestStoreConstructorValidation(t *testing.T) {
 	for _, tc := range []struct{ nodes, reps int }{{0, 1}, {-1, 1}, {3, 0}, {3, 4}} {
+		if _, err := NewStore(tc.nodes, tc.reps); err == nil {
+			t.Errorf("NewStore(%d,%d) should return an error", tc.nodes, tc.reps)
+		}
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("NewStore(%d,%d) should panic", tc.nodes, tc.reps)
+					t.Errorf("MustStore(%d,%d) should panic", tc.nodes, tc.reps)
 				}
 			}()
-			NewStore(tc.nodes, tc.reps)
+			MustStore(tc.nodes, tc.reps)
 		}()
+	}
+	if s, err := NewStore(3, 2); err != nil || s == nil {
+		t.Errorf("NewStore(3,2) = %v, %v; want a store", s, err)
 	}
 }
 
 func TestResetStats(t *testing.T) {
-	s := NewStore(2, 1)
+	s := MustStore(2, 1)
 	_, err := s.AddFile("f", 8, mkBlocks(2, 8))
 	if err != nil {
 		t.Fatal(err)

@@ -10,7 +10,7 @@ import (
 // §IV-B: a job admitted at segment 2 of a 5-segment file processes
 // 2, 3, 4 and then wraps to 0, 1.
 func ExampleSegmentPlan_CircularOrder() {
-	store := dfs.NewStore(4, 1)
+	store := dfs.MustStore(4, 1)
 	f, _ := store.AddMetaFile("input", 20, 64<<20)
 	plan, _ := dfs.PlanSegments(f, 4) // 5 segments of 4 blocks
 

@@ -7,7 +7,7 @@ import (
 
 func mustPlan(t *testing.T, numBlocks, perSegment int) *SegmentPlan {
 	t.Helper()
-	s := NewStore(4, 1)
+	s := MustStore(4, 1)
 	f, err := s.AddMetaFile("f", numBlocks, 64)
 	if err != nil {
 		t.Fatalf("AddMetaFile: %v", err)
@@ -61,7 +61,7 @@ func TestPlanRejectsBadInput(t *testing.T) {
 	if _, err := PlanSegments(nil, 3); err == nil {
 		t.Error("nil file should fail")
 	}
-	s := NewStore(2, 1)
+	s := MustStore(2, 1)
 	f, _ := s.AddMetaFile("f", 4, 64)
 	if _, err := PlanSegments(f, 0); err == nil {
 		t.Error("zero blocksPerSegment should fail")
@@ -115,7 +115,7 @@ func TestDistance(t *testing.T) {
 }
 
 func TestSegmentBytes(t *testing.T) {
-	s := NewStore(2, 1)
+	s := MustStore(2, 1)
 	blocks := mkBlocks(5, 64)
 	blocks[4] = blocks[4][:16]
 	f, err := s.AddFile("f", 64, blocks)
@@ -140,7 +140,7 @@ func TestPlanPartitionProperty(t *testing.T) {
 	prop := func(nBlocks8, per8 uint8) bool {
 		nBlocks := int(nBlocks8%200) + 1
 		per := int(per8%50) + 1
-		s := NewStore(4, 1)
+		s := MustStore(4, 1)
 		f, err := s.AddMetaFile("f", nBlocks, 64)
 		if err != nil {
 			return false
@@ -180,7 +180,7 @@ func TestCircularOrderProperty(t *testing.T) {
 	prop := func(nBlocks8, per8, start8 uint8) bool {
 		nBlocks := int(nBlocks8%200) + 1
 		per := int(per8%50) + 1
-		s := NewStore(4, 1)
+		s := MustStore(4, 1)
 		f, err := s.AddMetaFile("f", nBlocks, 64)
 		if err != nil {
 			return false
@@ -215,7 +215,7 @@ func TestCircularOrderProperty(t *testing.T) {
 func TestDistanceProperty(t *testing.T) {
 	prop := func(k8, from8, to8 uint8) bool {
 		k := int(k8%30) + 1
-		s := NewStore(4, 1)
+		s := MustStore(4, 1)
 		f, err := s.AddMetaFile("f", k, 64)
 		if err != nil {
 			return false

@@ -6,7 +6,7 @@ import (
 )
 
 func TestSetRacksValidation(t *testing.T) {
-	s := NewStore(6, 1)
+	s := MustStore(6, 1)
 	if err := s.SetRacks(0); err == nil {
 		t.Error("0 racks should fail")
 	}
@@ -22,7 +22,7 @@ func TestSetRacksValidation(t *testing.T) {
 }
 
 func TestRackAssignmentContiguous(t *testing.T) {
-	s := NewStore(12, 1)
+	s := MustStore(12, 1)
 	if err := s.SetRacks(3); err != nil {
 		t.Fatal(err)
 	}
@@ -34,14 +34,14 @@ func TestRackAssignmentContiguous(t *testing.T) {
 		}
 	}
 	// No topology: everything rack 0.
-	s2 := NewStore(4, 1)
+	s2 := MustStore(4, 1)
 	if s2.Rack(3) != 0 || s2.Racks() != 1 {
 		t.Error("default topology should be a single rack")
 	}
 }
 
 func TestRackAwarePlacement(t *testing.T) {
-	s := NewStore(12, 3)
+	s := MustStore(12, 3)
 	if err := s.SetRacks(3); err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestRackAwarePlacement(t *testing.T) {
 }
 
 func TestSetRacksReplacesExistingFiles(t *testing.T) {
-	s := NewStore(12, 3)
+	s := MustStore(12, 3)
 	if _, err := s.AddMetaFile("f", 6, 64); err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestRackPlacementProperty(t *testing.T) {
 		}
 		blocks := int(blocks8%40) + 1
 
-		s := NewStore(nodes, reps)
+		s := MustStore(nodes, reps)
 		if err := s.SetRacks(racks); err != nil {
 			return false
 		}

@@ -12,6 +12,7 @@
 package driver
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -30,6 +31,36 @@ type ExecutorFunc func(r scheduler.Round) (vclock.Duration, error)
 
 // ExecRound calls f.
 func (f ExecutorFunc) ExecRound(r scheduler.Round) (vclock.Duration, error) { return f(r) }
+
+// TimedExecutor is implemented by executors whose failure behavior
+// depends on the current virtual time (e.g. the simulator's crash
+// windows). The serial driver calls ExecRoundAt with the round's
+// launch time when available.
+type TimedExecutor interface {
+	ExecRoundAt(r scheduler.Round, now vclock.Time) (vclock.Duration, error)
+}
+
+// FailureReporter is implemented by executors that isolate per-job
+// failures: a round may succeed while individual jobs' map/reduce code
+// failed. The driver drains the reports after each round, fails those
+// jobs in the metrics, and aborts them in the scheduler.
+type FailureReporter interface {
+	// TakeJobFailures returns and clears the failures recorded since
+	// the previous call.
+	TakeJobFailures() []scheduler.JobFailure
+}
+
+// FaultStatsSource is implemented by executors that count fault
+// handling (retries, failed attempts, blacklists); the driver folds
+// the counters into the run's metrics at the end.
+type FaultStatsSource interface {
+	FaultStats() metrics.FaultStats
+}
+
+// DefaultMaxRequeues bounds consecutive requeues of one round before
+// the driver gives up (a fault schedule that never lets the round
+// complete would otherwise loop forever).
+const DefaultMaxRequeues = 32
 
 // Arrival is one job submission event.
 type Arrival struct {
@@ -102,15 +133,100 @@ func sortedArrivals(arrivals []Arrival) ([]Arrival, error) {
 // RunWithHooks is Run with observation callbacks. It always runs the
 // serial round loop; RunOpts selects the pipelined loop when asked to.
 func RunWithHooks(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, hooks Hooks) (*Result, error) {
+	return runSerial(sched, exec, arrivals, hooks, 0)
+}
+
+// handleRoundLoss processes a round-loss error: advance the clock by
+// the time the failed execution consumed, then return the round to a
+// Recoverable scheduler. Returns an error when the scheduler cannot
+// recover or the consecutive-requeue bound is exhausted.
+func handleRoundLoss(sched scheduler.Scheduler, clock *vclock.Virtual, coll *metrics.Collector,
+	r scheduler.Round, lost *scheduler.RoundLostError, requeues, maxRequeues int) error {
+	rec, ok := sched.(scheduler.Recoverable)
+	if !ok {
+		return fmt.Errorf("driver: round over segment %d lost and scheduler %q cannot requeue: %w", r.Segment, sched.Name(), lost)
+	}
+	if requeues > maxRequeues {
+		return fmt.Errorf("driver: round over segment %d lost %d consecutive times, giving up: %w", r.Segment, requeues, lost)
+	}
+	if lost.Elapsed < 0 {
+		return fmt.Errorf("driver: executor returned negative lost-round elapsed %v", lost.Elapsed)
+	}
+	clock.Advance(lost.Elapsed)
+	rec.RequeueRound(r, clock.Now())
+	coll.AddFaultStats(metrics.FaultStats{RequeuedRounds: 1, RequeuedSubJobs: len(r.Jobs)})
+	return nil
+}
+
+// settleRound records a retired round's completions and drains the
+// executor's per-job failure reports: failed jobs are marked failed
+// (not completed) and aborted in the scheduler so no future round
+// includes them. failedSoFar persists across rounds — under pipelining
+// a failure drained at an earlier round's retire must not be
+// double-counted when a later round reports the same job completed.
+func settleRound(sched scheduler.Scheduler, exec Executor, coll *metrics.Collector, hooks Hooks,
+	r scheduler.Round, now vclock.Time, completed []scheduler.JobID, failedSoFar map[scheduler.JobID]bool) error {
+	var fresh []scheduler.JobID
+	if fr, ok := exec.(FailureReporter); ok {
+		for _, jf := range fr.TakeJobFailures() {
+			if failedSoFar[jf.ID] {
+				continue
+			}
+			failedSoFar[jf.ID] = true
+			coll.Fail(jf.ID, now)
+			fresh = append(fresh, jf.ID)
+		}
+	}
+	done := make(map[scheduler.JobID]bool, len(completed))
+	for _, id := range completed {
+		done[id] = true
+		if failedSoFar[id] {
+			continue // recorded as failed, and already retired by the scheduler
+		}
+		coll.Complete(id, now)
+	}
+	var abort []scheduler.JobID
+	for _, id := range fresh {
+		if !done[id] {
+			abort = append(abort, id)
+		}
+	}
+	if len(abort) > 0 {
+		rec, ok := sched.(scheduler.Recoverable)
+		if !ok {
+			return fmt.Errorf("driver: job(s) %v failed and scheduler %q cannot abort them", abort, sched.Name())
+		}
+		rec.AbortJobs(abort, now)
+	}
+	if hooks.OnRoundDone != nil {
+		hooks.OnRoundDone(r, now, completed)
+	}
+	return nil
+}
+
+// finishStats folds the executor's fault counters into the run's
+// metrics once the loop ends.
+func finishStats(exec Executor, coll *metrics.Collector) {
+	if src, ok := exec.(FaultStatsSource); ok {
+		coll.AddFaultStats(src.FaultStats())
+	}
+}
+
+func runSerial(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, hooks Hooks, maxRequeues int) (*Result, error) {
 	evs, err := sortedArrivals(arrivals)
 	if err != nil {
 		return nil, err
+	}
+	if maxRequeues <= 0 {
+		maxRequeues = DefaultMaxRequeues
 	}
 
 	clock := vclock.NewVirtual()
 	coll := metrics.NewCollector()
 	res := &Result{Metrics: coll}
-	next := 0 // index of next undelivered arrival
+	next := 0     // index of next undelivered arrival
+	requeues := 0 // consecutive requeues of the current round
+	failed := make(map[scheduler.JobID]bool)
 
 	deliverDue := func(now vclock.Time) error {
 		for next < len(evs) && evs[next].At <= now {
@@ -171,13 +287,30 @@ func RunWithHooks(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, 
 		if hooks.OnRoundStart != nil {
 			hooks.OnRoundStart(r, now)
 		}
-		dur, err := exec.ExecRound(r)
+		var dur vclock.Duration
+		var err error
+		if te, timed := exec.(TimedExecutor); timed {
+			dur, err = te.ExecRoundAt(r, now)
+		} else {
+			dur, err = exec.ExecRound(r)
+		}
 		if err != nil {
+			var lost *scheduler.RoundLostError
+			if errors.As(err, &lost) {
+				requeues++
+				if lerr := handleRoundLoss(sched, clock, coll, r, lost, requeues, maxRequeues); lerr != nil {
+					return nil, lerr
+				}
+				// Arrivals during the failed attempt still join the
+				// queue; the re-formed round aligns them too.
+				continue
+			}
 			return nil, fmt.Errorf("driver: round over segment %d failed: %w", r.Segment, err)
 		}
 		if dur < 0 {
 			return nil, fmt.Errorf("driver: executor returned negative duration %v", dur)
 		}
+		requeues = 0
 		res.Rounds++
 		clock.Advance(dur)
 		now = clock.Now()
@@ -188,13 +321,11 @@ func RunWithHooks(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, 
 			return nil, err
 		}
 		completed := sched.RoundDone(r, now)
-		for _, id := range completed {
-			coll.Complete(id, now)
-		}
-		if hooks.OnRoundDone != nil {
-			hooks.OnRoundDone(r, now, completed)
+		if err := settleRound(sched, exec, coll, hooks, r, now, completed, failed); err != nil {
+			return nil, err
 		}
 	}
+	finishStats(exec, coll)
 	res.End = clock.Now()
 	return res, nil
 }

@@ -1,11 +1,15 @@
 package driver
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"s3sched/internal/mapreduce"
+	"s3sched/internal/metrics"
 	"s3sched/internal/scheduler"
+	"s3sched/internal/trace"
 	"s3sched/internal/vclock"
 )
 
@@ -72,7 +76,20 @@ type EngineExecutor struct {
 	turnCond   *sync.Cond
 	nextTicket int
 	commitTurn int
+
+	// failMu guards per-job failure isolation state. A job whose own
+	// map/reduce code errors is recorded here and excluded from every
+	// later round, instead of aborting the batch it shared a scan with.
+	failMu   sync.Mutex
+	dead     map[scheduler.JobID]bool
+	failures []scheduler.JobFailure
+	faults   metrics.FaultStats
 }
+
+var (
+	_ FailureReporter  = (*EngineExecutor)(nil)
+	_ FaultStatsSource = (*EngineExecutor)(nil)
+)
 
 // NewEngineExecutor builds an executor over the engine. specs maps
 // every job id the schedulers will see to its executable definition.
@@ -86,9 +103,61 @@ func NewEngineExecutor(engine *mapreduce.Engine, specs map[scheduler.JobID]mapre
 		results:     make(map[scheduler.JobID]*mapreduce.Result),
 		partials:    make(map[scheduler.JobID][]mapreduce.KV),
 		peakCarried: make(map[scheduler.JobID]int),
+		dead:        make(map[scheduler.JobID]bool),
 	}
 	e.turnCond = sync.NewCond(&e.turnMu)
 	return e
+}
+
+// recordFailure marks a job dead and queues a failure report for the
+// driver. Only the first failure per job is reported. Safe from reduce
+// worker goroutines.
+func (e *EngineExecutor) recordFailure(id scheduler.JobID, err error) {
+	e.failMu.Lock()
+	if !e.dead[id] {
+		e.dead[id] = true
+		e.failures = append(e.failures, scheduler.JobFailure{ID: id, Err: err})
+	}
+	e.failMu.Unlock()
+	e.mu.Lock()
+	delete(e.running, id)
+	delete(e.partials, id)
+	e.mu.Unlock()
+}
+
+// isDead reports whether the job has failed.
+func (e *EngineExecutor) isDead(id scheduler.JobID) bool {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return e.dead[id]
+}
+
+// TakeJobFailures implements FailureReporter.
+func (e *EngineExecutor) TakeJobFailures() []scheduler.JobFailure {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	out := e.failures
+	e.failures = nil
+	return out
+}
+
+// FaultStats implements FaultStatsSource.
+func (e *EngineExecutor) FaultStats() metrics.FaultStats {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return e.faults
+}
+
+// WireFaultTrace forwards the engine's fault events (failed attempts,
+// node blacklisting) into the trace log.
+func (e *EngineExecutor) WireFaultTrace(log *trace.Log) {
+	e.engine.SetFaultObserver(func(ev mapreduce.FaultEvent) {
+		kind := trace.AttemptFailed
+		if ev.Kind == mapreduce.FaultNodeDown {
+			kind = trace.NodeDown
+		}
+		log.Addf(e.clock.Now(), kind, -1, -1, "block %v node %d attempt %d: %v", ev.Block, int(ev.Node), ev.Attempt, ev.Err)
+	})
 }
 
 // SetOutputMode selects the output collection scheme. Must be called
@@ -179,9 +248,15 @@ var _ StageExecutor = (*EngineExecutor)(nil)
 // serial execution no matter how rounds' reduces interleave.
 func (e *EngineExecutor) ExecMapStage(r scheduler.Round) (vclock.Duration, ReduceStage, error) {
 	start := e.clock.Now()
+	ids := make([]scheduler.JobID, 0, len(r.Jobs))
 	jobs := make([]*mapreduce.Running, 0, len(r.Jobs))
 	e.mu.Lock()
 	for _, meta := range r.Jobs {
+		if e.isDead(meta.ID) {
+			// The job failed in an earlier round (or stage); its abort
+			// may not have reached the scheduler yet. Skip it.
+			continue
+		}
 		run, ok := e.running[meta.ID]
 		if !ok {
 			spec, have := e.specs[meta.ID]
@@ -197,36 +272,72 @@ func (e *EngineExecutor) ExecMapStage(r scheduler.Round) (vclock.Duration, Reduc
 			}
 			e.running[meta.ID] = run
 		}
+		ids = append(ids, meta.ID)
 		jobs = append(jobs, run)
 	}
 	e.mu.Unlock()
-	if _, err := e.engine.MapRound(r.Blocks, jobs); err != nil {
-		return 0, nil, err
-	}
-	if e.compact != nil {
-		for _, run := range jobs {
-			if err := run.Compact(e.compact); err != nil {
-				return 0, nil, err
-			}
+	stats, jobErrs, roundErr := e.engine.MapRoundCtx(context.Background(), r.Blocks, jobs)
+	e.failMu.Lock()
+	e.faults.Retries += stats.Retries
+	e.faults.FailedAttempts += stats.FailedAttempts
+	e.faults.BlacklistedNodes += stats.Blacklisted
+	e.failMu.Unlock()
+	if roundErr != nil {
+		var lost *mapreduce.BlockLostError
+		if errors.As(roundErr, &lost) {
+			// Every replica of a block was exhausted: the scan — not any
+			// job's code — failed, so the whole round is lost and the
+			// scheduler may requeue it.
+			elapsed := vclock.Duration(e.clock.Now().Sub(start).Seconds() * e.timeScale)
+			return 0, nil, &scheduler.RoundLostError{Round: r, Elapsed: elapsed, Err: roundErr}
 		}
+		return 0, nil, roundErr
+	}
+	// Per-job map errors kill only their own job (fault isolation); the
+	// co-batched jobs' shared scan already committed their outputs.
+	alive := ids[:0]
+	aliveRuns := jobs[:0]
+	for i, run := range jobs {
+		if jobErrs[i] != nil {
+			e.recordFailure(ids[i], jobErrs[i])
+			continue
+		}
+		alive = append(alive, ids[i])
+		aliveRuns = append(aliveRuns, run)
+	}
+	ids, jobs = alive, aliveRuns
+	if e.compact != nil {
+		alive, aliveRuns = ids[:0], jobs[:0]
+		for i, run := range jobs {
+			if err := run.Compact(e.compact); err != nil {
+				e.recordFailure(ids[i], fmt.Errorf("driver: compacting job %d: %w", ids[i], err))
+				continue
+			}
+			alive = append(alive, ids[i])
+			aliveRuns = append(aliveRuns, run)
+		}
+		ids, jobs = alive, aliveRuns
 	}
 	// Shuffle-commit. Drain before Seal so a completing job's sealed
 	// snapshot holds only what this round's reduce has not claimed,
 	// mirroring the serial ReduceRound-then-Finish order.
 	commits := make([]roundCommit, len(jobs))
 	for i, run := range jobs {
-		commits[i] = roundCommit{id: r.Jobs[i].ID, run: run}
+		commits[i] = roundCommit{id: ids[i], run: run}
 		if e.mode == PerRoundReduce {
 			commits[i].drained = run.DrainPartitions()
 		} else {
 			e.mu.Lock()
-			e.trackCarried(r.Jobs[i].ID, run.IntermediateRecords())
+			e.trackCarried(ids[i], run.IntermediateRecords())
 			e.mu.Unlock()
 		}
 	}
 	fins := make([]finishCommit, 0, len(r.Completes))
 	e.mu.Lock()
 	for _, id := range r.Completes {
+		if e.isDead(id) {
+			continue // failed jobs never finish
+		}
 		run, ok := e.running[id]
 		if !ok {
 			e.mu.Unlock()
@@ -250,10 +361,13 @@ func (e *EngineExecutor) ExecMapStage(r scheduler.Round) (vclock.Duration, Reduc
 // duration covers reduce computation and commit work, excluding any
 // time spent waiting for earlier rounds' commit turns (that wait is a
 // pipelining artifact, not reduce work; it never occurs serially).
+//
+// A reduce error is a job-code error (the engine's own failures
+// surfaced in the map stage), so it kills only its job: the failure is
+// recorded for the driver and the round's other jobs commit normally.
 func (e *EngineExecutor) reduceStage(ticket int, commits []roundCommit, fins []finishCommit) ReduceStage {
 	return func() (vclock.Duration, error) {
 		compStart := e.clock.Now()
-		var firstErr error
 		// Compute off the committed snapshots, no shared state touched.
 		type partialOut struct {
 			id  scheduler.JobID
@@ -265,10 +379,13 @@ func (e *EngineExecutor) reduceStage(ticket int, commits []roundCommit, fins []f
 			// its round now and collect the partial output (§V-G).
 			partials = make([]partialOut, 0, len(commits))
 			for _, c := range commits {
+				if e.isDead(c.id) {
+					continue // failed in a later stage already drained
+				}
 				kvs, err := e.engine.ReduceDrained(c.run, c.drained)
 				if err != nil {
-					firstErr = err
-					break
+					e.recordFailure(c.id, err)
+					continue
 				}
 				partials = append(partials, partialOut{id: c.id, kvs: kvs})
 			}
@@ -278,17 +395,17 @@ func (e *EngineExecutor) reduceStage(ticket int, commits []roundCommit, fins []f
 			run *mapreduce.Running
 			res *mapreduce.Result
 		}
-		var finished []finishOut
-		if firstErr == nil {
-			finished = make([]finishOut, 0, len(fins))
-			for _, f := range fins {
-				res, err := e.engine.FinishDrained(f.run, f.sealed)
-				if err != nil {
-					firstErr = err
-					break
-				}
-				finished = append(finished, finishOut{id: f.id, run: f.run, res: res})
+		finished := make([]finishOut, 0, len(fins))
+		for _, f := range fins {
+			if e.isDead(f.id) {
+				continue
 			}
+			res, err := e.engine.FinishDrained(f.run, f.sealed)
+			if err != nil {
+				e.recordFailure(f.id, err)
+				continue
+			}
+			finished = append(finished, finishOut{id: f.id, run: f.run, res: res})
 		}
 		compDur := e.clock.Now().Sub(compStart)
 
@@ -301,30 +418,34 @@ func (e *EngineExecutor) reduceStage(ticket int, commits []roundCommit, fins []f
 		e.turnMu.Unlock()
 
 		commitStart := e.clock.Now()
-		if firstErr == nil {
-			e.mu.Lock()
-			for _, p := range partials {
-				e.partials[p.id] = append(e.partials[p.id], p.kvs...)
-				e.trackCarried(p.id, len(e.partials[p.id]))
-			}
-			for _, f := range finished {
-				if e.mode == PerRoundReduce {
-					// Final output collection: fold the per-round
-					// partials. FinishDrained consumed an empty sealed
-					// shuffle, so f.res.Output is empty; the fold
-					// re-reduces the partial results, which is exact for
-					// re-reducible reducers (and map-only jobs).
-					folded, err := mapreduce.ReducePartition(e.partials[f.id], f.run.Spec.Reducer)
-					if err != nil {
-						firstErr = fmt.Errorf("driver: folding job %d partials: %w", f.id, err)
-						break
-					}
-					f.res.Output = folded
-					delete(e.partials, f.id)
+		var foldFailed []scheduler.JobFailure
+		e.mu.Lock()
+		for _, p := range partials {
+			e.partials[p.id] = append(e.partials[p.id], p.kvs...)
+			e.trackCarried(p.id, len(e.partials[p.id]))
+		}
+		for _, f := range finished {
+			if e.mode == PerRoundReduce {
+				// Final output collection: fold the per-round
+				// partials. FinishDrained consumed an empty sealed
+				// shuffle, so f.res.Output is empty; the fold
+				// re-reduces the partial results, which is exact for
+				// re-reducible reducers (and map-only jobs).
+				folded, err := mapreduce.ReducePartition(e.partials[f.id], f.run.Spec.Reducer)
+				if err != nil {
+					foldFailed = append(foldFailed, scheduler.JobFailure{
+						ID: f.id, Err: fmt.Errorf("driver: folding job %d partials: %w", f.id, err)})
+					continue
 				}
-				e.results[f.id] = f.res
+				f.res.Output = folded
+				delete(e.partials, f.id)
 			}
-			e.mu.Unlock()
+			e.results[f.id] = f.res
+		}
+		e.mu.Unlock()
+		for _, jf := range foldFailed {
+			// Recorded outside e.mu: recordFailure takes the same lock.
+			e.recordFailure(jf.ID, jf.Err)
 		}
 		commitDur := e.clock.Now().Sub(commitStart)
 
@@ -333,9 +454,6 @@ func (e *EngineExecutor) reduceStage(ticket int, commits []roundCommit, fins []f
 		e.turnCond.Broadcast()
 		e.turnMu.Unlock()
 
-		if firstErr != nil {
-			return 0, firstErr
-		}
 		return vclock.Duration((compDur + commitDur).Seconds() * e.timeScale), nil
 	}
 }

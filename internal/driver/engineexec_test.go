@@ -15,7 +15,7 @@ import (
 // specs for n jobs.
 func realSetup(t *testing.T, blocks, n int) (*dfs.Store, *dfs.SegmentPlan, *EngineExecutor, []scheduler.JobMeta) {
 	t.Helper()
-	store := dfs.NewStore(4, 1)
+	store := dfs.MustStore(4, 1)
 	if _, err := workload.AddTextFile(store, "corpus", blocks, 2048, 7); err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +27,7 @@ func realSetup(t *testing.T, blocks, n int) (*dfs.Store, *dfs.SegmentPlan, *Engi
 	if err != nil {
 		t.Fatal(err)
 	}
-	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	engine := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
 	specs := make(map[scheduler.JobID]mapreduce.JobSpec, n)
 	metas := make([]scheduler.JobMeta, n)
 	prefixes := workload.DistinctPrefixes(n)
@@ -42,11 +42,11 @@ func realSetup(t *testing.T, blocks, n int) (*dfs.Store, *dfs.SegmentPlan, *Engi
 func TestEngineExecutorS3ProducesCorrectResults(t *testing.T) {
 	store, plan, exec, metas := realSetup(t, 8, 2)
 	// Reference: run each job alone on a fresh engine.
-	refStore := dfs.NewStore(4, 1)
+	refStore := dfs.MustStore(4, 1)
 	if _, err := workload.AddTextFile(refStore, "corpus", 8, 2048, 7); err != nil {
 		t.Fatal(err)
 	}
-	refEngine := mapreduce.NewEngine(mapreduce.NewCluster(refStore, 1))
+	refEngine := mapreduce.NewEngine(mapreduce.MustCluster(refStore, 1))
 	want := map[scheduler.JobID]string{}
 	prefixes := workload.DistinctPrefixes(2)
 	for i, meta := range metas {
@@ -266,7 +266,7 @@ func TestSetOutputModeAfterStartPanics(t *testing.T) {
 func TestPerRoundReduceMapOnlyJob(t *testing.T) {
 	// Selection (nil reducer): the fold is a sorted concatenation and
 	// must match the accumulate path.
-	store := dfs.NewStore(4, 1)
+	store := dfs.MustStore(4, 1)
 	if _, err := workload.AddLineitemFile(store, "lineitem", 8, 8<<10, 3); err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +280,7 @@ func TestPerRoundReduceMapOnlyJob(t *testing.T) {
 	}
 	var want string
 	for _, mode := range []OutputMode{AccumulateShuffle, PerRoundReduce} {
-		engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+		engine := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
 		exec := NewEngineExecutor(engine, map[scheduler.JobID]mapreduce.JobSpec{
 			1: workload.SelectionJob("sel", "lineitem", 5),
 		})

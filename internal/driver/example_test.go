@@ -14,7 +14,7 @@ import (
 // jobs, the second arriving 20 seconds in, scheduled by S^3 — TET 120,
 // ART 100.
 func ExampleRun() {
-	store := dfs.NewStore(1, 1)
+	store := dfs.MustStore(1, 1)
 	f, _ := store.AddMetaFile("input", 10, 64<<20)
 	plan, _ := dfs.PlanSegments(f, 1) // 10 segments
 

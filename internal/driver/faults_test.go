@@ -1,0 +1,206 @@
+package driver
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"s3sched/internal/core"
+	"s3sched/internal/metrics"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/vclock"
+)
+
+// flakyExec loses the first `lose` rounds, then runs every round in 10s.
+type flakyExec struct {
+	lose  int
+	calls int
+}
+
+func (f *flakyExec) ExecRound(r scheduler.Round) (vclock.Duration, error) {
+	f.calls++
+	if f.calls <= f.lose {
+		return 0, &scheduler.RoundLostError{Round: r, Elapsed: 5, Err: errors.New("injected loss")}
+	}
+	return 10, nil
+}
+
+// TestRequeueRecoversLostRound: a lost round is requeued and the run
+// still completes every job; the lost time and requeue count are
+// accounted.
+func TestRequeueRecoversLostRound(t *testing.T) {
+	p := makePlan(t, 4, 2) // 2 segments
+	s := core.New(p, nil)
+	exec := &flakyExec{lose: 2}
+	res, err := Run(s, exec, []Arrival{{Job: job(1), At: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.Metrics.Failed()); n != 0 {
+		t.Fatalf("failed jobs = %d, want 0", n)
+	}
+	if res.Rounds != 2 {
+		t.Errorf("successful rounds = %d, want 2", res.Rounds)
+	}
+	fs := res.Metrics.FaultStats()
+	if fs.RequeuedRounds != 2 || fs.RequeuedSubJobs != 2 {
+		t.Errorf("requeue stats = %+v, want 2 rounds / 2 sub-jobs", fs)
+	}
+	// 2 lost rounds x 5s + 2 good rounds x 10s.
+	rt, err := res.Metrics.ResponseTime(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Seconds() != 30 {
+		t.Errorf("response time = %v, want 30s (lost-round time counts)", rt)
+	}
+}
+
+// TestRequeueBoundGivesUp: a round lost more than MaxRequeues times in
+// a row aborts the run instead of looping forever.
+func TestRequeueBoundGivesUp(t *testing.T) {
+	p := makePlan(t, 4, 2)
+	s := core.New(p, nil)
+	exec := &flakyExec{lose: 1 << 30}
+	_, err := RunOpts(s, exec, []Arrival{{Job: job(1), At: 0}}, Options{MaxRequeues: 3})
+	if err == nil {
+		t.Fatal("run with a permanently lost round succeeded")
+	}
+	if !strings.Contains(err.Error(), "giving up") {
+		t.Errorf("error %q does not mention giving up", err)
+	}
+	if exec.calls != 4 {
+		t.Errorf("executor called %d times, want 4 (1 + 3 requeues)", exec.calls)
+	}
+}
+
+// noRecover hides the Recoverable methods of the wrapped scheduler.
+type noRecover struct{ scheduler.Scheduler }
+
+// TestLostRoundNeedsRecoverable: a scheduler without Recoverable gets a
+// clear error instead of a silent requeue.
+func TestLostRoundNeedsRecoverable(t *testing.T) {
+	p := makePlan(t, 4, 2)
+	s := &noRecover{core.New(p, nil)}
+	exec := &flakyExec{lose: 1}
+	_, err := Run(s, exec, []Arrival{{Job: job(1), At: 0}})
+	if err == nil || !strings.Contains(err.Error(), "cannot requeue") {
+		t.Fatalf("error = %v, want cannot-requeue", err)
+	}
+}
+
+// failingJobsExec runs rounds normally but reports the given jobs as
+// failed after their first round, like EngineExecutor does for mapper
+// errors.
+type failingJobsExec struct {
+	bad      map[scheduler.JobID]bool
+	failures []scheduler.JobFailure
+	reported map[scheduler.JobID]bool
+	stats    metrics.FaultStats
+}
+
+func (f *failingJobsExec) ExecRound(r scheduler.Round) (vclock.Duration, error) {
+	for _, j := range r.Jobs {
+		if f.bad[j.ID] && !f.reported[j.ID] {
+			f.reported[j.ID] = true
+			f.failures = append(f.failures, scheduler.JobFailure{ID: j.ID, Err: errors.New("mapper exploded")})
+			f.stats.FailedAttempts++
+		}
+	}
+	return 10, nil
+}
+
+func (f *failingJobsExec) TakeJobFailures() []scheduler.JobFailure {
+	out := f.failures
+	f.failures = nil
+	return out
+}
+
+func (f *failingJobsExec) FaultStats() metrics.FaultStats { return f.stats }
+
+// TestJobFailureIsIsolatedAndAborted: a failed job is marked failed,
+// aborted out of future rounds, and the surviving job completes.
+func TestJobFailureIsIsolatedAndAborted(t *testing.T) {
+	p := makePlan(t, 8, 2) // 4 segments
+	s := core.New(p, nil)
+	exec := &failingJobsExec{
+		bad:      map[scheduler.JobID]bool{2: true},
+		reported: make(map[scheduler.JobID]bool),
+	}
+	res, err := Run(s, exec, []Arrival{
+		{Job: job(1), At: 0},
+		{Job: job(2), At: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := res.Metrics.Failed()
+	if len(failed) != 1 || failed[0] != 2 {
+		t.Fatalf("failed = %v, want [2]", failed)
+	}
+	if n := len(res.Metrics.Incomplete()); n != 0 {
+		t.Fatalf("incomplete jobs = %d, want 0 (job 1 must finish)", n)
+	}
+	if _, err := res.Metrics.ResponseTime(1); err != nil {
+		t.Errorf("job 1 has no response time: %v", err)
+	}
+	// Job 2 shared only the first round before aborting: 4 rounds for
+	// job 1, no extra rounds for job 2's remaining segments.
+	if res.Rounds != 4 {
+		t.Errorf("rounds = %d, want 4 (aborted job schedules no more scans)", res.Rounds)
+	}
+	fs := res.Metrics.FaultStats()
+	if fs.FailedJobs != 1 {
+		t.Errorf("FaultStats.FailedJobs = %d, want 1", fs.FailedJobs)
+	}
+	if fs.FailedAttempts != 1 {
+		t.Errorf("FaultStats.FailedAttempts = %d, want 1 (executor stats folded in)", fs.FailedAttempts)
+	}
+}
+
+// TestJobFailurePipelined: the same isolation holds under the
+// stage-pipelined driver, where failures settle at reduce retirement.
+func TestJobFailurePipelined(t *testing.T) {
+	p := makePlan(t, 8, 2)
+	s := core.New(p, nil)
+	inner := &failingJobsExec{
+		bad:      map[scheduler.JobID]bool{2: true},
+		reported: make(map[scheduler.JobID]bool),
+	}
+	exec := &stagedFailExec{inner: inner}
+	res, err := RunOpts(s, exec, []Arrival{
+		{Job: job(1), At: 0},
+		{Job: job(2), At: 0},
+	}, Options{Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := res.Metrics.Failed()
+	if len(failed) != 1 || failed[0] != 2 {
+		t.Fatalf("failed = %v, want [2]", failed)
+	}
+	if n := len(res.Metrics.Incomplete()); n != 0 {
+		t.Fatalf("incomplete jobs = %d, want 0", n)
+	}
+}
+
+// stagedFailExec adapts failingJobsExec to the stage-pipelined
+// protocol: the scan takes 6s, the reduce 4s.
+type stagedFailExec struct {
+	inner *failingJobsExec
+}
+
+func (s *stagedFailExec) ExecRound(r scheduler.Round) (vclock.Duration, error) {
+	return s.inner.ExecRound(r)
+}
+
+func (s *stagedFailExec) ExecMapStage(r scheduler.Round) (vclock.Duration, ReduceStage, error) {
+	if _, err := s.inner.ExecRound(r); err != nil {
+		return 0, nil, err
+	}
+	return 6, func() (vclock.Duration, error) { return 4, nil }, nil
+}
+
+func (s *stagedFailExec) TakeJobFailures() []scheduler.JobFailure { return s.inner.TakeJobFailures() }
+
+func (s *stagedFailExec) FaultStats() metrics.FaultStats { return s.inner.FaultStats() }

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"errors"
 	"fmt"
 
 	"s3sched/internal/metrics"
@@ -46,7 +47,10 @@ type Options struct {
 	// (default DefaultReduceWorkers). Also the number of virtual reduce
 	// slots the timing model charges reduces against.
 	ReduceWorkers int
-	Hooks         Hooks
+	// MaxRequeues bounds consecutive requeues of one lost round before
+	// the driver gives up (default DefaultMaxRequeues).
+	MaxRequeues int
+	Hooks       Hooks
 }
 
 // RunOpts is Run with explicit execution options.
@@ -58,7 +62,7 @@ func RunOpts(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, opts 
 			return runPipelined(sched, sa, se, arrivals, opts)
 		}
 	}
-	return RunWithHooks(sched, exec, arrivals, opts.Hooks)
+	return runSerial(sched, exec, arrivals, opts.Hooks, opts.MaxRequeues)
 }
 
 type stageOutcome struct {
@@ -100,12 +104,18 @@ func runPipelined(sched scheduler.Scheduler, sa scheduler.StageAware, exec Stage
 	if workers <= 0 {
 		workers = DefaultReduceWorkers
 	}
+	maxRequeues := opts.MaxRequeues
+	if maxRequeues <= 0 {
+		maxRequeues = DefaultMaxRequeues
+	}
 	hooks := opts.Hooks
 
 	clock := vclock.NewVirtual()
 	coll := metrics.NewCollector()
 	res := &Result{Metrics: coll}
-	next := 0 // index of next undelivered arrival
+	next := 0     // index of next undelivered arrival
+	requeues := 0 // consecutive requeues of the current round
+	failed := make(map[scheduler.JobID]bool)
 
 	deliverDue := func(now vclock.Time) error {
 		for next < len(evs) && evs[next].At <= now {
@@ -211,11 +221,8 @@ func runPipelined(sched scheduler.Scheduler, sa scheduler.StageAware, exec Stage
 			Retired:     ret,
 		})
 		completed := sched.RoundDone(h.r, ret)
-		for _, id := range completed {
-			coll.Complete(id, ret)
-		}
-		if hooks.OnRoundDone != nil {
-			hooks.OnRoundDone(h.r, ret, completed)
+		if err := settleRound(sched, exec, coll, hooks, h.r, ret, completed, failed); err != nil {
+			return err
 		}
 		inflight = inflight[1:]
 		return nil
@@ -310,6 +317,18 @@ func runPipelined(sched scheduler.Scheduler, sa scheduler.StageAware, exec Stage
 		}
 		mapDur, stage, err := exec.ExecMapStage(r)
 		if err != nil {
+			var lost *scheduler.RoundLostError
+			if errors.As(err, &lost) {
+				// The scheduler has not been told MapDone, so its state
+				// still holds the round; return it to the queue and let
+				// the next NextRound re-form the same batch.
+				requeues++
+				if lerr := handleRoundLoss(sched, clock, coll, r, lost, requeues, maxRequeues); lerr != nil {
+					drainOutstanding()
+					return nil, lerr
+				}
+				continue
+			}
 			drainOutstanding()
 			return nil, fmt.Errorf("driver: map stage of round over segment %d failed: %w", r.Segment, err)
 		}
@@ -321,6 +340,7 @@ func runPipelined(sched scheduler.Scheduler, sa scheduler.StageAware, exec Stage
 			drainOutstanding()
 			return nil, fmt.Errorf("driver: executor returned a nil reduce stage for segment %d", r.Segment)
 		}
+		requeues = 0
 		res.Rounds++
 		clock.Advance(mapDur)
 		mapEnd := clock.Now()
@@ -339,6 +359,7 @@ func runPipelined(sched scheduler.Scheduler, sa scheduler.StageAware, exec Stage
 		inflight = append(inflight, h)
 		tasks <- h
 	}
+	finishStats(exec, coll)
 	res.End = clock.Now()
 	return res, nil
 }

@@ -192,7 +192,7 @@ func TestPipelineMatchesSerialOrderProperty(t *testing.T) {
 		k := int(k8%6) + 2 // segments
 
 		mkRun := func(pipeline bool) ([]scheduler.JobID, *Result, bool) {
-			store := dfs.NewStore(k, 1)
+			store := dfs.MustStore(k, 1)
 			f, err := store.AddMetaFile("input", k, 64<<20)
 			if err != nil {
 				return nil, nil, false
@@ -253,7 +253,7 @@ func TestPipelineMatchesSerialOrderProperty(t *testing.T) {
 // pipelined runs have many rounds in flight.
 func stagedSetup(t *testing.T, blocks, perSegment, n int) (*dfs.SegmentPlan, *EngineExecutor, []scheduler.JobMeta) {
 	t.Helper()
-	store := dfs.NewStore(4, 1)
+	store := dfs.MustStore(4, 1)
 	if _, err := workload.AddTextFile(store, "corpus", blocks, 2048, 7); err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func stagedSetup(t *testing.T, blocks, perSegment, n int) (*dfs.SegmentPlan, *En
 	if err != nil {
 		t.Fatal(err)
 	}
-	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	engine := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
 	specs := make(map[scheduler.JobID]mapreduce.JobSpec, n)
 	metas := make([]scheduler.JobMeta, n)
 	prefixes := workload.DistinctPrefixes(n)

@@ -240,7 +240,7 @@ func AblationPartialAgg() (AblationResult, error) {
 		jobs      = 3
 	)
 	run := func(name string, enable bool) (AblationRow, error) {
-		store := dfs.NewStore(8, 1)
+		store := dfs.MustStore(8, 1)
 		if _, err := workload.AddTextFile(store, "corpus", blocks, blockSize, 3); err != nil {
 			return AblationRow{}, err
 		}
@@ -252,7 +252,7 @@ func AblationPartialAgg() (AblationResult, error) {
 		if err != nil {
 			return AblationRow{}, err
 		}
-		engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+		engine := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
 		specs := make(map[scheduler.JobID]mapreduce.JobSpec)
 		var arrivals []driver.Arrival
 		prefixes := workload.DistinctPrefixes(jobs)

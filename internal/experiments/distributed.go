@@ -68,7 +68,7 @@ func DistributedScanSavings(cfg DistributedConfig) (DistributedResult, error) {
 			}
 		}()
 		for i := 0; i < cfg.Workers; i++ {
-			store := dfs.NewStore(1, 1)
+			store := dfs.MustStore(1, 1)
 			if _, err := workload.AddTextFile(store, "corpus", cfg.Blocks, cfg.BlockSize, cfg.Seed); err != nil {
 				return 0, 0, nil, err
 			}
@@ -87,7 +87,7 @@ func DistributedScanSavings(cfg DistributedConfig) (DistributedResult, error) {
 		defer master.Close()
 		master.SetTimeScale(1e6)
 
-		planStore := dfs.NewStore(cfg.Workers, 1)
+		planStore := dfs.MustStore(cfg.Workers, 1)
 		f, err := planStore.AddMetaFile("corpus", cfg.Blocks, cfg.BlockSize)
 		if err != nil {
 			return 0, 0, nil, err

@@ -78,11 +78,21 @@ type Env struct {
 // Nodes nodes over a metadata-only file of inputGB gigabytes in
 // blockMB-megabyte blocks, segmented at one block per map slot.
 func NewEnv(inputGB, blockMB int, model sim.CostModel) (*Env, error) {
+	return NewEnvReplicated(inputGB, blockMB, 1, model)
+}
+
+// NewEnvReplicated is NewEnv with an explicit replication factor. The
+// fault study uses replicas >= 2 so a single crashed node leaves every
+// block readable from a surviving holder.
+func NewEnvReplicated(inputGB, blockMB, replicas int, model sim.CostModel) (*Env, error) {
 	if inputGB <= 0 || blockMB <= 0 {
 		return nil, fmt.Errorf("experiments: invalid sizes inputGB=%d blockMB=%d", inputGB, blockMB)
 	}
 	numBlocks := inputGB * 1024 / blockMB
-	store := dfs.NewStore(Nodes, 1)
+	store, err := dfs.NewStore(Nodes, replicas)
+	if err != nil {
+		return nil, err
+	}
 	f, err := store.AddMetaFile("input", numBlocks, int64(blockMB)<<20)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestFaultStudyDeterministic: equal (maxRate, seed) must reproduce
+// the entire study bit-for-bit — fault schedules, retries, TET/ART.
+func TestFaultStudyDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fault study in -short mode")
+	}
+	r1, err := FaultStudy(0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := FaultStudy(0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(r1)
+	j2, _ := json.Marshal(r2)
+	if string(j1) != string(j2) {
+		t.Error("two FaultStudy runs with equal inputs diverged")
+	}
+}
+
+// TestFaultStudySurvivesWithReplicas: the acceptance criterion — with
+// 2-way replication and the fixed single-node crash windows, every
+// scheme finishes every job at every fault rate, and faults degrade
+// but do not invert the paper's S^3 < FIFO ordering.
+func TestFaultStudySurvivesWithReplicas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fault study in -short mode")
+	}
+	res, err := FaultStudy(0.02, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 || res.Points[0].Rate != 0 {
+		t.Fatalf("points = %d (first rate %v), want 4 starting at 0", len(res.Points), res.Points[0].Rate)
+	}
+	for _, p := range res.Points {
+		for name, sr := range p.Schemes {
+			if sr.Completed != NumJobs || sr.Failed != 0 {
+				t.Errorf("rate %v %s: completed %d failed %d, want %d/0",
+					p.Rate, name, sr.Completed, sr.Failed, NumJobs)
+			}
+		}
+		s3 := p.Schemes["s3"]
+		fifo := p.Schemes["fifo"]
+		if s3.Summary.TET >= fifo.Summary.TET {
+			t.Errorf("rate %v: S3 TET %v >= FIFO TET %v", p.Rate, s3.Summary.TET, fifo.Summary.TET)
+		}
+	}
+	// Non-zero rates must actually exercise the retry machinery.
+	last := res.Points[len(res.Points)-1]
+	if last.Schemes["s3"].Faults.Retries == 0 {
+		t.Error("max-rate point recorded zero retries; injection is not wired")
+	}
+	// Degradation is monotone in expectation at paper scale: the
+	// max-rate TET exceeds the fault-free TET for every scheme.
+	for name := range last.Schemes {
+		if last.Schemes[name].Summary.TET <= res.Points[0].Schemes[name].Summary.TET {
+			t.Errorf("%s TET did not degrade under faults: %v <= %v",
+				name, last.Schemes[name].Summary.TET, res.Points[0].Schemes[name].Summary.TET)
+		}
+	}
+}
+
+func TestFaultStudyRejectsBadRate(t *testing.T) {
+	if _, err := FaultStudy(1, 42); err == nil {
+		t.Error("rate 1 accepted, want error")
+	}
+	if _, err := FaultStudy(-0.1, 42); err == nil {
+		t.Error("negative rate accepted, want error")
+	}
+}

@@ -144,11 +144,11 @@ func Fig3Sim(p Params, maxJobs int) ([]SimCombinedCost, error) {
 }
 
 func fig3Point(cfg Fig3Config, n int) (CombinedCost, error) {
-	store := dfs.NewStore(Nodes, 1)
+	store := dfs.MustStore(Nodes, 1)
 	if _, err := workload.AddTextFile(store, "corpus", cfg.Blocks, cfg.BlockSize, cfg.Seed); err != nil {
 		return CombinedCost{}, err
 	}
-	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, SlotsPerNode))
+	engine := mapreduce.NewEngine(mapreduce.MustCluster(store, SlotsPerNode))
 
 	prefixes := workload.DistinctPrefixes(n)
 	jobs := make([]*mapreduce.Running, n)

@@ -54,7 +54,7 @@ func Table1(cfg Table1Config) (Table1Result, error) {
 	if cfg.Blocks <= 0 || cfg.BlockSize <= 0 {
 		return Table1Result{}, fmt.Errorf("experiments: invalid Table1 config %+v", cfg)
 	}
-	store := dfs.NewStore(Nodes, 1)
+	store := dfs.MustStore(Nodes, 1)
 	var err error
 	if cfg.VocabSize > 0 {
 		_, err = workload.AddTextFileVocab(store, "corpus", cfg.Blocks, cfg.BlockSize, cfg.Seed, cfg.VocabSize)
@@ -64,7 +64,7 @@ func Table1(cfg Table1Config) (Table1Result, error) {
 	if err != nil {
 		return Table1Result{}, err
 	}
-	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, SlotsPerNode))
+	engine := mapreduce.NewEngine(mapreduce.MustCluster(store, SlotsPerNode))
 	res, err := engine.RunJob(workload.WordCountJob("table1", "corpus", cfg.Prefix, cfg.NumReduce))
 	if err != nil {
 		return Table1Result{}, err

@@ -1,0 +1,266 @@
+// Package faults implements deterministic, seeded fault injection for
+// the execution substrates: transient block-read failures, node
+// crash/recover windows, and slow-node degradation. The same seed
+// always produces the same fault schedule, independent of goroutine
+// interleaving, so experiments under failure are as reproducible as
+// the fault-free ones.
+//
+// Determinism comes from keying every decision on stable identities
+// rather than on wall time or call order: a read attempt fails iff a
+// hash of (seed, block, node, attempt-number) falls under the
+// configured rate, where the attempt number counts that (block, node)
+// pair's reads so far. Concurrent reads of *different* blocks or nodes
+// never perturb each other's schedules.
+//
+// The injector plugs into both substrates: dfs.Store.SetReadFault
+// accepts Injector.FailRead for the real engine, and the simulator's
+// FaultModel uses the same Roll hash for its priced failures.
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"s3sched/internal/dfs"
+	"s3sched/internal/vclock"
+)
+
+// Crash is one node-down window: the node is unavailable during
+// [From, To) of the governing clock (virtual time in the simulator,
+// wall-seconds-since-start under the real engine).
+type Crash struct {
+	Node dfs.NodeID
+	From vclock.Time
+	To   vclock.Time
+}
+
+// Config parameterizes an Injector.
+type Config struct {
+	// Seed selects the fault schedule. Two injectors with equal
+	// configs produce identical schedules.
+	Seed int64
+	// ReadFailRate is the probability in [0,1) that an individual
+	// block-read attempt fails with a transient error.
+	ReadFailRate float64
+	// MaxInjectedPerBlock bounds how many consecutive transient
+	// failures are injected per (block, node) pair; after that many,
+	// reads succeed regardless of the rate. 0 means unbounded. A bound
+	// guarantees any retry policy with more attempts converges.
+	MaxInjectedPerBlock int
+	// Crashes schedules node-down windows. Overlapping windows are
+	// allowed; a node is down when any window covers the current time.
+	Crashes []Crash
+	// Slowdowns maps nodes to a relative speed factor in (0,1]; the
+	// simulator multiplies the node's speed by it. The real engine
+	// does not slow goroutines down (matching how Node.Speed works).
+	Slowdowns map[dfs.NodeID]float64
+}
+
+// Validate reports whether the config is usable.
+func (c Config) Validate() error {
+	if c.ReadFailRate < 0 || c.ReadFailRate >= 1 {
+		return fmt.Errorf("faults: read-fail rate %v outside [0,1)", c.ReadFailRate)
+	}
+	if c.MaxInjectedPerBlock < 0 {
+		return fmt.Errorf("faults: MaxInjectedPerBlock %d negative", c.MaxInjectedPerBlock)
+	}
+	for i, cr := range c.Crashes {
+		if cr.To <= cr.From {
+			return fmt.Errorf("faults: crash %d window [%v,%v) is empty", i, cr.From, cr.To)
+		}
+		if cr.From < 0 {
+			return fmt.Errorf("faults: crash %d starts at negative time %v", i, cr.From)
+		}
+	}
+	for node, f := range c.Slowdowns {
+		if f <= 0 || f > 1 {
+			return fmt.Errorf("faults: slowdown %v for node %d outside (0,1]", f, node)
+		}
+	}
+	return nil
+}
+
+// Stats counts what the injector actually did.
+type Stats struct {
+	// InjectedReadFailures is how many read attempts were failed.
+	InjectedReadFailures int64
+	// CrashRejections is how many reads were refused because the
+	// serving node was inside a crash window.
+	CrashRejections int64
+}
+
+// Injector is a deterministic fault source. It is safe for concurrent
+// use. A nil *Injector injects nothing, so components can hold an
+// optional injector without nil checks.
+type Injector struct {
+	cfg   Config
+	clock vclock.Clock
+
+	mu       sync.Mutex
+	attempts map[attemptKey]int
+
+	injectedReads   atomic.Int64
+	crashRejections atomic.Int64
+}
+
+type attemptKey struct {
+	block dfs.BlockID
+	node  dfs.NodeID
+}
+
+// New builds an injector from the config.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{cfg: cfg, attempts: make(map[attemptKey]int)}, nil
+}
+
+// SetClock attaches the clock crash windows are evaluated against.
+// Without a clock, crash windows never trigger (transient read faults
+// still do). Call before execution starts.
+func (in *Injector) SetClock(c vclock.Clock) {
+	if in == nil {
+		return
+	}
+	in.clock = c
+}
+
+// ErrInjected is the sentinel every injected transient read failure
+// wraps, so callers can distinguish injected faults from real ones.
+var ErrInjected = fmt.Errorf("faults: injected failure")
+
+// FailRead implements the dfs.ReadFault hook: it decides whether this
+// read attempt of block id by node fails. The decision is a pure
+// function of (seed, block, node, attempt-count-so-far), plus the
+// crash schedule when a clock is attached.
+func (in *Injector) FailRead(id dfs.BlockID, node dfs.NodeID) error {
+	if in == nil {
+		return nil
+	}
+	if in.clock != nil && in.NodeDown(node, in.clock.Now()) {
+		in.crashRejections.Add(1)
+		return fmt.Errorf("%w: node %d is down (crash window)", ErrInjected, node)
+	}
+	if in.cfg.ReadFailRate <= 0 {
+		return nil
+	}
+	in.mu.Lock()
+	k := attemptKey{block: id, node: node}
+	attempt := in.attempts[k]
+	in.attempts[k] = attempt + 1
+	in.mu.Unlock()
+	if in.cfg.MaxInjectedPerBlock > 0 && attempt >= in.cfg.MaxInjectedPerBlock {
+		return nil
+	}
+	if Roll(in.cfg.Seed, uint64(HashBlock(id)), uint64(node), uint64(attempt)) < in.cfg.ReadFailRate {
+		in.injectedReads.Add(1)
+		return fmt.Errorf("%w: transient read of %v on node %d (attempt %d)", ErrInjected, id, node, attempt+1)
+	}
+	return nil
+}
+
+// NodeDown reports whether node is inside a crash window at time now.
+func (in *Injector) NodeDown(node dfs.NodeID, now vclock.Time) bool {
+	if in == nil {
+		return false
+	}
+	for _, cr := range in.cfg.Crashes {
+		if cr.Node == node && now >= cr.From && now < cr.To {
+			return true
+		}
+	}
+	return false
+}
+
+// NextRecovery returns the earliest crash-window end at or after now
+// among the given nodes, and ok=false when none of them is down.
+func (in *Injector) NextRecovery(nodes []dfs.NodeID, now vclock.Time) (vclock.Time, bool) {
+	if in == nil {
+		return 0, false
+	}
+	var best vclock.Time
+	found := false
+	for _, n := range nodes {
+		for _, cr := range in.cfg.Crashes {
+			if cr.Node != n || now < cr.From || now >= cr.To {
+				continue
+			}
+			if !found || cr.To < best {
+				best = cr.To
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// Healthy adapts the injector to the cluster health hook: a node is
+// healthy unless a crash window covers the clock's current time.
+// Without a clock every node is healthy.
+func (in *Injector) Healthy(node dfs.NodeID) bool {
+	if in == nil || in.clock == nil {
+		return true
+	}
+	return !in.NodeDown(node, in.clock.Now())
+}
+
+// Slowdown returns the node's configured speed factor (1 = nominal).
+func (in *Injector) Slowdown(node dfs.NodeID) float64 {
+	if in == nil {
+		return 1
+	}
+	if f, ok := in.cfg.Slowdowns[node]; ok {
+		return f
+	}
+	return 1
+}
+
+// Stats returns a snapshot of what was injected so far.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return Stats{
+		InjectedReadFailures: in.injectedReads.Load(),
+		CrashRejections:      in.crashRejections.Load(),
+	}
+}
+
+// Roll hashes the seed with the given parts into a uniform float64 in
+// [0,1). It is the shared deterministic coin for every fault decision:
+// the injector keys it on (block, node, attempt), the simulator on
+// (round, block, attempt).
+func Roll(seed int64, parts ...uint64) float64 {
+	h := uint64(seed)
+	for _, p := range parts {
+		h = splitmix64(h ^ p)
+	}
+	// 53 bits of the hash give a uniform double in [0,1).
+	return float64(h>>11) / float64(1<<53)
+}
+
+// splitmix64 is the standard 64-bit finalizer (Steele et al.), chosen
+// for its avalanche quality and zero allocation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HashBlock folds a block id into a stable 64-bit value (FNV-1a over
+// the file name, mixed with the index).
+func HashBlock(id dfs.BlockID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id.File); i++ {
+		h ^= uint64(id.File[i])
+		h *= prime64
+	}
+	return splitmix64(h ^ uint64(id.Index))
+}

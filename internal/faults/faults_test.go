@@ -1,0 +1,242 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"s3sched/internal/dfs"
+	"s3sched/internal/vclock"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"rate", Config{ReadFailRate: 0.5}, true},
+		{"rate-high", Config{ReadFailRate: 1}, false},
+		{"rate-neg", Config{ReadFailRate: -0.1}, false},
+		{"bound-neg", Config{MaxInjectedPerBlock: -1}, false},
+		{"crash", Config{Crashes: []Crash{{Node: 0, From: 10, To: 20}}}, true},
+		{"crash-empty", Config{Crashes: []Crash{{Node: 0, From: 20, To: 20}}}, false},
+		{"crash-neg", Config{Crashes: []Crash{{Node: 0, From: -1, To: 20}}}, false},
+		{"slow", Config{Slowdowns: map[dfs.NodeID]float64{1: 0.5}}, true},
+		{"slow-bad", Config{Slowdowns: map[dfs.NodeID]float64{1: 0}}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+// Same seed must produce the same fault schedule; a different seed a
+// different one (overwhelmingly likely at this sample size).
+func TestDeterministicSchedule(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		in, err := New(Config{Seed: seed, ReadFailRate: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for b := 0; b < 50; b++ {
+			for n := 0; n < 4; n++ {
+				for a := 0; a < 3; a++ {
+					err := in.FailRead(dfs.BlockID{File: "f", Index: b}, dfs.NodeID(n))
+					out = append(out, err != nil)
+				}
+			}
+		}
+		return out
+	}
+	a, b, c := schedule(7), schedule(7), schedule(8)
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	same := true
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different schedules")
+	}
+	if !diff {
+		t.Error("different seeds produced identical schedules")
+	}
+	fails := 0
+	for _, f := range a {
+		if f {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Errorf("rate 0.3 injected %d/%d failures, want a nontrivial fraction", fails, len(a))
+	}
+}
+
+// Interleaving across blocks/nodes must not perturb a pair's schedule:
+// the decision depends only on the pair's own attempt count.
+func TestScheduleIndependentOfInterleaving(t *testing.T) {
+	read := func(in *Injector, b, n int) bool {
+		return in.FailRead(dfs.BlockID{File: "f", Index: b}, dfs.NodeID(n)) != nil
+	}
+	in1, _ := New(Config{Seed: 3, ReadFailRate: 0.4})
+	in2, _ := New(Config{Seed: 3, ReadFailRate: 0.4})
+	// in1: block 0 three times, then block 1 three times.
+	var a []bool
+	for i := 0; i < 3; i++ {
+		a = append(a, read(in1, 0, 0))
+	}
+	for i := 0; i < 3; i++ {
+		a = append(a, read(in1, 1, 0))
+	}
+	// in2: interleaved.
+	var b0, b1 []bool
+	for i := 0; i < 3; i++ {
+		b0 = append(b0, read(in2, 0, 0))
+		b1 = append(b1, read(in2, 1, 0))
+	}
+	for i := 0; i < 3; i++ {
+		if a[i] != b0[i] {
+			t.Fatalf("block 0 attempt %d: sequential %v vs interleaved %v", i, a[i], b0[i])
+		}
+		if a[3+i] != b1[i] {
+			t.Fatalf("block 1 attempt %d: sequential %v vs interleaved %v", i, a[3+i], b1[i])
+		}
+	}
+}
+
+func TestMaxInjectedPerBlock(t *testing.T) {
+	// Rate just under 1 fails essentially every attempt, but the bound
+	// forces success from the third attempt on.
+	in, err := New(Config{Seed: 1, ReadFailRate: 0.999, MaxInjectedPerBlock: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := dfs.BlockID{File: "f", Index: 0}
+	fails := 0
+	for i := 0; i < 5; i++ {
+		if e := in.FailRead(id, 0); e != nil {
+			if !errors.Is(e, ErrInjected) {
+				t.Fatalf("injected error does not wrap ErrInjected: %v", e)
+			}
+			fails++
+			if i >= 2 {
+				t.Fatalf("attempt %d failed past the MaxInjectedPerBlock=2 bound", i+1)
+			}
+		}
+	}
+	if fails == 0 {
+		t.Error("rate 0.999 injected no failures in the first two attempts")
+	}
+	if in.Stats().InjectedReadFailures != int64(fails) {
+		t.Errorf("stats count %d, want %d", in.Stats().InjectedReadFailures, fails)
+	}
+}
+
+func TestCrashWindows(t *testing.T) {
+	in, err := New(Config{Crashes: []Crash{
+		{Node: 2, From: 10, To: 20},
+		{Node: 2, From: 30, To: 40},
+		{Node: 5, From: 15, To: 25},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		node dfs.NodeID
+		at   vclock.Time
+		down bool
+	}{
+		{2, 9.99, false}, {2, 10, true}, {2, 19.99, true}, {2, 20, false},
+		{2, 35, true}, {5, 15, true}, {5, 25, false}, {0, 15, false},
+	}
+	for _, c := range cases {
+		if got := in.NodeDown(c.node, c.at); got != c.down {
+			t.Errorf("NodeDown(%d, %v) = %v, want %v", c.node, c.at, got, c.down)
+		}
+	}
+
+	if _, ok := in.NextRecovery([]dfs.NodeID{0, 1}, 15); ok {
+		t.Error("NextRecovery reported a recovery for healthy nodes")
+	}
+	at, ok := in.NextRecovery([]dfs.NodeID{2, 5}, 16)
+	if !ok || at != 20 {
+		t.Errorf("NextRecovery = %v, %v; want 20, true", at, ok)
+	}
+
+	// Without a clock, crash windows do not reject reads.
+	if e := in.FailRead(dfs.BlockID{File: "f"}, 2); e != nil {
+		t.Errorf("clockless injector rejected a read: %v", e)
+	}
+	clock := vclock.NewVirtual()
+	clock.AdvanceTo(15)
+	in.SetClock(clock)
+	if e := in.FailRead(dfs.BlockID{File: "f"}, 2); e == nil {
+		t.Error("read served by a crashed node succeeded")
+	} else if !errors.Is(e, ErrInjected) {
+		t.Errorf("crash rejection does not wrap ErrInjected: %v", e)
+	}
+	if !in.NodeDown(2, clock.Now()) || in.Healthy(2) {
+		t.Error("Healthy(2) inconsistent with the crash window")
+	}
+	if in.Stats().CrashRejections != 1 {
+		t.Errorf("crash rejections = %d, want 1", in.Stats().CrashRejections)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.FailRead(dfs.BlockID{File: "f"}, 0); err != nil {
+		t.Errorf("nil injector failed a read: %v", err)
+	}
+	if in.NodeDown(0, 5) || !in.Healthy(0) || in.Slowdown(0) != 1 {
+		t.Error("nil injector reported non-default state")
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Errorf("nil injector stats = %+v", s)
+	}
+	in.SetClock(vclock.NewVirtual())
+}
+
+func TestRollUniformish(t *testing.T) {
+	// Sanity: Roll stays in [0,1) and is not constant.
+	lo, hi := 1.0, 0.0
+	for i := uint64(0); i < 1000; i++ {
+		v := Roll(42, i, i*3, i*7)
+		if v < 0 || v >= 1 {
+			t.Fatalf("Roll out of range: %v", v)
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo > 0.1 || hi < 0.9 {
+		t.Errorf("Roll range [%v,%v] suspiciously narrow", lo, hi)
+	}
+}
+
+func TestSlowdown(t *testing.T) {
+	in, err := New(Config{Slowdowns: map[dfs.NodeID]float64{3: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Slowdown(3); got != 0.25 {
+		t.Errorf("Slowdown(3) = %v, want 0.25", got)
+	}
+	if got := in.Slowdown(0); got != 1 {
+		t.Errorf("Slowdown(0) = %v, want 1", got)
+	}
+}

@@ -1,7 +1,9 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"s3sched/internal/dfs"
 )
@@ -23,6 +25,16 @@ type Node struct {
 // acquire takes one map slot, blocking until available.
 func (n *Node) acquire() { n.sem <- struct{}{} }
 
+// acquireCtx takes one map slot unless ctx is cancelled first.
+func (n *Node) acquireCtx(ctx context.Context) error {
+	select {
+	case n.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // release returns one map slot.
 func (n *Node) release() { <-n.sem }
 
@@ -30,13 +42,17 @@ func (n *Node) release() { <-n.sem }
 type Cluster struct {
 	store *dfs.Store
 	nodes []*Node
+
+	healthMu sync.RWMutex
+	down     map[dfs.NodeID]bool
 }
 
 // NewCluster builds a cluster of n identical nodes with the given map
-// slots each, matching the store's node count.
-func NewCluster(store *dfs.Store, slotsPerNode int) *Cluster {
+// slots each, matching the store's node count. An invalid slot count
+// returns an error so flag-driven callers can report it.
+func NewCluster(store *dfs.Store, slotsPerNode int) (*Cluster, error) {
 	if slotsPerNode <= 0 {
-		panic("mapreduce: slotsPerNode must be positive")
+		return nil, fmt.Errorf("mapreduce: slots per node must be positive, got %d", slotsPerNode)
 	}
 	nodes := make([]*Node, store.Nodes())
 	for i := range nodes {
@@ -47,7 +63,17 @@ func NewCluster(store *dfs.Store, slotsPerNode int) *Cluster {
 			sem:      make(chan struct{}, slotsPerNode),
 		}
 	}
-	return &Cluster{store: store, nodes: nodes}
+	return &Cluster{store: store, nodes: nodes}, nil
+}
+
+// MustCluster is NewCluster for static configurations known to be
+// valid (tests, examples); it panics on error.
+func MustCluster(store *dfs.Store, slotsPerNode int) *Cluster {
+	c, err := NewCluster(store, slotsPerNode)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // Store returns the block store the cluster computes over.
@@ -62,6 +88,37 @@ func (c *Cluster) Node(id dfs.NodeID) *Node {
 		panic(fmt.Sprintf("mapreduce: node %d out of range [0,%d)", id, len(c.nodes)))
 	}
 	return c.nodes[id]
+}
+
+// SetHealth marks a node up or down. Down nodes are skipped by block
+// assignment and replica failover until marked up again; the engine's
+// blacklist and fault injectors drive this.
+func (c *Cluster) SetHealth(id dfs.NodeID, up bool) {
+	c.Node(id) // range-check
+	c.healthMu.Lock()
+	defer c.healthMu.Unlock()
+	if up {
+		delete(c.down, id)
+		return
+	}
+	if c.down == nil {
+		c.down = make(map[dfs.NodeID]bool)
+	}
+	c.down[id] = true
+}
+
+// Healthy reports whether the node is currently marked up.
+func (c *Cluster) Healthy(id dfs.NodeID) bool {
+	c.healthMu.RLock()
+	defer c.healthMu.RUnlock()
+	return !c.down[id]
+}
+
+// HealthyCount returns how many nodes are currently up.
+func (c *Cluster) HealthyCount() int {
+	c.healthMu.RLock()
+	defer c.healthMu.RUnlock()
+	return len(c.nodes) - len(c.down)
 }
 
 // TotalMapSlots returns the cluster-wide concurrent map task capacity —
@@ -86,24 +143,33 @@ type assignment struct {
 // balancing task counts across nodes. This mirrors Hadoop's locality-
 // first task assignment closely enough for scheduling purposes: with
 // the paper's replication factor 1 and one slot per node, every block
-// lands on its holder.
+// lands on its holder. Nodes marked down are skipped; if every node is
+// down, assignment falls back to ignoring health so the round can fail
+// with a read error rather than deadlock.
 func (c *Cluster) assignBlocks(blocks []dfs.BlockID) []assignment {
 	load := make([]int, len(c.nodes))
 	out := make([]assignment, 0, len(blocks))
+	anyUp := c.HealthyCount() > 0
 	for _, b := range blocks {
 		var best *Node
 		local := false
-		// Prefer the least-loaded replica holder.
+		// Prefer the least-loaded healthy replica holder.
 		for _, nid := range c.store.Locations(b) {
 			n := c.Node(nid)
+			if anyUp && !c.Healthy(n.ID) {
+				continue
+			}
 			if best == nil || load[n.ID] < load[best.ID] {
 				best = n
 				local = true
 			}
 		}
-		// Fall back to the globally least-loaded node.
+		// Fall back to the globally least-loaded healthy node.
 		if best == nil {
 			for _, n := range c.nodes {
+				if anyUp && !c.Healthy(n.ID) {
+					continue
+				}
 				if best == nil || load[n.ID] < load[best.ID] {
 					best = n
 				}

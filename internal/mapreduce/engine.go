@@ -1,6 +1,8 @@
 package mapreduce
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -26,7 +28,85 @@ type RoundStats struct {
 	// Speculative counts duplicate block attempts launched by
 	// speculative execution (0 when speculation is off).
 	Speculative int
+	// Retries counts re-executions of block attempts after a failure
+	// (0 when no faults occur or retries are disabled).
+	Retries int
+	// FailedAttempts counts block-read attempts that failed.
+	FailedAttempts int
+	// Blacklisted counts nodes marked down by this round after
+	// RetryPolicy.BlacklistAfter consecutive failures.
+	Blacklisted int
 }
+
+// RetryPolicy bounds how the engine retries failed block reads within
+// a map round. The zero value is invalid; DefaultRetryPolicy (one
+// attempt, no retries) matches the engine's historical behavior.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per block, counting
+	// the first. 1 disables retries.
+	MaxAttempts int
+	// Backoff is the delay before the second attempt; it doubles on
+	// each subsequent retry. 0 retries immediately.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential delay. 0 means no cap.
+	MaxBackoff time.Duration
+	// Jitter adds a deterministic per-(block,attempt) offset of up to
+	// half the delay, de-synchronizing retry bursts without a global
+	// random source.
+	Jitter bool
+	// BlacklistAfter marks a node down (Cluster.SetHealth) after this
+	// many consecutive failed attempts on it, steering later
+	// assignments and failovers away. 0 disables blacklisting.
+	BlacklistAfter int
+}
+
+// DefaultRetryPolicy returns the engine's default: a single attempt
+// per block, matching the pre-fault-tolerance behavior exactly.
+func DefaultRetryPolicy() RetryPolicy { return RetryPolicy{MaxAttempts: 1} }
+
+func (p RetryPolicy) validate() error {
+	if p.MaxAttempts < 1 {
+		return fmt.Errorf("mapreduce: retry policy needs at least 1 attempt, got %d", p.MaxAttempts)
+	}
+	if p.Backoff < 0 || p.MaxBackoff < 0 {
+		return fmt.Errorf("mapreduce: retry backoff must be non-negative")
+	}
+	if p.BlacklistAfter < 0 {
+		return fmt.Errorf("mapreduce: BlacklistAfter must be non-negative, got %d", p.BlacklistAfter)
+	}
+	return nil
+}
+
+// Fault event kinds reported to the engine's fault observer.
+const (
+	FaultAttemptFailed = "attempt-failed"
+	FaultNodeDown      = "node-down"
+)
+
+// FaultEvent notifies the observer of one fault-handling action inside
+// a map round, so callers can surface recovery in traces.
+type FaultEvent struct {
+	Kind    string // FaultAttemptFailed or FaultNodeDown
+	Block   dfs.BlockID
+	Node    dfs.NodeID
+	Attempt int // 1-based attempt number (0 for node events)
+	Err     error
+}
+
+// BlockLostError reports that a block could not be read by any allowed
+// attempt: every retry and replica failover failed. The round carrying
+// the block is lost and must be re-driven by the scheduling layer.
+type BlockLostError struct {
+	Block    dfs.BlockID
+	Attempts int
+	Err      error // last attempt's failure
+}
+
+func (e *BlockLostError) Error() string {
+	return fmt.Sprintf("mapreduce: block %v lost after %d attempts: %v", e.Block, e.Attempts, e.Err)
+}
+
+func (e *BlockLostError) Unwrap() error { return e.Err }
 
 // Engine executes map rounds and reduce phases on a cluster.
 //
@@ -44,12 +124,15 @@ type Engine struct {
 	// paper's experiments disable speculation (§V-A), which is also
 	// this engine's default.
 	speculation float64
+	retry       RetryPolicy
+	observer    func(FaultEvent)
 }
 
 // NewEngine returns an engine over the cluster. Speculative execution
-// is off, matching the paper's configuration.
+// is off and the retry policy is DefaultRetryPolicy (no retries),
+// matching the paper's configuration.
 func NewEngine(cluster *Cluster) *Engine {
-	return &Engine{cluster: cluster}
+	return &Engine{cluster: cluster, retry: DefaultRetryPolicy()}
 }
 
 // EnableSpeculation turns on speculative re-execution of straggler
@@ -63,6 +146,27 @@ func (e *Engine) EnableSpeculation(factor float64) {
 	e.speculation = factor
 }
 
+// SetRetryPolicy installs the per-block retry/failover policy used by
+// subsequent map rounds.
+func (e *Engine) SetRetryPolicy(p RetryPolicy) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	e.retry = p
+	return nil
+}
+
+// SetFaultObserver installs a callback invoked on fault-handling
+// events (failed attempts, node blacklisting). The callback must be
+// safe for concurrent use; nil clears it.
+func (e *Engine) SetFaultObserver(fn func(FaultEvent)) { e.observer = fn }
+
+func (e *Engine) notify(ev FaultEvent) {
+	if e.observer != nil {
+		e.observer(ev)
+	}
+}
+
 // Cluster returns the engine's cluster.
 func (e *Engine) Cluster() *Cluster { return e.cluster }
 
@@ -72,66 +176,132 @@ func (e *Engine) Cluster() *Cluster { return e.cluster }
 // run concurrently, bounded by per-node map slots, preferring
 // data-local placement. Exactly one attempt per block commits its
 // output, so results are identical with or without speculation.
+//
+// MapRound keeps the historical single-error contract: the first
+// per-job failure (or the round failure) is returned. Callers that
+// need per-job fault isolation use MapRoundCtx.
 func (e *Engine) MapRound(blocks []dfs.BlockID, jobs []*Running) (RoundStats, error) {
+	stats, jobErrs, roundErr := e.MapRoundCtx(context.Background(), blocks, jobs)
+	if roundErr != nil {
+		return stats, roundErr
+	}
+	for _, err := range jobErrs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// MapRoundCtx is MapRound with cancellation and per-job fault
+// isolation. It returns per-job errors (indexed like jobs) alongside a
+// round-level error. A job whose mapper or commit fails is dropped
+// from the rest of the round but does not disturb the other jobs; the
+// round-level error is non-nil only when the round itself could not
+// complete — a block was lost after exhausting every retry and replica
+// (a *BlockLostError), or ctx was cancelled. Failed blocks cancel all
+// in-flight work promptly.
+func (e *Engine) MapRoundCtx(ctx context.Context, blocks []dfs.BlockID, jobs []*Running) (RoundStats, []error, error) {
 	if len(jobs) == 0 {
-		return RoundStats{}, fmt.Errorf("mapreduce: MapRound with no jobs")
+		return RoundStats{}, nil, fmt.Errorf("mapreduce: MapRound with no jobs")
 	}
 	assignments := e.cluster.assignBlocks(blocks)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
-		firstErr error
+		roundErr error
 		stats    RoundStats
 	)
 	stats.Blocks = len(blocks)
+	jobErrs := make([]error, len(jobs))
+	jobFailed := make([]bool, len(jobs))
 
 	committed := make([]bool, len(assignments))  // block slot -> output committed
 	speculated := make([]bool, len(assignments)) // duplicate already launched
 	started := make([]time.Time, len(assignments))
 	var durations []time.Duration // completed attempt durations
 	remaining := len(assignments)
+	consecFails := make(map[dfs.NodeID]int)
 
-	// attempt runs one execution of block slot i on node n and commits
-	// if it finishes first.
-	var attempt func(i int, asg assignment)
-	attempt = func(i int, asg assignment) {
-		defer wg.Done()
-		asg.node.acquire()
+	failRound := func(err error) {
+		mu.Lock()
+		if roundErr == nil {
+			roundErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	// errLostRace marks an attempt that lost the commit race to a
+	// duplicate — not a failure.
+	errLostRace := errors.New("lost commit race")
+
+	// tryOnce runs one execution of block slot i on node asg.node and
+	// commits if it finishes first. Job-level failures are recorded in
+	// jobErrs and absorbed; only read/infrastructure errors are
+	// returned.
+	tryOnce := func(i int, asg assignment, attempt int) error {
+		if err := asg.node.acquireCtx(ctx); err != nil {
+			return err
+		}
 		defer asg.node.release()
 		begin := time.Now()
 
-		data, err := e.cluster.store.ReadBlock(asg.block)
+		data, err := e.cluster.store.ReadBlockAt(asg.block, asg.node.ID)
 		if err != nil {
 			mu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
+			stats.FailedAttempts++
+			consecFails[asg.node.ID]++
+			fails := consecFails[asg.node.ID]
 			mu.Unlock()
-			return
+			e.notify(FaultEvent{Kind: FaultAttemptFailed, Block: asg.block, Node: asg.node.ID, Attempt: attempt, Err: err})
+			if k := e.retry.BlacklistAfter; k > 0 && fails == k && e.cluster.Healthy(asg.node.ID) {
+				e.cluster.SetHealth(asg.node.ID, false)
+				mu.Lock()
+				stats.Blacklisted++
+				mu.Unlock()
+				e.notify(FaultEvent{Kind: FaultNodeDown, Node: asg.node.ID, Err: err})
+			}
+			return err
 		}
+		mu.Lock()
+		consecFails[asg.node.ID] = 0
+		mu.Unlock()
+
 		type jobOut struct {
 			parts  [][]KV
 			counts taskCounts
+			ok     bool
 		}
 		outs := make([]jobOut, len(jobs))
 		for j, job := range jobs {
+			mu.Lock()
+			skip := jobFailed[j]
+			mu.Unlock()
+			if skip {
+				continue
+			}
 			parts, counts, err := e.computeMapTask(asg.block, data, job)
 			if err != nil {
 				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("job %q block %v: %w", job.Spec.Name, asg.block, err)
+				if !jobFailed[j] {
+					jobFailed[j] = true
+					jobErrs[j] = fmt.Errorf("job %q block %v: %w", job.Spec.Name, asg.block, err)
 				}
 				mu.Unlock()
-				return
+				continue
 			}
-			outs[j] = jobOut{parts: parts, counts: counts}
+			outs[j] = jobOut{parts: parts, counts: counts, ok: true}
 		}
 
 		mu.Lock()
-		if committed[i] || firstErr != nil {
+		if committed[i] || roundErr != nil {
 			mu.Unlock()
-			return // a duplicate won, or the round already failed
+			return errLostRace // a duplicate won, or the round already failed
 		}
 		committed[i] = true
 		remaining--
@@ -144,14 +314,50 @@ func (e *Engine) MapRound(blocks []dfs.BlockID, jobs []*Running) (RoundStats, er
 		mu.Unlock()
 
 		for j, job := range jobs {
+			if !outs[j].ok {
+				continue // job already failed; isolated from the batch
+			}
 			if err := e.commitMapTask(job, outs[j].parts, outs[j].counts); err != nil {
 				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
+				if !jobFailed[j] {
+					jobFailed[j] = true
+					jobErrs[j] = fmt.Errorf("job %q block %v: %w", job.Spec.Name, asg.block, err)
 				}
 				mu.Unlock()
+			}
+		}
+		return nil
+	}
+
+	// runBlock drives block slot i's retry chain: attempts with
+	// exponential backoff, failing over to a surviving replica holder
+	// after each failure. The chain ends on commit, lost race, cancel,
+	// or attempt exhaustion (which loses the round).
+	runBlock := func(i int, asg assignment) {
+		defer wg.Done()
+		cur := asg
+		tried := map[dfs.NodeID]bool{}
+		for attempt := 1; ; attempt++ {
+			err := tryOnce(i, cur, attempt)
+			if err == nil || errors.Is(err, errLostRace) {
 				return
 			}
+			if ctx.Err() != nil {
+				return // round cancelled; its error is already set
+			}
+			tried[cur.node.ID] = true
+			if attempt >= e.retry.MaxAttempts {
+				failRound(&BlockLostError{Block: cur.block, Attempts: attempt, Err: err})
+				return
+			}
+			mu.Lock()
+			stats.Retries++
+			mu.Unlock()
+			if !e.sleepBackoff(ctx, cur.block, attempt) {
+				return
+			}
+			next := e.failoverNode(cur.block, cur.node, tried)
+			cur = assignment{block: cur.block, node: next, local: e.cluster.store.HasLocal(cur.block, next.ID)}
 		}
 	}
 
@@ -159,28 +365,37 @@ func (e *Engine) MapRound(blocks []dfs.BlockID, jobs []*Running) (RoundStats, er
 	for i, asg := range assignments {
 		started[i] = now
 		wg.Add(1)
-		go attempt(i, asg)
+		go runBlock(i, asg)
 	}
 
 	// Speculation monitor: once half the blocks have finished, any
 	// block running longer than factor x the median completed duration
 	// gets a duplicate attempt on another node. The poll interval backs
 	// off to a fraction of the median task duration, so fast rounds get
-	// tight straggler detection while slow rounds don't busy-spin.
+	// tight straggler detection while slow rounds don't busy-spin. The
+	// monitor exits promptly when the round completes, fails, or is
+	// cancelled.
 	if e.speculation > 0 && len(assignments) > 1 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			poll := 200 * time.Microsecond
+			timer := time.NewTimer(poll)
+			defer timer.Stop()
 			for {
-				time.Sleep(poll)
+				select {
+				case <-ctx.Done():
+					return
+				case <-timer.C:
+				}
 				mu.Lock()
-				if remaining == 0 || firstErr != nil {
+				if remaining == 0 || roundErr != nil {
 					mu.Unlock()
 					return
 				}
 				if len(durations)*2 < len(assignments) {
 					mu.Unlock()
+					timer.Reset(poll)
 					continue
 				}
 				med := medianDuration(durations)
@@ -201,16 +416,89 @@ func (e *Engine) MapRound(blocks []dfs.BlockID, jobs []*Running) (RoundStats, er
 						other := e.speculativeNode(asg.block, asg.node)
 						dup := assignment{block: asg.block, node: other, local: e.cluster.store.HasLocal(asg.block, other.ID)}
 						wg.Add(1)
-						go attempt(i, dup)
+						go func(i int, dup assignment) {
+							defer wg.Done()
+							// A failed duplicate is harmless: the
+							// original attempt's retry chain still owns
+							// the block.
+							_ = tryOnce(i, dup, 1)
+						}(i, dup)
 					}
 				}
 				mu.Unlock()
+				timer.Reset(poll)
 			}
 		}()
 	}
 
 	wg.Wait()
-	return stats, firstErr
+	if roundErr == nil && ctx.Err() != nil {
+		roundErr = ctx.Err()
+	}
+	return stats, jobErrs, roundErr
+}
+
+// sleepBackoff waits out the exponential backoff before the next
+// attempt of block b; attempt is the 1-based attempt that just failed.
+// Returns false if ctx was cancelled during the wait.
+func (e *Engine) sleepBackoff(ctx context.Context, b dfs.BlockID, attempt int) bool {
+	d := e.retry.Backoff
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if e.retry.MaxBackoff > 0 && d >= e.retry.MaxBackoff {
+			d = e.retry.MaxBackoff
+			break
+		}
+	}
+	if e.retry.MaxBackoff > 0 && d > e.retry.MaxBackoff {
+		d = e.retry.MaxBackoff
+	}
+	if e.retry.Jitter {
+		// Deterministic per-(block, attempt) jitter in [0, d/2): spreads
+		// synchronized retries without a global random source.
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(b.File); i++ {
+			h = (h ^ uint64(b.File[i])) * 1099511628211
+		}
+		h ^= uint64(b.Index)<<32 ^ uint64(attempt)
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		d += time.Duration(h % uint64(d/2+1))
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		return true
+	}
+}
+
+// failoverNode picks where the next attempt of block b runs after a
+// failure on cur: an untried healthy replica holder (ring order from
+// cur, so consecutive failovers walk the replica set), else any
+// untried healthy node, else cur itself (retry in place — e.g. a
+// transient fault on the only holder).
+func (e *Engine) failoverNode(b dfs.BlockID, cur *Node, tried map[dfs.NodeID]bool) *Node {
+	n := len(e.cluster.nodes)
+	for off := 1; off < n; off++ {
+		cand := e.cluster.nodes[(int(cur.ID)+off)%n]
+		if !tried[cand.ID] && e.cluster.Healthy(cand.ID) && e.cluster.store.HasLocal(b, cand.ID) {
+			return cand
+		}
+	}
+	for off := 1; off < n; off++ {
+		cand := e.cluster.nodes[(int(cur.ID)+off)%n]
+		if !tried[cand.ID] && e.cluster.Healthy(cand.ID) {
+			return cand
+		}
+	}
+	return cur
 }
 
 // speculativeNode picks where a duplicate attempt of block b runs when
@@ -312,7 +600,14 @@ func (e *Engine) ReduceRound(job *Running) ([]KV, error) {
 // maps; the job's live shuffle space keeps accumulating new map output
 // in the meantime.
 func (e *Engine) ReduceDrained(job *Running, parts [][]KV) ([]KV, error) {
-	outputs, err := e.reduceParts(job, parts, "sub-job partition")
+	return e.ReduceDrainedCtx(context.Background(), job, parts)
+}
+
+// ReduceDrainedCtx is ReduceDrained with cancellation: partitions not
+// yet started when ctx is cancelled are skipped and the ctx error is
+// returned, so a failed or aborted round doesn't run out its reduces.
+func (e *Engine) ReduceDrainedCtx(ctx context.Context, job *Running, parts [][]KV) ([]KV, error) {
+	outputs, err := e.reduceParts(ctx, job, parts, "sub-job partition")
 	if err != nil {
 		return nil, err
 	}
@@ -335,8 +630,14 @@ func (e *Engine) Finish(job *Running) (*Result, error) {
 // final result. The staged runtime seals at the end of the job's last
 // scan stage and runs this concurrently with later rounds' maps.
 func (e *Engine) FinishDrained(job *Running, parts [][]KV) (*Result, error) {
+	return e.FinishDrainedCtx(context.Background(), job, parts)
+}
+
+// FinishDrainedCtx is FinishDrained with cancellation (see
+// ReduceDrainedCtx).
+func (e *Engine) FinishDrainedCtx(ctx context.Context, job *Running, parts [][]KV) (*Result, error) {
 	c := job.Counters
-	outputs, err := e.reduceParts(job, parts, "partition")
+	outputs, err := e.reduceParts(ctx, job, parts, "partition")
 	if err != nil {
 		return nil, err
 	}
@@ -353,8 +654,9 @@ func (e *Engine) FinishDrained(job *Running, parts [][]KV) (*Result, error) {
 
 // reduceParts runs one reduce task per partition concurrently,
 // committing the first error (the same worker-pool/firstErr pattern
-// every reduce phase shares).
-func (e *Engine) reduceParts(job *Running, parts [][]KV, label string) ([][]KV, error) {
+// every reduce phase shares). Partitions observe ctx: tasks not yet
+// started when it is cancelled do no work.
+func (e *Engine) reduceParts(ctx context.Context, job *Running, parts [][]KV, label string) ([][]KV, error) {
 	outputs := make([][]KV, len(parts))
 	var (
 		wg       sync.WaitGroup
@@ -365,6 +667,14 @@ func (e *Engine) reduceParts(job *Running, parts [][]KV, label string) ([][]KV, 
 		wg.Add(1)
 		go func(p int, records []KV) {
 			defer wg.Done()
+			if ctx.Err() != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = ctx.Err()
+				}
+				mu.Unlock()
+				return
+			}
 			out, err := e.runReduceTask(records, job)
 			mu.Lock()
 			defer mu.Unlock()

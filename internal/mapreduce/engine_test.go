@@ -14,11 +14,11 @@ import (
 // cluster of nodes with one map slot each.
 func testCluster(t *testing.T, nodes int, blocks [][]byte) (*Cluster, *dfs.Store) {
 	t.Helper()
-	store := dfs.NewStore(nodes, 1)
+	store := dfs.MustStore(nodes, 1)
 	if _, err := store.AddFile("input", int64(len(blocks[0])), blocks); err != nil {
 		t.Fatalf("AddFile: %v", err)
 	}
-	return NewCluster(store, 1), store
+	return MustCluster(store, 1), store
 }
 
 func textBlocks(lines ...string) [][]byte {
@@ -309,14 +309,14 @@ func TestSpecValidation(t *testing.T) {
 }
 
 func TestRunMergedRejectsMixedFiles(t *testing.T) {
-	store := dfs.NewStore(2, 1)
+	store := dfs.MustStore(2, 1)
 	if _, err := store.AddFile("a", 2, [][]byte{{1, 2}}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := store.AddFile("b", 2, [][]byte{{3, 4}}); err != nil {
 		t.Fatal(err)
 	}
-	e := NewEngine(NewCluster(store, 1))
+	e := NewEngine(MustCluster(store, 1))
 	specs := []JobSpec{
 		{Name: "ja", File: "a", Mapper: wordCountMapper{}},
 		{Name: "jb", File: "b", Mapper: wordCountMapper{}},
@@ -399,8 +399,8 @@ func TestMapAfterFinishFails(t *testing.T) {
 }
 
 func TestClusterSlotsAndNodes(t *testing.T) {
-	store := dfs.NewStore(5, 1)
-	c := NewCluster(store, 2)
+	store := dfs.MustStore(5, 1)
+	c := MustCluster(store, 2)
 	if got := c.TotalMapSlots(); got != 10 {
 		t.Errorf("TotalMapSlots = %d, want 10", got)
 	}
@@ -419,13 +419,16 @@ func TestClusterSlotsAndNodes(t *testing.T) {
 }
 
 func TestNewClusterValidation(t *testing.T) {
-	store := dfs.NewStore(2, 1)
+	store := dfs.MustStore(2, 1)
+	if _, err := NewCluster(store, 0); err == nil {
+		t.Error("NewCluster with zero slots should return an error")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("NewCluster with zero slots should panic")
+			t.Error("MustCluster with zero slots should panic")
 		}
 	}()
-	NewCluster(store, 0)
+	MustCluster(store, 0)
 }
 
 func TestOutputMapDuplicatePanics(t *testing.T) {
@@ -439,11 +442,11 @@ func TestOutputMapDuplicatePanics(t *testing.T) {
 }
 
 func TestAssignBlocksBalances(t *testing.T) {
-	store := dfs.NewStore(2, 2) // every block on both nodes
+	store := dfs.MustStore(2, 2) // every block on both nodes
 	if _, err := store.AddMetaFile("f", 6, 8); err != nil {
 		t.Fatal(err)
 	}
-	c := NewCluster(store, 1)
+	c := MustCluster(store, 1)
 	f, _ := store.File("f")
 	asgs := c.assignBlocks(f.Blocks())
 	count := map[dfs.NodeID]int{}

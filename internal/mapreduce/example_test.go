@@ -12,7 +12,7 @@ import (
 // ExampleEngine_RunMerged runs two different wordcount jobs as one
 // merged batch: the input is scanned once and feeds both mappers.
 func ExampleEngine_RunMerged() {
-	store := dfs.NewStore(2, 1)
+	store := dfs.MustStore(2, 1)
 	blocks := [][]byte{
 		[]byte("ant bee ant"),
 		[]byte("bee cat bee"),
@@ -38,7 +38,7 @@ func ExampleEngine_RunMerged() {
 		return nil
 	})
 
-	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	engine := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
 	results, _ := engine.RunMerged([]mapreduce.JobSpec{
 		{Name: "count-all", File: "input", Mapper: mapper, Reducer: sum},
 		{Name: "count-all-again", File: "input", Mapper: mapper, Reducer: sum},

@@ -102,7 +102,7 @@ func TestSpeculationOffByDefault(t *testing.T) {
 }
 
 func TestEnableSpeculationValidation(t *testing.T) {
-	e := NewEngine(NewCluster(dfsStore(t, 2), 1))
+	e := NewEngine(MustCluster(dfsStore(t, 2), 1))
 	defer func() {
 		if recover() == nil {
 			t.Error("factor < 1 should panic")
@@ -113,7 +113,7 @@ func TestEnableSpeculationValidation(t *testing.T) {
 
 func dfsStore(t *testing.T, nodes int) *dfs.Store {
 	t.Helper()
-	return dfs.NewStore(nodes, 1)
+	return dfs.MustStore(nodes, 1)
 }
 
 func TestMedianDuration(t *testing.T) {

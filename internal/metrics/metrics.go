@@ -22,9 +22,45 @@ type Collector struct {
 	submitted map[scheduler.JobID]vclock.Time
 	started   map[scheduler.JobID]vclock.Time
 	completed map[scheduler.JobID]vclock.Time
+	failed    map[scheduler.JobID]vclock.Time
 	order     []scheduler.JobID // submission order
 	stages    []RoundStages     // per-round stage timeline (pipelined runs)
+	faults    FaultStats
 }
+
+// FaultStats aggregates a run's fault-handling counters. All zeros on
+// a fault-free run.
+type FaultStats struct {
+	// Retries counts block attempts re-executed after a failure.
+	Retries int
+	// FailedAttempts counts block-read attempts that failed.
+	FailedAttempts int
+	// BlacklistedNodes counts nodes marked down after consecutive
+	// failures.
+	BlacklistedNodes int
+	// RequeuedRounds counts lost rounds returned to the scheduler.
+	RequeuedRounds int
+	// RequeuedSubJobs counts sub-jobs riding those requeued rounds.
+	RequeuedSubJobs int
+	// FailedJobs counts jobs that terminated with an error.
+	FailedJobs int
+}
+
+// Add accumulates other into s.
+func (s *FaultStats) Add(other FaultStats) {
+	s.Retries += other.Retries
+	s.FailedAttempts += other.FailedAttempts
+	s.BlacklistedNodes += other.BlacklistedNodes
+	s.RequeuedRounds += other.RequeuedRounds
+	s.RequeuedSubJobs += other.RequeuedSubJobs
+	s.FailedJobs += other.FailedJobs
+}
+
+// AddFaultStats accumulates fault counters into the collector.
+func (c *Collector) AddFaultStats(fs FaultStats) { c.faults.Add(fs) }
+
+// FaultStats returns the run's accumulated fault counters.
+func (c *Collector) FaultStats() FaultStats { return c.faults }
 
 // RoundStages is one round's stage timeline under pipelined execution:
 // the scan/map stage occupies the cluster's map slots during
@@ -85,6 +121,7 @@ func NewCollector() *Collector {
 		submitted: make(map[scheduler.JobID]vclock.Time),
 		started:   make(map[scheduler.JobID]vclock.Time),
 		completed: make(map[scheduler.JobID]vclock.Time),
+		failed:    make(map[scheduler.JobID]vclock.Time),
 	}
 }
 
@@ -116,7 +153,7 @@ func (c *Collector) Start(id scheduler.JobID, t vclock.Time) {
 }
 
 // Complete records job id finishing at time t. Completing an
-// unsubmitted or already-completed job panics.
+// unsubmitted, already-completed, or failed job panics.
 func (c *Collector) Complete(id scheduler.JobID, t vclock.Time) {
 	sub, ok := c.submitted[id]
 	if !ok {
@@ -125,21 +162,71 @@ func (c *Collector) Complete(id scheduler.JobID, t vclock.Time) {
 	if _, dup := c.completed[id]; dup {
 		panic(fmt.Sprintf("metrics: job %d completed twice", id))
 	}
+	if _, f := c.failed[id]; f {
+		panic(fmt.Sprintf("metrics: job %d completed after failing", id))
+	}
 	if t < sub {
 		panic(fmt.Sprintf("metrics: job %d completed at %v before submission at %v", id, t, sub))
 	}
 	c.completed[id] = t
 }
 
+// Fail records job id terminating with an error at time t. Failed jobs
+// are excluded from TET/ART (which measure the surviving workload) but
+// counted in FaultStats. Failing an unsubmitted or completed job
+// panics; repeated Fail calls for one job are idempotent.
+func (c *Collector) Fail(id scheduler.JobID, t vclock.Time) {
+	if _, ok := c.submitted[id]; !ok {
+		panic(fmt.Sprintf("metrics: job %d failed but never submitted", id))
+	}
+	if _, done := c.completed[id]; done {
+		panic(fmt.Sprintf("metrics: job %d failed after completing", id))
+	}
+	if _, dup := c.failed[id]; dup {
+		return
+	}
+	c.failed[id] = t
+	c.faults.FailedJobs++
+}
+
+// Failed returns the jobs that terminated with an error, in submission
+// order.
+func (c *Collector) Failed() []scheduler.JobID {
+	var out []scheduler.JobID
+	for _, id := range c.order {
+		if _, f := c.failed[id]; f {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // Jobs returns how many jobs were submitted.
 func (c *Collector) Jobs() int { return len(c.submitted) }
 
-// Incomplete returns the submitted jobs that never completed, in
-// submission order.
+// Incomplete returns the submitted jobs that neither completed nor
+// failed, in submission order. Failed jobs are terminal, not pending,
+// so they do not appear here.
 func (c *Collector) Incomplete() []scheduler.JobID {
 	var out []scheduler.JobID
 	for _, id := range c.order {
-		if _, done := c.completed[id]; !done {
+		if _, done := c.completed[id]; done {
+			continue
+		}
+		if _, f := c.failed[id]; f {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// survivors returns the submitted jobs that did not fail, in
+// submission order — the population TET/ART are computed over.
+func (c *Collector) survivors() []scheduler.JobID {
+	out := make([]scheduler.JobID, 0, len(c.order))
+	for _, id := range c.order {
+		if _, f := c.failed[id]; !f {
 			out = append(out, id)
 		}
 	}
@@ -188,33 +275,37 @@ func (c *Collector) ProcessingTime(id scheduler.JobID) (vclock.Duration, error) 
 	return done.Sub(start), nil
 }
 
-// AverageWaiting returns the mean waiting time across completed jobs
-// with recorded starts. It fails if any job lacks a start or
+// AverageWaiting returns the mean waiting time across surviving jobs
+// with recorded starts. It fails if any surviving job lacks a start or
 // completion.
 func (c *Collector) AverageWaiting() (vclock.Duration, error) {
-	if len(c.order) == 0 {
-		return 0, fmt.Errorf("metrics: no jobs recorded")
+	jobs := c.survivors()
+	if len(jobs) == 0 {
+		return 0, fmt.Errorf("metrics: no surviving jobs recorded")
 	}
 	var total vclock.Duration
-	for _, id := range c.order {
+	for _, id := range jobs {
 		w, err := c.WaitingTime(id)
 		if err != nil {
 			return 0, err
 		}
 		total += w
 	}
-	return total / vclock.Duration(len(c.order)), nil
+	return total / vclock.Duration(len(jobs)), nil
 }
 
 // TET returns the total execution time: the interval between the first
-// job's submission and the last job's completion. It fails if any job
-// is incomplete.
+// job's submission and the last surviving job's completion. It fails
+// if any surviving job is incomplete or every job failed.
 func (c *Collector) TET() (vclock.Duration, error) {
 	if len(c.submitted) == 0 {
 		return 0, fmt.Errorf("metrics: no jobs recorded")
 	}
 	if inc := c.Incomplete(); len(inc) > 0 {
 		return 0, fmt.Errorf("metrics: %d job(s) incomplete: %v", len(inc), inc)
+	}
+	if len(c.completed) == 0 {
+		return 0, fmt.Errorf("metrics: every job failed; TET undefined")
 	}
 	var first vclock.Time
 	var last vclock.Time
@@ -233,8 +324,8 @@ func (c *Collector) TET() (vclock.Duration, error) {
 	return last.Sub(first), nil
 }
 
-// ART returns the average response time across all jobs. It fails if
-// any job is incomplete.
+// ART returns the average response time across surviving jobs. It
+// fails if any surviving job is incomplete or every job failed.
 func (c *Collector) ART() (vclock.Duration, error) {
 	if len(c.submitted) == 0 {
 		return 0, fmt.Errorf("metrics: no jobs recorded")
@@ -242,25 +333,30 @@ func (c *Collector) ART() (vclock.Duration, error) {
 	if inc := c.Incomplete(); len(inc) > 0 {
 		return 0, fmt.Errorf("metrics: %d job(s) incomplete: %v", len(inc), inc)
 	}
+	jobs := c.survivors()
+	if len(jobs) == 0 {
+		return 0, fmt.Errorf("metrics: every job failed; ART undefined")
+	}
 	var total vclock.Duration
-	for _, id := range c.order {
+	for _, id := range jobs {
 		rt, err := c.ResponseTime(id)
 		if err != nil {
 			return 0, err
 		}
 		total += rt
 	}
-	return total / vclock.Duration(len(c.order)), nil
+	return total / vclock.Duration(len(jobs)), nil
 }
 
-// ResponseTimes returns every completed job's response time in
-// submission order. It fails if any job is incomplete.
+// ResponseTimes returns every surviving job's response time in
+// submission order. It fails if any surviving job is incomplete.
 func (c *Collector) ResponseTimes() ([]vclock.Duration, error) {
-	if len(c.order) == 0 {
-		return nil, fmt.Errorf("metrics: no jobs recorded")
+	jobs := c.survivors()
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("metrics: no surviving jobs recorded")
 	}
-	out := make([]vclock.Duration, 0, len(c.order))
-	for _, id := range c.order {
+	out := make([]vclock.Duration, 0, len(jobs))
+	for _, id := range jobs {
 		rt, err := c.ResponseTime(id)
 		if err != nil {
 			return nil, err

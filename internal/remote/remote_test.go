@@ -28,7 +28,7 @@ func startCluster(t *testing.T, n int, jobs map[scheduler.JobID]JobRef) (*Master
 	var addrs []string
 	var workers []*Worker
 	for i := 0; i < n; i++ {
-		store := dfs.NewStore(1, 1)
+		store := dfs.MustStore(1, 1)
 		if _, err := workload.AddTextFile(store, "corpus", testBlocks, testBlockSize, testSeed); err != nil {
 			t.Fatal(err)
 		}
@@ -57,7 +57,7 @@ func startCluster(t *testing.T, n int, jobs map[scheduler.JobID]JobRef) (*Master
 // itself never touches block contents.
 func testPlan(t *testing.T) *dfs.SegmentPlan {
 	t.Helper()
-	store := dfs.NewStore(3, 1)
+	store := dfs.MustStore(3, 1)
 	f, err := store.AddMetaFile("corpus", testBlocks, testBlockSize)
 	if err != nil {
 		t.Fatal(err)
@@ -103,11 +103,11 @@ func TestDistributedS3MatchesLocalEngine(t *testing.T) {
 	}
 
 	// Reference: same jobs on the local in-process engine.
-	store := dfs.NewStore(3, 1)
+	store := dfs.MustStore(3, 1)
 	if _, err := workload.AddTextFile(store, "corpus", testBlocks, testBlockSize, testSeed); err != nil {
 		t.Fatal(err)
 	}
-	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	engine := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
 	prefixes := workload.DistinctPrefixes(2)
 	for i := 0; i < 2; i++ {
 		id := scheduler.JobID(i + 1)
@@ -205,7 +205,7 @@ func TestRegistryErrors(t *testing.T) {
 }
 
 func TestWorkerErrors(t *testing.T) {
-	store := dfs.NewStore(1, 1)
+	store := dfs.MustStore(1, 1)
 	if _, err := workload.AddTextFile(store, "corpus", 2, 512, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -305,11 +305,11 @@ func TestWorkerFailover(t *testing.T) {
 		t.Error("expected failovers with a dead worker")
 	}
 	// Results still correct: compare against the local engine.
-	store := dfs.NewStore(3, 1)
+	store := dfs.MustStore(3, 1)
 	if _, err := workload.AddTextFile(store, "corpus", testBlocks, testBlockSize, testSeed); err != nil {
 		t.Fatal(err)
 	}
-	engine := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	engine := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
 	prefixes := workload.DistinctPrefixes(2)
 	for i := 0; i < 2; i++ {
 		ref, err := engine.RunJob(workload.WordCountJob("ref", "corpus", prefixes[i], 2))
@@ -351,7 +351,7 @@ func TestConcurrentMastersShareWorkers(t *testing.T) {
 	var addrs []string
 	var workers []*Worker
 	for i := 0; i < 2; i++ {
-		store := dfs.NewStore(1, 1)
+		store := dfs.MustStore(1, 1)
 		if _, err := workload.AddTextFile(store, "corpus", testBlocks, testBlockSize, testSeed); err != nil {
 			t.Fatal(err)
 		}
@@ -379,7 +379,7 @@ func TestConcurrentMastersShareWorkers(t *testing.T) {
 		}
 		defer master.Close()
 		master.SetTimeScale(1e6)
-		planStore := dfs.NewStore(2, 1)
+		planStore := dfs.MustStore(2, 1)
 		f, err := planStore.AddMetaFile("corpus", testBlocks, testBlockSize)
 		if err != nil {
 			return "", err

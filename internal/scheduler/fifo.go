@@ -32,8 +32,9 @@ type FIFO struct {
 }
 
 var (
-	_ Scheduler  = (*FIFO)(nil)
-	_ StageAware = (*FIFO)(nil)
+	_ Scheduler   = (*FIFO)(nil)
+	_ StageAware  = (*FIFO)(nil)
+	_ Recoverable = (*FIFO)(nil)
 )
 
 type fifoRun struct {
@@ -135,6 +136,42 @@ func (f *FIFO) retireScan(now vclock.Time) []JobID {
 		return []JobID{done}
 	}
 	return nil
+}
+
+// RequeueRound implements Recoverable: FIFO has no sub-job structure,
+// so a lost round is simply resubmitted — the running job's segment
+// progress is unchanged and the next NextRound re-forms the same
+// round.
+func (f *FIFO) RequeueRound(r Round, now vclock.Time) {
+	if !f.inFlight {
+		panic("scheduler: FIFO.RequeueRound without a round in flight")
+	}
+	f.inFlight = false
+	f.log.Addf(now, trace.SubJobRequeued, int(f.cur.job.ID), r.Segment, "fifo round lost; resubmitting")
+}
+
+// AbortJobs implements Recoverable: failed jobs leave the waiting
+// queue, and a failed running job is dropped mid-file.
+func (f *FIFO) AbortJobs(ids []JobID, now vclock.Time) {
+	drop := make(map[JobID]bool, len(ids))
+	for _, id := range ids {
+		drop[id] = true
+	}
+	queue := f.queue[:0]
+	for _, j := range f.queue {
+		if drop[j.ID] {
+			f.pending--
+			f.log.Addf(now, trace.JobAborted, int(j.ID), -1, "fifo (queued)")
+			continue
+		}
+		queue = append(queue, j)
+	}
+	f.queue = queue
+	if f.cur != nil && drop[f.cur.job.ID] {
+		f.log.Addf(now, trace.JobAborted, int(f.cur.job.ID), f.cur.next, "fifo (running)")
+		f.cur = nil
+		f.pending--
+	}
 }
 
 // PendingJobs implements Scheduler.

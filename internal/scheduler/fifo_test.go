@@ -12,7 +12,7 @@ import (
 // per segment.
 func makePlan(t *testing.T, numBlocks, perSegment int) *dfs.SegmentPlan {
 	t.Helper()
-	store := dfs.NewStore(4, 1)
+	store := dfs.MustStore(4, 1)
 	f, err := store.AddMetaFile("input", numBlocks, 64<<20)
 	if err != nil {
 		t.Fatalf("AddMetaFile: %v", err)

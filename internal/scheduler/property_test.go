@@ -19,7 +19,7 @@ func TestWindowBatchingProperty(t *testing.T) {
 		window := vclock.Duration(window8%50) + 1
 		maxBatch := int(cap8%5) + 1
 
-		store := dfs.NewStore(2, 1)
+		store := dfs.MustStore(2, 1)
 		f, err := store.AddMetaFile("input", 2, 64)
 		if err != nil {
 			return false
@@ -92,7 +92,7 @@ func TestFairSliceProperty(t *testing.T) {
 		k := int(k8%6) + 1
 		n := int(n8%5) + 1
 
-		store := dfs.NewStore(2, 1)
+		store := dfs.MustStore(2, 1)
 		f, err := store.AddMetaFile("input", k, 64)
 		if err != nil {
 			return false
@@ -164,7 +164,7 @@ func TestMRShareBatchProperty(t *testing.T) {
 			sizes = append(sizes, sz)
 			left -= sz
 		}
-		store := dfs.NewStore(2, 1)
+		store := dfs.MustStore(2, 1)
 		f, err := store.AddMetaFile("input", k, 64)
 		if err != nil {
 			return false

@@ -26,7 +26,7 @@ type exampleEnv struct {
 
 func exampleSetup(t *testing.T) exampleEnv {
 	t.Helper()
-	store := dfs.NewStore(1, 1)
+	store := dfs.MustStore(1, 1)
 	f, err := store.AddMetaFile("input", 10, 64<<20)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"s3sched/internal/dfs"
+	"s3sched/internal/faults"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/vclock"
+)
+
+func setupReplicated(t *testing.T, nodes, replicas, blocks int, blockSize int64) (*Cluster, *dfs.Store, *dfs.SegmentPlan) {
+	t.Helper()
+	store, err := dfs.NewStore(nodes, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := store.AddMetaFile("input", blocks, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := dfs.PlanSegments(f, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCluster(nodes, 1), store, plan
+}
+
+// TestCrashWithoutReplicaLosesRound: with single replication, a crash
+// window covering a block's only holder loses the round; Elapsed is
+// the wait until the holder recovers.
+func TestCrashWithoutReplicaLosesRound(t *testing.T) {
+	cluster, store, plan := setup(t, 4, 8, 64*mb)
+	ex := NewExecutor(cluster, store, CostModel{ScanMBps: 64})
+	r := round(plan, 0, meta(1, 1, 1))
+	victim := store.Locations(r.Blocks[0])[0]
+	err := ex.SetFaultModel(FaultModel{
+		MaxAttempts: 1,
+		Crashes:     []faults.Crash{{Node: victim, From: 100, To: 160}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := ex.ExecRoundAt(r, 120)
+	var lost *scheduler.RoundLostError
+	if !errors.As(rerr, &lost) {
+		t.Fatalf("error = %v, want *RoundLostError", rerr)
+	}
+	almost(t, "elapsed", lost.Elapsed.Seconds(), 40) // 160 - 120
+
+	// After the window the same round succeeds.
+	if _, rerr := ex.ExecRoundAt(r, 160); rerr != nil {
+		t.Fatalf("round still failing after recovery: %v", rerr)
+	}
+}
+
+// TestCrashWithReplicaSurvives: with 2-way replication a single crash
+// leaves a holder for every block, so the round completes — slower,
+// because the cluster lost a node's slots and locality.
+func TestCrashWithReplicaSurvives(t *testing.T) {
+	cluster, store, plan := setupReplicated(t, 4, 2, 8, 64*mb)
+	ex := NewExecutor(cluster, store, CostModel{ScanMBps: 64})
+	r := round(plan, 0, meta(1, 1, 1))
+	base, err := ex.ExecRound(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.SetFaultModel(FaultModel{
+		MaxAttempts: 1,
+		Crashes:     []faults.Crash{{Node: 0, From: 0, To: 1000}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dur, rerr := ex.ExecRoundAt(r, 10)
+	if rerr != nil {
+		t.Fatalf("round lost despite surviving replicas: %v", rerr)
+	}
+	if dur < base {
+		t.Errorf("crashed-node round took %v, want >= fault-free %v", dur, base)
+	}
+}
+
+// TestTransientRetriesExtendRound: a high failure rate forces retried
+// attempts which add RetrySec each to the round duration, and the
+// stats count them.
+func TestTransientRetriesExtendRound(t *testing.T) {
+	cluster, store, plan := setup(t, 4, 16, 64*mb)
+	ex := NewExecutor(cluster, store, CostModel{ScanMBps: 64})
+	r := round(plan, 0, meta(1, 1, 1))
+	base, err := ex.ExecRound(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.SetFaultModel(FaultModel{
+		Seed:          1,
+		BlockFailRate: 0.5,
+		MaxAttempts:   10,
+		RetrySec:      5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dur, rerr := ex.ExecRoundAt(r, 0)
+	if rerr != nil {
+		t.Fatalf("round lost: %v", rerr)
+	}
+	st := ex.FaultStats()
+	if st.Retries == 0 {
+		t.Fatal("rate 0.5 over 4 blocks rolled zero retries; schedule changed?")
+	}
+	almost(t, "duration", dur.Seconds(), base.Seconds()+float64(st.Retries)*5)
+}
+
+// TestExecRoundAtDeterministic: two executors with equal models replay
+// identical durations, errors, and counters across a round sequence —
+// the acceptance criterion for reproducible fault schedules.
+func TestExecRoundAtDeterministic(t *testing.T) {
+	run := func() ([]float64, []string, int) {
+		cluster, store, plan := setup(t, 4, 16, 64*mb)
+		ex := NewExecutor(cluster, store, CostModel{ScanMBps: 64, MapMBps: 128})
+		if err := ex.SetFaultModel(FaultModel{
+			Seed:          42,
+			BlockFailRate: 0.3,
+			MaxAttempts:   3,
+			RetrySec:      5,
+			Crashes:       []faults.Crash{{Node: 1, From: 20, To: 60}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var durs []float64
+		var errs []string
+		now := vclock.Time(0)
+		for seg := 0; seg < 8; seg++ {
+			r := round(plan, seg%4, meta(1, 1, 1), meta(2, 2, 1))
+			d, err := ex.ExecRoundAt(r, now)
+			if err != nil {
+				errs = append(errs, err.Error())
+				continue
+			}
+			durs = append(durs, d.Seconds())
+			now = now.Add(d)
+		}
+		return durs, errs, ex.FaultStats().Retries
+	}
+	d1, e1, r1 := run()
+	d2, e2, r2 := run()
+	if len(d1) != len(d2) || len(e1) != len(e2) || r1 != r2 {
+		t.Fatalf("shapes diverged: (%d,%d,%d) vs (%d,%d,%d)", len(d1), len(e1), r1, len(d2), len(e2), r2)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Errorf("round %d duration %v vs %v", i, d1[i], d2[i])
+		}
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Errorf("error %d %q vs %q", i, e1[i], e2[i])
+		}
+	}
+}
+
+// TestRequeuedRoundRerollsAttempts: the attempt chain is keyed on the
+// round sequence number, so a round lost to transient failures rolls a
+// fresh schedule when requeued instead of deterministically failing
+// forever.
+func TestRequeuedRoundRerollsAttempts(t *testing.T) {
+	cluster, store, plan := setup(t, 4, 8, 64*mb)
+	ex := NewExecutor(cluster, store, CostModel{ScanMBps: 64})
+	if err := ex.SetFaultModel(FaultModel{
+		Seed:          3,
+		BlockFailRate: 0.45,
+		MaxAttempts:   2,
+		RetrySec:      1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r := round(plan, 0, meta(1, 1, 1))
+	lostOnce, succeeded := false, false
+	for i := 0; i < 64 && !(lostOnce && succeeded); i++ {
+		_, err := ex.ExecRoundAt(r, vclock.Time(float64(i)))
+		if err != nil {
+			var lost *scheduler.RoundLostError
+			if !errors.As(err, &lost) {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+			lostOnce = true
+			continue
+		}
+		succeeded = true
+	}
+	if !lostOnce || !succeeded {
+		t.Fatalf("over 64 replays lost=%v succeeded=%v; want both (re-roll per sequence)", lostOnce, succeeded)
+	}
+}

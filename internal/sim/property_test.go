@@ -28,7 +28,7 @@ func TestCostMonotonicityProperty(t *testing.T) {
 		blocks := int(blocks8%30) + 2
 		w := float64(w8%10) + 1
 
-		store := dfs.NewStore(blocks, 1)
+		store := dfs.MustStore(blocks, 1)
 		f, err := store.AddMetaFile("input", blocks, 64<<20)
 		if err != nil {
 			return false
@@ -93,7 +93,7 @@ func TestStageSplitConservesCostProperty(t *testing.T) {
 		blocks := int(blocks8%30) + 2
 		w := float64(w8%10) + 1
 
-		store := dfs.NewStore(blocks, 1)
+		store := dfs.MustStore(blocks, 1)
 		f, err := store.AddMetaFile("input", blocks, 64<<20)
 		if err != nil {
 			return false
@@ -143,7 +143,7 @@ func TestStageSplitConservesCostProperty(t *testing.T) {
 func TestSlowdownNeverHelpsProperty(t *testing.T) {
 	prop := func(node8, speed8 uint8) bool {
 		const nodes = 6
-		store := dfs.NewStore(nodes, 1)
+		store := dfs.MustStore(nodes, 1)
 		f, err := store.AddMetaFile("input", nodes, 64<<20)
 		if err != nil {
 			return false

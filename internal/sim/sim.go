@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"s3sched/internal/dfs"
+	"s3sched/internal/metrics"
 	"s3sched/internal/scheduler"
 	"s3sched/internal/vclock"
 )
@@ -158,6 +159,14 @@ type Executor struct {
 	speedFloor float64
 
 	stats Stats
+
+	// Failure-model state (see faults.go). fm is nil when no model is
+	// installed; downNow holds the nodes crashed at the round being
+	// priced, set only for the duration of an ExecRoundAt call.
+	fm       *FaultModel
+	roundSeq int
+	fstats   metrics.FaultStats
+	downNow  map[int]bool
 }
 
 // NewExecutor builds a cost-model executor. It panics on an invalid
@@ -227,6 +236,16 @@ func (e *Executor) price(r scheduler.Round) (mapSec, redSec float64, err error) 
 			}
 			used = append(used, e.cluster.nodes[id])
 		}
+	}
+	if len(e.downNow) > 0 {
+		// Crashed nodes run no tasks this round (see faults.go).
+		up := used[:0:0]
+		for _, nd := range used {
+			if !e.downNow[nd.ID] {
+				up = append(up, nd)
+			}
+		}
+		used = up
 	}
 	if len(used) == 0 {
 		return 0, 0, fmt.Errorf("sim: no usable nodes")

@@ -12,7 +12,7 @@ const mb = 1 << 20
 
 func setup(t *testing.T, nodes, blocks int, blockSize int64) (*Cluster, *dfs.Store, *dfs.SegmentPlan) {
 	t.Helper()
-	store := dfs.NewStore(nodes, 1)
+	store := dfs.MustStore(nodes, 1)
 	f, err := store.AddMetaFile("input", blocks, blockSize)
 	if err != nil {
 		t.Fatal(err)
@@ -131,7 +131,7 @@ func TestReduceWeightScalesReduce(t *testing.T) {
 
 func TestWavesWhenBlocksExceedSlots(t *testing.T) {
 	// 2 nodes, segment of 5 blocks -> 3 waves.
-	store := dfs.NewStore(2, 1)
+	store := dfs.MustStore(2, 1)
 	f, err := store.AddMetaFile("input", 5, 64*mb)
 	if err != nil {
 		t.Fatal(err)
@@ -230,7 +230,7 @@ func TestModelValidation(t *testing.T) {
 			t.Error("NewExecutor with invalid model should panic")
 		}
 	}()
-	NewExecutor(NewCluster(1, 1), dfs.NewStore(1, 1), CostModel{})
+	NewExecutor(NewCluster(1, 1), dfs.MustStore(1, 1), CostModel{})
 }
 
 func TestClusterValidation(t *testing.T) {
@@ -240,7 +240,7 @@ func TestClusterValidation(t *testing.T) {
 		func() { NewCluster(2, 1).SetSpeed(0, 0) },
 		func() {
 			c := NewCluster(2, 1)
-			ex := NewExecutor(c, dfs.NewStore(2, 1), CostModel{ScanMBps: 1})
+			ex := NewExecutor(c, dfs.MustStore(2, 1), CostModel{ScanMBps: 1})
 			ex.EnableSlotChecking(0)
 		},
 	} {
@@ -328,7 +328,7 @@ func TestRoundNodeRestriction(t *testing.T) {
 func TestCrossRackPenalty(t *testing.T) {
 	// 8 nodes in 2 racks (0-3, 4-7), replication 1. Restricting a
 	// round to rack-1 nodes makes rack-0 blocks remote AND cross-rack.
-	store := dfs.NewStore(8, 1)
+	store := dfs.MustStore(8, 1)
 	if err := store.SetRacks(2); err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +365,7 @@ func TestCrossRackAvoidedByReplicaOnRack(t *testing.T) {
 	// Replication 2 with rack-aware placement: every block has a
 	// replica on each rack, so restricting to one rack is remote but
 	// never cross-rack.
-	store := dfs.NewStore(8, 2)
+	store := dfs.MustStore(8, 2)
 	if err := store.SetRacks(2); err != nil {
 		t.Fatal(err)
 	}

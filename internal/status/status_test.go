@@ -63,7 +63,7 @@ func TestStatusJSONAndHTML(t *testing.T) {
 }
 
 func TestHooksPublishProgress(t *testing.T) {
-	store := dfs.NewStore(2, 1)
+	store := dfs.MustStore(2, 1)
 	f, err := store.AddMetaFile("input", 4, 64<<20)
 	if err != nil {
 		t.Fatal(err)

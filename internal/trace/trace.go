@@ -39,19 +39,35 @@ const (
 	// completing; the round's reduce stage is still draining when the
 	// next round launches (RoundFinished marks the reduce end).
 	MapStageFinished
+	// AttemptFailed records one failed block-read attempt (injected or
+	// real); the engine retries or fails over per its retry policy.
+	AttemptFailed
+	// NodeDown records a node leaving service — crashed, or blacklisted
+	// after consecutive failures.
+	NodeDown
+	// SubJobRequeued records a sub-job returned to the queue after its
+	// round was lost; the segment cursor does not advance past it.
+	SubJobRequeued
+	// JobAborted records a job removed from scheduling after a terminal
+	// failure of its own map/reduce code.
+	JobAborted
 )
 
 var kindNames = map[Kind]string{
-	JobSubmitted:    "job-submitted",
-	JobCompleted:    "job-completed",
-	RoundLaunched:   "round-launched",
-	RoundFinished:   "round-finished",
-	SubJobAligned:   "subjob-aligned",
-	SegmentAdvanced: "segment-advanced",
-	NodeExcluded:    "node-excluded",
-	NodeRestored:    "node-restored",
+	JobSubmitted:     "job-submitted",
+	JobCompleted:     "job-completed",
+	RoundLaunched:    "round-launched",
+	RoundFinished:    "round-finished",
+	SubJobAligned:    "subjob-aligned",
+	SegmentAdvanced:  "segment-advanced",
+	NodeExcluded:     "node-excluded",
+	NodeRestored:     "node-restored",
 	BatchAdjusted:    "batch-adjusted",
 	MapStageFinished: "mapstage-finished",
+	AttemptFailed:    "attempt-failed",
+	NodeDown:         "node-down",
+	SubJobRequeued:   "subjob-requeued",
+	JobAborted:       "job-aborted",
 }
 
 // String returns the stable lowercase name of the kind.

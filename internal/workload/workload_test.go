@@ -66,7 +66,7 @@ func TestTextGenZipfSkew(t *testing.T) {
 }
 
 func TestAddTextFile(t *testing.T) {
-	store := dfs.NewStore(2, 1)
+	store := dfs.MustStore(2, 1)
 	f, err := AddTextFile(store, "corpus", 4, 512, 9)
 	if err != nil {
 		t.Fatal(err)
@@ -100,11 +100,11 @@ func TestForEachWord(t *testing.T) {
 }
 
 func TestPatternCountJobEndToEnd(t *testing.T) {
-	store := dfs.NewStore(2, 1)
+	store := dfs.MustStore(2, 1)
 	if _, err := AddTextFile(store, "corpus", 4, 2048, 5); err != nil {
 		t.Fatal(err)
 	}
-	e := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	e := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
 	res, err := e.RunJob(WordCountJob("wc-t", "corpus", "t", 3))
 	if err != nil {
 		t.Fatal(err)
@@ -139,11 +139,11 @@ func TestPatternCountJobEndToEnd(t *testing.T) {
 }
 
 func TestHeavyJobMultipliesMapOutput(t *testing.T) {
-	store := dfs.NewStore(2, 1)
+	store := dfs.MustStore(2, 1)
 	if _, err := AddTextFile(store, "corpus", 2, 1024, 5); err != nil {
 		t.Fatal(err)
 	}
-	e := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	e := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
 	normal, err := e.RunJob(WordCountJob("n", "corpus", "t", 1))
 	if err != nil {
 		t.Fatal(err)
@@ -218,11 +218,11 @@ func TestLineitemDeterministicAndShaped(t *testing.T) {
 }
 
 func TestSelectionJobSelectivity(t *testing.T) {
-	store := dfs.NewStore(2, 1)
+	store := dfs.MustStore(2, 1)
 	if _, err := AddLineitemFile(store, "lineitem", 6, 16<<10, 17); err != nil {
 		t.Fatal(err)
 	}
-	e := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	e := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
 	// MaxQuantity 5 of uniform 1..50 -> ~10% selectivity (paper §V-G).
 	res, err := e.RunJob(SelectionJob("sel", "lineitem", 5))
 	if err != nil {
@@ -349,11 +349,11 @@ func TestTextBlockProperty(t *testing.T) {
 }
 
 func TestAggregationJobQ1Style(t *testing.T) {
-	store := dfs.NewStore(2, 1)
+	store := dfs.MustStore(2, 1)
 	if _, err := AddLineitemFile(store, "lineitem", 6, 16<<10, 23); err != nil {
 		t.Fatal(err)
 	}
-	e := mapreduce.NewEngine(mapreduce.NewCluster(store, 1))
+	e := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
 	res, err := e.RunJob(AggregationJob("q1", "lineitem", 2))
 	if err != nil {
 		t.Fatal(err)
