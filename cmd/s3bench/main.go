@@ -30,6 +30,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|fig3|fig4|fig4a..fig4f|examples|ablations|window|distributed|jitter|poisson|taxonomy|estimator|pipeline|faults|all")
 	jsonPath := flag.String("json", "", "also write the Figure 4 panels + claim check as JSON to this file")
+	traceJSON := flag.String("tracejson", "", "write a Chrome trace (chrome://tracing) of a fixed demo workload to this file and exit")
 	pipeMode := flag.String("pipeline", "both", "pipeline experiment mode: on|off|both (A/B)")
 	faultRate := flag.Float64("faultrate", 0.02, "faults experiment: max transient block-failure rate in [0,1)")
 	faultSeed := flag.Int64("faultseed", 42, "faults experiment: fault schedule seed (same seed, same schedule)")
@@ -39,6 +40,22 @@ func main() {
 	if *pipeMode != "on" && *pipeMode != "off" && *pipeMode != "both" {
 		fmt.Fprintf(os.Stderr, "unknown -pipeline mode %q (want on|off|both)\n", *pipeMode)
 		os.Exit(2)
+	}
+
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err == nil {
+			err = writeTraceJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *traceJSON)
+		return
 	}
 
 	if *jsonPath != "" {

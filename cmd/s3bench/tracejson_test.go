@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWriteTraceJSONGolden pins the -tracejson output byte-for-byte:
+// the demo workload is deterministic, so any drift is a real change to
+// the span model or the exporter. Refresh with `go test -update`.
+func TestWriteTraceJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeTraceJSON(&buf); err != nil {
+		t.Fatalf("writeTraceJSON: %v", err)
+	}
+	golden := filepath.Join("testdata", "tracejson.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run `go test -update` to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace JSON differs from golden (refresh with -update)\ngot %d bytes, want %d", buf.Len(), len(want))
+	}
+}
+
+// TestWriteTraceJSONValid checks the output is well-formed Chrome
+// trace-event JSON: a traceEvents array whose entries carry the
+// required ph/pid/tid fields, with complete events carrying ts+dur.
+func TestWriteTraceJSONValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeTraceJSON(&buf); err != nil {
+		t.Fatalf("writeTraceJSON: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		DisplayUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("traceEvents is empty")
+	}
+	var complete, meta int
+	names := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			t.Fatalf("event %d has no ph: %v", i, ev)
+		}
+		if _, ok := ev["pid"]; !ok {
+			t.Fatalf("event %d has no pid: %v", i, ev)
+		}
+		switch ph {
+		case "X":
+			complete++
+			if _, ok := ev["ts"]; !ok {
+				t.Errorf("complete event %d has no ts", i)
+			}
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("complete event %d has no dur", i)
+			}
+			if name, ok := ev["name"].(string); ok {
+				names[name] = true
+			}
+		case "M":
+			meta++
+		}
+	}
+	if complete == 0 || meta == 0 {
+		t.Errorf("events: %d complete, %d metadata; want both > 0", complete, meta)
+	}
+	// The hierarchy's layers are all present: driver run/round/stage
+	// spans and the JQM's per-job lifetime spans.
+	for _, want := range []string{"run", "round", "scan-stage", "reduce-stage", "subjob", "job"} {
+		if !names[want] {
+			t.Errorf("trace has no %q span", want)
+		}
+	}
+}

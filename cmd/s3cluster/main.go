@@ -21,9 +21,11 @@ import (
 	"s3sched/internal/core"
 	"s3sched/internal/dfs"
 	"s3sched/internal/driver"
+	"s3sched/internal/metrics"
 	"s3sched/internal/remote"
 	"s3sched/internal/scheduler"
 	"s3sched/internal/status"
+	"s3sched/internal/trace"
 	"s3sched/internal/vclock"
 	"s3sched/internal/workload"
 )
@@ -37,7 +39,8 @@ var (
 	seed      = flag.Int64("seed", 7, "corpus generator seed (must match across the cluster)")
 	jobs      = flag.Int("jobs", 3, "master/demo: number of wordcount jobs")
 	demoN     = flag.Int("nodes", 3, "demo: in-process worker count")
-	statAddr  = flag.String("status", "", "master/demo: serve a live status dashboard on this address (e.g. 127.0.0.1:8080)")
+	statAddr  = flag.String("status", "", "master/demo: serve a live status dashboard, Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
+	traceJSON = flag.String("tracejson", "", "master/demo: write the run's span tree as Chrome trace-event JSON to this file")
 )
 
 func main() {
@@ -171,22 +174,50 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 			At:  vclock.Time(id - 1),
 		})
 	}
-	sched := core.New(plan, nil)
-	var hooks driver.Hooks
+	var opts driver.Options
+	var spans *trace.Log
+	if *traceJSON != "" {
+		spans, err = trace.New(1 << 16)
+		if err != nil {
+			return err
+		}
+		opts.Spans = spans
+		master.SetTrace(spans)
+	}
+	// The scheduler shares the span log so JQM job-lifetime spans land
+	// in the same trace as the driver's round/stage spans.
+	sched := core.New(plan, spans)
+	reg := metrics.NewRegistry()
+	opts.Metrics = metrics.NewRunMetrics(reg)
 	var srv *status.Server
 	if *statAddr != "" {
 		srv = status.NewServer(sched.Name())
+		srv.SetRegistry(reg)
 		addr, err := srv.Serve(*statAddr)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("status dashboard: http://%s/\n", addr)
-		hooks = srv.Hooks(sched)
+		fmt.Printf("status dashboard: http://%s/ (also /metrics, /debug/pprof/)\n", addr)
+		opts.Hooks = srv.Hooks(sched)
 	}
-	res, err := driver.RunWithHooks(sched, master, arrivals, hooks)
+	res, err := driver.RunOpts(sched, master, arrivals, opts)
 	if err != nil {
 		return err
+	}
+	if spans != nil {
+		out, err := os.Create(*traceJSON)
+		if err != nil {
+			return err
+		}
+		if err := spans.WriteChromeTrace(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *traceJSON)
 	}
 	if srv != nil {
 		tet, tErr := res.Metrics.TET()

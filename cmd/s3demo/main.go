@@ -67,7 +67,7 @@ func run() error {
 	// below land mid-run.
 	exec.SetTimeScale(1e6)
 
-	log := trace.New(512)
+	log := trace.MustNew(512)
 	s3 := core.New(plan, log)
 	fmt.Println("submitting: job 1 at t=0, job 2 and job 3 while earlier rounds are in flight")
 	res, err := driver.Run(s3, exec, []driver.Arrival{

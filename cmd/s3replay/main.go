@@ -40,19 +40,20 @@ func main() {
 		inputGB   = flag.Int("inputgb", 160, "input size in GB")
 		blockMB   = flag.Int("blockmb", 64, "block size in MB")
 		perJob    = flag.Bool("perjob", false, "print the per-job audit table (first scheme)")
+		traceJSON = flag.String("tracejson", "", "write the first scheme's span tree as Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
 	if *tracePath == "" {
 		fmt.Fprintln(os.Stderr, "s3replay: -trace is required")
 		os.Exit(2)
 	}
-	if err := run(*tracePath, *schedList, *inputGB, *blockMB, *perJob); err != nil {
+	if err := run(*tracePath, *schedList, *inputGB, *blockMB, *perJob, *traceJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "s3replay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, schedList string, inputGB, blockMB int, perJob bool) error {
+func run(tracePath, schedList string, inputGB, blockMB int, perJob bool, traceJSON string) error {
 	f, err := os.Open(tracePath)
 	if err != nil {
 		return err
@@ -89,14 +90,39 @@ func run(tracePath, schedList string, inputGB, blockMB int, perJob bool) error {
 		if err != nil {
 			return err
 		}
-		sched, err := buildScheduler(name, plan)
+		var opts driver.Options
+		var spans *trace.Log
+		if traceJSON != "" && i == 0 {
+			spans, err = trace.New(1 << 16)
+			if err != nil {
+				return err
+			}
+			opts.Spans = spans
+		}
+		// The traced scheme shares the span log, so the JQM's per-job
+		// lifetime spans land in the same Chrome trace as the driver's.
+		sched, err := buildScheduler(name, plan, spans)
 		if err != nil {
 			return err
 		}
 		exec := sim.NewExecutor(sim.NewCluster(experiments.Nodes, experiments.SlotsPerNode), store, experiments.NormalModel())
-		res, err := driver.Run(sched, exec, arrivals)
+		res, err := driver.RunOpts(sched, exec, arrivals, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
+		}
+		if spans != nil {
+			out, err := os.Create(traceJSON)
+			if err != nil {
+				return err
+			}
+			if err := spans.WriteChromeTrace(out); err != nil {
+				out.Close()
+				return err
+			}
+			if err := out.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", traceJSON)
 		}
 		sum, err := res.Metrics.Summarize(sched.Name())
 		if err != nil {
@@ -122,8 +148,7 @@ func run(tracePath, schedList string, inputGB, blockMB int, perJob bool) error {
 	return nil
 }
 
-func buildScheduler(name string, plan *dfs.SegmentPlan) (scheduler.Scheduler, error) {
-	var log *trace.Log
+func buildScheduler(name string, plan *dfs.SegmentPlan, log *trace.Log) (scheduler.Scheduler, error) {
 	switch {
 	case name == "s3":
 		return core.New(plan, log), nil

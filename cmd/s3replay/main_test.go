@@ -23,12 +23,12 @@ func replayPlan(t *testing.T) *dfs.SegmentPlan {
 func TestReplayBuildScheduler(t *testing.T) {
 	plan := replayPlan(t)
 	for _, name := range []string{"s3", "s3-static", "s3-nocircular", "fifo", "mrshare:2:2", "window:30:5"} {
-		if _, err := buildScheduler(name, plan); err != nil {
+		if _, err := buildScheduler(name, plan, nil); err != nil {
 			t.Errorf("buildScheduler(%q): %v", name, err)
 		}
 	}
 	for _, name := range []string{"", "nope", "window:30", "window:x:5", "mrshare:x"} {
-		if _, err := buildScheduler(name, plan); err == nil {
+		if _, err := buildScheduler(name, plan, nil); err == nil {
 			t.Errorf("buildScheduler(%q) should fail", name)
 		}
 	}

@@ -60,7 +60,10 @@ func main() {
 		}
 		var log *trace.Log
 		if (*showTrace || *timeline) && i == 0 {
-			log = trace.New(4096)
+			log, err = trace.New(4096)
+			if err != nil {
+				fatal(err)
+			}
 		}
 		sched, err := buildScheduler(strings.TrimSpace(name), env.Plan, log)
 		if err != nil {

@@ -161,7 +161,7 @@ func TestFailureInjectionSlotCheckerAdapts(t *testing.T) {
 	model := sim.CostModel{ScanMBps: 64}
 	simExec := sim.NewExecutor(cluster, store, model)
 
-	log := trace.New(256)
+	log := trace.MustNew(256)
 	checker := core.NewSlotChecker(0.5, 1.0, log)
 	all := []dfs.NodeID{0, 1, 2, 3}
 	for _, n := range all {

@@ -62,6 +62,11 @@ type S3 struct {
 	// launchedFor records which jobs are in the in-flight round, so a
 	// job submitted mid-round is not credited for a scan it missed.
 	launchedFor map[scheduler.JobID]bool
+	// jobSpans holds each active job's lifetime span (submission to
+	// completion/abort) in the trace log. Telemetry only — not part of
+	// Snapshot/Restore state; jobs restored into a fresh scheduler
+	// simply have no open span.
+	jobSpans map[scheduler.JobID]trace.SpanID
 	// pendingDone queues, per pipelined round whose scan finished
 	// (MapDone) but whose reduce is still draining, the jobs that round
 	// completed. RoundDone pops in round order.
@@ -130,6 +135,15 @@ func (s *S3) Submit(job scheduler.JobMeta, at vclock.Time) error {
 	s.active = append(s.active, js)
 	s.log.Addf(at, trace.JobSubmitted, int(job.ID), start, "s3 split into %d sub-jobs from segment %d", js.Remaining, start)
 	s.log.Addf(at, trace.SubJobAligned, int(job.ID), start, "aligned with %d waiting job(s)", len(s.active)-1)
+	if span := s.log.StartSpan(at, "job", trace.SpanOpts{
+		Cat: "jqm", Job: int(job.ID), Segment: start,
+		Args: []trace.Arg{{Key: "subjobs", Value: fmt.Sprint(js.Remaining)}},
+	}); span != 0 {
+		if s.jobSpans == nil {
+			s.jobSpans = make(map[scheduler.JobID]trace.SpanID)
+		}
+		s.jobSpans[job.ID] = span
+	}
 	return nil
 }
 
@@ -219,6 +233,8 @@ func (s *S3) retireScan(r scheduler.Round, now vclock.Time) []scheduler.JobID {
 		if js.Remaining == 0 {
 			done = append(done, js.Meta.ID)
 			s.log.Addf(now, trace.JobCompleted, int(js.Meta.ID), r.Segment, "s3 started at segment %d", js.StartSegment)
+			s.log.EndSpan(s.jobSpans[js.Meta.ID], now, trace.Arg{Key: "result", Value: "completed"})
+			delete(s.jobSpans, js.Meta.ID)
 			continue
 		}
 		remaining = append(remaining, js)
@@ -269,6 +285,8 @@ func (s *S3) AbortJobs(ids []scheduler.JobID, now vclock.Time) {
 	for _, js := range s.active {
 		if drop[js.Meta.ID] {
 			s.log.Addf(now, trace.JobAborted, int(js.Meta.ID), -1, "s3 %d sub-job(s) unfinished", js.Remaining)
+			s.log.EndSpan(s.jobSpans[js.Meta.ID], now, trace.Arg{Key: "result", Value: "aborted"})
+			delete(s.jobSpans, js.Meta.ID)
 			continue
 		}
 		remaining = append(remaining, js)

@@ -61,7 +61,7 @@ func TestS3SingleJobCircular(t *testing.T) {
 
 func TestS3LateJobJoinsNextSegment(t *testing.T) {
 	p := makePlan(t, 8, 2) // 4 segments
-	log := trace.New(128)
+	log := trace.MustNew(128)
 	s := New(p, log)
 	if err := s.Submit(job(1), 0); err != nil {
 		t.Fatal(err)
@@ -318,5 +318,84 @@ func TestS3ScheduleProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestS3JobLifetimeSpans(t *testing.T) {
+	p := makePlan(t, 8, 2) // 4 segments
+	log := trace.MustNew(128)
+	s := New(p, log)
+	if err := s.Submit(job(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(job(2), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Run one round, abort job 2, then drain job 1.
+	r, _ := s.NextRound(0)
+	s.RoundDone(r, 5)
+	s.AbortJobs([]scheduler.JobID{2}, 6)
+	for {
+		r, ok := s.NextRound(0)
+		if !ok {
+			break
+		}
+		s.RoundDone(r, 10)
+	}
+	byJob := map[int]trace.Span{}
+	for _, sp := range log.Spans() {
+		if sp.Name != "job" {
+			continue
+		}
+		if sp.Cat != "jqm" {
+			t.Errorf("job span cat = %q, want jqm", sp.Cat)
+		}
+		byJob[sp.Job] = sp
+	}
+	if len(byJob) != 2 {
+		t.Fatalf("job spans = %d, want 2", len(byJob))
+	}
+	wantResult := map[int]string{1: "completed", 2: "aborted"}
+	for id, want := range wantResult {
+		sp, ok := byJob[id]
+		if !ok {
+			t.Fatalf("no span for job %d", id)
+		}
+		if !sp.Ended {
+			t.Errorf("job %d span not ended", id)
+		}
+		var got string
+		for _, a := range sp.Args {
+			if a.Key == "result" {
+				got = a.Value
+			}
+		}
+		if got != want {
+			t.Errorf("job %d result arg = %q, want %q", id, got, want)
+		}
+	}
+	if byJob[1].End != 10 {
+		t.Errorf("job 1 span end = %v, want 10", byJob[1].End)
+	}
+	if byJob[2].End != 6 {
+		t.Errorf("job 2 span end = %v, want 6", byJob[2].End)
+	}
+}
+
+func TestS3NilLogSpansSafe(t *testing.T) {
+	p := makePlan(t, 4, 2)
+	s := New(p, nil)
+	if err := s.Submit(job(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		r, ok := s.NextRound(0)
+		if !ok {
+			break
+		}
+		s.RoundDone(r, 0)
+	}
+	if s.jobSpans != nil {
+		t.Errorf("jobSpans allocated with nil log")
 	}
 }

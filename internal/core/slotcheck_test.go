@@ -16,7 +16,7 @@ func ids(ns ...int) []dfs.NodeID {
 }
 
 func TestSlotCheckerExcludesSlowNode(t *testing.T) {
-	log := trace.New(32)
+	log := trace.MustNew(32)
 	sc := NewSlotChecker(0.5, 1.0, log)
 	all := ids(0, 1, 2, 3)
 	sc.Observe(0, 1.0, 0)
@@ -41,7 +41,7 @@ func TestSlotCheckerExcludesSlowNode(t *testing.T) {
 }
 
 func TestSlotCheckerRestoresRecoveredNode(t *testing.T) {
-	log := trace.New(32)
+	log := trace.MustNew(32)
 	sc := NewSlotChecker(0.5, 1.0, log)
 	all := ids(0, 1)
 	sc.Observe(0, 1.0, 0)

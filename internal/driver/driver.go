@@ -40,6 +40,15 @@ type TimedExecutor interface {
 	ExecRoundAt(r scheduler.Round, now vclock.Time) (vclock.Duration, error)
 }
 
+// TimeSensitive refines TimedExecutor for executors whose ExecRoundAt
+// only sometimes differs from ExecRound (the simulator is
+// time-dependent only while a fault model is installed). When it
+// reports false, the serial driver is free to use the telemetry
+// stage-split path instead of ExecRoundAt.
+type TimeSensitive interface {
+	TimeDependent() bool
+}
+
 // FailureReporter is implemented by executors that isolate per-job
 // failures: a round may succeed while individual jobs' map/reduce code
 // failed. The driver drains the reports after each round, fails those
@@ -133,7 +142,7 @@ func sortedArrivals(arrivals []Arrival) ([]Arrival, error) {
 // RunWithHooks is Run with observation callbacks. It always runs the
 // serial round loop; RunOpts selects the pipelined loop when asked to.
 func RunWithHooks(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, hooks Hooks) (*Result, error) {
-	return runSerial(sched, exec, arrivals, hooks, 0)
+	return runSerial(sched, exec, arrivals, Options{Hooks: hooks})
 }
 
 // handleRoundLoss processes a round-loss error: advance the clock by
@@ -164,7 +173,7 @@ func handleRoundLoss(sched scheduler.Scheduler, clock *vclock.Virtual, coll *met
 // includes them. failedSoFar persists across rounds — under pipelining
 // a failure drained at an earlier round's retire must not be
 // double-counted when a later round reports the same job completed.
-func settleRound(sched scheduler.Scheduler, exec Executor, coll *metrics.Collector, hooks Hooks,
+func settleRound(sched scheduler.Scheduler, exec Executor, coll *metrics.Collector, hooks Hooks, tele *telemetry,
 	r scheduler.Round, now vclock.Time, completed []scheduler.JobID, failedSoFar map[scheduler.JobID]bool) error {
 	var fresh []scheduler.JobID
 	if fr, ok := exec.(FailureReporter); ok {
@@ -174,6 +183,7 @@ func settleRound(sched scheduler.Scheduler, exec Executor, coll *metrics.Collect
 			}
 			failedSoFar[jf.ID] = true
 			coll.Fail(jf.ID, now)
+			tele.jobFailed()
 			fresh = append(fresh, jf.ID)
 		}
 	}
@@ -184,6 +194,7 @@ func settleRound(sched scheduler.Scheduler, exec Executor, coll *metrics.Collect
 			continue // recorded as failed, and already retired by the scheduler
 		}
 		coll.Complete(id, now)
+		tele.jobCompleted(coll, id)
 	}
 	var abort []scheduler.JobID
 	for _, id := range fresh {
@@ -212,11 +223,13 @@ func finishStats(exec Executor, coll *metrics.Collector) {
 	}
 }
 
-func runSerial(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, hooks Hooks, maxRequeues int) (*Result, error) {
+func runSerial(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, opts Options) (*Result, error) {
 	evs, err := sortedArrivals(arrivals)
 	if err != nil {
 		return nil, err
 	}
+	hooks := opts.Hooks
+	maxRequeues := opts.MaxRequeues
 	if maxRequeues <= 0 {
 		maxRequeues = DefaultMaxRequeues
 	}
@@ -224,6 +237,8 @@ func runSerial(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, hoo
 	clock := vclock.NewVirtual()
 	coll := metrics.NewCollector()
 	res := &Result{Metrics: coll}
+	tele := newTelemetry(opts)
+	tele.beginRun(sched.Name(), clock.Now())
 	next := 0     // index of next undelivered arrival
 	requeues := 0 // consecutive requeues of the current round
 	failed := make(map[scheduler.JobID]bool)
@@ -235,6 +250,7 @@ func runSerial(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, hoo
 				return err
 			}
 			coll.Submit(a.Job.ID, a.At)
+			tele.jobSubmitted()
 			next++
 		}
 		return nil
@@ -282,15 +298,45 @@ func runSerial(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, hoo
 		// The launch of a round is each included job's transition
 		// from waiting to processing (§III-B decomposition).
 		for _, id := range r.JobIDs() {
-			coll.Start(id, now)
+			if coll.Start(id, now) {
+				tele.jobStarted(coll, id)
+			}
 		}
 		if hooks.OnRoundStart != nil {
 			hooks.OnRoundStart(r, now)
 		}
-		var dur vclock.Duration
+		launch := now
+		var dur, mapDur, redDur vclock.Duration
 		var err error
-		if te, timed := exec.(TimedExecutor); timed {
+		split := false
+		te, timed := exec.(TimedExecutor)
+		if timed && tele.active() {
+			// An executor that knows it is currently time-independent
+			// frees the telemetry path to split stages.
+			if ts, ok := exec.(TimeSensitive); ok && !ts.TimeDependent() {
+				if _, staged := exec.(StageExecutor); staged {
+					timed = false
+				}
+			}
+		}
+		if timed {
 			dur, err = te.ExecRoundAt(r, now)
+		} else if se, staged := exec.(StageExecutor); staged && tele.active() {
+			// Telemetry wants per-stage timings. ExecMapStage + stage()
+			// is the same computation ExecRound performs (the
+			// StageExecutor contract), just with the boundary visible.
+			var stage ReduceStage
+			mapDur, stage, err = se.ExecMapStage(r)
+			if err == nil {
+				if stage == nil {
+					return nil, fmt.Errorf("driver: executor returned a nil reduce stage for segment %d", r.Segment)
+				}
+				redDur, err = stage()
+				if err == nil {
+					dur = mapDur + redDur
+					split = true
+				}
+			}
 		} else {
 			dur, err = exec.ExecRound(r)
 		}
@@ -301,6 +347,7 @@ func runSerial(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, hoo
 				if lerr := handleRoundLoss(sched, clock, coll, r, lost, requeues, maxRequeues); lerr != nil {
 					return nil, lerr
 				}
+				tele.roundLost(r)
 				// Arrivals during the failed attempt still join the
 				// queue; the re-formed round aligns them too.
 				continue
@@ -320,12 +367,21 @@ func runSerial(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, hoo
 		if err := deliverDue(now); err != nil {
 			return nil, err
 		}
+		// Record the round before settling so rounds-per-job counts
+		// include the round a job completes in.
+		mapEnd := launch.Add(mapDur)
+		if !split {
+			mapEnd, mapDur, redDur = now, dur, 0
+		}
+		tele.recordRound(r, res.Rounds-1, launch, mapEnd, mapEnd, now, now, mapDur, redDur, split)
 		completed := sched.RoundDone(r, now)
-		if err := settleRound(sched, exec, coll, hooks, r, now, completed, failed); err != nil {
+		if err := settleRound(sched, exec, coll, hooks, tele, r, now, completed, failed); err != nil {
 			return nil, err
 		}
+		tele.queueDepth(sched.PendingJobs())
 	}
 	finishStats(exec, coll)
 	res.End = clock.Now()
+	tele.endRun(coll, res.End, res.Rounds)
 	return res, nil
 }

@@ -160,6 +160,24 @@ func (e *EngineExecutor) WireFaultTrace(log *trace.Log) {
 	})
 }
 
+// WireTaskTrace forwards the engine's task lifecycle events (attempt
+// commits, speculative launches) into the trace log, timestamped on
+// the executor's wall clock.
+func (e *EngineExecutor) WireTaskTrace(log *trace.Log) {
+	e.engine.SetTaskObserver(func(ev mapreduce.TaskEvent) {
+		kind := trace.TaskCommitted
+		if ev.Kind == mapreduce.TaskSpeculated {
+			kind = trace.TaskSpeculated
+		}
+		locality := "remote"
+		if ev.Local {
+			locality = "local"
+		}
+		log.Addf(e.clock.Now(), kind, -1, -1, "block %v node %d attempt %d %s jobs=%d dur=%v",
+			ev.Block, int(ev.Node), ev.Attempt, locality, ev.Jobs, ev.Dur)
+	})
+}
+
 // SetOutputMode selects the output collection scheme. Must be called
 // before the first round.
 func (e *EngineExecutor) SetOutputMode(mode OutputMode) {

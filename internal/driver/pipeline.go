@@ -6,6 +6,7 @@ import (
 
 	"s3sched/internal/metrics"
 	"s3sched/internal/scheduler"
+	"s3sched/internal/trace"
 	"s3sched/internal/vclock"
 )
 
@@ -51,6 +52,16 @@ type Options struct {
 	// the driver gives up (default DefaultMaxRequeues).
 	MaxRequeues int
 	Hooks       Hooks
+	// Spans, when set, receives the run's hierarchical span tree
+	// (run → round → scan/reduce stage → per-job subjob) in vclock
+	// time. Export it with trace.WriteChromeTrace.
+	Spans *trace.Log
+	// Metrics, when set, receives live counter/gauge/histogram updates
+	// as the run progresses (see metrics.NewRunMetrics). With either
+	// sink set, the serial loop splits stage-capable executors into
+	// scan+reduce to attribute time per stage; the composition is
+	// semantically identical to ExecRound.
+	Metrics *metrics.RunMetrics
 }
 
 // RunOpts is Run with explicit execution options.
@@ -62,7 +73,7 @@ func RunOpts(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, opts 
 			return runPipelined(sched, sa, se, arrivals, opts)
 		}
 	}
-	return runSerial(sched, exec, arrivals, opts.Hooks, opts.MaxRequeues)
+	return runSerial(sched, exec, arrivals, opts)
 }
 
 type stageOutcome struct {
@@ -78,6 +89,7 @@ type pendingRound struct {
 	stage    ReduceStage
 	mapStart vclock.Time
 	mapEnd   vclock.Time
+	mapDur   vclock.Duration
 	outcome  chan stageOutcome
 	// got/out stash a received outcome so non-blocking polls are not
 	// lost when the round cannot retire yet.
@@ -113,6 +125,8 @@ func runPipelined(sched scheduler.Scheduler, sa scheduler.StageAware, exec Stage
 	clock := vclock.NewVirtual()
 	coll := metrics.NewCollector()
 	res := &Result{Metrics: coll}
+	tele := newTelemetry(opts)
+	tele.beginRun(sched.Name(), clock.Now())
 	next := 0     // index of next undelivered arrival
 	requeues := 0 // consecutive requeues of the current round
 	failed := make(map[scheduler.JobID]bool)
@@ -124,6 +138,7 @@ func runPipelined(sched scheduler.Scheduler, sa scheduler.StageAware, exec Stage
 				return err
 			}
 			coll.Submit(a.Job.ID, a.At)
+			tele.jobSubmitted()
 			next++
 		}
 		return nil
@@ -220,10 +235,14 @@ func runPipelined(sched scheduler.Scheduler, sa scheduler.StageAware, exec Stage
 			ReduceEnd:   end,
 			Retired:     ret,
 		})
+		// Record before settling so rounds-per-job counts include the
+		// round a job completes in.
+		tele.recordRound(h.r, h.seq, h.mapStart, h.mapEnd, start, end, ret, h.mapDur, h.out.dur, true)
 		completed := sched.RoundDone(h.r, ret)
-		if err := settleRound(sched, exec, coll, hooks, h.r, ret, completed, failed); err != nil {
+		if err := settleRound(sched, exec, coll, hooks, tele, h.r, ret, completed, failed); err != nil {
 			return err
 		}
+		tele.queueDepth(sched.PendingJobs())
 		inflight = inflight[1:]
 		return nil
 	}
@@ -310,7 +329,9 @@ func runPipelined(sched scheduler.Scheduler, sa scheduler.StageAware, exec Stage
 			break
 		}
 		for _, id := range r.JobIDs() {
-			coll.Start(id, now)
+			if coll.Start(id, now) {
+				tele.jobStarted(coll, id)
+			}
 		}
 		if hooks.OnRoundStart != nil {
 			hooks.OnRoundStart(r, now)
@@ -327,6 +348,7 @@ func runPipelined(sched scheduler.Scheduler, sa scheduler.StageAware, exec Stage
 					drainOutstanding()
 					return nil, lerr
 				}
+				tele.roundLost(r)
 				continue
 			}
 			drainOutstanding()
@@ -353,6 +375,7 @@ func runPipelined(sched scheduler.Scheduler, sa scheduler.StageAware, exec Stage
 			stage:    stage,
 			mapStart: now,
 			mapEnd:   mapEnd,
+			mapDur:   mapDur,
 			outcome:  make(chan stageOutcome, 1),
 		}
 		seq++
@@ -361,5 +384,6 @@ func runPipelined(sched scheduler.Scheduler, sa scheduler.StageAware, exec Stage
 	}
 	finishStats(exec, coll)
 	res.End = clock.Now()
+	tele.endRun(coll, res.End, res.Rounds)
 	return res, nil
 }

@@ -1,0 +1,175 @@
+package driver
+
+import (
+	"strconv"
+
+	"s3sched/internal/metrics"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/trace"
+	"s3sched/internal/vclock"
+)
+
+// telemetry is the driver's observability sink: a span log (hierarchy
+// run → round → scan-stage/reduce-stage → per-job subjob) and a live
+// metrics bundle. Both sinks are optional; a nil *telemetry (no sink
+// configured) makes every method a no-op, so the run loops call it
+// unconditionally.
+//
+// Everything recorded here is a pure function of virtual-clock times
+// and round compositions, so a deterministic executor (the simulator)
+// yields byte-identical metric snapshots and identical span trees
+// across runs — the property the telemetry tests pin down.
+type telemetry struct {
+	log *trace.Log
+	rm  *metrics.RunMetrics
+	run trace.SpanID
+	// roundsOf counts rounds each job rode, observed into JobRounds at
+	// completion.
+	roundsOf map[scheduler.JobID]int
+}
+
+// newTelemetry returns nil when opts carries no sink.
+func newTelemetry(opts Options) *telemetry {
+	if opts.Spans == nil && opts.Metrics == nil {
+		return nil
+	}
+	return &telemetry{
+		log:      opts.Spans,
+		rm:       opts.Metrics,
+		roundsOf: make(map[scheduler.JobID]int),
+	}
+}
+
+// active reports whether telemetry wants per-stage timings; the serial
+// loop only splits rounds into stages when it does.
+func (t *telemetry) active() bool { return t != nil }
+
+func (t *telemetry) beginRun(scheme string, at vclock.Time) {
+	if t == nil {
+		return
+	}
+	t.run = t.log.StartSpan(at, "run", trace.SpanOpts{
+		Cat: "driver", Job: -1, Segment: -1,
+		Args: []trace.Arg{{Key: "scheme", Value: scheme}},
+	})
+}
+
+func (t *telemetry) jobSubmitted() {
+	if t == nil || t.rm == nil {
+		return
+	}
+	t.rm.JobsSubmitted.Inc()
+}
+
+// jobStarted records a job's waiting interval the first time a round
+// includes it.
+func (t *telemetry) jobStarted(coll *metrics.Collector, id scheduler.JobID) {
+	if t == nil || t.rm == nil {
+		return
+	}
+	if w, err := coll.WaitingTime(id); err == nil {
+		t.rm.JobWaiting.Observe(w.Seconds())
+	}
+}
+
+// recordRound records one retired round: its span subtree and its
+// duration/batch histograms. split reports whether the scan/reduce
+// boundary is known; without it only the whole-round histogram is
+// observed. The histograms observe the executor-reported stage
+// durations (mapDur/redDur), not differences of absolute span times:
+// durations are identical between serial and pipelined execution of
+// the same priced workload down to the last bit, while absolute
+// placement (and hence time differences) rounds differently.
+func (t *telemetry) recordRound(r scheduler.Round, seq int,
+	mapStart, mapEnd, redStart, redEnd, retired vclock.Time,
+	mapDur, redDur vclock.Duration, split bool) {
+	if t == nil {
+		return
+	}
+	for _, id := range r.JobIDs() {
+		t.roundsOf[id]++
+	}
+	if t.log != nil {
+		round := t.log.StartSpan(mapStart, "round", trace.SpanOpts{
+			Cat: "driver", Parent: t.run, Job: -1, Segment: r.Segment,
+			Args: []trace.Arg{
+				{Key: "seq", Value: strconv.Itoa(seq)},
+				{Key: "batch", Value: strconv.Itoa(len(r.Jobs))},
+				{Key: "blocks", Value: strconv.Itoa(len(r.Blocks))},
+			},
+		})
+		if split {
+			scan := t.log.StartSpan(mapStart, "scan-stage", trace.SpanOpts{
+				Cat: "driver", Parent: round, Job: -1, Segment: r.Segment})
+			t.log.EndSpan(scan, mapEnd)
+			red := t.log.StartSpan(redStart, "reduce-stage", trace.SpanOpts{
+				Cat: "driver", Parent: round, Job: -1, Segment: r.Segment})
+			t.log.EndSpan(red, redEnd)
+		}
+		for _, sj := range r.Jobs {
+			sub := t.log.StartSpan(mapStart, "subjob", trace.SpanOpts{
+				Cat: "driver", Parent: round, Job: int(sj.ID), Segment: r.Segment})
+			t.log.EndSpan(sub, redEnd)
+		}
+		t.log.EndSpan(round, retired)
+	}
+	if t.rm != nil {
+		t.rm.RoundsTotal.Inc()
+		t.rm.BatchWidth.Observe(float64(len(r.Jobs)))
+		t.rm.RoundDuration.Observe((mapDur + redDur).Seconds())
+		if split {
+			t.rm.RoundScan.Observe(mapDur.Seconds())
+			t.rm.RoundReduce.Observe(redDur.Seconds())
+		}
+	}
+}
+
+func (t *telemetry) roundLost(r scheduler.Round) {
+	if t == nil || t.rm == nil {
+		return
+	}
+	t.rm.RequeuedRounds.Inc()
+	t.rm.RequeuedSubJobs.Add(float64(len(r.Jobs)))
+}
+
+func (t *telemetry) jobCompleted(coll *metrics.Collector, id scheduler.JobID) {
+	if t == nil || t.rm == nil {
+		return
+	}
+	t.rm.JobsCompleted.Inc()
+	if rt, err := coll.ResponseTime(id); err == nil {
+		t.rm.JobResponse.Observe(rt.Seconds())
+	}
+	t.rm.JobRounds.Observe(float64(t.roundsOf[id]))
+}
+
+func (t *telemetry) jobFailed() {
+	if t == nil || t.rm == nil {
+		return
+	}
+	t.rm.JobsFailed.Inc()
+}
+
+func (t *telemetry) queueDepth(n int) {
+	if t == nil || t.rm == nil {
+		return
+	}
+	t.rm.QueueDepth.Set(float64(n))
+}
+
+// endRun closes the run span and folds the collector's end-of-run
+// fault counters into the registry. FailedJobs is excluded — jobFailed
+// already counted each failure as it was drained.
+func (t *telemetry) endRun(coll *metrics.Collector, at vclock.Time, rounds int) {
+	if t == nil {
+		return
+	}
+	t.log.EndSpan(t.run, at, trace.Arg{Key: "rounds", Value: strconv.Itoa(rounds)})
+	if t.rm != nil {
+		t.rm.VirtualTime.Set(float64(at))
+		fs := coll.FaultStats()
+		t.rm.RetriesTotal.Add(float64(fs.Retries))
+		t.rm.FailedAttemptsTotal.Add(float64(fs.FailedAttempts))
+		t.rm.BlacklistedNodes.Add(float64(fs.BlacklistedNodes))
+	}
+}

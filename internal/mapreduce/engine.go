@@ -93,6 +93,30 @@ type FaultEvent struct {
 	Err     error
 }
 
+// Task event kinds reported to the engine's task observer.
+const (
+	// TaskCommitted: a map attempt finished and won the commit — its
+	// output is the one every job in the batch sees for the block.
+	TaskCommitted = "task-committed"
+	// TaskSpeculated: a straggler attempt was duplicated on another
+	// node (speculative execution).
+	TaskSpeculated = "task-speculated"
+)
+
+// TaskEvent notifies the observer of one map-task lifecycle action
+// inside a round, so callers can surface per-attempt execution in
+// traces. Dur is the committed attempt's measured wall duration (zero
+// for TaskSpeculated).
+type TaskEvent struct {
+	Kind    string // TaskCommitted or TaskSpeculated
+	Block   dfs.BlockID
+	Node    dfs.NodeID
+	Attempt int // 1-based attempt number that committed (1 for speculative duplicates)
+	Local   bool
+	Jobs    int // jobs sharing the committed scan
+	Dur     time.Duration
+}
+
 // BlockLostError reports that a block could not be read by any allowed
 // attempt: every retry and replica failover failed. The round carrying
 // the block is lost and must be re-driven by the scheduling layer.
@@ -123,9 +147,10 @@ type Engine struct {
 	// duplicated on another node and the first finisher wins. The
 	// paper's experiments disable speculation (§V-A), which is also
 	// this engine's default.
-	speculation float64
-	retry       RetryPolicy
-	observer    func(FaultEvent)
+	speculation  float64
+	retry        RetryPolicy
+	observer     func(FaultEvent)
+	taskObserver func(TaskEvent)
 }
 
 // NewEngine returns an engine over the cluster. Speculative execution
@@ -164,6 +189,17 @@ func (e *Engine) SetFaultObserver(fn func(FaultEvent)) { e.observer = fn }
 func (e *Engine) notify(ev FaultEvent) {
 	if e.observer != nil {
 		e.observer(ev)
+	}
+}
+
+// SetTaskObserver installs a callback invoked on task lifecycle events
+// (attempt commits, speculative launches). The callback must be safe
+// for concurrent use; nil clears it.
+func (e *Engine) SetTaskObserver(fn func(TaskEvent)) { e.taskObserver = fn }
+
+func (e *Engine) notifyTask(ev TaskEvent) {
+	if e.taskObserver != nil {
+		e.taskObserver(ev)
 	}
 }
 
@@ -298,6 +334,7 @@ func (e *Engine) MapRoundCtx(ctx context.Context, blocks []dfs.BlockID, jobs []*
 			outs[j] = jobOut{parts: parts, counts: counts, ok: true}
 		}
 
+		elapsed := time.Since(begin)
 		mu.Lock()
 		if committed[i] || roundErr != nil {
 			mu.Unlock()
@@ -305,13 +342,15 @@ func (e *Engine) MapRoundCtx(ctx context.Context, blocks []dfs.BlockID, jobs []*
 		}
 		committed[i] = true
 		remaining--
-		durations = append(durations, time.Since(begin))
+		durations = append(durations, elapsed)
 		stats.BytesScanned += int64(len(data))
 		stats.MapTasks += len(jobs)
 		if asg.local {
 			stats.LocalTasks++
 		}
 		mu.Unlock()
+		e.notifyTask(TaskEvent{Kind: TaskCommitted, Block: asg.block, Node: asg.node.ID,
+			Attempt: attempt, Local: asg.local, Jobs: len(jobs), Dur: elapsed})
 
 		for j, job := range jobs {
 			if !outs[j].ok {
@@ -406,6 +445,7 @@ func (e *Engine) MapRoundCtx(ctx context.Context, blocks []dfs.BlockID, jobs []*
 				} else if poll > 10*time.Millisecond {
 					poll = 10 * time.Millisecond
 				}
+				var specEvents []TaskEvent
 				for i, asg := range assignments {
 					if committed[i] || speculated[i] {
 						continue
@@ -415,6 +455,8 @@ func (e *Engine) MapRoundCtx(ctx context.Context, blocks []dfs.BlockID, jobs []*
 						stats.Speculative++
 						other := e.speculativeNode(asg.block, asg.node)
 						dup := assignment{block: asg.block, node: other, local: e.cluster.store.HasLocal(asg.block, other.ID)}
+						specEvents = append(specEvents, TaskEvent{Kind: TaskSpeculated, Block: asg.block,
+							Node: other.ID, Attempt: 1, Local: dup.local, Jobs: len(jobs)})
 						wg.Add(1)
 						go func(i int, dup assignment) {
 							defer wg.Done()
@@ -426,6 +468,9 @@ func (e *Engine) MapRoundCtx(ctx context.Context, blocks []dfs.BlockID, jobs []*
 					}
 				}
 				mu.Unlock()
+				for _, ev := range specEvents {
+					e.notifyTask(ev)
+				}
 				timer.Reset(poll)
 			}
 		}()

@@ -1,0 +1,69 @@
+package mapreduce
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTaskObserverCommits asserts every block commits exactly one map
+// attempt and reports it to the task observer with the batch width.
+func TestTaskObserverCommits(t *testing.T) {
+	cluster, _ := testCluster(t, 3, textBlocks("a b", "c d", "e f", "g h"))
+	e := NewEngine(cluster)
+
+	var mu sync.Mutex
+	var events []TaskEvent
+	e.SetTaskObserver(func(ev TaskEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+
+	j1, err := NewRunning(wordCountSpec("wc1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := NewRunning(wordCountSpec("wc2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := cluster.Store().File("input")
+	if _, err := e.MapRound(f.Blocks(), []*Running{j1, j2}); err != nil {
+		t.Fatalf("MapRound: %v", err)
+	}
+
+	if len(events) != len(f.Blocks()) {
+		t.Fatalf("events = %d, want %d (one commit per block)", len(events), len(f.Blocks()))
+	}
+	seen := map[string]bool{}
+	for _, ev := range events {
+		if ev.Kind != TaskCommitted {
+			t.Errorf("event kind = %q, want %q", ev.Kind, TaskCommitted)
+		}
+		if ev.Jobs != 2 {
+			t.Errorf("event jobs = %d, want 2", ev.Jobs)
+		}
+		if ev.Attempt != 1 {
+			t.Errorf("event attempt = %d, want 1 (no faults injected)", ev.Attempt)
+		}
+		key := ev.Block.String()
+		if seen[key] {
+			t.Errorf("block %v committed twice", ev.Block)
+		}
+		seen[key] = true
+	}
+
+	// Clearing the observer stops delivery.
+	e.SetTaskObserver(nil)
+	j3, err := NewRunning(wordCountSpec("wc3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(events)
+	if _, err := e.MapRound(f.Blocks(), []*Running{j3}); err != nil {
+		t.Fatalf("MapRound: %v", err)
+	}
+	if len(events) != before {
+		t.Errorf("events after clearing observer: %d, want %d", len(events), before)
+	}
+}

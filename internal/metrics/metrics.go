@@ -137,8 +137,10 @@ func (c *Collector) Submit(id scheduler.JobID, t vclock.Time) {
 
 // Start records the first time job id was included in a launched
 // round. Only the first call per job takes effect, so callers may
-// report every round's batch without bookkeeping.
-func (c *Collector) Start(id scheduler.JobID, t vclock.Time) {
+// report every round's batch without bookkeeping. It reports whether
+// this call was the first — the moment the job's waiting interval
+// became known — so telemetry can observe it exactly once.
+func (c *Collector) Start(id scheduler.JobID, t vclock.Time) bool {
 	sub, ok := c.submitted[id]
 	if !ok {
 		panic(fmt.Sprintf("metrics: job %d started but never submitted", id))
@@ -147,9 +149,10 @@ func (c *Collector) Start(id scheduler.JobID, t vclock.Time) {
 		panic(fmt.Sprintf("metrics: job %d started at %v before submission at %v", id, t, sub))
 	}
 	if _, dup := c.started[id]; dup {
-		return
+		return false
 	}
 	c.started[id] = t
+	return true
 }
 
 // Complete records job id finishing at time t. Completing an
@@ -389,11 +392,16 @@ func (c *Collector) MaxResponse() (vclock.Duration, error) {
 	return c.PercentileResponse(100)
 }
 
-// Summary is the measured outcome of one scheduler run.
+// Summary is the measured outcome of one scheduler run. P50/P95/P99
+// are per-job response-time percentiles (nearest-rank), the tail view
+// a mean like ART hides.
 type Summary struct {
 	Scheme string
 	TET    vclock.Duration
 	ART    vclock.Duration
+	P50    vclock.Duration
+	P95    vclock.Duration
+	P99    vclock.Duration
 }
 
 // Summarize computes a Summary for a completed run.
@@ -406,7 +414,18 @@ func (c *Collector) Summarize(scheme string) (Summary, error) {
 	if err != nil {
 		return Summary{}, err
 	}
-	return Summary{Scheme: scheme, TET: tet, ART: art}, nil
+	s := Summary{Scheme: scheme, TET: tet, ART: art}
+	for _, pct := range []struct {
+		p   float64
+		dst *vclock.Duration
+	}{{50, &s.P50}, {95, &s.P95}, {99, &s.P99}} {
+		v, err := c.PercentileResponse(pct.p)
+		if err != nil {
+			return Summary{}, err
+		}
+		*pct.dst = v
+	}
+	return s, nil
 }
 
 // Report is a set of Summaries normalized against a baseline scheme,
@@ -421,6 +440,9 @@ type ReportRow struct {
 	Scheme  string
 	TET     vclock.Duration
 	ART     vclock.Duration
+	P50     vclock.Duration
+	P95     vclock.Duration
+	P99     vclock.Duration
 	NormTET float64
 	NormART float64
 }
@@ -447,6 +469,9 @@ func Normalize(baseline string, summaries []Summary) (Report, error) {
 			Scheme:  s.Scheme,
 			TET:     s.TET,
 			ART:     s.ART,
+			P50:     s.P50,
+			P95:     s.P95,
+			P99:     s.P99,
 			NormTET: s.TET.Seconds() / base.TET.Seconds(),
 			NormART: s.ART.Seconds() / base.ART.Seconds(),
 		})
@@ -475,10 +500,11 @@ func (r Report) String() string {
 		}
 		return rows[i].Scheme < rows[j].Scheme
 	})
-	out := fmt.Sprintf("%-10s %12s %12s %9s %9s\n", "scheme", "TET", "ART", "TET/base", "ART/base")
+	out := fmt.Sprintf("%-10s %12s %12s %12s %12s %12s %9s %9s\n",
+		"scheme", "TET", "ART", "p50", "p95", "p99", "TET/base", "ART/base")
 	for _, row := range rows {
-		out += fmt.Sprintf("%-10s %12s %12s %9.2f %9.2f\n",
-			row.Scheme, row.TET, row.ART, row.NormTET, row.NormART)
+		out += fmt.Sprintf("%-10s %12s %12s %12s %12s %12s %9.2f %9.2f\n",
+			row.Scheme, row.TET, row.ART, row.P50, row.P95, row.P99, row.NormTET, row.NormART)
 	}
 	return out
 }

@@ -1,0 +1,77 @@
+package metrics
+
+// Standard bucket layouts. Durations cover the sims' virtual seconds
+// (sub-second stages up to multi-thousand-second heavy runs); counts
+// cover batch widths and rounds-per-job on a 40-node cluster.
+var (
+	// DurationBuckets are upper bounds in seconds.
+	DurationBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+	// CountBuckets are upper bounds for small integer distributions.
+	CountBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+)
+
+// RunMetrics bundles the standard instruments a driver run records,
+// created against one Registry so /metrics exposes them all. Every
+// field is safe for concurrent use; the whole struct may be nil-checked
+// once and then used freely.
+type RunMetrics struct {
+	// JobResponse observes each surviving job's submission→completion
+	// interval in seconds.
+	JobResponse *Histogram
+	// JobWaiting observes each job's submission→first-round interval.
+	JobWaiting *Histogram
+	// JobRounds observes how many rounds each completed job rode.
+	JobRounds *Histogram
+	// RoundDuration observes each round's total stage work
+	// (scan + reduce), which is identical between serial and pipelined
+	// execution of the same priced workload.
+	RoundDuration *Histogram
+	// RoundScan and RoundReduce observe the stage components when the
+	// executor splits stages.
+	RoundScan   *Histogram
+	RoundReduce *Histogram
+	// BatchWidth observes how many sub-jobs shared each round's scan.
+	BatchWidth *Histogram
+
+	RoundsTotal         *Counter
+	JobsSubmitted       *Counter
+	JobsCompleted       *Counter
+	JobsFailed          *Counter
+	RetriesTotal        *Counter
+	FailedAttemptsTotal *Counter
+	BlacklistedNodes    *Counter
+	RequeuedRounds      *Counter
+	RequeuedSubJobs     *Counter
+
+	// QueueDepth is the number of submitted-but-incomplete jobs after
+	// the most recent settled round.
+	QueueDepth *Gauge
+	// VirtualTime is the run clock at last update, in seconds.
+	VirtualTime *Gauge
+}
+
+// NewRunMetrics registers the standard run instruments on reg.
+func NewRunMetrics(reg *Registry) *RunMetrics {
+	return &RunMetrics{
+		JobResponse:   reg.Histogram("s3_job_response_seconds", "per-job submission-to-completion time", DurationBuckets),
+		JobWaiting:    reg.Histogram("s3_job_waiting_seconds", "per-job submission-to-first-round time", DurationBuckets),
+		JobRounds:     reg.Histogram("s3_job_rounds", "rounds each completed job participated in", CountBuckets),
+		RoundDuration: reg.Histogram("s3_round_seconds", "per-round scan+reduce stage work", DurationBuckets),
+		RoundScan:     reg.Histogram("s3_round_scan_seconds", "per-round scan/map stage duration", DurationBuckets),
+		RoundReduce:   reg.Histogram("s3_round_reduce_seconds", "per-round reduce stage duration", DurationBuckets),
+		BatchWidth:    reg.Histogram("s3_round_batch_jobs", "sub-jobs sharing each round's scan", CountBuckets),
+
+		RoundsTotal:         reg.Counter("s3_rounds_total", "rounds launched"),
+		JobsSubmitted:       reg.Counter("s3_jobs_submitted_total", "jobs submitted to the scheduler"),
+		JobsCompleted:       reg.Counter("s3_jobs_completed_total", "jobs completed"),
+		JobsFailed:          reg.Counter("s3_jobs_failed_total", "jobs terminated with an error"),
+		RetriesTotal:        reg.Counter("s3_retries_total", "block attempts re-executed after a failure"),
+		FailedAttemptsTotal: reg.Counter("s3_failed_attempts_total", "block-read attempts that failed"),
+		BlacklistedNodes:    reg.Counter("s3_blacklisted_nodes_total", "nodes marked down after consecutive failures"),
+		RequeuedRounds:      reg.Counter("s3_requeued_rounds_total", "lost rounds returned to the scheduler"),
+		RequeuedSubJobs:     reg.Counter("s3_requeued_subjobs_total", "sub-jobs riding requeued rounds"),
+
+		QueueDepth:  reg.Gauge("s3_queue_depth", "submitted-but-incomplete jobs after the last settled round"),
+		VirtualTime: reg.Gauge("s3_virtual_time_seconds", "run clock at last update"),
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"s3sched/internal/mapreduce"
 	"s3sched/internal/scheduler"
+	"s3sched/internal/trace"
 	"s3sched/internal/vclock"
 )
 
@@ -23,6 +24,11 @@ type Master struct {
 	// timeScale converts measured wall seconds to virtual seconds.
 	timeScale float64
 	clock     *vclock.Wall
+	// log, when non-nil, records one TaskDispatched event per issued
+	// RPC, tagged with a correlation id the worker echoes into its own
+	// trace. roundSeq numbers rounds for those ids.
+	log      *trace.Log
+	roundSeq int
 
 	mu sync.Mutex
 	// partitions[job][p] accumulates job's shuffle records.
@@ -62,6 +68,11 @@ func (m *Master) SetTimeScale(scale float64) {
 	}
 	m.timeScale = scale
 }
+
+// SetTrace installs a trace log recording every dispatched task with
+// its correlation id. nil clears it (and stops sending Corr to
+// workers). Call before the first round.
+func (m *Master) SetTrace(log *trace.Log) { m.log = log }
 
 // Close drops all worker connections.
 func (m *Master) Close() error {
@@ -126,11 +137,17 @@ func (m *Master) ExecRound(r scheduler.Round) (vclock.Duration, error) {
 		errMu    sync.Mutex
 		firstErr error
 	)
+	seq := m.roundSeq
+	m.roundSeq++
 	for _, b := range r.Blocks {
 		wg.Add(1)
 		go func(file string, idx int) {
 			defer wg.Done()
-			reply, err := m.mapWithFailover(file, idx, refs)
+			var corr string
+			if m.log != nil {
+				corr = fmt.Sprintf("r%d.m%d", seq, idx)
+			}
+			reply, err := m.mapWithFailover(corr, file, idx, refs)
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil {
@@ -177,13 +194,15 @@ func isTransportError(err error) bool {
 // other worker. Task-level errors are returned immediately; transport
 // errors rotate to the next worker. Retried tasks re-execute from the
 // locally regenerated block, so results are unaffected.
-func (m *Master) mapWithFailover(file string, idx int, refs []JobRef) (*MapTaskReply, error) {
+func (m *Master) mapWithFailover(corr, file string, idx int, refs []JobRef) (*MapTaskReply, error) {
 	home := idx % len(m.clients)
 	var lastErr error
 	for off := 0; off < len(m.clients); off++ {
-		client := m.clients[(home+off)%len(m.clients)]
+		worker := (home + off) % len(m.clients)
+		client := m.clients[worker]
+		m.log.Addf(m.clock.Now(), trace.TaskDispatched, -1, -1, "corr=%s map %s#%d worker %d attempt %d", corr, file, idx, worker, off+1)
 		var reply MapTaskReply
-		err := client.Call("Worker.ExecMap", &MapTaskArgs{File: file, BlockIndex: idx, Jobs: refs}, &reply)
+		err := client.Call("Worker.ExecMap", &MapTaskArgs{File: file, BlockIndex: idx, Jobs: refs, Corr: corr}, &reply)
 		if err == nil {
 			if off > 0 {
 				m.mu.Lock()
@@ -201,13 +220,15 @@ func (m *Master) mapWithFailover(file string, idx int, refs []JobRef) (*MapTaskR
 }
 
 // reduceWithFailover mirrors mapWithFailover for reduce tasks.
-func (m *Master) reduceWithFailover(ref JobRef, p int, records []mapreduce.KV) ([]mapreduce.KV, error) {
+func (m *Master) reduceWithFailover(corr string, ref JobRef, p int, records []mapreduce.KV) ([]mapreduce.KV, error) {
 	home := p % len(m.clients)
 	var lastErr error
 	for off := 0; off < len(m.clients); off++ {
-		client := m.clients[(home+off)%len(m.clients)]
+		worker := (home + off) % len(m.clients)
+		client := m.clients[worker]
+		m.log.Addf(m.clock.Now(), trace.TaskDispatched, -1, -1, "corr=%s reduce %q partition %d worker %d attempt %d", corr, ref.Name, p, worker, off+1)
 		var reply ReduceTaskReply
-		err := client.Call("Worker.ExecReduce", &ReduceTaskArgs{Job: ref, Partition: p, Records: records}, &reply)
+		err := client.Call("Worker.ExecReduce", &ReduceTaskArgs{Job: ref, Partition: p, Records: records, Corr: corr}, &reply)
 		if err == nil {
 			if off > 0 {
 				m.mu.Lock()
@@ -269,7 +290,11 @@ func (m *Master) finishJob(id scheduler.JobID) error {
 		wg.Add(1)
 		go func(p int, records []mapreduce.KV) {
 			defer wg.Done()
-			out, err := m.reduceWithFailover(ref, p, records)
+			var corr string
+			if m.log != nil {
+				corr = fmt.Sprintf("j%d.p%d", id, p)
+			}
+			out, err := m.reduceWithFailover(corr, ref, p, records)
 			errMu.Lock()
 			defer errMu.Unlock()
 			if err != nil && firstErr == nil {

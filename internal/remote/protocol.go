@@ -21,6 +21,10 @@ type MapTaskArgs struct {
 	File       string
 	BlockIndex int
 	Jobs       []JobRef
+	// Corr is the master-assigned correlation id ("r<round>.m<block>"),
+	// echoed into the worker's trace so both sides of the RPC can be
+	// stitched together. Empty when the master traces nothing.
+	Corr string
 }
 
 // MapTaskReply carries the shuffled output: PerJob[i][p] is the slice
@@ -35,6 +39,8 @@ type ReduceTaskArgs struct {
 	Job       JobRef
 	Partition int
 	Records   []mapreduce.KV
+	// Corr is the master-assigned correlation id ("j<job>.p<part>").
+	Corr string
 }
 
 // ReduceTaskReply carries the partition's reduced output.

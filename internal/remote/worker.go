@@ -9,6 +9,8 @@ import (
 
 	"s3sched/internal/dfs"
 	"s3sched/internal/mapreduce"
+	"s3sched/internal/trace"
+	"s3sched/internal/vclock"
 )
 
 // Worker executes map and reduce tasks against its own local block
@@ -18,6 +20,12 @@ import (
 type Worker struct {
 	store    *dfs.Store
 	registry *Registry
+	// log, when non-nil, records one TaskServed event per completed
+	// RPC, echoing the master's correlation id. Timestamps are on the
+	// worker's own wall clock; the corr id — not the clock — is what
+	// joins the two traces.
+	log   *trace.Log
+	clock *vclock.Wall
 
 	mapTasks    atomic.Int64
 	reduceTasks atomic.Int64
@@ -32,8 +40,12 @@ func NewWorker(store *dfs.Store, registry *Registry) *Worker {
 	if store == nil || registry == nil {
 		panic("remote: worker needs a store and a registry")
 	}
-	return &Worker{store: store, registry: registry}
+	return &Worker{store: store, registry: registry, clock: vclock.NewWall()}
 }
+
+// SetTrace installs a trace log recording every served task. nil
+// clears it. Call before Serve.
+func (w *Worker) SetTrace(log *trace.Log) { w.log = log }
 
 // ExecMap implements the MapTask RPC: scan the block once, run every
 // job's mapper over it, combine and partition each job's output.
@@ -64,6 +76,7 @@ func (w *Worker) ExecMap(args *MapTaskArgs, reply *MapTaskReply) error {
 		reply.PerJob[i] = parts
 		w.mapTasks.Add(1)
 	}
+	w.log.Addf(w.clock.Now(), trace.TaskServed, -1, -1, "corr=%s map %s#%d jobs %d bytes %d", args.Corr, args.File, args.BlockIndex, len(args.Jobs), reply.BytesScanned)
 	return nil
 }
 
@@ -80,6 +93,7 @@ func (w *Worker) ExecReduce(args *ReduceTaskArgs, reply *ReduceTaskReply) error 
 	}
 	reply.Output = out
 	w.reduceTasks.Add(1)
+	w.log.Addf(w.clock.Now(), trace.TaskServed, -1, -1, "corr=%s reduce %q partition %d records %d", args.Corr, args.Job.Name, args.Partition, len(args.Records))
 	return nil
 }
 

@@ -127,7 +127,7 @@ func TestFIFOLateArrivalQueues(t *testing.T) {
 
 func TestFIFODuplicateAndWrongFile(t *testing.T) {
 	p := makePlan(t, 4, 2)
-	f := NewFIFO(p, trace.New(16))
+	f := NewFIFO(p, trace.MustNew(16))
 	if err := f.Submit(job(1), 0); err != nil {
 		t.Fatal(err)
 	}

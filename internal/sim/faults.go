@@ -72,6 +72,10 @@ func (e *Executor) SetFaultModel(m FaultModel) error {
 // FaultStats implements driver.FaultStatsSource.
 func (e *Executor) FaultStats() metrics.FaultStats { return e.fstats }
 
+// TimeDependent implements driver.TimeSensitive: pricing depends on
+// the round's launch time only while a fault model is installed.
+func (e *Executor) TimeDependent() bool { return e.fm != nil }
+
 // downAt returns the nodes inside a crash window at time t.
 func (e *Executor) downAt(t vclock.Time) map[int]bool {
 	var down map[int]bool

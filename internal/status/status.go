@@ -14,9 +14,11 @@ import (
 	"html/template"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 
 	"s3sched/internal/driver"
+	"s3sched/internal/metrics"
 	"s3sched/internal/scheduler"
 	"s3sched/internal/vclock"
 )
@@ -50,11 +52,22 @@ type Server struct {
 	mu    sync.RWMutex
 	state State
 	ln    net.Listener
+	// reg, when set, is rendered at /metrics in Prometheus text
+	// exposition format.
+	reg *metrics.Registry
 }
 
 // NewServer returns an empty status server.
 func NewServer(scheme string) *Server {
 	return &Server{state: State{Scheme: scheme}}
+}
+
+// SetRegistry exposes reg's metrics at /metrics (Prometheus text
+// format). Call before Serve; nil removes the endpoint.
+func (s *Server) SetRegistry(reg *metrics.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg = reg
 }
 
 // Update applies f to the published state under the server's lock.
@@ -121,9 +134,32 @@ batch {{.LastRound.BatchSize}}, blocks {{.LastRound.Blocks}}</td></tr>{{end}}
 <p><a href="/status.json">status.json</a></p>
 </body></html>`))
 
-// Handler returns the HTTP handler serving / and /status.json.
+// Handler returns the HTTP handler serving / and /status.json, plus
+// /metrics when a registry is set and the Go profiler under
+// /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.RLock()
+		reg := s.reg
+		s.mu.RUnlock()
+		if reg == nil {
+			http.Error(w, "no metrics registry configured", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	// net/http/pprof registers on http.DefaultServeMux; wire its
+	// handlers into this mux explicitly so the server stays
+	// self-contained.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/status.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

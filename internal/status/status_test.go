@@ -11,6 +11,7 @@ import (
 	"s3sched/internal/core"
 	"s3sched/internal/dfs"
 	"s3sched/internal/driver"
+	"s3sched/internal/metrics"
 	"s3sched/internal/scheduler"
 	"s3sched/internal/vclock"
 )
@@ -111,5 +112,71 @@ func TestServeAndClose(t *testing.T) {
 	}
 	if err := s.Close(); err != nil {
 		t.Error("double close should be a no-op")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := NewServer("s3")
+	reg := metrics.NewRegistry()
+	rm := metrics.NewRunMetrics(reg)
+	rm.JobResponse.Observe(12.5)
+	rm.RoundDuration.Observe(3.25)
+	rm.RoundsTotal.Inc()
+	s.SetRegistry(reg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text exposition", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"s3_job_response_seconds_bucket",
+		"s3_job_response_seconds_sum 12.5",
+		"s3_round_seconds_bucket",
+		"s3_rounds_total 1",
+		"# TYPE s3_job_response_seconds histogram",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestMetricsEndpointWithoutRegistry(t *testing.T) {
+	ts := httptest.NewServer(NewServer("s3").Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/metrics without registry status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	ts := httptest.NewServer(NewServer("s3").Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index missing profile listing:\n%.200s", body)
 	}
 }

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event exporter: WriteChromeTrace renders the log's
+// spans and events in the Trace Event Format consumed by
+// about://tracing and Perfetto (ui.perfetto.dev → "Open trace file").
+// Spans become complete ("X") slices, flat events become instants
+// ("i"), and each job gets its own named track so a run reads as a
+// swim-lane diagram: driver rounds on track 0, one lane per job.
+
+// chromeEvent is one object in the traceEvents array. Fields follow
+// the Trace Event Format: ts/dur are microseconds, pid/tid pick the
+// track, ph is the phase ("X" complete, "i" instant, "M" metadata).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object format ({"traceEvents":[...]}),
+// which Perfetto prefers over the bare-array form.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePID = 1
+
+// driverTID is the track for spans and events not tied to a job; job j
+// lands on track j+1 (trace job ids start at 0).
+const driverTID = 0
+
+func chromeTID(job int) int {
+	if job < 0 {
+		return driverTID
+	}
+	return job + 1
+}
+
+// usec converts a vclock time or duration (seconds) to microseconds.
+func usec(seconds float64) float64 { return seconds * 1e6 }
+
+// WriteChromeTrace serializes the retained spans and events as Chrome
+// trace-event JSON. Output is deterministic for a given log: metadata
+// first (tracks sorted by tid), then spans in start order, then events
+// in record order.
+func (l *Log) WriteChromeTrace(w io.Writer) error {
+	spans := l.Spans()
+	events := l.Events()
+
+	tids := map[int]string{driverTID: "driver"}
+	for _, s := range spans {
+		if s.Job >= 0 {
+			tids[chromeTID(s.Job)] = fmt.Sprintf("job %d", s.Job)
+		}
+	}
+	for _, e := range events {
+		if e.Job >= 0 {
+			tids[chromeTID(e.Job)] = fmt.Sprintf("job %d", e.Job)
+		}
+	}
+
+	out := make([]chromeEvent, 0, 1+len(tids)+len(spans)+len(events))
+	out = append(out, chromeEvent{
+		Name: "process_name", Phase: "M", PID: chromePID, TID: driverTID,
+		Args: map[string]any{"name": "s3sched"},
+	})
+	order := make([]int, 0, len(tids))
+	for tid := range tids {
+		order = append(order, tid)
+	}
+	sort.Ints(order)
+	for _, tid := range order {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: chromePID, TID: tid,
+			Args: map[string]any{"name": tids[tid]},
+		})
+	}
+
+	for _, s := range spans {
+		dur := usec(float64(s.End) - float64(s.Start))
+		args := map[string]any{}
+		if s.Job >= 0 {
+			args["job"] = s.Job
+		}
+		if s.Segment >= 0 {
+			args["segment"] = s.Segment
+		}
+		if !s.Ended {
+			args["open"] = true
+		}
+		for _, a := range s.Args {
+			args[a.Key] = a.Value
+		}
+		out = append(out, chromeEvent{
+			Name: s.Name, Cat: s.Cat, Phase: "X",
+			TS: usec(float64(s.Start)), Dur: &dur,
+			PID: chromePID, TID: chromeTID(s.Job), Args: args,
+		})
+	}
+
+	for _, e := range events {
+		args := map[string]any{}
+		if e.Job >= 0 {
+			args["job"] = e.Job
+		}
+		if e.Segment >= 0 {
+			args["segment"] = e.Segment
+		}
+		if e.Detail != "" {
+			args["detail"] = e.Detail
+		}
+		out = append(out, chromeEvent{
+			Name: e.Kind.String(), Cat: "event", Phase: "i",
+			TS: usec(float64(e.At)), PID: chromePID, TID: chromeTID(e.Job),
+			Scope: "t", Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanLifecycle(t *testing.T) {
+	l := MustNew(16)
+	run := l.StartSpan(0, "run", SpanOpts{Cat: "driver", Job: -1, Segment: -1,
+		Args: []Arg{{"scheme", "s3"}}})
+	if run == 0 {
+		t.Fatal("StartSpan returned 0 on a non-full log")
+	}
+	round := l.StartSpan(1, "round", SpanOpts{Cat: "driver", Parent: run, Job: -1, Segment: 2})
+	sub := l.StartSpan(1, "subjob", SpanOpts{Cat: "driver", Parent: round, Job: 0, Segment: 2})
+	l.EndSpan(sub, 3)
+	l.EndSpan(round, 4, Arg{"batch", "1"})
+	l.EndSpan(run, 5)
+
+	spans := l.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("Spans() = %d, want 3", len(spans))
+	}
+	if spans[0].Name != "run" || spans[0].Parent != 0 || !spans[0].Ended || spans[0].End != 5 {
+		t.Fatalf("run span = %+v", spans[0])
+	}
+	if spans[1].Parent != run || spans[1].Segment != 2 {
+		t.Fatalf("round span = %+v", spans[1])
+	}
+	if spans[2].Parent != round || spans[2].Job != 0 || spans[2].Start != 1 || spans[2].End != 3 {
+		t.Fatalf("subjob span = %+v", spans[2])
+	}
+	// Args appended at end land after start args.
+	if got := spans[1].Args; len(got) != 1 || got[0] != (Arg{"batch", "1"}) {
+		t.Fatalf("round args = %+v", got)
+	}
+	if spans[0].Args[0] != (Arg{"scheme", "s3"}) {
+		t.Fatalf("run args = %+v", spans[0].Args)
+	}
+}
+
+func TestSpanNilAndZeroSafe(t *testing.T) {
+	var l *Log
+	if id := l.StartSpan(0, "x", SpanOpts{}); id != 0 {
+		t.Fatalf("nil StartSpan = %d, want 0", id)
+	}
+	l.EndSpan(0, 1)
+	l.EndSpan(7, 1) // unknown id on nil log
+	if l.Spans() != nil || l.DroppedSpans() != 0 {
+		t.Fatal("nil log should be inert")
+	}
+
+	real := MustNew(4)
+	real.EndSpan(0, 1)  // absent span
+	real.EndSpan(99, 1) // unknown id
+	if len(real.Spans()) != 0 {
+		t.Fatal("EndSpan should not create spans")
+	}
+}
+
+func TestSpanOverflowDropsNewKeepsParents(t *testing.T) {
+	l := MustNew(2)
+	a := l.StartSpan(0, "a", SpanOpts{Job: -1, Segment: -1})
+	b := l.StartSpan(1, "b", SpanOpts{Parent: a, Job: -1, Segment: -1})
+	c := l.StartSpan(2, "c", SpanOpts{Parent: b, Job: -1, Segment: -1})
+	if c != 0 {
+		t.Fatalf("overflow StartSpan = %d, want 0", c)
+	}
+	if l.DroppedSpans() != 1 {
+		t.Fatalf("DroppedSpans = %d, want 1", l.DroppedSpans())
+	}
+	// Retained spans are the OLDEST — parents stay for their children.
+	spans := l.Spans()
+	if len(spans) != 2 || spans[0].ID != a || spans[1].ID != b {
+		t.Fatalf("spans = %+v", spans)
+	}
+	// Ending a retained span still works after overflow.
+	l.EndSpan(b, 9)
+	if got := l.Spans()[1]; !got.Ended || got.End != 9 {
+		t.Fatalf("b after end = %+v", got)
+	}
+}
+
+func TestSpansReturnsCopies(t *testing.T) {
+	l := MustNew(4)
+	id := l.StartSpan(0, "a", SpanOpts{Job: -1, Segment: -1, Args: []Arg{{"k", "v"}}})
+	got := l.Spans()
+	got[0].Name = "mutated"
+	got[0].Args[0] = Arg{"x", "y"}
+	l.EndSpan(id, 1)
+	again := l.Spans()
+	if again[0].Name != "a" || again[0].Args[0] != (Arg{"k", "v"}) {
+		t.Fatalf("Spans() aliases internal state: %+v", again[0])
+	}
+}
+
+// TestConcurrentSpansExactAccounting hammers StartSpan/EndSpan from
+// writers while readers snapshot, then checks the books balance
+// exactly: every attempted span was either retained or counted dropped.
+func TestConcurrentSpansExactAccounting(t *testing.T) {
+	const (
+		writers  = 8
+		perGorou = 50
+		capacity = 100
+	)
+	l := MustNew(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perGorou; i++ {
+				id := l.StartSpan(0, "s", SpanOpts{Job: w, Segment: -1})
+				l.EndSpan(id, 1)
+			}
+		}(w)
+	}
+	// Concurrent readers must not disturb accounting.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_ = l.Spans()
+				_ = l.DroppedSpans()
+			}
+		}()
+	}
+	wg.Wait()
+	got, dropped := len(l.Spans()), l.DroppedSpans()
+	if got != capacity {
+		t.Fatalf("retained %d spans, want %d", got, capacity)
+	}
+	if got+dropped != writers*perGorou {
+		t.Fatalf("retained %d + dropped %d != attempted %d", got, dropped, writers*perGorou)
+	}
+	for _, s := range l.Spans() {
+		if !s.Ended {
+			t.Fatalf("span %d never ended: %+v", s.ID, s)
+		}
+	}
+}
+
+// TestConcurrentAddExactAccounting is the event-ring analogue: the
+// ring evicts oldest, so retained + dropped must equal total adds.
+func TestConcurrentAddExactAccounting(t *testing.T) {
+	const (
+		writers  = 8
+		perGorou = 50
+		capacity = 100
+	)
+	l := MustNew(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perGorou; i++ {
+				l.Addf(0, JobSubmitted, w, -1, "i=%d", i)
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_ = l.Events()
+				_ = l.Dropped()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(l.Events()); got != capacity {
+		t.Fatalf("retained %d events, want %d", got, capacity)
+	}
+	if got, dropped := len(l.Events()), l.Dropped(); got+dropped != writers*perGorou {
+		t.Fatalf("retained %d + dropped %d != added %d", got, dropped, writers*perGorou)
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	l := MustNew(16)
+	run := l.StartSpan(0, "run", SpanOpts{Cat: "driver", Job: -1, Segment: -1})
+	sub := l.StartSpan(0.5, "subjob", SpanOpts{Cat: "driver", Parent: run, Job: 2, Segment: 0})
+	l.EndSpan(sub, 1.5)
+	l.EndSpan(run, 2)
+	l.Addf(1, RoundLaunched, -1, 0, "batch=1")
+	open := l.StartSpan(1.8, "round", SpanOpts{Cat: "driver", Parent: run, Job: -1, Segment: 1})
+	_ = open // deliberately left open
+
+	var buf bytes.Buffer
+	if err := l.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	var phases []string
+	var haveJobTrack, haveOpen bool
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases = append(phases, ph)
+		if args, ok := ev["args"].(map[string]any); ok {
+			if args["name"] == "job 2" {
+				haveJobTrack = true
+			}
+			if args["open"] == true {
+				haveOpen = true
+			}
+		}
+		if ph == "X" {
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Fatalf("X event without dur: %v", ev)
+			}
+		}
+	}
+	joined := strings.Join(phases, "")
+	if !strings.Contains(joined, "M") || !strings.Contains(joined, "X") || !strings.Contains(joined, "i") {
+		t.Fatalf("phases = %v, want metadata+complete+instant", phases)
+	}
+	if !haveJobTrack {
+		t.Fatal("missing thread_name metadata for job 2's track")
+	}
+	if !haveOpen {
+		t.Fatal("unended span should carry open=true")
+	}
+	// Microsecond conversion: subjob started at 0.5s → ts 500000.
+	var found bool
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "subjob" && ev["ts"] == float64(500000) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("subjob ts not in microseconds")
+	}
+
+	// Nil log still writes a valid document.
+	buf.Reset()
+	var nilLog *Log
+	if err := nilLog.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Fatalf("nil log chrome trace = %q", buf.String())
+	}
+}

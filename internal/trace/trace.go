@@ -51,6 +51,19 @@ const (
 	// JobAborted records a job removed from scheduling after a terminal
 	// failure of its own map/reduce code.
 	JobAborted
+	// TaskCommitted records a map attempt winning its block's commit
+	// race — the output every batched job sees for the block.
+	TaskCommitted
+	// TaskSpeculated records a straggler map attempt duplicated on
+	// another node (speculative execution).
+	TaskSpeculated
+	// TaskDispatched records a master issuing an RPC task; its Detail
+	// starts with "corr=<id>", matching the serving worker's TaskServed
+	// event so distributed task lifetimes can be stitched together.
+	TaskDispatched
+	// TaskServed records a worker completing a dispatched RPC task;
+	// Detail carries the same corr=<id> the master logged.
+	TaskServed
 )
 
 var kindNames = map[Kind]string{
@@ -68,6 +81,10 @@ var kindNames = map[Kind]string{
 	NodeDown:         "node-down",
 	SubJobRequeued:   "subjob-requeued",
 	JobAborted:       "job-aborted",
+	TaskCommitted:    "task-committed",
+	TaskSpeculated:   "task-speculated",
+	TaskDispatched:   "task-dispatched",
+	TaskServed:       "task-served",
 }
 
 // String returns the stable lowercase name of the kind.
@@ -106,23 +123,41 @@ func (e Event) String() string {
 	return b.String()
 }
 
-// Log is a bounded ring buffer of events. The zero value is unusable;
-// use New. A nil *Log is valid and discards all events, so components
-// can accept an optional trace without nil checks at every call site.
+// Log is a bounded ring buffer of events plus a bounded store of
+// hierarchical spans (see span.go). The zero value is unusable; use
+// New. A nil *Log is valid and discards all events and spans, so
+// components can accept an optional trace without nil checks at every
+// call site.
 type Log struct {
 	mu      sync.Mutex
 	cap     int
 	events  []Event
 	dropped int
+
+	spans        []Span
+	spanIdx      map[SpanID]int
+	nextSpan     SpanID
+	droppedSpans int
 }
 
-// New returns a log that retains at most capacity events, discarding the
-// oldest when full. Capacity must be positive.
-func New(capacity int) *Log {
+// New returns a log that retains at most capacity events (discarding
+// the oldest when full) and at most capacity spans (refusing new ones
+// when full, so parents are never evicted from under their children).
+// Capacity must be positive.
+func New(capacity int) (*Log, error) {
 	if capacity <= 0 {
-		panic("trace: capacity must be positive")
+		return nil, fmt.Errorf("trace: capacity must be positive, got %d", capacity)
 	}
-	return &Log{cap: capacity}
+	return &Log{cap: capacity, nextSpan: 1}, nil
+}
+
+// MustNew is New, panicking on error. For tests and static capacities.
+func MustNew(capacity int) *Log {
+	l, err := New(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return l
 }
 
 // Add appends an event. Safe on a nil receiver (no-op).

@@ -9,7 +9,7 @@ import (
 )
 
 func TestAddAndEvents(t *testing.T) {
-	l := New(10)
+	l := MustNew(10)
 	l.Add(Event{At: 1, Kind: JobSubmitted, Job: 0, Segment: -1})
 	l.Add(Event{At: 2, Kind: RoundLaunched, Job: -1, Segment: 3})
 	ev := l.Events()
@@ -22,7 +22,7 @@ func TestAddAndEvents(t *testing.T) {
 }
 
 func TestRingEviction(t *testing.T) {
-	l := New(3)
+	l := MustNew(3)
 	for i := 0; i < 5; i++ {
 		l.Add(Event{At: 0, Kind: JobSubmitted, Job: i, Segment: -1})
 	}
@@ -48,7 +48,7 @@ func TestNilLogIsSafe(t *testing.T) {
 }
 
 func TestAddf(t *testing.T) {
-	l := New(4)
+	l := MustNew(4)
 	l.Addf(5, SubJobAligned, 2, 1, "batch=%d", 3)
 	ev := l.Events()
 	if len(ev) != 1 || ev[0].Detail != "batch=3" {
@@ -57,7 +57,7 @@ func TestAddf(t *testing.T) {
 }
 
 func TestOfKind(t *testing.T) {
-	l := New(10)
+	l := MustNew(10)
 	l.Addf(0, JobSubmitted, 0, -1, "")
 	l.Addf(1, RoundLaunched, -1, 0, "")
 	l.Addf(2, JobSubmitted, 1, -1, "")
@@ -83,7 +83,7 @@ func TestEventString(t *testing.T) {
 }
 
 func TestLogString(t *testing.T) {
-	l := New(4)
+	l := MustNew(4)
 	l.Addf(0, JobSubmitted, 0, -1, "")
 	l.Addf(1, JobCompleted, 0, -1, "")
 	s := l.String()
@@ -101,17 +101,28 @@ func TestKindString(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnBadCapacity(t *testing.T) {
+func TestNewRejectsBadCapacity(t *testing.T) {
+	for _, c := range []int{0, -1} {
+		if l, err := New(c); err == nil || l != nil {
+			t.Errorf("New(%d) = (%v, %v), want (nil, error)", c, l, err)
+		}
+	}
+	if l, err := New(1); err != nil || l == nil {
+		t.Fatalf("New(1) = (%v, %v), want a log", l, err)
+	}
+}
+
+func TestMustNewPanicsOnBadCapacity(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("New(0) should panic")
+			t.Error("MustNew(0) should panic")
 		}
 	}()
-	New(0)
+	MustNew(0)
 }
 
 func TestConcurrentAdd(t *testing.T) {
-	l := New(1000)
+	l := MustNew(1000)
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
@@ -129,7 +140,7 @@ func TestConcurrentAdd(t *testing.T) {
 }
 
 func TestWriteJSON(t *testing.T) {
-	l := New(8)
+	l := MustNew(8)
 	l.Addf(1.5, RoundLaunched, 0, 3, "n=2")
 	l.Addf(2.0, JobCompleted, 1, -1, "")
 	var buf bytes.Buffer
@@ -164,7 +175,7 @@ func TestWriteJSON(t *testing.T) {
 }
 
 func TestRenderTimeline(t *testing.T) {
-	l := New(32)
+	l := MustNew(32)
 	l.Addf(0, RoundLaunched, -1, 0, "batch 1")
 	l.Addf(10, RoundFinished, -1, 0, "")
 	l.Addf(10, RoundLaunched, -1, 1, "batch 2")
@@ -192,11 +203,11 @@ func TestRenderTimeline(t *testing.T) {
 }
 
 func TestRenderTimelineEdgeCases(t *testing.T) {
-	if out := New(4).RenderTimeline(40); out != "" {
+	if out := MustNew(4).RenderTimeline(40); out != "" {
 		t.Errorf("empty log timeline = %q", out)
 	}
 	// Unfinished round is ignored.
-	l := New(8)
+	l := MustNew(8)
 	l.Addf(0, RoundLaunched, -1, 0, "")
 	if out := l.RenderTimeline(40); out != "" {
 		t.Errorf("open round timeline = %q", out)
