@@ -41,6 +41,7 @@ var (
 	demoN     = flag.Int("nodes", 3, "demo: in-process worker count")
 	statAddr  = flag.String("status", "", "master/demo: serve a live status dashboard, Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
 	traceJSON = flag.String("tracejson", "", "master/demo: write the run's span tree as Chrome trace-event JSON to this file")
+	cacheMB   = flag.Int64("cachemb", 0, "worker/demo: per-worker block-cache budget in MB (0 = caching off)")
 )
 
 func main() {
@@ -69,6 +70,11 @@ func workerStore() (*dfs.Store, error) {
 	}
 	if _, err := workload.AddTextFile(store, "corpus", *blocks, *blockSize, *seed); err != nil {
 		return nil, err
+	}
+	if *cacheMB > 0 {
+		if _, err := store.EnableCache(*cacheMB << 20); err != nil {
+			return nil, err
+		}
 	}
 	return store, nil
 }
@@ -239,12 +245,23 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 		return err
 	}
 	var reads int64
+	var cache metrics.CacheStats
 	for i, st := range stats {
-		fmt.Printf("worker %d: %d block reads, %d map tasks, %d reduce tasks\n",
-			i, st.BlockReads, st.MapTasks, st.ReduceTasks)
+		fmt.Printf("worker %d: %d block reads, %d map tasks, %d reduce tasks", i, st.BlockReads, st.MapTasks, st.ReduceTasks)
+		if st.CacheHits+st.CacheMisses > 0 {
+			fmt.Printf(", %d cache hits / %d misses", st.CacheHits, st.CacheMisses)
+		}
+		fmt.Println()
 		reads += st.BlockReads
+		cache.Add(metrics.CacheStats{Hits: st.CacheHits, Misses: st.CacheMisses})
 	}
 	fmt.Printf("cluster block reads: %d (isolated jobs would need %d)\n", reads, int64(*jobs)*int64(*blocks))
+	if cache.Hits+cache.Misses > 0 {
+		fmt.Printf("cluster block cache: %d hits / %d misses (%.1f%% hit ratio)\n", cache.Hits, cache.Misses, 100*cache.HitRatio())
+	}
+	if srv != nil && cache.Hits+cache.Misses > 0 {
+		srv.SetCache(cache)
+	}
 	for id, out := range master.Results() {
 		fmt.Printf("job %d (%s): %d output keys\n", id, refs[id].Name, len(out))
 	}

@@ -43,6 +43,8 @@ func main() {
 		rweight   = flag.Float64("rweight", 1, "per-job reduce weight (heavy workload: ~25)")
 		showTrace = flag.Bool("trace", false, "print the scheduler decision trace (first scheme only)")
 		timeline  = flag.Bool("timeline", false, "print an ASCII Gantt of the rounds (first scheme only)")
+		cacheMB   = flag.Int("cachemb", 0, "per-node block-cache budget in MB (0 = caching off)")
+		cacheFrac = flag.Float64("cachefrac", 0.1, "cached scan cost as a fraction of disk cost, in [0,1]")
 	)
 	flag.Parse()
 
@@ -70,6 +72,11 @@ func main() {
 			fatal(err)
 		}
 		exec := sim.NewExecutor(env.Cluster, env.Store, env.Model)
+		if *cacheMB > 0 {
+			if err := exec.EnableCache(int64(*cacheMB)<<20*int64(experiments.Nodes), *cacheFrac); err != nil {
+				fatal(err)
+			}
+		}
 		arrivals := make([]driver.Arrival, len(metas))
 		for j := range metas {
 			arrivals[j] = driver.Arrival{Job: metas[j], At: times[j]}
@@ -84,8 +91,12 @@ func main() {
 		}
 		summaries = append(summaries, sum)
 		st := exec.Stats()
-		fmt.Printf("%-14s TET=%-10s ART=%-10s rounds=%-5d blockScans=%-7d mapTasks=%d\n",
+		fmt.Printf("%-14s TET=%-10s ART=%-10s rounds=%-5d blockScans=%-7d mapTasks=%d",
 			sched.Name(), sum.TET, sum.ART, res.Rounds, st.BlocksScanned, st.MapTasks)
+		if *cacheMB > 0 {
+			fmt.Printf(" cacheHits=%d (%.1f%%)", exec.CacheStats().Hits, 100*exec.CacheStats().HitRatio())
+		}
+		fmt.Println()
 		if log != nil && *showTrace {
 			fmt.Println("--- decision trace ---")
 			fmt.Print(log.String())

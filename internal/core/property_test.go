@@ -1,12 +1,17 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"s3sched/internal/dfs"
+	"s3sched/internal/driver"
+	"s3sched/internal/mapreduce"
 	"s3sched/internal/scheduler"
+	"s3sched/internal/vclock"
+	"s3sched/internal/workload"
 )
 
 // Property: DynamicS3 under randomly varying slot availability still
@@ -254,6 +259,193 @@ func TestMultiFileProperty(t *testing.T) {
 		return len(segsByJob) == n
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MultiFile with an arbitrary cache advisor still preserves
+// every structural invariant — single-file rounds, exactly-once block
+// coverage per job — because the advisor only breaks priority ties, it
+// never changes what gets scanned.
+func TestMultiFileCacheAdvisorProperty(t *testing.T) {
+	prop := func(seed int64, ka8, kb8, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ka := int(ka8%6) + 1
+		kb := int(kb8%6) + 1
+		n := int(n8%6) + 2
+
+		store := dfs.MustStore(2, 1)
+		fa, err := store.AddMetaFile("alpha", ka, 64)
+		if err != nil {
+			return false
+		}
+		fb, err := store.AddMetaFile("beta", kb, 64)
+		if err != nil {
+			return false
+		}
+		pa, err := dfs.PlanSegments(fa, 1)
+		if err != nil {
+			return false
+		}
+		pb, err := dfs.PlanSegments(fb, 1)
+		if err != nil {
+			return false
+		}
+		m, err := NewMultiFile([]*dfs.SegmentPlan{pa, pb}, nil)
+		if err != nil {
+			return false
+		}
+		// An adversarial advisor: arbitrary warmth on every call.
+		advRng := rand.New(rand.NewSource(seed ^ 0x7ee1))
+		m.SetCacheAdvisor(func(blocks []dfs.BlockID) int64 {
+			return int64(advRng.Intn(1 << 16))
+		})
+
+		segsByJob := map[scheduler.JobID][]dfs.BlockID{}
+		fileOf := map[scheduler.JobID]string{}
+		submitted := 0
+		steps := 0
+		for submitted < n || m.PendingJobs() > 0 {
+			steps++
+			if steps > 10000 {
+				return false
+			}
+			if submitted < n && (rng.Intn(2) == 0 || m.PendingJobs() == 0) {
+				id := scheduler.JobID(submitted + 1)
+				file := "alpha"
+				if rng.Intn(2) == 0 {
+					file = "beta"
+				}
+				if err := m.Submit(scheduler.JobMeta{ID: id, File: file, Priority: rng.Intn(3)}, 0); err != nil {
+					return false
+				}
+				fileOf[id] = file
+				submitted++
+				continue
+			}
+			r, ok := m.NextRound(0)
+			if !ok {
+				return false
+			}
+			file := r.Blocks[0].File
+			for _, b := range r.Blocks {
+				if b.File != file {
+					return false
+				}
+			}
+			for _, j := range r.Jobs {
+				if fileOf[j.ID] != file {
+					return false
+				}
+				segsByJob[j.ID] = append(segsByJob[j.ID], r.Blocks...)
+			}
+			m.RoundDone(r, 0)
+		}
+		for id, blocks := range segsByJob {
+			want := ka
+			if fileOf[id] == "beta" {
+				want = kb
+			}
+			seen := map[int]bool{}
+			for _, b := range blocks {
+				if b.File != fileOf[id] || seen[b.Index] {
+					return false
+				}
+				seen[b.Index] = true
+			}
+			if len(seen) != want {
+				return false
+			}
+		}
+		return len(segsByJob) == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the block cache is invisible to computation. For seeded
+// wordcount workloads on the real engine, the cache-on run produces
+// byte-identical outputs to the cache-off run while never doing more
+// physical reads. Engine runs are comparatively slow, so MaxCount stays
+// modest.
+func TestCacheTransparencyProperty(t *testing.T) {
+	prop := func(seed int64, blocks8, jobs8, budget8 uint8) bool {
+		numBlocks := int(blocks8%12) + 4
+		numJobs := int(jobs8%3) + 2
+		const nodes = 4
+		const blockSize = int64(2 << 10)
+		// Budget sweeps from undersized (evictions exercised) to roomy.
+		budget := (int64(budget8%8) + 1) * blockSize
+
+		run := func(cacheBytes int64) (map[scheduler.JobID]*mapreduce.Result, dfs.Stats, bool) {
+			store := dfs.MustStore(nodes, 1)
+			if _, err := workload.AddTextFile(store, "corpus", numBlocks, blockSize, seed); err != nil {
+				return nil, dfs.Stats{}, false
+			}
+			if cacheBytes > 0 {
+				if _, err := store.EnableCache(cacheBytes); err != nil {
+					return nil, dfs.Stats{}, false
+				}
+			}
+			f, err := store.File("corpus")
+			if err != nil {
+				return nil, dfs.Stats{}, false
+			}
+			plan, err := dfs.PlanSegments(f, nodes)
+			if err != nil {
+				return nil, dfs.Stats{}, false
+			}
+			engine := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
+			specs := make(map[scheduler.JobID]mapreduce.JobSpec)
+			var arrivals []driver.Arrival
+			prefixes := workload.DistinctPrefixes(numJobs)
+			for i := 0; i < numJobs; i++ {
+				id := scheduler.JobID(i + 1)
+				specs[id] = workload.WordCountJob(fmt.Sprintf("wc%d", i), "corpus", prefixes[i], 2)
+				arrivals = append(arrivals, driver.Arrival{
+					Job: scheduler.JobMeta{ID: id, File: "corpus"},
+					At:  vclock.Time(i),
+				})
+			}
+			exec := driver.NewEngineExecutor(engine, specs)
+			if _, err := driver.Run(New(plan, nil), exec, arrivals); err != nil {
+				return nil, dfs.Stats{}, false
+			}
+			return exec.Results(), store.Stats(), true
+		}
+
+		cold, coldStats, ok := run(0)
+		if !ok {
+			return false
+		}
+		warm, warmStats, ok := run(budget)
+		if !ok {
+			return false
+		}
+		if warmStats.BlockReads > coldStats.BlockReads {
+			t.Logf("cache increased physical reads: %d > %d", warmStats.BlockReads, coldStats.BlockReads)
+			return false
+		}
+		if len(cold) != len(warm) {
+			return false
+		}
+		for id, rc := range cold {
+			rw := warm[id]
+			if rw == nil || rc.Name != rw.Name || len(rc.Output) != len(rw.Output) {
+				t.Logf("job %d output shape diverged", id)
+				return false
+			}
+			for i := range rc.Output {
+				if rc.Output[i] != rw.Output[i] {
+					t.Logf("job %d output[%d] diverged", id, i)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 18}); err != nil {
 		t.Error(err)
 	}
 }

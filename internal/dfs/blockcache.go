@@ -1,0 +1,275 @@
+// Block cache: a per-node, byte-budgeted LRU over block contents.
+//
+// The S^3 premise is that a segment scanned once serves every
+// co-scheduled job, but closely spaced arrivals that just miss a batch
+// — and rounds requeued after faults — still re-read the same blocks
+// from disk. A node-local cache absorbs exactly those repeats: each
+// node keeps the most recently served blocks up to a byte budget, and
+// concurrent readers of a cold block coalesce into one disk read
+// (single-flight), so a burst of mappers never stampedes the source.
+//
+// Fault interaction is deliberate: the ReadFault hook fires on cache
+// misses only (a cached block never touches the disk path, so it cannot
+// fail), and a block whose load fails is never cached — the error
+// propagates to every coalesced waiter and the next read retries cold.
+package dfs
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// CacheEventKind labels a cache observer callback.
+type CacheEventKind int
+
+const (
+	// CacheHit fires when a read is served from the cache.
+	CacheHit CacheEventKind = iota
+	// CacheEvict fires when the LRU discards a block to fit the budget.
+	CacheEvict
+)
+
+// CacheEvent describes one cache hit or eviction for observers (trace
+// wiring, tests).
+type CacheEvent struct {
+	Kind  CacheEventKind
+	Block BlockID
+	Node  NodeID // node whose cache shard the event occurred on
+	Bytes int64  // size of the block involved
+}
+
+// CacheStats is a snapshot of cumulative cache accounting.
+type CacheStats struct {
+	Hits      int64 // reads served from cache
+	Misses    int64 // reads that went to the underlying source (incl. coalesced waiters)
+	Evictions int64 // blocks discarded to fit the byte budget
+	Bytes     int64 // bytes currently cached across all nodes
+}
+
+// HitRatio returns hits / (hits + misses), or 0 when no reads occurred.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// cacheEntry is one cached block on one node's shard.
+type cacheEntry struct {
+	block BlockID
+	data  []byte
+}
+
+// inflightLoad coalesces concurrent loads of the same cold block.
+type inflightLoad struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// nodeCache is one node's shard: an LRU list (front = most recent)
+// plus the in-flight loads for blocks currently being read from the
+// source.
+type nodeCache struct {
+	entries  map[BlockID]*list.Element
+	lru      *list.List
+	bytes    int64
+	inflight map[BlockID]*inflightLoad
+}
+
+// BlockCache is a per-node, byte-budgeted LRU block cache with
+// single-flight loading. Each node gets an independent shard with the
+// same byte budget, mirroring node-local page caches: a block cached on
+// node 3 does not occupy budget on node 5. Reads not attributed to a
+// node (Store.ReadBlock) share one pseudo-node shard.
+//
+// Cached reads return the stored slice without copying — the same
+// aliasing contract as BlockSource — so callers must not mutate
+// returned data.
+type BlockCache struct {
+	budget int64 // per-node byte budget
+
+	mu        sync.Mutex
+	nodes     map[NodeID]*nodeCache
+	bytes     int64 // total cached bytes across shards
+	hits      int64
+	misses    int64
+	evictions int64
+	obs       func(CacheEvent) // fired outside mu; set before use
+}
+
+// NewBlockCache creates a cache giving every node shard the same byte
+// budget.
+func NewBlockCache(bytesPerNode int64) (*BlockCache, error) {
+	if bytesPerNode <= 0 {
+		return nil, fmt.Errorf("dfs: cache budget must be positive, got %d bytes", bytesPerNode)
+	}
+	return &BlockCache{
+		budget: bytesPerNode,
+		nodes:  make(map[NodeID]*nodeCache),
+	}, nil
+}
+
+// Budget returns the per-node byte budget.
+func (c *BlockCache) Budget() int64 { return c.budget }
+
+// SetObserver installs a callback fired on every hit and eviction.
+// Install before the cache is in use; the callback runs outside the
+// cache lock and must be safe for concurrent use.
+func (c *BlockCache) SetObserver(obs func(CacheEvent)) {
+	c.mu.Lock()
+	c.obs = obs
+	c.mu.Unlock()
+}
+
+func (c *BlockCache) shard(node NodeID) *nodeCache {
+	nc, ok := c.nodes[node]
+	if !ok {
+		nc = &nodeCache{
+			entries:  make(map[BlockID]*list.Element),
+			lru:      list.New(),
+			inflight: make(map[BlockID]*inflightLoad),
+		}
+		c.nodes[node] = nc
+	}
+	return nc
+}
+
+// Read returns the block's contents from node's shard, calling load on
+// a miss. Concurrent misses of the same (block, node) coalesce: one
+// caller runs load, the rest wait for its result. Every call counts as
+// exactly one hit or one miss (coalesced waiters are misses), so
+// hits + misses always equals the number of Read calls. A failed load
+// is never cached; the error reaches every coalesced waiter.
+func (c *BlockCache) Read(id BlockID, node NodeID, load func() ([]byte, error)) ([]byte, error) {
+	c.mu.Lock()
+	nc := c.shard(node)
+	if el, ok := nc.entries[id]; ok {
+		nc.lru.MoveToFront(el)
+		c.hits++
+		ent := el.Value.(*cacheEntry)
+		data, obs := ent.data, c.obs
+		c.mu.Unlock()
+		if obs != nil {
+			obs(CacheEvent{Kind: CacheHit, Block: id, Node: node, Bytes: int64(len(data))})
+		}
+		return data, nil
+	}
+	c.misses++
+	if fl, ok := nc.inflight[id]; ok {
+		c.mu.Unlock()
+		<-fl.done
+		return fl.data, fl.err
+	}
+	fl := &inflightLoad{done: make(chan struct{})}
+	nc.inflight[id] = fl
+	c.mu.Unlock()
+
+	fl.data, fl.err = load()
+
+	c.mu.Lock()
+	delete(nc.inflight, id)
+	var evicted []CacheEvent
+	if fl.err == nil {
+		evicted = c.insertLocked(nc, node, id, fl.data)
+	}
+	obs := c.obs
+	c.mu.Unlock()
+	close(fl.done)
+	if obs != nil {
+		for _, ev := range evicted {
+			obs(ev)
+		}
+	}
+	return fl.data, fl.err
+}
+
+// insertLocked caches data on nc, evicting LRU entries until the shard
+// fits its budget. Blocks larger than the whole budget are served but
+// never cached. Returns the eviction events to fire once the lock is
+// released.
+func (c *BlockCache) insertLocked(nc *nodeCache, node NodeID, id BlockID, data []byte) []CacheEvent {
+	n := int64(len(data))
+	if n > c.budget {
+		return nil
+	}
+	if _, dup := nc.entries[id]; dup {
+		// Another path already cached it (possible when a faulted read
+		// retries while an earlier load completes); keep the existing
+		// entry.
+		return nil
+	}
+	nc.entries[id] = nc.lru.PushFront(&cacheEntry{block: id, data: data})
+	nc.bytes += n
+	c.bytes += n
+	var events []CacheEvent
+	for nc.bytes > c.budget {
+		back := nc.lru.Back()
+		ent := back.Value.(*cacheEntry)
+		nc.lru.Remove(back)
+		delete(nc.entries, ent.block)
+		sz := int64(len(ent.data))
+		nc.bytes -= sz
+		c.bytes -= sz
+		c.evictions++
+		events = append(events, CacheEvent{Kind: CacheEvict, Block: ent.block, Node: node, Bytes: sz})
+	}
+	return events
+}
+
+// Contains reports whether the block is currently cached on node's
+// shard (without touching LRU order).
+func (c *BlockCache) Contains(id BlockID, node NodeID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nc, ok := c.nodes[node]
+	if !ok {
+		return false
+	}
+	_, ok = nc.entries[id]
+	return ok
+}
+
+// CachedBytes returns how many bytes of the given blocks are cached
+// anywhere in the cluster. Each block counts at most once even when
+// replicated across shards — the JQM uses this to size the scan a
+// candidate segment would actually save.
+func (c *BlockCache) CachedBytes(blocks []BlockID) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for _, b := range blocks {
+		for _, nc := range c.nodes {
+			if el, ok := nc.entries[b]; ok {
+				total += int64(len(el.Value.(*cacheEntry).data))
+				break
+			}
+		}
+	}
+	return total
+}
+
+// Stats returns a snapshot of cumulative cache accounting.
+func (c *BlockCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Bytes: c.bytes}
+}
+
+// ResetStats zeroes the hit/miss/eviction counters (between experiment
+// runs). Cached contents are kept; use Purge to drop them.
+func (c *BlockCache) ResetStats() {
+	c.mu.Lock()
+	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.mu.Unlock()
+}
+
+// Purge drops every cached block without counting evictions.
+func (c *BlockCache) Purge() {
+	c.mu.Lock()
+	c.nodes = make(map[NodeID]*nodeCache)
+	c.bytes = 0
+	c.mu.Unlock()
+}

@@ -1,0 +1,77 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzBlockCache drives the cache with a byte-encoded op sequence —
+// each byte selects (block, node, fault) for one read — and checks the
+// structural invariants after every step: accounting identity
+// hits+misses == reads, per-shard budgets respected, faulted reads
+// never cached, and correct bytes on every successful read.
+func FuzzBlockCache(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x01, 0x42, 0x81, 0x01, 0xff, 0x42})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80}) // repeated fault on one block
+	f.Add([]byte{0x00, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70, 0x00})
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const (
+			numBlocks = 8
+			blockSize = 32
+			budget    = 3 * blockSize // forces eviction pressure
+		)
+		c, err := NewBlockCache(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		content := func(i int) []byte {
+			b := make([]byte, blockSize)
+			for j := range b {
+				b[j] = byte(i*13 + 1)
+			}
+			return b
+		}
+		fault := errors.New("injected")
+		var reads int64
+		for _, op := range ops {
+			id := BlockID{File: "f", Index: int(op & 0x07)}
+			node := NodeID((op >> 3) & 0x03)
+			failThis := op&0x80 != 0
+			data, err := c.Read(id, node, func() ([]byte, error) {
+				if failThis {
+					return nil, fault
+				}
+				return content(id.Index), nil
+			})
+			reads++
+			if err != nil {
+				if !errors.Is(err, fault) {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if c.Contains(id, node) {
+					t.Fatalf("faulted read of %v cached on node %d", id, node)
+				}
+			} else if !bytes.Equal(data, content(id.Index)) {
+				t.Fatalf("wrong bytes for %v", id)
+			}
+			st := c.Stats()
+			if st.Hits+st.Misses != reads {
+				t.Fatalf("hits(%d)+misses(%d) != reads(%d)", st.Hits, st.Misses, reads)
+			}
+			if st.Bytes < 0 || st.Bytes > 4*budget {
+				t.Fatalf("aggregate bytes %d outside [0, 4*budget]", st.Bytes)
+			}
+		}
+		// Per-shard budget check at the end of the sequence.
+		c.mu.Lock()
+		for node, nc := range c.nodes {
+			if nc.bytes > budget {
+				t.Errorf("node %d shard holds %d bytes > budget %d", node, nc.bytes, budget)
+			}
+		}
+		c.mu.Unlock()
+	})
+}

@@ -1,0 +1,184 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: under an arbitrary interleaving of reads, faults, and node
+// attributions, the cache preserves its core invariants:
+//
+//  1. every shard's footprint stays within the byte budget (and the
+//     aggregate Bytes counter matches the sum of live entries),
+//  2. hits + misses equals the number of Read calls,
+//  3. a read that faulted leaves nothing behind in the cache,
+//  4. successful reads always return the block's true contents.
+func TestBlockCacheInvariantsProperty(t *testing.T) {
+	const (
+		numBlocks = 12
+		numNodes  = 3
+		blockSize = 64
+	)
+	prop := func(seed int64, budgetBlocks uint8, ops uint8, faultEvery uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		budget := (int64(budgetBlocks%6) + 1) * blockSize
+		c, err := NewBlockCache(budget)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		content := func(i int) []byte {
+			b := make([]byte, blockSize)
+			for j := range b {
+				b[j] = byte(i * 7)
+			}
+			return b
+		}
+		fault := errors.New("injected")
+		var reads, faulted int64
+		for op := 0; op < 20+int(ops); op++ {
+			id := BlockID{File: "f", Index: rng.Intn(numBlocks)}
+			node := NodeID(rng.Intn(numNodes))
+			failThis := faultEvery > 0 && rng.Intn(int(faultEvery)+1) == 0
+			wasCached := c.Contains(id, node)
+			data, err := c.Read(id, node, func() ([]byte, error) {
+				if failThis {
+					return nil, fault
+				}
+				return content(id.Index), nil
+			})
+			reads++
+			if wasCached {
+				// Hit: load must not have run, so the injected fault is
+				// irrelevant and the data must be right.
+				if err != nil || !bytes.Equal(data, content(id.Index)) {
+					t.Logf("hit returned err=%v", err)
+					return false
+				}
+			} else if failThis {
+				faulted++
+				if !errors.Is(err, fault) {
+					t.Logf("fault swallowed: err=%v", err)
+					return false
+				}
+				if c.Contains(id, node) {
+					t.Log("faulted read was cached")
+					return false
+				}
+			} else {
+				if err != nil || !bytes.Equal(data, content(id.Index)) {
+					t.Logf("miss returned err=%v", err)
+					return false
+				}
+			}
+		}
+		st := c.Stats()
+		if st.Hits+st.Misses != reads {
+			t.Logf("hits(%d)+misses(%d) != reads(%d)", st.Hits, st.Misses, reads)
+			return false
+		}
+		if st.Hits > reads-faulted {
+			t.Logf("more hits (%d) than successful reads (%d)", st.Hits, reads-faulted)
+			return false
+		}
+		// Per-shard budget and aggregate-bytes consistency.
+		var sum int64
+		c.mu.Lock()
+		for node, nc := range c.nodes {
+			if nc.bytes > budget {
+				t.Logf("node %d shard holds %d bytes > budget %d", node, nc.bytes, budget)
+				c.mu.Unlock()
+				return false
+			}
+			var shardSum int64
+			for el := nc.lru.Front(); el != nil; el = el.Next() {
+				shardSum += int64(len(el.Value.(*cacheEntry).data))
+			}
+			if shardSum != nc.bytes {
+				t.Logf("node %d shard bytes %d != live entries %d", node, nc.bytes, shardSum)
+				c.mu.Unlock()
+				return false
+			}
+			sum += nc.bytes
+		}
+		c.mu.Unlock()
+		if st.Bytes != sum {
+			t.Logf("aggregate Bytes %d != shard sum %d", st.Bytes, sum)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the cache is a transparent layer over a Store — for any
+// random access sequence, every byte returned with the cache enabled is
+// identical to the uncached store's answer, and physical source reads
+// never exceed the uncached count.
+func TestBlockCacheTransparencyProperty(t *testing.T) {
+	prop := func(seed int64, accesses uint8) bool {
+		const (
+			nodes     = 3
+			numBlocks = 8
+			blockSize = int64(128)
+		)
+		mk := func() *Store {
+			s := MustStore(nodes, 1)
+			if _, err := addPseudoText(s, seed); err != nil {
+				t.Log(err)
+				return nil
+			}
+			return s
+		}
+		plain, cached := mk(), mk()
+		if plain == nil || cached == nil {
+			return false
+		}
+		if _, err := cached.EnableCache(numBlocks * blockSize); err != nil {
+			t.Log(err)
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+		for i := 0; i < 10+int(accesses); i++ {
+			id := BlockID{File: "p", Index: rng.Intn(numBlocks)}
+			node := NodeID(rng.Intn(nodes))
+			a, errA := plain.ReadBlockAt(id, node)
+			b, errB := cached.ReadBlockAt(id, node)
+			if (errA == nil) != (errB == nil) {
+				t.Logf("error divergence: %v vs %v", errA, errB)
+				return false
+			}
+			if errA == nil && !bytes.Equal(a, b) {
+				t.Logf("byte divergence at %v node %d", id, node)
+				return false
+			}
+		}
+		if cached.Stats().BlockReads > plain.Stats().BlockReads {
+			t.Logf("cache increased physical reads: %d > %d",
+				cached.Stats().BlockReads, plain.Stats().BlockReads)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// addPseudoText registers a deterministic 8-block generated file used by
+// the transparency property: same seed, same bytes, on any store.
+func addPseudoText(s *Store, seed int64) (*File, error) {
+	return s.AddGeneratedFile("p", 8, 128, func(i int) ([]byte, error) {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		b := make([]byte, 128)
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(26))
+		}
+		return b, nil
+	})
+}

@@ -1,0 +1,412 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// cacheStore builds a store over one generated file whose gen calls are
+// counted, so tests can assert how many physical reads happened.
+func cacheStore(t *testing.T, nodes, blocks int, blockSize int64) (*Store, *atomic.Int64) {
+	t.Helper()
+	s := MustStore(nodes, 1)
+	var gens atomic.Int64
+	_, err := s.AddGeneratedFile("f", blocks, blockSize, func(i int) ([]byte, error) {
+		gens.Add(1)
+		b := make([]byte, blockSize)
+		for j := range b {
+			b[j] = byte(i)
+		}
+		return b, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, &gens
+}
+
+func TestCacheHitSkipsSource(t *testing.T) {
+	s, gens := cacheStore(t, 2, 4, 64)
+	if _, err := s.EnableCache(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	id := BlockID{File: "f", Index: 1}
+	a, err := s.ReadBlockAt(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.ReadBlockAt(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("cached read returned different bytes")
+	}
+	if got := gens.Load(); got != 1 {
+		t.Fatalf("source read %d times, want 1", got)
+	}
+	cs := s.CacheStats()
+	if cs.Hits != 1 || cs.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", cs)
+	}
+	// Hits are not physical scans.
+	if st := s.Stats(); st.BlockReads != 1 || st.BytesScanned != 64 {
+		t.Fatalf("store stats = %+v, want 1 read / 64 bytes", st)
+	}
+}
+
+func TestCachePerNodeShards(t *testing.T) {
+	s, gens := cacheStore(t, 4, 4, 64)
+	if _, err := s.EnableCache(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	id := BlockID{File: "f", Index: 0}
+	// The same block read on two nodes is two independent cold reads.
+	if _, err := s.ReadBlockAt(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadBlockAt(id, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := gens.Load(); got != 2 {
+		t.Fatalf("source read %d times, want 2 (one per node shard)", got)
+	}
+	if !s.Cache().Contains(id, 0) || !s.Cache().Contains(id, 1) {
+		t.Fatal("block missing from a node shard")
+	}
+	if s.Cache().Contains(id, 2) {
+		t.Fatal("block cached on a node that never read it")
+	}
+}
+
+// Satellite: the -race single-flight test. N goroutines read the same
+// cold block; exactly one must reach the source, and every goroutine
+// must see identical bytes.
+func TestCacheSingleFlight(t *testing.T) {
+	s, gens := cacheStore(t, 2, 4, 256)
+	if _, err := s.EnableCache(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	const readers = 32
+	id := BlockID{File: "f", Index: 2}
+	want, err := s.ReadBlockAt(id, 1) // warm a reference copy on node 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens.Store(0)
+
+	var wg sync.WaitGroup
+	results := make([][]byte, readers)
+	errs := make([]error, readers)
+	start := make(chan struct{})
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i], errs[i] = s.ReadBlockAt(id, 0) // node 0 shard is cold
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := gens.Load(); got != 1 {
+		t.Fatalf("source read %d times, want 1 (single-flight)", got)
+	}
+	for i := 0; i < readers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("reader %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(results[i], want) {
+			t.Fatalf("reader %d got torn/garbled bytes", i)
+		}
+	}
+	cs := s.Cache().Stats()
+	if cs.Hits+cs.Misses != readers+1 {
+		t.Fatalf("hits+misses = %d, want %d (one per read)", cs.Hits+cs.Misses, readers+1)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	s, _ := cacheStore(t, 1, 4, 100)
+	c, err := s.EnableCache(250) // room for two 100-byte blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []CacheEvent
+	c.SetObserver(func(ev CacheEvent) { events = append(events, ev) })
+	read := func(i int) {
+		t.Helper()
+		if _, err := s.ReadBlockAt(BlockID{File: "f", Index: i}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read(0)
+	read(1)
+	read(0) // promote block 0: block 1 is now LRU
+	read(2) // over budget: evicts block 1
+	if c.Contains(BlockID{File: "f", Index: 1}, 0) {
+		t.Fatal("LRU block 1 still cached after eviction")
+	}
+	if !c.Contains(BlockID{File: "f", Index: 0}, 0) || !c.Contains(BlockID{File: "f", Index: 2}, 0) {
+		t.Fatal("recently used blocks were evicted")
+	}
+	cs := c.Stats()
+	if cs.Evictions != 1 || cs.Bytes != 200 {
+		t.Fatalf("stats = %+v, want 1 eviction / 200 bytes", cs)
+	}
+	var sawEvict bool
+	for _, ev := range events {
+		if ev.Kind == CacheEvict && ev.Block.Index == 1 {
+			sawEvict = true
+		}
+	}
+	if !sawEvict {
+		t.Fatal("observer saw no eviction event for block 1")
+	}
+}
+
+func TestCacheOversizedBlockNotCached(t *testing.T) {
+	s, gens := cacheStore(t, 1, 2, 512)
+	if _, err := s.EnableCache(100); err != nil {
+		t.Fatal(err)
+	}
+	id := BlockID{File: "f", Index: 0}
+	for i := 0; i < 2; i++ {
+		if _, err := s.ReadBlockAt(id, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := gens.Load(); got != 2 {
+		t.Fatalf("source read %d times, want 2 (block exceeds budget, never cached)", got)
+	}
+	if cs := s.CacheStats(); cs.Bytes != 0 {
+		t.Fatalf("cached %d bytes, want 0", cs.Bytes)
+	}
+}
+
+func TestCacheFaultedReadNeverCached(t *testing.T) {
+	s, gens := cacheStore(t, 1, 2, 64)
+	if _, err := s.EnableCache(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("injected")
+	var attempts atomic.Int64
+	s.SetReadFault(func(id BlockID, node NodeID) error {
+		if attempts.Add(1) == 1 {
+			return injected
+		}
+		return nil
+	})
+	id := BlockID{File: "f", Index: 0}
+	if _, err := s.ReadBlockAt(id, 0); !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if s.Cache().Contains(id, 0) {
+		t.Fatal("failed read was cached")
+	}
+	if st := s.Stats(); st.FailedReads != 1 || st.BlockReads != 0 {
+		t.Fatalf("stats = %+v, want 1 failed / 0 reads", st)
+	}
+	// The retry takes the cold path again (fault hook fires on misses).
+	if _, err := s.ReadBlockAt(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("fault hook fired %d times, want 2", got)
+	}
+	if got := gens.Load(); got != 1 {
+		t.Fatalf("source read %d times, want 1", got)
+	}
+	// Now cached: the hook must NOT fire on the hit.
+	if _, err := s.ReadBlockAt(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("fault hook fired on a cache hit (%d calls)", got)
+	}
+}
+
+func TestCacheMetadataOnlyFileStaysUnreadable(t *testing.T) {
+	s := MustStore(1, 1)
+	if _, err := s.AddMetaFile("meta", 2, 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EnableCache(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadBlock(BlockID{File: "meta", Index: 0}); err == nil {
+		t.Fatal("metadata-only read succeeded through the cache")
+	}
+	if cs := s.CacheStats(); cs.Bytes != 0 {
+		t.Fatalf("cached %d bytes of a metadata-only file", cs.Bytes)
+	}
+}
+
+// Satellite regression: ResetStats must cover every counter — the scan
+// counters, the failed-read counter fed by SetReadFault, and the cache
+// counters.
+func TestResetStatsCoversAllCounters(t *testing.T) {
+	s, _ := cacheStore(t, 1, 4, 64)
+	if _, err := s.EnableCache(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	fail := true
+	s.SetReadFault(func(id BlockID, node NodeID) error {
+		if fail {
+			fail = false
+			return boom
+		}
+		return nil
+	})
+	id := BlockID{File: "f", Index: 0}
+	if _, err := s.ReadBlock(id); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.ReadBlock(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, cs := s.Stats(), s.CacheStats()
+	if st.BlockReads == 0 || st.FailedReads == 0 || cs.Hits == 0 || cs.Misses == 0 {
+		t.Fatalf("setup did not exercise all counters: %+v %+v", st, cs)
+	}
+
+	s.ResetStats()
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("after ResetStats, store stats = %+v, want zeros", st)
+	}
+	cs = s.CacheStats()
+	if cs.Hits != 0 || cs.Misses != 0 || cs.Evictions != 0 {
+		t.Fatalf("after ResetStats, cache stats = %+v, want zero counters", cs)
+	}
+	// Cached contents survive a stats reset.
+	if cs.Bytes == 0 {
+		t.Fatal("ResetStats dropped cached contents")
+	}
+	s.Cache().Purge()
+	if cs := s.CacheStats(); cs.Bytes != 0 {
+		t.Fatalf("after Purge, %d bytes cached", cs.Bytes)
+	}
+}
+
+func TestCacheCachedBytes(t *testing.T) {
+	s, _ := cacheStore(t, 3, 6, 64)
+	if _, err := s.EnableCache(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	// Block 0 on two nodes (counts once), block 1 on one node.
+	for _, r := range []struct {
+		idx  int
+		node NodeID
+	}{{0, 0}, {0, 1}, {1, 2}} {
+		if _, err := s.ReadBlockAt(BlockID{File: "f", Index: r.idx}, r.node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks := []BlockID{{File: "f", Index: 0}, {File: "f", Index: 1}, {File: "f", Index: 5}}
+	if got := s.CachedBytes(blocks); got != 128 {
+		t.Fatalf("CachedBytes = %d, want 128 (two distinct cached blocks)", got)
+	}
+	// No cache installed: always zero.
+	bare := MustStore(1, 1)
+	if got := bare.CachedBytes(blocks); got != 0 {
+		t.Fatalf("CachedBytes without a cache = %d, want 0", got)
+	}
+}
+
+func TestEnableCacheRejectsBadBudget(t *testing.T) {
+	s := MustStore(1, 1)
+	for _, budget := range []int64{0, -5} {
+		if _, err := s.EnableCache(budget); err == nil {
+			t.Fatalf("EnableCache(%d) succeeded, want error", budget)
+		}
+	}
+	if _, err := NewBlockCache(0); err == nil {
+		t.Fatal("NewBlockCache(0) succeeded, want error")
+	}
+	c, err := s.EnableCache(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Budget() != 4096 {
+		t.Fatalf("Budget = %d, want 4096", c.Budget())
+	}
+}
+
+func TestCacheSingleFlightErrorPropagates(t *testing.T) {
+	// All coalesced waiters of a failing load must see the error, and
+	// nothing may be cached.
+	s := MustStore(1, 1)
+	boom := errors.New("disk gone")
+	release := make(chan struct{})
+	var gens atomic.Int64
+	if _, err := s.AddGeneratedFile("f", 1, 64, func(i int) ([]byte, error) {
+		gens.Add(1)
+		<-release
+		return nil, boom
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EnableCache(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	const readers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.ReadBlock(BlockID{File: "f", Index: 0})
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("reader %d: err = %v, want boom", i, err)
+		}
+	}
+	if got := gens.Load(); got < 1 || got > readers {
+		t.Fatalf("gen calls = %d, want within [1,%d]", got, readers)
+	}
+	if cs := s.CacheStats(); cs.Bytes != 0 {
+		t.Fatal("failed load was cached")
+	}
+	if st := s.Stats(); int(st.FailedReads) != int(gens.Load()) {
+		t.Fatalf("failed reads = %d, want %d", st.FailedReads, gens.Load())
+	}
+}
+
+func TestCacheStatsHitRatio(t *testing.T) {
+	if r := (CacheStats{}).HitRatio(); r != 0 {
+		t.Fatalf("empty hit ratio = %v, want 0", r)
+	}
+	if r := (CacheStats{Hits: 3, Misses: 1}).HitRatio(); r != 0.75 {
+		t.Fatalf("hit ratio = %v, want 0.75", r)
+	}
+}
+
+func ExampleStore_EnableCache() {
+	s := MustStore(2, 1)
+	blocks := [][]byte{[]byte("aaaa"), []byte("bbbb")}
+	if _, err := s.AddFile("f", 4, blocks); err != nil {
+		panic(err)
+	}
+	if _, err := s.EnableCache(1 << 10); err != nil {
+		panic(err)
+	}
+	id := BlockID{File: "f", Index: 0}
+	s.ReadBlockAt(id, 0)
+	s.ReadBlockAt(id, 0)
+	cs := s.CacheStats()
+	fmt.Printf("hits=%d misses=%d physical=%d\n", cs.Hits, cs.Misses, s.Stats().BlockReads)
+	// Output: hits=1 misses=1 physical=1
+}

@@ -101,8 +101,9 @@ func (f *File) Blocks() []BlockID {
 
 // Stats holds cumulative scan accounting for a store.
 type Stats struct {
-	BlockReads   int64 // number of ReadBlock calls served
-	BytesScanned int64 // total bytes returned by ReadBlock
+	BlockReads   int64 // physical source scans (cache hits are not charged)
+	BytesScanned int64 // total bytes returned by physical scans
+	FailedReads  int64 // read attempts failed by the fault hook or the source
 }
 
 // ReadFault decides whether a read attempt of block id served by node
@@ -120,9 +121,11 @@ type Store struct {
 	files     map[string]*File
 	placement map[BlockID][]NodeID
 	readFault ReadFault
+	cache     *BlockCache
 
 	blockReads   atomic.Int64
 	bytesScanned atomic.Int64
+	failedReads  atomic.Int64
 }
 
 // ErrNoSuchFile is returned when a file name is not registered.
@@ -166,6 +169,48 @@ func (s *Store) SetReadFault(f ReadFault) {
 	s.mu.Lock()
 	s.readFault = f
 	s.mu.Unlock()
+}
+
+// EnableCache installs a node-local block cache giving every node
+// shard bytesPerNode of budget, and returns it. Subsequent ReadBlock/
+// ReadBlockAt calls are served through the cache: hits skip the source
+// (and the fault hook) entirely and are not charged to the scan
+// counters. Install before execution starts.
+func (s *Store) EnableCache(bytesPerNode int64) (*BlockCache, error) {
+	c, err := NewBlockCache(bytesPerNode)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cache = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+// Cache returns the installed block cache, or nil when caching is off.
+func (s *Store) Cache() *BlockCache {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cache
+}
+
+// CacheStats returns a snapshot of the cache counters (zero when
+// caching is off).
+func (s *Store) CacheStats() CacheStats {
+	if c := s.Cache(); c != nil {
+		return c.Stats()
+	}
+	return CacheStats{}
+}
+
+// CachedBytes reports how many bytes of the given blocks are currently
+// cached anywhere (0 when caching is off). Schedulers use this to
+// prefer segments that are already warm.
+func (s *Store) CachedBytes(blocks []BlockID) int64 {
+	if c := s.Cache(); c != nil {
+		return c.CachedBytes(blocks)
+	}
+	return 0
 }
 
 // Nodes returns the number of nodes the store spans.
@@ -281,30 +326,42 @@ func (s *Store) ReadBlock(id BlockID) ([]byte, error) {
 // ReadBlockAt is ReadBlock attributed to the node serving the read.
 // The installed ReadFault hook (if any) sees the block and node and may
 // fail the attempt before any data is touched; failed attempts are not
-// charged to the scan counters.
+// charged to the scan counters. When a cache is installed, hits are
+// served from memory — skipping both the fault hook and the scan
+// counters — while misses take the full disk path, so fault-injection
+// semantics are unchanged for anything that actually touches disk.
 func (s *Store) ReadBlockAt(id BlockID, node NodeID) ([]byte, error) {
 	s.mu.RLock()
 	f, ok := s.files[id.File]
 	fault := s.readFault
+	cache := s.cache
 	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchFile, id.File)
 	}
-	if fault != nil {
-		if err := fault(id, node); err != nil {
+	load := func() ([]byte, error) {
+		if fault != nil {
+			if err := fault(id, node); err != nil {
+				s.failedReads.Add(1)
+				return nil, err
+			}
+		}
+		if f.source == nil {
+			return nil, fmt.Errorf("dfs: file %q is metadata-only; block %d has no contents", id.File, id.Index)
+		}
+		data, err := f.source.ReadBlock(id.Index)
+		if err != nil {
+			s.failedReads.Add(1)
 			return nil, err
 		}
+		s.blockReads.Add(1)
+		s.bytesScanned.Add(int64(len(data)))
+		return data, nil
 	}
-	if f.source == nil {
-		return nil, fmt.Errorf("dfs: file %q is metadata-only; block %d has no contents", id.File, id.Index)
+	if cache == nil {
+		return load()
 	}
-	data, err := f.source.ReadBlock(id.Index)
-	if err != nil {
-		return nil, err
-	}
-	s.blockReads.Add(1)
-	s.bytesScanned.Add(int64(len(data)))
-	return data, nil
+	return cache.Read(id, node, load)
 }
 
 // Stats returns a snapshot of cumulative scan accounting.
@@ -312,11 +369,19 @@ func (s *Store) Stats() Stats {
 	return Stats{
 		BlockReads:   s.blockReads.Load(),
 		BytesScanned: s.bytesScanned.Load(),
+		FailedReads:  s.failedReads.Load(),
 	}
 }
 
-// ResetStats zeroes the scan counters (between experiment runs).
+// ResetStats zeroes all counters — scans, failed reads, and (when a
+// cache is installed) the cache's hit/miss/eviction counters — so
+// back-to-back experiment runs start from a clean slate. Cached block
+// contents are kept; call Cache().Purge() to drop them too.
 func (s *Store) ResetStats() {
 	s.blockReads.Store(0)
 	s.bytesScanned.Store(0)
+	s.failedReads.Store(0)
+	if c := s.Cache(); c != nil {
+		c.ResetStats()
+	}
 }

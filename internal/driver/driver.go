@@ -66,6 +66,13 @@ type FaultStatsSource interface {
 	FaultStats() metrics.FaultStats
 }
 
+// CacheStatsSource is implemented by executors whose reads go through
+// a block cache (real or modeled); the driver folds the hit/miss/
+// eviction counters into the run's metrics at the end.
+type CacheStatsSource interface {
+	CacheStats() metrics.CacheStats
+}
+
 // DefaultMaxRequeues bounds consecutive requeues of one round before
 // the driver gives up (a fault schedule that never lets the round
 // complete would otherwise loop forever).
@@ -215,11 +222,14 @@ func settleRound(sched scheduler.Scheduler, exec Executor, coll *metrics.Collect
 	return nil
 }
 
-// finishStats folds the executor's fault counters into the run's
-// metrics once the loop ends.
+// finishStats folds the executor's fault and cache counters into the
+// run's metrics once the loop ends.
 func finishStats(exec Executor, coll *metrics.Collector) {
 	if src, ok := exec.(FaultStatsSource); ok {
 		coll.AddFaultStats(src.FaultStats())
+	}
+	if src, ok := exec.(CacheStatsSource); ok {
+		coll.AddCacheStats(src.CacheStats())
 	}
 }
 

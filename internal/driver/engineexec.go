@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"s3sched/internal/dfs"
 	"s3sched/internal/mapreduce"
 	"s3sched/internal/metrics"
 	"s3sched/internal/scheduler"
@@ -146,6 +147,30 @@ func (e *EngineExecutor) FaultStats() metrics.FaultStats {
 	e.failMu.Lock()
 	defer e.failMu.Unlock()
 	return e.faults
+}
+
+// CacheStats implements CacheStatsSource: the counters of the block
+// cache installed on the engine's store (all zeros with caching off).
+func (e *EngineExecutor) CacheStats() metrics.CacheStats {
+	cs := e.engine.Cluster().Store().CacheStats()
+	return metrics.CacheStats{Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions, Bytes: cs.Bytes}
+}
+
+// WireCacheTrace forwards the store's block-cache hit and eviction
+// events into the trace log, timestamped on the executor's wall clock.
+// A no-op unless a cache is installed on the engine's store.
+func (e *EngineExecutor) WireCacheTrace(log *trace.Log) {
+	cache := e.engine.Cluster().Store().Cache()
+	if cache == nil {
+		return
+	}
+	cache.SetObserver(func(ev dfs.CacheEvent) {
+		kind := trace.CacheHit
+		if ev.Kind == dfs.CacheEvict {
+			kind = trace.CacheEvict
+		}
+		log.Addf(e.clock.Now(), kind, -1, -1, "block %v node %d %d bytes", ev.Block, int(ev.Node), ev.Bytes)
+	})
 }
 
 // WireFaultTrace forwards the engine's fault events (failed attempts,

@@ -171,5 +171,11 @@ func (t *telemetry) endRun(coll *metrics.Collector, at vclock.Time, rounds int) 
 		t.rm.RetriesTotal.Add(float64(fs.Retries))
 		t.rm.FailedAttemptsTotal.Add(float64(fs.FailedAttempts))
 		t.rm.BlacklistedNodes.Add(float64(fs.BlacklistedNodes))
+		cs := coll.CacheStats()
+		t.rm.CacheHits.Add(float64(cs.Hits))
+		t.rm.CacheMisses.Add(float64(cs.Misses))
+		t.rm.CacheEvictions.Add(float64(cs.Evictions))
+		t.rm.CacheHitRatio.Set(cs.HitRatio())
+		t.rm.CacheBytes.Set(float64(cs.Bytes))
 	}
 }

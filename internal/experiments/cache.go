@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"s3sched/internal/core"
+	"s3sched/internal/dfs"
+	"s3sched/internal/driver"
+	"s3sched/internal/mapreduce"
+	"s3sched/internal/metrics"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/sim"
+	"s3sched/internal/vclock"
+	"s3sched/internal/workload"
+)
+
+// Cache study: how much of the repeated-arrival penalty a node-local
+// block cache recovers. The workload is the paper's sparse pattern —
+// three waves of wordcount jobs over the same 160 GB input — under
+// S^3: each wave's jobs join mid-scan and wrap around the file, so the
+// run makes several full passes and re-scans every block it already
+// paid for. With a per-node cache large enough to hold a node's share
+// of the input (160 GB / 40 nodes = 4 GB), every pass after the first
+// is served from memory.
+//
+// The sweep deliberately includes an undersized point: LRU under a
+// circular scan has a cliff, not a slope. When the warm set is smaller
+// than the scan cycle, every block is evicted just before the cursor
+// returns to it, so hits stay near zero until the budget covers the
+// whole cycle (the classic sequential-flooding pathology).
+
+// CachePoint is one cache size evaluated on the sim workload.
+type CachePoint struct {
+	CacheMB      int // per-node budget in MB; 0 = caching off
+	Summary      metrics.Summary
+	Rounds       int
+	CachedBlocks int64 // reads served warm across the run
+	HitRatio     float64
+	Evictions    int64
+}
+
+// CacheEngineCheck is the real-engine transparency check: the same
+// staggered wordcount workload run cache-off and cache-on must produce
+// byte-identical outputs, with the cache-on run doing strictly less
+// disk work.
+type CacheEngineCheck struct {
+	Jobs             int
+	OutputsIdentical bool
+	CacheHits        int64
+	ColdReads        int64 // physical block reads with caching off
+	WarmReads        int64 // physical block reads with caching on
+}
+
+// CacheStudyResult is the full study: the sim sweep plus the engine
+// transparency check.
+type CacheStudyResult struct {
+	Frac   float64 // cached scan cost as a fraction of disk cost
+	Points []CachePoint
+	Engine CacheEngineCheck
+}
+
+// CacheStudy sweeps per-node cache budgets (MB; include 0 for the
+// baseline) over the sparse repeated-arrival workload, pricing warm
+// reads at frac of the disk scan cost, then runs the real-engine
+// byte-identity check.
+func CacheStudy(perNodeMBs []int, frac float64) (CacheStudyResult, error) {
+	p := DefaultParams()
+	metas := workload.WordCountMetas(NumJobs, "input", 1, 1)
+	times := p.SparsePattern()
+	arrivals := make([]driver.Arrival, len(metas))
+	for i := range metas {
+		arrivals[i] = driver.Arrival{Job: metas[i], At: times[i]}
+	}
+
+	out := CacheStudyResult{Frac: frac}
+	for _, mb := range perNodeMBs {
+		if mb < 0 {
+			return CacheStudyResult{}, fmt.Errorf("experiments: negative cache budget %d MB", mb)
+		}
+		env, err := NewEnv(WordcountGB, 64, p.Model)
+		if err != nil {
+			return CacheStudyResult{}, err
+		}
+		exec := sim.NewExecutor(env.Cluster, env.Store, env.Model)
+		if mb > 0 {
+			if err := exec.EnableCache(int64(mb)<<20*Nodes, frac); err != nil {
+				return CacheStudyResult{}, err
+			}
+		}
+		res, err := driver.Run(core.New(env.Plan, nil), exec, arrivals)
+		if err != nil {
+			return CacheStudyResult{}, fmt.Errorf("experiments: cache run at %d MB: %w", mb, err)
+		}
+		sum, err := res.Metrics.Summarize(fmt.Sprintf("cache-%dmb", mb))
+		if err != nil {
+			return CacheStudyResult{}, err
+		}
+		out.Points = append(out.Points, CachePoint{
+			CacheMB:      mb,
+			Summary:      sum,
+			Rounds:       res.Rounds,
+			CachedBlocks: exec.Stats().CachedBlocks,
+			HitRatio:     exec.CacheStats().HitRatio(),
+			Evictions:    exec.CacheStats().Evictions,
+		})
+	}
+
+	eng, err := cacheEngineCheck()
+	if err != nil {
+		return CacheStudyResult{}, err
+	}
+	out.Engine = eng
+	return out, nil
+}
+
+// cacheEngineCheck runs the same staggered wordcount workload on the
+// real engine with and without a store cache and compares outputs
+// byte for byte. Arrivals are staggered so later jobs wrap around the
+// file and re-read blocks earlier jobs already scanned — exactly the
+// repeats the cache absorbs.
+func cacheEngineCheck() (CacheEngineCheck, error) {
+	const (
+		nodes     = 8
+		blocks    = 32
+		blockSize = 4 << 10
+		jobs      = 3
+		seed      = 11
+	)
+	run := func(cacheBytes int64) (map[scheduler.JobID]*mapreduce.Result, dfs.Stats, dfs.CacheStats, error) {
+		store := dfs.MustStore(nodes, 1)
+		if _, err := workload.AddTextFile(store, "corpus", blocks, blockSize, seed); err != nil {
+			return nil, dfs.Stats{}, dfs.CacheStats{}, err
+		}
+		if cacheBytes > 0 {
+			if _, err := store.EnableCache(cacheBytes); err != nil {
+				return nil, dfs.Stats{}, dfs.CacheStats{}, err
+			}
+		}
+		f, err := store.File("corpus")
+		if err != nil {
+			return nil, dfs.Stats{}, dfs.CacheStats{}, err
+		}
+		plan, err := dfs.PlanSegments(f, nodes)
+		if err != nil {
+			return nil, dfs.Stats{}, dfs.CacheStats{}, err
+		}
+		engine := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
+		specs := make(map[scheduler.JobID]mapreduce.JobSpec)
+		var arrivals []driver.Arrival
+		prefixes := workload.DistinctPrefixes(jobs)
+		for i := 0; i < jobs; i++ {
+			id := scheduler.JobID(i + 1)
+			specs[id] = workload.WordCountJob(fmt.Sprintf("wc%d", i), "corpus", prefixes[i], 2)
+			arrivals = append(arrivals, driver.Arrival{
+				Job: scheduler.JobMeta{ID: id, File: "corpus"},
+				At:  vclock.Time(i),
+			})
+		}
+		exec := driver.NewEngineExecutor(engine, specs)
+		if _, err := driver.Run(core.New(plan, nil), exec, arrivals); err != nil {
+			return nil, dfs.Stats{}, dfs.CacheStats{}, err
+		}
+		return exec.Results(), store.Stats(), store.CacheStats(), nil
+	}
+
+	cold, coldStats, _, err := run(0)
+	if err != nil {
+		return CacheEngineCheck{}, err
+	}
+	warm, warmStats, warmCache, err := run(int64(blocks) * blockSize * 2)
+	if err != nil {
+		return CacheEngineCheck{}, err
+	}
+	return CacheEngineCheck{
+		Jobs:             jobs,
+		OutputsIdentical: resultsIdentical(cold, warm),
+		CacheHits:        warmCache.Hits,
+		ColdReads:        coldStats.BlockReads,
+		WarmReads:        warmStats.BlockReads,
+	}, nil
+}
+
+// resultsIdentical compares two runs' job outputs byte for byte.
+func resultsIdentical(a, b map[scheduler.JobID]*mapreduce.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ids := make([]scheduler.JobID, 0, len(a))
+	for id := range a {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ra, rb := a[id], b[id]
+		if rb == nil || ra.Name != rb.Name || len(ra.Output) != len(rb.Output) {
+			return false
+		}
+		for i := range ra.Output {
+			if ra.Output[i] != rb.Output[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import "testing"
+
+func TestCacheStudy(t *testing.T) {
+	res, err := CacheStudy([]int{0, 4096}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(res.Points))
+	}
+	off, on := res.Points[0], res.Points[1]
+	if off.CachedBlocks != 0 || off.HitRatio != 0 {
+		t.Fatalf("baseline point shows cache activity: %+v", off)
+	}
+	if on.CachedBlocks == 0 {
+		t.Fatal("4 GB/node point served nothing warm on the repeated-arrival workload")
+	}
+	// The acceptance bar: caching never makes the repeated-arrival
+	// workload slower.
+	if on.Summary.TET > off.Summary.TET {
+		t.Fatalf("cache-on TET %v > cache-off TET %v", on.Summary.TET, off.Summary.TET)
+	}
+	if !res.Engine.OutputsIdentical {
+		t.Fatal("engine outputs diverged between cache-off and cache-on runs")
+	}
+	if res.Engine.CacheHits == 0 {
+		t.Fatal("engine check recorded no cache hits")
+	}
+	if res.Engine.WarmReads > res.Engine.ColdReads {
+		t.Fatalf("cache increased physical reads: %d > %d", res.Engine.WarmReads, res.Engine.ColdReads)
+	}
+}
+
+func TestCacheStudyDeterministic(t *testing.T) {
+	a, err := CacheStudy([]int{4096}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CacheStudy([]int{4096}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.Points[0], b.Points[0]
+	if pa.Summary.TET != pb.Summary.TET || pa.CachedBlocks != pb.CachedBlocks || pa.HitRatio != pb.HitRatio {
+		t.Fatalf("cache study is nondeterministic: %+v vs %+v", pa, pb)
+	}
+}
+
+func TestCacheStudyRejectsBadInput(t *testing.T) {
+	if _, err := CacheStudy([]int{-1}, 0.1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if _, err := CacheStudy([]int{64}, 1.5); err == nil {
+		t.Fatal("fraction above 1 accepted")
+	}
+}

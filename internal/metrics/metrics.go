@@ -26,6 +26,7 @@ type Collector struct {
 	order     []scheduler.JobID // submission order
 	stages    []RoundStages     // per-round stage timeline (pipelined runs)
 	faults    FaultStats
+	cache     CacheStats
 }
 
 // FaultStats aggregates a run's fault-handling counters. All zeros on
@@ -61,6 +62,43 @@ func (c *Collector) AddFaultStats(fs FaultStats) { c.faults.Add(fs) }
 
 // FaultStats returns the run's accumulated fault counters.
 func (c *Collector) FaultStats() FaultStats { return c.faults }
+
+// CacheStats aggregates a run's block-cache counters. All zeros when
+// caching is off.
+type CacheStats struct {
+	// Hits counts block reads served from cache instead of disk.
+	Hits int64
+	// Misses counts block reads that went to disk.
+	Misses int64
+	// Evictions counts blocks discarded to fit the cache byte budget.
+	Evictions int64
+	// Bytes is the cached byte footprint at the end of the run.
+	Bytes int64
+}
+
+// HitRatio returns hits / (hits + misses), or 0 when no reads occurred.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Add accumulates other into s. Bytes is a point-in-time footprint, so
+// footprints sum across disjoint caches (one per worker).
+func (s *CacheStats) Add(other CacheStats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+	s.Bytes += other.Bytes
+}
+
+// AddCacheStats accumulates block-cache counters into the collector.
+func (c *Collector) AddCacheStats(cs CacheStats) { c.cache.Add(cs) }
+
+// CacheStats returns the run's accumulated block-cache counters.
+func (c *Collector) CacheStats() CacheStats { return c.cache }
 
 // RoundStages is one round's stage timeline under pipelined execution:
 // the scan/map stage occupies the cluster's map slots during

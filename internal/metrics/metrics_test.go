@@ -361,3 +361,28 @@ func TestDecompositionIdentityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCacheStatsAccounting(t *testing.T) {
+	var cs CacheStats
+	if cs.HitRatio() != 0 {
+		t.Errorf("empty hit ratio = %v, want 0", cs.HitRatio())
+	}
+	cs.Add(CacheStats{Hits: 3, Misses: 1, Evictions: 2, Bytes: 100})
+	cs.Add(CacheStats{Hits: 1, Misses: 3, Bytes: 28})
+	if cs.Hits != 4 || cs.Misses != 4 || cs.Evictions != 2 || cs.Bytes != 128 {
+		t.Errorf("after Add, cs = %+v", cs)
+	}
+	if cs.HitRatio() != 0.5 {
+		t.Errorf("hit ratio = %v, want 0.5", cs.HitRatio())
+	}
+
+	c := NewCollector()
+	if got := c.CacheStats(); got != (CacheStats{}) {
+		t.Errorf("fresh collector cache stats = %+v", got)
+	}
+	c.AddCacheStats(CacheStats{Hits: 5, Misses: 5})
+	c.AddCacheStats(CacheStats{Hits: 1, Evictions: 4})
+	if got := c.CacheStats(); got.Hits != 6 || got.Misses != 5 || got.Evictions != 4 {
+		t.Errorf("collector cache stats = %+v", got)
+	}
+}

@@ -42,6 +42,14 @@ type RunMetrics struct {
 	BlacklistedNodes    *Counter
 	RequeuedRounds      *Counter
 	RequeuedSubJobs     *Counter
+	CacheHits           *Counter
+	CacheMisses         *Counter
+	CacheEvictions      *Counter
+
+	// CacheHitRatio is hits/(hits+misses) at the end of the run; CacheBytes
+	// is the cached footprint. Both stay zero when caching is off.
+	CacheHitRatio *Gauge
+	CacheBytes    *Gauge
 
 	// QueueDepth is the number of submitted-but-incomplete jobs after
 	// the most recent settled round.
@@ -70,6 +78,12 @@ func NewRunMetrics(reg *Registry) *RunMetrics {
 		BlacklistedNodes:    reg.Counter("s3_blacklisted_nodes_total", "nodes marked down after consecutive failures"),
 		RequeuedRounds:      reg.Counter("s3_requeued_rounds_total", "lost rounds returned to the scheduler"),
 		RequeuedSubJobs:     reg.Counter("s3_requeued_subjobs_total", "sub-jobs riding requeued rounds"),
+		CacheHits:           reg.Counter("s3_cache_hits_total", "block reads served from the node-local cache"),
+		CacheMisses:         reg.Counter("s3_cache_misses_total", "block reads that went to disk"),
+		CacheEvictions:      reg.Counter("s3_cache_evictions_total", "cached blocks discarded to fit the byte budget"),
+
+		CacheHitRatio: reg.Gauge("s3_cache_hit_ratio", "cache hits over total reads at end of run"),
+		CacheBytes:    reg.Gauge("s3_cache_bytes", "cached byte footprint at end of run"),
 
 		QueueDepth:  reg.Gauge("s3_queue_depth", "submitted-but-incomplete jobs after the last settled round"),
 		VirtualTime: reg.Gauge("s3_virtual_time_seconds", "run clock at last update"),

@@ -51,10 +51,13 @@ type ReduceTaskReply struct {
 // StatsArgs is empty; StatsReply reports a worker's lifetime counters.
 type StatsArgs struct{}
 
-// StatsReply is one worker's physical-work ledger.
+// StatsReply is one worker's physical-work ledger. The cache fields
+// stay zero on workers running without a block cache.
 type StatsReply struct {
 	BlockReads   int64
 	BytesScanned int64
 	MapTasks     int64
 	ReduceTasks  int64
+	CacheHits    int64
+	CacheMisses  int64
 }

@@ -104,6 +104,9 @@ func (w *Worker) Stats(_ *StatsArgs, reply *StatsReply) error {
 	reply.BytesScanned = st.BytesScanned
 	reply.MapTasks = w.mapTasks.Load()
 	reply.ReduceTasks = w.reduceTasks.Load()
+	cs := w.store.CacheStats()
+	reply.CacheHits = cs.Hits
+	reply.CacheMisses = cs.Misses
 	return nil
 }
 

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"container/list"
+	"fmt"
+
+	"s3sched/internal/dfs"
+	"s3sched/internal/metrics"
+)
+
+// Cache model: the simulator's analogue of dfs.BlockCache. The real
+// engine caches block *contents* per node; the simulator only needs to
+// know, at pricing time, whether a block would have been warm — so it
+// keeps a metadata-only LRU over block ids with a cluster-aggregate
+// byte budget (per-node budget × nodes), and prices a warm block's scan
+// at a configurable fraction of its disk cost. Warm blocks are memory
+// reads: they skip the remote and cross-rack penalties (nothing crosses
+// the network) and are not counted as physical scans, mirroring how the
+// engine's cache hits bypass dfs.Store's scan counters.
+
+// simCacheEntry is one warm block in the pricing LRU.
+type simCacheEntry struct {
+	block dfs.BlockID
+	bytes int64
+}
+
+// simCache is the executor's warm-set state.
+type simCache struct {
+	budget  int64   // cluster-aggregate byte budget
+	frac    float64 // cached scan cost as a fraction of disk cost
+	entries map[dfs.BlockID]*list.Element
+	lru     *list.List // front = most recently scanned
+	bytes   int64
+	stats   metrics.CacheStats
+}
+
+// EnableCache turns on cache-aware pricing: totalBytes of warm-set
+// budget cluster-wide, with cached reads costing frac of the disk scan
+// (frac 0 = free memory reads, 1 = no benefit). Call before the run.
+func (e *Executor) EnableCache(totalBytes int64, frac float64) error {
+	if totalBytes <= 0 {
+		return fmt.Errorf("sim: cache budget must be positive, got %d bytes", totalBytes)
+	}
+	if frac < 0 || frac > 1 {
+		return fmt.Errorf("sim: cached scan fraction %v outside [0,1]", frac)
+	}
+	e.cache = &simCache{
+		budget:  totalBytes,
+		frac:    frac,
+		entries: make(map[dfs.BlockID]*list.Element),
+		lru:     list.New(),
+	}
+	return nil
+}
+
+// CacheStats implements driver.CacheStatsSource.
+func (e *Executor) CacheStats() metrics.CacheStats {
+	if e.cache == nil {
+		return metrics.CacheStats{}
+	}
+	s := e.cache.stats
+	s.Bytes = e.cache.bytes
+	return s
+}
+
+// CachedBytes reports how many bytes of the given blocks are currently
+// warm (0 with caching off). Wire it into core.MultiFile.SetCacheAdvisor
+// to make the JQM's file arbitration cache-aware.
+func (e *Executor) CachedBytes(blocks []dfs.BlockID) int64 {
+	if e.cache == nil {
+		return 0
+	}
+	var total int64
+	for _, b := range blocks {
+		if el, ok := e.cache.entries[b]; ok {
+			total += el.Value.(*simCacheEntry).bytes
+		}
+	}
+	return total
+}
+
+// cacheContains reports whether the block is warm without promoting it.
+func (e *Executor) cacheContains(b dfs.BlockID) bool {
+	if e.cache == nil {
+		return false
+	}
+	_, ok := e.cache.entries[b]
+	return ok
+}
+
+// cacheAccess records one scan of block b of the given size and reports
+// whether it was warm. A miss inserts the block and evicts LRU entries
+// until the warm set fits the budget; blocks larger than the whole
+// budget are never cached. Called only from price() on the driver's
+// goroutine.
+func (e *Executor) cacheAccess(b dfs.BlockID, size int64) bool {
+	c := e.cache
+	if c == nil {
+		return false
+	}
+	if el, ok := c.entries[b]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		return true
+	}
+	c.stats.Misses++
+	if size > c.budget {
+		return false
+	}
+	c.entries[b] = c.lru.PushFront(&simCacheEntry{block: b, bytes: size})
+	c.bytes += size
+	for c.bytes > c.budget {
+		back := c.lru.Back()
+		ent := back.Value.(*simCacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, ent.block)
+		c.bytes -= ent.bytes
+		c.stats.Evictions++
+	}
+	return false
+}

@@ -131,9 +131,15 @@ func (e *Executor) ExecRoundAt(r scheduler.Round, now vclock.Time) (vclock.Durat
 	}
 
 	// Transient scan failures: each block's attempt chain is rolled on
-	// (seq, block, attempt) so requeued rounds re-roll.
+	// (seq, block, attempt) so requeued rounds re-roll. Warm blocks are
+	// memory reads — they never touch the disk path, so they cannot fail
+	// transiently (mirroring dfs.Store, whose fault hook fires on cache
+	// misses only).
 	retries := 0
 	for _, b := range r.Blocks {
+		if e.cacheContains(b) {
+			continue
+		}
 		attempt := 1
 		for faults.Roll(e.fm.Seed, uint64(seq), faults.HashBlock(b), uint64(attempt)) < e.fm.BlockFailRate {
 			if attempt == e.fm.MaxAttempts {

@@ -139,9 +139,10 @@ func (m CostModel) Validate() error {
 // Stats accumulates the physical work the simulator charged.
 type Stats struct {
 	Rounds        int
-	BlocksScanned int64 // block scans (one per block per round)
+	BlocksScanned int64 // physical block scans (cached reads excluded)
 	MapTasks      int64 // per-job per-block tasks
 	RemoteBlocks  int64 // blocks scanned with no replica holder in the round
+	CachedBlocks  int64 // block reads served from the warm set
 	SimTime       vclock.Duration
 }
 
@@ -167,6 +168,10 @@ type Executor struct {
 	roundSeq int
 	fstats   metrics.FaultStats
 	downNow  map[int]bool
+
+	// cache is the warm-set pricing model (see cache.go); nil when
+	// cache-aware pricing is off.
+	cache *simCache
 }
 
 // NewExecutor builds a cost-model executor. It panics on an invalid
@@ -191,8 +196,14 @@ func (e *Executor) EnableSlotChecking(floor float64) {
 // Stats returns the accumulated work counters.
 func (e *Executor) Stats() Stats { return e.stats }
 
-// ResetStats zeroes the work counters between runs.
-func (e *Executor) ResetStats() { e.stats = Stats{} }
+// ResetStats zeroes the work counters between runs, including the
+// cache-model counters (the warm set itself is kept).
+func (e *Executor) ResetStats() {
+	e.stats = Stats{}
+	if e.cache != nil {
+		e.cache.stats = metrics.CacheStats{}
+	}
+}
 
 // ExecRound implements driver.Executor.
 func (e *Executor) ExecRound(r scheduler.Round) (vclock.Duration, error) {
@@ -259,23 +270,32 @@ func (e *Executor) price(r scheduler.Round) (mapSec, redSec float64, err error) 
 	// All blocks of a segment share the nominal block size; price each
 	// block individually anyway so ragged final segments are exact.
 	n := float64(len(r.Jobs))
-	var remote int64
+	var remote, cached int64
 	var perBlockTotal float64 // summed nominal processing time of all blocks
 	for _, b := range r.Blocks {
 		f, ferr := e.store.File(b.File)
 		if ferr != nil {
 			return 0, 0, ferr
 		}
-		mb := float64(f.BlockLen(b.Index)) / (1 << 20)
+		size := f.BlockLen(b.Index)
+		mb := float64(size) / (1 << 20)
+		scanMB := mb
 		scanFactor := 1 + e.model.SharePenalty*(n-1)
-		if e.model.RemotePenalty > 0 && !e.blockLocal(b, usedSet) {
+		if e.cacheAccess(b, size) {
+			// Warm block: a memory read at a fraction of the disk scan
+			// cost, never remote (nothing crosses the network). The
+			// share penalty still applies — merged-record dispatch
+			// happens regardless of where the bytes came from.
+			scanMB *= e.cache.frac
+			cached++
+		} else if e.model.RemotePenalty > 0 && !e.blockLocal(b, usedSet) {
 			scanFactor += e.model.RemotePenalty
 			remote++
 			if e.model.CrossRackPenalty > 0 && !e.blockRackLocal(b, usedSet) {
 				scanFactor += e.model.CrossRackPenalty
 			}
 		}
-		t := mb/e.model.ScanMBps*scanFactor + e.model.TaskOverhead
+		t := scanMB/e.model.ScanMBps*scanFactor + e.model.TaskOverhead
 		for _, j := range r.Jobs {
 			if e.model.MapMBps > 0 {
 				t += mb / e.model.MapMBps * j.Weight
@@ -323,9 +343,10 @@ func (e *Executor) price(r scheduler.Round) (mapSec, redSec float64, err error) 
 	}
 
 	e.stats.Rounds++
-	e.stats.BlocksScanned += int64(len(r.Blocks))
+	e.stats.BlocksScanned += int64(len(r.Blocks)) - cached
 	e.stats.MapTasks += int64(len(r.Blocks) * len(r.Jobs))
 	e.stats.RemoteBlocks += remote
+	e.stats.CachedBlocks += cached
 	e.stats.SimTime += vclock.Duration(mapSec + redSec)
 	return mapSec, redSec, nil
 }

@@ -32,6 +32,14 @@ type RoundInfo struct {
 	Completed []int `json:"completed"`
 }
 
+// CacheInfo summarizes block-cache effectiveness for the dashboard.
+type CacheInfo struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRatio  float64 `json:"hitRatio"`
+}
+
 // State is the published run snapshot.
 type State struct {
 	Scheme       string             `json:"scheme"`
@@ -44,7 +52,20 @@ type State struct {
 	FailureNote  string             `json:"failureNote,omitempty"`
 	TETSeconds   float64            `json:"tetSeconds,omitempty"`
 	ARTSeconds   float64            `json:"artSeconds,omitempty"`
+	Cache        *CacheInfo         `json:"cache,omitempty"`
 	ExtraNumbers map[string]float64 `json:"extra,omitempty"`
+}
+
+// SetCache publishes block-cache counters (shown as a dashboard row).
+func (s *Server) SetCache(cs metrics.CacheStats) {
+	s.Update(func(st *State) {
+		st.Cache = &CacheInfo{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Evictions: cs.Evictions,
+			HitRatio:  cs.HitRatio(),
+		}
+	})
 }
 
 // Server publishes State over HTTP.
@@ -116,7 +137,9 @@ func (s *Server) Hooks(sched scheduler.Scheduler) driver.Hooks {
 	}
 }
 
-var dashboard = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
+var dashboard = template.Must(template.New("dash").Funcs(template.FuncMap{
+	"mulf": func(a, b float64) float64 { return a * b },
+}).Parse(`<!DOCTYPE html>
 <html><head><title>s3sched status</title></head><body>
 <h1>s3sched — {{.Scheme}}</h1>
 <table border="1" cellpadding="4">
@@ -129,6 +152,8 @@ var dashboard = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
 batch {{.LastRound.BatchSize}}, blocks {{.LastRound.Blocks}}</td></tr>{{end}}
 {{if .TETSeconds}}<tr><td>TET</td><td>{{printf "%.3f" .TETSeconds}}s</td></tr>{{end}}
 {{if .ARTSeconds}}<tr><td>ART</td><td>{{printf "%.3f" .ARTSeconds}}s</td></tr>{{end}}
+{{if .Cache}}<tr><td>block cache</td><td>{{.Cache.Hits}} hits / {{.Cache.Misses}} misses
+({{printf "%.1f" (mulf .Cache.HitRatio 100)}}% hit ratio), {{.Cache.Evictions}} evictions</td></tr>{{end}}
 {{if .FailureNote}}<tr><td>failure</td><td>{{.FailureNote}}</td></tr>{{end}}
 </table>
 <p><a href="/status.json">status.json</a></p>

@@ -180,3 +180,46 @@ func TestPprofEndpoint(t *testing.T) {
 		t.Errorf("pprof index missing profile listing:\n%.200s", body)
 	}
 }
+
+func TestSetCacheRendersDashboardRow(t *testing.T) {
+	s := NewServer("s3")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Before SetCache: no cache row in HTML, null in JSON.
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), "block cache") {
+		t.Fatal("cache row rendered before SetCache")
+	}
+
+	s.SetCache(metrics.CacheStats{Hits: 30, Misses: 10, Evictions: 2})
+	resp, err = http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"block cache", "30 hits / 10 misses", "75.0% hit ratio", "2 evictions"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("dashboard missing %q\n%s", want, body)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/status.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st State
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache == nil || st.Cache.Hits != 30 || st.Cache.HitRatio != 0.75 {
+		t.Errorf("json cache = %+v", st.Cache)
+	}
+}

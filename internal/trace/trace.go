@@ -64,6 +64,12 @@ const (
 	// TaskServed records a worker completing a dispatched RPC task;
 	// Detail carries the same corr=<id> the master logged.
 	TaskServed
+	// CacheHit records a block read served from the node-local block
+	// cache instead of disk.
+	CacheHit
+	// CacheEvict records the block cache discarding a block to fit its
+	// byte budget.
+	CacheEvict
 )
 
 var kindNames = map[Kind]string{
@@ -85,6 +91,8 @@ var kindNames = map[Kind]string{
 	TaskSpeculated:   "task-speculated",
 	TaskDispatched:   "task-dispatched",
 	TaskServed:       "task-served",
+	CacheHit:         "cache-hit",
+	CacheEvict:       "cache-evict",
 }
 
 // String returns the stable lowercase name of the kind.
