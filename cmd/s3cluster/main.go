@@ -6,6 +6,17 @@
 //	s3cluster -role worker -listen 127.0.0.1:7001
 //	s3cluster -role master -workers 127.0.0.1:7001,127.0.0.1:7002
 //
+// With -serve, the master (or demo) stays up as a daemon after its
+// initial jobs finish and accepts live submissions over HTTP:
+//
+//	s3cluster -role demo -serve -status 127.0.0.1:8080
+//	curl -d '{"factory":"wordcount","param":"th"}' http://127.0.0.1:8080/jobs
+//	curl http://127.0.0.1:8080/jobs/4
+//
+// Live jobs join the scheduler's current circular pass at the next
+// round boundary, sharing scans with whatever is already running.
+// Interrupt (SIGINT) closes admission and drains in-flight jobs.
+//
 // Workers generate their corpus locally from the shared seed — the
 // distributed analogue of HDFS data locality: block bytes never cross
 // the network, only task descriptions and intermediate records.
@@ -17,12 +28,13 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 
 	"s3sched/internal/core"
 	"s3sched/internal/dfs"
-	"s3sched/internal/driver"
 	"s3sched/internal/metrics"
 	"s3sched/internal/remote"
+	"s3sched/internal/runtime"
 	"s3sched/internal/scheduler"
 	"s3sched/internal/status"
 	"s3sched/internal/trace"
@@ -37,11 +49,12 @@ var (
 	blocks    = flag.Int("blocks", 24, "corpus blocks (must match across the cluster)")
 	blockSize = flag.Int64("blocksize", 16<<10, "corpus block size in bytes")
 	seed      = flag.Int64("seed", 7, "corpus generator seed (must match across the cluster)")
-	jobs      = flag.Int("jobs", 3, "master/demo: number of wordcount jobs")
+	jobs      = flag.Int("jobs", 3, "master/demo: number of initial wordcount jobs")
 	demoN     = flag.Int("nodes", 3, "demo: in-process worker count")
 	statAddr  = flag.String("status", "", "master/demo: serve a live status dashboard, Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
 	traceJSON = flag.String("tracejson", "", "master/demo: write the run's span tree as Chrome trace-event JSON to this file")
 	cacheMB   = flag.Int64("cachemb", 0, "worker/demo: per-worker block-cache budget in MB (0 = caching off)")
+	serve     = flag.Bool("serve", false, "master/demo: stay up as a daemon accepting live job submissions via POST /jobs on the status address; SIGINT drains and exits")
 )
 
 func main() {
@@ -114,7 +127,12 @@ func runMaster(addrs []string) error {
 	if len(addrs) == 0 || addrs[0] == "" {
 		return fmt.Errorf("master needs -workers")
 	}
-	refs := jobRefs(*jobs)
+	var refs map[scheduler.JobID]remote.JobRef
+	if !*serve {
+		// Daemon mode registers every job through the admission path;
+		// batch mode pre-registers the whole trace at dial time.
+		refs = jobRefs(*jobs)
+	}
 	master, err := remote.Dial(addrs, refs)
 	if err != nil {
 		return err
@@ -146,13 +164,108 @@ func runDemo() error {
 		}
 	}()
 	fmt.Printf("demo: %d in-process workers on %v\n", *demoN, addrs)
-	refs := jobRefs(*jobs)
+	var refs map[scheduler.JobID]remote.JobRef
+	if !*serve {
+		refs = jobRefs(*jobs)
+	}
 	master, err := remote.Dial(addrs, refs)
 	if err != nil {
 		return err
 	}
 	defer master.Close()
 	return drive(master, *demoN, refs)
+}
+
+// clusterAdmission adapts the runtime's live admission queue to the
+// status server's HTTP API: it validates submissions against the
+// workers' factory registry, registers the JobRef with the master
+// inside the source's pre-admission hook (so the engine can never race
+// ahead of registration), and tracks names for the final report.
+type clusterAdmission struct {
+	src       *runtime.LiveSource
+	master    *remote.Master
+	file      string
+	factories map[string]bool
+
+	mu   sync.Mutex
+	refs map[scheduler.JobID]remote.JobRef
+}
+
+func newClusterAdmission(src *runtime.LiveSource, master *remote.Master) *clusterAdmission {
+	a := &clusterAdmission{
+		src:       src,
+		master:    master,
+		file:      "corpus",
+		factories: make(map[string]bool),
+		refs:      make(map[scheduler.JobID]remote.JobRef),
+	}
+	// The daemon validates against the same standard registry every
+	// worker runs, so a typo'd factory is rejected at the HTTP boundary
+	// instead of aborting the pass worker-side.
+	for _, name := range remote.NewStandardRegistry().Names() {
+		a.factories[name] = true
+	}
+	return a
+}
+
+// SubmitJob implements status.Admission.
+func (a *clusterAdmission) SubmitJob(req status.JobRequest) (scheduler.JobID, error) {
+	factory := req.Factory
+	if factory == "" {
+		factory = "wordcount"
+	}
+	if !a.factories[factory] {
+		return 0, fmt.Errorf("unknown job factory %q (have %v)", factory, remote.NewStandardRegistry().Names())
+	}
+	name := req.Name
+	if name == "" {
+		if req.Param != "" {
+			name = fmt.Sprintf("%s-%s", factory, req.Param)
+		} else {
+			name = factory
+		}
+	}
+	numReduce := req.NumReduce
+	if numReduce <= 0 {
+		numReduce = 2
+	}
+	ref := remote.JobRef{Name: name, Factory: factory, Param: req.Param, NumReduce: numReduce}
+	meta := scheduler.JobMeta{
+		Name:     name,
+		File:     a.file,
+		Weight:   req.Weight,
+		Priority: req.Priority,
+	}
+	return a.src.SubmitWith(meta, func(id scheduler.JobID) error {
+		if err := a.master.RegisterJob(id, ref); err != nil {
+			return err
+		}
+		a.mu.Lock()
+		a.refs[id] = ref
+		a.mu.Unlock()
+		return nil
+	})
+}
+
+// JobStatus implements status.Admission.
+func (a *clusterAdmission) JobStatus(id scheduler.JobID) (runtime.JobStatus, bool) {
+	return a.src.Status(id)
+}
+
+// Jobs implements status.Admission.
+func (a *clusterAdmission) Jobs() []runtime.JobStatus {
+	return a.src.Jobs()
+}
+
+// jobNames snapshots the admitted id→display-name mapping.
+func (a *clusterAdmission) jobNames() map[scheduler.JobID]string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[scheduler.JobID]string, len(a.refs))
+	for id, ref := range a.refs {
+		out[id] = ref.Name
+	}
+	return out
 }
 
 func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remote.JobRef) error {
@@ -173,14 +286,7 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 		return err
 	}
 
-	var arrivals []driver.Arrival
-	for id := range refs {
-		arrivals = append(arrivals, driver.Arrival{
-			Job: scheduler.JobMeta{ID: id, File: "corpus"},
-			At:  vclock.Time(id - 1),
-		})
-	}
-	var opts driver.Options
+	var opts runtime.Options
 	var spans *trace.Log
 	if *traceJSON != "" {
 		spans, err = trace.New(1 << 16)
@@ -195,19 +301,73 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 	sched := core.New(plan, spans)
 	reg := metrics.NewRegistry()
 	opts.Metrics = metrics.NewRunMetrics(reg)
+
+	var src *runtime.LiveSource
+	var adm *clusterAdmission
+	statusAddr := *statAddr
+	if *serve {
+		src = runtime.NewLiveSource()
+		adm = newClusterAdmission(src, master)
+		if statusAddr == "" {
+			// The daemon is pointless without its HTTP surface.
+			statusAddr = "127.0.0.1:8080"
+		}
+	}
 	var srv *status.Server
-	if *statAddr != "" {
+	if statusAddr != "" {
 		srv = status.NewServer(sched.Name())
 		srv.SetRegistry(reg)
-		addr, err := srv.Serve(*statAddr)
+		if adm != nil {
+			srv.SetAdmission(adm)
+		}
+		addr, err := srv.Serve(statusAddr)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
 		fmt.Printf("status dashboard: http://%s/ (also /metrics, /debug/pprof/)\n", addr)
+		if adm != nil {
+			fmt.Printf("job admission: POST http://%s/jobs accepts {\"factory\",\"param\",...}; GET /jobs lists\n", addr)
+		}
 		opts.Hooks = srv.Hooks(sched)
 	}
-	res, err := driver.RunOpts(sched, master, arrivals, opts)
+
+	var res *runtime.Result
+	var names map[scheduler.JobID]string
+	if *serve {
+		// Seed the initial workload through the same admission path HTTP
+		// submissions take, then run until SIGINT closes the queue and
+		// everything admitted has drained.
+		prefixes := workload.DistinctPrefixes(*jobs)
+		for i := 0; i < *jobs; i++ {
+			if _, err := adm.SubmitJob(status.JobRequest{Factory: "wordcount", Param: prefixes[i]}); err != nil {
+				return err
+			}
+		}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		go func() {
+			<-sig
+			signal.Stop(sig)
+			fmt.Println("interrupt: closing admission, draining in-flight jobs")
+			src.Close()
+		}()
+		res, err = runtime.Run(sched, master, src, opts)
+		names = adm.jobNames()
+	} else {
+		var arrivals []runtime.Arrival
+		for id := range refs {
+			arrivals = append(arrivals, runtime.Arrival{
+				Job: scheduler.JobMeta{ID: id, File: "corpus"},
+				At:  vclock.Time(id - 1),
+			})
+		}
+		res, err = runtime.RunTrace(sched, master, arrivals, opts)
+		names = make(map[scheduler.JobID]string, len(refs))
+		for id, ref := range refs {
+			names[id] = ref.Name
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -255,7 +415,7 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 		reads += st.BlockReads
 		cache.Add(metrics.CacheStats{Hits: st.CacheHits, Misses: st.CacheMisses})
 	}
-	fmt.Printf("cluster block reads: %d (isolated jobs would need %d)\n", reads, int64(*jobs)*int64(*blocks))
+	fmt.Printf("cluster block reads: %d (isolated jobs would need %d)\n", reads, int64(len(names))*int64(*blocks))
 	if cache.Hits+cache.Misses > 0 {
 		fmt.Printf("cluster block cache: %d hits / %d misses (%.1f%% hit ratio)\n", cache.Hits, cache.Misses, 100*cache.HitRatio())
 	}
@@ -263,7 +423,7 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 		srv.SetCache(cache)
 	}
 	for id, out := range master.Results() {
-		fmt.Printf("job %d (%s): %d output keys\n", id, refs[id].Name, len(out))
+		fmt.Printf("job %d (%s): %d output keys\n", id, names[id], len(out))
 	}
 	return nil
 }

@@ -1,397 +1,75 @@
-// Package driver runs an arrival sequence of jobs through a scheduler
-// and an executor under a virtual clock, producing the per-job timings
-// the paper's metrics are computed from.
-//
-// The same driver serves both execution substrates: the real
-// in-process MapReduce engine (rounds take measured wall time) and the
-// discrete-event cost model (rounds take computed time). Either way
-// the loop is the paper's: the cluster runs one merged round at a
-// time; jobs arriving while a round is in flight are submitted to the
-// scheduler before the next round is formed, which is exactly the
-// window S^3's sub-job alignment exploits.
+// Package driver is the historical entry point for running an arrival
+// sequence of jobs through a scheduler and an executor. The round-loop
+// state machine itself lives in internal/runtime — one engine shared
+// by the serial and pipelined paths, with pluggable arrival sources —
+// and this package retains only type aliases and thin wrappers so the
+// pre-runtime API keeps working. New code that needs live admission
+// (submitting jobs while a pass is in flight) should use
+// internal/runtime directly.
 package driver
 
 import (
-	"errors"
-	"fmt"
-	"sort"
-
-	"s3sched/internal/metrics"
+	"s3sched/internal/runtime"
 	"s3sched/internal/scheduler"
-	"s3sched/internal/vclock"
 )
 
 // Executor runs one round of cluster work and reports how long it took.
-type Executor interface {
-	ExecRound(r scheduler.Round) (vclock.Duration, error)
-}
+type Executor = runtime.Executor
 
 // ExecutorFunc adapts a function to Executor.
-type ExecutorFunc func(r scheduler.Round) (vclock.Duration, error)
-
-// ExecRound calls f.
-func (f ExecutorFunc) ExecRound(r scheduler.Round) (vclock.Duration, error) { return f(r) }
+type ExecutorFunc = runtime.ExecutorFunc
 
 // TimedExecutor is implemented by executors whose failure behavior
-// depends on the current virtual time (e.g. the simulator's crash
-// windows). The serial driver calls ExecRoundAt with the round's
-// launch time when available.
-type TimedExecutor interface {
-	ExecRoundAt(r scheduler.Round, now vclock.Time) (vclock.Duration, error)
-}
+// depends on the current virtual time. See runtime.TimedExecutor.
+type TimedExecutor = runtime.TimedExecutor
 
-// TimeSensitive refines TimedExecutor for executors whose ExecRoundAt
-// only sometimes differs from ExecRound (the simulator is
-// time-dependent only while a fault model is installed). When it
-// reports false, the serial driver is free to use the telemetry
-// stage-split path instead of ExecRoundAt.
-type TimeSensitive interface {
-	TimeDependent() bool
-}
+// TimeSensitive refines TimedExecutor. See runtime.TimeSensitive.
+type TimeSensitive = runtime.TimeSensitive
 
 // FailureReporter is implemented by executors that isolate per-job
-// failures: a round may succeed while individual jobs' map/reduce code
-// failed. The driver drains the reports after each round, fails those
-// jobs in the metrics, and aborts them in the scheduler.
-type FailureReporter interface {
-	// TakeJobFailures returns and clears the failures recorded since
-	// the previous call.
-	TakeJobFailures() []scheduler.JobFailure
-}
+// failures. See runtime.FailureReporter.
+type FailureReporter = runtime.FailureReporter
 
 // FaultStatsSource is implemented by executors that count fault
-// handling (retries, failed attempts, blacklists); the driver folds
-// the counters into the run's metrics at the end.
-type FaultStatsSource interface {
-	FaultStats() metrics.FaultStats
-}
+// handling. See runtime.FaultStatsSource.
+type FaultStatsSource = runtime.FaultStatsSource
 
 // CacheStatsSource is implemented by executors whose reads go through
-// a block cache (real or modeled); the driver folds the hit/miss/
-// eviction counters into the run's metrics at the end.
-type CacheStatsSource interface {
-	CacheStats() metrics.CacheStats
-}
-
-// DefaultMaxRequeues bounds consecutive requeues of one round before
-// the driver gives up (a fault schedule that never lets the round
-// complete would otherwise loop forever).
-const DefaultMaxRequeues = 32
-
-// Arrival is one job submission event.
-type Arrival struct {
-	Job scheduler.JobMeta
-	At  vclock.Time
-}
+// a block cache. See runtime.CacheStatsSource.
+type CacheStatsSource = runtime.CacheStatsSource
 
 // Stalled is implemented by schedulers that can report a permanent
-// stall (MRShare with an unfillable batch). The driver surfaces it as
-// an error instead of spinning forever.
-type Stalled interface {
-	Stalled() bool
-}
+// stall. See runtime.Stalled.
+type Stalled = runtime.Stalled
 
-// Waker is implemented by time-driven schedulers (e.g. window-based
-// batchers) that may have work at a future instant even with no
-// arrivals left. The driver advances the clock to the wake time when
-// the scheduler is otherwise idle.
-type Waker interface {
-	// NextWake returns the next time the scheduler should be polled
-	// again, or ok=false when it has no timed work.
-	NextWake(now vclock.Time) (vclock.Time, bool)
-}
+// Waker is implemented by time-driven schedulers. See runtime.Waker.
+type Waker = runtime.Waker
 
-// Result is the outcome of one driver run.
-type Result struct {
-	Metrics *metrics.Collector
-	Rounds  int
-	// End is the virtual time when the last job completed.
-	End vclock.Time
-}
+// Arrival is one job submission event.
+type Arrival = runtime.Arrival
 
-// Hooks observe the run loop. Both callbacks are invoked from the
-// driver's goroutine, so they may read scheduler state safely but must
-// not call back into it.
-type Hooks struct {
-	// OnRoundStart fires after a round is formed, before it executes.
-	OnRoundStart func(r scheduler.Round, now vclock.Time)
-	// OnRoundDone fires after the round is retired, with the jobs that
-	// completed in it.
-	OnRoundDone func(r scheduler.Round, now vclock.Time, completed []scheduler.JobID)
-}
+// Result is the outcome of one run.
+type Result = runtime.Result
+
+// Hooks observe the run loop.
+type Hooks = runtime.Hooks
+
+// Options configures RunOpts.
+type Options = runtime.Options
+
+// DefaultMaxRequeues bounds consecutive requeues of one round before
+// the engine gives up.
+const DefaultMaxRequeues = runtime.DefaultMaxRequeues
 
 // Run feeds the arrivals through the scheduler, executing rounds until
 // every submitted job completes. Arrivals may be given in any order;
 // they are processed by time, ties by job id.
 func Run(sched scheduler.Scheduler, exec Executor, arrivals []Arrival) (*Result, error) {
-	return RunWithHooks(sched, exec, arrivals, Hooks{})
-}
-
-// sortedArrivals validates the arrivals and returns them ordered by
-// time, ties by job id.
-func sortedArrivals(arrivals []Arrival) ([]Arrival, error) {
-	evs := make([]Arrival, len(arrivals))
-	copy(evs, arrivals)
-	sort.SliceStable(evs, func(i, j int) bool {
-		if evs[i].At != evs[j].At {
-			return evs[i].At < evs[j].At
-		}
-		return evs[i].Job.ID < evs[j].Job.ID
-	})
-	for i, a := range evs {
-		if a.At < 0 {
-			return nil, fmt.Errorf("driver: arrival %d at negative time %v", i, a.At)
-		}
-	}
-	return evs, nil
+	return runtime.RunTrace(sched, exec, arrivals, Options{})
 }
 
 // RunWithHooks is Run with observation callbacks. It always runs the
 // serial round loop; RunOpts selects the pipelined loop when asked to.
 func RunWithHooks(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, hooks Hooks) (*Result, error) {
-	return runSerial(sched, exec, arrivals, Options{Hooks: hooks})
-}
-
-// handleRoundLoss processes a round-loss error: advance the clock by
-// the time the failed execution consumed, then return the round to a
-// Recoverable scheduler. Returns an error when the scheduler cannot
-// recover or the consecutive-requeue bound is exhausted.
-func handleRoundLoss(sched scheduler.Scheduler, clock *vclock.Virtual, coll *metrics.Collector,
-	r scheduler.Round, lost *scheduler.RoundLostError, requeues, maxRequeues int) error {
-	rec, ok := sched.(scheduler.Recoverable)
-	if !ok {
-		return fmt.Errorf("driver: round over segment %d lost and scheduler %q cannot requeue: %w", r.Segment, sched.Name(), lost)
-	}
-	if requeues > maxRequeues {
-		return fmt.Errorf("driver: round over segment %d lost %d consecutive times, giving up: %w", r.Segment, requeues, lost)
-	}
-	if lost.Elapsed < 0 {
-		return fmt.Errorf("driver: executor returned negative lost-round elapsed %v", lost.Elapsed)
-	}
-	clock.Advance(lost.Elapsed)
-	rec.RequeueRound(r, clock.Now())
-	coll.AddFaultStats(metrics.FaultStats{RequeuedRounds: 1, RequeuedSubJobs: len(r.Jobs)})
-	return nil
-}
-
-// settleRound records a retired round's completions and drains the
-// executor's per-job failure reports: failed jobs are marked failed
-// (not completed) and aborted in the scheduler so no future round
-// includes them. failedSoFar persists across rounds — under pipelining
-// a failure drained at an earlier round's retire must not be
-// double-counted when a later round reports the same job completed.
-func settleRound(sched scheduler.Scheduler, exec Executor, coll *metrics.Collector, hooks Hooks, tele *telemetry,
-	r scheduler.Round, now vclock.Time, completed []scheduler.JobID, failedSoFar map[scheduler.JobID]bool) error {
-	var fresh []scheduler.JobID
-	if fr, ok := exec.(FailureReporter); ok {
-		for _, jf := range fr.TakeJobFailures() {
-			if failedSoFar[jf.ID] {
-				continue
-			}
-			failedSoFar[jf.ID] = true
-			coll.Fail(jf.ID, now)
-			tele.jobFailed()
-			fresh = append(fresh, jf.ID)
-		}
-	}
-	done := make(map[scheduler.JobID]bool, len(completed))
-	for _, id := range completed {
-		done[id] = true
-		if failedSoFar[id] {
-			continue // recorded as failed, and already retired by the scheduler
-		}
-		coll.Complete(id, now)
-		tele.jobCompleted(coll, id)
-	}
-	var abort []scheduler.JobID
-	for _, id := range fresh {
-		if !done[id] {
-			abort = append(abort, id)
-		}
-	}
-	if len(abort) > 0 {
-		rec, ok := sched.(scheduler.Recoverable)
-		if !ok {
-			return fmt.Errorf("driver: job(s) %v failed and scheduler %q cannot abort them", abort, sched.Name())
-		}
-		rec.AbortJobs(abort, now)
-	}
-	if hooks.OnRoundDone != nil {
-		hooks.OnRoundDone(r, now, completed)
-	}
-	return nil
-}
-
-// finishStats folds the executor's fault and cache counters into the
-// run's metrics once the loop ends.
-func finishStats(exec Executor, coll *metrics.Collector) {
-	if src, ok := exec.(FaultStatsSource); ok {
-		coll.AddFaultStats(src.FaultStats())
-	}
-	if src, ok := exec.(CacheStatsSource); ok {
-		coll.AddCacheStats(src.CacheStats())
-	}
-}
-
-func runSerial(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, opts Options) (*Result, error) {
-	evs, err := sortedArrivals(arrivals)
-	if err != nil {
-		return nil, err
-	}
-	hooks := opts.Hooks
-	maxRequeues := opts.MaxRequeues
-	if maxRequeues <= 0 {
-		maxRequeues = DefaultMaxRequeues
-	}
-
-	clock := vclock.NewVirtual()
-	coll := metrics.NewCollector()
-	res := &Result{Metrics: coll}
-	tele := newTelemetry(opts)
-	tele.beginRun(sched.Name(), clock.Now())
-	next := 0     // index of next undelivered arrival
-	requeues := 0 // consecutive requeues of the current round
-	failed := make(map[scheduler.JobID]bool)
-
-	deliverDue := func(now vclock.Time) error {
-		for next < len(evs) && evs[next].At <= now {
-			a := evs[next]
-			if err := sched.Submit(a.Job, a.At); err != nil {
-				return err
-			}
-			coll.Submit(a.Job.ID, a.At)
-			tele.jobSubmitted()
-			next++
-		}
-		return nil
-	}
-
-	for {
-		now := clock.Now()
-		if err := deliverDue(now); err != nil {
-			return nil, err
-		}
-		r, ok := sched.NextRound(now)
-		if !ok {
-			// Idle: sleep until whichever comes first — the next
-			// arrival or the scheduler's own timer (window batchers).
-			var target vclock.Time
-			haveTarget := false
-			if next < len(evs) {
-				target = evs[next].At
-				haveTarget = true
-			}
-			if w, isWaker := sched.(Waker); isWaker {
-				if wake, wok := w.NextWake(now); wok && wake > now && (!haveTarget || wake < target) {
-					target = wake
-					haveTarget = true
-				}
-			}
-			if haveTarget {
-				if target < now {
-					target = now
-				}
-				clock.AdvanceTo(target)
-				continue
-			}
-			// No work, no arrivals, no timers.
-			if sched.PendingJobs() > 0 {
-				if st, isSt := sched.(Stalled); isSt && st.Stalled() {
-					return nil, fmt.Errorf("driver: scheduler %q stalled with %d pending job(s): %v",
-						sched.Name(), sched.PendingJobs(), coll.Incomplete())
-				}
-				return nil, fmt.Errorf("driver: scheduler %q idle but %d job(s) incomplete: %v",
-					sched.Name(), sched.PendingJobs(), coll.Incomplete())
-			}
-			break
-		}
-		// The launch of a round is each included job's transition
-		// from waiting to processing (§III-B decomposition).
-		for _, id := range r.JobIDs() {
-			if coll.Start(id, now) {
-				tele.jobStarted(coll, id)
-			}
-		}
-		if hooks.OnRoundStart != nil {
-			hooks.OnRoundStart(r, now)
-		}
-		launch := now
-		var dur, mapDur, redDur vclock.Duration
-		var err error
-		split := false
-		te, timed := exec.(TimedExecutor)
-		if timed && tele.active() {
-			// An executor that knows it is currently time-independent
-			// frees the telemetry path to split stages.
-			if ts, ok := exec.(TimeSensitive); ok && !ts.TimeDependent() {
-				if _, staged := exec.(StageExecutor); staged {
-					timed = false
-				}
-			}
-		}
-		if timed {
-			dur, err = te.ExecRoundAt(r, now)
-		} else if se, staged := exec.(StageExecutor); staged && tele.active() {
-			// Telemetry wants per-stage timings. ExecMapStage + stage()
-			// is the same computation ExecRound performs (the
-			// StageExecutor contract), just with the boundary visible.
-			var stage ReduceStage
-			mapDur, stage, err = se.ExecMapStage(r)
-			if err == nil {
-				if stage == nil {
-					return nil, fmt.Errorf("driver: executor returned a nil reduce stage for segment %d", r.Segment)
-				}
-				redDur, err = stage()
-				if err == nil {
-					dur = mapDur + redDur
-					split = true
-				}
-			}
-		} else {
-			dur, err = exec.ExecRound(r)
-		}
-		if err != nil {
-			var lost *scheduler.RoundLostError
-			if errors.As(err, &lost) {
-				requeues++
-				if lerr := handleRoundLoss(sched, clock, coll, r, lost, requeues, maxRequeues); lerr != nil {
-					return nil, lerr
-				}
-				tele.roundLost(r)
-				// Arrivals during the failed attempt still join the
-				// queue; the re-formed round aligns them too.
-				continue
-			}
-			return nil, fmt.Errorf("driver: round over segment %d failed: %w", r.Segment, err)
-		}
-		if dur < 0 {
-			return nil, fmt.Errorf("driver: executor returned negative duration %v", dur)
-		}
-		requeues = 0
-		res.Rounds++
-		clock.Advance(dur)
-		now = clock.Now()
-		// Jobs that arrived while the round ran join the queue before
-		// the round is retired, so the very next round can include
-		// them (S^3 dynamic sub-job adjustment, §IV-D2).
-		if err := deliverDue(now); err != nil {
-			return nil, err
-		}
-		// Record the round before settling so rounds-per-job counts
-		// include the round a job completes in.
-		mapEnd := launch.Add(mapDur)
-		if !split {
-			mapEnd, mapDur, redDur = now, dur, 0
-		}
-		tele.recordRound(r, res.Rounds-1, launch, mapEnd, mapEnd, now, now, mapDur, redDur, split)
-		completed := sched.RoundDone(r, now)
-		if err := settleRound(sched, exec, coll, hooks, tele, r, now, completed, failed); err != nil {
-			return nil, err
-		}
-		tele.queueDepth(sched.PendingJobs())
-	}
-	finishStats(exec, coll)
-	res.End = clock.Now()
-	tele.endRun(coll, res.End, res.Rounds)
-	return res, nil
+	return runtime.RunTrace(sched, exec, arrivals, Options{Hooks: hooks})
 }

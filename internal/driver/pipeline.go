@@ -1,389 +1,26 @@
 package driver
 
 import (
-	"errors"
-	"fmt"
-
-	"s3sched/internal/metrics"
+	"s3sched/internal/runtime"
 	"s3sched/internal/scheduler"
-	"s3sched/internal/trace"
-	"s3sched/internal/vclock"
 )
 
-// ReduceStage runs a committed round's reduce work and reports how
-// long it took. The driver may invoke it on a worker goroutine,
-// concurrently with later rounds' map stages; everything the stage
-// touches must have been committed (snapshotted or locked) by
-// ExecMapStage before it returned.
-//
-// ReduceStage is a type alias, not a defined type, so executors in
-// other packages can satisfy StageExecutor without importing driver.
-type ReduceStage = func() (vclock.Duration, error)
+// ReduceStage runs a committed round's reduce work. See
+// runtime.ReduceStage.
+type ReduceStage = runtime.ReduceStage
 
 // StageExecutor is implemented by executors that can split a round
-// into its two stages: the scan/map stage (ending at shuffle-commit)
-// and the reduce stage. Splitting lets the driver start round N+1's
-// scan as soon as round N's map finishes, overlapping N's reduce with
-// N+1's scan — the pipelining §V leaves on the table when every round
-// blocks on its own reduce.
-type StageExecutor interface {
-	Executor
-	// ExecMapStage runs the round's scan/map stage, commits the shuffle
-	// (so later map output cannot bleed into this round's reduce input),
-	// and returns the stage's duration plus the round's reduce stage.
-	ExecMapStage(r scheduler.Round) (vclock.Duration, ReduceStage, error)
-}
+// into scan/map and reduce stages. See runtime.StageExecutor.
+type StageExecutor = runtime.StageExecutor
 
 // DefaultReduceWorkers bounds concurrently draining reduce stages when
 // Options.ReduceWorkers is unset.
-const DefaultReduceWorkers = 2
+const DefaultReduceWorkers = runtime.DefaultReduceWorkers
 
-// Options configures RunOpts.
-type Options struct {
-	// Pipeline requests stage-pipelined execution. It engages only when
-	// both the scheduler (scheduler.StageAware) and the executor
-	// (StageExecutor) support it; otherwise the serial loop runs.
-	Pipeline bool
-	// ReduceWorkers bounds concurrently running reduce stages
-	// (default DefaultReduceWorkers). Also the number of virtual reduce
-	// slots the timing model charges reduces against.
-	ReduceWorkers int
-	// MaxRequeues bounds consecutive requeues of one lost round before
-	// the driver gives up (default DefaultMaxRequeues).
-	MaxRequeues int
-	Hooks       Hooks
-	// Spans, when set, receives the run's hierarchical span tree
-	// (run → round → scan/reduce stage → per-job subjob) in vclock
-	// time. Export it with trace.WriteChromeTrace.
-	Spans *trace.Log
-	// Metrics, when set, receives live counter/gauge/histogram updates
-	// as the run progresses (see metrics.NewRunMetrics). With either
-	// sink set, the serial loop splits stage-capable executors into
-	// scan+reduce to attribute time per stage; the composition is
-	// semantically identical to ExecRound.
-	Metrics *metrics.RunMetrics
-}
-
-// RunOpts is Run with explicit execution options.
+// RunOpts is Run with explicit execution options. Pipelined execution
+// engages only when both the scheduler (scheduler.StageAware) and the
+// executor (StageExecutor) support it; otherwise the serial policy
+// runs — the selection now lives in runtime.Run.
 func RunOpts(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, opts Options) (*Result, error) {
-	if opts.Pipeline {
-		se, okExec := exec.(StageExecutor)
-		sa, okSched := sched.(scheduler.StageAware)
-		if okExec && okSched {
-			return runPipelined(sched, sa, se, arrivals, opts)
-		}
-	}
-	return runSerial(sched, exec, arrivals, opts)
-}
-
-type stageOutcome struct {
-	dur vclock.Duration
-	err error
-}
-
-// pendingRound is a round whose scan/map stage finished but which has
-// not been retired yet: its reduce stage is queued, running, or done.
-type pendingRound struct {
-	r        scheduler.Round
-	seq      int
-	stage    ReduceStage
-	mapStart vclock.Time
-	mapEnd   vclock.Time
-	mapDur   vclock.Duration
-	outcome  chan stageOutcome
-	// got/out stash a received outcome so non-blocking polls are not
-	// lost when the round cannot retire yet.
-	got bool
-	out stageOutcome
-}
-
-// runPipelined is the stage-pipelined event loop. The virtual clock is
-// driven by map stages: as soon as round N's map finishes the
-// scheduler is told (MapDone) and round N+1 may form, while N's reduce
-// drains on one of ReduceWorkers workers. Reduce time is charged
-// against virtual reduce slots — a round's reduce starts at
-// max(its map end, earliest slot free) — and rounds retire strictly in
-// launch order (retire = max(own reduce end, previous retire)), which
-// preserves the paper's Algorithm-1 completion semantics: RoundDone is
-// still called once per round, in round order, with the reduce-end
-// time.
-func runPipelined(sched scheduler.Scheduler, sa scheduler.StageAware, exec StageExecutor, arrivals []Arrival, opts Options) (*Result, error) {
-	evs, err := sortedArrivals(arrivals)
-	if err != nil {
-		return nil, err
-	}
-	workers := opts.ReduceWorkers
-	if workers <= 0 {
-		workers = DefaultReduceWorkers
-	}
-	maxRequeues := opts.MaxRequeues
-	if maxRequeues <= 0 {
-		maxRequeues = DefaultMaxRequeues
-	}
-	hooks := opts.Hooks
-
-	clock := vclock.NewVirtual()
-	coll := metrics.NewCollector()
-	res := &Result{Metrics: coll}
-	tele := newTelemetry(opts)
-	tele.beginRun(sched.Name(), clock.Now())
-	next := 0     // index of next undelivered arrival
-	requeues := 0 // consecutive requeues of the current round
-	failed := make(map[scheduler.JobID]bool)
-
-	deliverDue := func(now vclock.Time) error {
-		for next < len(evs) && evs[next].At <= now {
-			a := evs[next]
-			if err := sched.Submit(a.Job, a.At); err != nil {
-				return err
-			}
-			coll.Submit(a.Job.ID, a.At)
-			tele.jobSubmitted()
-			next++
-		}
-		return nil
-	}
-
-	// Reduce workers drain stages in FIFO launch order. The buffer only
-	// affects wall-clock batching, never virtual timing: measured reduce
-	// durations come from inside the stages themselves.
-	tasks := make(chan *pendingRound, 4*workers)
-	defer close(tasks)
-	for w := 0; w < workers; w++ {
-		go func() {
-			for t := range tasks {
-				d, err := t.stage()
-				t.outcome <- stageOutcome{dur: d, err: err}
-			}
-		}()
-	}
-
-	// Virtual reduce slots and the retirement frontier.
-	slotFree := make([]vclock.Time, workers)
-	var inflight []*pendingRound // launch order, head retires first
-	var lastRetire vclock.Time
-
-	// await fetches h's outcome, blocking or polling.
-	await := func(h *pendingRound, block bool) bool {
-		if h.got {
-			return true
-		}
-		if block {
-			h.out = <-h.outcome
-			h.got = true
-			return true
-		}
-		select {
-		case h.out = <-h.outcome:
-			h.got = true
-			return true
-		default:
-			return false
-		}
-	}
-
-	// drainOutstanding blocks until every in-flight reduce stage has
-	// reported, so error returns never leak goroutines mid-stage.
-	drainOutstanding := func() {
-		for _, h := range inflight {
-			await(h, true)
-		}
-	}
-
-	// plan computes, without committing, where h's reduce runs and when
-	// the round would retire. Valid only for the head of inflight (the
-	// slot assignment assumes every earlier round has been planned).
-	plan := func(h *pendingRound) (slot int, start, end, retire vclock.Time) {
-		slot = 0
-		for i := range slotFree {
-			if slotFree[i] < slotFree[slot] {
-				slot = i
-			}
-		}
-		start = h.mapEnd
-		if slotFree[slot] > start {
-			start = slotFree[slot]
-		}
-		end = start.Add(h.out.dur)
-		retire = end
-		if lastRetire > retire {
-			retire = lastRetire
-		}
-		return
-	}
-
-	// retire commits the head round: charges its reduce to a slot,
-	// records the stage timeline, and reports RoundDone/completions at
-	// the retirement time.
-	retire := func() error {
-		h := inflight[0]
-		if h.out.err != nil {
-			return fmt.Errorf("driver: reduce stage of round over segment %d failed: %w", h.r.Segment, h.out.err)
-		}
-		if h.out.dur < 0 {
-			return fmt.Errorf("driver: executor returned negative reduce duration %v", h.out.dur)
-		}
-		slot, start, end, ret := plan(h)
-		slotFree[slot] = end
-		lastRetire = ret
-		coll.AddRoundStages(metrics.RoundStages{
-			Seq:         h.seq,
-			Segment:     h.r.Segment,
-			MapStart:    h.mapStart,
-			MapEnd:      h.mapEnd,
-			ReduceStart: start,
-			ReduceEnd:   end,
-			Retired:     ret,
-		})
-		// Record before settling so rounds-per-job counts include the
-		// round a job completes in.
-		tele.recordRound(h.r, h.seq, h.mapStart, h.mapEnd, start, end, ret, h.mapDur, h.out.dur, true)
-		completed := sched.RoundDone(h.r, ret)
-		if err := settleRound(sched, exec, coll, hooks, tele, h.r, ret, completed, failed); err != nil {
-			return err
-		}
-		tele.queueDepth(sched.PendingJobs())
-		inflight = inflight[1:]
-		return nil
-	}
-
-	seq := 0
-	for {
-		now := clock.Now()
-		if err := deliverDue(now); err != nil {
-			drainOutstanding()
-			return nil, err
-		}
-		// Opportunistically retire rounds whose reduce has both finished
-		// running and finished within the current virtual time, keeping
-		// completions (and hooks) as timely as in the serial loop.
-		for len(inflight) > 0 && await(inflight[0], false) {
-			h := inflight[0]
-			if h.out.err == nil && h.out.dur >= 0 {
-				if _, _, _, ret := plan(h); ret > now {
-					break
-				}
-			}
-			if err := retire(); err != nil {
-				drainOutstanding()
-				return nil, err
-			}
-		}
-		r, ok := sched.NextRound(now)
-		if !ok {
-			// Idle scheduler: the next event is whichever comes first —
-			// the next arrival, the scheduler's own timer, or the oldest
-			// draining reduce.
-			var target vclock.Time
-			haveTarget := false
-			if next < len(evs) {
-				target = evs[next].At
-				haveTarget = true
-			}
-			if w, isWaker := sched.(Waker); isWaker {
-				if wake, wok := w.NextWake(now); wok && wake > now && (!haveTarget || wake < target) {
-					target = wake
-					haveTarget = true
-				}
-			}
-			if len(inflight) > 0 {
-				h := inflight[0]
-				await(h, true)
-				if h.out.err == nil && h.out.dur >= 0 {
-					if _, _, _, ret := plan(h); haveTarget && target < ret {
-						// An arrival or timer lands before the oldest
-						// reduce retires; wake for it so the next round's
-						// scan starts under the draining reduce.
-						if target < now {
-							target = now
-						}
-						clock.AdvanceTo(target)
-						continue
-					}
-				}
-				if err := retire(); err != nil {
-					drainOutstanding()
-					return nil, err
-				}
-				if lastRetire > clock.Now() {
-					clock.AdvanceTo(lastRetire)
-				}
-				continue
-			}
-			if haveTarget {
-				if target < now {
-					target = now
-				}
-				clock.AdvanceTo(target)
-				continue
-			}
-			// No work, no arrivals, no timers, nothing draining.
-			if sched.PendingJobs() > 0 {
-				if st, isSt := sched.(Stalled); isSt && st.Stalled() {
-					return nil, fmt.Errorf("driver: scheduler %q stalled with %d pending job(s): %v",
-						sched.Name(), sched.PendingJobs(), coll.Incomplete())
-				}
-				return nil, fmt.Errorf("driver: scheduler %q idle but %d job(s) incomplete: %v",
-					sched.Name(), sched.PendingJobs(), coll.Incomplete())
-			}
-			break
-		}
-		for _, id := range r.JobIDs() {
-			if coll.Start(id, now) {
-				tele.jobStarted(coll, id)
-			}
-		}
-		if hooks.OnRoundStart != nil {
-			hooks.OnRoundStart(r, now)
-		}
-		mapDur, stage, err := exec.ExecMapStage(r)
-		if err != nil {
-			var lost *scheduler.RoundLostError
-			if errors.As(err, &lost) {
-				// The scheduler has not been told MapDone, so its state
-				// still holds the round; return it to the queue and let
-				// the next NextRound re-form the same batch.
-				requeues++
-				if lerr := handleRoundLoss(sched, clock, coll, r, lost, requeues, maxRequeues); lerr != nil {
-					drainOutstanding()
-					return nil, lerr
-				}
-				tele.roundLost(r)
-				continue
-			}
-			drainOutstanding()
-			return nil, fmt.Errorf("driver: map stage of round over segment %d failed: %w", r.Segment, err)
-		}
-		if mapDur < 0 {
-			drainOutstanding()
-			return nil, fmt.Errorf("driver: executor returned negative map duration %v", mapDur)
-		}
-		if stage == nil {
-			drainOutstanding()
-			return nil, fmt.Errorf("driver: executor returned a nil reduce stage for segment %d", r.Segment)
-		}
-		requeues = 0
-		res.Rounds++
-		clock.Advance(mapDur)
-		mapEnd := clock.Now()
-		// The scheduler's state (cursor, active set) advances at map end:
-		// the next round may be formed while this round's reduce drains.
-		sa.MapDone(r, mapEnd)
-		h := &pendingRound{
-			r:        r,
-			seq:      seq,
-			stage:    stage,
-			mapStart: now,
-			mapEnd:   mapEnd,
-			mapDur:   mapDur,
-			outcome:  make(chan stageOutcome, 1),
-		}
-		seq++
-		inflight = append(inflight, h)
-		tasks <- h
-	}
-	finishStats(exec, coll)
-	res.End = clock.Now()
-	tele.endRun(coll, res.End, res.Rounds)
-	return res, nil
+	return runtime.RunTrace(sched, exec, arrivals, opts)
 }

@@ -54,6 +54,11 @@ type RunMetrics struct {
 	// QueueDepth is the number of submitted-but-incomplete jobs after
 	// the most recent settled round.
 	QueueDepth *Gauge
+	// AdmissionQueue is the number of live-submitted jobs accepted by
+	// the arrival source but not yet admitted into the scheduler,
+	// sampled after each admission batch. Stays zero for trace replays,
+	// whose arrivals deliver the moment they are due.
+	AdmissionQueue *Gauge
 	// VirtualTime is the run clock at last update, in seconds.
 	VirtualTime *Gauge
 }
@@ -85,7 +90,8 @@ func NewRunMetrics(reg *Registry) *RunMetrics {
 		CacheHitRatio: reg.Gauge("s3_cache_hit_ratio", "cache hits over total reads at end of run"),
 		CacheBytes:    reg.Gauge("s3_cache_bytes", "cached byte footprint at end of run"),
 
-		QueueDepth:  reg.Gauge("s3_queue_depth", "submitted-but-incomplete jobs after the last settled round"),
-		VirtualTime: reg.Gauge("s3_virtual_time_seconds", "run clock at last update"),
+		QueueDepth:     reg.Gauge("s3_queue_depth", "submitted-but-incomplete jobs after the last settled round"),
+		AdmissionQueue: reg.Gauge("s3_admission_queue_jobs", "live-submitted jobs awaiting admission into the scheduler"),
+		VirtualTime:    reg.Gauge("s3_virtual_time_seconds", "run clock at last update"),
 	}
 }

@@ -38,17 +38,21 @@ type Master struct {
 }
 
 // Dial connects a master to the given worker addresses and registers
-// the jobs it may be asked to run.
+// the jobs it may be asked to run. More jobs may be registered later
+// with RegisterJob — the live-admission path.
 func Dial(addrs []string, jobs map[scheduler.JobID]JobRef) (*Master, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("remote: master needs at least one worker")
 	}
 	m := &Master{
-		jobs:       jobs,
+		jobs:       make(map[scheduler.JobID]JobRef, len(jobs)),
 		timeScale:  1,
 		clock:      vclock.NewWall(),
 		partitions: make(map[scheduler.JobID][][]mapreduce.KV),
 		results:    make(map[scheduler.JobID][]mapreduce.KV),
+	}
+	for id, ref := range jobs {
+		m.jobs[id] = ref
 	}
 	for _, addr := range addrs {
 		c, err := rpc.Dial("tcp", addr)
@@ -73,6 +77,30 @@ func (m *Master) SetTimeScale(scale float64) {
 // its correlation id. nil clears it (and stops sending Corr to
 // workers). Call before the first round.
 func (m *Master) SetTrace(log *trace.Log) { m.log = log }
+
+// RegisterJob makes a live-submitted job runnable: subsequent rounds
+// including id ship ref to the workers with each task (workers need no
+// pre-registration — every RPC carries its JobRefs, so registering at
+// the master is what forwards the submission cluster-wide). Safe to
+// call from an admission goroutine while a round is in flight.
+// Re-registering an id is an error.
+func (m *Master) RegisterJob(id scheduler.JobID, ref JobRef) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.jobs[id]; dup {
+		return fmt.Errorf("remote: job %d already registered", id)
+	}
+	m.jobs[id] = ref
+	return nil
+}
+
+// jobRef looks up a registered job under the master's lock.
+func (m *Master) jobRef(id scheduler.JobID) (JobRef, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ref, ok := m.jobs[id]
+	return ref, ok
+}
 
 // Close drops all worker connections.
 func (m *Master) Close() error {
@@ -119,7 +147,7 @@ func (m *Master) ExecRound(r scheduler.Round) (vclock.Duration, error) {
 	refs := make([]JobRef, len(r.Jobs))
 	ids := make([]scheduler.JobID, len(r.Jobs))
 	for i, j := range r.Jobs {
-		ref, ok := m.jobs[j.ID]
+		ref, ok := m.jobRef(j.ID)
 		if !ok {
 			return 0, fmt.Errorf("remote: no JobRef registered for job %d", j.ID)
 		}
@@ -270,7 +298,7 @@ func (m *Master) ensureJob(id scheduler.JobID, ref JobRef) {
 // finishJob fans the job's partitions out to workers for reduction and
 // merges the outputs.
 func (m *Master) finishJob(id scheduler.JobID) error {
-	ref := m.jobs[id]
+	ref, _ := m.jobRef(id)
 	m.mu.Lock()
 	parts, ok := m.partitions[id]
 	if !ok {

@@ -17,6 +17,7 @@ package remote
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 
 	"s3sched/internal/mapreduce"
@@ -44,6 +45,17 @@ func (r *Registry) Register(name string, f JobFactory) {
 		panic(fmt.Sprintf("remote: factory %q registered twice", name))
 	}
 	r.factories[name] = f
+}
+
+// Names returns the registered factory names, sorted. Admission layers
+// use it to validate submissions before they reach a worker.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.factories))
+	for name := range r.factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Build resolves a factory and constructs the job parts.

@@ -1,0 +1,206 @@
+// Package runtime is the single round-loop engine behind every
+// execution path in the repository. It drives a scheduler and an
+// executor under a virtual clock through the paper's state machine —
+//
+//	admit due arrivals → form round → execute → drain failures →
+//	requeue-or-retire → fold stats
+//
+// — and produces the per-job timings the paper's metrics are computed
+// from. The serial and stage-pipelined paths are two stage policies
+// over this one engine, so requeue bounds (MaxRequeues), per-job
+// failure draining (FailureReporter), and end-of-run stats folding
+// (FaultStatsSource/CacheStatsSource) are implemented exactly once and
+// cannot drift between modes.
+//
+// Arrival delivery is pluggable (ArrivalSource): a pre-recorded trace
+// slice (TraceSource) reproduces the batch experiments byte for byte,
+// while a LiveSource accepts thread-safe submissions from other
+// goroutines *while a pass is in flight* — the window S^3's sub-job
+// alignment exploits — turning the same loop into a long-lived
+// admission daemon.
+//
+// The historical entry points live in internal/driver as thin
+// compatibility wrappers around this package.
+package runtime
+
+import (
+	"s3sched/internal/metrics"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/trace"
+	"s3sched/internal/vclock"
+)
+
+// Executor runs one round of cluster work and reports how long it took.
+type Executor interface {
+	ExecRound(r scheduler.Round) (vclock.Duration, error)
+}
+
+// ExecutorFunc adapts a function to Executor.
+type ExecutorFunc func(r scheduler.Round) (vclock.Duration, error)
+
+// ExecRound calls f.
+func (f ExecutorFunc) ExecRound(r scheduler.Round) (vclock.Duration, error) { return f(r) }
+
+// TimedExecutor is implemented by executors whose failure behavior
+// depends on the current virtual time (e.g. the simulator's crash
+// windows). The serial policy calls ExecRoundAt with the round's
+// launch time when available.
+type TimedExecutor interface {
+	ExecRoundAt(r scheduler.Round, now vclock.Time) (vclock.Duration, error)
+}
+
+// TimeSensitive refines TimedExecutor for executors whose ExecRoundAt
+// only sometimes differs from ExecRound (the simulator is
+// time-dependent only while a fault model is installed). When it
+// reports false, the serial policy is free to use the telemetry
+// stage-split path instead of ExecRoundAt.
+type TimeSensitive interface {
+	TimeDependent() bool
+}
+
+// FailureReporter is implemented by executors that isolate per-job
+// failures: a round may succeed while individual jobs' map/reduce code
+// failed. The engine drains the reports after each round, fails those
+// jobs in the metrics, and aborts them in the scheduler. Both stage
+// policies share the one drain implementation (engine.settleRound), so
+// the semantics are identical by construction.
+type FailureReporter interface {
+	// TakeJobFailures returns and clears the failures recorded since
+	// the previous call.
+	TakeJobFailures() []scheduler.JobFailure
+}
+
+// FaultStatsSource is implemented by executors that count fault
+// handling (retries, failed attempts, blacklists); the engine folds
+// the counters into the run's metrics at the end.
+type FaultStatsSource interface {
+	FaultStats() metrics.FaultStats
+}
+
+// CacheStatsSource is implemented by executors whose reads go through
+// a block cache (real or modeled); the engine folds the hit/miss/
+// eviction counters into the run's metrics at the end.
+type CacheStatsSource interface {
+	CacheStats() metrics.CacheStats
+}
+
+// ReduceStage runs a committed round's reduce work and reports how
+// long it took. The engine may invoke it on a worker goroutine,
+// concurrently with later rounds' map stages; everything the stage
+// touches must have been committed (snapshotted or locked) by
+// ExecMapStage before it returned.
+//
+// ReduceStage is a type alias, not a defined type, so executors in
+// other packages can satisfy StageExecutor without importing runtime.
+type ReduceStage = func() (vclock.Duration, error)
+
+// StageExecutor is implemented by executors that can split a round
+// into its two stages: the scan/map stage (ending at shuffle-commit)
+// and the reduce stage. Splitting lets the engine start round N+1's
+// scan as soon as round N's map finishes, overlapping N's reduce with
+// N+1's scan — the pipelining §V leaves on the table when every round
+// blocks on its own reduce.
+type StageExecutor interface {
+	Executor
+	// ExecMapStage runs the round's scan/map stage, commits the shuffle
+	// (so later map output cannot bleed into this round's reduce input),
+	// and returns the stage's duration plus the round's reduce stage.
+	ExecMapStage(r scheduler.Round) (vclock.Duration, ReduceStage, error)
+}
+
+// Stalled is implemented by schedulers that can report a permanent
+// stall (MRShare with an unfillable batch). The engine surfaces it as
+// an error instead of spinning forever.
+type Stalled interface {
+	Stalled() bool
+}
+
+// Waker is implemented by time-driven schedulers (e.g. window-based
+// batchers) that may have work at a future instant even with no
+// arrivals left. The engine advances the clock to the wake time when
+// the scheduler is otherwise idle.
+type Waker interface {
+	// NextWake returns the next time the scheduler should be polled
+	// again, or ok=false when it has no timed work.
+	NextWake(now vclock.Time) (vclock.Time, bool)
+}
+
+// DefaultMaxRequeues bounds consecutive requeues of one round before
+// the engine gives up (a fault schedule that never lets the round
+// complete would otherwise loop forever).
+const DefaultMaxRequeues = 32
+
+// DefaultReduceWorkers bounds concurrently draining reduce stages when
+// Options.ReduceWorkers is unset.
+const DefaultReduceWorkers = 2
+
+// Arrival is one job submission event.
+type Arrival struct {
+	Job scheduler.JobMeta
+	At  vclock.Time
+}
+
+// Result is the outcome of one engine run.
+type Result struct {
+	Metrics *metrics.Collector
+	Rounds  int
+	// End is the virtual time when the last job completed.
+	End vclock.Time
+}
+
+// Hooks observe the run loop. Both callbacks are invoked from the
+// engine's goroutine, so they may read scheduler state safely but must
+// not call back into it.
+type Hooks struct {
+	// OnRoundStart fires after a round is formed, before it executes.
+	OnRoundStart func(r scheduler.Round, now vclock.Time)
+	// OnRoundDone fires after the round is retired, with the jobs that
+	// completed in it.
+	OnRoundDone func(r scheduler.Round, now vclock.Time, completed []scheduler.JobID)
+}
+
+// Options configures a run.
+type Options struct {
+	// Pipeline requests stage-pipelined execution. It engages only when
+	// both the scheduler (scheduler.StageAware) and the executor
+	// (StageExecutor) support it; otherwise the serial policy runs.
+	Pipeline bool
+	// ReduceWorkers bounds concurrently running reduce stages
+	// (default DefaultReduceWorkers). Also the number of virtual reduce
+	// slots the timing model charges reduces against.
+	ReduceWorkers int
+	// MaxRequeues bounds consecutive requeues of one lost round before
+	// the engine gives up (default DefaultMaxRequeues).
+	MaxRequeues int
+	Hooks       Hooks
+	// Spans, when set, receives the run's hierarchical span tree
+	// (run → round → scan/reduce stage → per-job subjob) in vclock
+	// time. Export it with trace.WriteChromeTrace.
+	Spans *trace.Log
+	// Metrics, when set, receives live counter/gauge/histogram updates
+	// as the run progresses (see metrics.NewRunMetrics). With either
+	// sink set, the serial policy splits stage-capable executors into
+	// scan+reduce to attribute time per stage; the composition is
+	// semantically identical to ExecRound.
+	Metrics *metrics.RunMetrics
+}
+
+// Run drives arrivals from src through the scheduler, executing rounds
+// until every admitted job completes and the source reports no more
+// will ever come. The stage policy is chosen from opts.Pipeline and
+// the capabilities of sched/exec, exactly like the legacy
+// driver.RunOpts.
+func Run(sched scheduler.Scheduler, exec Executor, src ArrivalSource, opts Options) (*Result, error) {
+	e := newEngine(sched, exec, src, opts)
+	return e.run()
+}
+
+// RunTrace is Run over a pre-recorded arrival slice. Arrivals may be
+// given in any order; they are processed by time, ties by job id.
+func RunTrace(sched scheduler.Scheduler, exec Executor, arrivals []Arrival, opts Options) (*Result, error) {
+	src, err := NewTraceSource(arrivals)
+	if err != nil {
+		return nil, err
+	}
+	return Run(sched, exec, src, opts)
+}

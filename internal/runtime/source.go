@@ -1,0 +1,285 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"s3sched/internal/scheduler"
+	"s3sched/internal/vclock"
+)
+
+// ArrivalSource feeds job submissions into the engine. The engine is
+// the only caller of these methods and calls them from its single
+// goroutine; implementations that accept jobs from other goroutines
+// (LiveSource) synchronize internally.
+type ArrivalSource interface {
+	// Pop removes and returns every arrival due at or before now, each
+	// stamped with its admission time (<= now). Sources without
+	// intrinsic timestamps (live queues) stamp jobs with now.
+	Pop(now vclock.Time) []Arrival
+	// Peek reports the time of the earliest queued arrival (ok=false
+	// when nothing is queued right now). Live sources report 0 for a
+	// queued job — "due immediately"; the engine clamps to now.
+	Peek() (at vclock.Time, ok bool)
+	// Pending reports how many accepted jobs await admission.
+	Pending() int
+	// Wait blocks until the source has a queued arrival or will never
+	// produce one again, returning false in the latter case. The
+	// engine calls it only when the scheduler is idle and no timer is
+	// pending, so a live daemon parks here between submissions.
+	Wait() bool
+}
+
+// JobTracker is optionally implemented by an ArrivalSource that wants
+// lifecycle callbacks for the jobs it produced. The engine invokes it
+// synchronously from the run loop: JobAdmitted when the job enters the
+// scheduler, JobFinished when the job completes (failed=false) or its
+// own map/reduce code terminally fails (failed=true).
+type JobTracker interface {
+	JobAdmitted(id scheduler.JobID, at vclock.Time)
+	JobFinished(id scheduler.JobID, at vclock.Time, failed bool)
+}
+
+// TraceSource replays a pre-sorted arrival trace — the batch-mode
+// source every experiment uses. It is not safe for concurrent use;
+// the engine owns it.
+type TraceSource struct {
+	evs  []Arrival
+	next int
+}
+
+// NewTraceSource validates arrivals and orders them by time, ties by
+// job id.
+func NewTraceSource(arrivals []Arrival) (*TraceSource, error) {
+	evs := make([]Arrival, len(arrivals))
+	copy(evs, arrivals)
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		return evs[i].Job.ID < evs[j].Job.ID
+	})
+	for i, a := range evs {
+		if a.At < 0 {
+			return nil, fmt.Errorf("runtime: arrival %d at negative time %v", i, a.At)
+		}
+	}
+	return &TraceSource{evs: evs}, nil
+}
+
+// Pop returns the arrivals due at or before now.
+func (s *TraceSource) Pop(now vclock.Time) []Arrival {
+	start := s.next
+	for s.next < len(s.evs) && s.evs[s.next].At <= now {
+		s.next++
+	}
+	if s.next == start {
+		return nil
+	}
+	return s.evs[start:s.next]
+}
+
+// Peek reports the next undelivered arrival's time.
+func (s *TraceSource) Peek() (vclock.Time, bool) {
+	if s.next >= len(s.evs) {
+		return 0, false
+	}
+	return s.evs[s.next].At, true
+}
+
+// Pending reports how many arrivals remain undelivered.
+func (s *TraceSource) Pending() int { return len(s.evs) - s.next }
+
+// Wait reports whether any arrival remains. A trace never blocks: it
+// is exhausted exactly when every recorded arrival was delivered.
+func (s *TraceSource) Wait() bool { return s.next < len(s.evs) }
+
+// JobState is a live-submitted job's lifecycle phase.
+type JobState string
+
+const (
+	// JobQueued: accepted by the admission layer, waiting for the
+	// engine to hand it to the scheduler.
+	JobQueued JobState = "queued"
+	// JobRunning: admitted into the scheduler's current circular pass.
+	JobRunning JobState = "running"
+	// JobDone: completed; results are available from the executor.
+	JobDone JobState = "done"
+	// JobFailed: the job's own map/reduce code terminally failed and
+	// the job was aborted. The rest of the workload continues.
+	JobFailed JobState = "failed"
+)
+
+// JobStatus is the externally visible state of one live-submitted job.
+// Times are virtual-clock seconds of the run the job was admitted to.
+type JobStatus struct {
+	ID         scheduler.JobID `json:"id"`
+	Name       string          `json:"name"`
+	State      JobState        `json:"state"`
+	AdmittedAt vclock.Time     `json:"admittedAt"`
+	DoneAt     vclock.Time     `json:"doneAt"`
+}
+
+// LiveSource is a thread-safe admission queue: any goroutine may
+// Submit jobs while the engine runs a pass, and the engine merges them
+// into the current circular scan at the next round boundary — the
+// online behavior of the paper's Job Queue Manager (§IV, Algorithm 1).
+// It implements ArrivalSource and JobTracker, so it also tracks each
+// job's lifecycle for an admission API to report.
+type LiveSource struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []scheduler.JobMeta
+	status map[scheduler.JobID]*JobStatus
+	order  []scheduler.JobID
+	nextID scheduler.JobID
+	closed bool
+}
+
+// NewLiveSource returns an open admission queue.
+func NewLiveSource() *LiveSource {
+	s := &LiveSource{
+		status: make(map[scheduler.JobID]*JobStatus),
+		nextID: 1,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Submit enqueues a job for admission. A zero meta.ID is assigned the
+// next free id; a caller-chosen id must be unique across the source's
+// lifetime. Safe for concurrent use.
+func (s *LiveSource) Submit(meta scheduler.JobMeta) (scheduler.JobID, error) {
+	return s.SubmitWith(meta, nil)
+}
+
+// SubmitWith is Submit with a pre-admission callback invoked — under
+// the source's lock, before the job becomes visible to the engine —
+// with the assigned id. Callers use it to register per-id execution
+// state (e.g. a remote JobRef) without racing the scheduler: if pre
+// fails, the job is not enqueued and its id is not consumed.
+func (s *LiveSource) SubmitWith(meta scheduler.JobMeta, pre func(scheduler.JobID) error) (scheduler.JobID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("runtime: admission queue is closed")
+	}
+	if meta.ID == 0 {
+		meta.ID = s.nextID
+	} else if _, dup := s.status[meta.ID]; dup {
+		return 0, fmt.Errorf("runtime: job id %d already submitted", meta.ID)
+	}
+	if pre != nil {
+		if err := pre(meta.ID); err != nil {
+			return 0, err
+		}
+	}
+	if meta.ID >= s.nextID {
+		s.nextID = meta.ID + 1
+	}
+	s.queue = append(s.queue, meta)
+	s.status[meta.ID] = &JobStatus{ID: meta.ID, Name: meta.Name, State: JobQueued}
+	s.order = append(s.order, meta.ID)
+	s.cond.Broadcast()
+	return meta.ID, nil
+}
+
+// Close marks the source finished: queued jobs still drain, new
+// Submits fail, and the engine exits once everything admitted has
+// completed. Safe to call more than once.
+func (s *LiveSource) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.cond.Broadcast()
+}
+
+// Pop drains the queue, stamping every job with the engine's current
+// virtual time — a live job "arrives" the moment the loop admits it.
+func (s *LiveSource) Pop(now vclock.Time) []Arrival {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 {
+		return nil
+	}
+	out := make([]Arrival, len(s.queue))
+	for i, meta := range s.queue {
+		out[i] = Arrival{Job: meta, At: now}
+	}
+	s.queue = s.queue[:0]
+	return out
+}
+
+// Peek reports a queued job as due immediately.
+func (s *LiveSource) Peek() (vclock.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return 0, len(s.queue) > 0
+}
+
+// Pending reports the admission-queue depth.
+func (s *LiveSource) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Wait parks until a job is queued or the source is closed, returning
+// false only when closed with nothing left to deliver.
+func (s *LiveSource) Wait() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	return len(s.queue) > 0
+}
+
+// JobAdmitted implements JobTracker.
+func (s *LiveSource) JobAdmitted(id scheduler.JobID, at vclock.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.status[id]; ok {
+		st.State = JobRunning
+		st.AdmittedAt = at
+	}
+}
+
+// JobFinished implements JobTracker.
+func (s *LiveSource) JobFinished(id scheduler.JobID, at vclock.Time, failed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.status[id]
+	if !ok {
+		return
+	}
+	st.DoneAt = at
+	if failed {
+		st.State = JobFailed
+	} else {
+		st.State = JobDone
+	}
+}
+
+// Status reports one job's lifecycle state.
+func (s *LiveSource) Status(id scheduler.JobID) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.status[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return *st, true
+}
+
+// Jobs returns every submitted job's status in submission order.
+func (s *LiveSource) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.status[id])
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package runtime
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"s3sched/internal/scheduler"
+)
+
+var errTest = errors.New("test error")
+
+func meta(id int) scheduler.JobMeta {
+	return scheduler.JobMeta{ID: scheduler.JobID(id), File: "input", Weight: 1, ReduceWeight: 1}
+}
+
+func TestTraceSourceOrdersAndDrains(t *testing.T) {
+	src, err := NewTraceSource([]Arrival{
+		{Job: meta(3), At: 5},
+		{Job: meta(1), At: 0},
+		{Job: meta(2), At: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at, ok := src.Peek(); !ok || at != 0 {
+		t.Fatalf("Peek = %v,%v, want 0,true", at, ok)
+	}
+	if got := src.Pop(0); len(got) != 1 || got[0].Job.ID != 1 {
+		t.Fatalf("Pop(0) = %v, want job 1", got)
+	}
+	// Ties at t=5 break by job id.
+	got := src.Pop(10)
+	if len(got) != 2 || got[0].Job.ID != 2 || got[1].Job.ID != 3 {
+		t.Fatalf("Pop(10) = %v, want jobs 2,3", got)
+	}
+	if src.Pending() != 0 {
+		t.Errorf("Pending = %d after drain, want 0", src.Pending())
+	}
+	if src.Wait() {
+		t.Error("Wait() = true on exhausted trace")
+	}
+}
+
+func TestTraceSourceRejectsNegativeTime(t *testing.T) {
+	_, err := NewTraceSource([]Arrival{{Job: meta(1), At: -1}})
+	if err == nil || !strings.Contains(err.Error(), "negative time") {
+		t.Fatalf("err = %v, want negative-time rejection", err)
+	}
+}
+
+func TestLiveSourceAssignsAndTracksIDs(t *testing.T) {
+	src := NewLiveSource()
+	id1, err := src.Submit(scheduler.JobMeta{Name: "a", File: "input"})
+	if err != nil || id1 != 1 {
+		t.Fatalf("first Submit = %v,%v, want 1,nil", id1, err)
+	}
+	// A caller-chosen id advances the allocator past itself.
+	id7, err := src.Submit(scheduler.JobMeta{ID: 7, Name: "b", File: "input"})
+	if err != nil || id7 != 7 {
+		t.Fatalf("explicit Submit = %v,%v, want 7,nil", id7, err)
+	}
+	if _, err := src.Submit(scheduler.JobMeta{ID: 7, File: "input"}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	id8, err := src.Submit(scheduler.JobMeta{Name: "c", File: "input"})
+	if err != nil || id8 != 8 {
+		t.Fatalf("post-explicit Submit = %v,%v, want 8,nil", id8, err)
+	}
+	jobs := src.Jobs()
+	if len(jobs) != 3 || jobs[0].ID != 1 || jobs[1].ID != 7 || jobs[2].ID != 8 {
+		t.Fatalf("Jobs() = %v, want submission order 1,7,8", jobs)
+	}
+	for _, j := range jobs {
+		if j.State != JobQueued {
+			t.Errorf("job %d state = %q, want queued", j.ID, j.State)
+		}
+	}
+}
+
+func TestLiveSourcePreHookFailureKeepsIDFree(t *testing.T) {
+	src := NewLiveSource()
+	boom := func(scheduler.JobID) error { return errTest }
+	if _, err := src.SubmitWith(scheduler.JobMeta{File: "input"}, boom); err != errTest {
+		t.Fatalf("SubmitWith err = %v, want errTest", err)
+	}
+	if src.Pending() != 0 {
+		t.Fatalf("failed submission enqueued: pending = %d", src.Pending())
+	}
+	// The rejected submission's id is reused by the next success.
+	id, err := src.Submit(scheduler.JobMeta{File: "input"})
+	if err != nil || id != 1 {
+		t.Fatalf("Submit after failed pre = %v,%v, want 1,nil", id, err)
+	}
+}
+
+func TestLiveSourceLifecycle(t *testing.T) {
+	src := NewLiveSource()
+	id, err := src.Submit(scheduler.JobMeta{Name: "wc", File: "input"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := src.Pop(12)
+	if len(got) != 1 || got[0].At != 12 {
+		t.Fatalf("Pop stamped %v, want admission at now=12", got)
+	}
+	src.JobAdmitted(id, 12)
+	if st, _ := src.Status(id); st.State != JobRunning || st.AdmittedAt != 12 {
+		t.Fatalf("after admit: %+v", st)
+	}
+	src.JobFinished(id, 30, false)
+	if st, _ := src.Status(id); st.State != JobDone || st.DoneAt != 30 {
+		t.Fatalf("after finish: %+v", st)
+	}
+	if _, ok := src.Status(99); ok {
+		t.Error("Status(99) found a job that was never submitted")
+	}
+	src.Close()
+	if _, err := src.Submit(scheduler.JobMeta{File: "input"}); err == nil {
+		t.Fatal("Submit after Close succeeded")
+	}
+	if src.Wait() {
+		t.Error("Wait() = true on closed, drained source")
+	}
+}

@@ -1,4 +1,4 @@
-package driver
+package runtime
 
 import (
 	"strconv"
@@ -9,10 +9,10 @@ import (
 	"s3sched/internal/vclock"
 )
 
-// telemetry is the driver's observability sink: a span log (hierarchy
+// telemetry is the engine's observability sink: a span log (hierarchy
 // run → round → scan-stage/reduce-stage → per-job subjob) and a live
 // metrics bundle. Both sinks are optional; a nil *telemetry (no sink
-// configured) makes every method a no-op, so the run loops call it
+// configured) makes every method a no-op, so the run loop calls it
 // unconditionally.
 //
 // Everything recorded here is a pure function of virtual-clock times
@@ -41,7 +41,7 @@ func newTelemetry(opts Options) *telemetry {
 }
 
 // active reports whether telemetry wants per-stage timings; the serial
-// loop only splits rounds into stages when it does.
+// policy only splits rounds into stages when it does.
 func (t *telemetry) active() bool { return t != nil }
 
 func (t *telemetry) beginRun(scheme string, at vclock.Time) {
@@ -59,6 +59,25 @@ func (t *telemetry) jobSubmitted() {
 		return
 	}
 	t.rm.JobsSubmitted.Inc()
+}
+
+// jobAdmitted records a live-submitted job entering the scheduler's
+// current pass. Only tracked (live) sources emit it, so batch trace
+// replays stay byte-identical to the pre-admission-layer runs.
+func (t *telemetry) jobAdmitted(id scheduler.JobID, at vclock.Time) {
+	if t == nil || t.log == nil {
+		return
+	}
+	t.log.Addf(at, trace.JobAdmitted, int(id), -1, "live admission into current pass")
+}
+
+// admissionDepth publishes the arrival source's queued-but-unadmitted
+// job count after a delivery.
+func (t *telemetry) admissionDepth(n int) {
+	if t == nil || t.rm == nil {
+		return
+	}
+	t.rm.AdmissionQueue.Set(float64(n))
 }
 
 // jobStarted records a job's waiting interval the first time a round

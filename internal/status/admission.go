@@ -1,0 +1,127 @@
+package status
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"s3sched/internal/runtime"
+	"s3sched/internal/scheduler"
+)
+
+// JobRequest is the wire form of a live job submission (POST /jobs).
+type JobRequest struct {
+	// Name labels the job in traces and status output. Defaults to the
+	// factory name when empty.
+	Name string `json:"name"`
+	// Factory selects the job's map/reduce program by registry name
+	// (e.g. "wordcount"). The admission backend validates it.
+	Factory string `json:"factory"`
+	// Param configures the factory (e.g. the selection predicate).
+	Param string `json:"param,omitempty"`
+	// NumReduce is the job's reduce-partition count; backends apply
+	// their default when zero.
+	NumReduce int `json:"numReduce,omitempty"`
+	// Weight and Priority feed the scheduler's JobMeta verbatim.
+	Weight   float64 `json:"weight,omitempty"`
+	Priority int     `json:"priority,omitempty"`
+}
+
+// Admission is the backend behind the live job-submission endpoints.
+// Implementations validate the request, register the job's program
+// with the execution layer, and enqueue it on a runtime arrival source
+// — all while a pass may be in flight, so every method must be safe
+// for concurrent use with the run loop.
+type Admission interface {
+	// SubmitJob accepts a job for scheduling and returns its id.
+	SubmitJob(req JobRequest) (scheduler.JobID, error)
+	// JobStatus reports one job's lifecycle state.
+	JobStatus(id scheduler.JobID) (runtime.JobStatus, bool)
+	// Jobs lists all live-submitted jobs in submission order.
+	Jobs() []runtime.JobStatus
+}
+
+// SetAdmission enables the /jobs endpoints backed by adm. Call before
+// Serve; nil disables the endpoints (requests get 404).
+func (s *Server) SetAdmission(adm Admission) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.adm = adm
+}
+
+func (s *Server) admission() Admission {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.adm
+}
+
+// submitReply is the POST /jobs response body.
+type submitReply struct {
+	ID    int    `json:"id"`
+	State string `json:"state"`
+}
+
+// handleJobs serves POST /jobs (submit) and GET /jobs (list).
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	adm := s.admission()
+	if adm == nil {
+		http.Error(w, "no job admission configured", http.StatusNotFound)
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		var req JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		id, err := adm.SubmitJob(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(submitReply{ID: int(id), State: string(runtime.JobQueued)})
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		jobs := adm.Jobs()
+		if jobs == nil {
+			jobs = []runtime.JobStatus{}
+		}
+		_ = enc.Encode(jobs)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleJobByID serves GET /jobs/<id>.
+func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	adm := s.admission()
+	if adm == nil {
+		http.Error(w, "no job admission configured", http.StatusNotFound)
+		return
+	}
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, err := strconv.Atoi(raw)
+	if err != nil {
+		http.Error(w, "bad job id "+strconv.Quote(raw), http.StatusBadRequest)
+		return
+	}
+	st, ok := adm.JobStatus(scheduler.JobID(id))
+	if !ok {
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(st)
+}

@@ -1,0 +1,153 @@
+package status
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"s3sched/internal/runtime"
+	"s3sched/internal/scheduler"
+)
+
+// fakeAdmission is a scripted Admission backend.
+type fakeAdmission struct {
+	nextID scheduler.JobID
+	jobs   []runtime.JobStatus
+	reject string
+}
+
+func (f *fakeAdmission) SubmitJob(req JobRequest) (scheduler.JobID, error) {
+	if f.reject != "" {
+		return 0, fmt.Errorf("%s", f.reject)
+	}
+	f.nextID++
+	name := req.Name
+	if name == "" {
+		name = req.Factory
+	}
+	f.jobs = append(f.jobs, runtime.JobStatus{ID: f.nextID, Name: name, State: runtime.JobQueued})
+	return f.nextID, nil
+}
+
+func (f *fakeAdmission) JobStatus(id scheduler.JobID) (runtime.JobStatus, bool) {
+	for _, j := range f.jobs {
+		if j.ID == id {
+			return j, true
+		}
+	}
+	return runtime.JobStatus{}, false
+}
+
+func (f *fakeAdmission) Jobs() []runtime.JobStatus { return f.jobs }
+
+func adminServer(t *testing.T, adm Admission) *httptest.Server {
+	t.Helper()
+	srv := NewServer("s3")
+	if adm != nil {
+		srv.SetAdmission(adm)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestJobsEndpointsWithoutAdmission(t *testing.T) {
+	ts := adminServer(t, nil)
+	for _, path := range []string{"/jobs", "/jobs/1"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s without admission = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestSubmitAndQueryJobs(t *testing.T) {
+	adm := &fakeAdmission{}
+	ts := adminServer(t, adm)
+
+	resp, err := http.Post(ts.URL+"/jobs", "application/json",
+		strings.NewReader(`{"factory":"wordcount","param":"th"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID    int    `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID != 1 || sub.State != "queued" {
+		t.Fatalf("POST /jobs = %d %+v, want 202 id=1 queued", resp.StatusCode, sub)
+	}
+
+	resp, err = http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []runtime.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].Name != "wordcount" {
+		t.Fatalf("GET /jobs = %+v, want one wordcount job", list)
+	}
+
+	resp, err = http.Get(ts.URL + "/jobs/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one runtime.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&one); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if one.ID != 1 || one.State != runtime.JobQueued {
+		t.Fatalf("GET /jobs/1 = %+v", one)
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	adm := &fakeAdmission{}
+	ts := adminServer(t, adm)
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		reject string
+		want   int
+	}{
+		{"bad JSON", http.MethodPost, "/jobs", "{not json", "", http.StatusBadRequest},
+		{"backend rejects", http.MethodPost, "/jobs", `{"factory":"bogus"}`, "unknown job factory", http.StatusBadRequest},
+		{"unknown id", http.MethodGet, "/jobs/99", "", "", http.StatusNotFound},
+		{"garbage id", http.MethodGet, "/jobs/banana", "", "", http.StatusBadRequest},
+		{"delete list", http.MethodDelete, "/jobs", "", "", http.StatusMethodNotAllowed},
+		{"post by id", http.MethodPost, "/jobs/1", "{}", "", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		adm.reject = tc.reject
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}

@@ -17,8 +17,8 @@ import (
 	"net/http/pprof"
 	"sync"
 
-	"s3sched/internal/driver"
 	"s3sched/internal/metrics"
+	"s3sched/internal/runtime"
 	"s3sched/internal/scheduler"
 	"s3sched/internal/vclock"
 )
@@ -76,6 +76,9 @@ type Server struct {
 	// reg, when set, is rendered at /metrics in Prometheus text
 	// exposition format.
 	reg *metrics.Registry
+	// adm, when set, backs the live job-submission endpoints under
+	// /jobs (see admission.go).
+	adm Admission
 }
 
 // NewServer returns an empty status server.
@@ -110,10 +113,12 @@ func (s *Server) Snapshot() State {
 	return st
 }
 
-// Hooks returns driver hooks that publish round progress into the
-// server.
-func (s *Server) Hooks(sched scheduler.Scheduler) driver.Hooks {
-	return driver.Hooks{
+// Hooks returns run-loop hooks that publish round progress into the
+// server. The type is shared between internal/runtime and the
+// internal/driver compatibility wrappers, so the result plugs into
+// either entry point.
+func (s *Server) Hooks(sched scheduler.Scheduler) runtime.Hooks {
+	return runtime.Hooks{
 		OnRoundDone: func(r scheduler.Round, now vclock.Time, completed []scheduler.JobID) {
 			s.Update(func(st *State) {
 				st.Rounds++
@@ -160,7 +165,8 @@ batch {{.LastRound.BatchSize}}, blocks {{.LastRound.Blocks}}</td></tr>{{end}}
 </body></html>`))
 
 // Handler returns the HTTP handler serving / and /status.json, plus
-// /metrics when a registry is set and the Go profiler under
+// /metrics when a registry is set, the live job-submission API under
+// /jobs when an admission backend is set, and the Go profiler under
 // /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -185,6 +191,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJobByID)
 	mux.HandleFunc("/status.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

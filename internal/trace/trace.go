@@ -70,6 +70,11 @@ const (
 	// CacheEvict records the block cache discarding a block to fit its
 	// byte budget.
 	CacheEvict
+	// JobAdmitted records the runtime engine admitting a live-submitted
+	// job into the scheduler's current circular pass — the online
+	// arrival window batch traces pre-record and a daemon serves over
+	// HTTP.
+	JobAdmitted
 )
 
 var kindNames = map[Kind]string{
@@ -93,6 +98,7 @@ var kindNames = map[Kind]string{
 	TaskServed:       "task-served",
 	CacheHit:         "cache-hit",
 	CacheEvict:       "cache-evict",
+	JobAdmitted:      "job-admitted",
 }
 
 // String returns the stable lowercase name of the kind.
