@@ -3,6 +3,16 @@
 // the S^3 scheduler. Three roles:
 //
 //	s3cluster -role demo                 # everything in one process
+//	s3cluster -role master -control 127.0.0.1:7000 -minworkers 2
+//	s3cluster -role worker -master 127.0.0.1:7000
+//
+// In this registration mode (the default deployment topology) workers
+// dial the master's control address, register with their identity and
+// block inventory, and heartbeat; a worker killed and restarted
+// re-registers and rejoins the run in flight, while the master requeues
+// whatever rounds its death interrupted. The legacy static topology —
+// the master dialing a fixed worker list — remains available:
+//
 //	s3cluster -role worker -listen 127.0.0.1:7001
 //	s3cluster -role master -workers 127.0.0.1:7001,127.0.0.1:7002
 //
@@ -29,6 +39,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"time"
 
 	"s3sched/internal/core"
 	"s3sched/internal/dfs"
@@ -43,9 +54,14 @@ import (
 )
 
 var (
-	role      = flag.String("role", "demo", "demo | worker | master")
-	listen    = flag.String("listen", "127.0.0.1:0", "worker: address to serve on")
-	workerStr = flag.String("workers", "", "master: comma-separated worker addresses")
+	role       = flag.String("role", "demo", "demo | worker | master")
+	listen     = flag.String("listen", "127.0.0.1:0", "worker: address to serve tasks on")
+	workerStr  = flag.String("workers", "", "master: comma-separated worker addresses (legacy static topology)")
+	masterAddr = flag.String("master", "", "worker: master control address to register with (registration mode)")
+	workerID   = flag.String("id", "", "worker: stable identity for registration (default worker@<task address>)")
+	ctrlAddr   = flag.String("control", "", "master: control-plane listen address for worker registration (dynamic membership mode)")
+	minWorkers = flag.Int("minworkers", 1, "master: registered workers to wait for before driving rounds")
+	hb         = flag.Duration("hb", remote.DefaultHeartbeat, "worker: heartbeat interval; master: expected worker heartbeat interval (suspect/dead deadlines scale from it)")
 	blocks    = flag.Int("blocks", 24, "corpus blocks (must match across the cluster)")
 	blockSize = flag.Int64("blocksize", 16<<10, "corpus block size in bytes")
 	seed      = flag.Int64("seed", 7, "corpus generator seed (must match across the cluster)")
@@ -64,7 +80,7 @@ func main() {
 	case "worker":
 		err = runWorker()
 	case "master":
-		err = runMaster(strings.Split(*workerStr, ","))
+		err = runMaster()
 	case "demo":
 		err = runDemo()
 	default:
@@ -82,6 +98,13 @@ func workerStore() (*dfs.Store, error) {
 		return nil, err
 	}
 	if _, err := workload.AddTextFile(store, "corpus", *blocks, *blockSize, *seed); err != nil {
+		return nil, err
+	}
+	// The lineitem table backs the selection/aggregation factories. Both
+	// files derive from the shared seed, so every worker regenerates
+	// byte-identical blocks and any worker can serve any block after a
+	// failover.
+	if _, err := workload.AddLineitemFile(store, "lineitem", *blocks, *blockSize, *seed); err != nil {
 		return nil, err
 	}
 	if *cacheMB > 0 {
@@ -103,6 +126,14 @@ func runWorker() error {
 		return err
 	}
 	fmt.Printf("worker serving corpus (%d x %d B, seed %d) on %s\n", *blocks, *blockSize, *seed, addr)
+	if *masterAddr != "" {
+		opts := remote.RegisterOptions{ID: *workerID, Heartbeat: *hb}
+		if err := w.Register(*masterAddr, opts); err != nil {
+			w.Close()
+			return err
+		}
+		fmt.Printf("registering with master %s (heartbeat %v)\n", *masterAddr, *hb)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
@@ -123,15 +154,37 @@ func jobRefs(n int) map[scheduler.JobID]remote.JobRef {
 	return refs
 }
 
-func runMaster(addrs []string) error {
-	if len(addrs) == 0 || addrs[0] == "" {
-		return fmt.Errorf("master needs -workers")
-	}
+func runMaster() error {
 	var refs map[scheduler.JobID]remote.JobRef
 	if !*serve {
 		// Daemon mode registers every job through the admission path;
-		// batch mode pre-registers the whole trace at dial time.
+		// batch mode pre-registers the whole trace up front.
 		refs = jobRefs(*jobs)
+	}
+	if *ctrlAddr != "" {
+		// Dynamic membership: listen for worker registrations and gate
+		// round-driving on the expected cluster size. The control-plane
+		// deadlines scale from the heartbeat interval the workers were
+		// told to use.
+		master := remote.NewMaster(refs)
+		cfg := remote.ControlConfig{
+			SuspectAfter: *hb * 5 / 2,
+			DeadAfter:    *hb * 5,
+		}
+		bound, err := master.ListenControl(*ctrlAddr, cfg)
+		if err != nil {
+			return err
+		}
+		defer master.Close()
+		fmt.Printf("control plane on %s; waiting for %d worker(s)\n", bound, *minWorkers)
+		if err := master.WaitForWorkers(*minWorkers, 5*time.Minute); err != nil {
+			return err
+		}
+		return drive(master, *minWorkers, refs)
+	}
+	addrs := strings.Split(*workerStr, ",")
+	if len(addrs) == 0 || addrs[0] == "" {
+		return fmt.Errorf("master needs -control (registration mode) or -workers (static topology)")
 	}
 	master, err := remote.Dial(addrs, refs)
 	if err != nil {
@@ -184,18 +237,28 @@ func runDemo() error {
 type clusterAdmission struct {
 	src       *runtime.LiveSource
 	master    *remote.Master
-	file      string
 	factories map[string]bool
 
 	mu   sync.Mutex
 	refs map[scheduler.JobID]remote.JobRef
 }
 
+// factoryFile routes a job factory to the file it scans: wordcount
+// reads the text corpus, the TPC-H-shaped factories read the lineitem
+// table. Unknown factories never get here (admission validates first).
+func factoryFile(factory string) string {
+	switch factory {
+	case "selection", "aggregation":
+		return "lineitem"
+	default:
+		return "corpus"
+	}
+}
+
 func newClusterAdmission(src *runtime.LiveSource, master *remote.Master) *clusterAdmission {
 	a := &clusterAdmission{
 		src:       src,
 		master:    master,
-		file:      "corpus",
 		factories: make(map[string]bool),
 		refs:      make(map[scheduler.JobID]remote.JobRef),
 	}
@@ -232,7 +295,7 @@ func (a *clusterAdmission) SubmitJob(req status.JobRequest) (scheduler.JobID, er
 	ref := remote.JobRef{Name: name, Factory: factory, Param: req.Param, NumReduce: numReduce}
 	meta := scheduler.JobMeta{
 		Name:     name,
-		File:     a.file,
+		File:     factoryFile(factory),
 		Weight:   req.Weight,
 		Priority: req.Priority,
 	}
@@ -271,19 +334,23 @@ func (a *clusterAdmission) jobNames() map[scheduler.JobID]string {
 func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remote.JobRef) error {
 	master.SetTimeScale(1e6)
 
-	// The scheduler's segment plan: metadata only, matching the
-	// workers' corpus shape.
+	// The scheduler's segment plans: metadata only, matching the two
+	// files every worker serves (text corpus + lineitem table).
 	planStore, err := dfs.NewStore(numWorkers, 1)
 	if err != nil {
 		return fmt.Errorf("planning store for %d workers: %w", numWorkers, err)
 	}
-	f, err := planStore.AddMetaFile("corpus", *blocks, *blockSize)
-	if err != nil {
-		return err
-	}
-	plan, err := dfs.PlanSegments(f, numWorkers)
-	if err != nil {
-		return err
+	var plans []*dfs.SegmentPlan
+	for _, name := range []string{"corpus", "lineitem"} {
+		f, err := planStore.AddMetaFile(name, *blocks, *blockSize)
+		if err != nil {
+			return err
+		}
+		plan, err := dfs.PlanSegments(f, numWorkers)
+		if err != nil {
+			return err
+		}
+		plans = append(plans, plan)
 	}
 
 	var opts runtime.Options
@@ -298,7 +365,10 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 	}
 	// The scheduler shares the span log so JQM job-lifetime spans land
 	// in the same trace as the driver's round/stage spans.
-	sched := core.New(plan, spans)
+	sched, err := core.NewMultiFile(plans, spans)
+	if err != nil {
+		return err
+	}
 	reg := metrics.NewRegistry()
 	opts.Metrics = metrics.NewRunMetrics(reg)
 
@@ -317,6 +387,7 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 	if statusAddr != "" {
 		srv = status.NewServer(sched.Name())
 		srv.SetRegistry(reg)
+		srv.SetCluster(master)
 		if adm != nil {
 			srv.SetAdmission(adm)
 		}
@@ -325,7 +396,7 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("status dashboard: http://%s/ (also /metrics, /debug/pprof/)\n", addr)
+		fmt.Printf("status dashboard: http://%s/ (also /metrics, /cluster, /debug/pprof/)\n", addr)
 		if adm != nil {
 			fmt.Printf("job admission: POST http://%s/jobs accepts {\"factory\",\"param\",...}; GET /jobs lists\n", addr)
 		}
@@ -406,8 +477,8 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 	}
 	var reads int64
 	var cache metrics.CacheStats
-	for i, st := range stats {
-		fmt.Printf("worker %d: %d block reads, %d map tasks, %d reduce tasks", i, st.BlockReads, st.MapTasks, st.ReduceTasks)
+	for _, st := range stats {
+		fmt.Printf("worker %s: %d block reads, %d map tasks, %d reduce tasks", st.Worker, st.BlockReads, st.MapTasks, st.ReduceTasks)
 		if st.CacheHits+st.CacheMisses > 0 {
 			fmt.Printf(", %d cache hits / %d misses", st.CacheHits, st.CacheMisses)
 		}

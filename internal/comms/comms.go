@@ -1,0 +1,137 @@
+// Package comms is the cluster control-plane wire layer: persistent
+// TCP connections carrying length-prefixed gob frames, a
+// dial-with-exponential-backoff helper, and the membership vocabulary
+// (states, events, per-worker info) shared by the master's membership
+// table, the runtime engine that consumes its deltas, and the status
+// server that publishes it.
+//
+// The control plane is deliberately separate from the task plane:
+// workers dial the master here to register and heartbeat, while task
+// RPCs keep flowing master→worker over net/rpc connections the master
+// opens against each registered worker's advertised task address. A
+// worker restart therefore needs no master-side configuration — the
+// worker re-dials, re-registers, and the master re-opens its task
+// client.
+package comms
+
+// MemberState is a worker's position in the membership lifecycle.
+type MemberState int
+
+const (
+	// Joined means the worker registered and is heartbeating on time.
+	Joined MemberState = iota
+	// Suspect means the worker missed at least one heartbeat deadline
+	// but has not yet been declared dead; it still receives tasks (a
+	// transport failure will rotate them elsewhere).
+	Suspect
+	// Dead means the worker missed its final deadline or its control
+	// connection broke; it receives no tasks until it re-registers.
+	Dead
+)
+
+var stateNames = map[MemberState]string{
+	Joined:  "joined",
+	Suspect: "suspect",
+	Dead:    "dead",
+}
+
+// String returns the stable lowercase state name.
+func (s MemberState) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// MemberEventKind classifies one membership delta.
+type MemberEventKind int
+
+const (
+	// MemberRegistered records a never-before-seen worker joining.
+	MemberRegistered MemberEventKind = iota
+	// MemberRejoined records a previously known worker re-registering
+	// after a restart or disconnect.
+	MemberRejoined
+	// MemberSuspect records a worker missing a heartbeat deadline.
+	MemberSuspect
+	// MemberRestored records a suspect worker heartbeating again
+	// before being declared dead.
+	MemberRestored
+	// MemberLost records a worker being declared dead.
+	MemberLost
+)
+
+var eventNames = map[MemberEventKind]string{
+	MemberRegistered: "registered",
+	MemberRejoined:   "rejoined",
+	MemberSuspect:    "suspect",
+	MemberRestored:   "restored",
+	MemberLost:       "lost",
+}
+
+// String returns the stable lowercase event name.
+func (k MemberEventKind) String() string {
+	if n, ok := eventNames[k]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// MemberEvent is one membership delta, drained in order by whoever
+// watches the table (the runtime engine folds them into its trace and
+// metrics).
+type MemberEvent struct {
+	// Worker is the worker's self-chosen identity.
+	Worker string
+	Kind   MemberEventKind
+	// Misses is the worker's consecutive missed-heartbeat count at the
+	// time of the event (meaningful for MemberSuspect/MemberLost).
+	Misses int
+	// Detail is a free-form human-readable annotation (the transport
+	// error for losses, the advertised address for joins).
+	Detail string
+}
+
+// WireStats is a worker's self-reported task/scan ledger, shipped in
+// every heartbeat so the master sees per-worker progress without an
+// extra stats poll.
+type WireStats struct {
+	BlockReads     int64
+	BytesScanned   int64
+	FailedReads    int64
+	MapTasks       int64
+	ReduceTasks    int64
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+}
+
+// ConnStats counts one peer connection's traffic in both directions.
+type ConnStats struct {
+	FramesSent int64 `json:"framesSent"`
+	FramesRecv int64 `json:"framesRecv"`
+	BytesSent  int64 `json:"bytesSent"`
+	BytesRecv  int64 `json:"bytesRecv"`
+}
+
+// WorkerInfo is one worker's row in the cluster view served at
+// GET /cluster: identity, state, liveness timings, and both the
+// control-plane traffic counters and the last heartbeat's task ledger.
+type WorkerInfo struct {
+	ID       string `json:"id"`
+	TaskAddr string `json:"taskAddr"`
+	State    string `json:"state"`
+	// Static marks boot-time -workers members that never heartbeat.
+	Static bool `json:"static,omitempty"`
+	// SinceHeartbeat is seconds since the last heartbeat (or since
+	// registration when none arrived yet); absent for static members.
+	SinceHeartbeat float64 `json:"sinceHeartbeat,omitempty"`
+	// HeartbeatMisses counts deadline misses over the worker's lifetime.
+	HeartbeatMisses int64 `json:"heartbeatMisses"`
+	// Reconnects counts re-registrations after the first.
+	Reconnects int64 `json:"reconnects"`
+	// Control is the master-side control connection's traffic ledger.
+	Control ConnStats `json:"control"`
+	// Tasks is the worker's last self-reported ledger.
+	Tasks WireStats `json:"tasks"`
+}

@@ -1,0 +1,71 @@
+package comms
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Backoff is a deterministic exponential backoff schedule. The zero
+// value uses DefaultBackoff's parameters.
+type Backoff struct {
+	// Base is the delay after the first failure.
+	Base time.Duration
+	// Max caps the delay.
+	Max time.Duration
+}
+
+// DefaultBackoff reconnects aggressively at first (a restarting master
+// is back within seconds) and settles at a polite steady-state retry.
+var DefaultBackoff = Backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second}
+
+// Delay returns the wait before retry attempt (0-based): Base·2^attempt
+// capped at Max.
+func (b Backoff) Delay(attempt int) time.Duration {
+	if b.Base <= 0 {
+		b = DefaultBackoff
+	}
+	max := b.Max
+	if max <= 0 {
+		max = DefaultBackoff.Max
+	}
+	d := b.Base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// DialBackoff dials addr until it succeeds, sleeping the backoff
+// schedule between attempts. It returns early with an error when stop
+// closes (clean shutdown) or after maxAttempts failures
+// (maxAttempts <= 0 retries forever).
+func DialBackoff(addr string, b Backoff, maxAttempts int, stop <-chan struct{}) (*Conn, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-stop:
+			return nil, fmt.Errorf("comms: dial %s aborted by shutdown", addr)
+		default:
+		}
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return NewConn(c), nil
+		}
+		lastErr = err
+		if maxAttempts > 0 && attempt+1 >= maxAttempts {
+			return nil, fmt.Errorf("comms: dialing %s: %d attempts failed: %w", addr, maxAttempts, lastErr)
+		}
+		select {
+		case <-stop:
+			return nil, fmt.Errorf("comms: dial %s aborted by shutdown", addr)
+		case <-time.After(b.Delay(attempt)):
+		}
+	}
+}

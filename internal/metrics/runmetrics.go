@@ -51,6 +51,17 @@ type RunMetrics struct {
 	CacheHitRatio *Gauge
 	CacheBytes    *Gauge
 
+	// HeartbeatMisses counts control-plane heartbeat deadlines missed by
+	// registered workers; WorkerReconnects counts restarted workers
+	// re-registering under their old identity. Both stay zero outside
+	// dynamic-membership cluster runs.
+	HeartbeatMisses  *Counter
+	WorkerReconnects *Counter
+
+	// WorkersConnected is the number of live (joined or suspect) workers
+	// in the cluster membership table, sampled whenever it changes.
+	WorkersConnected *Gauge
+
 	// QueueDepth is the number of submitted-but-incomplete jobs after
 	// the most recent settled round.
 	QueueDepth *Gauge
@@ -86,6 +97,11 @@ func NewRunMetrics(reg *Registry) *RunMetrics {
 		CacheHits:           reg.Counter("s3_cache_hits_total", "block reads served from the node-local cache"),
 		CacheMisses:         reg.Counter("s3_cache_misses_total", "block reads that went to disk"),
 		CacheEvictions:      reg.Counter("s3_cache_evictions_total", "cached blocks discarded to fit the byte budget"),
+
+		HeartbeatMisses:  reg.Counter("s3_heartbeat_misses_total", "worker heartbeat deadlines missed by the control plane"),
+		WorkerReconnects: reg.Counter("s3_worker_reconnects_total", "workers that re-registered after a restart"),
+
+		WorkersConnected: reg.Gauge("s3_workers_connected", "live workers in the cluster membership table"),
 
 		CacheHitRatio: reg.Gauge("s3_cache_hit_ratio", "cache hits over total reads at end of run"),
 		CacheBytes:    reg.Gauge("s3_cache_bytes", "cached byte footprint at end of run"),

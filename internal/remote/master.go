@@ -2,10 +2,15 @@ package remote
 
 import (
 	"fmt"
+	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"s3sched/internal/comms"
 	"s3sched/internal/mapreduce"
+	"s3sched/internal/metrics"
 	"s3sched/internal/scheduler"
 	"s3sched/internal/trace"
 	"s3sched/internal/vclock"
@@ -15,12 +20,28 @@ import (
 // driver.Executor, so the same driver loop that runs the in-process
 // engine and the simulator also runs the distributed cluster.
 //
-// Task placement is locality-first: block i is mapped on worker
-// i mod W, which owns that block locally; reduce partition p of a job
-// runs on worker p mod W.
+// Workers reach the master two ways:
+//
+//   - Dynamic membership (ListenControl): workers dial the master,
+//     register with identity + inventory + capabilities, heartbeat on
+//     a deadline, and survive restarts by re-registering. The master
+//     keeps a joined/suspect/dead membership table whose deltas feed
+//     the runtime engine (worker-lost/worker-rejoined events) and the
+//     status server's GET /cluster.
+//   - Static dial (Dial): the legacy boot-time -workers list; members
+//     never leave the table.
+//
+// Task placement is locality-first over the live membership snapshot:
+// block i is mapped on live worker i mod W; reduce partition p of a
+// job runs on live worker p mod W. A worker missing from the snapshot
+// (declared dead) simply stops receiving tasks; a task failing with a
+// transport error rotates to the next live worker, exactly like
+// re-running against another HDFS replica. A round that fails on every
+// live worker is reported as a *scheduler.RoundLostError in dynamic
+// mode, which the runtime requeues — so a full-cluster outage becomes
+// a requeue-until-rejoin loop rather than a dead run.
 type Master struct {
-	clients []*rpc.Client
-	jobs    map[scheduler.JobID]JobRef
+	members *membership
 	// timeScale converts measured wall seconds to virtual seconds.
 	timeScale float64
 	clock     *vclock.Wall
@@ -30,37 +51,62 @@ type Master struct {
 	log      *trace.Log
 	roundSeq int
 
+	// hasCtl flips once when ListenControl starts; it gates the
+	// lost-round (requeue) error contract, which only a dynamic
+	// cluster can make progress on.
+	hasCtl atomic.Bool
+	ctlWG  sync.WaitGroup
+
 	mu sync.Mutex
-	// partitions[job][p] accumulates job's shuffle records.
+	// ctl is the control-plane listener (nil in static mode).
+	ctl    net.Listener
+	ctlCfg ControlConfig
+	jobs   map[scheduler.JobID]JobRef
+	// partitions[job][p] accumulates job's shuffle records; mergedSegs
+	// remembers which segments already contributed, so a requeued
+	// round's re-executed map stage cannot double-count.
 	partitions map[scheduler.JobID][][]mapreduce.KV
+	mergedSegs map[scheduler.JobID]map[int]bool
 	results    map[scheduler.JobID][]mapreduce.KV
 	failovers  int
 }
 
-// Dial connects a master to the given worker addresses and registers
-// the jobs it may be asked to run. More jobs may be registered later
+// NewMaster builds a master with no workers yet: call ListenControl
+// and let workers register (optionally gating on WaitForWorkers).
+// jobs pre-registers the batch workload; more may be registered later
 // with RegisterJob — the live-admission path.
-func Dial(addrs []string, jobs map[scheduler.JobID]JobRef) (*Master, error) {
-	if len(addrs) == 0 {
-		return nil, fmt.Errorf("remote: master needs at least one worker")
-	}
+func NewMaster(jobs map[scheduler.JobID]JobRef) *Master {
 	m := &Master{
+		members:    newMembership(),
 		jobs:       make(map[scheduler.JobID]JobRef, len(jobs)),
 		timeScale:  1,
 		clock:      vclock.NewWall(),
 		partitions: make(map[scheduler.JobID][][]mapreduce.KV),
+		mergedSegs: make(map[scheduler.JobID]map[int]bool),
 		results:    make(map[scheduler.JobID][]mapreduce.KV),
 	}
 	for id, ref := range jobs {
 		m.jobs[id] = ref
 	}
-	for _, addr := range addrs {
+	return m
+}
+
+// Dial connects a master to a fixed list of worker addresses — the
+// static topology. Workers joined this way never heartbeat and never
+// leave the membership table; per-task failover still skips the ones
+// whose connections break.
+func Dial(addrs []string, jobs map[scheduler.JobID]JobRef) (*Master, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("remote: master needs at least one worker")
+	}
+	m := NewMaster(jobs)
+	for i, addr := range addrs {
 		c, err := rpc.Dial("tcp", addr)
 		if err != nil {
 			m.Close()
 			return nil, fmt.Errorf("remote: dialing worker %s: %w", addr, err)
 		}
-		m.clients = append(m.clients, c)
+		m.members.addStatic(fmt.Sprintf("static-%d", i), addr, c)
 	}
 	return m, nil
 }
@@ -102,19 +148,18 @@ func (m *Master) jobRef(id scheduler.JobID) (JobRef, bool) {
 	return ref, ok
 }
 
-// Close drops all worker connections.
+// Close stops the control plane and drops all worker connections.
 func (m *Master) Close() error {
-	var first error
-	for _, c := range m.clients {
-		if c == nil {
-			continue
-		}
-		if err := c.Close(); err != nil && first == nil {
-			first = err
-		}
+	m.mu.Lock()
+	ln := m.ctl
+	m.ctl = nil
+	m.mu.Unlock()
+	if ln != nil {
+		ln.Close()
 	}
-	m.clients = nil
-	return first
+	err := m.members.closeAll()
+	m.ctlWG.Wait()
+	return err
 }
 
 // Results returns completed jobs' outputs, sorted by key.
@@ -128,16 +173,82 @@ func (m *Master) Results() map[scheduler.JobID][]mapreduce.KV {
 	return out
 }
 
-// WorkerStats polls every worker's counters.
+// WorkerStats polls every live worker's counters.
 func (m *Master) WorkerStats() ([]StatsReply, error) {
-	out := make([]StatsReply, len(m.clients))
-	for i, c := range m.clients {
-		if err := c.Call("Worker.Stats", &StatsArgs{}, &out[i]); err != nil {
-			return nil, err
+	_, live := m.members.live()
+	out := make([]StatsReply, len(live))
+	for i, w := range live {
+		if err := w.client.Call("Worker.Stats", &StatsArgs{}, &out[i]); err != nil {
+			return nil, fmt.Errorf("remote: polling stats of %s: %w", w.id, err)
 		}
+		out[i].Worker = w.id
 	}
 	return out, nil
 }
+
+// FaultStats implements runtime.FaultStatsSource: the master's
+// failover count plus every reachable worker's failed-read counter, so
+// a remote run's end-of-run ledger matches what a local run folds from
+// its own store.
+func (m *Master) FaultStats() metrics.FaultStats {
+	m.mu.Lock()
+	fs := metrics.FaultStats{Retries: m.failovers}
+	m.mu.Unlock()
+	_, live := m.members.live()
+	for _, w := range live {
+		var st StatsReply
+		if err := w.client.Call("Worker.Stats", &StatsArgs{}, &st); err != nil {
+			continue // best effort: a dead worker keeps its ledger
+		}
+		fs.FailedAttempts += int(st.FailedReads)
+	}
+	return fs
+}
+
+// CacheStats implements runtime.CacheStatsSource by summing every
+// reachable worker's block-cache counters.
+func (m *Master) CacheStats() metrics.CacheStats {
+	var cs metrics.CacheStats
+	_, live := m.members.live()
+	for _, w := range live {
+		var st StatsReply
+		if err := w.client.Call("Worker.Stats", &StatsArgs{}, &st); err != nil {
+			continue
+		}
+		cs.Add(metrics.CacheStats{
+			Hits:      st.CacheHits,
+			Misses:    st.CacheMisses,
+			Evictions: st.CacheEvictions,
+			Bytes:     st.CacheBytes,
+		})
+	}
+	return cs
+}
+
+// TakeMemberEvents implements runtime.MembershipSource: it drains the
+// membership deltas accumulated since the last call.
+func (m *Master) TakeMemberEvents() []comms.MemberEvent { return m.members.takeEvents() }
+
+// LiveWorkers implements runtime.MembershipSource.
+func (m *Master) LiveWorkers() int { return m.members.liveCount() }
+
+// ClusterSnapshot implements status.ClusterSource: the full membership
+// table, including dead members awaiting rejoin.
+func (m *Master) ClusterSnapshot() []comms.WorkerInfo { return m.members.snapshot() }
+
+// allWorkersError marks a task that failed with transport errors on
+// every live worker — the signature of a (possibly transient) cluster
+// outage rather than a job bug.
+type allWorkersError struct {
+	what string
+	err  error
+}
+
+func (e *allWorkersError) Error() string {
+	return fmt.Sprintf("remote: %s failed on every worker: %v", e.what, e.err)
+}
+
+func (e *allWorkersError) Unwrap() error { return e.err }
 
 // ExecRound implements driver.Executor: map every block of the round
 // on its home worker (one merged task per block), then reduce the
@@ -156,14 +267,36 @@ func (m *Master) ExecRound(r scheduler.Round) (vclock.Duration, error) {
 		m.ensureJob(j.ID, ref)
 	}
 
+	// With a dynamic control plane a workerless moment is recoverable:
+	// wait out the rejoin grace, then report the round lost so the
+	// engine requeues it (and re-enters this wait).
+	if m.hasCtl.Load() {
+		if live := m.members.waitLive(1, m.rejoinGrace()); len(live) == 0 {
+			return 0, m.roundLost(r, start, &allWorkersError{
+				what: fmt.Sprintf("round over segment %d", r.Segment),
+				err:  fmt.Errorf("no live workers"),
+			})
+		}
+	}
+
 	// Map phase: one merged task per block, locality-first on the
-	// block's home worker, failing over to the other workers when a
-	// worker is unreachable — any worker can serve any block, exactly
-	// like re-running a task against another HDFS replica.
+	// block's home worker, failing over across the live membership
+	// when a worker is unreachable. Output accumulates locally and
+	// merges only after the whole phase succeeds, so a lost round
+	// leaves no partial shuffle state behind.
+	acc := make([][][]mapreduce.KV, len(ids))
+	for i, ref := range refs {
+		width := ref.NumReduce
+		if width <= 0 {
+			width = 1
+		}
+		acc[i] = make([][]mapreduce.KV, width)
+	}
 	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		firstErr error
+		wg        sync.WaitGroup
+		errMu     sync.Mutex
+		taskErr   error // job-owned failure: propagate, never requeue
+		outageErr error // all-workers transport failure: lost round
 	)
 	seq := m.roundSeq
 	m.roundSeq++
@@ -178,30 +311,61 @@ func (m *Master) ExecRound(r scheduler.Round) (vclock.Duration, error) {
 			reply, err := m.mapWithFailover(corr, file, idx, refs)
 			if err != nil {
 				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
+				if awe, ok := err.(*allWorkersError); ok {
+					if outageErr == nil {
+						outageErr = awe
+					}
+				} else if taskErr == nil {
+					taskErr = err
 				}
 				errMu.Unlock()
 				return
 			}
-			m.mu.Lock()
+			errMu.Lock()
 			for i, parts := range reply.PerJob {
-				dst := m.partitions[ids[i]]
 				for p, kvs := range parts {
-					dst[p] = append(dst[p], kvs...)
+					acc[i][p] = append(acc[i][p], kvs...)
 				}
 			}
-			m.mu.Unlock()
+			errMu.Unlock()
 		}(b.File, b.Index)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return 0, firstErr
+	if taskErr != nil {
+		return 0, taskErr
 	}
+	if outageErr != nil {
+		return 0, m.roundLost(r, start, outageErr)
+	}
+
+	// Commit the round's map output. Requeued rounds re-execute their
+	// map stage; the per-(job, segment) ledger keeps the deterministic
+	// re-run from double-counting records a lost attempt already
+	// merged.
+	m.mu.Lock()
+	for i, id := range ids {
+		segs := m.mergedSegs[id]
+		if segs == nil {
+			segs = make(map[int]bool)
+			m.mergedSegs[id] = segs
+		}
+		if segs[r.Segment] {
+			continue
+		}
+		segs[r.Segment] = true
+		dst := m.partitions[id]
+		for p, kvs := range acc[i] {
+			dst[p] = append(dst[p], kvs...)
+		}
+	}
+	m.mu.Unlock()
 
 	// Reduce phase for jobs completing this round.
 	for _, id := range r.Completes {
 		if err := m.finishJob(id); err != nil {
+			if awe, ok := err.(*allWorkersError); ok {
+				return 0, m.roundLost(r, start, awe)
+			}
 			return 0, err
 		}
 	}
@@ -209,72 +373,105 @@ func (m *Master) ExecRound(r scheduler.Round) (vclock.Duration, error) {
 	return vclock.Duration(elapsed.Seconds() * m.timeScale), nil
 }
 
-// isTransportError distinguishes a dead connection (retry elsewhere)
-// from a task-level failure the job owns (propagate). net/rpc returns
-// rpc.ServerError for errors the remote handler produced; everything
-// else is transport.
-func isTransportError(err error) bool {
-	_, serverSide := err.(rpc.ServerError)
-	return !serverSide
+// rejoinGrace returns the configured zero-live-workers wait.
+func (m *Master) rejoinGrace() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ctlCfg.RejoinGrace
+}
+
+// roundLost converts an all-workers failure into the engine's requeue
+// contract when the cluster is dynamic (workers can rejoin), and into
+// a hard error when it is static (nothing will ever come back).
+func (m *Master) roundLost(r scheduler.Round, start vclock.Time, err error) error {
+	if !m.hasCtl.Load() {
+		return err
+	}
+	elapsed := vclock.Duration(m.clock.Now().Sub(start).Seconds() * m.timeScale)
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	return &scheduler.RoundLostError{Round: r, Elapsed: elapsed, Err: err}
 }
 
 // mapWithFailover tries the block's home worker first, then every
-// other worker. Task-level errors are returned immediately; transport
-// errors rotate to the next worker. Retried tasks re-execute from the
-// locally regenerated block, so results are unaffected.
+// other live worker. Task-level errors are returned immediately;
+// transport errors rotate to the next worker. If every worker in the
+// snapshot fails and the membership changed meanwhile (a rejoin landed
+// mid-rotation), one fresh snapshot is retried before giving up.
+// Retried tasks re-execute from the locally regenerated block, so
+// results are unaffected.
 func (m *Master) mapWithFailover(corr, file string, idx int, refs []JobRef) (*MapTaskReply, error) {
-	home := idx % len(m.clients)
 	var lastErr error
-	for off := 0; off < len(m.clients); off++ {
-		worker := (home + off) % len(m.clients)
-		client := m.clients[worker]
-		m.log.Addf(m.clock.Now(), trace.TaskDispatched, -1, -1, "corr=%s map %s#%d worker %d attempt %d", corr, file, idx, worker, off+1)
-		var reply MapTaskReply
-		err := client.Call("Worker.ExecMap", &MapTaskArgs{File: file, BlockIndex: idx, Jobs: refs, Corr: corr}, &reply)
-		if err == nil {
-			if off > 0 {
-				m.mu.Lock()
-				m.failovers++
-				m.mu.Unlock()
+	for pass := 0; pass < 2; pass++ {
+		ver, live := m.members.live()
+		if len(live) == 0 {
+			lastErr = fmt.Errorf("no live workers")
+		} else {
+			home := idx % len(live)
+			for off := 0; off < len(live); off++ {
+				w := live[(home+off)%len(live)]
+				m.log.Addf(m.clock.Now(), trace.TaskDispatched, -1, -1, "corr=%s map %s#%d worker %s attempt %d", corr, file, idx, w.id, off+1)
+				var reply MapTaskReply
+				err := w.client.Call("Worker.ExecMap", &MapTaskArgs{File: file, BlockIndex: idx, Jobs: refs, Corr: corr}, &reply)
+				if err == nil {
+					if off > 0 || pass > 0 {
+						m.mu.Lock()
+						m.failovers++
+						m.mu.Unlock()
+					}
+					return &reply, nil
+				}
+				if !isTransportError(err) {
+					return nil, err
+				}
+				lastErr = err
 			}
-			return &reply, nil
 		}
-		if !isTransportError(err) {
-			return nil, err
+		if ver2, _ := m.members.live(); ver2 == ver {
+			break
 		}
-		lastErr = err
 	}
-	return nil, fmt.Errorf("remote: block %s#%d failed on every worker: %w", file, idx, lastErr)
+	return nil, &allWorkersError{what: fmt.Sprintf("block %s#%d", file, idx), err: lastErr}
 }
 
 // reduceWithFailover mirrors mapWithFailover for reduce tasks.
 func (m *Master) reduceWithFailover(corr string, ref JobRef, p int, records []mapreduce.KV) ([]mapreduce.KV, error) {
-	home := p % len(m.clients)
 	var lastErr error
-	for off := 0; off < len(m.clients); off++ {
-		worker := (home + off) % len(m.clients)
-		client := m.clients[worker]
-		m.log.Addf(m.clock.Now(), trace.TaskDispatched, -1, -1, "corr=%s reduce %q partition %d worker %d attempt %d", corr, ref.Name, p, worker, off+1)
-		var reply ReduceTaskReply
-		err := client.Call("Worker.ExecReduce", &ReduceTaskArgs{Job: ref, Partition: p, Records: records, Corr: corr}, &reply)
-		if err == nil {
-			if off > 0 {
-				m.mu.Lock()
-				m.failovers++
-				m.mu.Unlock()
+	for pass := 0; pass < 2; pass++ {
+		ver, live := m.members.live()
+		if len(live) == 0 {
+			lastErr = fmt.Errorf("no live workers")
+		} else {
+			home := p % len(live)
+			for off := 0; off < len(live); off++ {
+				w := live[(home+off)%len(live)]
+				m.log.Addf(m.clock.Now(), trace.TaskDispatched, -1, -1, "corr=%s reduce %q partition %d worker %s attempt %d", corr, ref.Name, p, w.id, off+1)
+				var reply ReduceTaskReply
+				err := w.client.Call("Worker.ExecReduce", &ReduceTaskArgs{Job: ref, Partition: p, Records: records, Corr: corr}, &reply)
+				if err == nil {
+					if off > 0 || pass > 0 {
+						m.mu.Lock()
+						m.failovers++
+						m.mu.Unlock()
+					}
+					return reply.Output, nil
+				}
+				if !isTransportError(err) {
+					return nil, err
+				}
+				lastErr = err
 			}
-			return reply.Output, nil
 		}
-		if !isTransportError(err) {
-			return nil, err
+		if ver2, _ := m.members.live(); ver2 == ver {
+			break
 		}
-		lastErr = err
 	}
-	return nil, fmt.Errorf("remote: job %q partition %d failed on every worker: %w", ref.Name, p, lastErr)
+	return nil, &allWorkersError{what: fmt.Sprintf("job %q partition %d", ref.Name, p), err: lastErr}
 }
 
-// Failovers reports how many map tasks succeeded only after moving off
-// their home worker.
+// Failovers reports how many tasks succeeded only after moving off
+// their first-choice worker.
 func (m *Master) Failovers() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -296,17 +493,16 @@ func (m *Master) ensureJob(id scheduler.JobID, ref JobRef) {
 }
 
 // finishJob fans the job's partitions out to workers for reduction and
-// merges the outputs.
+// merges the outputs. Shuffle state is only released on success, so a
+// lost reduce leaves the job requeueable.
 func (m *Master) finishJob(id scheduler.JobID) error {
 	ref, _ := m.jobRef(id)
 	m.mu.Lock()
 	parts, ok := m.partitions[id]
+	m.mu.Unlock()
 	if !ok {
-		m.mu.Unlock()
 		return fmt.Errorf("remote: round completes unknown job %d", id)
 	}
-	delete(m.partitions, id)
-	m.mu.Unlock()
 
 	outputs := make([][]mapreduce.KV, len(parts))
 	var (
@@ -325,8 +521,16 @@ func (m *Master) finishJob(id scheduler.JobID) error {
 			out, err := m.reduceWithFailover(corr, ref, p, records)
 			errMu.Lock()
 			defer errMu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
+			if err != nil {
+				if _, outage := err.(*allWorkersError); outage {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else if firstErr == nil || !isTaskLevel(firstErr) {
+					// Task-level errors take precedence: they must
+					// propagate rather than be masked as a lost round.
+					firstErr = err
+				}
 				return
 			}
 			outputs[p] = out
@@ -338,6 +542,15 @@ func (m *Master) finishJob(id scheduler.JobID) error {
 	}
 	m.mu.Lock()
 	m.results[id] = mapreduce.MergeSorted(outputs)
+	delete(m.partitions, id)
+	delete(m.mergedSegs, id)
 	m.mu.Unlock()
 	return nil
+}
+
+// isTaskLevel reports whether err is a job-owned failure rather than
+// an infrastructure outage.
+func isTaskLevel(err error) bool {
+	_, outage := err.(*allWorkersError)
+	return !outage
 }

@@ -51,13 +51,24 @@ type ReduceTaskReply struct {
 // StatsArgs is empty; StatsReply reports a worker's lifetime counters.
 type StatsArgs struct{}
 
-// StatsReply is one worker's physical-work ledger. The cache fields
-// stay zero on workers running without a block cache.
+// StatsReply is one worker's physical-work ledger — the same
+// fault/cache accounting a local run's store reports, so remote and
+// local runs fold into identical metrics. The cache fields stay zero
+// on workers running without a block cache.
 type StatsReply struct {
+	// Worker is the reporting worker's identity, filled master-side.
+	Worker       string
 	BlockReads   int64
 	BytesScanned int64
-	MapTasks     int64
-	ReduceTasks  int64
-	CacheHits    int64
-	CacheMisses  int64
+	// FailedReads counts read attempts failed by the fault hook or the
+	// block source.
+	FailedReads int64
+	MapTasks    int64
+	ReduceTasks int64
+	CacheHits   int64
+	CacheMisses int64
+	// CacheEvictions counts blocks discarded to fit the cache budget;
+	// CacheBytes is the cached footprint at poll time.
+	CacheEvictions int64
+	CacheBytes     int64
 }

@@ -1,0 +1,43 @@
+package remote
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/rpc"
+)
+
+// isTransportError distinguishes a dead connection (retry the task on
+// another worker) from a task-level failure the job owns (propagate to
+// the caller). The classification is explicit: only errors that prove
+// the *transport* failed — not the task — justify failover, because
+// retrying a task whose error was produced by its own map/reduce code
+// would re-execute a deterministic failure on every worker, and
+// retrying a client-side encode bug would mask it as a dead cluster.
+//
+// Transport errors are:
+//   - net.Error (dial failures, i/o timeouts, refused connections)
+//   - io.EOF / io.ErrUnexpectedEOF (connection torn down mid-call —
+//     net/rpc surfaces a worker crash this way)
+//   - rpc.ErrShutdown (client already closed, e.g. by the membership
+//     table declaring the worker dead mid-round)
+//
+// Everything else — rpc.ServerError (the remote handler returned an
+// error), gob encode/decode failures, and any other client-side bug —
+// is task-level and is returned to the caller unchanged.
+func isTransportError(err error) bool {
+	if err == nil {
+		return false
+	}
+	if _, serverSide := err.(rpc.ServerError); serverSide {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, rpc.ErrShutdown) {
+		return true
+	}
+	return false
+}

@@ -32,7 +32,15 @@ type Worker struct {
 
 	mu    sync.Mutex
 	ln    net.Listener
+	addr  string // bound task-serve address, set by Serve
 	conns map[net.Conn]struct{}
+
+	// Control-plane state (registration mode; see control.go).
+	ctlMu         sync.Mutex
+	ctlStop       chan struct{}
+	ctlDone       chan struct{}
+	registrations atomic.Int64
+	heartbeats    atomic.Int64
 }
 
 // NewWorker builds a worker over its local store and job registry.
@@ -102,11 +110,14 @@ func (w *Worker) Stats(_ *StatsArgs, reply *StatsReply) error {
 	st := w.store.Stats()
 	reply.BlockReads = st.BlockReads
 	reply.BytesScanned = st.BytesScanned
+	reply.FailedReads = st.FailedReads
 	reply.MapTasks = w.mapTasks.Load()
 	reply.ReduceTasks = w.reduceTasks.Load()
 	cs := w.store.CacheStats()
 	reply.CacheHits = cs.Hits
 	reply.CacheMisses = cs.Misses
+	reply.CacheEvictions = cs.Evictions
+	reply.CacheBytes = cs.Bytes
 	return nil
 }
 
@@ -123,6 +134,7 @@ func (w *Worker) Serve(addr string) (string, error) {
 	}
 	w.mu.Lock()
 	w.ln = ln
+	w.addr = ln.Addr().String()
 	w.conns = make(map[net.Conn]struct{})
 	w.mu.Unlock()
 	go func() {
@@ -150,10 +162,12 @@ func (w *Worker) Serve(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close kills the worker: the listener and every live connection are
-// torn down, so in-flight and future calls from masters fail with
-// transport errors — the observable signature of a dead slave node.
+// Close kills the worker: the control loop (if registered with a
+// master) stops, and the listener and every live connection are torn
+// down, so in-flight and future calls from masters fail with transport
+// errors — the observable signature of a dead slave node.
 func (w *Worker) Close() error {
+	w.stopControl()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.ln == nil {

@@ -44,7 +44,10 @@ type engine struct {
 	exec  Executor
 	src   ArrivalSource
 	// trk is src's lifecycle-callback side, when it has one.
-	trk         JobTracker
+	trk JobTracker
+	// mem is exec's dynamic-membership side, when it has one; its
+	// deltas are drained every loop iteration.
+	mem         MembershipSource
 	hooks       Hooks
 	maxRequeues int
 	pol         stagePolicy
@@ -80,6 +83,9 @@ func newEngine(sched scheduler.Scheduler, exec Executor, src ArrivalSource, opts
 	if trk, ok := src.(JobTracker); ok {
 		e.trk = trk
 	}
+	if mem, ok := exec.(MembershipSource); ok {
+		e.mem = mem
+	}
 	e.res = &Result{Metrics: e.coll}
 	e.pol = &serialPolicy{e: e}
 	if opts.Pipeline {
@@ -103,6 +109,7 @@ func (e *engine) run() (*Result, error) {
 	e.tele.beginRun(e.sched.Name(), e.clock.Now())
 	for {
 		now := e.clock.Now()
+		e.drainMembership(now)
 		if err := e.deliverDue(now); err != nil {
 			e.pol.drain()
 			return nil, err
@@ -174,10 +181,30 @@ func (e *engine) run() (*Result, error) {
 			return nil, err
 		}
 	}
+	e.drainMembership(e.clock.Now())
 	e.finishStats()
 	e.res.End = e.clock.Now()
 	e.tele.endRun(e.coll, e.res.End, e.res.Rounds)
 	return e.res, nil
+}
+
+// drainMembership pulls the executor's pending membership transitions
+// into the telemetry sinks. Cluster churn happens on the wall clock;
+// events are stamped with the virtual time at which the run loop
+// observed them — the instant the information could first influence a
+// scheduling decision.
+func (e *engine) drainMembership(now vclock.Time) {
+	if e.mem == nil {
+		return
+	}
+	evs := e.mem.TakeMemberEvents()
+	if len(evs) == 0 {
+		return
+	}
+	for _, ev := range evs {
+		e.tele.memberEvent(now, ev)
+	}
+	e.tele.workersConnected(e.mem.LiveWorkers())
 }
 
 // deliverDue admits every arrival due at now into the scheduler. This

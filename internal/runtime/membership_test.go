@@ -1,0 +1,82 @@
+package runtime_test
+
+import (
+	"strings"
+	"testing"
+
+	"s3sched/internal/comms"
+	"s3sched/internal/core"
+	"s3sched/internal/metrics"
+	"s3sched/internal/runtime"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/trace"
+	"s3sched/internal/vclock"
+)
+
+// memberExec is an executor with a scripted membership stream: the
+// queued events are surfaced to the engine on its next drain.
+type memberExec struct {
+	pending []comms.MemberEvent
+	live    int
+	drains  int
+}
+
+func (m *memberExec) ExecRound(r scheduler.Round) (vclock.Duration, error) { return 10, nil }
+
+func (m *memberExec) TakeMemberEvents() []comms.MemberEvent {
+	m.drains++
+	ev := m.pending
+	m.pending = nil
+	return ev
+}
+
+func (m *memberExec) LiveWorkers() int { return m.live }
+
+// TestEngineDrainsMembershipIntoTelemetry: a MembershipSource
+// executor's events must land in the run's trace and metrics — the
+// contract the remote master's control plane relies on.
+func TestEngineDrainsMembershipIntoTelemetry(t *testing.T) {
+	exec := &memberExec{
+		live: 2,
+		pending: []comms.MemberEvent{
+			{Worker: "w0", Kind: comms.MemberRegistered, Detail: "127.0.0.1:7001"},
+			{Worker: "w1", Kind: comms.MemberRegistered, Detail: "127.0.0.1:7002"},
+			{Worker: "w1", Kind: comms.MemberSuspect, Misses: 1},
+			{Worker: "w1", Kind: comms.MemberSuspect, Misses: 2},
+			{Worker: "w1", Kind: comms.MemberLost, Misses: 2, Detail: "no heartbeat"},
+			{Worker: "w1", Kind: comms.MemberRejoined, Detail: "127.0.0.1:7003"},
+		},
+	}
+	spans := trace.MustNew(1 << 10)
+	reg := metrics.NewRegistry()
+	rm := metrics.NewRunMetrics(reg)
+	sched := core.New(parityPlan(t, 1), nil)
+	if _, err := runtime.RunTrace(sched, exec, []runtime.Arrival{{Job: parityMeta(1), At: 0}},
+		runtime.Options{Spans: spans, Metrics: rm}); err != nil {
+		t.Fatal(err)
+	}
+	if exec.drains == 0 {
+		t.Fatal("engine never drained the membership source")
+	}
+
+	if got := len(spans.OfKind(trace.WorkerRegistered)); got != 2 {
+		t.Errorf("worker-registered events = %d, want 2", got)
+	}
+	lost := spans.OfKind(trace.WorkerLost)
+	if len(lost) != 1 || !strings.Contains(lost[0].Detail, "w1") {
+		t.Errorf("worker-lost events = %v, want one naming w1", lost)
+	}
+	if got := len(spans.OfKind(trace.WorkerRejoined)); got != 1 {
+		t.Errorf("worker-rejoined events = %d, want 1", got)
+	}
+	// Suspect transitions count misses but stay out of the event trace.
+	if rm.HeartbeatMisses.Value() != 2 {
+		t.Errorf("heartbeat misses = %v, want 2", rm.HeartbeatMisses.Value())
+	}
+	if rm.WorkerReconnects.Value() != 1 {
+		t.Errorf("worker reconnects = %v, want 1", rm.WorkerReconnects.Value())
+	}
+	if rm.WorkersConnected.Value() != 2 {
+		t.Errorf("workers connected gauge = %v, want 2", rm.WorkersConnected.Value())
+	}
+}

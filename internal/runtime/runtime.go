@@ -24,6 +24,7 @@
 package runtime
 
 import (
+	"s3sched/internal/comms"
 	"s3sched/internal/metrics"
 	"s3sched/internal/scheduler"
 	"s3sched/internal/trace"
@@ -82,6 +83,23 @@ type FaultStatsSource interface {
 // eviction counters into the run's metrics at the end.
 type CacheStatsSource interface {
 	CacheStats() metrics.CacheStats
+}
+
+// MembershipSource is implemented by executors backed by a dynamic
+// cluster membership table (the remote master's control plane). The
+// engine drains the membership deltas every loop iteration and renders
+// them into the run's trace (worker-registered / worker-lost /
+// worker-rejoined events) and metrics (s3_workers_connected,
+// s3_heartbeat_misses_total, s3_worker_reconnects_total), so cluster
+// churn shows up in the same observability stream as scheduling
+// decisions.
+type MembershipSource interface {
+	// TakeMemberEvents returns and clears the membership transitions
+	// recorded since the previous call, in order.
+	TakeMemberEvents() []comms.MemberEvent
+	// LiveWorkers reports the current number of usable (non-dead)
+	// workers.
+	LiveWorkers() int
 }
 
 // ReduceStage runs a committed round's reduce work and reports how

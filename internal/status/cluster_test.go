@@ -1,0 +1,68 @@
+package status
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"s3sched/internal/comms"
+)
+
+type fakeCluster struct {
+	workers []comms.WorkerInfo
+}
+
+func (f *fakeCluster) ClusterSnapshot() []comms.WorkerInfo { return f.workers }
+
+func TestClusterEndpoint(t *testing.T) {
+	srv := NewServer("s3")
+	h := srv.Handler()
+
+	// Without a source the endpoint 404s.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/cluster", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unconfigured /cluster = %d, want 404", rec.Code)
+	}
+
+	src := &fakeCluster{workers: []comms.WorkerInfo{
+		{ID: "w0", TaskAddr: "10.0.0.1:7001", State: comms.Joined.String(), HeartbeatMisses: 1},
+		{ID: "w1", TaskAddr: "10.0.0.2:7001", State: comms.Suspect.String()},
+		{ID: "w2", TaskAddr: "10.0.0.3:7001", State: comms.Dead.String(), Reconnects: 2},
+	}}
+	srv.SetCluster(src)
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/cluster", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/cluster = %d, want 200", rec.Code)
+	}
+	var view struct {
+		Live    int                `json:"live"`
+		Workers []comms.WorkerInfo `json:"workers"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	// Joined + suspect count as live; dead does not.
+	if view.Live != 2 {
+		t.Errorf("live = %d, want 2", view.Live)
+	}
+	if len(view.Workers) != 3 {
+		t.Fatalf("workers = %d, want 3", len(view.Workers))
+	}
+	if view.Workers[0].ID != "w0" || view.Workers[0].HeartbeatMisses != 1 {
+		t.Errorf("worker[0] = %+v", view.Workers[0])
+	}
+	if view.Workers[2].State != "dead" || view.Workers[2].Reconnects != 2 {
+		t.Errorf("worker[2] = %+v", view.Workers[2])
+	}
+
+	// Mutations are rejected.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/cluster", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /cluster = %d, want 405", rec.Code)
+	}
+}

@@ -79,6 +79,8 @@ type Server struct {
 	// adm, when set, backs the live job-submission endpoints under
 	// /jobs (see admission.go).
 	adm Admission
+	// cluster, when set, backs GET /cluster (see cluster.go).
+	cluster clusterState
 }
 
 // NewServer returns an empty status server.
@@ -191,6 +193,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/cluster", s.handleCluster)
 	mux.HandleFunc("/jobs", s.handleJobs)
 	mux.HandleFunc("/jobs/", s.handleJobByID)
 	mux.HandleFunc("/status.json", func(w http.ResponseWriter, r *http.Request) {

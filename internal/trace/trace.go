@@ -75,6 +75,16 @@ const (
 	// arrival window batch traces pre-record and a daemon serves over
 	// HTTP.
 	JobAdmitted
+	// WorkerRegistered records a worker joining the cluster through the
+	// control plane (or being installed by a static dial); Detail
+	// carries the worker id and its task address.
+	WorkerRegistered
+	// WorkerLost records the master declaring a worker dead — broken
+	// control connection or heartbeat silence past the dead deadline.
+	WorkerLost
+	// WorkerRejoined records a restarted worker re-registering under
+	// its old identity, replacing the dead incarnation mid-run.
+	WorkerRejoined
 )
 
 var kindNames = map[Kind]string{
@@ -99,6 +109,9 @@ var kindNames = map[Kind]string{
 	CacheHit:         "cache-hit",
 	CacheEvict:       "cache-evict",
 	JobAdmitted:      "job-admitted",
+	WorkerRegistered: "worker-registered",
+	WorkerLost:       "worker-lost",
+	WorkerRejoined:   "worker-rejoined",
 }
 
 // String returns the stable lowercase name of the kind.
