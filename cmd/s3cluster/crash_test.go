@@ -1,0 +1,446 @@
+// Multi-process crash-recovery test: a real master process is
+// SIGKILLed mid-pass and restarted on the same journal, and every job
+// admitted before the crash must still complete — with output
+// byte-identical to an uninterrupted run.
+//
+// The master runs as a subprocess (re-executing this test binary with
+// S3CLUSTER_HELPER=master, the standard helper-process trick) so the
+// kill is a genuine process death: no deferred cleanup, no flushes,
+// nothing but what the journal already fsynced (or, here with
+// -fsync=never, what the OS already has — SIGKILL does not lose OS
+// buffers). Workers live in the test process; their reconnect-forever
+// control loops carry them across the master restart exactly as a real
+// deployment's would.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"s3sched/internal/comms"
+	"s3sched/internal/dfs"
+	"s3sched/internal/remote"
+	"s3sched/internal/workload"
+)
+
+// Crash-test corpus: big enough that one circular pass is ~24 rounds,
+// so the kill reliably lands mid-pass.
+const (
+	crashBlocks    = 48
+	crashBlockSize = 32 << 10
+	crashSeed      = 31
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("S3CLUSTER_HELPER") == "master" {
+		if err := helperMaster(); err != nil {
+			fmt.Fprintln(os.Stderr, "helper master:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// helperMaster runs the real daemon entry point with configuration
+// from the environment (the helper process never calls flag.Parse, so
+// the globals are set directly).
+func helperMaster() error {
+	*role = "master"
+	*serve = true
+	*ctrlAddr = os.Getenv("S3CLUSTER_CTRL")
+	*statAddr = os.Getenv("S3CLUSTER_STATUS")
+	*journalPath = os.Getenv("S3CLUSTER_JOURNAL")
+	*traceJSON = os.Getenv("S3CLUSTER_TRACE")
+	*fsyncMode = "never"
+	*jobs = 0
+	*blocks = crashBlocks
+	*blockSize = crashBlockSize
+	*seed = crashSeed
+	*minWorkers = 2
+	*hb = 100 * time.Millisecond
+	return runMaster()
+}
+
+// masterProc is one spawned master incarnation.
+type masterProc struct {
+	cmd *exec.Cmd
+	log string
+}
+
+func spawnMaster(t *testing.T, name, ctrl, status, journal, traceFile string) *masterProc {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("locating test binary: %v", err)
+	}
+	logPath := filepath.Join(t.TempDir(), name+".log")
+	logf, err := os.Create(logPath)
+	if err != nil {
+		t.Fatalf("creating %s: %v", logPath, err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	cmd.Env = append(os.Environ(),
+		"S3CLUSTER_HELPER=master",
+		"S3CLUSTER_CTRL="+ctrl,
+		"S3CLUSTER_STATUS="+status,
+		"S3CLUSTER_JOURNAL="+journal,
+		"S3CLUSTER_TRACE="+traceFile,
+	)
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		t.Fatalf("starting %s: %v", name, err)
+	}
+	logf.Close() // the child holds its own descriptor
+	mp := &masterProc{cmd: cmd, log: logPath}
+	t.Cleanup(func() {
+		if mp.cmd.ProcessState == nil {
+			mp.cmd.Process.Kill()
+			mp.cmd.Wait()
+		}
+		if t.Failed() {
+			if out, err := os.ReadFile(logPath); err == nil && len(out) > 0 {
+				t.Logf("--- %s output ---\n%s", name, out)
+			}
+		}
+	})
+	return mp
+}
+
+// wait reaps the process, returning its exit error.
+func (m *masterProc) wait(t *testing.T, timeout time.Duration) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- m.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		m.cmd.Process.Kill()
+		t.Fatalf("master did not exit within %v", timeout)
+		return nil
+	}
+}
+
+// startCrashWorker serves the crash-test corpus in-process and
+// registers with the master's control plane on an aggressive reconnect
+// schedule, so it rejoins a restarted master within tens of ms.
+func startCrashWorker(t *testing.T, ctrl, id string) *remote.Worker {
+	t.Helper()
+	store, err := dfs.NewStore(1, 1)
+	if err != nil {
+		t.Fatalf("worker store: %v", err)
+	}
+	if _, err := workload.AddTextFile(store, "corpus", crashBlocks, crashBlockSize, crashSeed); err != nil {
+		t.Fatalf("corpus: %v", err)
+	}
+	if _, err := workload.AddLineitemFile(store, "lineitem", crashBlocks, crashBlockSize, crashSeed); err != nil {
+		t.Fatalf("lineitem: %v", err)
+	}
+	w := remote.NewWorker(store, remote.NewStandardRegistry())
+	if _, err := w.Serve("127.0.0.1:0"); err != nil {
+		t.Fatalf("worker serve: %v", err)
+	}
+	opts := remote.RegisterOptions{
+		ID:        id,
+		Heartbeat: 100 * time.Millisecond,
+		Backoff:   comms.Backoff{Base: 20 * time.Millisecond, Max: 200 * time.Millisecond},
+	}
+	if err := w.Register(ctrl, opts); err != nil {
+		w.Close()
+		t.Fatalf("worker register: %v", err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+// pickAddr reserves an ephemeral port and releases it for the
+// subprocess to bind. The small reuse race is acceptable in a test.
+func pickAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("picking port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// statusSnapshot is the slice of /status.json this test reads.
+type statusSnapshot struct {
+	Rounds      int `json:"rounds"`
+	PendingJobs int `json:"pendingJobs"`
+	DoneJobs    int `json:"doneJobs"`
+	Recovery    *struct {
+		Recoveries    int `json:"recoveries"`
+		JobsResumed   int `json:"jobsResumed"`
+		JobsRestarted int `json:"jobsRestarted"`
+	} `json:"recovery"`
+}
+
+func getJSON(url string, into any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// waitStatus polls /status.json until cond holds or the deadline hits.
+func waitStatus(t *testing.T, base string, timeout time.Duration, what string, cond func(statusSnapshot) bool) statusSnapshot {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last statusSnapshot
+	var lastErr error
+	for time.Now().Before(deadline) {
+		var st statusSnapshot
+		if err := getJSON(base+"/status.json", &st); err != nil {
+			lastErr = err
+		} else {
+			last, lastErr = st, nil
+			if cond(st) {
+				return st
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s (last %+v, err %v)", what, last, lastErr)
+	return last
+}
+
+func postJob(t *testing.T, base, factory, param string) int {
+	t.Helper()
+	body := fmt.Sprintf(`{"factory":%q,"param":%q}`, factory, param)
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		out, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /jobs: %s: %s", resp.Status, out)
+	}
+	var reply struct {
+		ID int `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatalf("decoding submit reply: %v", err)
+	}
+	return reply.ID
+}
+
+// jobOutputs fetches every job's merged output as raw JSON bytes.
+func jobOutputs(t *testing.T, base string, ids []int) map[int][]byte {
+	t.Helper()
+	out := make(map[int][]byte, len(ids))
+	for _, id := range ids {
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d/output", base, id))
+		if err != nil {
+			t.Fatalf("GET /jobs/%d/output: %v", id, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /jobs/%d/output: %s: %s", id, resp.Status, body)
+		}
+		out[id] = body
+	}
+	return out
+}
+
+// jobStates decodes GET /jobs into id→state.
+func jobStates(t *testing.T, base string) map[int]string {
+	t.Helper()
+	var jobs []struct {
+		ID    int    `json:"id"`
+		State string `json:"state"`
+	}
+	if err := getJSON(base+"/jobs", &jobs); err != nil {
+		t.Fatalf("GET /jobs: %v", err)
+	}
+	out := make(map[int]string, len(jobs))
+	for _, j := range jobs {
+		out[j.ID] = j.State
+	}
+	return out
+}
+
+// submitCrashJobs submits n distinct wordcount jobs and returns their
+// assigned ids in submission order.
+func submitCrashJobs(t *testing.T, base string, n int) []int {
+	t.Helper()
+	prefixes := workload.DistinctPrefixes(n)
+	ids := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, postJob(t, base, "wordcount", prefixes[i]))
+	}
+	return ids
+}
+
+func waitJobsDone(t *testing.T, base string, ids []int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		states := jobStates(t, base)
+		done := 0
+		for _, id := range ids {
+			if states[id] == "done" {
+				done++
+			}
+		}
+		if done == len(ids) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d job(s) to complete (states %v)", len(ids), jobStates(t, base))
+}
+
+func TestMasterCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process crash test")
+	}
+	dir := t.TempDir()
+	const numJobs = 6
+
+	// --- incarnation 1: killed mid-pass -------------------------------
+	ctrl, statusAddr := pickAddr(t), pickAddr(t)
+	journalPath := filepath.Join(dir, "journal.wal")
+	tracePath := filepath.Join(dir, "trace.json")
+	base := "http://" + statusAddr
+
+	m1 := spawnMaster(t, "master1", ctrl, statusAddr, journalPath, "")
+	startCrashWorker(t, ctrl, "worker-a")
+	startCrashWorker(t, ctrl, "worker-b")
+	waitStatus(t, base, 30*time.Second, "master1 up", func(statusSnapshot) bool { return true })
+
+	ids := submitCrashJobs(t, base, numJobs)
+	// One pass over the corpus is crashBlocks/2 = 24 rounds; by round 3
+	// every job is still mid-flight.
+	waitStatus(t, base, 30*time.Second, "rounds to accumulate", func(st statusSnapshot) bool {
+		return st.Rounds >= 3
+	})
+	if err := m1.cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL master1: %v", err)
+	}
+	_ = m1.cmd.Wait() // reap; exit status is meaningless after SIGKILL
+
+	// --- incarnation 2: same journal, same addresses ------------------
+	m2 := spawnMaster(t, "master2", ctrl, statusAddr, journalPath, tracePath)
+	waitStatus(t, base, 30*time.Second, "master2 recovery", func(st statusSnapshot) bool {
+		return st.Recovery != nil
+	})
+	waitJobsDone(t, base, ids, 60*time.Second)
+
+	st := waitStatus(t, base, 5*time.Second, "recovery visible", func(st statusSnapshot) bool {
+		return st.Recovery != nil && st.Recovery.Recoveries >= 1
+	})
+	if st.Recovery.JobsResumed+st.Recovery.JobsRestarted == 0 {
+		t.Errorf("recovery carried no jobs: %+v", st.Recovery)
+	}
+	got := jobOutputs(t, base, ids)
+
+	// --- reference: uninterrupted run on a fresh journal --------------
+	refCtrl, refStatus := pickAddr(t), pickAddr(t)
+	refBase := "http://" + refStatus
+	ref := spawnMaster(t, "reference", refCtrl, refStatus, filepath.Join(dir, "ref.wal"), "")
+	startCrashWorker(t, refCtrl, "ref-worker-a")
+	startCrashWorker(t, refCtrl, "ref-worker-b")
+	waitStatus(t, refBase, 30*time.Second, "reference up", func(statusSnapshot) bool { return true })
+	refIDs := submitCrashJobs(t, refBase, numJobs)
+	waitJobsDone(t, refBase, refIDs, 60*time.Second)
+	want := jobOutputs(t, refBase, refIDs)
+
+	for i, id := range ids {
+		if !bytes.Equal(got[id], want[refIDs[i]]) {
+			t.Errorf("job %d: output diverges from uninterrupted run (%d vs %d bytes)",
+				id, len(got[id]), len(want[refIDs[i]]))
+		}
+	}
+
+	// --- graceful shutdown + trace assertion --------------------------
+	// SIGINT drains both daemons; master2 writes its trace on the way
+	// out, which must record the recovery event.
+	if err := ref.cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatalf("SIGINT reference: %v", err)
+	}
+	_ = ref.wait(t, 30*time.Second)
+	if err := m2.cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatalf("SIGINT master2: %v", err)
+	}
+	if err := m2.wait(t, 30*time.Second); err != nil {
+		t.Fatalf("master2 exited uncleanly: %v", err)
+	}
+	traceOut, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("reading trace: %v", err)
+	}
+	if !bytes.Contains(traceOut, []byte("journal-recovered")) {
+		t.Error("exported trace lacks the journal-recovered event")
+	}
+}
+
+// TestSigtermCheckpointResume covers the graceful path: SIGTERM makes
+// the daemon checkpoint at a round boundary and exit; a restart on the
+// same journal resumes and finishes the pending jobs.
+func TestSigtermCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process checkpoint test")
+	}
+	dir := t.TempDir()
+	ctrl, statusAddr := pickAddr(t), pickAddr(t)
+	journalPath := filepath.Join(dir, "journal.wal")
+	base := "http://" + statusAddr
+
+	m1 := spawnMaster(t, "master1", ctrl, statusAddr, journalPath, "")
+	startCrashWorker(t, ctrl, "worker-a")
+	startCrashWorker(t, ctrl, "worker-b")
+	waitStatus(t, base, 30*time.Second, "master1 up", func(statusSnapshot) bool { return true })
+
+	ids := submitCrashJobs(t, base, 4)
+	waitStatus(t, base, 30*time.Second, "rounds to accumulate", func(st statusSnapshot) bool {
+		return st.Rounds >= 2
+	})
+	if err := m1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM master1: %v", err)
+	}
+	if err := m1.wait(t, 30*time.Second); err != nil {
+		t.Fatalf("master1 exited uncleanly after SIGTERM: %v", err)
+	}
+	logOut, err := os.ReadFile(m1.log)
+	if err != nil {
+		t.Fatalf("reading master1 log: %v", err)
+	}
+	if !bytes.Contains(logOut, []byte("checkpoint written")) {
+		t.Fatalf("master1 wrote no checkpoint; log:\n%s", logOut)
+	}
+
+	m2 := spawnMaster(t, "master2", ctrl, statusAddr, journalPath, "")
+	waitStatus(t, base, 30*time.Second, "master2 recovery", func(st statusSnapshot) bool {
+		return st.Recovery != nil
+	})
+	waitJobsDone(t, base, ids, 60*time.Second)
+
+	if err := m2.cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatalf("SIGINT master2: %v", err)
+	}
+	_ = m2.wait(t, 30*time.Second)
+}

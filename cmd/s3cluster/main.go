@@ -39,10 +39,12 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"s3sched/internal/core"
 	"s3sched/internal/dfs"
+	"s3sched/internal/journal"
 	"s3sched/internal/metrics"
 	"s3sched/internal/remote"
 	"s3sched/internal/runtime"
@@ -54,23 +56,26 @@ import (
 )
 
 var (
-	role       = flag.String("role", "demo", "demo | worker | master")
-	listen     = flag.String("listen", "127.0.0.1:0", "worker: address to serve tasks on")
-	workerStr  = flag.String("workers", "", "master: comma-separated worker addresses (legacy static topology)")
-	masterAddr = flag.String("master", "", "worker: master control address to register with (registration mode)")
-	workerID   = flag.String("id", "", "worker: stable identity for registration (default worker@<task address>)")
-	ctrlAddr   = flag.String("control", "", "master: control-plane listen address for worker registration (dynamic membership mode)")
-	minWorkers = flag.Int("minworkers", 1, "master: registered workers to wait for before driving rounds")
-	hb         = flag.Duration("hb", remote.DefaultHeartbeat, "worker: heartbeat interval; master: expected worker heartbeat interval (suspect/dead deadlines scale from it)")
-	blocks    = flag.Int("blocks", 24, "corpus blocks (must match across the cluster)")
-	blockSize = flag.Int64("blocksize", 16<<10, "corpus block size in bytes")
-	seed      = flag.Int64("seed", 7, "corpus generator seed (must match across the cluster)")
-	jobs      = flag.Int("jobs", 3, "master/demo: number of initial wordcount jobs")
-	demoN     = flag.Int("nodes", 3, "demo: in-process worker count")
-	statAddr  = flag.String("status", "", "master/demo: serve a live status dashboard, Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
-	traceJSON = flag.String("tracejson", "", "master/demo: write the run's span tree as Chrome trace-event JSON to this file")
-	cacheMB   = flag.Int64("cachemb", 0, "worker/demo: per-worker block-cache budget in MB (0 = caching off)")
-	serve     = flag.Bool("serve", false, "master/demo: stay up as a daemon accepting live job submissions via POST /jobs on the status address; SIGINT drains and exits")
+	role         = flag.String("role", "demo", "demo | worker | master")
+	listen       = flag.String("listen", "127.0.0.1:0", "worker: address to serve tasks on")
+	workerStr    = flag.String("workers", "", "master: comma-separated worker addresses (legacy static topology)")
+	masterAddr   = flag.String("master", "", "worker: master control address to register with (registration mode)")
+	workerID     = flag.String("id", "", "worker: stable identity for registration (default worker@<task address>)")
+	ctrlAddr     = flag.String("control", "", "master: control-plane listen address for worker registration (dynamic membership mode)")
+	minWorkers   = flag.Int("minworkers", 1, "master: registered workers to wait for before driving rounds")
+	hb           = flag.Duration("hb", remote.DefaultHeartbeat, "worker: heartbeat interval; master: expected worker heartbeat interval (suspect/dead deadlines scale from it)")
+	blocks       = flag.Int("blocks", 24, "corpus blocks (must match across the cluster)")
+	blockSize    = flag.Int64("blocksize", 16<<10, "corpus block size in bytes")
+	seed         = flag.Int64("seed", 7, "corpus generator seed (must match across the cluster)")
+	jobs         = flag.Int("jobs", 3, "master/demo: number of initial wordcount jobs")
+	demoN        = flag.Int("nodes", 3, "demo: in-process worker count")
+	statAddr     = flag.String("status", "", "master/demo: serve a live status dashboard, Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
+	traceJSON    = flag.String("tracejson", "", "master/demo: write the run's span tree as Chrome trace-event JSON to this file")
+	cacheMB      = flag.Int64("cachemb", 0, "worker/demo: per-worker block-cache budget in MB (0 = caching off)")
+	serve        = flag.Bool("serve", false, "master/demo: stay up as a daemon accepting live job submissions via POST /jobs on the status address; SIGINT drains and exits")
+	journalPath  = flag.String("journal", "", "master/demo: write-ahead journal path; admissions and round commits are logged so a restart on the same path recovers in-flight jobs (requires -serve)")
+	fsyncMode    = flag.String("fsync", "always", "master/demo: journal fsync policy: always (survives machine crashes) or never (survives process crashes only, faster)")
+	taskDeadline = flag.Duration("taskdeadline", 0, "master/demo: per-call worker task deadline; an expired call counts as a transport failure and fails over (0 = no deadline)")
 )
 
 func main() {
@@ -238,6 +243,10 @@ type clusterAdmission struct {
 	src       *runtime.LiveSource
 	master    *remote.Master
 	factories map[string]bool
+	// journal, when set, gets a job-admitted record inside the same
+	// pre-admission hook — written (and fsynced, per policy) before the
+	// submission is acknowledged, so an acked job survives a crash.
+	journal *journal.Journal
 
 	mu   sync.Mutex
 	refs map[scheduler.JobID]remote.JobRef
@@ -299,15 +308,40 @@ func (a *clusterAdmission) SubmitJob(req status.JobRequest) (scheduler.JobID, er
 		Weight:   req.Weight,
 		Priority: req.Priority,
 	}
+	return a.submit(meta, ref)
+}
+
+// submit runs the admission protocol for one job: journal the
+// admission (write-ahead — a crash after the ack must still know the
+// job), register its program with the master, and record its name, all
+// inside the source's pre-admission hook so the engine can never see a
+// half-registered job. A journal append failure rejects the submission.
+func (a *clusterAdmission) submit(meta scheduler.JobMeta, ref remote.JobRef) (scheduler.JobID, error) {
 	return a.src.SubmitWith(meta, func(id scheduler.JobID) error {
+		if a.journal != nil {
+			m := meta
+			m.ID = id
+			rec := journal.JobAdmittedRecord{
+				ID: id, Name: ref.Name, Factory: ref.Factory,
+				Param: ref.Param, NumReduce: ref.NumReduce, Meta: m,
+			}
+			if err := a.journal.AppendRecord(journal.KindJobAdmitted, rec); err != nil {
+				return fmt.Errorf("journaling admission: %w", err)
+			}
+		}
 		if err := a.master.RegisterJob(id, ref); err != nil {
 			return err
 		}
-		a.mu.Lock()
-		a.refs[id] = ref
-		a.mu.Unlock()
+		a.adopt(id, ref)
 		return nil
 	})
+}
+
+// adopt records a job's ref for the final report without submitting.
+func (a *clusterAdmission) adopt(id scheduler.JobID, ref remote.JobRef) {
+	a.mu.Lock()
+	a.refs[id] = ref
+	a.mu.Unlock()
 }
 
 // JobStatus implements status.Admission.
@@ -333,6 +367,9 @@ func (a *clusterAdmission) jobNames() map[scheduler.JobID]string {
 
 func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remote.JobRef) error {
 	master.SetTimeScale(1e6)
+	if *taskDeadline > 0 {
+		master.SetTaskDeadline(*taskDeadline)
+	}
 
 	// The scheduler's segment plans: metadata only, matching the two
 	// files every worker serves (text corpus + lineitem table).
@@ -370,7 +407,37 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 		return err
 	}
 	reg := metrics.NewRegistry()
-	opts.Metrics = metrics.NewRunMetrics(reg)
+	rm := metrics.NewRunMetrics(reg)
+	opts.Metrics = rm
+
+	var jnl *journal.Journal
+	var replayed *journal.Replayed
+	if *journalPath != "" {
+		if !*serve {
+			return fmt.Errorf("-journal requires -serve: batch runs pre-register their whole workload, so there is nothing to recover")
+		}
+		pol, err := journal.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		jnl, replayed, err = journal.Open(*journalPath, journal.Options{
+			Sync: pol,
+			OnAppend: func(st journal.Stats) {
+				rm.JournalAppends.Inc()
+				rm.JournalBytes.Set(float64(st.Bytes))
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer jnl.Close()
+		if replayed.Corruption != nil {
+			fmt.Printf("journal: repaired torn tail (%v); %d intact record(s) kept\n",
+				replayed.Corruption, len(replayed.Entries))
+		}
+		master.SetJournal(jnl)
+		opts.Commits = &journalCommits{j: jnl}
+	}
 
 	var src *runtime.LiveSource
 	var adm *clusterAdmission
@@ -378,6 +445,7 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 	if *serve {
 		src = runtime.NewLiveSource()
 		adm = newClusterAdmission(src, master)
+		adm.journal = jnl
 		if statusAddr == "" {
 			// The daemon is pointless without its HTTP surface.
 			statusAddr = "127.0.0.1:8080"
@@ -388,6 +456,7 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 		srv = status.NewServer(sched.Name())
 		srv.SetRegistry(reg)
 		srv.SetCluster(master)
+		srv.SetResults(master)
 		if adm != nil {
 			srv.SetAdmission(adm)
 		}
@@ -406,17 +475,63 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 	var res *runtime.Result
 	var names map[scheduler.JobID]string
 	if *serve {
-		// Seed the initial workload through the same admission path HTTP
-		// submissions take, then run until SIGINT closes the queue and
-		// everything admitted has drained.
-		prefixes := workload.DistinctPrefixes(*jobs)
-		for i := 0; i < *jobs; i++ {
-			if _, err := adm.SubmitJob(status.JobRequest{Factory: "wordcount", Param: prefixes[i]}); err != nil {
-				return err
+		recovered := false
+		if jnl != nil && len(replayed.Entries) > 0 {
+			rep, err := recoverFromJournal(jnl, replayed.Entries, sched, master, src, adm, &opts)
+			if err != nil {
+				return fmt.Errorf("recovering from %s: %w", *journalPath, err)
+			}
+			recovered = true
+			nth := rep.state.Recoveries + 1
+			fmt.Printf("journal recovery #%d from %s: %d job(s) resumed mid-pass, %d resubmitted, %d already settled\n",
+				nth, *journalPath, rep.resumed, rep.restarted, rep.settled)
+			rm.Recoveries.Add(float64(nth))
+			rm.JobsRecovered.Add(float64(rep.resumed + rep.restarted))
+			spans.Addf(0, trace.JournalRecovered, -1, -1,
+				"recovery #%d: %d resumed, %d restarted", nth, rep.resumed, rep.restarted)
+			if srv != nil {
+				srv.SetRecovery(status.RecoveryInfo{
+					Recoveries:    nth,
+					JobsResumed:   rep.resumed,
+					JobsRestarted: rep.restarted,
+					JournalPath:   *journalPath,
+				})
+			}
+		}
+		if !recovered {
+			// Seed the initial workload through the same admission path
+			// HTTP submissions take. A recovered boot skips seeding: its
+			// workload is whatever the journal says was in flight.
+			prefixes := workload.DistinctPrefixes(*jobs)
+			for i := 0; i < *jobs; i++ {
+				if _, err := adm.SubmitJob(status.JobRequest{Factory: "wordcount", Param: prefixes[i]}); err != nil {
+					return err
+				}
 			}
 		}
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
+		if jnl != nil {
+			// With a journal, SIGTERM means "checkpoint and yield": the
+			// engine stops at the next round boundary, the scheduler
+			// snapshot lands in a checkpoint record, and a later boot on
+			// the same journal resumes the pass. SIGINT still drains.
+			stop := make(chan struct{})
+			opts.Stop = stop
+			term := make(chan os.Signal, 1)
+			signal.Notify(term, syscall.SIGTERM)
+			go func() {
+				<-term
+				signal.Stop(term)
+				fmt.Println("sigterm: checkpointing at the next round boundary")
+				close(stop)
+				src.Close()
+			}()
+		} else {
+			// Without a journal a checkpoint would be lost anyway, so
+			// SIGTERM degrades to the SIGINT drain.
+			signal.Notify(sig, syscall.SIGTERM)
+		}
 		go func() {
 			<-sig
 			signal.Stop(sig)
@@ -442,6 +557,23 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 	if err != nil {
 		return err
 	}
+	if res.Stopped {
+		// Graceful SIGTERM stop: persist the between-rounds scheduler
+		// state so the next boot resumes instead of re-running settled
+		// segments. A failed snapshot (pipelined stages still draining a
+		// reduce) degrades to a nil-snapshot checkpoint — recovery then
+		// resubmits the pending jobs from their admission records.
+		var snapPtr *scheduler.Snapshot
+		if snap, serr := sched.StateSnapshot(); serr == nil {
+			snapPtr = &snap
+		}
+		rec := journal.CheckpointRecord{At: res.End, Requeues: res.Requeues, Snapshot: snapPtr}
+		if aerr := jnl.AppendRecord(journal.KindCheckpoint, rec); aerr != nil {
+			return fmt.Errorf("writing shutdown checkpoint: %w", aerr)
+		}
+		fmt.Printf("checkpoint written after %d round(s): %d job(s) pending; restart with -journal %s to resume\n",
+			res.Rounds, sched.PendingJobs(), *journalPath)
+	}
 	if spans != nil {
 		out, err := os.Create(*traceJSON)
 		if err != nil {
@@ -460,7 +592,7 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 		tet, tErr := res.Metrics.TET()
 		art, aErr := res.Metrics.ART()
 		srv.Update(func(st *status.State) {
-			st.RunComplete = true
+			st.RunComplete = !res.Stopped
 			if tErr == nil {
 				st.TETSeconds = tet.Seconds()
 			}

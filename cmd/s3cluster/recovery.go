@@ -1,0 +1,214 @@
+// Journal recovery glue: turns a replayed write-ahead journal back
+// into live daemon state. The split of responsibilities mirrors the
+// write path — the admission layer journals admissions, the master
+// journals shuffle/result state, the engine journals round commits —
+// so recovery walks the folded MasterState and hands each piece back
+// to the layer that wrote it.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"s3sched/internal/journal"
+	"s3sched/internal/remote"
+	"s3sched/internal/runtime"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/vclock"
+)
+
+// journalCommits adapts the engine's CommitLog to journal records. The
+// engine calls it synchronously at each commit point, so by the time a
+// round's effects are observable the journal already holds them.
+type journalCommits struct {
+	j *journal.Journal
+}
+
+func (c *journalCommits) RoundCommitted(r scheduler.Round, now vclock.Time, snap *scheduler.Snapshot, requeues int) {
+	c.append(journal.KindRoundCommitted, journal.RoundCommittedRecord{
+		Segment:  r.Segment,
+		Jobs:     r.JobIDs(),
+		At:       now,
+		Requeues: requeues,
+		Snapshot: snap,
+	})
+}
+
+func (c *journalCommits) JobDone(id scheduler.JobID, now vclock.Time) {
+	c.append(journal.KindJobDone, journal.JobEndRecord{Job: id, At: now})
+}
+
+func (c *journalCommits) JobFailed(id scheduler.JobID, now vclock.Time) {
+	c.append(journal.KindJobFailed, journal.JobEndRecord{Job: id, At: now})
+}
+
+func (c *journalCommits) append(kind string, payload any) {
+	if err := c.j.AppendRecord(kind, payload); err != nil {
+		// Progress records refine recovery (resume mid-pass instead of
+		// rerunning from admission); losing one degrades granularity but
+		// never correctness, so a failed append must not kill the run.
+		fmt.Fprintf(os.Stderr, "s3cluster: journal append %s: %v\n", kind, err)
+	}
+}
+
+// recoveryReport summarizes what recoverFromJournal did.
+type recoveryReport struct {
+	// resumed jobs were restored mid-pass from the scheduler snapshot;
+	// restarted jobs were resubmitted from their admission records;
+	// settled jobs only had their terminal status re-published.
+	resumed, restarted, settled int
+	state                       *journal.MasterState
+}
+
+// recoverFromJournal folds the replayed entries and rebuilds daemon
+// state: settled jobs get their status (and restored results) back,
+// snapshotted jobs resume mid-pass with their committed shuffle state,
+// and admitted-but-unsnapshotted jobs are resubmitted under their
+// original ids. Mutates opts (Restored, InitialRequeues) and appends a
+// recovered record marking the journal as once-more-recovered.
+func recoverFromJournal(
+	jnl *journal.Journal,
+	entries []journal.Entry,
+	sched scheduler.Scheduler,
+	master *remote.Master,
+	src *runtime.LiveSource,
+	adm *clusterAdmission,
+	opts *runtime.Options,
+) (*recoveryReport, error) {
+	st, err := journal.ReduceEntries(entries)
+	if err != nil {
+		return nil, err
+	}
+	rep := &recoveryReport{state: st}
+
+	// resume collects the ids restored into the scheduler; the snapshot
+	// is pruned to exactly this set before RestoreState, because the
+	// snapshot may also carry jobs that settled after it was taken
+	// (result committed, crash before the round-committed record) or
+	// jobs this binary can no longer run.
+	resume := make(map[scheduler.JobID]bool)
+
+	for _, id := range st.Order {
+		rec := st.Admitted[id]
+		meta := rec.Meta
+		meta.ID = id
+		ref := remote.JobRef{Name: rec.Name, Factory: rec.Factory, Param: rec.Param, NumReduce: rec.NumReduce}
+
+		if end, done := st.Done[id]; done {
+			// Settled and succeeded: republish the result so
+			// GET /jobs/<id>/output keeps serving across restarts.
+			if err := master.RegisterJob(id, ref); err != nil {
+				return nil, err
+			}
+			if out, ok := st.Results[id]; ok {
+				master.RestoreResult(id, out)
+			}
+			if err := src.Adopt(meta, runtime.JobDone, 0, end.At); err != nil {
+				return nil, err
+			}
+			adm.adopt(id, ref)
+			rep.settled++
+			continue
+		}
+		if _, hasResult := st.Results[id]; hasResult {
+			// The result committed but the crash beat the job-done
+			// record. The job is finished in every way that matters:
+			// adopt it as done rather than re-running a completed job.
+			if err := master.RegisterJob(id, ref); err != nil {
+				return nil, err
+			}
+			master.RestoreResult(id, st.Results[id])
+			if err := src.Adopt(meta, runtime.JobDone, 0, 0); err != nil {
+				return nil, err
+			}
+			adm.adopt(id, ref)
+			rep.settled++
+			continue
+		}
+		if end, failed := st.Failed[id]; failed {
+			if err := src.Adopt(meta, runtime.JobFailed, 0, end.At); err != nil {
+				return nil, err
+			}
+			adm.adopt(id, ref)
+			rep.settled++
+			continue
+		}
+		if !adm.factories[rec.Factory] {
+			// The binary that wrote the journal knew this factory; this
+			// one does not. Rerunning is impossible, so surface the job
+			// as failed instead of wedging the pass.
+			fmt.Fprintf(os.Stderr, "s3cluster: recovery: job %d uses unknown factory %q; marking failed\n", id, rec.Factory)
+			if err := src.Adopt(meta, runtime.JobFailed, 0, 0); err != nil {
+				return nil, err
+			}
+			adm.adopt(id, ref)
+			continue
+		}
+		if st.InSnapshot(id) {
+			// Mid-pass resume: the scheduler snapshot knows the job's
+			// cursor, the shuffle records know its committed map output.
+			if err := master.RegisterJob(id, ref); err != nil {
+				return nil, err
+			}
+			for seg, parts := range st.Shuffle[id] {
+				if err := master.RestoreShuffle(id, seg, parts); err != nil {
+					return nil, err
+				}
+			}
+			if err := src.Adopt(meta, runtime.JobRunning, 0, 0); err != nil {
+				return nil, err
+			}
+			adm.adopt(id, ref)
+			opts.Restored = append(opts.Restored, runtime.RestoredJob{ID: id})
+			resume[id] = true
+			rep.resumed++
+			continue
+		}
+		// Admitted but never snapshotted (or the snapshot predates it):
+		// resubmit through the normal admission path under the original
+		// id. That re-journals the admission, which is harmless — the
+		// fold is last-writer-wins per id.
+		if _, err := adm.submit(meta, ref); err != nil {
+			return nil, err
+		}
+		rep.restarted++
+	}
+
+	if len(resume) > 0 {
+		sn, ok := sched.(scheduler.Snapshottable)
+		if !ok {
+			return nil, fmt.Errorf("scheduler %s cannot restore a snapshot", sched.Name())
+		}
+		if err := sn.RestoreState(pruneSnapshot(*st.Snapshot, resume)); err != nil {
+			return nil, err
+		}
+		opts.InitialRequeues = st.Requeues
+	}
+
+	if err := jnl.AppendRecord(journal.KindRecovered, journal.RecoveredRecord{
+		Resumed:   rep.resumed,
+		Restarted: rep.restarted,
+	}); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// pruneSnapshot filters a scheduler snapshot down to the jobs actually
+// being resumed. Queues and cursors survive untouched — only job
+// entries not in keep are dropped.
+func pruneSnapshot(snap scheduler.Snapshot, keep map[scheduler.JobID]bool) scheduler.Snapshot {
+	queues := make([]scheduler.QueueSnapshot, len(snap.Queues))
+	for i, q := range snap.Queues {
+		pq := q
+		pq.Jobs = nil
+		for _, js := range q.Jobs {
+			if keep[js.Meta.ID] {
+				pq.Jobs = append(pq.Jobs, js)
+			}
+		}
+		queues[i] = pq
+	}
+	snap.Queues = queues
+	return snap
+}

@@ -1,0 +1,107 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"s3sched/internal/mapreduce"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/vclock"
+)
+
+// Record kinds, in rough lifecycle order. Unknown kinds are skipped on
+// replay so an old binary can read a newer journal's prefix.
+const (
+	// KindJobAdmitted: a job was accepted by the admission layer. The
+	// record is appended under the admission lock *before* POST /jobs
+	// is acked, so an acked job is never lost.
+	KindJobAdmitted = "job-admitted"
+	// KindShuffleCommitted: the master merged one segment's map output
+	// into a job's shuffle partitions. Appended at the per-(job,
+	// segment) dedup commit point, so replay reconstructs exactly the
+	// partitions the in-memory table held.
+	KindShuffleCommitted = "shuffle-committed"
+	// KindJobResult: a job's reduce phase completed and its merged
+	// output is final.
+	KindJobResult = "job-result"
+	// KindRoundCommitted: the engine retired a round; carries the
+	// scheduler snapshot taken at the round boundary.
+	KindRoundCommitted = "round-committed"
+	// KindJobDone / KindJobFailed: the engine settled a job's fate.
+	KindJobDone   = "job-done"
+	KindJobFailed = "job-failed"
+	// KindCheckpoint: a graceful shutdown (SIGTERM) wrote a final
+	// scheduler snapshot before draining.
+	KindCheckpoint = "checkpoint"
+	// KindRecovered: a booting master finished replaying this journal
+	// and resumed. Counting these yields recoveries-to-date.
+	KindRecovered = "recovered"
+)
+
+// JobAdmittedRecord persists everything needed to re-register and, if
+// necessary, resubmit a job: the scheduler meta and the executable
+// JobRef fields (factory registry key, param, reduce width).
+type JobAdmittedRecord struct {
+	ID        scheduler.JobID   `json:"id"`
+	Name      string            `json:"name"`
+	Factory   string            `json:"factory"`
+	Param     string            `json:"param,omitempty"`
+	NumReduce int               `json:"numReduce"`
+	Meta      scheduler.JobMeta `json:"meta"`
+}
+
+// ShuffleCommittedRecord persists one segment's merged map output for
+// one job: Parts[p] is the slice appended to reduce partition p.
+type ShuffleCommittedRecord struct {
+	Job     scheduler.JobID  `json:"job"`
+	Segment int              `json:"segment"`
+	File    string           `json:"file,omitempty"`
+	Parts   [][]mapreduce.KV `json:"parts"`
+}
+
+// JobResultRecord persists a completed job's final merged output.
+type JobResultRecord struct {
+	Job    scheduler.JobID `json:"job"`
+	Output []mapreduce.KV  `json:"output"`
+}
+
+// RoundCommittedRecord marks a retired round and carries the
+// scheduler state at the boundary. Snapshot may be nil when the
+// scheduler could not snapshot (e.g. pipelined reduces still
+// draining); recovery then falls back to the latest earlier snapshot
+// or to resubmission.
+type RoundCommittedRecord struct {
+	Segment  int                 `json:"segment"`
+	Jobs     []scheduler.JobID   `json:"jobs"`
+	At       vclock.Time         `json:"at"`
+	Requeues int                 `json:"requeues,omitempty"`
+	Snapshot *scheduler.Snapshot `json:"snapshot,omitempty"`
+}
+
+// JobEndRecord is the payload of both job-done and job-failed.
+type JobEndRecord struct {
+	Job scheduler.JobID `json:"job"`
+	At  vclock.Time     `json:"at"`
+}
+
+// CheckpointRecord is the graceful-shutdown snapshot.
+type CheckpointRecord struct {
+	At       vclock.Time         `json:"at"`
+	Requeues int                 `json:"requeues,omitempty"`
+	Snapshot *scheduler.Snapshot `json:"snapshot,omitempty"`
+}
+
+// RecoveredRecord notes one completed recovery.
+type RecoveredRecord struct {
+	Resumed   int `json:"resumed"`
+	Restarted int `json:"restarted"`
+}
+
+// decode unmarshals an entry's payload into out with a kind-tagged
+// error.
+func decode(e Entry, out any) error {
+	if err := json.Unmarshal(e.Data, out); err != nil {
+		return fmt.Errorf("journal: decoding %s payload: %w", e.Kind, err)
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package journal
+
+import (
+	"s3sched/internal/mapreduce"
+	"s3sched/internal/scheduler"
+)
+
+// MasterState is the fold of a journal's records: everything a booting
+// master needs to resume. ReduceEntries builds it; the recovery glue
+// in cmd/s3cluster turns it back into live scheduler/master/admission
+// state.
+type MasterState struct {
+	// Admitted maps every admitted job to its admission record;
+	// Order preserves admission order (resubmission re-admits in the
+	// original order so ids and scheduling stay deterministic).
+	Admitted map[scheduler.JobID]JobAdmittedRecord
+	Order    []scheduler.JobID
+	// Done and Failed are the settled jobs.
+	Done   map[scheduler.JobID]JobEndRecord
+	Failed map[scheduler.JobID]JobEndRecord
+	// Results holds completed jobs' final outputs.
+	Results map[scheduler.JobID][]mapreduce.KV
+	// Shuffle[job][segment] is the committed map output awaiting that
+	// job's reduce — the partitions to restore before resuming.
+	Shuffle map[scheduler.JobID]map[int][][]mapreduce.KV
+	// Snapshot is the most recent scheduler snapshot (round commit or
+	// checkpoint), nil when none was recorded.
+	Snapshot *scheduler.Snapshot
+	// Requeues is the consecutive-requeue count at the snapshot.
+	Requeues int
+	// Rounds counts committed rounds; Recoveries counts completed
+	// recoveries recorded in the log.
+	Rounds     int
+	Recoveries int
+	// MaxID is the highest job id ever admitted (id allocation resumes
+	// past it).
+	MaxID scheduler.JobID
+}
+
+// Pending returns the admitted-but-unsettled jobs in admission order —
+// the set recovery must bring back.
+func (s *MasterState) Pending() []JobAdmittedRecord {
+	var out []JobAdmittedRecord
+	for _, id := range s.Order {
+		if _, done := s.Done[id]; done {
+			continue
+		}
+		if _, failed := s.Failed[id]; failed {
+			continue
+		}
+		out = append(out, s.Admitted[id])
+	}
+	return out
+}
+
+// InSnapshot reports whether the latest snapshot carries the job —
+// i.e. the scheduler can resume it mid-pass instead of restarting it.
+func (s *MasterState) InSnapshot(id scheduler.JobID) bool {
+	if s.Snapshot == nil {
+		return false
+	}
+	for _, js := range s.Snapshot.Jobs() {
+		if js.Meta.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ReduceEntries folds replayed entries into a MasterState. Unknown
+// kinds are ignored (forward compatibility); a known kind with an
+// undecodable payload is an error — it passed the CRC, so it is a
+// writer bug, not disk damage.
+func ReduceEntries(entries []Entry) (*MasterState, error) {
+	st := &MasterState{
+		Admitted: make(map[scheduler.JobID]JobAdmittedRecord),
+		Done:     make(map[scheduler.JobID]JobEndRecord),
+		Failed:   make(map[scheduler.JobID]JobEndRecord),
+		Results:  make(map[scheduler.JobID][]mapreduce.KV),
+		Shuffle:  make(map[scheduler.JobID]map[int][][]mapreduce.KV),
+	}
+	for _, e := range entries {
+		switch e.Kind {
+		case KindJobAdmitted:
+			var rec JobAdmittedRecord
+			if err := decode(e, &rec); err != nil {
+				return nil, err
+			}
+			if _, dup := st.Admitted[rec.ID]; !dup {
+				st.Order = append(st.Order, rec.ID)
+			}
+			st.Admitted[rec.ID] = rec
+			if rec.ID > st.MaxID {
+				st.MaxID = rec.ID
+			}
+		case KindShuffleCommitted:
+			var rec ShuffleCommittedRecord
+			if err := decode(e, &rec); err != nil {
+				return nil, err
+			}
+			segs := st.Shuffle[rec.Job]
+			if segs == nil {
+				segs = make(map[int][][]mapreduce.KV)
+				st.Shuffle[rec.Job] = segs
+			}
+			segs[rec.Segment] = rec.Parts
+		case KindJobResult:
+			var rec JobResultRecord
+			if err := decode(e, &rec); err != nil {
+				return nil, err
+			}
+			st.Results[rec.Job] = rec.Output
+			// The shuffle state was released when the result committed.
+			delete(st.Shuffle, rec.Job)
+		case KindRoundCommitted:
+			var rec RoundCommittedRecord
+			if err := decode(e, &rec); err != nil {
+				return nil, err
+			}
+			st.Rounds++
+			if rec.Snapshot != nil {
+				st.Snapshot = rec.Snapshot
+				st.Requeues = rec.Requeues
+			}
+		case KindCheckpoint:
+			var rec CheckpointRecord
+			if err := decode(e, &rec); err != nil {
+				return nil, err
+			}
+			if rec.Snapshot != nil {
+				st.Snapshot = rec.Snapshot
+				st.Requeues = rec.Requeues
+			}
+		case KindJobDone:
+			var rec JobEndRecord
+			if err := decode(e, &rec); err != nil {
+				return nil, err
+			}
+			st.Done[rec.Job] = rec
+		case KindJobFailed:
+			var rec JobEndRecord
+			if err := decode(e, &rec); err != nil {
+				return nil, err
+			}
+			st.Failed[rec.Job] = rec
+		case KindRecovered:
+			st.Recoveries++
+		}
+	}
+	// A settled job must not linger in the latest snapshot's queues:
+	// the snapshot was taken at the same round boundary that settled
+	// it, so the scheduler had already retired it. Nothing to fix here
+	// — but shuffle state for settled jobs is dead weight; drop it.
+	for id := range st.Shuffle {
+		if _, done := st.Done[id]; done {
+			delete(st.Shuffle, id)
+		}
+		if _, failed := st.Failed[id]; failed {
+			delete(st.Shuffle, id)
+		}
+	}
+	return st, nil
+}

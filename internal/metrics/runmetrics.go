@@ -62,6 +62,18 @@ type RunMetrics struct {
 	// in the cluster membership table, sampled whenever it changes.
 	WorkersConnected *Gauge
 
+	// JournalAppends counts records appended to the write-ahead journal;
+	// JournalBytes is the journal file's current size. Both stay zero
+	// when the daemon runs without -journal.
+	JournalAppends *Counter
+	JournalBytes   *Gauge
+	// Recoveries counts journal recoveries this master has performed
+	// over the journal's lifetime (replayed recovered records plus this
+	// boot's); JobsRecovered counts jobs carried across the most recent
+	// restart, resumed and resubmitted alike.
+	Recoveries    *Counter
+	JobsRecovered *Counter
+
 	// QueueDepth is the number of submitted-but-incomplete jobs after
 	// the most recent settled round.
 	QueueDepth *Gauge
@@ -105,6 +117,11 @@ func NewRunMetrics(reg *Registry) *RunMetrics {
 
 		CacheHitRatio: reg.Gauge("s3_cache_hit_ratio", "cache hits over total reads at end of run"),
 		CacheBytes:    reg.Gauge("s3_cache_bytes", "cached byte footprint at end of run"),
+
+		JournalAppends: reg.Counter("s3_journal_appends_total", "records appended to the write-ahead journal"),
+		JournalBytes:   reg.Gauge("s3_journal_bytes", "write-ahead journal file size"),
+		Recoveries:     reg.Counter("s3_recoveries_total", "journal recoveries performed over the journal's lifetime"),
+		JobsRecovered:  reg.Counter("s3_jobs_recovered", "jobs carried across the most recent restart"),
 
 		QueueDepth:     reg.Gauge("s3_queue_depth", "submitted-but-incomplete jobs after the last settled round"),
 		AdmissionQueue: reg.Gauge("s3_admission_queue_jobs", "live-submitted jobs awaiting admission into the scheduler"),

@@ -1,0 +1,313 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"s3sched/internal/core"
+	"s3sched/internal/dfs"
+	"s3sched/internal/journal"
+	"s3sched/internal/mapreduce"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/trace"
+	"s3sched/internal/workload"
+)
+
+// wedgedWorker is an RPC server that answers the Worker surface but
+// never returns from exec calls until released — a deadlocked worker,
+// as seen from the master.
+type wedgedWorker struct{ release chan struct{} }
+
+func (w *wedgedWorker) ExecMap(args *MapTaskArgs, reply *MapTaskReply) error {
+	<-w.release
+	return fmt.Errorf("wedged worker released without work")
+}
+
+func (w *wedgedWorker) ExecReduce(args *ReduceTaskArgs, reply *ReduceTaskReply) error {
+	<-w.release
+	return fmt.Errorf("wedged worker released without work")
+}
+
+func (w *wedgedWorker) Stats(args *StatsArgs, reply *StatsReply) error { return nil }
+
+// slowWorker delegates to a real worker after a fixed delay — slow but
+// healthy, the case the watchdog must NOT kill.
+type slowWorker struct {
+	inner *Worker
+	delay time.Duration
+}
+
+func (s *slowWorker) ExecMap(args *MapTaskArgs, reply *MapTaskReply) error {
+	time.Sleep(s.delay)
+	return s.inner.ExecMap(args, reply)
+}
+
+func (s *slowWorker) ExecReduce(args *ReduceTaskArgs, reply *ReduceTaskReply) error {
+	time.Sleep(s.delay)
+	return s.inner.ExecReduce(args, reply)
+}
+
+func (s *slowWorker) Stats(args *StatsArgs, reply *StatsReply) error { return nil }
+
+// serveStub exposes rcvr under the "Worker" RPC name on a loopback
+// listener, returning its address.
+func serveStub(t *testing.T, rcvr any) string {
+	t.Helper()
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", rcvr); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func realWorker(t *testing.T) *Worker {
+	t.Helper()
+	store := dfs.MustStore(1, 1)
+	if _, err := workload.AddTextFile(store, "corpus", testBlocks, testBlockSize, testSeed); err != nil {
+		t.Fatal(err)
+	}
+	return NewWorker(store, NewStandardRegistry())
+}
+
+// TestTaskDeadlineFailsOver: an exec RPC wedged past the deadline is
+// abandoned with a TaskDeadlineError, classified as a transport
+// failure, and the task fails over to the next live worker — the round
+// completes instead of hanging forever.
+func TestTaskDeadlineFailsOver(t *testing.T) {
+	wedged := &wedgedWorker{release: make(chan struct{})}
+	defer close(wedged.release)
+	wedgedAddr := serveStub(t, wedged)
+
+	w := realWorker(t)
+	goodAddr, err := w.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	jobs := wordcountRefs(1)
+	// Worker order matters: block 0's home is live[0], the wedged one.
+	m, err := Dial([]string{wedgedAddr, goodAddr}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.SetTaskDeadline(100 * time.Millisecond)
+	log := trace.MustNew(256)
+	m.SetTrace(log)
+
+	reply, err := m.mapWithFailover("", "corpus", 0, []JobRef{jobs[1]})
+	if err != nil {
+		t.Fatalf("map did not fail over past the wedged worker: %v", err)
+	}
+	if len(reply.PerJob) != 1 {
+		t.Fatalf("reply.PerJob has %d jobs, want 1", len(reply.PerJob))
+	}
+	if got := m.Failovers(); got < 1 {
+		t.Errorf("failovers = %d, want >= 1", got)
+	}
+	if evs := log.OfKind(trace.TaskDeadlineExceeded); len(evs) == 0 {
+		t.Error("no task-deadline-exceeded trace event recorded")
+	}
+}
+
+// TestTaskDeadlineSparesSlowWorkers: a slow-but-finishing RPC inside
+// the deadline completes normally — no failover, no deadline events.
+func TestTaskDeadlineSparesSlowWorkers(t *testing.T) {
+	w := realWorker(t)
+	defer w.Close()
+	slowAddr := serveStub(t, &slowWorker{inner: w, delay: 50 * time.Millisecond})
+
+	jobs := wordcountRefs(1)
+	m, err := Dial([]string{slowAddr}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.SetTaskDeadline(5 * time.Second)
+	log := trace.MustNew(256)
+	m.SetTrace(log)
+
+	if _, err := m.mapWithFailover("", "corpus", 0, []JobRef{jobs[1]}); err != nil {
+		t.Fatalf("slow worker failed: %v", err)
+	}
+	if got := m.Failovers(); got != 0 {
+		t.Errorf("failovers = %d, want 0", got)
+	}
+	if evs := log.OfKind(trace.TaskDeadlineExceeded); len(evs) != 0 {
+		t.Errorf("%d task-deadline-exceeded events for a healthy worker", len(evs))
+	}
+}
+
+// driveRounds advances the scheduler/master pair n rounds (-1 = until
+// the workload drains), returning the completed job ids.
+func driveRounds(t *testing.T, s scheduler.Scheduler, m *Master, n int) []scheduler.JobID {
+	t.Helper()
+	var done []scheduler.JobID
+	for i := 0; n < 0 || i < n; i++ {
+		r, ok := s.NextRound(0)
+		if !ok {
+			if n < 0 {
+				return done
+			}
+			t.Fatalf("scheduler idle at round %d", i)
+		}
+		if _, err := m.ExecRound(r); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		done = append(done, s.RoundDone(r, 0)...)
+	}
+	return done
+}
+
+// TestMasterJournalShuffleRestore is the crash-consistency core of the
+// recovery path, without processes: master A journals two rounds of a
+// four-round job and "crashes"; master B restores A's journaled shuffle
+// state, resumes from a mid-pass scheduler snapshot, and finishes. Its
+// output must be byte-identical to an uninterrupted run.
+func TestMasterJournalShuffleRestore(t *testing.T) {
+	jobs := wordcountRefs(1)
+	meta := scheduler.JobMeta{ID: 1, File: "corpus"}
+
+	// Reference: uninterrupted run.
+	refMaster, _ := startCluster(t, 2, jobs)
+	refSched := core.New(testPlan(t), nil) // 4 segments
+	if err := refSched.Submit(meta, 0); err != nil {
+		t.Fatal(err)
+	}
+	driveRounds(t, refSched, refMaster, -1)
+	want, ok := refMaster.JobOutput(1)
+	if !ok || len(want) == 0 {
+		t.Fatalf("reference run produced no output (ok=%v)", ok)
+	}
+
+	// Master A: journal two of the four rounds, then crash.
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	jnl, _, err := journal.Open(path, journal.Options{Sync: journal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterA, _ := startCluster(t, 2, jobs)
+	masterA.SetJournal(jnl)
+	schedA := core.New(testPlan(t), nil)
+	if err := schedA.Submit(meta, 0); err != nil {
+		t.Fatal(err)
+	}
+	driveRounds(t, schedA, masterA, 2)
+	snap, err := schedA.StateSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.Close(); err != nil { // crash: nothing else is flushed
+		t.Fatal(err)
+	}
+
+	// Master B: replay the journal and resume.
+	jnl2, rep, err := journal.Open(path, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl2.Close()
+	if rep.Corruption != nil {
+		t.Fatalf("clean journal reports corruption: %v", rep.Corruption)
+	}
+	state, err := journal.ReduceEntries(rep.Entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, ok := state.Shuffle[1]
+	if !ok || len(segs) != 2 {
+		t.Fatalf("journal holds shuffle for %d segments, want 2", len(segs))
+	}
+
+	masterB, _ := startCluster(t, 2, jobs)
+	masterB.SetJournal(jnl2)
+	schedB := core.New(testPlan(t), nil)
+	if err := schedB.RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+	for seg, parts := range segs {
+		if err := masterB.RestoreShuffle(1, seg, parts); err != nil {
+			t.Fatal(err)
+		}
+		// Restoring the same segment twice must be rejected, not
+		// silently double-merged.
+		if err := masterB.RestoreShuffle(1, seg, parts); err == nil {
+			t.Fatal("duplicate shuffle restore accepted")
+		}
+	}
+	done := driveRounds(t, schedB, masterB, -1)
+	if len(done) != 1 || done[0] != 1 {
+		t.Fatalf("resumed run completed %v, want [1]", done)
+	}
+	got, ok := masterB.JobOutput(1)
+	if !ok {
+		t.Fatal("resumed run has no output for job 1")
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Error("resumed output differs from uninterrupted run")
+	}
+
+	// The done job's result is itself journaled by master B.
+	entries, err := mustReplayFile(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state2, err := journal.ReduceEntries(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state2.Results[1]) == 0 {
+		t.Error("job-result record missing after resumed completion")
+	}
+}
+
+// mustReplayFile re-opens and replays a journal file.
+func mustReplayFile(t *testing.T, path string) ([]journal.Entry, error) {
+	t.Helper()
+	j, rep, err := journal.Open(path, journal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	if rep.Corruption != nil {
+		return nil, rep.Corruption
+	}
+	return rep.Entries, nil
+}
+
+// TestRestoreResultServesOutput: a restored terminal job serves its
+// output through JobOutput without any execution.
+func TestRestoreResultServesOutput(t *testing.T) {
+	m := NewMaster(nil)
+	out := []mapreduce.KV{{Key: "k", Value: "3"}}
+	m.RestoreResult(9, out)
+	got, ok := m.JobOutput(9)
+	if !ok || fmt.Sprint(got) != fmt.Sprint(out) {
+		t.Fatalf("JobOutput = %v ok=%v", got, ok)
+	}
+	if _, ok := m.JobOutput(10); ok {
+		t.Fatal("unknown job has output")
+	}
+	if err := m.RestoreShuffle(10, 0, nil); err == nil {
+		t.Fatal("shuffle restore for unregistered job accepted")
+	}
+}

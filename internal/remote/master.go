@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"s3sched/internal/comms"
+	"s3sched/internal/journal"
 	"s3sched/internal/mapreduce"
 	"s3sched/internal/metrics"
 	"s3sched/internal/scheduler"
@@ -57,6 +58,10 @@ type Master struct {
 	hasCtl atomic.Bool
 	ctlWG  sync.WaitGroup
 
+	// taskDeadline, when positive, bounds each worker exec RPC; expiry
+	// is classified as a transport failure (see SetTaskDeadline).
+	taskDeadline time.Duration
+
 	mu sync.Mutex
 	// ctl is the control-plane listener (nil in static mode).
 	ctl    net.Listener
@@ -69,6 +74,9 @@ type Master struct {
 	mergedSegs map[scheduler.JobID]map[int]bool
 	results    map[scheduler.JobID][]mapreduce.KV
 	failovers  int
+	// journal, when non-nil, receives shuffle-committed / job-result
+	// records at the corresponding commit points (see durable.go).
+	journal *journal.Journal
 }
 
 // NewMaster builds a master with no workers yet: call ListenControl
@@ -352,6 +360,14 @@ func (m *Master) ExecRound(r scheduler.Round) (vclock.Duration, error) {
 		if segs[r.Segment] {
 			continue
 		}
+		// Write-ahead: the shuffle record must be durable before the
+		// merge is visible — and, transitively, before the engine's
+		// round-committed record for this round. A failed append aborts
+		// the run rather than silently running undurable.
+		if err := m.appendShuffle(id, r.Segment, acc[i]); err != nil {
+			m.mu.Unlock()
+			return 0, err
+		}
 		segs[r.Segment] = true
 		dst := m.partitions[id]
 		for p, kvs := range acc[i] {
@@ -413,7 +429,7 @@ func (m *Master) mapWithFailover(corr, file string, idx int, refs []JobRef) (*Ma
 				w := live[(home+off)%len(live)]
 				m.log.Addf(m.clock.Now(), trace.TaskDispatched, -1, -1, "corr=%s map %s#%d worker %s attempt %d", corr, file, idx, w.id, off+1)
 				var reply MapTaskReply
-				err := w.client.Call("Worker.ExecMap", &MapTaskArgs{File: file, BlockIndex: idx, Jobs: refs, Corr: corr}, &reply)
+				err := m.callWorker(w, "Worker.ExecMap", &MapTaskArgs{File: file, BlockIndex: idx, Jobs: refs, Corr: corr}, &reply)
 				if err == nil {
 					if off > 0 || pass > 0 {
 						m.mu.Lock()
@@ -448,7 +464,7 @@ func (m *Master) reduceWithFailover(corr string, ref JobRef, p int, records []ma
 				w := live[(home+off)%len(live)]
 				m.log.Addf(m.clock.Now(), trace.TaskDispatched, -1, -1, "corr=%s reduce %q partition %d worker %s attempt %d", corr, ref.Name, p, w.id, off+1)
 				var reply ReduceTaskReply
-				err := w.client.Call("Worker.ExecReduce", &ReduceTaskArgs{Job: ref, Partition: p, Records: records, Corr: corr}, &reply)
+				err := m.callWorker(w, "Worker.ExecReduce", &ReduceTaskArgs{Job: ref, Partition: p, Records: records, Corr: corr}, &reply)
 				if err == nil {
 					if off > 0 || pass > 0 {
 						m.mu.Lock()
@@ -540,8 +556,13 @@ func (m *Master) finishJob(id scheduler.JobID) error {
 	if firstErr != nil {
 		return firstErr
 	}
+	merged := mapreduce.MergeSorted(outputs)
 	m.mu.Lock()
-	m.results[id] = mapreduce.MergeSorted(outputs)
+	if err := m.appendResult(id, merged); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	m.results[id] = merged
 	delete(m.partitions, id)
 	delete(m.mergedSegs, id)
 	m.mu.Unlock()

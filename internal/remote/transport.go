@@ -2,10 +2,46 @@ package remote
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"net/rpc"
+	"time"
 )
+
+// TaskDeadlineError marks a worker RPC abandoned by the master's
+// per-task deadline watchdog: the call did not return within the
+// configured bound, so the master stopped waiting and moved on. It
+// implements net.Error, so isTransportError classifies it as a
+// transport failure and the task fails over to the next live worker —
+// a wedged worker (deadlocked, GC-stalled, half-partitioned) is
+// indistinguishable from a dead one to the caller, and must be treated
+// the same or one stuck RPC wedges the whole round forever.
+//
+// The abandoned call is NOT cancelled on the worker (net/rpc has no
+// cancellation); if it eventually finishes, its reply is discarded.
+// Map and reduce tasks are deterministic and their commits idempotent
+// (per-(job,segment) merge dedup), so a late duplicate execution
+// cannot corrupt results.
+type TaskDeadlineError struct {
+	// Worker is the id of the worker that failed to respond.
+	Worker string
+	// Method is the stalled RPC method (Worker.ExecMap / ExecReduce).
+	Method string
+	// Deadline is the bound the call exceeded.
+	Deadline time.Duration
+}
+
+func (e *TaskDeadlineError) Error() string {
+	return fmt.Sprintf("remote: %s on worker %s exceeded the %v task deadline", e.Method, e.Worker, e.Deadline)
+}
+
+// Timeout implements net.Error.
+func (e *TaskDeadlineError) Timeout() bool { return true }
+
+// Temporary implements net.Error (deprecated in net, but part of the
+// interface): deadline expiry says nothing permanent about the worker.
+func (e *TaskDeadlineError) Temporary() bool { return true }
 
 // isTransportError distinguishes a dead connection (retry the task on
 // another worker) from a task-level failure the job owns (propagate to

@@ -1,0 +1,185 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"s3sched/internal/core"
+	"s3sched/internal/runtime"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/vclock"
+)
+
+// captureLog records every CommitLog callback. The engine invokes the
+// log synchronously from the run-loop goroutine (which is the test
+// goroutine), so no locking is needed.
+type captureLog struct {
+	rounds []capturedRound
+	done   []scheduler.JobID
+	failed []scheduler.JobID
+}
+
+type capturedRound struct {
+	segment  int
+	snap     *scheduler.Snapshot
+	requeues int
+}
+
+func (c *captureLog) RoundCommitted(r scheduler.Round, _ vclock.Time, snap *scheduler.Snapshot, requeues int) {
+	c.rounds = append(c.rounds, capturedRound{segment: r.Segment, snap: snap, requeues: requeues})
+}
+
+func (c *captureLog) JobDone(id scheduler.JobID, _ vclock.Time)   { c.done = append(c.done, id) }
+func (c *captureLog) JobFailed(id scheduler.JobID, _ vclock.Time) { c.failed = append(c.failed, id) }
+
+// TestEngineCommitLog: the engine fires RoundCommitted once per
+// retired round (with a usable scheduler snapshot in serial mode),
+// JobDone once per completion, and JobFailed for jobs whose own code
+// failed — the exact stream the write-ahead journal persists.
+func TestEngineCommitLog(t *testing.T) {
+	sched := core.New(parityPlan(t, 3), nil)
+	log := &captureLog{}
+	exec := &failDrainExec{} // fails job 2's code on its first round
+	res, err := runtime.RunTrace(sched, exec, []runtime.Arrival{
+		{Job: parityMeta(1), At: 0},
+		{Job: parityMeta(2), At: 0},
+	}, runtime.Options{Commits: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.rounds) != res.Rounds {
+		t.Fatalf("RoundCommitted fired %d times over %d rounds", len(log.rounds), res.Rounds)
+	}
+	for i, r := range log.rounds {
+		if r.snap == nil {
+			t.Fatalf("round %d committed without a snapshot (serial mode should always snapshot)", i)
+		}
+		if r.requeues != 0 {
+			t.Errorf("round %d committed with requeues=%d, want 0", i, r.requeues)
+		}
+	}
+	// The final snapshot shows an empty scheduler.
+	last := log.rounds[len(log.rounds)-1].snap
+	if n := len(last.Jobs()); n != 0 {
+		t.Errorf("final snapshot holds %d jobs, want 0", n)
+	}
+	if len(log.done) != 1 || log.done[0] != 1 {
+		t.Errorf("JobDone stream = %v, want [1]", log.done)
+	}
+	if len(log.failed) != 1 || log.failed[0] != 2 {
+		t.Errorf("JobFailed stream = %v, want [2]", log.failed)
+	}
+}
+
+// TestEngineGracefulStop: closing Options.Stop makes the engine exit
+// at the next round boundary with Stopped=true and no error, leaving
+// undone jobs pending in the scheduler for a checkpoint to persist.
+func TestEngineGracefulStop(t *testing.T) {
+	sched := core.New(parityPlan(t, 4), nil)
+	src := runtime.NewLiveSource()
+	for i := 0; i < 2; i++ {
+		if _, err := src.Submit(parityMeta(i + 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	stopped := false
+	hooks := runtime.Hooks{
+		OnRoundDone: func(scheduler.Round, vclock.Time, []scheduler.JobID) {
+			if !stopped {
+				stopped = true
+				close(stop)
+				src.Close()
+			}
+		},
+	}
+	res, err := runtime.Run(sched, fixedExec{}, src, runtime.Options{Stop: stop, Hooks: hooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("engine did not report Stopped after stop channel closed")
+	}
+	if res.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1 (stop fires after the first round)", res.Rounds)
+	}
+	if sched.PendingJobs() == 0 {
+		t.Error("no pending jobs left; stop should have interrupted the pass")
+	}
+	// The interrupted scheduler is checkpointable right where it stopped.
+	if _, err := sched.StateSnapshot(); err != nil {
+		t.Errorf("post-stop snapshot: %v", err)
+	}
+}
+
+// TestEngineRestoredJobs: jobs pre-loaded into the scheduler (journal
+// recovery) and declared via Options.Restored complete normally and
+// are counted in the run's metrics even though no arrival source ever
+// delivered them.
+func TestEngineRestoredJobs(t *testing.T) {
+	sched := core.New(parityPlan(t, 3), nil)
+	if err := sched.Submit(parityMeta(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Submit(parityMeta(2), 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := runtime.RunTrace(sched, fixedExec{}, nil, runtime.Options{
+		Restored: []runtime.RestoredJob{{ID: 1}, {ID: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Metrics.Jobs(); got != 2 {
+		t.Fatalf("completed jobs = %d, want 2", got)
+	}
+	if res.Stopped {
+		t.Error("run reported Stopped without a stop channel")
+	}
+}
+
+// TestEngineInitialRequeues: a checkpoint-carried requeue count eats
+// into the budget, so a crash loop cannot reset it by restarting.
+func TestEngineInitialRequeues(t *testing.T) {
+	sched := core.New(parityPlan(t, 2), nil)
+	exec := &lostExec{}
+	_, err := runtime.RunTrace(sched, exec, []runtime.Arrival{{Job: parityMeta(1), At: 0}},
+		runtime.Options{MaxRequeues: 5, InitialRequeues: 3})
+	if err == nil {
+		t.Fatal("permanently lost round succeeded")
+	}
+	if exec.calls != 3 {
+		t.Errorf("executor called %d times, want 3 (budget 5, 3 already spent)", exec.calls)
+	}
+}
+
+// TestLiveSourceAdopt: adopted jobs surface in the status API with
+// their restored state, reserve their ids, and never enter the
+// admission queue.
+func TestLiveSourceAdopt(t *testing.T) {
+	src := runtime.NewLiveSource()
+	meta := parityMeta(7)
+	if err := src.Adopt(meta, runtime.JobDone, 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Adopt(meta, runtime.JobDone, 0, 42); err == nil {
+		t.Fatal("duplicate adopt succeeded")
+	}
+	if err := src.Adopt(scheduler.JobMeta{Name: "anon"}, runtime.JobRunning, 0, 0); err == nil {
+		t.Fatal("adopt without an id succeeded")
+	}
+	st, ok := src.Status(7)
+	if !ok || st.State != runtime.JobDone || st.DoneAt != 42 {
+		t.Fatalf("adopted status = %+v ok=%v", st, ok)
+	}
+	if n := src.Pending(); n != 0 {
+		t.Fatalf("adopt queued %d jobs for admission", n)
+	}
+	// The adopted id is reserved: the next auto-assigned id skips past.
+	id, err := src.Submit(parityMeta(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 8 {
+		t.Errorf("next assigned id = %d, want 8", id)
+	}
+}

@@ -62,6 +62,12 @@ type engine struct {
 	failed map[scheduler.JobID]bool
 	// requeues counts consecutive requeues of the current round.
 	requeues int
+	// commits is the write-ahead commit sink, nil when not journaling.
+	commits CommitLog
+	// stop requests a graceful exit at the next round boundary.
+	stop <-chan struct{}
+	// restored are journal-recovered jobs to seed into the collector.
+	restored []RestoredJob
 }
 
 func newEngine(sched scheduler.Scheduler, exec Executor, src ArrivalSource, opts Options) *engine {
@@ -79,6 +85,10 @@ func newEngine(sched scheduler.Scheduler, exec Executor, src ArrivalSource, opts
 		coll:        metrics.NewCollector(),
 		tele:        newTelemetry(opts),
 		failed:      make(map[scheduler.JobID]bool),
+		commits:     opts.Commits,
+		stop:        opts.Stop,
+		restored:    opts.Restored,
+		requeues:    opts.InitialRequeues,
 	}
 	if trk, ok := src.(JobTracker); ok {
 		e.trk = trk
@@ -107,7 +117,16 @@ func (e *engine) run() (*Result, error) {
 	e.pol.start()
 	defer e.pol.shutdown()
 	e.tele.beginRun(e.sched.Name(), e.clock.Now())
+	// Journal-recovered jobs are already in the scheduler; give each a
+	// collector entry so the submit→start→complete lifecycle holds.
+	for _, rj := range e.restored {
+		e.coll.Submit(rj.ID, rj.At)
+		e.tele.jobSubmitted()
+	}
 	for {
+		if e.stopRequested() {
+			break
+		}
 		now := e.clock.Now()
 		e.drainMembership(now)
 		if err := e.deliverDue(now); err != nil {
@@ -143,6 +162,9 @@ func (e *engine) run() (*Result, error) {
 			// still produce arrivals: park until it does or closes.
 			if e.src.Wait() {
 				continue
+			}
+			if e.stopRequested() {
+				break
 			}
 			if e.sched.PendingJobs() > 0 {
 				if st, isSt := e.sched.(Stalled); isSt && st.Stalled() {
@@ -184,8 +206,29 @@ func (e *engine) run() (*Result, error) {
 	e.drainMembership(e.clock.Now())
 	e.finishStats()
 	e.res.End = e.clock.Now()
+	e.res.Requeues = e.requeues
 	e.tele.endRun(e.coll, e.res.End, e.res.Rounds)
 	return e.res, nil
+}
+
+// stopRequested reports whether Options.Stop has fired. The first
+// observation drains the policy's asynchronous stages (so no reduce is
+// mid-flight when the caller checkpoints) and marks the result
+// stopped.
+func (e *engine) stopRequested() bool {
+	if e.stop == nil {
+		return false
+	}
+	select {
+	case <-e.stop:
+		if !e.res.Stopped {
+			e.pol.drain()
+			e.res.Stopped = true
+		}
+		return true
+	default:
+		return false
+	}
 }
 
 // drainMembership pulls the executor's pending membership transitions
@@ -317,6 +360,28 @@ func (e *engine) settleRound(r scheduler.Round, now vclock.Time, completed []sch
 			return fmt.Errorf("runtime: job(s) %v failed and scheduler %q cannot abort them", abort, e.sched.Name())
 		}
 		rec.AbortJobs(abort, now)
+	}
+	if e.commits != nil {
+		// Round-commit point: the scheduler just retired the round, so
+		// its state is consistent and (serial mode) snapshottable. Under
+		// pipelining a snapshot may legitimately fail while reduces
+		// drain; the journal then records the round without one and
+		// recovery falls back to resubmitting pending jobs.
+		var snapPtr *scheduler.Snapshot
+		if sn, ok := e.sched.(scheduler.Snapshottable); ok {
+			if snap, err := sn.StateSnapshot(); err == nil {
+				snapPtr = &snap
+			}
+		}
+		e.commits.RoundCommitted(r, now, snapPtr, e.requeues)
+		for _, id := range fresh {
+			e.commits.JobFailed(id, now)
+		}
+		for _, id := range completed {
+			if !e.failed[id] {
+				e.commits.JobDone(id, now)
+			}
+		}
 	}
 	if e.hooks.OnRoundDone != nil {
 		e.hooks.OnRoundDone(r, now, completed)

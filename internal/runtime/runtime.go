@@ -143,6 +143,41 @@ type Waker interface {
 	NextWake(now vclock.Time) (vclock.Time, bool)
 }
 
+// CommitLog receives the engine's durable commit points — the
+// write-ahead journal's view of the run loop. The engine calls it
+// synchronously from its goroutine at exactly the places the
+// scheduler's state is consistent: after a round is retired
+// (RoundCommitted, with a scheduler snapshot when one could be taken)
+// and when a job's fate settles (JobDone/JobFailed). Implementations
+// that cannot write (disk full) should fail the run via their own
+// executor path rather than silently dropping records; these callbacks
+// return nothing so the loop's hot path stays infallible.
+type CommitLog interface {
+	// RoundCommitted fires after settleRound retires round r at
+	// virtual time now. snap is the scheduler's post-round state, nil
+	// when the scheduler is not Snapshottable or could not snapshot
+	// (pipelined reduces still draining). requeues is the engine's
+	// consecutive-requeue count (0 after a successful round).
+	RoundCommitted(r scheduler.Round, now vclock.Time, snap *scheduler.Snapshot, requeues int)
+	// JobDone fires when id completes; JobFailed when its own
+	// map/reduce code terminally fails.
+	JobDone(id scheduler.JobID, now vclock.Time)
+	JobFailed(id scheduler.JobID, now vclock.Time)
+}
+
+// RestoredJob names a job already present in the scheduler when the
+// run starts — restored from a journal snapshot rather than delivered
+// by the arrival source. The engine seeds its metrics entry so the
+// collector's submit→start→complete lifecycle holds.
+type RestoredJob struct {
+	ID scheduler.JobID
+	// At is the admission time to record. Virtual clocks restart at
+	// zero on every boot, so recovery passes 0: post-restart response
+	// times measure from the restart, which is when this incarnation
+	// first owed the job service.
+	At vclock.Time
+}
+
 // DefaultMaxRequeues bounds consecutive requeues of one round before
 // the engine gives up (a fault schedule that never lets the round
 // complete would otherwise loop forever).
@@ -164,6 +199,14 @@ type Result struct {
 	Rounds  int
 	// End is the virtual time when the last job completed.
 	End vclock.Time
+	// Stopped reports that the run exited early at a round boundary
+	// because Options.Stop fired — a graceful shutdown, not an error.
+	// Jobs may remain pending; the caller is expected to checkpoint.
+	Stopped bool
+	// Requeues is the consecutive-requeue count at exit (nonzero only
+	// when a stop landed mid-requeue-storm); a checkpoint persists it
+	// so the restarted engine keeps the same requeue budget.
+	Requeues int
 }
 
 // Hooks observe the run loop. Both callbacks are invoked from the
@@ -201,6 +244,23 @@ type Options struct {
 	// scan+reduce to attribute time per stage; the composition is
 	// semantically identical to ExecRound.
 	Metrics *metrics.RunMetrics
+	// Commits, when set, receives the run's durable commit points (see
+	// CommitLog) — how the write-ahead journal observes the loop.
+	Commits CommitLog
+	// Stop, when set, requests a graceful early exit: the engine
+	// checks it at each round boundary and, once closed, finishes the
+	// in-flight round and returns Result.Stopped=true with pending
+	// jobs still in the scheduler. Close the arrival source alongside
+	// so an idle-parked engine wakes up.
+	Stop <-chan struct{}
+	// Restored lists jobs already present in the scheduler at start —
+	// journal-recovery state the arrival source will not deliver. The
+	// engine seeds their metrics entries exactly once.
+	Restored []RestoredJob
+	// InitialRequeues seeds the consecutive-requeue counter — the
+	// value a checkpoint carried, so a crash loop cannot reset its own
+	// budget by restarting.
+	InitialRequeues int
 }
 
 // Run drives arrivals from src through the scheduler, executing rounds

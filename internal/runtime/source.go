@@ -262,6 +262,37 @@ func (s *LiveSource) JobFinished(id scheduler.JobID, at vclock.Time, failed bool
 	}
 }
 
+// Adopt installs a status entry for a journal-recovered job without
+// queueing it for admission: resumed jobs are already inside the
+// restored scheduler (the engine seeds them via Options.Restored), and
+// settled jobs only need their terminal state visible to the admission
+// API. The id is reserved so later Submits cannot collide with it.
+func (s *LiveSource) Adopt(meta scheduler.JobMeta, state JobState, admittedAt, doneAt vclock.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("runtime: admission queue is closed")
+	}
+	if meta.ID == 0 {
+		return fmt.Errorf("runtime: cannot adopt a job without an id")
+	}
+	if _, dup := s.status[meta.ID]; dup {
+		return fmt.Errorf("runtime: job id %d already submitted", meta.ID)
+	}
+	if meta.ID >= s.nextID {
+		s.nextID = meta.ID + 1
+	}
+	s.status[meta.ID] = &JobStatus{
+		ID:         meta.ID,
+		Name:       meta.Name,
+		State:      state,
+		AdmittedAt: admittedAt,
+		DoneAt:     doneAt,
+	}
+	s.order = append(s.order, meta.ID)
+	return nil
+}
+
 // Status reports one job's lifecycle state.
 func (s *LiveSource) Status(id scheduler.JobID) (JobStatus, bool) {
 	s.mu.Lock()

@@ -1,0 +1,64 @@
+package scheduler
+
+import (
+	"s3sched/internal/vclock"
+)
+
+// Scheduler snapshot/restore surface. A scheduler's whole durable
+// state — per-queue circular cursor plus each active job's (start
+// segment, remaining sub-jobs) — is small enough to persist after
+// every round, so a restarted master resumes the pass instead of
+// restarting it. The concrete S^3 implementations live in
+// internal/core; the types live here so the journal and the runtime
+// engine can speak snapshots without importing a scheme.
+
+// JobSnapshot is one active job's persisted state.
+type JobSnapshot struct {
+	Meta         JobMeta     `json:"meta"`
+	StartSegment int         `json:"startSegment"`
+	Remaining    int         `json:"remaining"`
+	SubmittedAt  vclock.Time `json:"submittedAt"`
+}
+
+// QueueSnapshot is one file queue's persisted state (a single-file
+// scheduler has exactly one).
+type QueueSnapshot struct {
+	File     string        `json:"file"`
+	Segments int           `json:"segments"`
+	Cursor   int           `json:"cursor"`
+	Jobs     []JobSnapshot `json:"jobs"`
+}
+
+// Snapshot is a scheduler's full persisted state.
+type Snapshot struct {
+	// Scheme is the scheduler's Name(); restore refuses a snapshot
+	// taken by a different scheme.
+	Scheme string `json:"scheme"`
+	// Rotation is the multi-file round-robin pointer (0 for
+	// single-queue schedulers).
+	Rotation int `json:"rotation,omitempty"`
+	// Queues holds one entry per registered file, in registration
+	// order.
+	Queues []QueueSnapshot `json:"queues"`
+}
+
+// Jobs returns every active job across all queues.
+func (s Snapshot) Jobs() []JobSnapshot {
+	var out []JobSnapshot
+	for _, q := range s.Queues {
+		out = append(out, q.Jobs...)
+	}
+	return out
+}
+
+// Snapshottable is implemented by schedulers whose state can be
+// persisted and resumed — the surface crash recovery drives.
+//
+// Protocol: StateSnapshot is only valid between rounds (no round in
+// flight); implementations return an error otherwise rather than
+// guessing at half-advanced state. RestoreState is only valid on a
+// freshly constructed scheduler with no submissions yet.
+type Snapshottable interface {
+	StateSnapshot() (Snapshot, error)
+	RestoreState(Snapshot) error
+}

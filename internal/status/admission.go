@@ -98,7 +98,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleJobByID serves GET /jobs/<id>.
+// handleJobByID serves GET /jobs/<id> and GET /jobs/<id>/output.
 func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 	adm := s.admission()
 	if adm == nil {
@@ -110,9 +110,10 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	raw := strings.TrimPrefix(r.URL.Path, "/jobs/")
-	id, err := strconv.Atoi(raw)
+	rawID, sub, _ := strings.Cut(raw, "/")
+	id, err := strconv.Atoi(rawID)
 	if err != nil {
-		http.Error(w, "bad job id "+strconv.Quote(raw), http.StatusBadRequest)
+		http.Error(w, "bad job id "+strconv.Quote(rawID), http.StatusBadRequest)
 		return
 	}
 	st, ok := adm.JobStatus(scheduler.JobID(id))
@@ -120,8 +121,26 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown job", http.StatusNotFound)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(st)
+	switch sub {
+	case "":
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	case "output":
+		src := s.results.get()
+		if src == nil {
+			http.Error(w, "no result source configured", http.StatusNotFound)
+			return
+		}
+		out, ok := src.JobOutput(scheduler.JobID(id))
+		if !ok {
+			http.Error(w, "job has no output (not complete?)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	default:
+		http.NotFound(w, r)
+	}
 }

@@ -24,6 +24,9 @@ type clusterView struct {
 	// dead entry is a restart waiting to happen, and its task counters
 	// survive the outage).
 	Workers []comms.WorkerInfo `json:"workers"`
+	// Recovery repeats the published journal-recovery summary, so a
+	// cluster observer sees restart history next to membership.
+	Recovery *RecoveryInfo `json:"recovery,omitempty"`
 }
 
 // clusterState holds the server's membership source behind its own
@@ -59,7 +62,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	workers := src.ClusterSnapshot()
-	view := clusterView{Workers: workers}
+	view := clusterView{Workers: workers, Recovery: s.Snapshot().Recovery}
 	for _, wi := range workers {
 		if wi.State != comms.Dead.String() {
 			view.Live++

@@ -53,6 +53,7 @@ type State struct {
 	TETSeconds   float64            `json:"tetSeconds,omitempty"`
 	ARTSeconds   float64            `json:"artSeconds,omitempty"`
 	Cache        *CacheInfo         `json:"cache,omitempty"`
+	Recovery     *RecoveryInfo      `json:"recovery,omitempty"`
 	ExtraNumbers map[string]float64 `json:"extra,omitempty"`
 }
 
@@ -81,6 +82,8 @@ type Server struct {
 	adm Admission
 	// cluster, when set, backs GET /cluster (see cluster.go).
 	cluster clusterState
+	// results, when set, backs GET /jobs/<id>/output (see recovery.go).
+	results resultState
 }
 
 // NewServer returns an empty status server.
@@ -111,6 +114,10 @@ func (s *Server) Snapshot() State {
 	if st.LastRound != nil {
 		lr := *st.LastRound
 		st.LastRound = &lr
+	}
+	if st.Recovery != nil {
+		rc := *st.Recovery
+		st.Recovery = &rc
 	}
 	return st
 }
@@ -161,6 +168,9 @@ batch {{.LastRound.BatchSize}}, blocks {{.LastRound.Blocks}}</td></tr>{{end}}
 {{if .ARTSeconds}}<tr><td>ART</td><td>{{printf "%.3f" .ARTSeconds}}s</td></tr>{{end}}
 {{if .Cache}}<tr><td>block cache</td><td>{{.Cache.Hits}} hits / {{.Cache.Misses}} misses
 ({{printf "%.1f" (mulf .Cache.HitRatio 100)}}% hit ratio), {{.Cache.Evictions}} evictions</td></tr>{{end}}
+{{if .Recovery}}<tr><td>journal recovery</td><td>recovery #{{.Recovery.Recoveries}}:
+{{.Recovery.JobsResumed}} job(s) resumed, {{.Recovery.JobsRestarted}} restarted
+{{if .Recovery.JournalPath}}from {{.Recovery.JournalPath}}{{end}}</td></tr>{{end}}
 {{if .FailureNote}}<tr><td>failure</td><td>{{.FailureNote}}</td></tr>{{end}}
 </table>
 <p><a href="/status.json">status.json</a></p>

@@ -85,6 +85,14 @@ const (
 	// WorkerRejoined records a restarted worker re-registering under
 	// its old identity, replacing the dead incarnation mid-run.
 	WorkerRejoined
+	// JournalRecovered records a master booting from a non-empty
+	// write-ahead journal; Detail carries how many jobs were resumed
+	// from the snapshot and how many were resubmitted from scratch.
+	JournalRecovered
+	// TaskDeadlineExceeded records a worker RPC cancelled by the
+	// per-task deadline watchdog; the task fails over to the next live
+	// worker exactly like a transport error.
+	TaskDeadlineExceeded
 )
 
 var kindNames = map[Kind]string{
@@ -112,6 +120,9 @@ var kindNames = map[Kind]string{
 	WorkerRegistered: "worker-registered",
 	WorkerLost:       "worker-lost",
 	WorkerRejoined:   "worker-rejoined",
+
+	JournalRecovered:     "journal-recovered",
+	TaskDeadlineExceeded: "task-deadline-exceeded",
 }
 
 // String returns the stable lowercase name of the kind.
