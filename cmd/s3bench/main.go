@@ -413,7 +413,7 @@ func runPipeline(mode string) error {
 }
 
 // faultsJSON is the machine-readable fault-study record
-// (BENCH_faults.json).
+// (bench/faults.json).
 type faultsJSON struct {
 	Seed     int64             `json:"seed"`
 	Replicas int               `json:"replicas"`
@@ -484,7 +484,7 @@ func runFaults(rate float64, seed int64, jsonPath string) error {
 }
 
 // cacheJSONRec is the machine-readable cache-study record
-// (BENCH_cache.json).
+// (bench/cache.json).
 type cacheJSONRec struct {
 	Frac   float64          `json:"frac"`
 	Points []cacheJSONPoint `json:"points"`

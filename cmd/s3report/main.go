@@ -1,0 +1,86 @@
+// Command s3report is the perf-regression gate over two s3compare
+// report sets. It verifies both reports describe the same workload,
+// re-checks the cross-scheduler output-digest consensus inside each,
+// diffs TET/ART cell by cell, renders a markdown comparison table, and
+// exits non-zero when any shared cell regresses beyond the threshold.
+//
+// Exit codes: 0 clean, 1 regression found, 2 usage / unreadable or
+// incomparable reports.
+//
+// Usage:
+//
+//	s3report -baseline bench/baseline.json -current report.json
+//	s3report -baseline a.json -current b.json -threshold 0.05 -md diff.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"s3sched/internal/benchfmt"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s3report:", err)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("s3report", flag.ContinueOnError)
+	basePath := fs.String("baseline", "", "baseline report JSON (required)")
+	curPath := fs.String("current", "", "current report JSON (required)")
+	threshold := fs.Float64("threshold", 0.10, "relative TET/ART regression threshold (0.10 = 10%)")
+	mdPath := fs.String("md", "", "also write the markdown diff to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2, nil // flag package already printed the error
+	}
+	if *basePath == "" || *curPath == "" {
+		return 2, fmt.Errorf("-baseline and -current are required")
+	}
+
+	base, err := readReport(*basePath)
+	if err != nil {
+		return 2, err
+	}
+	cur, err := readReport(*curPath)
+	if err != nil {
+		return 2, err
+	}
+
+	diff, err := benchfmt.Compare(base, cur, *threshold)
+	if err != nil {
+		return 2, err
+	}
+
+	md := diff.Markdown()
+	fmt.Fprint(stdout, md)
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(md), 0o644); err != nil {
+			return 2, err
+		}
+	}
+
+	if regs := diff.Regressions(); len(regs) > 0 {
+		return 1, fmt.Errorf("%d cell(s) regressed beyond %.0f%%", len(regs), *threshold*100)
+	}
+	fmt.Fprintf(stdout, "\nOK: %d cells within %.0f%% of baseline\n", len(diff.Rows), *threshold*100)
+	return 0, nil
+}
+
+func readReport(path string) (*benchfmt.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := benchfmt.Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}

@@ -1,0 +1,409 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+
+	"s3sched/internal/benchfmt"
+	"s3sched/internal/core"
+	"s3sched/internal/dfs"
+	"s3sched/internal/driver"
+	"s3sched/internal/faults"
+	"s3sched/internal/mapreduce"
+	"s3sched/internal/metrics"
+	"s3sched/internal/runtime"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/sim"
+	"s3sched/internal/vclock"
+	"s3sched/internal/workload"
+)
+
+// Differential benchmark: run one workload file through the
+// {scheduler} × {sim|engine} × {pipeline} × {cache} matrix and emit one
+// benchfmt.Cell per configuration, every cell comparable because every
+// cell saw the identical workload. Two properties make the report a
+// regression gate rather than a one-off snapshot:
+//
+//   - Determinism. Sim cells are priced by the cost model. Engine
+//     cells run the real in-process MapReduce for *outputs* but take
+//     their *timings* from a sibling sim executor over the same store
+//     (pricedExec below), so a report is byte-for-byte reproducible —
+//     wall clocks never leak into it — and a sim cell and its engine
+//     twin march through the same round sequence with the same TET.
+//
+//   - Output digests. Every engine cell digests its jobs' real
+//     outputs; sim cells (which execute nothing) carry the reference
+//     digest obtained by running each job *alone* on a fresh store.
+//     All cells of a report carrying one identical digest is the
+//     harness's proof that scan sharing, pipelining, caching and
+//     scheduling order never change what a job computes.
+
+// CompareOptions selects a sub-matrix. The zero value means the full
+// matrix the workload supports.
+type CompareOptions struct {
+	// Schedulers is the scheme subset ("s3", "fifo", "mrs1"); nil =
+	// all three.
+	Schedulers []string
+	// Engines is the execution subset (benchfmt.EngineSim,
+	// benchfmt.EngineReal); nil = both, with the engine dropped for
+	// meta-content workloads (no bytes to execute).
+	Engines []string
+	// Pipelines/Caches are the toggle subsets; nil = {off, on}, with
+	// cache-on dropped when the workload has no cache budget.
+	Pipelines []bool
+	Caches    []bool
+}
+
+// CompareSchedulers are the schemes the harness compares: the paper's
+// headline trio. MRShare runs as one batch of all jobs (mrs1), its
+// strongest configuration for a known job set.
+func CompareSchedulers() []string { return []string{"s3", "fifo", "mrs1"} }
+
+// makeScheduler builds a fresh scheduler for the scheme over plan.
+func makeScheduler(name string, plan *dfs.SegmentPlan, numJobs int) (scheduler.Scheduler, error) {
+	switch name {
+	case "s3":
+		return core.New(plan, nil), nil
+	case "fifo":
+		return scheduler.NewFIFO(plan, nil), nil
+	case "mrs1":
+		return scheduler.NewMRShare(plan, []int{numJobs}, nil)
+	default:
+		return nil, fmt.Errorf("experiments: unknown compare scheduler %q", name)
+	}
+}
+
+// RunCompare runs the workload through the configured matrix and
+// returns the report, cells in canonical order.
+func RunCompare(wf *workload.File, opts CompareOptions) (*benchfmt.Report, error) {
+	h := &wf.Header
+	f := &wf.Files[0]
+	schedulers := opts.Schedulers
+	if schedulers == nil {
+		schedulers = CompareSchedulers()
+	}
+	engines := opts.Engines
+	if engines == nil {
+		engines = []string{benchfmt.EngineSim, benchfmt.EngineReal}
+	}
+	if f.Content == workload.ContentMeta {
+		kept := engines[:0:0]
+		for _, e := range engines {
+			if e == benchfmt.EngineReal {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		engines = kept
+		if len(engines) == 0 {
+			return nil, fmt.Errorf("experiments: workload %q is %s-content; engine cells cannot run", h.Name, workload.ContentMeta)
+		}
+	}
+	pipelines := opts.Pipelines
+	if pipelines == nil {
+		pipelines = []bool{false, true}
+	}
+	caches := opts.Caches
+	if caches == nil {
+		caches = []bool{false}
+		if h.CacheMBPerNode > 0 {
+			caches = append(caches, true)
+		}
+	}
+	for _, c := range caches {
+		if c && h.CacheMBPerNode <= 0 {
+			return nil, fmt.Errorf("experiments: workload %q has no cache budget; cache cells cannot run", h.Name)
+		}
+	}
+
+	// The reference digest: each job run alone on a fresh, uncached,
+	// fault-free store. Sim cells carry it directly; engine cells must
+	// reproduce it.
+	refDigest := ""
+	if f.Content != workload.ContentMeta {
+		var err error
+		refDigest, err = soloReferenceDigest(wf)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: solo reference run: %w", err)
+		}
+	}
+
+	report := &benchfmt.Report{
+		Version:        benchfmt.Version,
+		Workload:       h.Name,
+		WorkloadDigest: wf.Digest(),
+	}
+	for _, schedName := range schedulers {
+		for _, engine := range engines {
+			for _, pipe := range pipelines {
+				for _, cache := range caches {
+					key := benchfmt.CellKey{Scheduler: schedName, Engine: engine, Pipeline: pipe, Cache: cache}
+					cell, err := runCell(wf, key, refDigest)
+					if err != nil {
+						return nil, fmt.Errorf("experiments: cell %s: %w", key, err)
+					}
+					report.Cells = append(report.Cells, cell)
+				}
+			}
+		}
+	}
+	report.Sort()
+	if _, err := report.DigestConsensus(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// runCell runs one matrix configuration from a completely fresh
+// environment (store, scheduler, executor), so cells cannot contaminate
+// each other.
+func runCell(wf *workload.File, key benchfmt.CellKey, refDigest string) (benchfmt.Cell, error) {
+	h := &wf.Header
+	f := &wf.Files[0]
+	store, err := dfs.NewStore(h.Nodes, h.Replicas)
+	if err != nil {
+		return benchfmt.Cell{}, err
+	}
+	file, err := f.AddTo(store)
+	if err != nil {
+		return benchfmt.Cell{}, err
+	}
+	plan, err := dfs.PlanSegments(file, f.SegmentBlocks)
+	if err != nil {
+		return benchfmt.Cell{}, err
+	}
+	sched, err := makeScheduler(key.Scheduler, plan, len(wf.Jobs))
+	if err != nil {
+		return benchfmt.Cell{}, err
+	}
+	entries := wf.Entries()
+	arrivals := make([]driver.Arrival, len(entries))
+	for i, e := range entries {
+		arrivals[i] = driver.Arrival{Job: e.Job, At: e.At}
+	}
+	model := NormalModel()
+	if h.Cost != nil {
+		model = *h.Cost
+	}
+
+	var exec driver.Executor
+	var engineExec *driver.EngineExecutor
+	switch key.Engine {
+	case benchfmt.EngineSim:
+		simExec := sim.NewExecutor(sim.NewCluster(h.Nodes, h.SlotsPerNode), store, model)
+		if key.Cache {
+			if err := simExec.EnableCache(int64(h.CacheMBPerNode)<<20*int64(h.Nodes), h.CacheFrac); err != nil {
+				return benchfmt.Cell{}, err
+			}
+		}
+		if h.FaultRate > 0 {
+			if err := simExec.SetFaultModel(sim.FaultModel{
+				Seed:          h.FaultSeed,
+				BlockFailRate: h.FaultRate,
+				MaxAttempts:   4,
+				RetrySec:      5,
+			}); err != nil {
+				return benchfmt.Cell{}, err
+			}
+		}
+		exec = simExec
+	case benchfmt.EngineReal:
+		if key.Cache {
+			if _, err := store.EnableCache(int64(h.CacheMBPerNode) << 20); err != nil {
+				return benchfmt.Cell{}, err
+			}
+		}
+		engine := mapreduce.NewEngine(mapreduce.MustCluster(store, h.SlotsPerNode))
+		if h.FaultRate > 0 {
+			// Real injected read faults, bounded below the retry budget
+			// so recovery is guaranteed and outputs stay exact.
+			inj, err := faults.New(faults.Config{
+				Seed:                h.FaultSeed,
+				ReadFailRate:        h.FaultRate,
+				MaxInjectedPerBlock: 2,
+			})
+			if err != nil {
+				return benchfmt.Cell{}, err
+			}
+			store.SetReadFault(inj.FailRead)
+			if err := engine.SetRetryPolicy(mapreduce.RetryPolicy{MaxAttempts: 4}); err != nil {
+				return benchfmt.Cell{}, err
+			}
+		}
+		specs, err := wf.EngineSpecs()
+		if err != nil {
+			return benchfmt.Cell{}, err
+		}
+		engineExec = driver.NewEngineExecutor(engine, specs)
+		// The timer sibling prices the same rounds the engine executes,
+		// over the same store, so engine cells get the sim's
+		// deterministic virtual timings (fault pricing excluded: the
+		// engine already recovers its real injected faults).
+		exec = &pricedExec{
+			inner: engineExec,
+			timer: sim.NewExecutor(sim.NewCluster(h.Nodes, h.SlotsPerNode), store, model),
+		}
+	default:
+		return benchfmt.Cell{}, fmt.Errorf("unknown engine %q", key.Engine)
+	}
+
+	res, err := driver.RunOpts(sched, exec, arrivals, driver.Options{Pipeline: key.Pipeline})
+	if err != nil {
+		return benchfmt.Cell{}, err
+	}
+	sum, err := res.Metrics.Summarize(key.String())
+	if err != nil {
+		return benchfmt.Cell{}, err
+	}
+	rows, err := res.Metrics.JobTable()
+	if err != nil {
+		return benchfmt.Cell{}, err
+	}
+	cell := benchfmt.Cell{
+		Key:           key,
+		TET:           float64(sum.TET),
+		ART:           float64(sum.ART),
+		P95:           float64(sum.P95),
+		Rounds:        res.Rounds,
+		CacheHitRatio: res.Metrics.CacheStats().HitRatio(),
+		FaultRetries:  res.Metrics.FaultStats().Retries,
+		OutputDigest:  refDigest,
+		Jobs:          make([]benchfmt.JobTiming, len(rows)),
+	}
+	for i, row := range rows {
+		cell.Jobs[i] = benchfmt.JobTiming{
+			ID:          int(row.ID),
+			SubmittedAt: float64(row.SubmittedAt),
+			StartedAt:   float64(row.StartedAt),
+			CompletedAt: float64(row.CompletedAt),
+			Response:    float64(row.Response),
+		}
+	}
+	if engineExec != nil {
+		// Engine cells earn their digest from the outputs they actually
+		// produced; a scheduler that corrupted results would disagree
+		// with the sim cells' reference digest and fail consensus.
+		cell.OutputDigest = digestResults(engineExec.Results())
+	}
+	return cell, nil
+}
+
+// soloReferenceDigest runs every job alone, each on a fresh uncached
+// fault-free store, and digests the outputs — the ground truth any
+// shared/pipelined/cached execution must reproduce.
+func soloReferenceDigest(wf *workload.File) (string, error) {
+	h := &wf.Header
+	results := make(map[scheduler.JobID]*mapreduce.Result, len(wf.Jobs))
+	for i := range wf.Jobs {
+		j := &wf.Jobs[i]
+		store, err := dfs.NewStore(h.Nodes, h.Replicas)
+		if err != nil {
+			return "", err
+		}
+		if _, err := wf.Files[0].AddTo(store); err != nil {
+			return "", err
+		}
+		spec, err := j.EngineSpec(wf.Files[0].Content)
+		if err != nil {
+			return "", err
+		}
+		res, err := mapreduce.NewEngine(mapreduce.MustCluster(store, h.SlotsPerNode)).RunJob(spec)
+		if err != nil {
+			return "", fmt.Errorf("job %d: %w", j.ID, err)
+		}
+		results[j.ID] = res
+	}
+	return digestResults(results), nil
+}
+
+// digestResults fingerprints job outputs: sha256 over jobs in id order,
+// each job's sorted key/value records framed unambiguously.
+func digestResults(results map[scheduler.JobID]*mapreduce.Result) string {
+	ids := make([]scheduler.JobID, 0, len(results))
+	for id := range results {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	hsh := sha256.New()
+	for _, id := range ids {
+		fmt.Fprintf(hsh, "job %d %d\n", id, len(results[id].Output))
+		for _, kv := range results[id].Output {
+			fmt.Fprintf(hsh, "%d %d\n%s%s", len(kv.Key), len(kv.Value), kv.Key, kv.Value)
+		}
+	}
+	return hex.EncodeToString(hsh.Sum(nil))
+}
+
+// pricedExec is the engine-cell executor: the inner EngineExecutor
+// does the real work (scans, shuffles, reduces, caching, fault
+// recovery) while the timer — a sim executor over the same store —
+// supplies the round durations. The wall clock never reaches the
+// scheduler, so engine runs are as deterministic as sim runs, and a
+// sim cell with the same scheduler marches through the identical round
+// sequence.
+type pricedExec struct {
+	inner *driver.EngineExecutor
+	timer *sim.Executor
+}
+
+var (
+	_ runtime.StageExecutor    = (*pricedExec)(nil)
+	_ runtime.FailureReporter  = (*pricedExec)(nil)
+	_ runtime.FaultStatsSource = (*pricedExec)(nil)
+	_ runtime.CacheStatsSource = (*pricedExec)(nil)
+)
+
+// ExecRound implements runtime.Executor.
+func (p *pricedExec) ExecRound(r scheduler.Round) (vclock.Duration, error) {
+	mapDur, stage, err := p.ExecMapStage(r)
+	if err != nil {
+		return 0, err
+	}
+	redDur, err := stage()
+	if err != nil {
+		return 0, err
+	}
+	return mapDur + redDur, nil
+}
+
+// ExecMapStage implements runtime.StageExecutor: the inner executor's
+// map stage runs for real, then the timer prices the same round; the
+// returned reduce stage chains the inner reduce (for outputs) with the
+// timer's (for duration).
+func (p *pricedExec) ExecMapStage(r scheduler.Round) (vclock.Duration, runtime.ReduceStage, error) {
+	_, innerStage, err := p.inner.ExecMapStage(r)
+	if err != nil {
+		var lost *scheduler.RoundLostError
+		if errors.As(err, &lost) {
+			// Re-price the lost round's elapsed time deterministically;
+			// the requeue path must not observe wall time either.
+			if mapDur, _, perr := p.timer.ExecMapStage(r); perr == nil {
+				lost.Elapsed = mapDur
+			}
+		}
+		return 0, nil, err
+	}
+	mapDur, timerStage, err := p.timer.ExecMapStage(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	stage := func() (vclock.Duration, error) {
+		if _, err := innerStage(); err != nil {
+			return 0, err
+		}
+		return timerStage()
+	}
+	return mapDur, stage, nil
+}
+
+// TakeJobFailures implements runtime.FailureReporter.
+func (p *pricedExec) TakeJobFailures() []scheduler.JobFailure { return p.inner.TakeJobFailures() }
+
+// FaultStats implements runtime.FaultStatsSource.
+func (p *pricedExec) FaultStats() metrics.FaultStats { return p.inner.FaultStats() }
+
+// CacheStats implements runtime.CacheStatsSource.
+func (p *pricedExec) CacheStats() metrics.CacheStats { return p.inner.CacheStats() }

@@ -98,14 +98,26 @@ func newEngine(sched scheduler.Scheduler, exec Executor, src ArrivalSource, opts
 	}
 	e.res = &Result{Metrics: e.coll}
 	e.pol = &serialPolicy{e: e}
-	if opts.Pipeline {
-		se, okExec := exec.(StageExecutor)
-		sa, okSched := sched.(scheduler.StageAware)
-		if okExec && okSched {
-			e.pol = newPipelinedPolicy(e, sa, se, opts)
-		}
+	if WillPipeline(sched, exec, opts) {
+		e.pol = newPipelinedPolicy(e, sched.(scheduler.StageAware), exec.(StageExecutor), opts)
 	}
 	return e
+}
+
+// WillPipeline reports whether a run with this scheduler, executor and
+// options would use the stage-pipelined policy: pipelining must be
+// requested AND both sides must be stage-capable. Callers that label
+// results by execution mode (the benchmark harness's matrix cells) use
+// it to record what actually engaged rather than what was asked —
+// MRShare, for example, is never stage-aware, so its "pipelined" cell
+// is really a serial run.
+func WillPipeline(sched scheduler.Scheduler, exec Executor, opts Options) bool {
+	if !opts.Pipeline {
+		return false
+	}
+	_, okExec := exec.(StageExecutor)
+	_, okSched := sched.(scheduler.StageAware)
+	return okExec && okSched
 }
 
 // run is the state machine: admit due arrivals → form round → execute

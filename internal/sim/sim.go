@@ -67,52 +67,56 @@ func (c *Cluster) SetSpeed(id int, speed float64) {
 func (c *Cluster) TotalSlots() int { return len(c.nodes) * c.slotsPerNode }
 
 // CostModel holds the calibration knobs, all in seconds and megabytes.
+// The JSON tags are the cost-model vocabulary of the versioned workload
+// file format (internal/workload): a workload file can pin the exact
+// calibration its timings were produced under, so a benchmark report is
+// reproducible from the workload file alone.
 type CostModel struct {
 	// ScanMBps is the sequential scan rate of one map slot.
-	ScanMBps float64
+	ScanMBps float64 `json:"scanMBps"`
 	// MapMBps is the map-function processing rate for a weight-1 job;
 	// a job of weight w processes at MapMBps/w.
-	MapMBps float64
+	MapMBps float64 `json:"mapMBps,omitempty"`
 	// TaskOverhead is the fixed cost of launching one map task per
 	// block (JVM/task setup, heartbeat latency). A merged batch runs
 	// one physical task per block — all jobs share this cost — which
 	// is why small blocks hurt every scheme (§V-F).
-	TaskOverhead float64
+	TaskOverhead float64 `json:"taskOverhead,omitempty"`
 	// DispatchPerJob is the per-job, per-block cost of dispatching a
 	// block's records to one more mapper inside a merged task.
-	DispatchPerJob float64
+	DispatchPerJob float64 `json:"dispatchPerJob,omitempty"`
 	// RoundOverhead is the fixed coordination cost of one wave of map
 	// tasks, paid by every scheme on every round.
-	RoundOverhead float64
+	RoundOverhead float64 `json:"roundOverhead,omitempty"`
 	// JobSetup is the cost of submitting one MapReduce job to the
 	// framework. FIFO pays it once per job, MRShare once per merged
 	// batch, but S^3 pays it on *every* round, because each merged
 	// sub-job is a freshly initialized job (§IV-D3); this is the
 	// communication cost that lets MRShare beat S^3 in dense patterns
 	// (§V-D).
-	JobSetup float64
+	JobSetup float64 `json:"jobSetup,omitempty"`
 	// SharePenalty is the extra fraction of a block's scan cost paid
 	// per additional job sharing the scan (merged-record dispatch).
-	SharePenalty float64
+	SharePenalty float64 `json:"sharePenalty,omitempty"`
 	// TagPenalty is the per-job per-block cost of MRShare's merged
 	// meta-job pipeline: tagging each intermediate record with job ids
 	// and demultiplexing them in reduce. Only Tagged rounds pay it.
-	TagPenalty float64
+	TagPenalty float64 `json:"tagPenalty,omitempty"`
 	// ReducePerRound is the reduce-phase *work* one round's worth of a
 	// weight-1 job's intermediate data costs. Every scheme processes
 	// the same data, so every scheme pays it on every round.
-	ReducePerRound float64
+	ReducePerRound float64 `json:"reducePerRound,omitempty"`
 	// RemotePenalty is the extra fraction of a block's scan cost paid
 	// when none of the block's replica holders participate in the
 	// round — the data must cross the network (the locality issue
 	// §II-C raises for HOD). Slot checking therefore has a real
 	// trade-off: excluding a slow node strands its blocks.
-	RemotePenalty float64
+	RemotePenalty float64 `json:"remotePenalty,omitempty"`
 	// CrossRackPenalty is charged *in addition* to RemotePenalty when
 	// no replica holder even shares a rack with a participating node,
 	// so the fetch crosses the aggregation switch (the paper's cluster
 	// is three racks, §V-A). Ignored unless the store has a topology.
-	CrossRackPenalty float64
+	CrossRackPenalty float64 `json:"crossRackPenalty,omitempty"`
 	// ReduceSetup is the fixed cost of running one reduce phase
 	// (task setup, output commit) scaled by the job's reduce weight.
 	// S^3 pays it per job on *every* round — each sub-job is a
@@ -120,7 +124,7 @@ type CostModel struct {
 	// FIFO and MRShare pay it once, on the round that completes the
 	// job. This asymmetry is why heavy reduce output (200x, §V-E)
 	// erodes S^3's advantage.
-	ReduceSetup float64
+	ReduceSetup float64 `json:"reduceSetup,omitempty"`
 }
 
 // Validate reports whether the model is usable.

@@ -1,0 +1,521 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"s3sched/internal/dfs"
+	"s3sched/internal/mapreduce"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/sim"
+	"s3sched/internal/vclock"
+)
+
+// Versioned JSONL workload files are the benchmark harness's unit of
+// reproducibility: one file pins everything a differential run depends
+// on — cluster shape, input data (by generator seed), job arrivals,
+// cost-model calibration, fault schedule and cache budget — so two
+// runs of the same file are comparable byte for byte, across
+// schedulers, machines and commits (the OS4M position: scheduler
+// comparisons are only meaningful under a shared, reproducible
+// workload description).
+//
+// The format is JSON Lines: every non-blank, non-'#' line is one JSON
+// object tagged with a "kind" discriminator. The first record must be
+// the header; "file" records describe generated inputs; "job" records
+// are arrivals. Unknown fields are rejected so a typo'd knob cannot
+// silently revert to a default and skew a benchmark.
+//
+//	{"kind":"workload","version":1,"name":"canonical","nodes":4,...}
+//	{"kind":"file","name":"corpus","content":"text","blocks":32,...}
+//	{"kind":"job","id":1,"at":0,"file":"corpus","factory":"wordcount","param":"t"}
+
+// FileVersion is the workload schema version this package reads and
+// writes.
+const FileVersion = 1
+
+// Record kinds (the "kind" discriminator values).
+const (
+	KindHeader = "workload"
+	KindFile   = "file"
+	KindJob    = "job"
+)
+
+// Content kinds for generated input files.
+const (
+	// ContentText is the Zipf English-like corpus (wordcount family).
+	ContentText = "text"
+	// ContentLineitem is the TPC-H lineitem table (selection family).
+	ContentLineitem = "lineitem"
+	// ContentMeta is a metadata-only file: block placement without
+	// bytes. Sim-only workloads use it; engine cells cannot run it.
+	ContentMeta = "meta"
+)
+
+// Factory names jobs may reference. They mirror
+// remote.NewStandardRegistry plus the heavy-workload variant.
+const (
+	FactoryWordCount      = "wordcount"       // param = prefix to count
+	FactoryHeavyWordCount = "heavy-wordcount" // param = prefix; EmitFactor multiplies map output
+	FactorySelection      = "selection"       // param = max l_quantity (integer); map-only
+	FactoryAggregation    = "aggregation"     // param unused (Q1-style group-by sum)
+)
+
+// ErrUnsupportedVersion reports a workload file written by a newer (or
+// corrupted) schema. errors.Is-able so callers can distinguish "your
+// tool is old" from "your file is broken".
+var ErrUnsupportedVersion = errors.New("unsupported workload file version")
+
+// LineError is the typed parse error: every malformed line is reported
+// with its 1-based line number and the underlying cause.
+type LineError struct {
+	Line int
+	Err  error
+}
+
+// Error implements error.
+func (e *LineError) Error() string {
+	return fmt.Sprintf("workload: file line %d: %v", e.Line, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *LineError) Unwrap() error { return e.Err }
+
+// FileHeader is the workload file's first record: the environment
+// every cell of the benchmark matrix shares.
+type FileHeader struct {
+	Kind    string `json:"kind"`
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+	// Cluster shape.
+	Nodes        int `json:"nodes"`
+	SlotsPerNode int `json:"slotsPerNode"`
+	Replicas     int `json:"replicas"`
+	// Fault model for fault-enabled runs: per-block-read failure
+	// probability and the deterministic seed. Zero rate disables
+	// injection.
+	FaultRate float64 `json:"faultRate,omitempty"`
+	FaultSeed int64   `json:"faultSeed,omitempty"`
+	// Cache budget for cache-on cells, per node. CacheFrac is the
+	// fraction of scanned blocks the sim's warm-set model expects to
+	// retain (sim.Executor.EnableCache's second knob).
+	CacheMBPerNode int     `json:"cacheMBPerNode,omitempty"`
+	CacheFrac      float64 `json:"cacheFrac,omitempty"`
+	// Pipeline is the default stage-pipelining setting for consumers
+	// that run a single configuration rather than the full matrix.
+	Pipeline bool `json:"pipeline,omitempty"`
+	// Cost pins the sim calibration the file's timings were produced
+	// under; nil means the consumer's default (experiments.NormalModel).
+	Cost *sim.CostModel `json:"cost,omitempty"`
+}
+
+// FileSpec describes one generated input file.
+type FileSpec struct {
+	Kind    string `json:"kind"`
+	Name    string `json:"name"`
+	Content string `json:"content"`
+	// Blocks × BlockBytes is the file size; SegmentBlocks is the
+	// scheduler's segment granularity (dfs.PlanSegments).
+	Blocks        int   `json:"blocks"`
+	BlockBytes    int64 `json:"blockBytes"`
+	SegmentBlocks int   `json:"segmentBlocks"`
+	// Seed drives the deterministic generator.
+	Seed int64 `json:"seed,omitempty"`
+	// Vocab selects a synthetic vocabulary of this many pseudo-words
+	// for text content (0 = the built-in ~110-word list).
+	Vocab int `json:"vocab,omitempty"`
+}
+
+// FileJob is one job arrival.
+type FileJob struct {
+	Kind string          `json:"kind"`
+	ID   scheduler.JobID `json:"id"`
+	// At is the submission time in virtual seconds.
+	At      float64 `json:"at"`
+	File    string  `json:"file"`
+	Factory string  `json:"factory"`
+	Param   string  `json:"param,omitempty"`
+	// Weight/ReduceWeight scale the job's map/reduce cost (0 = 1.0).
+	Weight       float64 `json:"weight,omitempty"`
+	ReduceWeight float64 `json:"reduceWeight,omitempty"`
+	Priority     int     `json:"priority,omitempty"`
+	// NumReduce is the engine's reduce partition count (0 = 1).
+	NumReduce int `json:"numReduce,omitempty"`
+	// EmitFactor multiplies heavy-wordcount map output (0 = 1).
+	EmitFactor int `json:"emitFactor,omitempty"`
+}
+
+// File is one parsed workload.
+type File struct {
+	Header FileHeader
+	Files  []FileSpec
+	Jobs   []FileJob
+}
+
+// ParseFile reads a JSONL workload, rejecting malformed lines with
+// *LineError and semantic violations via Validate. It never panics on
+// malformed input.
+func ParseFile(r io.Reader) (*File, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	wf := &File{}
+	sawHeader := false
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 || raw[0] == '#' {
+			continue
+		}
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, &LineError{Line: line, Err: err}
+		}
+		decode := func(dst any) error {
+			dec := json.NewDecoder(bytes.NewReader(raw))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(dst); err != nil {
+				return &LineError{Line: line, Err: err}
+			}
+			if dec.More() {
+				return &LineError{Line: line, Err: fmt.Errorf("trailing data after record")}
+			}
+			return nil
+		}
+		switch probe.Kind {
+		case KindHeader:
+			if sawHeader {
+				return nil, &LineError{Line: line, Err: fmt.Errorf("duplicate %q record", KindHeader)}
+			}
+			if err := decode(&wf.Header); err != nil {
+				return nil, err
+			}
+			sawHeader = true
+		case KindFile:
+			if !sawHeader {
+				return nil, &LineError{Line: line, Err: fmt.Errorf("%q record before the %q header", KindFile, KindHeader)}
+			}
+			var fs FileSpec
+			if err := decode(&fs); err != nil {
+				return nil, err
+			}
+			wf.Files = append(wf.Files, fs)
+		case KindJob:
+			if !sawHeader {
+				return nil, &LineError{Line: line, Err: fmt.Errorf("%q record before the %q header", KindJob, KindHeader)}
+			}
+			var j FileJob
+			if err := decode(&j); err != nil {
+				return nil, err
+			}
+			wf.Jobs = append(wf.Jobs, j)
+		default:
+			return nil, &LineError{Line: line, Err: fmt.Errorf("unknown record kind %q", probe.Kind)}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading file: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("workload: file has no %q header record", KindHeader)
+	}
+	if err := wf.Validate(); err != nil {
+		return nil, err
+	}
+	return wf, nil
+}
+
+// Validate checks the workload's semantic invariants.
+func (wf *File) Validate() error {
+	h := &wf.Header
+	if h.Kind != KindHeader {
+		return fmt.Errorf("workload: header kind is %q, want %q", h.Kind, KindHeader)
+	}
+	if h.Version != FileVersion {
+		return fmt.Errorf("workload: %w: got %d, this build supports %d", ErrUnsupportedVersion, h.Version, FileVersion)
+	}
+	if h.Name == "" {
+		return fmt.Errorf("workload: header has no name")
+	}
+	if h.Nodes <= 0 || h.SlotsPerNode <= 0 {
+		return fmt.Errorf("workload %q: cluster must have positive nodes (%d) and slots per node (%d)", h.Name, h.Nodes, h.SlotsPerNode)
+	}
+	if h.Replicas < 1 || h.Replicas > h.Nodes {
+		return fmt.Errorf("workload %q: replicas %d out of range [1, %d nodes]", h.Name, h.Replicas, h.Nodes)
+	}
+	if h.FaultRate < 0 || h.FaultRate >= 1 {
+		return fmt.Errorf("workload %q: fault rate %v out of range [0, 1)", h.Name, h.FaultRate)
+	}
+	if h.CacheMBPerNode < 0 {
+		return fmt.Errorf("workload %q: negative cache budget %d MB/node", h.Name, h.CacheMBPerNode)
+	}
+	if h.CacheFrac < 0 || h.CacheFrac > 1 {
+		return fmt.Errorf("workload %q: cache fraction %v out of range [0, 1]", h.Name, h.CacheFrac)
+	}
+	if h.Cost != nil {
+		if err := h.Cost.Validate(); err != nil {
+			return fmt.Errorf("workload %q: %w", h.Name, err)
+		}
+	}
+	// v1 restricts workloads to a single input file — the schedulers'
+	// constructors take one segment plan. The schema keeps a file
+	// *list* so multi-file workloads are a version bump, not a format
+	// break.
+	if len(wf.Files) != 1 {
+		return fmt.Errorf("workload %q: v%d requires exactly one file record, got %d", h.Name, FileVersion, len(wf.Files))
+	}
+	f := &wf.Files[0]
+	if f.Name == "" {
+		return fmt.Errorf("workload %q: file has no name", h.Name)
+	}
+	switch f.Content {
+	case ContentText, ContentLineitem, ContentMeta:
+	default:
+		return fmt.Errorf("workload %q: file %q has unknown content %q (want %s|%s|%s)",
+			h.Name, f.Name, f.Content, ContentText, ContentLineitem, ContentMeta)
+	}
+	if f.Blocks <= 0 || f.BlockBytes <= 0 {
+		return fmt.Errorf("workload %q: file %q needs positive blocks (%d) and block bytes (%d)", h.Name, f.Name, f.Blocks, f.BlockBytes)
+	}
+	if f.SegmentBlocks < 1 || f.SegmentBlocks > f.Blocks {
+		return fmt.Errorf("workload %q: file %q segment size %d out of range [1, %d blocks]", h.Name, f.Name, f.SegmentBlocks, f.Blocks)
+	}
+	if f.Vocab < 0 {
+		return fmt.Errorf("workload %q: file %q has negative vocabulary %d", h.Name, f.Name, f.Vocab)
+	}
+	if f.Vocab > 0 && f.Content != ContentText {
+		return fmt.Errorf("workload %q: file %q sets vocab for %s content (text only)", h.Name, f.Name, f.Content)
+	}
+	if len(wf.Jobs) == 0 {
+		return fmt.Errorf("workload %q: no job records", h.Name)
+	}
+	seen := make(map[scheduler.JobID]bool, len(wf.Jobs))
+	for i := range wf.Jobs {
+		j := &wf.Jobs[i]
+		if j.ID <= 0 {
+			return fmt.Errorf("workload %q: job %d has non-positive id %d", h.Name, i+1, j.ID)
+		}
+		if seen[j.ID] {
+			return fmt.Errorf("workload %q: duplicate job id %d", h.Name, j.ID)
+		}
+		seen[j.ID] = true
+		if j.At < 0 {
+			return fmt.Errorf("workload %q: job %d arrives at negative time %v", h.Name, j.ID, j.At)
+		}
+		if j.File != f.Name {
+			return fmt.Errorf("workload %q: job %d reads %q, not the workload's file %q", h.Name, j.ID, j.File, f.Name)
+		}
+		if j.Weight < 0 || j.ReduceWeight < 0 {
+			return fmt.Errorf("workload %q: job %d has negative weight (%v/%v)", h.Name, j.ID, j.Weight, j.ReduceWeight)
+		}
+		if j.NumReduce < 0 {
+			return fmt.Errorf("workload %q: job %d has negative reduce count %d", h.Name, j.ID, j.NumReduce)
+		}
+		if j.EmitFactor < 0 {
+			return fmt.Errorf("workload %q: job %d has negative emit factor %d", h.Name, j.ID, j.EmitFactor)
+		}
+		switch j.Factory {
+		case FactoryWordCount, FactoryHeavyWordCount:
+			if f.Content != ContentText && f.Content != ContentMeta {
+				return fmt.Errorf("workload %q: job %d (%s) needs %s content, file %q is %s", h.Name, j.ID, j.Factory, ContentText, f.Name, f.Content)
+			}
+			if j.EmitFactor > 0 && j.Factory != FactoryHeavyWordCount {
+				return fmt.Errorf("workload %q: job %d sets emitFactor for factory %q (%s only)", h.Name, j.ID, j.Factory, FactoryHeavyWordCount)
+			}
+		case FactorySelection:
+			if f.Content != ContentLineitem && f.Content != ContentMeta {
+				return fmt.Errorf("workload %q: job %d (%s) needs %s content, file %q is %s", h.Name, j.ID, j.Factory, ContentLineitem, f.Name, f.Content)
+			}
+			if _, err := strconv.Atoi(j.Param); err != nil {
+				return fmt.Errorf("workload %q: job %d: selection param must be an integer quantity, got %q", h.Name, j.ID, j.Param)
+			}
+			if j.EmitFactor > 0 {
+				return fmt.Errorf("workload %q: job %d sets emitFactor for factory %q (%s only)", h.Name, j.ID, j.Factory, FactoryHeavyWordCount)
+			}
+		case FactoryAggregation:
+			if f.Content != ContentLineitem && f.Content != ContentMeta {
+				return fmt.Errorf("workload %q: job %d (%s) needs %s content, file %q is %s", h.Name, j.ID, j.Factory, ContentLineitem, f.Name, f.Content)
+			}
+			if j.EmitFactor > 0 {
+				return fmt.Errorf("workload %q: job %d sets emitFactor for factory %q (%s only)", h.Name, j.ID, j.Factory, FactoryHeavyWordCount)
+			}
+		default:
+			return fmt.Errorf("workload %q: job %d has unknown factory %q", h.Name, j.ID, j.Factory)
+		}
+	}
+	return nil
+}
+
+// Serialize writes the canonical JSONL form: header, file records,
+// then job records, one compact JSON object per line, fields in schema
+// order. Parse∘Serialize is the identity on parsed workloads, so the
+// serialized bytes (and Digest) are a stable fingerprint.
+func (wf *File) Serialize(w io.Writer) error {
+	writeRec := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("workload: serializing record: %w", err)
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+		return nil
+	}
+	if err := writeRec(&wf.Header); err != nil {
+		return err
+	}
+	for i := range wf.Files {
+		if err := writeRec(&wf.Files[i]); err != nil {
+			return err
+		}
+	}
+	for i := range wf.Jobs {
+		if err := writeRec(&wf.Jobs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Digest returns the sha256 hex digest of the canonical serialization
+// — the workload identity reports carry, so a report can never be
+// diffed against a baseline produced from a different workload.
+func (wf *File) Digest() string {
+	h := sha256.New()
+	if err := wf.Serialize(h); err != nil {
+		panic(fmt.Sprintf("workload: digesting: %v", err)) // in-memory write cannot fail
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Meta returns the scheduler-visible description of the job.
+func (j *FileJob) Meta() scheduler.JobMeta {
+	name := j.Factory
+	if j.Param != "" {
+		name += "-" + j.Param
+	}
+	return scheduler.JobMeta{
+		ID:           j.ID,
+		Name:         fmt.Sprintf("%s-%d", name, j.ID),
+		File:         j.File,
+		Weight:       j.Weight,
+		ReduceWeight: j.ReduceWeight,
+		Priority:     j.Priority,
+	}
+}
+
+// Entries returns the workload's arrivals in file order, ready for a
+// trace source.
+func (wf *File) Entries() []TraceEntry {
+	out := make([]TraceEntry, len(wf.Jobs))
+	for i := range wf.Jobs {
+		out[i] = TraceEntry{Job: wf.Jobs[i].Meta(), At: vclock.Time(wf.Jobs[i].At)}
+	}
+	return out
+}
+
+// EngineSpec builds the executable mapreduce job for engine runs. The
+// workload must have validated, so factory names and params are known
+// good; the error covers meta-content workloads, which have no bytes
+// to execute.
+func (j *FileJob) EngineSpec(content string) (mapreduce.JobSpec, error) {
+	if content == ContentMeta {
+		return mapreduce.JobSpec{}, fmt.Errorf("workload: job %d reads a %s file; engine runs need real content", j.ID, ContentMeta)
+	}
+	numReduce := j.NumReduce
+	if numReduce == 0 {
+		numReduce = 1
+	}
+	spec := mapreduce.JobSpec{
+		Name:      j.Meta().Name,
+		File:      j.File,
+		NumReduce: numReduce,
+	}
+	switch j.Factory {
+	case FactoryWordCount:
+		spec.Mapper = PatternCountMapper{Prefix: j.Param}
+		spec.Reducer = SumReducer{}
+		spec.Combiner = SumReducer{}
+	case FactoryHeavyWordCount:
+		// No combiner: shuffle and reduce see the multiplied output,
+		// like the paper's heavy workload.
+		spec.Mapper = PatternCountMapper{Prefix: j.Param, EmitFactor: j.EmitFactor}
+		spec.Reducer = SumReducer{}
+	case FactorySelection:
+		max, err := strconv.Atoi(j.Param)
+		if err != nil {
+			return mapreduce.JobSpec{}, fmt.Errorf("workload: job %d: selection param %q: %w", j.ID, j.Param, err)
+		}
+		spec.Mapper = SelectionMapper{MaxQuantity: max} // map-only
+	case FactoryAggregation:
+		spec.Mapper = AggregationMapper{}
+		spec.Reducer = SumReducer{}
+		spec.Combiner = SumReducer{}
+	default:
+		return mapreduce.JobSpec{}, fmt.Errorf("workload: job %d has unknown factory %q", j.ID, j.Factory)
+	}
+	return spec, nil
+}
+
+// EngineSpecs builds the executable specs for every job, keyed by id —
+// the map driver.NewEngineExecutor takes.
+func (wf *File) EngineSpecs() (map[scheduler.JobID]mapreduce.JobSpec, error) {
+	out := make(map[scheduler.JobID]mapreduce.JobSpec, len(wf.Jobs))
+	for i := range wf.Jobs {
+		spec, err := wf.Jobs[i].EngineSpec(wf.Files[0].Content)
+		if err != nil {
+			return nil, err
+		}
+		out[wf.Jobs[i].ID] = spec
+	}
+	return out, nil
+}
+
+// AddTo registers the generated file with the store.
+func (f *FileSpec) AddTo(store *dfs.Store) (*dfs.File, error) {
+	switch f.Content {
+	case ContentText:
+		if f.Vocab > 0 {
+			return AddTextFileVocab(store, f.Name, f.Blocks, f.BlockBytes, f.Seed, f.Vocab)
+		}
+		return AddTextFile(store, f.Name, f.Blocks, f.BlockBytes, f.Seed)
+	case ContentLineitem:
+		return AddLineitemFile(store, f.Name, f.Blocks, f.BlockBytes, f.Seed)
+	case ContentMeta:
+		return store.AddMetaFile(f.Name, f.Blocks, f.BlockBytes)
+	default:
+		return nil, fmt.Errorf("workload: file %q has unknown content %q", f.Name, f.Content)
+	}
+}
+
+// Summary renders a one-line human description ("canonical: 12 jobs
+// over corpus (32×16KiB text blocks) on 4×2 nodes").
+func (wf *File) Summary() string {
+	f := &wf.Files[0]
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d jobs over %s (%d×%s %s blocks) on %d×%d slots",
+		wf.Header.Name, len(wf.Jobs), f.Name, f.Blocks, byteSize(f.BlockBytes), f.Content,
+		wf.Header.Nodes, wf.Header.SlotsPerNode)
+	return b.String()
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

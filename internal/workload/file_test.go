@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"s3sched/internal/dfs"
+	"s3sched/internal/scheduler"
+)
+
+// goodWorkload is a small valid v1 workload exercising every record
+// kind and most optional fields.
+const goodWorkload = `# canonical tiny workload
+{"kind":"workload","version":1,"name":"tiny","nodes":2,"slotsPerNode":2,"replicas":2,"faultRate":0.01,"faultSeed":7,"cacheMBPerNode":4,"cacheFrac":0.5,"pipeline":true,"cost":{"scanMBps":50,"taskOverhead":0.1}}
+{"kind":"file","name":"corpus","content":"text","blocks":8,"blockBytes":4096,"segmentBlocks":2,"seed":11,"vocab":200}
+
+{"kind":"job","id":1,"at":0,"file":"corpus","factory":"wordcount","param":"t"}
+{"kind":"job","id":2,"at":1.5,"file":"corpus","factory":"heavy-wordcount","param":"a","weight":2,"reduceWeight":3,"numReduce":2,"emitFactor":4}
+`
+
+func parseGood(t *testing.T) *File {
+	t.Helper()
+	wf, err := ParseFile(strings.NewReader(goodWorkload))
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	return wf
+}
+
+func TestParseFileGood(t *testing.T) {
+	wf := parseGood(t)
+	if wf.Header.Name != "tiny" || wf.Header.Nodes != 2 || !wf.Header.Pipeline {
+		t.Fatalf("header mismatch: %+v", wf.Header)
+	}
+	if wf.Header.Cost == nil || wf.Header.Cost.ScanMBps != 50 || wf.Header.Cost.TaskOverhead != 0.1 {
+		t.Fatalf("cost model mismatch: %+v", wf.Header.Cost)
+	}
+	if len(wf.Files) != 1 || wf.Files[0].Vocab != 200 || wf.Files[0].SegmentBlocks != 2 {
+		t.Fatalf("file mismatch: %+v", wf.Files)
+	}
+	if len(wf.Jobs) != 2 || wf.Jobs[1].EmitFactor != 4 || wf.Jobs[1].At != 1.5 {
+		t.Fatalf("jobs mismatch: %+v", wf.Jobs)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	wf := parseGood(t)
+	var buf bytes.Buffer
+	if err := wf.Serialize(&buf); err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	again, err := ParseFile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse: %v\nserialized:\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(wf, again) {
+		t.Fatalf("round trip changed workload:\nbefore: %+v\nafter:  %+v", wf, again)
+	}
+	// Serialization is canonical: serializing the reparse is
+	// byte-identical, so Digest is stable.
+	var buf2 bytes.Buffer
+	if err := again.Serialize(&buf2); err != nil {
+		t.Fatalf("re-serialize: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("serialization not canonical:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+	if wf.Digest() != again.Digest() {
+		t.Fatalf("digest unstable: %s vs %s", wf.Digest(), again.Digest())
+	}
+}
+
+func TestParseFileErrors(t *testing.T) {
+	header := `{"kind":"workload","version":1,"name":"w","nodes":2,"slotsPerNode":1,"replicas":1}` + "\n"
+	file := `{"kind":"file","name":"f","content":"text","blocks":4,"blockBytes":64,"segmentBlocks":2}` + "\n"
+	job := `{"kind":"job","id":1,"at":0,"file":"f","factory":"wordcount","param":"t"}` + "\n"
+
+	cases := []struct {
+		name     string
+		in       string
+		wantLine int    // 0 = not a LineError
+		wantSub  string // substring of the error text
+	}{
+		{"empty", "", 0, "no \"workload\" header"},
+		{"not json", "nope\n", 1, ""},
+		{"unknown kind", header + `{"kind":"mystery"}` + "\n", 2, "unknown record kind"},
+		{"unknown field", header + `{"kind":"file","name":"f","content":"text","blocks":4,"blockBytes":64,"segmentBlocks":2,"zorp":1}` + "\n", 2, "zorp"},
+		{"record before header", file, 1, "before the \"workload\" header"},
+		{"duplicate header", header + header, 2, "duplicate"},
+		{"trailing data", header + `{"kind":"file","name":"f","content":"text","blocks":4,"blockBytes":64,"segmentBlocks":2}{"x":1}` + "\n", 2, "after top-level value"},
+		{"bad version", strings.Replace(header, `"version":1`, `"version":99`, 1) + file + job, 0, "version"},
+		{"no file", header + job, 0, "exactly one file"},
+		{"two files", header + file + strings.Replace(file, `"name":"f"`, `"name":"g"`, 1) + job, 0, "exactly one file"},
+		{"no jobs", header + file, 0, "no job records"},
+		{"bad content", header + strings.Replace(file, `"content":"text"`, `"content":"parquet"`, 1) + job, 0, "unknown content"},
+		{"bad segment", header + strings.Replace(file, `"segmentBlocks":2`, `"segmentBlocks":9`, 1) + job, 0, "segment size"},
+		{"dup job id", header + file + job + job, 0, "duplicate job id"},
+		{"negative at", header + file + strings.Replace(job, `"at":0`, `"at":-1`, 1), 0, "negative time"},
+		{"wrong file ref", header + file + strings.Replace(job, `"file":"f"`, `"file":"x"`, 1), 0, "not the workload's file"},
+		{"unknown factory", header + file + strings.Replace(job, `"factory":"wordcount"`, `"factory":"join"`, 1), 0, "unknown factory"},
+		{"selection on text", header + file + `{"kind":"job","id":1,"at":0,"file":"f","factory":"selection","param":"5"}` + "\n", 0, "needs lineitem content"},
+		{"selection bad param", header + strings.Replace(file, `"content":"text"`, `"content":"lineitem"`, 1) + `{"kind":"job","id":1,"at":0,"file":"f","factory":"selection","param":"five"}` + "\n", 0, "integer quantity"},
+		{"emit factor on plain", header + file + strings.Replace(job, `"param":"t"`, `"param":"t","emitFactor":2`, 1), 0, "emitFactor"},
+		{"bad replicas", strings.Replace(header, `"replicas":1`, `"replicas":3`, 1) + file + job, 0, "replicas"},
+		{"bad fault rate", strings.Replace(header, `"nodes":2`, `"nodes":2,"faultRate":1.5`, 1) + file + job, 0, "fault rate"},
+		{"bad cost", strings.Replace(header, `"nodes":2`, `"nodes":2,"cost":{"scanMBps":-1}`, 1) + file + job, 0, "ScanMBps"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseFile(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("ParseFile accepted %q", tc.in)
+			}
+			var le *LineError
+			if tc.wantLine > 0 {
+				if !errors.As(err, &le) {
+					t.Fatalf("error %v is not a *LineError", err)
+				}
+				if le.Line != tc.wantLine {
+					t.Fatalf("error on line %d, want %d: %v", le.Line, tc.wantLine, err)
+				}
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+	// Version mismatch is errors.Is-able.
+	_, err := ParseFile(strings.NewReader(strings.Replace(header, `"version":1`, `"version":2`, 1) + file + job))
+	if !errors.Is(err, ErrUnsupportedVersion) {
+		t.Fatalf("version error %v is not ErrUnsupportedVersion", err)
+	}
+}
+
+func TestFileJobMetaAndEntries(t *testing.T) {
+	wf := parseGood(t)
+	entries := wf.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries", len(entries))
+	}
+	if entries[0].Job.ID != 1 || entries[0].Job.Name != "wordcount-t-1" || entries[0].Job.File != "corpus" {
+		t.Fatalf("entry 0 meta: %+v", entries[0].Job)
+	}
+	if entries[1].At != 1.5 || entries[1].Job.Weight != 2 || entries[1].Job.ReduceWeight != 3 {
+		t.Fatalf("entry 1: %+v", entries[1])
+	}
+}
+
+func TestEngineSpecs(t *testing.T) {
+	wf := parseGood(t)
+	specs, err := wf.EngineSpecs()
+	if err != nil {
+		t.Fatalf("EngineSpecs: %v", err)
+	}
+	wc := specs[scheduler.JobID(1)]
+	if m, ok := wc.Mapper.(PatternCountMapper); !ok || m.Prefix != "t" || wc.Combiner == nil || wc.NumReduce != 1 {
+		t.Fatalf("wordcount spec: %+v", wc)
+	}
+	hv := specs[scheduler.JobID(2)]
+	if m, ok := hv.Mapper.(PatternCountMapper); !ok || m.EmitFactor != 4 || hv.Combiner != nil || hv.NumReduce != 2 {
+		t.Fatalf("heavy spec: %+v", hv)
+	}
+
+	// Meta-content workloads have no bytes to execute.
+	meta := parseGood(t)
+	meta.Files[0].Content = ContentMeta
+	meta.Files[0].Vocab = 0
+	if _, err := meta.EngineSpecs(); err == nil {
+		t.Fatal("EngineSpecs accepted a meta-content workload")
+	}
+}
+
+func TestFileSpecAddTo(t *testing.T) {
+	for _, content := range []string{ContentText, ContentLineitem, ContentMeta} {
+		store, err := dfs.NewStore(2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := FileSpec{Kind: KindFile, Name: "f", Content: content, Blocks: 3, BlockBytes: 256, SegmentBlocks: 1, Seed: 5}
+		f, err := fs.AddTo(store)
+		if err != nil {
+			t.Fatalf("AddTo(%s): %v", content, err)
+		}
+		if got := len(f.Blocks()); got != 3 {
+			t.Fatalf("AddTo(%s): %d blocks, want 3", content, got)
+		}
+	}
+}
+
+func TestFileSummary(t *testing.T) {
+	wf := parseGood(t)
+	s := wf.Summary()
+	for _, want := range []string{"tiny", "2 jobs", "corpus", "8×4KiB", "text", "2×2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Summary %q missing %q", s, want)
+		}
+	}
+}

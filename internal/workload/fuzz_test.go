@@ -1,7 +1,10 @@
 package workload
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -83,6 +86,51 @@ func FuzzTextGenSizes(f *testing.F) {
 		b := g.Block(idx, size)
 		if int64(len(b)) != size {
 			t.Fatalf("block size %d, want %d", len(b), size)
+		}
+	})
+}
+
+// FuzzWorkloadFile checks the workload file format's two contracts on
+// arbitrary bytes: malformed input produces an error (a *LineError for
+// per-line breakage) and never a panic, while accepted input
+// round-trips exactly — parse → serialize → parse yields an identical
+// workload and byte-identical canonical form, so Digest is stable.
+func FuzzWorkloadFile(f *testing.F) {
+	f.Add([]byte(goodWorkload))
+	f.Add([]byte(`{"kind":"workload","version":1,"name":"w","nodes":1,"slotsPerNode":1,"replicas":1}
+{"kind":"file","name":"f","content":"meta","blocks":2,"blockBytes":64,"segmentBlocks":1}
+{"kind":"job","id":1,"at":0,"file":"f","factory":"aggregation"}`))
+	f.Add([]byte("# comment only\n"))
+	f.Add([]byte(`{"kind":"workload","version":99}`))
+	f.Add([]byte(`{"kind":"job","id":1}`))
+	f.Add([]byte("{\"kind\":\"workload\"\xff"))
+	f.Add([]byte(`{"kind":"workload","version":1,"name":"w","nodes":1,"slotsPerNode":1,"replicas":1,"cost":{"scanMBps":1e309}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wf, err := ParseFile(bytes.NewReader(data))
+		if err != nil {
+			var le *LineError
+			if errors.As(err, &le) && le.Line <= 0 {
+				t.Fatalf("LineError with non-positive line %d: %v", le.Line, err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := wf.Serialize(&buf); err != nil {
+			t.Fatalf("Serialize of accepted workload failed: %v", err)
+		}
+		again, err := ParseFile(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of serialized workload failed: %v\nserialized:\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(wf, again) {
+			t.Fatalf("round trip changed workload:\nbefore: %+v\nafter:  %+v", wf, again)
+		}
+		var buf2 bytes.Buffer
+		if err := again.Serialize(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("serialization not canonical:\n%q\nvs\n%q", buf.String(), buf2.String())
 		}
 	})
 }
