@@ -37,6 +37,7 @@ func main() {
 	faultJSON := flag.String("faultjson", "", "faults experiment: also write the results as JSON to this file")
 	cacheMB := flag.Int("cachemb", 4096, "cache experiment: per-node block-cache budget in MB (4096 fits a node's share of the 160 GB input)")
 	cacheFrac := flag.Float64("cachefrac", 0.1, "cache experiment: cached scan cost as a fraction of disk cost, in [0,1]")
+	cachePolicy := flag.String("cachepolicy", "all", "cache experiment: eviction policy lru|2q|cursor, or all to sweep every policy")
 	cacheJSON := flag.String("cachejson", "", "cache experiment: also write the results as JSON to this file")
 	flag.Parse()
 
@@ -75,7 +76,7 @@ func main() {
 		err = firstErr(runTable1, runFig3, runExamples, runFig4All, runAblations, runWindowStudy, runDistributed, runJitter, runPoisson, runTaxonomy, runEstimator,
 			func() error { return runPipeline(*pipeMode) },
 			func() error { return runFaults(*faultRate, *faultSeed, *faultJSON) },
-			func() error { return runCache(*cacheMB, *cacheFrac, *cacheJSON) })
+			func() error { return runCache(*cacheMB, *cacheFrac, *cachePolicy, *cacheJSON) })
 	case "table1":
 		err = runTable1()
 	case "fig3":
@@ -105,7 +106,7 @@ func main() {
 	case "faults":
 		err = runFaults(*faultRate, *faultSeed, *faultJSON)
 	case "cache":
-		err = runCache(*cacheMB, *cacheFrac, *cacheJSON)
+		err = runCache(*cacheMB, *cacheFrac, *cachePolicy, *cacheJSON)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -484,14 +485,16 @@ func runFaults(rate float64, seed int64, jsonPath string) error {
 }
 
 // cacheJSONRec is the machine-readable cache-study record
-// (bench/cache.json).
+// (bench/cache-sweep.json).
 type cacheJSONRec struct {
-	Frac   float64          `json:"frac"`
-	Points []cacheJSONPoint `json:"points"`
-	Engine cacheJSONEngine  `json:"engine"`
+	Frac     float64           `json:"frac"`
+	Policies []string          `json:"policies"`
+	Points   []cacheJSONPoint  `json:"points"`
+	Engine   []cacheJSONEngine `json:"engine"`
 }
 
 type cacheJSONPoint struct {
+	Policy       string  `json:"policy"` // "" on the cache-off baseline
 	CacheMB      int     `json:"cacheMB"`
 	TET          float64 `json:"tetSeconds"`
 	ART          float64 `json:"artSeconds"`
@@ -499,32 +502,47 @@ type cacheJSONPoint struct {
 	CachedBlocks int64   `json:"cachedBlocks"`
 	HitRatio     float64 `json:"hitRatio"`
 	Evictions    int64   `json:"evictions"`
+	Prefetches   int64   `json:"prefetches"`
 }
 
 type cacheJSONEngine struct {
-	Jobs             int   `json:"jobs"`
-	OutputsIdentical bool  `json:"outputsIdentical"`
-	CacheHits        int64 `json:"cacheHits"`
-	ColdReads        int64 `json:"coldReads"`
-	WarmReads        int64 `json:"warmReads"`
+	Policy           string `json:"policy"`
+	Jobs             int    `json:"jobs"`
+	OutputsIdentical bool   `json:"outputsIdentical"`
+	CacheHits        int64  `json:"cacheHits"`
+	Prefetches       int64  `json:"prefetches"`
+	ColdReads        int64  `json:"coldReads"`
+	WarmReads        int64  `json:"warmReads"`
 }
 
-func runCache(perNodeMB int, frac float64, jsonPath string) error {
+func runCache(perNodeMB int, frac float64, policy, jsonPath string) error {
 	if perNodeMB <= 0 {
 		return fmt.Errorf("-cachemb must be positive, got %d", perNodeMB)
 	}
+	var policies []string
+	if policy != "all" {
+		if !dfs.ValidPolicy(policy) {
+			return fmt.Errorf("-cachepolicy %q: want one of %v, or all", policy, dfs.Policies())
+		}
+		policies = []string{policy}
+	}
 	fmt.Printf("== Block cache: repeated-arrival workload (sparse pattern, S3), warm reads at %.2fx disk cost ==\n", frac)
-	res, err := experiments.CacheStudy([]int{0, perNodeMB / 2, perNodeMB}, frac)
+	res, err := experiments.CacheStudy([]int{0, perNodeMB / 2, perNodeMB}, frac, policies)
 	if err != nil {
 		return err
 	}
-	rec := cacheJSONRec{Frac: res.Frac}
-	fmt.Printf("%-10s %10s %10s %8s %10s %9s %10s\n", "cache/node", "TET(s)", "ART(s)", "rounds", "warmReads", "hitRatio", "evictions")
+	rec := cacheJSONRec{Frac: res.Frac, Policies: res.Policies}
+	fmt.Printf("%-8s %-10s %10s %10s %8s %10s %9s %10s %10s\n", "policy", "cache/node", "TET(s)", "ART(s)", "rounds", "warmReads", "hitRatio", "evictions", "prefetches")
 	for _, pt := range res.Points {
-		fmt.Printf("%7d MB %10.1f %10.1f %8d %10d %8.1f%% %10d\n",
-			pt.CacheMB, pt.Summary.TET.Seconds(), pt.Summary.ART.Seconds(),
-			pt.Rounds, pt.CachedBlocks, 100*pt.HitRatio, pt.Evictions)
+		name := pt.Policy
+		if name == "" {
+			name = "off"
+		}
+		fmt.Printf("%-8s %7d MB %10.1f %10.1f %8d %10d %8.1f%% %10d %10d\n",
+			name, pt.CacheMB, pt.Summary.TET.Seconds(), pt.Summary.ART.Seconds(),
+			pt.Rounds, pt.CachedBlocks, 100*pt.HitRatio, pt.Evictions, pt.Prefetches)
 		rec.Points = append(rec.Points, cacheJSONPoint{
+			Policy:       pt.Policy,
 			CacheMB:      pt.CacheMB,
 			TET:          pt.Summary.TET.Seconds(),
 			ART:          pt.Summary.ART.Seconds(),
@@ -532,19 +550,25 @@ func runCache(perNodeMB int, frac float64, jsonPath string) error {
 			CachedBlocks: pt.CachedBlocks,
 			HitRatio:     pt.HitRatio,
 			Evictions:    pt.Evictions,
+			Prefetches:   pt.Prefetches,
 		})
 	}
-	rec.Engine = cacheJSONEngine{
-		Jobs:             res.Engine.Jobs,
-		OutputsIdentical: res.Engine.OutputsIdentical,
-		CacheHits:        res.Engine.CacheHits,
-		ColdReads:        res.Engine.ColdReads,
-		WarmReads:        res.Engine.WarmReads,
+	for _, eng := range res.Engine {
+		rec.Engine = append(rec.Engine, cacheJSONEngine{
+			Policy:           eng.Policy,
+			Jobs:             eng.Jobs,
+			OutputsIdentical: eng.OutputsIdentical,
+			CacheHits:        eng.CacheHits,
+			Prefetches:       eng.Prefetches,
+			ColdReads:        eng.ColdReads,
+			WarmReads:        eng.WarmReads,
+		})
+		fmt.Printf("engine check [%s]: %d jobs, outputs identical: %v, %d cache hits, %d prefetches (%d cold reads -> %d warm)\n",
+			eng.Policy, eng.Jobs, eng.OutputsIdentical, eng.CacheHits, eng.Prefetches, eng.ColdReads, eng.WarmReads)
 	}
-	fmt.Printf("engine check: %d jobs, outputs identical: %v, %d cache hits (%d cold reads -> %d warm)\n",
-		rec.Engine.Jobs, rec.Engine.OutputsIdentical, rec.Engine.CacheHits, rec.Engine.ColdReads, rec.Engine.WarmReads)
 	fmt.Println("(LRU under a circular scan is a cliff: an undersized cache evicts each block")
-	fmt.Println(" just before the cursor returns, so hits appear only once a node's share fits)")
+	fmt.Println(" just before the cursor returns. 2Q's protected queue keeps some of the cycle")
+	fmt.Println(" warm; the cursor policy pins and prefetches the scheduler's next segments)")
 	fmt.Println()
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(rec, "", "  ")

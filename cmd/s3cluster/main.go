@@ -72,6 +72,7 @@ var (
 	statAddr     = flag.String("status", "", "master/demo: serve a live status dashboard, Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
 	traceJSON    = flag.String("tracejson", "", "master/demo: write the run's span tree as Chrome trace-event JSON to this file")
 	cacheMB      = flag.Int64("cachemb", 0, "worker/demo: per-worker block-cache budget in MB (0 = caching off)")
+	cachePolicy  = flag.String("cachepolicy", dfs.PolicyLRU, "worker/demo: block-cache eviction policy: lru | 2q | cursor")
 	serve        = flag.Bool("serve", false, "master/demo: stay up as a daemon accepting live job submissions via POST /jobs on the status address; SIGINT drains and exits")
 	journalPath  = flag.String("journal", "", "master/demo: write-ahead journal path; admissions and round commits are logged so a restart on the same path recovers in-flight jobs (requires -serve)")
 	fsyncMode    = flag.String("fsync", "always", "master/demo: journal fsync policy: always (survives machine crashes) or never (survives process crashes only, faster)")
@@ -113,7 +114,7 @@ func workerStore() (*dfs.Store, error) {
 		return nil, err
 	}
 	if *cacheMB > 0 {
-		if _, err := store.EnableCache(*cacheMB << 20); err != nil {
+		if _, err := store.EnableCachePolicy(*cacheMB<<20, *cachePolicy); err != nil {
 			return nil, err
 		}
 	}

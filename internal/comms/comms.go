@@ -96,14 +96,18 @@ type MemberEvent struct {
 // every heartbeat so the master sees per-worker progress without an
 // extra stats poll.
 type WireStats struct {
-	BlockReads     int64
-	BytesScanned   int64
-	FailedReads    int64
-	MapTasks       int64
-	ReduceTasks    int64
-	CacheHits      int64
-	CacheMisses    int64
-	CacheEvictions int64
+	BlockReads          int64
+	BytesScanned        int64
+	FailedReads         int64
+	MapTasks            int64
+	ReduceTasks         int64
+	CacheHits           int64
+	CacheMisses         int64
+	CacheEvictions      int64
+	CachePrefetches     int64
+	CachePrefetchFailed int64
+	CacheBytes          int64
+	CachePinnedBytes    int64
 }
 
 // ConnStats counts one peer connection's traffic in both directions.

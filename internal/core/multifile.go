@@ -91,13 +91,27 @@ func (m *MultiFile) Submit(job scheduler.JobMeta, at vclock.Time) error {
 // candidate segments tie on job priority under the circular-scan rule,
 // the one with the most cached bytes is served first, so a warm segment
 // is scanned before the cache evicts it. advisor reports the cached
-// byte count for a candidate segment's blocks (dfs.Store.CachedBytes
-// and sim.Executor.CachedBytes both fit). Within each file the cursor
-// order and Algorithm 1 merge semantics are untouched — the advisor
-// only arbitrates *between* files. Pass nil to restore pure
+// byte count for a candidate segment's blocks. dfs.Store.CachedBytes
+// and sim.Executor.CachedBytes both fit; dfs.Store.AdvisedBytes is the
+// strictly stronger signal — it also counts bytes committed to
+// in-flight prefetches of pinned segments, so a file whose readahead
+// is mid-flight competes as if already warm instead of losing the tie
+// and letting the prefetched bytes go cold. Within each file the
+// cursor order and Algorithm 1 merge semantics are untouched — the
+// advisor only arbitrates *between* files. Pass nil to restore pure
 // round-robin tie-breaking.
 func (m *MultiFile) SetCacheAdvisor(advisor func(blocks []dfs.BlockID) int64) {
 	m.cachedBytes = advisor
+}
+
+// SetScanHinter forwards cache guidance from every file's queue to h:
+// each queue hints independently as its own cursor advances, and the
+// hints carry the file name, so one cache can track the pin windows of
+// all registered files at once.
+func (m *MultiFile) SetScanHinter(h ScanHinter) {
+	for _, q := range m.queues {
+		q.SetScanHinter(h)
+	}
 }
 
 // maxPriority returns the highest priority among a queue's active

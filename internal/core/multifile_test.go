@@ -277,3 +277,35 @@ func TestMultiFileCacheAdvisorNeverOverridesPriority(t *testing.T) {
 	}
 	m.RoundDone(r, 0)
 }
+
+func TestMultiFileScanHinterCarriesFileNames(t *testing.T) {
+	m, err := NewMultiFile(multiPlans(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hinted := map[string]int{}
+	m.SetScanHinter(func(h dfs.ScanHint) { hinted[h.File]++ })
+	if err := m.Submit(fileJob(1, "alpha", 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(fileJob(2, "beta", 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		r, ok := m.NextRound(0)
+		if !ok {
+			break
+		}
+		m.RoundDone(r, 0)
+	}
+	// Each file's queue hints independently as its own cursor advances,
+	// naming its file so one cache can track every pin window at once.
+	if hinted["alpha"] == 0 || hinted["beta"] == 0 {
+		t.Fatalf("hints per file = %v, want both files hinted", hinted)
+	}
+	for f := range hinted {
+		if f != "alpha" && f != "beta" {
+			t.Fatalf("hint for unknown file %q", f)
+		}
+	}
+}

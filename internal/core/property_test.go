@@ -8,6 +8,7 @@ import (
 
 	"s3sched/internal/dfs"
 	"s3sched/internal/driver"
+	"s3sched/internal/faults"
 	"s3sched/internal/mapreduce"
 	"s3sched/internal/scheduler"
 	"s3sched/internal/vclock"
@@ -447,5 +448,166 @@ func TestCacheTransparencyProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 18}); err != nil {
 		t.Error(err)
+	}
+}
+
+// fixedDurExec wraps the real EngineExecutor but reports constant
+// stage durations, so the driver's virtual clock — and with it the
+// scheduler's admission decisions and round sequence — is identical
+// across runs whose physical work differs (cache on vs off, prefetch
+// vs demand loads). Wall time never reaches the scheduler, which makes
+// round counts directly comparable.
+type fixedDurExec struct {
+	inner *driver.EngineExecutor
+}
+
+func (f *fixedDurExec) ExecRound(r scheduler.Round) (vclock.Duration, error) {
+	mapDur, stage, err := f.ExecMapStage(r)
+	if err != nil {
+		return 0, err
+	}
+	redDur, err := stage()
+	if err != nil {
+		return 0, err
+	}
+	return mapDur + redDur, nil
+}
+
+func (f *fixedDurExec) ExecMapStage(r scheduler.Round) (vclock.Duration, driver.ReduceStage, error) {
+	_, stage, err := f.inner.ExecMapStage(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	return 1, func() (vclock.Duration, error) {
+		if _, err := stage(); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}, nil
+}
+
+func (f *fixedDurExec) TakeJobFailures() []scheduler.JobFailure { return f.inner.TakeJobFailures() }
+
+// The tentpole acceptance property: every eviction policy is invisible
+// to computation on the real engine, with and without injected read
+// faults. For each cell of {lru, 2q, cursor} × {faults off, on}, the
+// cache-on run (scan hints wired, cursor prefetching on the real read
+// path) must produce byte-identical job outputs to the cache-off run,
+// march through the *same number of rounds*, and never do more
+// physical reads. Fault injection stays below the retry budget, so
+// recovery is guaranteed and outputs stay exact.
+func TestCachePolicyMatrixTransparency(t *testing.T) {
+	const (
+		nodes     = 4
+		numBlocks = 12
+		blockSize = int64(2 << 10)
+		numJobs   = 3
+		seed      = 23
+	)
+	type outcome struct {
+		results map[scheduler.JobID]*mapreduce.Result
+		rounds  int
+		reads   int64
+		hits    int64
+	}
+	run := func(t *testing.T, policy string, budget int64, withFaults bool) outcome {
+		t.Helper()
+		store := dfs.MustStore(nodes, 1)
+		if _, err := workload.AddTextFile(store, "corpus", numBlocks, blockSize, seed); err != nil {
+			t.Fatal(err)
+		}
+		if budget > 0 {
+			if _, err := store.EnableCachePolicy(budget, policy); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f, err := store.File("corpus")
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := dfs.PlanSegments(f, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine := mapreduce.NewEngine(mapreduce.MustCluster(store, 1))
+		if withFaults {
+			inj, err := faults.New(faults.Config{Seed: 99, ReadFailRate: 0.2, MaxInjectedPerBlock: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			store.SetReadFault(inj.FailRead)
+			if err := engine.SetRetryPolicy(mapreduce.RetryPolicy{MaxAttempts: 4}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		specs := make(map[scheduler.JobID]mapreduce.JobSpec)
+		var arrivals []driver.Arrival
+		prefixes := workload.DistinctPrefixes(numJobs)
+		for i := 0; i < numJobs; i++ {
+			id := scheduler.JobID(i + 1)
+			specs[id] = workload.WordCountJob(fmt.Sprintf("wc%d", i), "corpus", prefixes[i], 2)
+			// Staggered arrivals: later jobs join mid-scan and wrap
+			// around the file, so the run re-reads blocks and the cache
+			// has repeats to absorb.
+			arrivals = append(arrivals, driver.Arrival{
+				Job: scheduler.JobMeta{ID: id, File: "corpus"},
+				At:  vclock.Time(2 * i),
+			})
+		}
+		exec := driver.NewEngineExecutor(engine, specs)
+		sched := New(plan, nil)
+		if budget > 0 {
+			sched.SetScanHinter(store.HandleScanHint)
+		}
+		res, err := driver.Run(sched, &fixedDurExec{inner: exec}, arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{
+			results: exec.Results(),
+			rounds:  res.Rounds,
+			reads:   store.Stats().BlockReads,
+			hits:    store.CacheStats().Hits,
+		}
+	}
+	for _, withFaults := range []bool{false, true} {
+		withFaults := withFaults
+		suffix := "faults-off"
+		if withFaults {
+			suffix = "faults-on"
+		}
+		cold := run(t, "", 0, withFaults)
+		if len(cold.results) != numJobs {
+			t.Fatalf("%s: cold run finished %d jobs, want %d", suffix, len(cold.results), numJobs)
+		}
+		for _, policy := range dfs.Policies() {
+			policy := policy
+			t.Run(policy+"/"+suffix, func(t *testing.T) {
+				warm := run(t, policy, 6*blockSize, withFaults)
+				if warm.rounds != cold.rounds {
+					t.Fatalf("round count diverged: cache-on %d, cache-off %d", warm.rounds, cold.rounds)
+				}
+				if warm.reads > cold.reads {
+					t.Fatalf("cache increased physical reads: %d > %d", warm.reads, cold.reads)
+				}
+				if warm.hits == 0 {
+					t.Fatal("cache-on run recorded no hits")
+				}
+				if len(warm.results) != len(cold.results) {
+					t.Fatalf("job count diverged: %d vs %d", len(warm.results), len(cold.results))
+				}
+				for id, rc := range cold.results {
+					rw := warm.results[id]
+					if rw == nil || rc.Name != rw.Name || len(rc.Output) != len(rw.Output) {
+						t.Fatalf("job %d output shape diverged", id)
+					}
+					for i := range rc.Output {
+						if rc.Output[i] != rw.Output[i] {
+							t.Fatalf("job %d output[%d] diverged: %+v vs %+v", id, i, rc.Output[i], rw.Output[i])
+						}
+					}
+				}
+			})
+		}
 	}
 }

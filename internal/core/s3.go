@@ -71,7 +71,14 @@ type S3 struct {
 	// (MapDone) but whose reduce is still draining, the jobs that round
 	// completed. RoundDone pops in round order.
 	pendingDone [][]scheduler.JobID
+	// hinter, when set, receives the cache guidance derived from each
+	// cursor advance (SetScanHinter).
+	hinter ScanHinter
 }
+
+// ScanHinter consumes the JQM's cache guidance. dfs.Store.HandleScanHint
+// and the sim executor's HandleScanHint both satisfy it.
+type ScanHinter func(dfs.ScanHint)
 
 var (
 	_ scheduler.Scheduler   = (*S3)(nil)
@@ -96,6 +103,15 @@ func (s *S3) Plan() *dfs.SegmentPlan { return s.plan }
 
 // Cursor returns the next segment to be scheduled.
 func (s *S3) Cursor() int { return s.cursor }
+
+// SetScanHinter installs the consumer of the JQM's cache guidance. On
+// every cursor advance the scheduler emits one dfs.ScanHint: the new
+// cursor segment (and, when the file has more than two segments, the
+// one after it) pinned, the just-scanned segment demoted, and — when
+// some active job is guaranteed to scan it — the segment after the new
+// cursor as the prefetch target, so its readahead overlaps the current
+// round's work. Not part of Snapshot state; re-wire after Restore.
+func (s *S3) SetScanHinter(h ScanHinter) { s.hinter = h }
 
 // Active returns a snapshot of the active job states, ordered by
 // submission.
@@ -248,8 +264,45 @@ func (s *S3) retireScan(r scheduler.Round, now vclock.Time) []scheduler.JobID {
 
 	s.cursor = s.plan.Next(s.cursor)
 	s.log.Addf(now, trace.SegmentAdvanced, -1, s.cursor, "")
+	s.emitHint(r.Segment)
 	sort.Slice(done, func(i, j int) bool { return done[i] < done[j] })
 	return done
+}
+
+// emitHint derives one cursor advance's cache guidance. scanned is the
+// segment the finished round consumed; s.cursor already points at the
+// next one. Prefetch names the segment *after* the new cursor — the
+// cursor segment itself is being formed into the next round, so only
+// s+2 gives the readahead a full round of lookahead — and only when
+// some still-active job has at least two sub-jobs left, which (by the
+// active-jobs-need-the-cursor invariant) guarantees that segment will
+// be scanned: a speculative read of a never-scanned segment would
+// charge a physical scan that cache transparency forbids.
+func (s *S3) emitHint(scanned int) {
+	if s.hinter == nil {
+		return
+	}
+	k := s.plan.NumSegments()
+	next := s.plan.Next(s.cursor)
+	h := dfs.ScanHint{
+		File: s.plan.File().Name,
+		Pin:  [][]dfs.BlockID{s.plan.Blocks(s.cursor)},
+	}
+	if k > 2 {
+		h.Pin = append(h.Pin, s.plan.Blocks(next))
+	}
+	if k > 1 {
+		h.Demote = s.plan.Blocks(scanned)
+	}
+	if k > 2 {
+		for _, js := range s.active {
+			if js.Remaining >= 2 {
+				h.Prefetch = s.plan.Blocks(next)
+				break
+			}
+		}
+	}
+	s.hinter(h)
 }
 
 // RequeueRound implements scheduler.Recoverable — the paper's dynamic

@@ -1,4 +1,5 @@
-// Block cache: a per-node, byte-budgeted LRU over block contents.
+// Block cache: a per-node, byte-budgeted block-content cache with
+// pluggable eviction policies and scheduler-driven prefetch.
 //
 // The S^3 premise is that a segment scanned once serves every
 // co-scheduled job, but closely spaced arrivals that just miss a batch
@@ -8,14 +9,24 @@
 // concurrent readers of a cold block coalesce into one disk read
 // (single-flight), so a burst of mappers never stampedes the source.
 //
+// Replacement is delegated to an EvictionPolicy (policy.go): plain LRU
+// collapses to zero hits when the circular scan's cycle exceeds the
+// budget, so scan-resistant policies (2q, cursor) can be selected per
+// cache. The cursor policy additionally accepts ScanHints from the JQM
+// and supports PrefetchAsync: reading the next segment ahead of the
+// cursor during the reduce stage, coalesced with demand reads through
+// the same in-flight table.
+//
 // Fault interaction is deliberate: the ReadFault hook fires on cache
 // misses only (a cached block never touches the disk path, so it cannot
-// fail), and a block whose load fails is never cached — the error
-// propagates to every coalesced waiter and the next read retries cold.
+// fail), and a block whose load fails is never cached — a failed demand
+// load propagates its error to every coalesced waiter and the next read
+// retries cold; a failed prefetch is counted, dropped, and never seen
+// by readers (a waiter coalesced onto it falls through to its own cold
+// load).
 package dfs
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
 )
@@ -26,12 +37,14 @@ type CacheEventKind int
 const (
 	// CacheHit fires when a read is served from the cache.
 	CacheHit CacheEventKind = iota
-	// CacheEvict fires when the LRU discards a block to fit the budget.
+	// CacheEvict fires when the policy discards a block to fit the budget.
 	CacheEvict
+	// CachePrefetch fires when a prefetched block lands in the cache.
+	CachePrefetch
 )
 
-// CacheEvent describes one cache hit or eviction for observers (trace
-// wiring, tests).
+// CacheEvent describes one cache hit, eviction or prefetch completion
+// for observers (trace wiring, tests).
 type CacheEvent struct {
 	Kind  CacheEventKind
 	Block BlockID
@@ -39,12 +52,18 @@ type CacheEvent struct {
 	Bytes int64  // size of the block involved
 }
 
-// CacheStats is a snapshot of cumulative cache accounting.
+// CacheStats is a snapshot of cumulative cache accounting. Hits,
+// Misses, Evictions, Prefetches and PrefetchFailed are monotonic
+// counters (zeroed by ResetStats); Bytes and PinnedBytes are gauges of
+// the current footprint.
 type CacheStats struct {
-	Hits      int64 // reads served from cache
-	Misses    int64 // reads that went to the underlying source (incl. coalesced waiters)
-	Evictions int64 // blocks discarded to fit the byte budget
-	Bytes     int64 // bytes currently cached across all nodes
+	Hits           int64 // reads served from cache (incl. prefetched blocks)
+	Misses         int64 // reads that went to the underlying source (incl. coalesced waiters)
+	Evictions      int64 // blocks discarded to fit the byte budget
+	Prefetches     int64 // prefetch loads issued
+	PrefetchFailed int64 // prefetch loads that failed (block not cached)
+	Bytes          int64 // bytes currently cached across all nodes
+	PinnedBytes    int64 // bytes currently pin-protected across all nodes
 }
 
 // HitRatio returns hits / (hits + misses), or 0 when no reads occurred.
@@ -56,68 +75,85 @@ func (s CacheStats) HitRatio() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// cacheEntry is one cached block on one node's shard.
-type cacheEntry struct {
-	block BlockID
-	data  []byte
-}
-
 // inflightLoad coalesces concurrent loads of the same cold block.
+// Demand loads and prefetch loads share the table, so a demand read
+// arriving while the prefetcher is mid-flight waits for that one source
+// read instead of issuing its own.
 type inflightLoad struct {
-	done chan struct{}
-	data []byte
-	err  error
+	done     chan struct{}
+	data     []byte
+	err      error
+	prefetch bool  // speculative load: errors are swallowed, waiters re-check
+	size     int64 // declared size (prefetch only; counted by AdvisedBytes)
 }
 
-// nodeCache is one node's shard: an LRU list (front = most recent)
-// plus the in-flight loads for blocks currently being read from the
-// source.
+// nodeCache is one node's shard: the policy-managed residency metadata
+// (shared with MetaCache via cacheShard), the cached contents, and the
+// in-flight loads for blocks currently being read from the source.
 type nodeCache struct {
-	entries  map[BlockID]*list.Element
-	lru      *list.List
-	bytes    int64
+	meta     *cacheShard
+	data     map[BlockID][]byte
 	inflight map[BlockID]*inflightLoad
 }
 
-// BlockCache is a per-node, byte-budgeted LRU block cache with
-// single-flight loading. Each node gets an independent shard with the
-// same byte budget, mirroring node-local page caches: a block cached on
-// node 3 does not occupy budget on node 5. Reads not attributed to a
-// node (Store.ReadBlock) share one pseudo-node shard.
+// BlockCache is a per-node, byte-budgeted block cache with
+// single-flight loading and a pluggable eviction policy. Each node gets
+// an independent shard with the same byte budget, mirroring node-local
+// page caches: a block cached on node 3 does not occupy budget on node
+// 5. Reads not attributed to a node (Store.ReadBlock) share one
+// pseudo-node shard.
 //
 // Cached reads return the stored slice without copying — the same
 // aliasing contract as BlockSource — so callers must not mutate
 // returned data.
 type BlockCache struct {
-	budget int64 // per-node byte budget
+	budget int64  // per-node byte budget
+	policy string // eviction policy name (validated at construction)
 
-	mu        sync.Mutex
-	nodes     map[NodeID]*nodeCache
-	bytes     int64 // total cached bytes across shards
-	hits      int64
-	misses    int64
-	evictions int64
-	obs       func(CacheEvent) // fired outside mu; set before use
+	mu             sync.Mutex
+	nodes          map[NodeID]*nodeCache
+	lastHints      map[string]ScanHint // per file; replayed onto fresh shards
+	bytes          int64               // total cached bytes across shards
+	hits           int64
+	misses         int64
+	evictions      int64
+	prefetches     int64
+	prefetchFailed int64
+	obs            func(CacheEvent) // fired outside mu; set before use
 }
 
 // NewBlockCache creates a cache giving every node shard the same byte
-// budget.
+// budget, using the baseline LRU policy.
 func NewBlockCache(bytesPerNode int64) (*BlockCache, error) {
+	return NewBlockCachePolicy(bytesPerNode, PolicyLRU)
+}
+
+// NewBlockCachePolicy creates a cache giving every node shard the same
+// byte budget and the named eviction policy (see Policies).
+func NewBlockCachePolicy(bytesPerNode int64, policy string) (*BlockCache, error) {
 	if bytesPerNode <= 0 {
 		return nil, fmt.Errorf("dfs: cache budget must be positive, got %d bytes", bytesPerNode)
 	}
+	if _, err := NewPolicy(policy, bytesPerNode); err != nil {
+		return nil, err
+	}
 	return &BlockCache{
-		budget: bytesPerNode,
-		nodes:  make(map[NodeID]*nodeCache),
+		budget:    bytesPerNode,
+		policy:    policy,
+		nodes:     make(map[NodeID]*nodeCache),
+		lastHints: make(map[string]ScanHint),
 	}, nil
 }
 
 // Budget returns the per-node byte budget.
 func (c *BlockCache) Budget() int64 { return c.budget }
 
-// SetObserver installs a callback fired on every hit and eviction.
-// Install before the cache is in use; the callback runs outside the
-// cache lock and must be safe for concurrent use.
+// Policy returns the eviction policy name the cache was built with.
+func (c *BlockCache) Policy() string { return c.policy }
+
+// SetObserver installs a callback fired on every hit, eviction and
+// prefetch completion. Install before the cache is in use; the callback
+// runs outside the cache lock and must be safe for concurrent use.
 func (c *BlockCache) SetObserver(obs func(CacheEvent)) {
 	c.mu.Lock()
 	c.obs = obs
@@ -127,9 +163,19 @@ func (c *BlockCache) SetObserver(obs func(CacheEvent)) {
 func (c *BlockCache) shard(node NodeID) *nodeCache {
 	nc, ok := c.nodes[node]
 	if !ok {
+		pol, err := NewPolicy(c.policy, c.budget)
+		if err != nil {
+			panic(err) // unreachable: name validated at construction
+		}
+		// Replay the newest hint per file so a shard created mid-pass
+		// starts with the current pin window. Demotes only act on
+		// resident blocks, so replay order across files is irrelevant.
+		for _, h := range c.lastHints {
+			pol.Hint(h)
+		}
 		nc = &nodeCache{
-			entries:  make(map[BlockID]*list.Element),
-			lru:      list.New(),
+			meta:     newCacheShard(pol),
+			data:     make(map[BlockID][]byte),
 			inflight: make(map[BlockID]*inflightLoad),
 		}
 		c.nodes[node] = nc
@@ -140,29 +186,43 @@ func (c *BlockCache) shard(node NodeID) *nodeCache {
 // Read returns the block's contents from node's shard, calling load on
 // a miss. Concurrent misses of the same (block, node) coalesce: one
 // caller runs load, the rest wait for its result. Every call counts as
-// exactly one hit or one miss (coalesced waiters are misses), so
-// hits + misses always equals the number of Read calls. A failed load
-// is never cached; the error reaches every coalesced waiter.
+// exactly one hit or one miss (coalesced waiters on a demand load are
+// misses), so hits + misses always equals the number of Read calls. A
+// failed load is never cached; the error reaches every coalesced
+// waiter of a demand load, while a reader that coalesced onto a failed
+// prefetch retries with its own cold load.
 func (c *BlockCache) Read(id BlockID, node NodeID, load func() ([]byte, error)) ([]byte, error) {
 	c.mu.Lock()
 	nc := c.shard(node)
-	if el, ok := nc.entries[id]; ok {
-		nc.lru.MoveToFront(el)
-		c.hits++
-		ent := el.Value.(*cacheEntry)
-		data, obs := ent.data, c.obs
-		c.mu.Unlock()
-		if obs != nil {
-			obs(CacheEvent{Kind: CacheHit, Block: id, Node: node, Bytes: int64(len(data))})
+	for {
+		if data, ok := nc.data[id]; ok {
+			nc.meta.access(id)
+			c.hits++
+			obs := c.obs
+			c.mu.Unlock()
+			if obs != nil {
+				obs(CacheEvent{Kind: CacheHit, Block: id, Node: node, Bytes: int64(len(data))})
+			}
+			return data, nil
 		}
-		return data, nil
-	}
-	c.misses++
-	if fl, ok := nc.inflight[id]; ok {
+		fl, ok := nc.inflight[id]
+		if !ok {
+			break
+		}
+		if !fl.prefetch {
+			c.misses++
+			c.mu.Unlock()
+			<-fl.done
+			return fl.data, fl.err
+		}
+		// Prefetch in flight: wait for that one source read, then
+		// re-examine the shard. Success turns this read into a hit;
+		// failure falls through to a cold demand load.
 		c.mu.Unlock()
 		<-fl.done
-		return fl.data, fl.err
+		c.mu.Lock()
 	}
+	c.misses++
 	fl := &inflightLoad{done: make(chan struct{})}
 	nc.inflight[id] = fl
 	c.mu.Unlock()
@@ -171,56 +231,109 @@ func (c *BlockCache) Read(id BlockID, node NodeID, load func() ([]byte, error)) 
 
 	c.mu.Lock()
 	delete(nc.inflight, id)
-	var evicted []CacheEvent
+	var events []CacheEvent
 	if fl.err == nil {
-		evicted = c.insertLocked(nc, node, id, fl.data)
+		events, _ = c.insertLocked(nc, node, id, fl.data)
 	}
 	obs := c.obs
 	c.mu.Unlock()
 	close(fl.done)
 	if obs != nil {
-		for _, ev := range evicted {
+		for _, ev := range events {
 			obs(ev)
 		}
 	}
 	return fl.data, fl.err
 }
 
-// insertLocked caches data on nc, evicting LRU entries until the shard
-// fits its budget. Blocks larger than the whole budget are served but
-// never cached. Returns the eviction events to fire once the lock is
-// released.
-func (c *BlockCache) insertLocked(nc *nodeCache, node NodeID, id BlockID, data []byte) []CacheEvent {
-	n := int64(len(data))
-	if n > c.budget {
-		return nil
+// PrefetchAsync starts a speculative background load of the block into
+// node's shard, returning true when a load was issued. It declines —
+// without side effects — when the block is already resident or in
+// flight, when it exceeds the whole budget, or when the shard's pinned
+// bytes plus this block would overflow the budget (prefetch must never
+// force pinned data out). The load is registered in the in-flight
+// table before returning, so demand reads arriving afterwards coalesce
+// onto it instead of reading the source again. Errors are swallowed:
+// the block simply is not cached and PrefetchFailed is incremented.
+func (c *BlockCache) PrefetchAsync(id BlockID, node NodeID, size int64, load func() ([]byte, error)) bool {
+	c.mu.Lock()
+	nc := c.shard(node)
+	if _, ok := nc.data[id]; ok {
+		c.mu.Unlock()
+		return false
 	}
-	if _, dup := nc.entries[id]; dup {
-		// Another path already cached it (possible when a faulted read
-		// retries while an earlier load completes); keep the existing
-		// entry.
-		return nil
+	if _, ok := nc.inflight[id]; ok {
+		c.mu.Unlock()
+		return false
 	}
-	nc.entries[id] = nc.lru.PushFront(&cacheEntry{block: id, data: data})
-	nc.bytes += n
-	c.bytes += n
+	if size > c.budget || nc.meta.pinnedBytes()+size > c.budget {
+		c.mu.Unlock()
+		return false
+	}
+	c.prefetches++
+	fl := &inflightLoad{done: make(chan struct{}), prefetch: true, size: size}
+	nc.inflight[id] = fl
+	c.mu.Unlock()
+
+	go func() {
+		fl.data, fl.err = load()
+		c.mu.Lock()
+		delete(nc.inflight, id)
+		var events []CacheEvent
+		if fl.err != nil {
+			c.prefetchFailed++
+		} else if evicted, kept := c.insertLocked(nc, node, id, fl.data); kept {
+			events = append(evicted, CacheEvent{Kind: CachePrefetch, Block: id, Node: node, Bytes: int64(len(fl.data))})
+		} else {
+			events = evicted
+		}
+		obs := c.obs
+		c.mu.Unlock()
+		close(fl.done)
+		if obs != nil {
+			for _, ev := range events {
+				obs(ev)
+			}
+		}
+	}()
+	return true
+}
+
+// Hint forwards scheduler guidance to every shard's policy and
+// remembers the newest hint per file for shards created later.
+func (c *BlockCache) Hint(h ScanHint) {
+	c.mu.Lock()
+	c.lastHints[h.File] = h
+	for _, nc := range c.nodes {
+		nc.meta.policy.Hint(h)
+	}
+	c.mu.Unlock()
+}
+
+// insertLocked caches data on nc via the shard's policy, evicting
+// victims until the shard fits its budget. Blocks larger than the whole
+// budget — or squeezed out because every other resident block is
+// pinned — are served but not kept. Returns the eviction events to
+// fire once the lock is released and whether the block stayed cached.
+func (c *BlockCache) insertLocked(nc *nodeCache, node NodeID, id BlockID, data []byte) ([]CacheEvent, bool) {
+	before := nc.meta.bytes
+	evicted, kept := nc.meta.admit(id, int64(len(data)), c.budget)
 	var events []CacheEvent
-	for nc.bytes > c.budget {
-		back := nc.lru.Back()
-		ent := back.Value.(*cacheEntry)
-		nc.lru.Remove(back)
-		delete(nc.entries, ent.block)
-		sz := int64(len(ent.data))
-		nc.bytes -= sz
-		c.bytes -= sz
+	for _, v := range evicted {
+		sz := int64(len(nc.data[v]))
+		delete(nc.data, v)
 		c.evictions++
-		events = append(events, CacheEvent{Kind: CacheEvict, Block: ent.block, Node: node, Bytes: sz})
+		events = append(events, CacheEvent{Kind: CacheEvict, Block: v, Node: node, Bytes: sz})
 	}
-	return events
+	if kept {
+		nc.data[id] = data
+	}
+	c.bytes += nc.meta.bytes - before
+	return events, kept
 }
 
 // Contains reports whether the block is currently cached on node's
-// shard (without touching LRU order).
+// shard (without touching recency order).
 func (c *BlockCache) Contains(id BlockID, node NodeID) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -228,7 +341,7 @@ func (c *BlockCache) Contains(id BlockID, node NodeID) bool {
 	if !ok {
 		return false
 	}
-	_, ok = nc.entries[id]
+	_, ok = nc.data[id]
 	return ok
 }
 
@@ -242,8 +355,39 @@ func (c *BlockCache) CachedBytes(blocks []BlockID) int64 {
 	var total int64
 	for _, b := range blocks {
 		for _, nc := range c.nodes {
-			if el, ok := nc.entries[b]; ok {
-				total += int64(len(el.Value.(*cacheEntry).data))
+			if sz, ok := nc.meta.sizes[b]; ok {
+				total += sz
+				break
+			}
+		}
+	}
+	return total
+}
+
+// AdvisedBytes is the strictly-stronger arbitration signal: cached
+// bytes of the given blocks plus bytes already committed to in-flight
+// prefetches of them. A segment whose prefetch is mid-flight is as good
+// as warm by the time the round dispatches, so the JQM may prefer it
+// even though CachedBytes still reads low.
+func (c *BlockCache) AdvisedBytes(blocks []BlockID) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for _, b := range blocks {
+		found := false
+		for _, nc := range c.nodes {
+			if sz, ok := nc.meta.sizes[b]; ok {
+				total += sz
+				found = true
+				break
+			}
+		}
+		if found {
+			continue
+		}
+		for _, nc := range c.nodes {
+			if fl, ok := nc.inflight[b]; ok && fl.prefetch {
+				total += fl.size
 				break
 			}
 		}
@@ -255,18 +399,34 @@ func (c *BlockCache) CachedBytes(blocks []BlockID) int64 {
 func (c *BlockCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Bytes: c.bytes}
+	var pinned int64
+	for _, nc := range c.nodes {
+		pinned += nc.meta.pinnedBytes()
+	}
+	return CacheStats{
+		Hits:           c.hits,
+		Misses:         c.misses,
+		Evictions:      c.evictions,
+		Prefetches:     c.prefetches,
+		PrefetchFailed: c.prefetchFailed,
+		Bytes:          c.bytes,
+		PinnedBytes:    pinned,
+	}
 }
 
-// ResetStats zeroes the hit/miss/eviction counters (between experiment
-// runs). Cached contents are kept; use Purge to drop them.
+// ResetStats zeroes every cumulative counter (between experiment runs):
+// hits, misses, evictions, prefetches and prefetch failures. Cached
+// contents — and thus the Bytes/PinnedBytes gauges — are kept; use
+// Purge to drop them.
 func (c *BlockCache) ResetStats() {
 	c.mu.Lock()
 	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.prefetches, c.prefetchFailed = 0, 0
 	c.mu.Unlock()
 }
 
-// Purge drops every cached block without counting evictions.
+// Purge drops every cached block without counting evictions. Remembered
+// scan hints survive, so rebuilt shards keep the current pin window.
 func (c *BlockCache) Purge() {
 	c.mu.Lock()
 	c.nodes = make(map[NodeID]*nodeCache)

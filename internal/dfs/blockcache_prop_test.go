@@ -8,11 +8,13 @@ import (
 	"testing/quick"
 )
 
-// Property: under an arbitrary interleaving of reads, faults, and node
-// attributions, the cache preserves its core invariants:
+// Property: under an arbitrary interleaving of reads, faults, node
+// attributions and scheduler hints, the cache preserves its core
+// invariants for every eviction policy:
 //
 //  1. every shard's footprint stays within the byte budget (and the
-//     aggregate Bytes counter matches the sum of live entries),
+//     aggregate Bytes counter matches the sum of live entries, whose
+//     recorded sizes match the stored contents),
 //  2. hits + misses equals the number of Read calls,
 //  3. a read that faulted leaves nothing behind in the cache,
 //  4. successful reads always return the block's true contents.
@@ -22,151 +24,258 @@ func TestBlockCacheInvariantsProperty(t *testing.T) {
 		numNodes  = 3
 		blockSize = 64
 	)
-	prop := func(seed int64, budgetBlocks uint8, ops uint8, faultEvery uint8) bool {
-		rng := rand.New(rand.NewSource(seed))
-		budget := (int64(budgetBlocks%6) + 1) * blockSize
-		c, err := NewBlockCache(budget)
-		if err != nil {
-			t.Log(err)
-			return false
-		}
-		content := func(i int) []byte {
-			b := make([]byte, blockSize)
-			for j := range b {
-				b[j] = byte(i * 7)
-			}
-			return b
-		}
-		fault := errors.New("injected")
-		var reads, faulted int64
-		for op := 0; op < 20+int(ops); op++ {
-			id := BlockID{File: "f", Index: rng.Intn(numBlocks)}
-			node := NodeID(rng.Intn(numNodes))
-			failThis := faultEvery > 0 && rng.Intn(int(faultEvery)+1) == 0
-			wasCached := c.Contains(id, node)
-			data, err := c.Read(id, node, func() ([]byte, error) {
-				if failThis {
-					return nil, fault
-				}
-				return content(id.Index), nil
-			})
-			reads++
-			if wasCached {
-				// Hit: load must not have run, so the injected fault is
-				// irrelevant and the data must be right.
-				if err != nil || !bytes.Equal(data, content(id.Index)) {
-					t.Logf("hit returned err=%v", err)
+	for _, policy := range Policies() {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			prop := func(seed int64, budgetBlocks uint8, ops uint8, faultEvery uint8) bool {
+				rng := rand.New(rand.NewSource(seed))
+				budget := (int64(budgetBlocks%6) + 1) * blockSize
+				c, err := NewBlockCachePolicy(budget, policy)
+				if err != nil {
+					t.Log(err)
 					return false
 				}
-			} else if failThis {
-				faulted++
-				if !errors.Is(err, fault) {
-					t.Logf("fault swallowed: err=%v", err)
+				content := func(i int) []byte {
+					b := make([]byte, blockSize)
+					for j := range b {
+						b[j] = byte(i * 7)
+					}
+					return b
+				}
+				fault := errors.New("injected")
+				var reads, faulted int64
+				for op := 0; op < 20+int(ops); op++ {
+					if rng.Intn(8) == 0 {
+						// Scheduler hint: pin a two-block window, demote the
+						// window behind it. Only the cursor policy acts on
+						// it; for lru/2q it must be a harmless no-op.
+						at := rng.Intn(numBlocks)
+						c.Hint(ScanHint{
+							File: "f",
+							Pin: [][]BlockID{{
+								{File: "f", Index: at},
+								{File: "f", Index: (at + 1) % numBlocks},
+							}},
+							Demote: []BlockID{
+								{File: "f", Index: (at + numBlocks - 1) % numBlocks},
+							},
+						})
+					}
+					id := BlockID{File: "f", Index: rng.Intn(numBlocks)}
+					node := NodeID(rng.Intn(numNodes))
+					failThis := faultEvery > 0 && rng.Intn(int(faultEvery)+1) == 0
+					wasCached := c.Contains(id, node)
+					data, err := c.Read(id, node, func() ([]byte, error) {
+						if failThis {
+							return nil, fault
+						}
+						return content(id.Index), nil
+					})
+					reads++
+					if wasCached {
+						// Hit: load must not have run, so the injected fault
+						// is irrelevant and the data must be right.
+						if err != nil || !bytes.Equal(data, content(id.Index)) {
+							t.Logf("hit returned err=%v", err)
+							return false
+						}
+					} else if failThis {
+						faulted++
+						if !errors.Is(err, fault) {
+							t.Logf("fault swallowed: err=%v", err)
+							return false
+						}
+						if c.Contains(id, node) {
+							t.Log("faulted read was cached")
+							return false
+						}
+					} else {
+						if err != nil || !bytes.Equal(data, content(id.Index)) {
+							t.Logf("miss returned err=%v", err)
+							return false
+						}
+					}
+				}
+				st := c.Stats()
+				if st.Hits+st.Misses != reads {
+					t.Logf("hits(%d)+misses(%d) != reads(%d)", st.Hits, st.Misses, reads)
 					return false
 				}
-				if c.Contains(id, node) {
-					t.Log("faulted read was cached")
+				if st.Hits > reads-faulted {
+					t.Logf("more hits (%d) than successful reads (%d)", st.Hits, reads-faulted)
 					return false
 				}
-			} else {
-				if err != nil || !bytes.Equal(data, content(id.Index)) {
-					t.Logf("miss returned err=%v", err)
-					return false
+				// Per-shard budget and aggregate-bytes consistency.
+				var sum int64
+				c.mu.Lock()
+				for node, nc := range c.nodes {
+					if nc.meta.bytes > budget {
+						t.Logf("node %d shard holds %d bytes > budget %d", node, nc.meta.bytes, budget)
+						c.mu.Unlock()
+						return false
+					}
+					var shardSum int64
+					for id, size := range nc.meta.sizes {
+						shardSum += size
+						if data, ok := nc.data[id]; !ok || int64(len(data)) != size {
+							t.Logf("node %d block %v: recorded size %d, stored %d bytes", node, id, size, len(data))
+							c.mu.Unlock()
+							return false
+						}
+					}
+					if len(nc.data) != len(nc.meta.sizes) {
+						t.Logf("node %d holds %d data entries but %d size records", node, len(nc.data), len(nc.meta.sizes))
+						c.mu.Unlock()
+						return false
+					}
+					if shardSum != nc.meta.bytes {
+						t.Logf("node %d shard bytes %d != live entries %d", node, nc.meta.bytes, shardSum)
+						c.mu.Unlock()
+						return false
+					}
+					sum += nc.meta.bytes
 				}
-			}
-		}
-		st := c.Stats()
-		if st.Hits+st.Misses != reads {
-			t.Logf("hits(%d)+misses(%d) != reads(%d)", st.Hits, st.Misses, reads)
-			return false
-		}
-		if st.Hits > reads-faulted {
-			t.Logf("more hits (%d) than successful reads (%d)", st.Hits, reads-faulted)
-			return false
-		}
-		// Per-shard budget and aggregate-bytes consistency.
-		var sum int64
-		c.mu.Lock()
-		for node, nc := range c.nodes {
-			if nc.bytes > budget {
-				t.Logf("node %d shard holds %d bytes > budget %d", node, nc.bytes, budget)
 				c.mu.Unlock()
-				return false
+				if st.Bytes != sum {
+					t.Logf("aggregate Bytes %d != shard sum %d", st.Bytes, sum)
+					return false
+				}
+				return true
 			}
-			var shardSum int64
-			for el := nc.lru.Front(); el != nil; el = el.Next() {
-				shardSum += int64(len(el.Value.(*cacheEntry).data))
+			if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+				t.Fatal(err)
 			}
-			if shardSum != nc.bytes {
-				t.Logf("node %d shard bytes %d != live entries %d", node, nc.bytes, shardSum)
-				c.mu.Unlock()
-				return false
-			}
-			sum += nc.bytes
-		}
-		c.mu.Unlock()
-		if st.Bytes != sum {
-			t.Logf("aggregate Bytes %d != shard sum %d", st.Bytes, sum)
-			return false
-		}
-		return true
-	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
-		t.Fatal(err)
+		})
 	}
 }
 
-// Property: the cache is a transparent layer over a Store — for any
-// random access sequence, every byte returned with the cache enabled is
-// identical to the uncached store's answer, and physical source reads
-// never exceed the uncached count.
+// Property: the cache is a transparent layer over a Store regardless of
+// eviction policy — for any random access sequence, every byte returned
+// with the cache enabled is identical to the uncached store's answer,
+// and physical source reads never exceed the uncached count.
 func TestBlockCacheTransparencyProperty(t *testing.T) {
-	prop := func(seed int64, accesses uint8) bool {
-		const (
-			nodes     = 3
-			numBlocks = 8
-			blockSize = int64(128)
-		)
-		mk := func() *Store {
-			s := MustStore(nodes, 1)
-			if _, err := addPseudoText(s, seed); err != nil {
-				t.Log(err)
-				return nil
+	for _, policy := range Policies() {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			prop := func(seed int64, accesses uint8) bool {
+				const (
+					nodes     = 3
+					numBlocks = 8
+					blockSize = int64(128)
+				)
+				mk := func() *Store {
+					s := MustStore(nodes, 1)
+					if _, err := addPseudoText(s, seed); err != nil {
+						t.Log(err)
+						return nil
+					}
+					return s
+				}
+				plain, cached := mk(), mk()
+				if plain == nil || cached == nil {
+					return false
+				}
+				if _, err := cached.EnableCachePolicy(numBlocks*blockSize, policy); err != nil {
+					t.Log(err)
+					return false
+				}
+				rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+				for i := 0; i < 10+int(accesses); i++ {
+					id := BlockID{File: "p", Index: rng.Intn(numBlocks)}
+					node := NodeID(rng.Intn(nodes))
+					a, errA := plain.ReadBlockAt(id, node)
+					b, errB := cached.ReadBlockAt(id, node)
+					if (errA == nil) != (errB == nil) {
+						t.Logf("error divergence: %v vs %v", errA, errB)
+						return false
+					}
+					if errA == nil && !bytes.Equal(a, b) {
+						t.Logf("byte divergence at %v node %d", id, node)
+						return false
+					}
+				}
+				if cached.Stats().BlockReads > plain.Stats().BlockReads {
+					t.Logf("cache increased physical reads: %d > %d",
+						cached.Stats().BlockReads, plain.Stats().BlockReads)
+					return false
+				}
+				return true
 			}
-			return s
-		}
-		plain, cached := mk(), mk()
-		if plain == nil || cached == nil {
-			return false
-		}
-		if _, err := cached.EnableCache(numBlocks * blockSize); err != nil {
-			t.Log(err)
-			return false
-		}
-		rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
-		for i := 0; i < 10+int(accesses); i++ {
-			id := BlockID{File: "p", Index: rng.Intn(numBlocks)}
-			node := NodeID(rng.Intn(nodes))
-			a, errA := plain.ReadBlockAt(id, node)
-			b, errB := cached.ReadBlockAt(id, node)
-			if (errA == nil) != (errB == nil) {
-				t.Logf("error divergence: %v vs %v", errA, errB)
-				return false
+			if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+				t.Fatal(err)
 			}
-			if errA == nil && !bytes.Equal(a, b) {
-				t.Logf("byte divergence at %v node %d", id, node)
-				return false
-			}
-		}
-		if cached.Stats().BlockReads > plain.Stats().BlockReads {
-			t.Logf("cache increased physical reads: %d > %d",
-				cached.Stats().BlockReads, plain.Stats().BlockReads)
-			return false
-		}
-		return true
+		})
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
-		t.Fatal(err)
+}
+
+// Property: MetaCache is a faithful stat twin of BlockCache — the same
+// access sequence (reads and hints) through both produces identical
+// hit/miss/eviction counters and identical residency, for every policy.
+// This is the structural guarantee the simulator's cache pricing rests
+// on.
+func TestMetaCacheTwinProperty(t *testing.T) {
+	const (
+		numBlocks = 12
+		numNodes  = 3
+		blockSize = int64(64)
+	)
+	for _, policy := range Policies() {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			prop := func(seed int64, budgetBlocks uint8, ops uint8) bool {
+				rng := rand.New(rand.NewSource(seed))
+				budget := (int64(budgetBlocks%6) + 1) * blockSize
+				real, err := NewBlockCachePolicy(budget, policy)
+				if err != nil {
+					t.Log(err)
+					return false
+				}
+				meta, err := NewMetaCache(budget, policy)
+				if err != nil {
+					t.Log(err)
+					return false
+				}
+				content := make([]byte, blockSize)
+				for op := 0; op < 20+int(ops); op++ {
+					if rng.Intn(8) == 0 {
+						at := rng.Intn(numBlocks)
+						h := ScanHint{
+							File: "f",
+							Pin: [][]BlockID{{
+								{File: "f", Index: at},
+								{File: "f", Index: (at + 1) % numBlocks},
+							}},
+							Demote: []BlockID{
+								{File: "f", Index: (at + numBlocks - 1) % numBlocks},
+							},
+						}
+						real.Hint(h)
+						meta.Hint(h)
+						continue
+					}
+					id := BlockID{File: "f", Index: rng.Intn(numBlocks)}
+					node := NodeID(rng.Intn(numNodes))
+					if _, err := real.Read(id, node, func() ([]byte, error) { return content, nil }); err != nil {
+						t.Log(err)
+						return false
+					}
+					meta.Access(id, node, blockSize)
+					if real.Contains(id, node) != meta.Contains(id, node) {
+						t.Logf("residency divergence at %v node %d after op %d", id, node, op)
+						return false
+					}
+				}
+				rs, ms := real.Stats(), meta.Stats()
+				if rs != ms {
+					t.Logf("stat divergence: real %+v, meta %+v", rs, ms)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -247,19 +248,30 @@ func TestCacheMetadataOnlyFileStaysUnreadable(t *testing.T) {
 	}
 }
 
+// cacheGauges names the CacheStats fields that are point-in-time
+// footprints rather than cumulative counters: they survive ResetStats
+// (only Purge drops them). Every field NOT listed here is a counter
+// that ResetStats must zero — the reflection test below fails the
+// moment someone adds a counter without extending ResetStats, the bug
+// class PR 4 fixed for hits/misses/evictions.
+var cacheGauges = map[string]bool{"Bytes": true, "PinnedBytes": true}
+
 // Satellite regression: ResetStats must cover every counter — the scan
-// counters, the failed-read counter fed by SetReadFault, and the cache
-// counters.
+// counters, the failed-read counter fed by SetReadFault, and every
+// cache counter including the prefetch pair. The setup drives each
+// counter nonzero first, so a newly added field that the setup does not
+// exercise also fails loudly (forcing this test to stay complete).
 func TestResetStatsCoversAllCounters(t *testing.T) {
 	s, _ := cacheStore(t, 1, 4, 64)
-	if _, err := s.EnableCache(1 << 20); err != nil {
+	c, err := s.EnableCachePolicy(3*64, PolicyCursor)
+	if err != nil {
 		t.Fatal(err)
 	}
 	boom := errors.New("boom")
-	fail := true
+	var fail atomic.Bool
+	fail.Store(true)
 	s.SetReadFault(func(id BlockID, node NodeID) error {
-		if fail {
-			fail = false
+		if fail.CompareAndSwap(true, false) {
 			return boom
 		}
 		return nil
@@ -273,26 +285,64 @@ func TestResetStatsCoversAllCounters(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	st, cs := s.Stats(), s.CacheStats()
-	if st.BlockReads == 0 || st.FailedReads == 0 || cs.Hits == 0 || cs.Misses == 0 {
-		t.Fatalf("setup did not exercise all counters: %+v %+v", st, cs)
+	// Evictions: read past the 3-block budget.
+	for i := 1; i < 4; i++ {
+		if _, err := s.ReadBlock(BlockID{File: "f", Index: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Prefetches: one that fails, one that succeeds. The follow-up Read
+	// waits on the in-flight prefetch, so both outcomes are settled (and
+	// their counters visible) once it returns.
+	pid := BlockID{File: "f", Index: 0}
+	if !c.PrefetchAsync(pid, 1, 64, func() ([]byte, error) { return nil, boom }) {
+		t.Fatal("failing prefetch not issued")
+	}
+	if _, err := s.ReadBlockAt(pid, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !c.PrefetchAsync(BlockID{File: "f", Index: 1}, 1, 64, func() ([]byte, error) { return make([]byte, 64), nil }) {
+		t.Fatal("prefetch not issued")
+	}
+	if _, err := s.ReadBlockAt(BlockID{File: "f", Index: 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Pin something so the PinnedBytes gauge is live too.
+	c.Hint(ScanHint{File: "f", Pin: [][]BlockID{{{File: "f", Index: 1}}}})
+
+	st := reflect.ValueOf(s.Stats())
+	for i := 0; i < st.NumField(); i++ {
+		if st.Field(i).Int() == 0 {
+			t.Fatalf("setup left store counter %s zero", st.Type().Field(i).Name)
+		}
+	}
+	cs := reflect.ValueOf(s.CacheStats())
+	for i := 0; i < cs.NumField(); i++ {
+		if cs.Field(i).Int() == 0 {
+			t.Fatalf("setup left cache field %s zero — extend the setup for new counters", cs.Type().Field(i).Name)
+		}
 	}
 
 	s.ResetStats()
-	if st := s.Stats(); st != (Stats{}) {
-		t.Fatalf("after ResetStats, store stats = %+v, want zeros", st)
+	if got := s.Stats(); got != (Stats{}) {
+		t.Fatalf("after ResetStats, store stats = %+v, want zeros", got)
 	}
-	cs = s.CacheStats()
-	if cs.Hits != 0 || cs.Misses != 0 || cs.Evictions != 0 {
-		t.Fatalf("after ResetStats, cache stats = %+v, want zero counters", cs)
-	}
-	// Cached contents survive a stats reset.
-	if cs.Bytes == 0 {
-		t.Fatal("ResetStats dropped cached contents")
+	cs = reflect.ValueOf(s.CacheStats())
+	for i := 0; i < cs.NumField(); i++ {
+		name := cs.Type().Field(i).Name
+		if cacheGauges[name] {
+			if cs.Field(i).Int() == 0 {
+				t.Fatalf("ResetStats dropped gauge %s (cached contents must survive)", name)
+			}
+			continue
+		}
+		if got := cs.Field(i).Int(); got != 0 {
+			t.Fatalf("after ResetStats, cache counter %s = %d, want 0 — ResetStats missed it", name, got)
+		}
 	}
 	s.Cache().Purge()
-	if cs := s.CacheStats(); cs.Bytes != 0 {
-		t.Fatalf("after Purge, %d bytes cached", cs.Bytes)
+	if cs := s.CacheStats(); cs.Bytes != 0 || cs.PinnedBytes != 0 {
+		t.Fatalf("after Purge, %d bytes (%d pinned) cached", cs.Bytes, cs.PinnedBytes)
 	}
 }
 

@@ -175,9 +175,17 @@ func (s *Store) SetReadFault(f ReadFault) {
 // shard bytesPerNode of budget, and returns it. Subsequent ReadBlock/
 // ReadBlockAt calls are served through the cache: hits skip the source
 // (and the fault hook) entirely and are not charged to the scan
-// counters. Install before execution starts.
+// counters. Install before execution starts. The cache uses the
+// baseline LRU policy; use EnableCachePolicy to pick another.
 func (s *Store) EnableCache(bytesPerNode int64) (*BlockCache, error) {
-	c, err := NewBlockCache(bytesPerNode)
+	return s.EnableCachePolicy(bytesPerNode, PolicyLRU)
+}
+
+// EnableCachePolicy is EnableCache with an explicit eviction policy
+// (see Policies). Wire the scheduler's hint stream to HandleScanHint to
+// activate the cursor policy's pinning and prefetch.
+func (s *Store) EnableCachePolicy(bytesPerNode int64, policy string) (*BlockCache, error) {
+	c, err := NewBlockCachePolicy(bytesPerNode, policy)
 	if err != nil {
 		return nil, err
 	}
@@ -213,8 +221,23 @@ func (s *Store) CachedBytes(blocks []BlockID) int64 {
 	return 0
 }
 
+// AdvisedBytes is the arbitration signal fed to cache-aware
+// schedulers: CachedBytes plus bytes committed to in-flight prefetches
+// of the given blocks — strictly stronger than CachedBytes alone,
+// because a segment whose readahead is mid-flight will be warm by
+// dispatch time. Returns 0 when caching is off.
+func (s *Store) AdvisedBytes(blocks []BlockID) int64 {
+	if c := s.Cache(); c != nil {
+		return c.AdvisedBytes(blocks)
+	}
+	return 0
+}
+
 // Nodes returns the number of nodes the store spans.
 func (s *Store) Nodes() int { return s.nodes }
+
+// Replicas returns the store's replication factor.
+func (s *Store) Replicas() int { return s.replicas }
 
 // AddFile registers a file from pre-materialized block data. Every
 // block except the last must be the same length.
@@ -351,7 +374,18 @@ func (s *Store) ReadBlockAt(id BlockID, node NodeID) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchFile, id.File)
 	}
-	load := func() ([]byte, error) {
+	load := s.loadFunc(f, id, node, fault)
+	if cache == nil {
+		return load()
+	}
+	return cache.Read(id, node, load)
+}
+
+// loadFunc builds the physical-scan closure for one block read: fault
+// hook, source read, scan accounting. Demand reads and prefetches share
+// it, so a prefetched block is charged exactly like a cold read.
+func (s *Store) loadFunc(f *File, id BlockID, node NodeID, fault ReadFault) func() ([]byte, error) {
+	return func() ([]byte, error) {
 		if fault != nil {
 			if err := fault(id, node); err != nil {
 				s.failedReads.Add(1)
@@ -370,10 +404,42 @@ func (s *Store) ReadBlockAt(id BlockID, node NodeID) ([]byte, error) {
 		s.bytesScanned.Add(int64(len(data)))
 		return data, nil
 	}
+}
+
+// HandleScanHint feeds one scheduler hint to the cache: the policy
+// learns the new pin window, and — under the cursor policy on an
+// unreplicated store — the hinted prefetch blocks start loading in the
+// background on their primary holders. Prefetch is restricted to
+// replicas == 1 because the readahead lands on Locations(b)[0]; with
+// replication the engine's least-loaded replica choice may serve the
+// block elsewhere and the speculative read would be charged without
+// ever being consumed. Prefetch loads run through the same fault hook
+// and scan counters as demand reads, but a block whose load fails is
+// simply not cached (never retried, never an error to readers).
+//
+// The signature matches core.ScanHinter, so wire it directly:
+// sched.SetScanHinter(store.HandleScanHint).
+func (s *Store) HandleScanHint(h ScanHint) {
+	s.mu.RLock()
+	cache := s.cache
+	fault := s.readFault
+	f := s.files[h.File]
+	s.mu.RUnlock()
 	if cache == nil {
-		return load()
+		return
 	}
-	return cache.Read(id, node, load)
+	cache.Hint(h)
+	if cache.Policy() != PolicyCursor || s.replicas != 1 || f == nil {
+		return
+	}
+	for _, id := range h.Prefetch {
+		locs := s.Locations(id)
+		if len(locs) == 0 {
+			continue
+		}
+		node := locs[0]
+		cache.PrefetchAsync(id, node, f.BlockLen(id.Index), s.loadFunc(f, id, node, fault))
+	}
 }
 
 // Stats returns a snapshot of cumulative scan accounting.

@@ -1,0 +1,282 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// hintStore builds an n-block single-file store with numbered block
+// contents, so tests can assert byte-identity after cache operations.
+func hintStore(t *testing.T, nodes, replicas, numBlocks int, blockSize int64) (*Store, *File) {
+	t.Helper()
+	s := MustStore(nodes, replicas)
+	blocks := make([][]byte, numBlocks)
+	for i := range blocks {
+		blocks[i] = bytes.Repeat([]byte{byte('a' + i%26)}, int(blockSize))
+	}
+	f, err := s.AddFile("input", blockSize, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, f
+}
+
+// waitCache polls the store's cache counters until pred holds or the
+// deadline passes, returning the final snapshot either way — the
+// pattern for asserting on asynchronous prefetch results.
+func waitCache(s *Store, pred func(CacheStats) bool) CacheStats {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cs := s.CacheStats()
+		if pred(cs) || time.Now().After(deadline) {
+			return cs
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPolicyRegistry(t *testing.T) {
+	for _, name := range Policies() {
+		if !ValidPolicy(name) {
+			t.Errorf("Policies() lists %q but ValidPolicy rejects it", name)
+		}
+		p, err := NewPolicy(name, 1<<20)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("NewPolicy(%q).Name() = %q", name, p.Name())
+		}
+		// Exercise the shared contract once through every
+		// implementation, including the no-op Hint of lru and 2q.
+		id := BlockID{File: "f", Index: 0}
+		p.Admit(id, 64)
+		p.Touch(id)
+		p.Hint(ScanHint{File: "f", Pin: [][]BlockID{{id}}, Demote: []BlockID{id}})
+		if p.Name() == PolicyCursor != p.Pinned(id) {
+			t.Errorf("%s: Pinned(%v) = %v after pin hint", name, id, p.Pinned(id))
+		}
+		if v, ok := p.Victim(); ok {
+			p.Remove(v)
+		} else if p.Name() != PolicyCursor {
+			t.Errorf("%s: no victim with one unpinned resident block", name)
+		}
+	}
+	for _, bad := range []string{"", "clock", "LRU"} {
+		if ValidPolicy(bad) {
+			t.Errorf("ValidPolicy(%q) = true", bad)
+		}
+		if _, err := NewPolicy(bad, 1<<20); err == nil {
+			t.Errorf("NewPolicy(%q) did not fail", bad)
+		}
+	}
+	if c, err := NewBlockCachePolicy(1<<20, Policy2Q); err != nil || c.Policy() != Policy2Q {
+		t.Fatalf("NewBlockCachePolicy: cache %v, err %v", c, err)
+	}
+}
+
+func TestHandleScanHintPrefetchesNextSegment(t *testing.T) {
+	const blockSize = 512
+	s, f := hintStore(t, 2, 1, 8, blockSize)
+	if _, err := s.EnableCachePolicy(8*blockSize, PolicyCursor); err != nil {
+		t.Fatal(err)
+	}
+	ids := f.Blocks()
+	s.HandleScanHint(ScanHint{
+		File:     f.Name,
+		Pin:      [][]BlockID{ids[2:4]},
+		Demote:   ids[0:2],
+		Prefetch: ids[2:4],
+	})
+	cs := waitCache(s, func(cs CacheStats) bool { return cs.Bytes == 2*blockSize })
+	if cs.Prefetches != 2 || cs.PrefetchFailed != 0 || cs.Bytes != 2*blockSize {
+		t.Fatalf("prefetch did not warm the hinted segment: %+v", cs)
+	}
+	if cs.PinnedBytes != 2*blockSize {
+		t.Fatalf("prefetched blocks not pinned: %+v", cs)
+	}
+	if got := s.AdvisedBytes(ids[2:4]); got != 2*blockSize {
+		t.Fatalf("AdvisedBytes = %d, want %d", got, 2*blockSize)
+	}
+	// The warmed blocks now hit without a physical scan, byte-identical
+	// to the source.
+	physical := s.Stats().BlockReads
+	for _, id := range ids[2:4] {
+		data, err := s.ReadBlockAt(id, s.Locations(id)[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != blockSize || data[0] != byte('a'+id.Index) {
+			t.Fatalf("block %v corrupted by prefetch path", id)
+		}
+	}
+	if got := s.Stats().BlockReads; got != physical {
+		t.Fatalf("warm reads hit the source: %d physical scans, want %d", got, physical)
+	}
+	if hits := s.CacheStats().Hits; hits != 2 {
+		t.Fatalf("warm reads recorded %d hits, want 2", hits)
+	}
+	// A repeated hint declines to re-prefetch resident blocks.
+	s.HandleScanHint(ScanHint{File: f.Name, Prefetch: ids[2:4]})
+	if cs := s.CacheStats(); cs.Prefetches != 2 {
+		t.Fatalf("resident blocks re-prefetched: %+v", cs)
+	}
+}
+
+func TestHandleScanHintGuards(t *testing.T) {
+	const blockSize = 512
+	t.Run("no cache", func(t *testing.T) {
+		s, f := hintStore(t, 2, 1, 4, blockSize)
+		s.HandleScanHint(ScanHint{File: f.Name, Prefetch: f.Blocks()}) // must not panic
+		if cs := s.CacheStats(); cs != (CacheStats{}) {
+			t.Fatalf("uncached store reported cache stats %+v", cs)
+		}
+		if got := s.AdvisedBytes(f.Blocks()); got != 0 {
+			t.Fatalf("AdvisedBytes without a cache = %d", got)
+		}
+	})
+	t.Run("replicated store skips prefetch", func(t *testing.T) {
+		s, f := hintStore(t, 2, 2, 4, blockSize)
+		if _, err := s.EnableCachePolicy(4*blockSize, PolicyCursor); err != nil {
+			t.Fatal(err)
+		}
+		s.HandleScanHint(ScanHint{File: f.Name, Prefetch: f.Blocks()})
+		if cs := s.CacheStats(); cs.Prefetches != 0 {
+			t.Fatalf("prefetch issued on a replicated store: %+v", cs)
+		}
+	})
+	t.Run("non-cursor policy skips prefetch", func(t *testing.T) {
+		s, f := hintStore(t, 2, 1, 4, blockSize)
+		if _, err := s.EnableCachePolicy(4*blockSize, Policy2Q); err != nil {
+			t.Fatal(err)
+		}
+		s.HandleScanHint(ScanHint{File: f.Name, Prefetch: f.Blocks()})
+		if cs := s.CacheStats(); cs.Prefetches != 0 {
+			t.Fatalf("prefetch issued under 2q: %+v", cs)
+		}
+	})
+	t.Run("unknown file", func(t *testing.T) {
+		s, f := hintStore(t, 2, 1, 4, blockSize)
+		if _, err := s.EnableCachePolicy(4*blockSize, PolicyCursor); err != nil {
+			t.Fatal(err)
+		}
+		s.HandleScanHint(ScanHint{File: "nope", Prefetch: f.Blocks()})
+		if cs := s.CacheStats(); cs.Prefetches != 0 {
+			t.Fatalf("prefetch issued for an unknown file: %+v", cs)
+		}
+	})
+}
+
+func TestHandleScanHintFaultedPrefetchNeverCached(t *testing.T) {
+	const blockSize = 512
+	s, f := hintStore(t, 1, 1, 4, blockSize)
+	if _, err := s.EnableCachePolicy(4*blockSize, PolicyCursor); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected")
+	s.SetReadFault(func(BlockID, NodeID) error { return boom })
+	id := f.Blocks()[0]
+	s.HandleScanHint(ScanHint{File: f.Name, Prefetch: []BlockID{id}})
+	cs := waitCache(s, func(cs CacheStats) bool { return cs.PrefetchFailed == 1 })
+	if cs.Prefetches != 1 || cs.PrefetchFailed != 1 || cs.Bytes != 0 {
+		t.Fatalf("faulted prefetch was cached or miscounted: %+v", cs)
+	}
+	if s.Cache().Contains(id, s.Locations(id)[0]) {
+		t.Fatal("faulted prefetch left the block resident")
+	}
+	// The next demand read retries cold through the normal fault path
+	// and, once the fault clears, caches normally.
+	if _, err := s.ReadBlockAt(id, s.Locations(id)[0]); !errors.Is(err, boom) {
+		t.Fatalf("demand read after faulted prefetch: err %v, want %v", err, boom)
+	}
+	s.SetReadFault(nil)
+	if _, err := s.ReadBlockAt(id, s.Locations(id)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if cs := s.CacheStats(); cs.Bytes != blockSize {
+		t.Fatalf("recovered read not cached: %+v", cs)
+	}
+}
+
+func TestMetaCacheMirrorsBlockCacheSemantics(t *testing.T) {
+	const blockSize = int64(512)
+	if _, err := NewMetaCache(0, PolicyLRU); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := NewMetaCache(blockSize, "clock"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	m, err := NewMetaCache(2*blockSize, PolicyCursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Budget() != 2*blockSize || m.Policy() != PolicyCursor {
+		t.Fatalf("budget %d policy %q", m.Budget(), m.Policy())
+	}
+	ids := make([]BlockID, 4)
+	for i := range ids {
+		ids[i] = BlockID{File: "f", Index: i}
+	}
+	// A hint delivered before any shard exists must still apply to
+	// shards created later (the lastHints replay).
+	m.Hint(ScanHint{File: "f", Pin: [][]BlockID{ids[0:2]}})
+	if m.Access(ids[0], 0, blockSize) {
+		t.Fatal("cold access hit")
+	}
+	if !m.Access(ids[0], 0, blockSize) {
+		t.Fatal("warm access missed")
+	}
+	if !m.Prefetch(ids[1], 0, blockSize) {
+		t.Fatal("prefetch of absent block declined")
+	}
+	if m.Prefetch(ids[1], 0, blockSize) {
+		t.Fatal("resident block re-prefetched")
+	}
+	if m.Prefetch(ids[2], 0, 3*blockSize) {
+		t.Fatal("over-budget block prefetched")
+	}
+	// Both resident blocks are pinned and fill the budget, so a further
+	// prefetch would crowd out pinned bytes and must decline.
+	if m.Prefetch(ids[2], 0, blockSize) {
+		t.Fatal("prefetch crowded out pinned bytes")
+	}
+	if !m.Contains(ids[1], 0) || m.Contains(ids[1], 1) {
+		t.Fatal("Contains wrong about residency")
+	}
+	if got := m.CachedBytes(ids); got != 2*blockSize {
+		t.Fatalf("CachedBytes = %d, want %d", got, 2*blockSize)
+	}
+	st := m.Stats()
+	want := CacheStats{Hits: 1, Misses: 1, Prefetches: 1, Bytes: 2 * blockSize, PinnedBytes: 2 * blockSize}
+	if st != want {
+		t.Fatalf("stats %+v, want %+v", st, want)
+	}
+	m.ResetStats()
+	st = m.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Prefetches != 0 {
+		t.Fatalf("ResetStats left counters: %+v", st)
+	}
+	if st.Bytes != 2*blockSize || st.PinnedBytes != 2*blockSize {
+		t.Fatalf("ResetStats dropped residency gauges: %+v", st)
+	}
+}
+
+func TestStoreShapeAccessors(t *testing.T) {
+	s, f := hintStore(t, 3, 2, 4, 512)
+	if s.Nodes() != 3 || s.Replicas() != 2 {
+		t.Fatalf("Nodes/Replicas = %d/%d", s.Nodes(), s.Replicas())
+	}
+	inv := s.Inventory()
+	if inv[f.Name] != 4 {
+		t.Fatalf("Inventory = %v", inv)
+	}
+	if got := fmt.Sprint(f.Blocks()[1]); got != "input#1" {
+		t.Fatalf("BlockID.String() = %q", got)
+	}
+	if f.Size() != 4*512 {
+		t.Fatalf("Size = %d", f.Size())
+	}
+}

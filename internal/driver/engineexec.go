@@ -153,12 +153,21 @@ func (e *EngineExecutor) FaultStats() metrics.FaultStats {
 // cache installed on the engine's store (all zeros with caching off).
 func (e *EngineExecutor) CacheStats() metrics.CacheStats {
 	cs := e.engine.Cluster().Store().CacheStats()
-	return metrics.CacheStats{Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions, Bytes: cs.Bytes}
+	return metrics.CacheStats{
+		Hits:           cs.Hits,
+		Misses:         cs.Misses,
+		Evictions:      cs.Evictions,
+		Prefetches:     cs.Prefetches,
+		PrefetchFailed: cs.PrefetchFailed,
+		Bytes:          cs.Bytes,
+		PinnedBytes:    cs.PinnedBytes,
+	}
 }
 
-// WireCacheTrace forwards the store's block-cache hit and eviction
-// events into the trace log, timestamped on the executor's wall clock.
-// A no-op unless a cache is installed on the engine's store.
+// WireCacheTrace forwards the store's block-cache hit, eviction and
+// prefetch events into the trace log, timestamped on the executor's
+// wall clock. A no-op unless a cache is installed on the engine's
+// store.
 func (e *EngineExecutor) WireCacheTrace(log *trace.Log) {
 	cache := e.engine.Cluster().Store().Cache()
 	if cache == nil {
@@ -166,8 +175,11 @@ func (e *EngineExecutor) WireCacheTrace(log *trace.Log) {
 	}
 	cache.SetObserver(func(ev dfs.CacheEvent) {
 		kind := trace.CacheHit
-		if ev.Kind == dfs.CacheEvict {
+		switch ev.Kind {
+		case dfs.CacheEvict:
 			kind = trace.CacheEvict
+		case dfs.CachePrefetch:
+			kind = trace.CachePrefetch
 		}
 		log.Addf(e.clock.Now(), kind, -1, -1, "block %v node %d %d bytes", ev.Block, int(ev.Node), ev.Bytes)
 	})

@@ -195,8 +195,19 @@ func runCell(wf *workload.File, key benchfmt.CellKey, refDigest string) (benchfm
 	case benchfmt.EngineSim:
 		simExec := sim.NewExecutor(sim.NewCluster(h.Nodes, h.SlotsPerNode), store, model)
 		if key.Cache {
-			if err := simExec.EnableCache(int64(h.CacheMBPerNode)<<20*int64(h.Nodes), h.CacheFrac); err != nil {
-				return benchfmt.Cell{}, err
+			// A v1 workload (no cachePolicy) prices under the original
+			// cluster-aggregate LRU model, keeping existing baselines
+			// byte-identical; a v2 policy selects the sharded policy twin
+			// driven by the scheduler's scan hints.
+			if h.CachePolicy == "" {
+				if err := simExec.EnableCache(int64(h.CacheMBPerNode)<<20*int64(h.Nodes), h.CacheFrac); err != nil {
+					return benchfmt.Cell{}, err
+				}
+			} else {
+				if err := simExec.EnableCachePolicy(int64(h.CacheMBPerNode)<<20, h.CacheFrac, h.CachePolicy); err != nil {
+					return benchfmt.Cell{}, err
+				}
+				wireScanHints(sched, simExec.HandleScanHint)
 			}
 		}
 		if h.FaultRate > 0 {
@@ -212,8 +223,11 @@ func runCell(wf *workload.File, key benchfmt.CellKey, refDigest string) (benchfm
 		exec = simExec
 	case benchfmt.EngineReal:
 		if key.Cache {
-			if _, err := store.EnableCache(int64(h.CacheMBPerNode) << 20); err != nil {
+			if _, err := store.EnableCachePolicy(int64(h.CacheMBPerNode)<<20, cellPolicy(h)); err != nil {
 				return benchfmt.Cell{}, err
+			}
+			if h.CachePolicy != "" {
+				wireScanHints(sched, store.HandleScanHint)
 			}
 		}
 		engine := mapreduce.NewEngine(mapreduce.MustCluster(store, h.SlotsPerNode))
@@ -289,6 +303,25 @@ func runCell(wf *workload.File, key benchfmt.CellKey, refDigest string) (benchfm
 		cell.OutputDigest = digestResults(engineExec.Results())
 	}
 	return cell, nil
+}
+
+// cellPolicy resolves the header's eviction policy; v1 files (no
+// cachePolicy field) get the LRU the old schema implied.
+func cellPolicy(h *workload.FileHeader) string {
+	if h.CachePolicy == "" {
+		return dfs.PolicyLRU
+	}
+	return h.CachePolicy
+}
+
+// wireScanHints connects the scheduler's circular-cursor hints to a
+// cache. Only the S^3 family emits hints; for the other schemes the
+// cache simply runs unhinted (lru/2q need none, and cursor degrades to
+// plain LRU order).
+func wireScanHints(sched scheduler.Scheduler, h core.ScanHinter) {
+	if s, ok := sched.(interface{ SetScanHinter(core.ScanHinter) }); ok {
+		s.SetScanHinter(h)
+	}
 }
 
 // soloReferenceDigest runs every job alone, each on a fresh uncached

@@ -72,8 +72,14 @@ type CacheStats struct {
 	Misses int64
 	// Evictions counts blocks discarded to fit the cache byte budget.
 	Evictions int64
+	// Prefetches counts speculative readahead loads issued.
+	Prefetches int64
+	// PrefetchFailed counts prefetch loads that failed (block dropped).
+	PrefetchFailed int64
 	// Bytes is the cached byte footprint at the end of the run.
 	Bytes int64
+	// PinnedBytes is the pin-protected footprint at the end of the run.
+	PinnedBytes int64
 }
 
 // HitRatio returns hits / (hits + misses), or 0 when no reads occurred.
@@ -85,13 +91,17 @@ func (s CacheStats) HitRatio() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// Add accumulates other into s. Bytes is a point-in-time footprint, so
-// footprints sum across disjoint caches (one per worker).
+// Add accumulates other into s. Bytes and PinnedBytes are
+// point-in-time footprints, so footprints sum across disjoint caches
+// (one per worker).
 func (s *CacheStats) Add(other CacheStats) {
 	s.Hits += other.Hits
 	s.Misses += other.Misses
 	s.Evictions += other.Evictions
+	s.Prefetches += other.Prefetches
+	s.PrefetchFailed += other.PrefetchFailed
 	s.Bytes += other.Bytes
+	s.PinnedBytes += other.PinnedBytes
 }
 
 // AddCacheStats accumulates block-cache counters into the collector.

@@ -386,3 +386,20 @@ func TestCacheStatsAccounting(t *testing.T) {
 		t.Errorf("collector cache stats = %+v", got)
 	}
 }
+
+func TestFaultStatsFold(t *testing.T) {
+	var fs FaultStats
+	fs.Add(FaultStats{Retries: 2, FailedAttempts: 3, BlacklistedNodes: 1, RequeuedRounds: 4, RequeuedSubJobs: 5, FailedJobs: 1})
+	fs.Add(FaultStats{Retries: 1, FailedAttempts: 1})
+	want := FaultStats{Retries: 3, FailedAttempts: 4, BlacklistedNodes: 1, RequeuedRounds: 4, RequeuedSubJobs: 5, FailedJobs: 1}
+	if fs != want {
+		t.Errorf("after Add, fs = %+v, want %+v", fs, want)
+	}
+	c := NewCollector()
+	c.AddFaultStats(FaultStats{Retries: 1, RequeuedRounds: 2})
+	c.AddFaultStats(FaultStats{FailedJobs: 1})
+	got := c.FaultStats()
+	if got.Retries != 1 || got.RequeuedRounds != 2 || got.FailedJobs != 1 {
+		t.Errorf("collector fault stats = %+v", got)
+	}
+}

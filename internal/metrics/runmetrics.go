@@ -45,11 +45,15 @@ type RunMetrics struct {
 	CacheHits           *Counter
 	CacheMisses         *Counter
 	CacheEvictions      *Counter
+	CachePrefetches     *Counter
+	CachePrefetchFailed *Counter
 
 	// CacheHitRatio is hits/(hits+misses) at the end of the run; CacheBytes
-	// is the cached footprint. Both stay zero when caching is off.
-	CacheHitRatio *Gauge
-	CacheBytes    *Gauge
+	// is the cached footprint and CachePinnedBytes its pin-protected part.
+	// All stay zero when caching is off.
+	CacheHitRatio    *Gauge
+	CacheBytes       *Gauge
+	CachePinnedBytes *Gauge
 
 	// HeartbeatMisses counts control-plane heartbeat deadlines missed by
 	// registered workers; WorkerReconnects counts restarted workers
@@ -109,14 +113,17 @@ func NewRunMetrics(reg *Registry) *RunMetrics {
 		CacheHits:           reg.Counter("s3_cache_hits_total", "block reads served from the node-local cache"),
 		CacheMisses:         reg.Counter("s3_cache_misses_total", "block reads that went to disk"),
 		CacheEvictions:      reg.Counter("s3_cache_evictions_total", "cached blocks discarded to fit the byte budget"),
+		CachePrefetches:     reg.Counter("s3_cache_prefetches_total", "speculative readahead loads issued"),
+		CachePrefetchFailed: reg.Counter("s3_cache_prefetch_failed_total", "readahead loads that failed"),
 
 		HeartbeatMisses:  reg.Counter("s3_heartbeat_misses_total", "worker heartbeat deadlines missed by the control plane"),
 		WorkerReconnects: reg.Counter("s3_worker_reconnects_total", "workers that re-registered after a restart"),
 
 		WorkersConnected: reg.Gauge("s3_workers_connected", "live workers in the cluster membership table"),
 
-		CacheHitRatio: reg.Gauge("s3_cache_hit_ratio", "cache hits over total reads at end of run"),
-		CacheBytes:    reg.Gauge("s3_cache_bytes", "cached byte footprint at end of run"),
+		CacheHitRatio:    reg.Gauge("s3_cache_hit_ratio", "cache hits over total reads at end of run"),
+		CacheBytes:       reg.Gauge("s3_cache_bytes", "cached byte footprint at end of run"),
+		CachePinnedBytes: reg.Gauge("s3_cache_pinned_bytes", "pin-protected cached bytes at end of run"),
 
 		JournalAppends: reg.Counter("s3_journal_appends_total", "records appended to the write-ahead journal"),
 		JournalBytes:   reg.Gauge("s3_journal_bytes", "write-ahead journal file size"),

@@ -210,14 +210,18 @@ func (w *Worker) wireStats() comms.WireStats {
 	st := w.store.Stats()
 	cs := w.store.CacheStats()
 	return comms.WireStats{
-		BlockReads:     st.BlockReads,
-		BytesScanned:   st.BytesScanned,
-		FailedReads:    st.FailedReads,
-		MapTasks:       w.mapTasks.Load(),
-		ReduceTasks:    w.reduceTasks.Load(),
-		CacheHits:      cs.Hits,
-		CacheMisses:    cs.Misses,
-		CacheEvictions: cs.Evictions,
+		BlockReads:          st.BlockReads,
+		BytesScanned:        st.BytesScanned,
+		FailedReads:         st.FailedReads,
+		MapTasks:            w.mapTasks.Load(),
+		ReduceTasks:         w.reduceTasks.Load(),
+		CacheHits:           cs.Hits,
+		CacheMisses:         cs.Misses,
+		CacheEvictions:      cs.Evictions,
+		CachePrefetches:     cs.Prefetches,
+		CachePrefetchFailed: cs.PrefetchFailed,
+		CacheBytes:          cs.Bytes,
+		CachePinnedBytes:    cs.PinnedBytes,
 	}
 }
 

@@ -224,10 +224,13 @@ func (m *Master) CacheStats() metrics.CacheStats {
 			continue
 		}
 		cs.Add(metrics.CacheStats{
-			Hits:      st.CacheHits,
-			Misses:    st.CacheMisses,
-			Evictions: st.CacheEvictions,
-			Bytes:     st.CacheBytes,
+			Hits:           st.CacheHits,
+			Misses:         st.CacheMisses,
+			Evictions:      st.CacheEvictions,
+			Prefetches:     st.CachePrefetches,
+			PrefetchFailed: st.CachePrefetchFailed,
+			Bytes:          st.CacheBytes,
+			PinnedBytes:    st.CachePinnedBytes,
 		})
 	}
 	return cs

@@ -68,7 +68,12 @@ type StatsReply struct {
 	CacheHits   int64
 	CacheMisses int64
 	// CacheEvictions counts blocks discarded to fit the cache budget;
-	// CacheBytes is the cached footprint at poll time.
-	CacheEvictions int64
-	CacheBytes     int64
+	// CachePrefetches/CachePrefetchFailed count readahead loads issued
+	// and failed; CacheBytes is the cached footprint at poll time and
+	// CachePinnedBytes its pin-protected part.
+	CacheEvictions      int64
+	CachePrefetches     int64
+	CachePrefetchFailed int64
+	CacheBytes          int64
+	CachePinnedBytes    int64
 }

@@ -1,0 +1,122 @@
+package remote
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"s3sched/internal/comms"
+	"s3sched/internal/dfs"
+	"s3sched/internal/metrics"
+	"s3sched/internal/workload"
+)
+
+// TestMasterFoldsEveryCacheCounter warms a cursor-policy cache on one
+// worker — pins, hits, prefetches and all — and checks the master's
+// summed view over the Stats RPC reproduces the store's own counters
+// field for field. A counter added to dfs.CacheStats but dropped on the
+// wire or in the master's fold shows up here as a mismatch.
+func TestMasterFoldsEveryCacheCounter(t *testing.T) {
+	store := dfs.MustStore(1, 1)
+	f, err := workload.AddTextFile(store, "corpus", testBlocks, testBlockSize, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.EnableCachePolicy(int64(testBlocks*testBlockSize*2), dfs.PolicyCursor); err != nil {
+		t.Fatal(err)
+	}
+
+	blocks := f.Blocks()
+	// Cold scan of the first half, then a hint that pins it and
+	// prefetches the second half, then a warm rescan: every counter —
+	// hits, misses, pins, prefetches, footprint — goes nonzero.
+	half := blocks[:len(blocks)/2]
+	for _, b := range half {
+		if _, err := store.ReadBlockAt(b, store.Locations(b)[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store.HandleScanHint(dfs.ScanHint{
+		File:     f.Name,
+		Pin:      [][]dfs.BlockID{half},
+		Prefetch: blocks[len(blocks)/2:],
+	})
+	for _, b := range half {
+		if _, err := store.ReadBlockAt(b, store.Locations(b)[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	w := NewWorker(store, NewStandardRegistry())
+	addr, err := w.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	m, err := Dial([]string{addr}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Prefetch loads land from goroutines; poll until the master's
+	// folded view matches the store and shows the expected activity.
+	var got, want metrics.CacheStats
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cs := store.CacheStats()
+		want = metrics.CacheStats{
+			Hits:           cs.Hits,
+			Misses:         cs.Misses,
+			Evictions:      cs.Evictions,
+			Prefetches:     cs.Prefetches,
+			PrefetchFailed: cs.PrefetchFailed,
+			Bytes:          cs.Bytes,
+			PinnedBytes:    cs.PinnedBytes,
+		}
+		got = m.CacheStats()
+		settled := got == want && got.Hits > 0 && got.Prefetches > 0 && got.PinnedBytes > 0
+		if settled || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got != want {
+		t.Fatalf("master fold diverged from store:\nmaster %+v\nstore  %+v", got, want)
+	}
+	if got.Hits == 0 || got.Misses == 0 || got.Prefetches == 0 || got.PinnedBytes == 0 || got.Bytes == 0 {
+		t.Fatalf("warmup left counters cold: %+v", got)
+	}
+}
+
+// TestWireStatsMirrorsStatsReply pins the heartbeat ledger to the Stats
+// RPC by reflection: every counter in StatsReply must have a same-named,
+// same-typed field in comms.WireStats, so a counter added to one wire
+// format cannot silently vanish from the other.
+func TestWireStatsMirrorsStatsReply(t *testing.T) {
+	reply := reflect.TypeOf(StatsReply{})
+	wire := reflect.TypeOf(comms.WireStats{})
+	for i := 0; i < reply.NumField(); i++ {
+		rf := reply.Field(i)
+		if rf.Name == "Worker" {
+			continue // identity, filled master-side; not a counter
+		}
+		wf, ok := wire.FieldByName(rf.Name)
+		if !ok {
+			t.Errorf("StatsReply.%s has no comms.WireStats counterpart", rf.Name)
+			continue
+		}
+		if wf.Type != rf.Type {
+			t.Errorf("StatsReply.%s is %v but WireStats.%s is %v", rf.Name, rf.Type, wf.Name, wf.Type)
+		}
+	}
+	// And every cache counter the store reports must cross the RPC at
+	// all: one StatsReply field per dfs-level cache stat.
+	cache := reflect.TypeOf(metrics.CacheStats{})
+	for i := 0; i < cache.NumField(); i++ {
+		name := "Cache" + cache.Field(i).Name
+		if _, ok := reply.FieldByName(name); !ok {
+			t.Errorf("metrics.CacheStats.%s has no StatsReply.%s field", cache.Field(i).Name, name)
+		}
+	}
+}

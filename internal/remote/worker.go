@@ -117,7 +117,10 @@ func (w *Worker) Stats(_ *StatsArgs, reply *StatsReply) error {
 	reply.CacheHits = cs.Hits
 	reply.CacheMisses = cs.Misses
 	reply.CacheEvictions = cs.Evictions
+	reply.CachePrefetches = cs.Prefetches
+	reply.CachePrefetchFailed = cs.PrefetchFailed
 	reply.CacheBytes = cs.Bytes
+	reply.CachePinnedBytes = cs.PinnedBytes
 	return nil
 }
 

@@ -24,14 +24,34 @@ type simCacheEntry struct {
 	bytes int64
 }
 
-// simCache is the executor's warm-set state.
+// simCache is the executor's warm-set state. It has two modes:
+//
+//   - aggregate (EnableCache): one cluster-wide metadata LRU — the
+//     original model, kept bit-for-bit so existing baselines reprice
+//     identically.
+//   - policy twin (EnableCachePolicy): a dfs.MetaCache sharded by each
+//     block's primary holder, running the *same* policy code as the
+//     real BlockCache, so per-policy sim pricing tracks the engine's
+//     hit sequence block-for-block (the differential tests assert
+//     equality of the stat counters).
 type simCache struct {
-	budget  int64   // cluster-aggregate byte budget
+	budget  int64   // cluster-aggregate byte budget (aggregate mode)
 	frac    float64 // cached scan cost as a fraction of disk cost
 	entries map[dfs.BlockID]*list.Element
 	lru     *list.List // front = most recently scanned
 	bytes   int64
 	stats   metrics.CacheStats
+
+	// meta switches the cache into policy-twin mode; the aggregate
+	// fields above are unused when it is set.
+	meta *dfs.MetaCache
+	// prefetchSec accumulates the scan time of readahead issued since
+	// the last priced round; the next round charges whatever part of it
+	// the previous round's reduce stage could not hide.
+	prefetchSec float64
+	// prevRedSec is the last priced round's reduce duration — the
+	// overlap window the readahead runs under.
+	prevRedSec float64
 }
 
 // EnableCache turns on cache-aware pricing: totalBytes of warm-set
@@ -53,10 +73,87 @@ func (e *Executor) EnableCache(totalBytes int64, frac float64) error {
 	return nil
 }
 
+// EnableCachePolicy turns on policy-twin cache pricing: every node
+// gets bytesPerNode of warm-set budget under the named eviction policy
+// (dfs.Policies), with warm reads costing frac of the disk scan. The
+// warm set is a dfs.MetaCache — the same shard/policy machinery the
+// real BlockCache runs — sharded by each block's *primary* holder,
+// matching how the engine attributes reads on an unreplicated store.
+// Wire the scheduler's hints to HandleScanHint to drive the cursor
+// policy's pinning and modelled prefetch. Call before the run.
+func (e *Executor) EnableCachePolicy(bytesPerNode int64, frac float64, policy string) error {
+	if frac < 0 || frac > 1 {
+		return fmt.Errorf("sim: cached scan fraction %v outside [0,1]", frac)
+	}
+	meta, err := dfs.NewMetaCache(bytesPerNode, policy)
+	if err != nil {
+		return err
+	}
+	e.cache = &simCache{frac: frac, meta: meta}
+	return nil
+}
+
+// HandleScanHint feeds one scheduler hint to the policy-twin cache (a
+// no-op in aggregate mode): pins and demotions reach the policy, and —
+// for the cursor policy on an unreplicated store, mirroring
+// dfs.Store.HandleScanHint — the hinted blocks are prefetched onto
+// their primary holders. Each issued prefetch is charged as a physical
+// scan now, and its scan time accumulates into a readahead bill the
+// next priced round pays net of the previous round's reduce overlap.
+// The signature matches core.ScanHinter.
+func (e *Executor) HandleScanHint(h dfs.ScanHint) {
+	c := e.cache
+	if c == nil || c.meta == nil {
+		return
+	}
+	c.meta.Hint(h)
+	if c.meta.Policy() != dfs.PolicyCursor || e.store.Replicas() != 1 {
+		return
+	}
+	// One node's readahead runs serially; different nodes prefetch in
+	// parallel. The wall-clock bill is the slowest node's share.
+	perNodeMB := make(map[dfs.NodeID]float64)
+	for _, b := range h.Prefetch {
+		f, err := e.store.File(b.File)
+		if err != nil {
+			continue
+		}
+		locs := e.store.Locations(b)
+		if len(locs) == 0 {
+			continue
+		}
+		size := f.BlockLen(b.Index)
+		if !c.meta.Prefetch(b, locs[0], size) {
+			continue
+		}
+		e.stats.BlocksScanned++
+		perNodeMB[locs[0]] += float64(size) / (1 << 20)
+	}
+	var slowest float64
+	for _, mb := range perNodeMB {
+		if sec := mb / e.model.ScanMBps; sec > slowest {
+			slowest = sec
+		}
+	}
+	c.prefetchSec += slowest
+}
+
 // CacheStats implements driver.CacheStatsSource.
 func (e *Executor) CacheStats() metrics.CacheStats {
 	if e.cache == nil {
 		return metrics.CacheStats{}
+	}
+	if e.cache.meta != nil {
+		cs := e.cache.meta.Stats()
+		return metrics.CacheStats{
+			Hits:           cs.Hits,
+			Misses:         cs.Misses,
+			Evictions:      cs.Evictions,
+			Prefetches:     cs.Prefetches,
+			PrefetchFailed: cs.PrefetchFailed,
+			Bytes:          cs.Bytes,
+			PinnedBytes:    cs.PinnedBytes,
+		}
 	}
 	s := e.cache.stats
 	s.Bytes = e.cache.bytes
@@ -69,6 +166,9 @@ func (e *Executor) CacheStats() metrics.CacheStats {
 func (e *Executor) CachedBytes(blocks []dfs.BlockID) int64 {
 	if e.cache == nil {
 		return 0
+	}
+	if e.cache.meta != nil {
+		return e.cache.meta.CachedBytes(blocks)
 	}
 	var total int64
 	for _, b := range blocks {
@@ -84,6 +184,9 @@ func (e *Executor) cacheContains(b dfs.BlockID) bool {
 	if e.cache == nil {
 		return false
 	}
+	if e.cache.meta != nil {
+		return e.cache.meta.CachedBytes([]dfs.BlockID{b}) > 0
+	}
 	_, ok := e.cache.entries[b]
 	return ok
 }
@@ -97,6 +200,16 @@ func (e *Executor) cacheAccess(b dfs.BlockID, size int64) bool {
 	c := e.cache
 	if c == nil {
 		return false
+	}
+	if c.meta != nil {
+		// Policy-twin mode: the access lands on the shard of the block's
+		// primary holder, exactly where the engine's unreplicated demand
+		// read is attributed.
+		node := dfs.NodeID(-1)
+		if locs := e.store.Locations(b); len(locs) > 0 {
+			node = locs[0]
+		}
+		return c.meta.Access(b, node, size)
 	}
 	if el, ok := c.entries[b]; ok {
 		c.lru.MoveToFront(el)

@@ -206,6 +206,9 @@ func (e *Executor) ResetStats() {
 	e.stats = Stats{}
 	if e.cache != nil {
 		e.cache.stats = metrics.CacheStats{}
+		if e.cache.meta != nil {
+			e.cache.meta.ResetStats()
+		}
 	}
 }
 
@@ -325,6 +328,16 @@ func (e *Executor) price(r scheduler.Round) (mapSec, redSec float64, err error) 
 	}
 	mapSec = e.model.RoundOverhead + e.model.JobSetup*float64(r.FreshJobs) + float64(waves)*perBlockAvg/slowest
 
+	// Readahead bill (policy-twin mode): prefetch issued since the last
+	// round runs under that round's reduce stage; only the part the
+	// overlap window could not hide delays this round's start.
+	if c := e.cache; c != nil && c.meta != nil {
+		if spill := c.prefetchSec - c.prevRedSec; spill > 0 {
+			mapSec += spill
+		}
+		c.prefetchSec = 0
+	}
+
 	// Reduce work: one round's worth of every job's intermediate data
 	// is reduced, whenever its reduce phase eventually runs.
 	for _, j := range r.Jobs {
@@ -344,6 +357,10 @@ func (e *Executor) price(r scheduler.Round) (mapSec, redSec float64, err error) 
 		for _, id := range r.Completes {
 			redSec += e.model.ReduceSetup * byID[id].ReduceWeight
 		}
+	}
+
+	if c := e.cache; c != nil && c.meta != nil {
+		c.prevRedSec = redSec
 	}
 
 	e.stats.Rounds++

@@ -93,6 +93,9 @@ const (
 	// per-task deadline watchdog; the task fails over to the next live
 	// worker exactly like a transport error.
 	TaskDeadlineExceeded
+	// CachePrefetch records a speculatively read-ahead block landing in
+	// the node-local block cache before any job demanded it.
+	CachePrefetch
 )
 
 var kindNames = map[Kind]string{
@@ -123,6 +126,7 @@ var kindNames = map[Kind]string{
 
 	JournalRecovered:     "journal-recovered",
 	TaskDeadlineExceeded: "task-deadline-exceeded",
+	CachePrefetch:        "cache-prefetch",
 }
 
 // String returns the stable lowercase name of the kind.

@@ -34,13 +34,17 @@ import (
 // are arrivals. Unknown fields are rejected so a typo'd knob cannot
 // silently revert to a default and skew a benchmark.
 //
-//	{"kind":"workload","version":1,"name":"canonical","nodes":4,...}
+//	{"kind":"workload","version":2,"name":"canonical","nodes":4,...}
 //	{"kind":"file","name":"corpus","content":"text","blocks":32,...}
 //	{"kind":"job","id":1,"at":0,"file":"corpus","factory":"wordcount","param":"t"}
 
-// FileVersion is the workload schema version this package reads and
-// writes.
-const FileVersion = 1
+// FileVersion is the newest workload schema version this package
+// accepts; it also still reads every older version. v2 added the
+// header's cachePolicy field (block-cache eviction policy for cache-on
+// cells); v1 files — which cannot carry the field — parse, price and
+// digest exactly as before and default to the LRU policy v1 semantics
+// implied.
+const FileVersion = 2
 
 // Record kinds (the "kind" discriminator values).
 const (
@@ -109,6 +113,11 @@ type FileHeader struct {
 	// retain (sim.Executor.EnableCache's second knob).
 	CacheMBPerNode int     `json:"cacheMBPerNode,omitempty"`
 	CacheFrac      float64 `json:"cacheFrac,omitempty"`
+	// CachePolicy picks the block-cache eviction policy for cache-on
+	// cells (dfs.Policies: lru, 2q, cursor; empty = lru). Requires
+	// schema v2 — a v1 file carrying it is rejected rather than
+	// silently repriced.
+	CachePolicy string `json:"cachePolicy,omitempty"`
 	// Pipeline is the default stage-pipelining setting for consumers
 	// that run a single configuration rather than the full matrix.
 	Pipeline bool `json:"pipeline,omitempty"`
@@ -241,8 +250,8 @@ func (wf *File) Validate() error {
 	if h.Kind != KindHeader {
 		return fmt.Errorf("workload: header kind is %q, want %q", h.Kind, KindHeader)
 	}
-	if h.Version != FileVersion {
-		return fmt.Errorf("workload: %w: got %d, this build supports %d", ErrUnsupportedVersion, h.Version, FileVersion)
+	if h.Version < 1 || h.Version > FileVersion {
+		return fmt.Errorf("workload: %w: got %d, this build supports 1..%d", ErrUnsupportedVersion, h.Version, FileVersion)
 	}
 	if h.Name == "" {
 		return fmt.Errorf("workload: header has no name")
@@ -262,17 +271,25 @@ func (wf *File) Validate() error {
 	if h.CacheFrac < 0 || h.CacheFrac > 1 {
 		return fmt.Errorf("workload %q: cache fraction %v out of range [0, 1]", h.Name, h.CacheFrac)
 	}
+	if h.CachePolicy != "" {
+		if h.Version < 2 {
+			return fmt.Errorf("workload %q: cachePolicy needs schema v2, header says v%d", h.Name, h.Version)
+		}
+		if !dfs.ValidPolicy(h.CachePolicy) {
+			return fmt.Errorf("workload %q: unknown cache policy %q (want one of %v)", h.Name, h.CachePolicy, dfs.Policies())
+		}
+	}
 	if h.Cost != nil {
 		if err := h.Cost.Validate(); err != nil {
 			return fmt.Errorf("workload %q: %w", h.Name, err)
 		}
 	}
-	// v1 restricts workloads to a single input file — the schedulers'
+	// Workloads carry a single input file — the schedulers'
 	// constructors take one segment plan. The schema keeps a file
 	// *list* so multi-file workloads are a version bump, not a format
 	// break.
 	if len(wf.Files) != 1 {
-		return fmt.Errorf("workload %q: v%d requires exactly one file record, got %d", h.Name, FileVersion, len(wf.Files))
+		return fmt.Errorf("workload %q: v%d requires exactly one file record, got %d", h.Name, h.Version, len(wf.Files))
 	}
 	f := &wf.Files[0]
 	if f.Name == "" {

@@ -129,9 +129,73 @@ func TestParseFileErrors(t *testing.T) {
 		})
 	}
 	// Version mismatch is errors.Is-able.
-	_, err := ParseFile(strings.NewReader(strings.Replace(header, `"version":1`, `"version":2`, 1) + file + job))
+	_, err := ParseFile(strings.NewReader(strings.Replace(header, `"version":1`, `"version":3`, 1) + file + job))
 	if !errors.Is(err, ErrUnsupportedVersion) {
 		t.Fatalf("version error %v is not ErrUnsupportedVersion", err)
+	}
+}
+
+// TestCachePolicyVersioning pins the v2 schema rules: cachePolicy
+// parses on a v2 header, is rejected on v1 (the field did not exist, so
+// a v1 consumer would silently reprice the file under LRU), and must
+// name a known policy.
+func TestCachePolicyVersioning(t *testing.T) {
+	v2header := `{"kind":"workload","version":2,"name":"w","nodes":2,"slotsPerNode":1,"replicas":1,"cacheMBPerNode":1,"cachePolicy":"cursor"}` + "\n"
+	file := `{"kind":"file","name":"f","content":"text","blocks":4,"blockBytes":64,"segmentBlocks":2}` + "\n"
+	job := `{"kind":"job","id":1,"at":0,"file":"f","factory":"wordcount","param":"t"}` + "\n"
+
+	wf, err := ParseFile(strings.NewReader(v2header + file + job))
+	if err != nil {
+		t.Fatalf("v2 workload with cachePolicy rejected: %v", err)
+	}
+	if wf.Header.CachePolicy != "cursor" {
+		t.Fatalf("cachePolicy = %q, want cursor", wf.Header.CachePolicy)
+	}
+	// Round trip preserves the declared version and the policy.
+	var buf bytes.Buffer
+	if err := wf.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseFile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if again.Header.Version != 2 || again.Header.CachePolicy != "cursor" {
+		t.Fatalf("round trip lost v2 fields: %+v", again.Header)
+	}
+
+	v1policy := strings.Replace(v2header, `"version":2`, `"version":1`, 1)
+	if _, err := ParseFile(strings.NewReader(v1policy + file + job)); err == nil || !strings.Contains(err.Error(), "schema v2") {
+		t.Fatalf("v1 header with cachePolicy accepted (err=%v)", err)
+	}
+	badPolicy := strings.Replace(v2header, `"cachePolicy":"cursor"`, `"cachePolicy":"clock"`, 1)
+	if _, err := ParseFile(strings.NewReader(badPolicy + file + job)); err == nil || !strings.Contains(err.Error(), "unknown cache policy") {
+		t.Fatalf("unknown cachePolicy accepted (err=%v)", err)
+	}
+	// A bare v2 header without the new field is fine.
+	v2plain := strings.Replace(v2header, `,"cachePolicy":"cursor"`, ``, 1)
+	if _, err := ParseFile(strings.NewReader(v2plain + file + job)); err != nil {
+		t.Fatalf("plain v2 workload rejected: %v", err)
+	}
+}
+
+// TestV1DigestStable pins that the v2 schema change leaves v1 files
+// byte-identical through Parse∘Serialize — existing baselines keyed by
+// Digest stay valid.
+func TestV1DigestStable(t *testing.T) {
+	wf := parseGood(t)
+	if wf.Header.Version != 1 {
+		t.Fatalf("goodWorkload is v%d, want v1", wf.Header.Version)
+	}
+	var buf bytes.Buffer
+	if err := wf.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "cachePolicy") {
+		t.Fatalf("v1 serialization grew a cachePolicy field:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"version":1`) {
+		t.Fatalf("v1 serialization lost its version:\n%s", buf.String())
 	}
 }
 
