@@ -1,0 +1,184 @@
+// SIGKILL-mid-DAG crash recovery: a wordcount→top-k pipeline plus an
+// unrelated concurrent wordcount survive losing the master while the
+// producer is still scanning. The restarted master must re-form the
+// half-finished DAG from the journal — the held consumer holds again,
+// the producer resumes, its output materializes, and the consumer's
+// result is byte-identical to an uninterrupted run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"s3sched/internal/workload"
+)
+
+// postJobDeps submits a job whose input is an earlier job's
+// materialized reduce output.
+func postJobDeps(t *testing.T, base, factory, param string, deps []int) int {
+	t.Helper()
+	parts := make([]string, len(deps))
+	for i, d := range deps {
+		parts[i] = strconv.Itoa(d)
+	}
+	body := fmt.Sprintf(`{"factory":%q,"param":%q,"dependsOn":[%s]}`,
+		factory, param, strings.Join(parts, ","))
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		out, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /jobs: %s: %s", resp.Status, out)
+	}
+	var reply struct {
+		ID int `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatalf("decoding submit reply: %v", err)
+	}
+	return reply.ID
+}
+
+// jobDetail fetches one job's state and declared dependencies.
+func jobDetail(t *testing.T, base string, id int) (state string, dependsOn []int) {
+	t.Helper()
+	var st struct {
+		State     string `json:"state"`
+		DependsOn []int  `json:"dependsOn"`
+	}
+	if err := getJSON(fmt.Sprintf("%s/jobs/%d", base, id), &st); err != nil {
+		t.Fatalf("GET /jobs/%d: %v", id, err)
+	}
+	return st.State, st.DependsOn
+}
+
+// submitDAGChain submits the pipeline under test: a wordcount producer,
+// a top-3 consumer over its materialized output, and an unrelated
+// wordcount that shares the producer's circular pass.
+func submitDAGChain(t *testing.T, base string) (producer, consumer, bystander int) {
+	t.Helper()
+	prefixes := workload.DistinctPrefixes(2)
+	producer = postJob(t, base, "wordcount", prefixes[0])
+	consumer = postJobDeps(t, base, "topk", "3", []int{producer})
+	bystander = postJob(t, base, "wordcount", prefixes[1])
+	return producer, consumer, bystander
+}
+
+func TestMasterCrashRecoveryDAG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process crash test")
+	}
+	dir := t.TempDir()
+
+	// --- incarnation 1: killed while the producer is mid-pass ---------
+	ctrl, statusAddr := pickAddr(t), pickAddr(t)
+	journalPath := filepath.Join(dir, "journal.wal")
+	tracePath := filepath.Join(dir, "trace.json")
+	base := "http://" + statusAddr
+
+	m1 := spawnMaster(t, "dag-master1", ctrl, statusAddr, journalPath, "")
+	startCrashWorker(t, ctrl, "dag-worker-a")
+	startCrashWorker(t, ctrl, "dag-worker-b")
+	waitStatus(t, base, 30*time.Second, "dag-master1 up", func(statusSnapshot) bool { return true })
+
+	producer, consumer, bystander := submitDAGChain(t, base)
+	ids := []int{producer, consumer, bystander}
+
+	// The consumer must be admitted held: waiting state, dependency
+	// visible through the status API (not yet scanning anything).
+	state, deps := jobDetail(t, base, consumer)
+	if state != "waiting" {
+		t.Fatalf("consumer state = %q, want waiting", state)
+	}
+	if len(deps) != 1 || deps[0] != producer {
+		t.Fatalf("consumer dependsOn = %v, want [%d]", deps, producer)
+	}
+
+	// One pass is crashBlocks/2 = 24 rounds; by round 3 the producer is
+	// mid-flight and the consumer still held.
+	waitStatus(t, base, 30*time.Second, "rounds to accumulate", func(st statusSnapshot) bool {
+		return st.Rounds >= 3
+	})
+	if state, _ := jobDetail(t, base, consumer); state != "waiting" {
+		t.Fatalf("consumer left waiting state before its producer finished: %q", state)
+	}
+	if err := m1.cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL dag-master1: %v", err)
+	}
+	_ = m1.cmd.Wait() // reap; exit status is meaningless after SIGKILL
+
+	// --- incarnation 2: same journal re-forms the DAG -----------------
+	m2 := spawnMaster(t, "dag-master2", ctrl, statusAddr, journalPath, tracePath)
+	waitStatus(t, base, 30*time.Second, "dag-master2 recovery", func(st statusSnapshot) bool {
+		return st.Recovery != nil
+	})
+	// The recovered consumer must still carry its dependency edge.
+	if _, deps := jobDetail(t, base, consumer); len(deps) != 1 || deps[0] != producer {
+		t.Fatalf("recovered consumer dependsOn = %v, want [%d]", deps, producer)
+	}
+	waitJobsDone(t, base, ids, 120*time.Second)
+
+	st := waitStatus(t, base, 5*time.Second, "recovery visible", func(st statusSnapshot) bool {
+		return st.Recovery != nil && st.Recovery.Recoveries >= 1
+	})
+	if st.Recovery.JobsResumed+st.Recovery.JobsRestarted == 0 {
+		t.Errorf("recovery carried no jobs: %+v", st.Recovery)
+	}
+	got := jobOutputs(t, base, ids)
+
+	// --- reference: uninterrupted run on a fresh journal --------------
+	refCtrl, refStatus := pickAddr(t), pickAddr(t)
+	refBase := "http://" + refStatus
+	ref := spawnMaster(t, "dag-reference", refCtrl, refStatus, filepath.Join(dir, "ref.wal"), "")
+	startCrashWorker(t, refCtrl, "dag-ref-worker-a")
+	startCrashWorker(t, refCtrl, "dag-ref-worker-b")
+	waitStatus(t, refBase, 30*time.Second, "dag-reference up", func(statusSnapshot) bool { return true })
+	refProducer, refConsumer, refBystander := submitDAGChain(t, refBase)
+	refIDs := []int{refProducer, refConsumer, refBystander}
+	waitJobsDone(t, refBase, refIDs, 120*time.Second)
+	want := jobOutputs(t, refBase, refIDs)
+
+	for i, id := range ids {
+		if !bytes.Equal(got[id], want[refIDs[i]]) {
+			t.Errorf("job %d: output diverges from uninterrupted run (%d vs %d bytes)\n got: %s\nwant: %s",
+				id, len(got[id]), len(want[refIDs[i]]), got[id], want[refIDs[i]])
+		}
+	}
+	// The consumer's output is the top-k ranking, not raw counts: it
+	// must be non-empty and smaller than its producer's full output.
+	if len(got[consumer]) == 0 || len(got[consumer]) >= len(got[producer]) {
+		t.Errorf("consumer output %dB vs producer %dB: top-k did not rank/truncate",
+			len(got[consumer]), len(got[producer]))
+	}
+
+	// --- graceful shutdown + trace assertion --------------------------
+	if err := ref.cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatalf("SIGINT dag-reference: %v", err)
+	}
+	_ = ref.wait(t, 30*time.Second)
+	if err := m2.cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatalf("SIGINT dag-master2: %v", err)
+	}
+	if err := m2.wait(t, 30*time.Second); err != nil {
+		t.Fatalf("dag-master2 exited uncleanly: %v", err)
+	}
+	traceOut, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("reading trace: %v", err)
+	}
+	if !bytes.Contains(traceOut, []byte("journal-recovered")) {
+		t.Error("exported trace lacks the journal-recovered event")
+	}
+}

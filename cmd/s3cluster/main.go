@@ -46,6 +46,7 @@ import (
 	"s3sched/internal/dfs"
 	"s3sched/internal/journal"
 	"s3sched/internal/metrics"
+	"s3sched/internal/pipeline"
 	"s3sched/internal/remote"
 	"s3sched/internal/runtime"
 	"s3sched/internal/scheduler"
@@ -241,7 +242,10 @@ func runDemo() error {
 // inside the source's pre-admission hook (so the engine can never race
 // ahead of registration), and tracks names for the final report.
 type clusterAdmission struct {
-	src       *runtime.LiveSource
+	src *runtime.LiveSource
+	// dag wraps src with dependency tracking: jobs submitted with
+	// dependsOn are held until their producers finish and materialize.
+	dag       *pipeline.LiveDAG
 	master    *remote.Master
 	factories map[string]bool
 	// journal, when set, gets a job-admitted record inside the same
@@ -265,9 +269,10 @@ func factoryFile(factory string) string {
 	}
 }
 
-func newClusterAdmission(src *runtime.LiveSource, master *remote.Master) *clusterAdmission {
+func newClusterAdmission(src *runtime.LiveSource, dag *pipeline.LiveDAG, master *remote.Master) *clusterAdmission {
 	a := &clusterAdmission{
 		src:       src,
+		dag:       dag,
 		master:    master,
 		factories: make(map[string]bool),
 		refs:      make(map[scheduler.JobID]remote.JobRef),
@@ -290,6 +295,13 @@ func (a *clusterAdmission) SubmitJob(req status.JobRequest) (scheduler.JobID, er
 	if !a.factories[factory] {
 		return 0, fmt.Errorf("unknown job factory %q (have %v)", factory, remote.NewStandardRegistry().Names())
 	}
+	deps := append([]scheduler.JobID(nil), req.DependsOn...)
+	if factory == "topk" && len(deps) == 0 {
+		// topk parses key\tcount lines — a DAG stage's output framing.
+		// Pointing it at the raw corpus would abort the shared pass
+		// worker-side; refuse at the HTTP boundary instead.
+		return 0, fmt.Errorf("factory %q scans another job's materialized output; submit it with dependsOn", factory)
+	}
 	name := req.Name
 	if name == "" {
 		if req.Param != "" {
@@ -309,22 +321,35 @@ func (a *clusterAdmission) SubmitJob(req status.JobRequest) (scheduler.JobID, er
 		Weight:   req.Weight,
 		Priority: req.Priority,
 	}
-	return a.submit(meta, ref)
+	if len(deps) > 0 {
+		// A dependent stage scans its first producer's materialized
+		// output; the remaining dependencies are precedence-only.
+		meta.File = workload.DerivedFileName(deps[0])
+	}
+	return a.submitStage(meta, ref, deps)
 }
 
-// submit runs the admission protocol for one job: journal the
-// admission (write-ahead — a crash after the ack must still know the
-// job), register its program with the master, and record its name, all
-// inside the source's pre-admission hook so the engine can never see a
-// half-registered job. A journal append failure rejects the submission.
+// submit runs the admission protocol for a dependency-free job.
 func (a *clusterAdmission) submit(meta scheduler.JobMeta, ref remote.JobRef) (scheduler.JobID, error) {
-	return a.src.SubmitWith(meta, func(id scheduler.JobID) error {
+	return a.submitStage(meta, ref, nil)
+}
+
+// submitStage runs the admission protocol for one job: journal the
+// admission (write-ahead — a crash after the ack must still know the
+// job and its dependencies), register its program with the master, and
+// record its name, all inside the source's pre-admission hook so the
+// engine can never see a half-registered job. A journal append failure
+// rejects the submission. Jobs with unfinished dependencies are held by
+// the DAG layer and surface as "waiting" on the status API.
+func (a *clusterAdmission) submitStage(meta scheduler.JobMeta, ref remote.JobRef, deps []scheduler.JobID) (scheduler.JobID, error) {
+	return a.dag.SubmitStage(meta, deps, func(id scheduler.JobID) error {
 		if a.journal != nil {
 			m := meta
 			m.ID = id
 			rec := journal.JobAdmittedRecord{
 				ID: id, Name: ref.Name, Factory: ref.Factory,
 				Param: ref.Param, NumReduce: ref.NumReduce, Meta: m,
+				DependsOn: deps,
 			}
 			if err := a.journal.AppendRecord(journal.KindJobAdmitted, rec); err != nil {
 				return fmt.Errorf("journaling admission: %w", err)
@@ -441,11 +466,22 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 	}
 
 	var src *runtime.LiveSource
+	var dag *pipeline.LiveDAG
 	var adm *clusterAdmission
+	// remat rebuilds one finished job's output as a scannable derived
+	// file; the DAG layer invokes it on the engine goroutine between
+	// rounds, and recovery invokes it directly to restore materialized
+	// stages before the engine starts.
+	remat := func(id scheduler.JobID) error {
+		return materializeStage(master, sched, planStore, jnl, numWorkers, id)
+	}
 	statusAddr := *statAddr
 	if *serve {
 		src = runtime.NewLiveSource()
-		adm = newClusterAdmission(src, master)
+		dag = pipeline.NewLiveDAG(src, func(id scheduler.JobID, _ vclock.Time) (vclock.Duration, error) {
+			return 0, remat(id)
+		})
+		adm = newClusterAdmission(src, dag, master)
 		adm.journal = jnl
 		if statusAddr == "" {
 			// The daemon is pointless without its HTTP surface.
@@ -478,7 +514,7 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 	if *serve {
 		recovered := false
 		if jnl != nil && len(replayed.Entries) > 0 {
-			rep, err := recoverFromJournal(jnl, replayed.Entries, sched, master, src, adm, &opts)
+			rep, err := recoverFromJournal(jnl, replayed.Entries, sched, master, src, dag, adm, remat, &opts)
 			if err != nil {
 				return fmt.Errorf("recovering from %s: %w", *journalPath, err)
 			}
@@ -539,7 +575,11 @@ func drive(master *remote.Master, numWorkers int, refs map[scheduler.JobID]remot
 			fmt.Println("interrupt: closing admission, draining in-flight jobs")
 			src.Close()
 		}()
-		res, err = runtime.Run(sched, master, src, opts)
+		// The engine sees the DAG wrapper: arrivals flow through it so
+		// deferred materializations drain on the engine goroutine, and
+		// its JobTracker hooks release (or cascade-fail) dependents as
+		// producers settle.
+		res, err = runtime.Run(sched, master, dag, opts)
 		names = adm.jobNames()
 	} else {
 		var arrivals []runtime.Arrival

@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"s3sched/internal/journal"
+	"s3sched/internal/pipeline"
 	"s3sched/internal/remote"
 	"s3sched/internal/runtime"
 	"s3sched/internal/scheduler"
@@ -64,7 +65,12 @@ type recoveryReport struct {
 // state: settled jobs get their status (and restored results) back,
 // snapshotted jobs resume mid-pass with their committed shuffle state,
 // and admitted-but-unsnapshotted jobs are resubmitted under their
-// original ids. Mutates opts (Restored, InitialRequeues) and appends a
+// original ids — with their recorded dependencies, so a half-finished
+// DAG re-forms: done producers seed the DAG's done set, waiting
+// consumers hold again, and stage-materialized records re-install the
+// derived files before the engine starts (remat rebuilds one; it must
+// run before RestoreState, which needs every snapshot queue's file
+// registered). Mutates opts (Restored, InitialRequeues) and appends a
 // recovered record marking the journal as once-more-recovered.
 func recoverFromJournal(
 	jnl *journal.Journal,
@@ -72,7 +78,9 @@ func recoverFromJournal(
 	sched scheduler.Scheduler,
 	master *remote.Master,
 	src *runtime.LiveSource,
+	dag *pipeline.LiveDAG,
 	adm *clusterAdmission,
+	remat func(scheduler.JobID) error,
 	opts *runtime.Options,
 ) (*recoveryReport, error) {
 	st, err := journal.ReduceEntries(entries)
@@ -106,6 +114,18 @@ func recoverFromJournal(
 			if err := src.Adopt(meta, runtime.JobDone, 0, end.At); err != nil {
 				return nil, err
 			}
+			dag.AdoptDone(id, false)
+			// A stage-materialized record means dependents scan this job's
+			// output: rebuild the derived file now (from the restored
+			// result), before any consumer is resubmitted and before
+			// RestoreState needs its queue registered. Walking st.Order
+			// keeps the registration order deterministic.
+			if _, wasMat := st.Materialized[id]; wasMat {
+				if err := remat(id); err != nil {
+					return nil, fmt.Errorf("re-materializing job %d output: %w", id, err)
+				}
+				dag.AdoptMaterialized(id)
+			}
 			adm.adopt(id, ref)
 			rep.settled++
 			continue
@@ -121,6 +141,13 @@ func recoverFromJournal(
 			if err := src.Adopt(meta, runtime.JobDone, 0, 0); err != nil {
 				return nil, err
 			}
+			dag.AdoptDone(id, false)
+			if _, wasMat := st.Materialized[id]; wasMat {
+				if err := remat(id); err != nil {
+					return nil, fmt.Errorf("re-materializing job %d output: %w", id, err)
+				}
+				dag.AdoptMaterialized(id)
+			}
 			adm.adopt(id, ref)
 			rep.settled++
 			continue
@@ -129,6 +156,7 @@ func recoverFromJournal(
 			if err := src.Adopt(meta, runtime.JobFailed, 0, end.At); err != nil {
 				return nil, err
 			}
+			dag.AdoptDone(id, true)
 			adm.adopt(id, ref)
 			rep.settled++
 			continue
@@ -141,6 +169,7 @@ func recoverFromJournal(
 			if err := src.Adopt(meta, runtime.JobFailed, 0, 0); err != nil {
 				return nil, err
 			}
+			dag.AdoptDone(id, true)
 			adm.adopt(id, ref)
 			continue
 		}
@@ -164,11 +193,33 @@ func recoverFromJournal(
 			rep.resumed++
 			continue
 		}
+		// A cascade-failed consumer leaves no job-failed record (FailHeld
+		// is a status transition, not a round commit), so re-derive the
+		// verdict: any failed dependency fails this stage again.
+		depFailed := false
+		for _, dep := range rec.DependsOn {
+			if ds, ok := src.Status(dep); ok && ds.State == runtime.JobFailed {
+				depFailed = true
+				break
+			}
+		}
+		if depFailed {
+			if err := src.Adopt(meta, runtime.JobFailed, 0, 0); err != nil {
+				return nil, err
+			}
+			dag.AdoptDone(id, true)
+			adm.adopt(id, ref)
+			rep.settled++
+			continue
+		}
 		// Admitted but never snapshotted (or the snapshot predates it):
 		// resubmit through the normal admission path under the original
-		// id. That re-journals the admission, which is harmless — the
-		// fold is last-writer-wins per id.
-		if _, err := adm.submit(meta, ref); err != nil {
+		// id, with its recorded dependencies — a consumer whose producer
+		// is still pending holds again, one whose producer settled is
+		// released exactly as a live submission would be. That
+		// re-journals the admission, which is harmless — the fold is
+		// last-writer-wins per id.
+		if _, err := adm.submitStage(meta, ref, rec.DependsOn); err != nil {
 			return nil, err
 		}
 		rep.restarted++

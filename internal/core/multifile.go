@@ -35,6 +35,9 @@ type MultiFile struct {
 	// cachedBytes, when set, reports how many bytes of a candidate
 	// segment's blocks are already cached (see SetCacheAdvisor).
 	cachedBytes func(blocks []dfs.BlockID) int64
+	// hinter is remembered so files registered mid-run (AddPlan) hint
+	// the same cache as the construction-time plans.
+	hinter ScanHinter
 }
 
 var _ scheduler.Scheduler = (*MultiFile)(nil)
@@ -63,6 +66,31 @@ func NewMultiFile(plans []*dfs.SegmentPlan, log *trace.Log) (*MultiFile, error) 
 
 // Name implements Scheduler.
 func (m *MultiFile) Name() string { return "s3-multifile" }
+
+// AddPlan registers a new file's segment plan mid-run — how a DAG
+// stage's materialized output joins the rotation so its consumers can
+// share circular scans like any other jobs. The new queue inherits the
+// installed scan hinter. expectJobs is the number of jobs expected to
+// read the file; S^3 admits jobs continuously, so it is advisory here
+// (batch-oriented schedulers size a batch with it). It must not be
+// called with a round in flight: the runtime invokes it from job-done
+// hooks, which the round protocol runs after RoundDone.
+func (m *MultiFile) AddPlan(p *dfs.SegmentPlan, expectJobs int) error {
+	if m.inFlight {
+		return fmt.Errorf("core: MultiFile.AddPlan with a round in flight")
+	}
+	name := p.File().Name
+	if _, dup := m.queues[name]; dup {
+		return fmt.Errorf("core: MultiFile already has a plan for file %q", name)
+	}
+	q := New(p, m.log)
+	if m.hinter != nil {
+		q.SetScanHinter(m.hinter)
+	}
+	m.queues[name] = q
+	m.rotation = append(m.rotation, name)
+	return nil
+}
 
 // Files returns the registered file names in registration order.
 func (m *MultiFile) Files() []string {
@@ -109,6 +137,7 @@ func (m *MultiFile) SetCacheAdvisor(advisor func(blocks []dfs.BlockID) int64) {
 // hints carry the file name, so one cache can track the pin windows of
 // all registered files at once.
 func (m *MultiFile) SetScanHinter(h ScanHinter) {
+	m.hinter = h
 	for _, q := range m.queues {
 		q.SetScanHinter(h)
 	}

@@ -14,6 +14,7 @@ import (
 	"s3sched/internal/faults"
 	"s3sched/internal/mapreduce"
 	"s3sched/internal/metrics"
+	"s3sched/internal/pipeline"
 	"s3sched/internal/runtime"
 	"s3sched/internal/scheduler"
 	"s3sched/internal/sim"
@@ -62,25 +63,93 @@ type CompareOptions struct {
 // strongest configuration for a known job set.
 func CompareSchedulers() []string { return []string{"s3", "fifo", "mrs1"} }
 
-// makeScheduler builds a fresh scheduler for the scheme over plan.
-func makeScheduler(name string, plan *dfs.SegmentPlan, numJobs int) (scheduler.Scheduler, error) {
+// makeScheduler builds a fresh scheduler for the scheme. A single-file
+// workload with no DAG gets the exact legacy single-plan constructors
+// (existing baselines stay byte-identical); multi-file and DAG
+// workloads get the multi-plan constructors, which also accept derived
+// files registered mid-run. jobsPerFile counts the declared readers of
+// each file — mrs1 batches each file's whole job set, its strongest
+// configuration for a known pattern.
+func makeScheduler(name string, plans []*dfs.SegmentPlan, jobsPerFile map[string]int, totalJobs int, multi bool) (scheduler.Scheduler, error) {
+	if !multi {
+		switch name {
+		case "s3":
+			return core.New(plans[0], nil), nil
+		case "fifo":
+			return scheduler.NewFIFO(plans[0], nil), nil
+		case "mrs1":
+			return scheduler.NewMRShare(plans[0], []int{totalJobs}, nil)
+		default:
+			return nil, fmt.Errorf("experiments: unknown compare scheduler %q", name)
+		}
+	}
 	switch name {
 	case "s3":
-		return core.New(plan, nil), nil
+		return core.NewMultiFile(plans, nil)
 	case "fifo":
-		return scheduler.NewFIFO(plan, nil), nil
+		return scheduler.NewMultiFIFO(plans, nil)
 	case "mrs1":
-		return scheduler.NewMRShare(plan, []int{numJobs}, nil)
+		sizes := make(map[string][]int, len(plans))
+		for _, p := range plans {
+			n := jobsPerFile[p.File().Name]
+			if n < 1 {
+				n = 1 // a file nobody reads yet still needs a valid batch plan
+			}
+			sizes[p.File().Name] = []int{n}
+		}
+		return scheduler.NewMultiMRShare(plans, sizes, nil)
 	default:
 		return nil, fmt.Errorf("experiments: unknown compare scheduler %q", name)
 	}
+}
+
+// planRegistrar is the mid-run file-registration surface every
+// multi-plan scheduler exposes (scheduler.PlanRegistrar; core.MultiFile
+// matches it structurally).
+type planRegistrar interface {
+	AddPlan(plan *dfs.SegmentPlan, expectJobs int) error
+}
+
+// derivedGeometry resolves the block size and segment granularity of
+// job id's derived output: inherited from the producing job's own
+// input file, recursing through chained stages until a declared file
+// grounds it.
+func derivedGeometry(wf *workload.File, id scheduler.JobID) (int64, int, error) {
+	for i := range wf.Jobs {
+		if wf.Jobs[i].ID != id {
+			continue
+		}
+		input := wf.Jobs[i].File
+		for j := range wf.Files {
+			if wf.Files[j].Name == input {
+				return wf.Files[j].BlockBytes, wf.Files[j].SegmentBlocks, nil
+			}
+		}
+		producer, ok := wf.DerivedProducer(input)
+		if !ok {
+			return 0, 0, fmt.Errorf("experiments: job %d reads unknown file %q", id, input)
+		}
+		return derivedGeometry(wf, producer)
+	}
+	return 0, 0, fmt.Errorf("experiments: no job %d in workload", id)
+}
+
+// derivedConsumers counts the jobs reading each derived file, keyed by
+// producer id — the expectJobs hint AddPlan takes.
+func derivedConsumers(wf *workload.File) map[scheduler.JobID]int {
+	out := make(map[scheduler.JobID]int)
+	for i := range wf.Jobs {
+		if producer, ok := wf.DerivedProducer(wf.Jobs[i].File); ok {
+			out[producer]++
+		}
+	}
+	return out
 }
 
 // RunCompare runs the workload through the configured matrix and
 // returns the report, cells in canonical order.
 func RunCompare(wf *workload.File, opts CompareOptions) (*benchfmt.Report, error) {
 	h := &wf.Header
-	f := &wf.Files[0]
 	schedulers := opts.Schedulers
 	if schedulers == nil {
 		schedulers = CompareSchedulers()
@@ -89,7 +158,13 @@ func RunCompare(wf *workload.File, opts CompareOptions) (*benchfmt.Report, error
 	if engines == nil {
 		engines = []string{benchfmt.EngineSim, benchfmt.EngineReal}
 	}
-	if f.Content == workload.ContentMeta {
+	hasMeta := false
+	for i := range wf.Files {
+		if wf.Files[i].Content == workload.ContentMeta {
+			hasMeta = true
+		}
+	}
+	if hasMeta {
 		kept := engines[:0:0]
 		for _, e := range engines {
 			if e == benchfmt.EngineReal {
@@ -120,12 +195,15 @@ func RunCompare(wf *workload.File, opts CompareOptions) (*benchfmt.Report, error
 	}
 
 	// The reference digest: each job run alone on a fresh, uncached,
-	// fault-free store. Sim cells carry it directly; engine cells must
-	// reproduce it.
+	// fault-free store (dependencies' outputs pre-materialized for DAG
+	// stages). Sim cells carry it directly; engine cells must reproduce
+	// it. The reference also measures each derived file's block count —
+	// the geometry sim cells price materialized stage outputs under.
 	refDigest := ""
-	if f.Content != workload.ContentMeta {
+	var refBlocks map[scheduler.JobID]int
+	if !hasMeta {
 		var err error
-		refDigest, err = soloReferenceDigest(wf)
+		refDigest, refBlocks, err = soloReference(wf)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: solo reference run: %w", err)
 		}
@@ -141,7 +219,7 @@ func RunCompare(wf *workload.File, opts CompareOptions) (*benchfmt.Report, error
 			for _, pipe := range pipelines {
 				for _, cache := range caches {
 					key := benchfmt.CellKey{Scheduler: schedName, Engine: engine, Pipeline: pipe, Cache: cache}
-					cell, err := runCell(wf, key, refDigest)
+					cell, err := runCell(wf, key, refDigest, refBlocks)
 					if err != nil {
 						return nil, fmt.Errorf("experiments: cell %s: %w", key, err)
 					}
@@ -160,22 +238,30 @@ func RunCompare(wf *workload.File, opts CompareOptions) (*benchfmt.Report, error
 // runCell runs one matrix configuration from a completely fresh
 // environment (store, scheduler, executor), so cells cannot contaminate
 // each other.
-func runCell(wf *workload.File, key benchfmt.CellKey, refDigest string) (benchfmt.Cell, error) {
+func runCell(wf *workload.File, key benchfmt.CellKey, refDigest string, refBlocks map[scheduler.JobID]int) (benchfmt.Cell, error) {
 	h := &wf.Header
-	f := &wf.Files[0]
 	store, err := dfs.NewStore(h.Nodes, h.Replicas)
 	if err != nil {
 		return benchfmt.Cell{}, err
 	}
-	file, err := f.AddTo(store)
-	if err != nil {
-		return benchfmt.Cell{}, err
+	plans := make([]*dfs.SegmentPlan, len(wf.Files))
+	jobsPerFile := make(map[string]int, len(wf.Files))
+	for i := range wf.Files {
+		file, err := wf.Files[i].AddTo(store)
+		if err != nil {
+			return benchfmt.Cell{}, err
+		}
+		plans[i], err = dfs.PlanSegments(file, wf.Files[i].SegmentBlocks)
+		if err != nil {
+			return benchfmt.Cell{}, err
+		}
 	}
-	plan, err := dfs.PlanSegments(file, f.SegmentBlocks)
-	if err != nil {
-		return benchfmt.Cell{}, err
+	for i := range wf.Jobs {
+		jobsPerFile[wf.Jobs[i].File]++
 	}
-	sched, err := makeScheduler(key.Scheduler, plan, len(wf.Jobs))
+	hasDAG := wf.HasDAG()
+	multi := len(wf.Files) > 1 || hasDAG
+	sched, err := makeScheduler(key.Scheduler, plans, jobsPerFile, len(wf.Jobs), multi)
 	if err != nil {
 		return benchfmt.Cell{}, err
 	}
@@ -264,9 +350,43 @@ func runCell(wf *workload.File, key benchfmt.CellKey, refDigest string) (benchfm
 		return benchfmt.Cell{}, fmt.Errorf("unknown engine %q", key.Engine)
 	}
 
-	res, err := driver.RunOpts(sched, exec, arrivals, driver.Options{Pipeline: key.Pipeline})
-	if err != nil {
-		return benchfmt.Cell{}, err
+	var res *driver.Result
+	if hasDAG {
+		// DAG cells run under a pipeline coordinator: roots arrive like
+		// a trace; a finished producer's output is materialized into the
+		// cell's store, its segment plan registered with the scheduler,
+		// and its dependents released into the same circular pass.
+		mat := cellMaterializer(wf, key, store, sched, engineExec, model, refBlocks)
+		stages := make([]pipeline.Stage, len(wf.Jobs))
+		for i := range wf.Jobs {
+			stages[i] = pipeline.Stage{
+				Job:       wf.Jobs[i].Meta(),
+				At:        vclock.Time(wf.Jobs[i].At),
+				DependsOn: wf.Jobs[i].DependsOn,
+			}
+		}
+		coord, cerr := pipeline.NewCoordinator(stages, mat)
+		if cerr != nil {
+			return benchfmt.Cell{}, cerr
+		}
+		res, err = runtime.Run(sched, exec, coord, runtime.Options{Pipeline: key.Pipeline})
+		if err != nil {
+			return benchfmt.Cell{}, err
+		}
+		if cerr := coord.Err(); cerr != nil {
+			return benchfmt.Cell{}, cerr
+		}
+		if left := coord.Unfinished(); len(left) > 0 {
+			return benchfmt.Cell{}, fmt.Errorf("DAG stages %v never became ready", left)
+		}
+		if failed := coord.Failed(); len(failed) > 0 {
+			return benchfmt.Cell{}, fmt.Errorf("DAG stages %v cascade-failed", failed)
+		}
+	} else {
+		res, err = driver.RunOpts(sched, exec, arrivals, driver.Options{Pipeline: key.Pipeline})
+		if err != nil {
+			return benchfmt.Cell{}, err
+		}
 	}
 	sum, err := res.Metrics.Summarize(key.String())
 	if err != nil {
@@ -305,6 +425,72 @@ func runCell(wf *workload.File, key benchfmt.CellKey, refDigest string) (benchfm
 	return cell, nil
 }
 
+// cellMaterializer builds the pipeline.Materializer for one DAG cell.
+// Engine cells write the producer's real reduce output into the store
+// via mapreduce.StoreResult (uniform padded blocks); sim cells, which
+// execute nothing, register priced metadata with the block count the
+// solo reference measured — so both cells see a derived file of
+// identical geometry and every scan of it prices identically. The
+// returned delay is the cost model's materialization charge, deferring
+// the dependents' release.
+func cellMaterializer(
+	wf *workload.File,
+	key benchfmt.CellKey,
+	store *dfs.Store,
+	sched scheduler.Scheduler,
+	engineExec *driver.EngineExecutor,
+	model sim.CostModel,
+	refBlocks map[scheduler.JobID]int,
+) pipeline.Materializer {
+	consumers := derivedConsumers(wf)
+	return func(id scheduler.JobID, at vclock.Time) (vclock.Duration, error) {
+		n := consumers[id]
+		if n == 0 {
+			return 0, nil // dependents exist but none read the output (pure ordering)
+		}
+		name := workload.DerivedFileName(id)
+		blockBytes, segBlocks, err := derivedGeometry(wf, id)
+		if err != nil {
+			return 0, err
+		}
+		var file *dfs.File
+		if engineExec != nil {
+			res, ok := engineExec.Results()[id]
+			if !ok {
+				return 0, fmt.Errorf("engine has no result for finished job %d", id)
+			}
+			file, err = mapreduce.StoreResult(store, name, blockBytes, res)
+			if err != nil {
+				return 0, err
+			}
+			if want, ok := refBlocks[id]; ok && file.NumBlocks != want {
+				return 0, fmt.Errorf("derived file %q is %d blocks, solo reference wrote %d", name, file.NumBlocks, want)
+			}
+		} else {
+			want, ok := refBlocks[id]
+			if !ok {
+				return 0, fmt.Errorf("no reference block count for job %d's output", id)
+			}
+			file, err = store.AddMetaFile(name, want, blockBytes)
+			if err != nil {
+				return 0, err
+			}
+		}
+		plan, err := dfs.PlanSegments(file, segBlocks)
+		if err != nil {
+			return 0, err
+		}
+		reg, ok := sched.(planRegistrar)
+		if !ok {
+			return 0, fmt.Errorf("scheduler %q cannot register files mid-run", key.Scheduler)
+		}
+		if err := reg.AddPlan(plan, n); err != nil {
+			return 0, err
+		}
+		return model.MaterializeDelay(int64(file.NumBlocks) * blockBytes), nil
+	}
+}
+
 // cellPolicy resolves the header's eviction policy; v1 files (no
 // cachePolicy field) get the LRU the old schema implied.
 func cellPolicy(h *workload.FileHeader) string {
@@ -324,32 +510,102 @@ func wireScanHints(sched scheduler.Scheduler, h core.ScanHinter) {
 	}
 }
 
-// soloReferenceDigest runs every job alone, each on a fresh uncached
+// soloReference runs every job alone, each on a fresh uncached
 // fault-free store, and digests the outputs — the ground truth any
-// shared/pipelined/cached execution must reproduce.
-func soloReferenceDigest(wf *workload.File) (string, error) {
+// shared/pipelined/cached execution must reproduce. Jobs run in
+// dependency order: a DAG stage's derived input is pre-materialized
+// from its producer's solo output before the stage runs, and each
+// derived file's block count is recorded — the geometry sim cells
+// price materialized stage outputs under.
+func soloReference(wf *workload.File) (string, map[scheduler.JobID]int, error) {
 	h := &wf.Header
+	order, err := topoOrder(wf)
+	if err != nil {
+		return "", nil, err
+	}
 	results := make(map[scheduler.JobID]*mapreduce.Result, len(wf.Jobs))
-	for i := range wf.Jobs {
-		j := &wf.Jobs[i]
+	refBlocks := make(map[scheduler.JobID]int)
+	for _, j := range order {
 		store, err := dfs.NewStore(h.Nodes, h.Replicas)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		if _, err := wf.Files[0].AddTo(store); err != nil {
-			return "", err
+		for i := range wf.Files {
+			if _, err := wf.Files[i].AddTo(store); err != nil {
+				return "", nil, err
+			}
 		}
-		spec, err := j.EngineSpec(wf.Files[0].Content)
+		if producer, ok := wf.DerivedProducer(j.File); ok {
+			res, done := results[producer]
+			if !done {
+				return "", nil, fmt.Errorf("job %d runs before its producer %d", j.ID, producer)
+			}
+			blockBytes, _, err := derivedGeometry(wf, producer)
+			if err != nil {
+				return "", nil, err
+			}
+			file, err := mapreduce.StoreResult(store, j.File, blockBytes, res)
+			if err != nil {
+				return "", nil, fmt.Errorf("materializing %q for job %d: %w", j.File, j.ID, err)
+			}
+			refBlocks[producer] = file.NumBlocks
+		}
+		content, ok := wf.ContentOf(j.File)
+		if !ok {
+			return "", nil, fmt.Errorf("job %d reads unknown file %q", j.ID, j.File)
+		}
+		spec, err := j.EngineSpec(content)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
 		res, err := mapreduce.NewEngine(mapreduce.MustCluster(store, h.SlotsPerNode)).RunJob(spec)
 		if err != nil {
-			return "", fmt.Errorf("job %d: %w", j.ID, err)
+			return "", nil, fmt.Errorf("job %d: %w", j.ID, err)
 		}
 		results[j.ID] = res
 	}
-	return digestResults(results), nil
+	return digestResults(results), refBlocks, nil
+}
+
+// topoOrder returns the jobs in dependency (Kahn) order, stable by id
+// among ready jobs. Validate guarantees acyclicity for parsed files;
+// the error path covers hand-built ones.
+func topoOrder(wf *workload.File) ([]*workload.FileJob, error) {
+	indeg := make(map[scheduler.JobID]int, len(wf.Jobs))
+	byID := make(map[scheduler.JobID]*workload.FileJob, len(wf.Jobs))
+	dependents := make(map[scheduler.JobID][]scheduler.JobID)
+	for i := range wf.Jobs {
+		j := &wf.Jobs[i]
+		byID[j.ID] = j
+		indeg[j.ID] = len(j.DependsOn)
+		for _, dep := range j.DependsOn {
+			dependents[dep] = append(dependents[dep], j.ID)
+		}
+	}
+	ready := make([]scheduler.JobID, 0, len(wf.Jobs))
+	for id, n := range indeg {
+		if n == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	out := make([]*workload.FileJob, 0, len(wf.Jobs))
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		out = append(out, byID[id])
+		for _, cid := range dependents[id] {
+			indeg[cid]--
+			if indeg[cid] == 0 {
+				ready = append(ready, cid)
+			}
+		}
+		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	}
+	if len(out) != len(wf.Jobs) {
+		return nil, fmt.Errorf("dependency cycle among jobs")
+	}
+	return out, nil
 }
 
 // digestResults fingerprints job outputs: sha256 over jobs in id order,

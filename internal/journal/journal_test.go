@@ -7,6 +7,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"s3sched/internal/mapreduce"
@@ -70,7 +71,7 @@ func TestAppendReplayRoundtrip(t *testing.T) {
 	if err := json.Unmarshal(rep2.Entries[1].Data, &rec); err != nil {
 		t.Fatal(err)
 	}
-	if rec != records[1] {
+	if !reflect.DeepEqual(rec, records[1]) {
 		t.Fatalf("entry 1 = %+v, want %+v", rec, records[1])
 	}
 	if err := j2.AppendRecord(KindJobFailed, JobEndRecord{Job: 2, At: 20}); err != nil {
@@ -286,5 +287,72 @@ func TestReduceEntriesCheckpointWins(t *testing.T) {
 	}
 	if st.Snapshot.Queues[0].Cursor != 2 || st.Requeues != 5 {
 		t.Fatalf("latest snapshot not kept: %+v requeues %d", st.Snapshot, st.Requeues)
+	}
+}
+
+func TestReduceEntriesDAGRecords(t *testing.T) {
+	e := func(kind string, payload any) Entry {
+		data, err := json.Marshal(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Entry{Kind: kind, Data: data}
+	}
+	st, err := ReduceEntries([]Entry{
+		e(KindJobAdmitted, JobAdmittedRecord{ID: 1, Factory: "wordcount", Meta: scheduler.JobMeta{ID: 1, File: "corpus"}}),
+		e(KindJobAdmitted, JobAdmittedRecord{ID: 2, Factory: "topk", Param: "3",
+			Meta: scheduler.JobMeta{ID: 2, File: "job-1.out"}, DependsOn: []scheduler.JobID{1}}),
+		// Re-journaled admission (recovery resubmits under the original
+		// id): last writer wins, order keeps the first position.
+		e(KindJobAdmitted, JobAdmittedRecord{ID: 1, Factory: "wordcount", Param: "th", Meta: scheduler.JobMeta{ID: 1, File: "corpus"}}),
+		e(KindJobResult, JobResultRecord{Job: 1, Output: []mapreduce.KV{{Key: "the", Value: "4"}}}),
+		e(KindJobDone, JobEndRecord{Job: 1, At: 9}),
+		e(KindStageMaterialized, StageMaterializedRecord{Job: 1, File: "job-1.out", BlockSize: 64, Blocks: 1}),
+		e(KindJobFailed, JobEndRecord{Job: 2, At: 11}),
+		e(KindShuffleCommitted, ShuffleCommittedRecord{Job: 2, Segment: 0, Parts: [][]mapreduce.KV{{{Key: "x", Value: "1"}}}}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Order) != 2 || st.Order[0] != 1 || st.Order[1] != 2 {
+		t.Fatalf("Order = %v, want [1 2] (re-admission keeps first position)", st.Order)
+	}
+	if st.Admitted[1].Param != "th" {
+		t.Fatalf("re-admission not last-writer-wins: %+v", st.Admitted[1])
+	}
+	if got := st.Admitted[2].DependsOn; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("DependsOn lost in fold: %+v", st.Admitted[2])
+	}
+	mat, ok := st.Materialized[1]
+	if !ok || mat.File != "job-1.out" || mat.BlockSize != 64 || mat.Blocks != 1 {
+		t.Fatalf("Materialized[1] = %+v, %v", mat, ok)
+	}
+	if _, failed := st.Failed[2]; !failed {
+		t.Fatalf("Failed = %v", st.Failed)
+	}
+	// Failed jobs drop their shuffle state just like done ones.
+	if _, has := st.Shuffle[2]; has {
+		t.Fatal("failed job kept shuffle state")
+	}
+	if pend := st.Pending(); len(pend) != 0 {
+		t.Fatalf("Pending = %+v, want none (both settled)", pend)
+	}
+	if st.InSnapshot(1) {
+		t.Fatal("InSnapshot with no snapshot")
+	}
+}
+
+func TestReduceEntriesRejectsCorruptKnownKind(t *testing.T) {
+	bad := Entry{Kind: KindStageMaterialized, Data: json.RawMessage(`{"job":`)}
+	if _, err := ReduceEntries([]Entry{bad}); err == nil {
+		t.Fatal("undecodable known-kind payload accepted")
+	}
+	for _, kind := range []string{
+		KindJobAdmitted, KindShuffleCommitted, KindJobResult,
+		KindRoundCommitted, KindCheckpoint, KindJobDone, KindJobFailed,
+	} {
+		if _, err := ReduceEntries([]Entry{{Kind: kind, Data: json.RawMessage(`[`)}}); err == nil {
+			t.Fatalf("undecodable %s payload accepted", kind)
+		}
 	}
 }

@@ -30,6 +30,12 @@ const (
 	// KindJobDone / KindJobFailed: the engine settled a job's fate.
 	KindJobDone   = "job-done"
 	KindJobFailed = "job-failed"
+	// KindStageMaterialized: a finished DAG stage's reduce output was
+	// written into the cluster as a derived file and its segment plan
+	// registered, making dependent stages runnable. Appended before the
+	// dependents are released, so recovery knows which derived files
+	// the crashed run's scheduler state may reference.
+	KindStageMaterialized = "stage-materialized"
 	// KindCheckpoint: a graceful shutdown (SIGTERM) wrote a final
 	// scheduler snapshot before draining.
 	KindCheckpoint = "checkpoint"
@@ -48,6 +54,9 @@ type JobAdmittedRecord struct {
 	Param     string            `json:"param,omitempty"`
 	NumReduce int               `json:"numReduce"`
 	Meta      scheduler.JobMeta `json:"meta"`
+	// DependsOn records the job's DAG dependencies: recovery must hold
+	// the job until they settle (or release it if they already have).
+	DependsOn []scheduler.JobID `json:"dependsOn,omitempty"`
 }
 
 // ShuffleCommittedRecord persists one segment's merged map output for
@@ -63,6 +72,17 @@ type ShuffleCommittedRecord struct {
 type JobResultRecord struct {
 	Job    scheduler.JobID `json:"job"`
 	Output []mapreduce.KV  `json:"output"`
+}
+
+// StageMaterializedRecord marks a producer stage's output as installed
+// cluster-wide under File. The bytes themselves are not journaled —
+// they re-derive deterministically from the job-result record — only
+// the geometry the derived file was cut into.
+type StageMaterializedRecord struct {
+	Job       scheduler.JobID `json:"job"`
+	File      string          `json:"file"`
+	BlockSize int64           `json:"blockSize"`
+	Blocks    int             `json:"blocks"`
 }
 
 // RoundCommittedRecord marks a retired round and carries the

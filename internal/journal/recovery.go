@@ -20,6 +20,10 @@ type MasterState struct {
 	Failed map[scheduler.JobID]JobEndRecord
 	// Results holds completed jobs' final outputs.
 	Results map[scheduler.JobID][]mapreduce.KV
+	// Materialized maps a producer stage to its derived-file record:
+	// the crashed run installed this output cluster-wide, so recovery
+	// must re-install it before resuming anything that scans it.
+	Materialized map[scheduler.JobID]StageMaterializedRecord
 	// Shuffle[job][segment] is the committed map output awaiting that
 	// job's reduce — the partitions to restore before resuming.
 	Shuffle map[scheduler.JobID]map[int][][]mapreduce.KV
@@ -73,11 +77,12 @@ func (s *MasterState) InSnapshot(id scheduler.JobID) bool {
 // writer bug, not disk damage.
 func ReduceEntries(entries []Entry) (*MasterState, error) {
 	st := &MasterState{
-		Admitted: make(map[scheduler.JobID]JobAdmittedRecord),
-		Done:     make(map[scheduler.JobID]JobEndRecord),
-		Failed:   make(map[scheduler.JobID]JobEndRecord),
-		Results:  make(map[scheduler.JobID][]mapreduce.KV),
-		Shuffle:  make(map[scheduler.JobID]map[int][][]mapreduce.KV),
+		Admitted:     make(map[scheduler.JobID]JobAdmittedRecord),
+		Done:         make(map[scheduler.JobID]JobEndRecord),
+		Failed:       make(map[scheduler.JobID]JobEndRecord),
+		Results:      make(map[scheduler.JobID][]mapreduce.KV),
+		Shuffle:      make(map[scheduler.JobID]map[int][][]mapreduce.KV),
+		Materialized: make(map[scheduler.JobID]StageMaterializedRecord),
 	}
 	for _, e := range entries {
 		switch e.Kind {
@@ -112,6 +117,12 @@ func ReduceEntries(entries []Entry) (*MasterState, error) {
 			st.Results[rec.Job] = rec.Output
 			// The shuffle state was released when the result committed.
 			delete(st.Shuffle, rec.Job)
+		case KindStageMaterialized:
+			var rec StageMaterializedRecord
+			if err := decode(e, &rec); err != nil {
+				return nil, err
+			}
+			st.Materialized[rec.Job] = rec
 		case KindRoundCommitted:
 			var rec RoundCommittedRecord
 			if err := decode(e, &rec); err != nil {

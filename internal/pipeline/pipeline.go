@@ -1,0 +1,278 @@
+// Package pipeline turns independent jobs into DAG stages: a job may
+// depend on other jobs, and when a producer finishes, its reduce
+// output is materialized into the store as a new file whose consumers
+// are released into the live circular pass — where they share segment
+// scans with whatever else is running, exactly like jobs over declared
+// inputs (the ROADMAP's S^3 twist on Fotakis et al.'s multi-round
+// precedence model).
+//
+// Two coordinators cover the two execution modes:
+//
+//   - Coordinator is the batch-mode runtime.ArrivalSource +
+//     runtime.JobTracker for trace-driven runs (s3compare cells). It is
+//     engine-owned and single-goroutine, like TraceSource.
+//   - LiveDAG wraps a runtime.LiveSource for daemon mode (s3cluster):
+//     held jobs are visible to the admission API as "waiting" and are
+//     released or cascade-failed as their dependencies settle.
+//
+// Materialization is delegated: the coordinator decides *when* a
+// stage's output becomes a file, the installed Materializer decides
+// *how* (sim cells register priced metadata, engine cells write real
+// blocks, the cluster master replicates to workers) and reports how
+// long it took, which delays the dependents' release.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"s3sched/internal/runtime"
+	"s3sched/internal/scheduler"
+	"s3sched/internal/vclock"
+)
+
+// Stage is one DAG node: a job, its arrival lower bound, and its
+// dependencies. A stage with no dependencies is a root and arrives
+// like a plain trace entry.
+type Stage struct {
+	Job scheduler.JobMeta
+	// At is the stage's submission time — a lower bound: a dependent
+	// stage is released at max(At, last dependency's materialization).
+	At        vclock.Time
+	DependsOn []scheduler.JobID
+}
+
+// Materializer ingests a finished stage's output into the run's store
+// and registers its segment plan with the scheduler, returning the
+// virtual duration the write took (which defers the dependents'
+// release). It is called at most once per stage, and only for stages
+// with dependents. A Materializer that knows the stage's output is
+// never read (pure ordering edges) returns (0, nil) without ingesting.
+type Materializer func(id scheduler.JobID, at vclock.Time) (vclock.Duration, error)
+
+// waiting is a stage whose dependencies have not all settled.
+type waiting struct {
+	stage     Stage
+	remaining int
+}
+
+// Coordinator schedules a DAG of stages over the engine's arrival
+// machinery. Roots are delivered by At like a trace; dependents are
+// held until every dependency materializes, then released into the
+// same run. The engine owns it (single goroutine), so there is no
+// locking — daemon mode uses LiveDAG instead.
+type Coordinator struct {
+	mat Materializer
+
+	// roots is the At-sorted arrival trace of dependency-free stages.
+	roots []runtime.Arrival
+	next  int
+	// released holds dependency-satisfied stages not yet delivered,
+	// sorted by (at, id).
+	released []runtime.Arrival
+	// waiting tracks held stages by id.
+	waiting map[scheduler.JobID]*waiting
+	// consumers maps a producer to the held stages depending on it.
+	consumers map[scheduler.JobID][]scheduler.JobID
+	done      map[scheduler.JobID]bool
+	failed    []scheduler.JobID
+	err       error
+}
+
+var (
+	_ runtime.ArrivalSource = (*Coordinator)(nil)
+	_ runtime.JobTracker    = (*Coordinator)(nil)
+)
+
+// NewCoordinator builds a coordinator over the DAG. Stages must have
+// unique positive ids and acyclic dependencies naming other stages
+// (workload.File.Validate enforces all of this for workload-derived
+// DAGs; the checks here catch hand-built ones). mat may be nil only
+// when no stage has dependents.
+func NewCoordinator(stages []Stage, mat Materializer) (*Coordinator, error) {
+	c := &Coordinator{
+		mat:       mat,
+		waiting:   make(map[scheduler.JobID]*waiting),
+		consumers: make(map[scheduler.JobID][]scheduler.JobID),
+		done:      make(map[scheduler.JobID]bool),
+	}
+	ids := make(map[scheduler.JobID]bool, len(stages))
+	for _, st := range stages {
+		if st.Job.ID <= 0 {
+			return nil, fmt.Errorf("pipeline: stage %q has non-positive id %d", st.Job.Name, st.Job.ID)
+		}
+		if ids[st.Job.ID] {
+			return nil, fmt.Errorf("pipeline: duplicate stage id %d", st.Job.ID)
+		}
+		ids[st.Job.ID] = true
+	}
+	hasDeps := false
+	for _, st := range stages {
+		if len(st.DependsOn) == 0 {
+			c.roots = append(c.roots, runtime.Arrival{Job: st.Job, At: st.At})
+			continue
+		}
+		hasDeps = true
+		w := &waiting{stage: st, remaining: len(st.DependsOn)}
+		for _, dep := range st.DependsOn {
+			if !ids[dep] {
+				return nil, fmt.Errorf("pipeline: stage %d depends on unknown stage %d", st.Job.ID, dep)
+			}
+			c.consumers[dep] = append(c.consumers[dep], st.Job.ID)
+		}
+		c.waiting[st.Job.ID] = w
+	}
+	if hasDeps && mat == nil {
+		return nil, fmt.Errorf("pipeline: DAG has dependent stages but no materializer")
+	}
+	sortArrivals(c.roots)
+	return c, nil
+}
+
+func sortArrivals(evs []runtime.Arrival) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		return evs[i].Job.ID < evs[j].Job.ID
+	})
+}
+
+// Pop implements runtime.ArrivalSource: every root and released stage
+// due at or before now, merged in (at, id) order.
+func (c *Coordinator) Pop(now vclock.Time) []runtime.Arrival {
+	var out []runtime.Arrival
+	for c.next < len(c.roots) && c.roots[c.next].At <= now {
+		out = append(out, c.roots[c.next])
+		c.next++
+	}
+	due := 0
+	for due < len(c.released) && c.released[due].At <= now {
+		due++
+	}
+	if due > 0 {
+		out = append(out, c.released[:due]...)
+		c.released = c.released[due:]
+		sortArrivals(out)
+	}
+	return out
+}
+
+// Peek implements runtime.ArrivalSource.
+func (c *Coordinator) Peek() (vclock.Time, bool) {
+	var at vclock.Time
+	have := false
+	if c.next < len(c.roots) {
+		at = c.roots[c.next].At
+		have = true
+	}
+	if len(c.released) > 0 && (!have || c.released[0].At < at) {
+		at = c.released[0].At
+		have = true
+	}
+	return at, have
+}
+
+// Pending implements runtime.ArrivalSource. Held stages count: they
+// are accepted work the engine has not yet seen.
+func (c *Coordinator) Pending() int {
+	return (len(c.roots) - c.next) + len(c.released) + len(c.waiting)
+}
+
+// Wait implements runtime.ArrivalSource. A coordinator never blocks:
+// releases happen synchronously inside the engine's own JobFinished
+// callback, so when nothing is queued *now*, nothing ever will be —
+// a held stage whose producers all settled is either released or
+// failed by the time the engine goes idle.
+func (c *Coordinator) Wait() bool {
+	return c.next < len(c.roots) || len(c.released) > 0
+}
+
+// JobAdmitted implements runtime.JobTracker.
+func (c *Coordinator) JobAdmitted(scheduler.JobID, vclock.Time) {}
+
+// JobFinished implements runtime.JobTracker: a finished producer
+// materializes its output (once) and decrements its consumers'
+// dependency counts, releasing the satisfied ones at
+// max(stage.At, finish + materialization delay). A failed producer —
+// or a failed materialization — cascade-fails every transitive
+// dependent: a stage whose input can never exist must not wait
+// forever.
+func (c *Coordinator) JobFinished(id scheduler.JobID, at vclock.Time, failed bool) {
+	if c.done[id] {
+		return
+	}
+	c.done[id] = true
+	if failed {
+		c.cascadeFail(id)
+		return
+	}
+	deps := c.consumers[id]
+	if len(deps) == 0 {
+		return
+	}
+	delay, err := c.mat(id, at)
+	if err != nil {
+		if c.err == nil {
+			c.err = fmt.Errorf("pipeline: materializing stage %d output: %w", id, err)
+		}
+		c.cascadeFail(id)
+		return
+	}
+	ready := at.Add(delay)
+	for _, cid := range deps {
+		w, ok := c.waiting[cid]
+		if !ok {
+			continue // already cascade-failed
+		}
+		w.remaining--
+		if w.remaining > 0 {
+			continue
+		}
+		delete(c.waiting, cid)
+		relAt := w.stage.At
+		if ready > relAt {
+			relAt = ready
+		}
+		c.released = append(c.released, runtime.Arrival{Job: w.stage.Job, At: relAt})
+	}
+	sortArrivals(c.released)
+}
+
+// cascadeFail removes every transitive dependent of id from the
+// waiting set and records it as failed.
+func (c *Coordinator) cascadeFail(id scheduler.JobID) {
+	for _, cid := range c.consumers[id] {
+		if _, ok := c.waiting[cid]; !ok {
+			continue
+		}
+		delete(c.waiting, cid)
+		c.failed = append(c.failed, cid)
+		c.cascadeFail(cid)
+	}
+}
+
+// Err reports the first materialization failure, if any.
+func (c *Coordinator) Err() error { return c.err }
+
+// Failed returns the stages cascade-failed because a dependency failed
+// or could not materialize, in ascending id order. They were never
+// admitted to the scheduler, so run metrics do not include them.
+func (c *Coordinator) Failed() []scheduler.JobID {
+	out := make([]scheduler.JobID, len(c.failed))
+	copy(out, c.failed)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Unfinished returns stages still held after a run — non-empty only
+// when the run ended abnormally (a producer never completed). A clean
+// run always drains the waiting set.
+func (c *Coordinator) Unfinished() []scheduler.JobID {
+	out := make([]scheduler.JobID, 0, len(c.waiting))
+	for id := range c.waiting {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,93 @@
+package remote
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"s3sched/internal/dfs"
+)
+
+// InstallFile end to end: a derived file published at the master lands
+// in every live worker's store, replays to late registrants, and
+// geometry conflicts are refused on both sides.
+func TestInstallFileBroadcastAndReplay(t *testing.T) {
+	master, workers, ctlAddr := startDynamicCluster(t, 2, nil, testCtlConfig)
+
+	// Blocks are padded to exactly blockSize, the framing StoreResult
+	// writes.
+	pad := func(s string) []byte {
+		b := make([]byte, 64)
+		copy(b, s)
+		return b
+	}
+	blocks := [][]byte{pad("the\t4\nfox\t1\n"), pad("dog\t2\n")}
+	if err := master.InstallFile("job-1.out", 64, blocks); err != nil {
+		t.Fatalf("InstallFile: %v", err)
+	}
+	for i, w := range workers {
+		f, err := w.store.File("job-1.out")
+		if err != nil {
+			t.Fatalf("worker %d missing installed file: %v", i, err)
+		}
+		if f.NumBlocks != 2 || f.BlockSize != 64 {
+			t.Fatalf("worker %d geometry = %d×%dB", i, f.NumBlocks, f.BlockSize)
+		}
+		data, err := w.store.ReadBlock(dfs.BlockID{File: "job-1.out", Index: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(blocks[0]) {
+			t.Fatalf("worker %d block 0 = %q", i, data)
+		}
+	}
+
+	// Idempotent re-install; conflicting geometry refused.
+	if err := master.InstallFile("job-1.out", 64, blocks); err != nil {
+		t.Fatalf("same-geometry re-install: %v", err)
+	}
+	if err := master.InstallFile("job-1.out", 128, blocks); err == nil {
+		t.Fatal("geometry conflict accepted")
+	}
+	if err := master.InstallFile("", 64, blocks); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := master.InstallFile("empty", 64, nil); err == nil {
+		t.Fatal("zero blocks accepted")
+	}
+
+	// A worker registering after the install receives the file during
+	// the registration handshake.
+	late := startRegisteredWorker(t, NewStandardRegistry(), ctlAddr, "late")
+	defer late.Close()
+	waitFor(t, 5*time.Second, "late worker to receive replayed file", func() bool {
+		_, err := late.store.File("job-1.out")
+		return err == nil
+	})
+}
+
+func TestWorkerInstallFileConflicts(t *testing.T) {
+	w := NewWorker(testStore(t), NewStandardRegistry())
+	block := make([]byte, 32)
+	copy(block, "k\t1\n")
+	args := &InstallFileArgs{Name: "job-9.out", BlockSize: 32, Blocks: [][]byte{block}}
+	var reply InstallFileReply
+	if err := w.InstallFile(args, &reply); err != nil {
+		t.Fatal(err)
+	}
+	// Same geometry: acked. Different: refused with both geometries named.
+	if err := w.InstallFile(args, &reply); err != nil {
+		t.Fatalf("idempotent re-install: %v", err)
+	}
+	conflict := &InstallFileArgs{Name: "job-9.out", BlockSize: 64, Blocks: [][]byte{[]byte("k\t1\n")}}
+	err := w.InstallFile(conflict, &reply)
+	if err == nil || !strings.Contains(err.Error(), "already installed") {
+		t.Fatalf("conflict err = %v", err)
+	}
+	if err := w.InstallFile(&InstallFileArgs{Name: "", Blocks: [][]byte{[]byte("x")}}, &reply); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := w.InstallFile(&InstallFileArgs{Name: "nb"}, &reply); err == nil {
+		t.Fatal("zero blocks accepted")
+	}
+}

@@ -74,6 +74,12 @@ type Master struct {
 	mergedSegs map[scheduler.JobID]map[int]bool
 	results    map[scheduler.JobID][]mapreduce.KV
 	failovers  int
+	// installed holds every derived file pushed cluster-wide (DAG stage
+	// outputs), in installation order; a (re)registering worker gets
+	// them replayed during its handshake, so membership churn cannot
+	// strand a pipeline stage on a worker missing its input.
+	installed    map[string]*InstallFileArgs
+	installOrder []string
 	// journal, when non-nil, receives shuffle-committed / job-result
 	// records at the corresponding commit points (see durable.go).
 	journal *journal.Journal
@@ -92,6 +98,7 @@ func NewMaster(jobs map[scheduler.JobID]JobRef) *Master {
 		partitions: make(map[scheduler.JobID][][]mapreduce.KV),
 		mergedSegs: make(map[scheduler.JobID]map[int]bool),
 		results:    make(map[scheduler.JobID][]mapreduce.KV),
+		installed:  make(map[string]*InstallFileArgs),
 	}
 	for id, ref := range jobs {
 		m.jobs[id] = ref
@@ -145,6 +152,64 @@ func (m *Master) RegisterJob(id scheduler.JobID, ref JobRef) error {
 		return fmt.Errorf("remote: job %d already registered", id)
 	}
 	m.jobs[id] = ref
+	return nil
+}
+
+// InstallFile publishes a derived file cluster-wide: it is recorded
+// for replay to future registrants, then pushed to every currently
+// live worker. Re-installing the same name with identical geometry is
+// a no-op (recovery re-derives stage outputs idempotently); a geometry
+// conflict is an error. A push failing with a transport error is
+// tolerated — that worker is dying or restarting, and its next
+// registration handshake replays the file — while a task-level
+// rejection (the worker holds a conflicting file) propagates.
+func (m *Master) InstallFile(name string, blockSize int64, blocks [][]byte) error {
+	if name == "" || len(blocks) == 0 {
+		return fmt.Errorf("remote: install needs a name and at least one block")
+	}
+	args := &InstallFileArgs{Name: name, BlockSize: blockSize, Blocks: blocks}
+	m.mu.Lock()
+	if prev, ok := m.installed[name]; ok {
+		if prev.BlockSize != blockSize || len(prev.Blocks) != len(blocks) {
+			m.mu.Unlock()
+			return fmt.Errorf("remote: file %q already installed with %d×%dB blocks, refusing %d×%dB",
+				name, len(prev.Blocks), prev.BlockSize, len(blocks), blockSize)
+		}
+		m.mu.Unlock()
+		return nil
+	}
+	m.installed[name] = args
+	m.installOrder = append(m.installOrder, name)
+	m.mu.Unlock()
+
+	_, live := m.members.live()
+	for _, w := range live {
+		var reply InstallFileReply
+		if err := m.callWorker(w, "Worker.InstallFile", args, &reply); err != nil {
+			if isTransportError(err) {
+				continue
+			}
+			return fmt.Errorf("remote: installing %q on worker %s: %w", name, w.id, err)
+		}
+	}
+	return nil
+}
+
+// pushInstalled replays every installed derived file to one worker, in
+// installation order — the registration-handshake half of InstallFile.
+func (m *Master) pushInstalled(w liveWorker) error {
+	m.mu.Lock()
+	files := make([]*InstallFileArgs, len(m.installOrder))
+	for i, name := range m.installOrder {
+		files[i] = m.installed[name]
+	}
+	m.mu.Unlock()
+	for _, args := range files {
+		var reply InstallFileReply
+		if err := m.callWorker(w, "Worker.InstallFile", args, &reply); err != nil {
+			return fmt.Errorf("remote: replaying %q to worker %s: %w", args.Name, w.id, err)
+		}
+	}
 	return nil
 }
 

@@ -436,6 +436,14 @@ func (m *Master) serveControl(conn *comms.Conn, cfg ControlConfig) {
 		return
 	}
 	gen := m.members.register(reg, conn, client)
+	// Replay derived files after the member is visible (so a concurrent
+	// InstallFile broadcast cannot slip between snapshot and join — the
+	// worst case is a harmless idempotent double install) and before the
+	// ack (so an admitted worker always holds every pipeline input).
+	if err := m.pushInstalled(liveWorker{id: reg.ID, client: client}); err != nil {
+		m.members.markDead(reg.ID, gen, err)
+		return
+	}
 	if err := conn.Send(comms.Envelope{Kind: comms.FrameAck, Ack: &comms.AckFrame{OK: true}}); err != nil {
 		m.members.markDead(reg.ID, gen, err)
 		return

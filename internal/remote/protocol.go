@@ -48,6 +48,24 @@ type ReduceTaskReply struct {
 	Output []mapreduce.KV
 }
 
+// InstallFileArgs ships a derived file — a finished DAG stage's
+// materialized reduce output — to a worker's local store, so later map
+// tasks can scan it like any generated corpus file. Unlike the seeded
+// corpus, derived bytes cannot be regenerated locally: they are pushed
+// once to every live worker at materialization time and replayed to
+// late (re)registrants during the registration handshake.
+type InstallFileArgs struct {
+	Name string
+	// BlockSize is the uniform block size; every block in Blocks is
+	// exactly this long (StoreResult pads the last one).
+	BlockSize int64
+	Blocks    [][]byte
+}
+
+// InstallFileReply is empty; installation is idempotent — a worker
+// already holding Name with the same geometry acks without change.
+type InstallFileReply struct{}
+
 // StatsArgs is empty; StatsReply reports a worker's lifetime counters.
 type StatsArgs struct{}
 

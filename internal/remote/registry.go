@@ -67,12 +67,14 @@ func (r *Registry) Build(name, param string) (mapper mapreduce.Mapper, reducer, 
 	return f(param)
 }
 
-// NewStandardRegistry returns a registry with the repository's three
+// NewStandardRegistry returns a registry with the repository's four
 // workload families:
 //
 //	"wordcount"   param = prefix to count
 //	"selection"   param = max l_quantity (integer)
 //	"aggregation" param unused (Q1-style group-by sum)
+//	"topk"        param = k (integer); scans a materialized DAG-stage
+//	              output (key\tcount lines) and keeps the k largest
 func NewStandardRegistry() *Registry {
 	r := NewRegistry()
 	r.Register("wordcount", func(param string) (mapreduce.Mapper, mapreduce.Reducer, mapreduce.Reducer, error) {
@@ -87,6 +89,15 @@ func NewStandardRegistry() *Registry {
 	})
 	r.Register("aggregation", func(string) (mapreduce.Mapper, mapreduce.Reducer, mapreduce.Reducer, error) {
 		return workload.AggregationMapper{}, workload.SumReducer{}, workload.SumReducer{}, nil
+	})
+	r.Register("topk", func(param string) (mapreduce.Mapper, mapreduce.Reducer, mapreduce.Reducer, error) {
+		k, err := strconv.Atoi(param)
+		if err != nil || k < 1 {
+			return nil, nil, nil, fmt.Errorf("remote: topk wants a positive integer k, got %q", param)
+		}
+		// No combiner: the selection is global, so partial per-block
+		// top-k lists cannot be merged by re-running the reducer early.
+		return workload.TopKMapper{}, workload.TopKReducer{K: k}, nil, nil
 	})
 	return r
 }

@@ -105,6 +105,29 @@ func (w *Worker) ExecReduce(args *ReduceTaskArgs, reply *ReduceTaskReply) error 
 	return nil
 }
 
+// InstallFile implements the InstallFile RPC: add a derived file's
+// blocks to the local store. Idempotent — re-installation of a file
+// the store already holds is acked if the geometry matches (a master
+// re-pushing after recovery, or a re-registration replay) and rejected
+// if it does not (two runs' leftovers colliding is a deployment bug
+// worth surfacing, not papering over).
+func (w *Worker) InstallFile(args *InstallFileArgs, reply *InstallFileReply) error {
+	if args.Name == "" || len(args.Blocks) == 0 {
+		return fmt.Errorf("remote: install needs a name and at least one block")
+	}
+	if f, err := w.store.File(args.Name); err == nil {
+		if f.NumBlocks != len(args.Blocks) || f.BlockSize != args.BlockSize {
+			return fmt.Errorf("remote: file %q already installed with %d×%dB blocks, refusing %d×%dB",
+				args.Name, f.NumBlocks, f.BlockSize, len(args.Blocks), args.BlockSize)
+		}
+		return nil
+	}
+	if _, err := w.store.AddFile(args.Name, args.BlockSize, args.Blocks); err != nil {
+		return fmt.Errorf("remote: installing %q: %w", args.Name, err)
+	}
+	return nil
+}
+
 // Stats implements the Stats RPC.
 func (w *Worker) Stats(_ *StatsArgs, reply *StatsReply) error {
 	st := w.store.Stats()

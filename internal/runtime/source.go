@@ -99,6 +99,9 @@ func (s *TraceSource) Wait() bool { return s.next < len(s.evs) }
 type JobState string
 
 const (
+	// JobWaiting: accepted, but held until its declared dependencies
+	// complete and materialize (DAG stages).
+	JobWaiting JobState = "waiting"
 	// JobQueued: accepted by the admission layer, waiting for the
 	// engine to hand it to the scheduler.
 	JobQueued JobState = "queued"
@@ -119,6 +122,9 @@ type JobStatus struct {
 	State      JobState        `json:"state"`
 	AdmittedAt vclock.Time     `json:"admittedAt"`
 	DoneAt     vclock.Time     `json:"doneAt"`
+	// DependsOn lists the job's declared dependencies (DAG stages);
+	// empty for independent jobs.
+	DependsOn []scheduler.JobID `json:"dependsOn,omitempty"`
 }
 
 // LiveSource is a thread-safe admission queue: any goroutine may
@@ -135,6 +141,9 @@ type LiveSource struct {
 	order  []scheduler.JobID
 	nextID scheduler.JobID
 	closed bool
+	// held are accepted-but-waiting jobs (DAG stages with unsettled
+	// dependencies); Release moves one into queue.
+	held map[scheduler.JobID]scheduler.JobMeta
 }
 
 // NewLiveSource returns an open admission queue.
@@ -142,6 +151,7 @@ func NewLiveSource() *LiveSource {
 	s := &LiveSource{
 		status: make(map[scheduler.JobID]*JobStatus),
 		nextID: 1,
+		held:   make(map[scheduler.JobID]scheduler.JobMeta),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -183,6 +193,81 @@ func (s *LiveSource) SubmitWith(meta scheduler.JobMeta, pre func(scheduler.JobID
 	s.order = append(s.order, meta.ID)
 	s.cond.Broadcast()
 	return meta.ID, nil
+}
+
+// SubmitHeldWith accepts a job without queueing it: the job is parked
+// in "waiting" state until Release hands it to the engine (or FailHeld
+// retires it). deps is recorded on the status for the admission API;
+// the caller (a DAG coordinator) owns the release decision — the
+// source does not interpret the dependency list. pre behaves as in
+// SubmitWith.
+func (s *LiveSource) SubmitHeldWith(meta scheduler.JobMeta, deps []scheduler.JobID, pre func(scheduler.JobID) error) (scheduler.JobID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("runtime: admission queue is closed")
+	}
+	if meta.ID == 0 {
+		meta.ID = s.nextID
+	} else if _, dup := s.status[meta.ID]; dup {
+		return 0, fmt.Errorf("runtime: job id %d already submitted", meta.ID)
+	}
+	if pre != nil {
+		if err := pre(meta.ID); err != nil {
+			return 0, err
+		}
+	}
+	if meta.ID >= s.nextID {
+		s.nextID = meta.ID + 1
+	}
+	s.held[meta.ID] = meta
+	st := &JobStatus{ID: meta.ID, Name: meta.Name, State: JobWaiting}
+	st.DependsOn = append(st.DependsOn, deps...)
+	s.status[meta.ID] = st
+	s.order = append(s.order, meta.ID)
+	return meta.ID, nil
+}
+
+// Release moves a held job into the admission queue, waking a parked
+// engine. It works after Close — held jobs whose dependencies complete
+// during drain still run; only *new* submissions are refused.
+func (s *LiveSource) Release(id scheduler.JobID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	meta, ok := s.held[id]
+	if !ok {
+		return fmt.Errorf("runtime: job %d is not held", id)
+	}
+	delete(s.held, id)
+	s.queue = append(s.queue, meta)
+	if st, ok := s.status[id]; ok {
+		st.State = JobQueued
+	}
+	s.cond.Broadcast()
+	return nil
+}
+
+// FailHeld retires a held job without admitting it — a dependency
+// failed, so the job's input will never exist.
+func (s *LiveSource) FailHeld(id scheduler.JobID, at vclock.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.held[id]; !ok {
+		return fmt.Errorf("runtime: job %d is not held", id)
+	}
+	delete(s.held, id)
+	if st, ok := s.status[id]; ok {
+		st.State = JobFailed
+		st.DoneAt = at
+	}
+	return nil
+}
+
+// Held reports how many accepted jobs are waiting on dependencies.
+func (s *LiveSource) Held() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.held)
 }
 
 // Close marks the source finished: queued jobs still drain, new
@@ -291,6 +376,46 @@ func (s *LiveSource) Adopt(meta scheduler.JobMeta, state JobState, admittedAt, d
 	}
 	s.order = append(s.order, meta.ID)
 	return nil
+}
+
+// AdoptHeld installs a journal-recovered job in waiting state: its
+// dependencies had not settled when the previous master died, so it
+// re-enters the held set and the recovered DAG coordinator releases or
+// fails it as the resumed run settles the dependencies.
+func (s *LiveSource) AdoptHeld(meta scheduler.JobMeta, deps []scheduler.JobID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("runtime: admission queue is closed")
+	}
+	if meta.ID == 0 {
+		return fmt.Errorf("runtime: cannot adopt a job without an id")
+	}
+	if _, dup := s.status[meta.ID]; dup {
+		return fmt.Errorf("runtime: job id %d already submitted", meta.ID)
+	}
+	if meta.ID >= s.nextID {
+		s.nextID = meta.ID + 1
+	}
+	s.held[meta.ID] = meta
+	st := &JobStatus{ID: meta.ID, Name: meta.Name, State: JobWaiting}
+	st.DependsOn = append(st.DependsOn, deps...)
+	s.status[meta.ID] = st
+	s.order = append(s.order, meta.ID)
+	return nil
+}
+
+// SetDependsOn records a job's dependency list on its status entry
+// (admission-API surface only; scheduling is unaffected). Used when
+// adopting settled DAG stages whose edges should stay visible.
+func (s *LiveSource) SetDependsOn(id scheduler.JobID, deps []scheduler.JobID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.status[id]; ok {
+		// A fresh slice, not in-place reuse: status copies returned by
+		// Jobs/Status may still alias the old backing array.
+		st.DependsOn = append([]scheduler.JobID(nil), deps...)
+	}
 }
 
 // Status reports one job's lifecycle state.

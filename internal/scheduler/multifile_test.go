@@ -1,0 +1,317 @@
+package scheduler
+
+import (
+	"errors"
+	"testing"
+
+	"s3sched/internal/dfs"
+	"s3sched/internal/trace"
+)
+
+// namedPlan is makePlan for a caller-chosen file name, so multi-file
+// schedulers can register several distinct files.
+func namedPlan(t *testing.T, name string, numBlocks, perSegment int) *dfs.SegmentPlan {
+	t.Helper()
+	store := dfs.MustStore(4, 1)
+	f, err := store.AddMetaFile(name, numBlocks, 64<<20)
+	if err != nil {
+		t.Fatalf("AddMetaFile: %v", err)
+	}
+	p, err := dfs.PlanSegments(f, perSegment)
+	if err != nil {
+		t.Fatalf("PlanSegments: %v", err)
+	}
+	return p
+}
+
+func jobOn(id int, file string) JobMeta {
+	return JobMeta{ID: JobID(id), Name: "j", File: file, Weight: 1, ReduceWeight: 1}
+}
+
+func TestMultiFIFORoutesJobsByFile(t *testing.T) {
+	f, err := NewMultiFIFO([]*dfs.SegmentPlan{
+		namedPlan(t, "a", 4, 2), // 2 segments
+		namedPlan(t, "b", 6, 2), // 3 segments
+	}, trace.MustNew(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Files(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Files() = %v, want [a b]", got)
+	}
+	if f.Name() != "fifo-multifile" {
+		t.Fatalf("Name() = %q", f.Name())
+	}
+	if err := f.Submit(jobOn(1, "b"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Submit(jobOn(2, "a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.PendingJobs() != 2 {
+		t.Fatalf("pending = %d, want 2", f.PendingJobs())
+	}
+	rounds, completed := drain(t, f)
+	// Strict FIFO: job 1 scans b's 3 segments first, then job 2 scans
+	// a's 2 — no interleaving across files.
+	if len(rounds) != 5 {
+		t.Fatalf("rounds = %d, want 5", len(rounds))
+	}
+	wantJobs := []JobID{1, 1, 1, 2, 2}
+	for i, r := range rounds {
+		if len(r.Jobs) != 1 || r.Jobs[0].ID != wantJobs[i] {
+			t.Fatalf("round %d jobs = %v, want [%d]", i, r.JobIDs(), wantJobs[i])
+		}
+	}
+	if rounds[0].FreshJobs != 1 || rounds[3].FreshJobs != 1 {
+		t.Fatalf("fresh-job marks wrong: %+v", rounds)
+	}
+	if len(completed) != 2 || completed[0] != 1 || completed[1] != 2 {
+		t.Fatalf("completed = %v, want [1 2]", completed)
+	}
+	if f.PendingJobs() != 0 {
+		t.Fatalf("pending after drain = %d", f.PendingJobs())
+	}
+}
+
+func TestMultiFIFOAddPlanMidRun(t *testing.T) {
+	f, err := NewMultiFIFO([]*dfs.SegmentPlan{namedPlan(t, "a", 2, 2)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Submit(jobOn(1, "derived"), 0); !errors.Is(err, ErrWrongFile) {
+		t.Fatalf("submit before AddPlan err = %v, want ErrWrongFile", err)
+	}
+	if err := f.AddPlan(namedPlan(t, "derived", 2, 2), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddPlan(namedPlan(t, "derived", 2, 2), 0); err == nil {
+		t.Fatal("duplicate AddPlan accepted")
+	}
+	if err := f.Submit(jobOn(1, "derived"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Submit(jobOn(1, "derived"), 0); !errors.Is(err, ErrDuplicateJob) {
+		t.Fatalf("duplicate submit err = %v, want ErrDuplicateJob", err)
+	}
+	_, completed := drain(t, f)
+	if len(completed) != 1 || completed[0] != 1 {
+		t.Fatalf("completed = %v", completed)
+	}
+}
+
+func TestMultiFIFOEmptyConstructor(t *testing.T) {
+	if _, err := NewMultiFIFO(nil, nil); err == nil {
+		t.Fatal("NewMultiFIFO accepted zero plans")
+	}
+}
+
+func TestMultiFIFORequeueReformsRound(t *testing.T) {
+	f, err := NewMultiFIFO([]*dfs.SegmentPlan{namedPlan(t, "a", 4, 2)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Submit(jobOn(1, "a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	r1, ok := f.NextRound(0)
+	if !ok {
+		t.Fatal("no round")
+	}
+	f.RequeueRound(r1, 1)
+	r2, ok := f.NextRound(2)
+	if !ok || r2.Segment != r1.Segment {
+		t.Fatalf("requeued round = %+v, want segment %d again", r2, r1.Segment)
+	}
+	f.RoundDone(r2, 3)
+}
+
+func TestMultiFIFOAbortJobs(t *testing.T) {
+	f, err := NewMultiFIFO([]*dfs.SegmentPlan{namedPlan(t, "a", 4, 2)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := f.Submit(jobOn(i, "a"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, _ := f.NextRound(0) // job 1 running
+	f.RoundDone(r, 1)
+	// Abort the running job (1) and a queued job (3).
+	f.AbortJobs([]JobID{1, 3}, 2)
+	if f.PendingJobs() != 1 {
+		t.Fatalf("pending = %d, want 1 (job 2)", f.PendingJobs())
+	}
+	_, completed := drain(t, f)
+	if len(completed) != 1 || completed[0] != 2 {
+		t.Fatalf("completed = %v, want [2]", completed)
+	}
+}
+
+func TestMultiFIFOProtocolViolationsPanic(t *testing.T) {
+	f, err := NewMultiFIFO([]*dfs.SegmentPlan{namedPlan(t, "a", 2, 2)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Submit(jobOn(1, "a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := f.NextRound(0)
+	mustPanic(t, "NextRound in flight", func() { f.NextRound(0) })
+	f.RoundDone(r, 1)
+	mustPanic(t, "RoundDone idle", func() { f.RoundDone(r, 1) })
+	mustPanic(t, "RequeueRound idle", func() { f.RequeueRound(r, 1) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s should panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestMultiMRShareBatchesPerFile(t *testing.T) {
+	m, err := NewMultiMRShare([]*dfs.SegmentPlan{
+		namedPlan(t, "a", 4, 2), // 2 segments
+		namedPlan(t, "b", 4, 2),
+	}, map[string][]int{"a": {2}, "b": {1}}, trace.MustNew(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Files(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Files() = %v", got)
+	}
+	if m.Name() != "mrshare-multifile" {
+		t.Fatalf("Name() = %q", m.Name())
+	}
+	if err := m.Submit(jobOn(1, "a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(jobOn(1, "a"), 0); !errors.Is(err, ErrDuplicateJob) {
+		t.Fatalf("duplicate err = %v", err)
+	}
+	if err := m.Submit(jobOn(2, "nope"), 0); !errors.Is(err, ErrWrongFile) {
+		t.Fatalf("wrong-file err = %v", err)
+	}
+	// a's batch needs two jobs; with only one the scheduler is stalled.
+	if _, ok := m.NextRound(0); ok {
+		t.Fatal("half-filled batch produced a round")
+	}
+	if !m.Stalled() {
+		t.Fatal("Stalled() = false with an unfillable batch and no other work")
+	}
+	if err := m.Submit(jobOn(3, "b"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stalled() {
+		t.Fatal("Stalled() = true while b has a runnable batch")
+	}
+	if err := m.Submit(jobOn(2, "a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.PendingJobs() != 3 {
+		t.Fatalf("pending = %d, want 3", m.PendingJobs())
+	}
+	rounds, completed := drain(t, m)
+	if len(rounds) != 4 {
+		t.Fatalf("rounds = %d, want 4 (2 segments per file, a's jobs share)", len(rounds))
+	}
+	if len(completed) != 3 {
+		t.Fatalf("completed = %v, want all three jobs", completed)
+	}
+	// a's batch of two shares one scan: some round carries both jobs.
+	shared := false
+	for _, r := range rounds {
+		if len(r.Jobs) == 2 {
+			shared = true
+		}
+	}
+	if !shared {
+		t.Fatal("a's batched jobs never shared a round")
+	}
+	if m.PendingJobs() != 0 {
+		t.Fatalf("pending after drain = %d", m.PendingJobs())
+	}
+}
+
+func TestMultiMRShareAddPlanMidRun(t *testing.T) {
+	m, err := NewMultiMRShare([]*dfs.SegmentPlan{namedPlan(t, "a", 2, 2)},
+		map[string][]int{"a": {1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPlan(namedPlan(t, "derived", 2, 2), 0); err == nil {
+		t.Fatal("AddPlan accepted expectJobs < 1")
+	}
+	if err := m.AddPlan(namedPlan(t, "derived", 2, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPlan(namedPlan(t, "derived", 2, 2), 1); err == nil {
+		t.Fatal("duplicate AddPlan accepted")
+	}
+	// The derived file's two expected readers form one merged batch.
+	if err := m.Submit(jobOn(1, "derived"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(jobOn(2, "derived"), 0); err != nil {
+		t.Fatal(err)
+	}
+	rounds, completed := drain(t, m)
+	if len(rounds) != 1 || len(rounds[0].Jobs) != 2 {
+		t.Fatalf("rounds = %+v, want one shared scan", rounds)
+	}
+	if len(completed) != 2 {
+		t.Fatalf("completed = %v", completed)
+	}
+}
+
+func TestMultiMRShareConstructorErrors(t *testing.T) {
+	if _, err := NewMultiMRShare(nil, nil, nil); err == nil {
+		t.Fatal("accepted zero plans")
+	}
+	if _, err := NewMultiMRShare([]*dfs.SegmentPlan{namedPlan(t, "a", 2, 2)},
+		map[string][]int{}, nil); err == nil {
+		t.Fatal("accepted a file without a batch plan")
+	}
+}
+
+func TestMultiMRShareRequeueAndAbort(t *testing.T) {
+	m, err := NewMultiMRShare([]*dfs.SegmentPlan{namedPlan(t, "a", 4, 2)},
+		map[string][]int{"a": {1, 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(jobOn(1, "a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	r1, ok := m.NextRound(0)
+	if !ok {
+		t.Fatal("no round")
+	}
+	m.RequeueRound(r1, 1)
+	r2, ok := m.NextRound(2)
+	if !ok || r2.Segment != r1.Segment {
+		t.Fatalf("requeued round = %+v, want segment %d", r2, r1.Segment)
+	}
+	m.RoundDone(r2, 3)
+	m.AbortJobs([]JobID{1}, 4)
+	if m.PendingJobs() != 0 {
+		t.Fatalf("pending after abort = %d", m.PendingJobs())
+	}
+	if _, ok := m.NextRound(5); ok {
+		t.Fatal("aborted job still scheduled")
+	}
+
+	mustPanic(t, "RoundDone idle", func() { m.RoundDone(r2, 6) })
+	mustPanic(t, "RequeueRound idle", func() { m.RequeueRound(r2, 6) })
+	if err := m.Submit(jobOn(2, "a"), 7); err != nil {
+		t.Fatal(err)
+	}
+	r3, _ := m.NextRound(8)
+	mustPanic(t, "NextRound in flight", func() { m.NextRound(8) })
+	m.RoundDone(r3, 9)
+}

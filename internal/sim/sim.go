@@ -125,6 +125,21 @@ type CostModel struct {
 	// job. This asymmetry is why heavy reduce output (200x, §V-E)
 	// erodes S^3's advantage.
 	ReduceSetup float64 `json:"reduceSetup,omitempty"`
+	// MaterializeSecPerMB is the cost of writing one megabyte of a
+	// finished stage's reduce output back into the store as a derived
+	// file (replication included) — the gap between a DAG stage
+	// completing and its dependents becoming ready. Zero makes
+	// materialization free, which keeps pre-DAG workload files priced
+	// exactly as before.
+	MaterializeSecPerMB float64 `json:"materializeSecPerMB,omitempty"`
+}
+
+// MaterializeDelay prices writing a derived file of the given size.
+func (m CostModel) MaterializeDelay(bytes int64) vclock.Duration {
+	if m.MaterializeSecPerMB <= 0 || bytes <= 0 {
+		return 0
+	}
+	return vclock.Duration(float64(bytes) / (1 << 20) * m.MaterializeSecPerMB)
 }
 
 // Validate reports whether the model is usable.
@@ -134,7 +149,8 @@ func (m CostModel) Validate() error {
 	}
 	if m.MapMBps < 0 || m.TaskOverhead < 0 || m.DispatchPerJob < 0 || m.RoundOverhead < 0 ||
 		m.JobSetup < 0 || m.SharePenalty < 0 || m.TagPenalty < 0 || m.RemotePenalty < 0 ||
-		m.CrossRackPenalty < 0 || m.ReducePerRound < 0 || m.ReduceSetup < 0 {
+		m.CrossRackPenalty < 0 || m.ReducePerRound < 0 || m.ReduceSetup < 0 ||
+		m.MaterializeSecPerMB < 0 {
 		return fmt.Errorf("sim: cost model has negative component: %+v", m)
 	}
 	return nil

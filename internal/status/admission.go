@@ -26,6 +26,11 @@ type JobRequest struct {
 	// Weight and Priority feed the scheduler's JobMeta verbatim.
 	Weight   float64 `json:"weight,omitempty"`
 	Priority int     `json:"priority,omitempty"`
+	// DependsOn names already-submitted jobs this one must wait for.
+	// The job's input is the first dependency's materialized reduce
+	// output; it is held in "waiting" state until every dependency
+	// completes, then joins the live pass.
+	DependsOn []scheduler.JobID `json:"dependsOn,omitempty"`
 }
 
 // Admission is the backend behind the live job-submission endpoints.

@@ -41,10 +41,11 @@ import (
 // FileVersion is the newest workload schema version this package
 // accepts; it also still reads every older version. v2 added the
 // header's cachePolicy field (block-cache eviction policy for cache-on
-// cells); v1 files — which cannot carry the field — parse, price and
-// digest exactly as before and default to the LRU policy v1 semantics
-// implied.
-const FileVersion = 2
+// cells); v3 added multi-file workloads (several "file" records) and
+// job DAGs (the job record's dependsOn field — a job may scan another
+// job's materialized output). v1/v2 files parse, price and digest
+// exactly as before.
+const FileVersion = 3
 
 // Record kinds (the "kind" discriminator values).
 const (
@@ -62,6 +63,11 @@ const (
 	// ContentMeta is a metadata-only file: block placement without
 	// bytes. Sim-only workloads use it; engine cells cannot run it.
 	ContentMeta = "meta"
+	// ContentDerived is the content of a materialized job output —
+	// "key\tvalue\n" lines, the framing mapreduce.StoreResult writes.
+	// It is never declared in a file record; jobs reach it by naming
+	// DerivedFileName(dep) as their input.
+	ContentDerived = "derived"
 )
 
 // Factory names jobs may reference. They mirror
@@ -71,7 +77,16 @@ const (
 	FactoryHeavyWordCount = "heavy-wordcount" // param = prefix; EmitFactor multiplies map output
 	FactorySelection      = "selection"       // param = max l_quantity (integer); map-only
 	FactoryAggregation    = "aggregation"     // param unused (Q1-style group-by sum)
+	FactoryTopK           = "topk"            // param = k; selects the k highest counts from a derived file
 )
+
+// DerivedFileName is the dfs name under which job id's reduce output
+// materializes when downstream jobs depend on it. Stage outputs are
+// first-class files: their consumers share circular scans exactly like
+// jobs over declared inputs.
+func DerivedFileName(id scheduler.JobID) string {
+	return fmt.Sprintf("job-%d.out", id)
+}
 
 // ErrUnsupportedVersion reports a workload file written by a newer (or
 // corrupted) schema. errors.Is-able so callers can distinguish "your
@@ -160,6 +175,12 @@ type FileJob struct {
 	NumReduce int `json:"numReduce,omitempty"`
 	// EmitFactor multiplies heavy-wordcount map output (0 = 1).
 	EmitFactor int `json:"emitFactor,omitempty"`
+	// DependsOn lists jobs that must complete before this one becomes
+	// ready (schema v3). A job whose File is DerivedFileName(dep) scans
+	// dep's materialized reduce output; deps whose outputs the job does
+	// not read are pure ordering constraints. The job's At is a lower
+	// bound: it is admitted at max(At, last dep's materialization).
+	DependsOn []scheduler.JobID `json:"dependsOn,omitempty"`
 }
 
 // File is one parsed workload.
@@ -176,6 +197,7 @@ func ParseFile(r io.Reader) (*File, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	wf := &File{}
+	lines := &lineIndex{}
 	sawHeader := false
 	line := 0
 	for sc.Scan() {
@@ -209,6 +231,7 @@ func ParseFile(r io.Reader) (*File, error) {
 			if err := decode(&wf.Header); err != nil {
 				return nil, err
 			}
+			lines.header = line
 			sawHeader = true
 		case KindFile:
 			if !sawHeader {
@@ -219,6 +242,7 @@ func ParseFile(r io.Reader) (*File, error) {
 				return nil, err
 			}
 			wf.Files = append(wf.Files, fs)
+			lines.files = append(lines.files, line)
 		case KindJob:
 			if !sawHeader {
 				return nil, &LineError{Line: line, Err: fmt.Errorf("%q record before the %q header", KindJob, KindHeader)}
@@ -228,6 +252,7 @@ func ParseFile(r io.Reader) (*File, error) {
 				return nil, err
 			}
 			wf.Jobs = append(wf.Jobs, j)
+			lines.jobs = append(lines.jobs, line)
 		default:
 			return nil, &LineError{Line: line, Err: fmt.Errorf("unknown record kind %q", probe.Kind)}
 		}
@@ -238,14 +263,48 @@ func ParseFile(r io.Reader) (*File, error) {
 	if !sawHeader {
 		return nil, fmt.Errorf("workload: file has no %q header record", KindHeader)
 	}
-	if err := wf.Validate(); err != nil {
+	if err := wf.validate(lines); err != nil {
 		return nil, err
 	}
 	return wf, nil
 }
 
+// lineIndex maps parsed records back to their 1-based source lines so
+// validation failures from ParseFile carry typed *LineError positions.
+type lineIndex struct {
+	header int
+	files  []int
+	jobs   []int
+}
+
+func (li *lineIndex) fileLine(i int) int {
+	if li == nil || i >= len(li.files) {
+		return 0
+	}
+	return li.files[i]
+}
+
+func (li *lineIndex) jobLine(i int) int {
+	if li == nil || i >= len(li.jobs) {
+		return 0
+	}
+	return li.jobs[i]
+}
+
 // Validate checks the workload's semantic invariants.
-func (wf *File) Validate() error {
+func (wf *File) Validate() error { return wf.validate(nil) }
+
+// validate is Validate with an optional record→line map: with one, a
+// record-level violation is wrapped in a *LineError pointing at the
+// offending line (how ParseFile reports dangling or cyclic dependsOn,
+// duplicate ids, and the rest of the job/file checks).
+func (wf *File) validate(lines *lineIndex) error {
+	at := func(line int, err error) error {
+		if line > 0 {
+			return &LineError{Line: line, Err: err}
+		}
+		return err
+	}
 	h := &wf.Header
 	if h.Kind != KindHeader {
 		return fmt.Errorf("workload: header kind is %q, want %q", h.Kind, KindHeader)
@@ -284,90 +343,218 @@ func (wf *File) Validate() error {
 			return fmt.Errorf("workload %q: %w", h.Name, err)
 		}
 	}
-	// Workloads carry a single input file — the schedulers'
-	// constructors take one segment plan. The schema keeps a file
-	// *list* so multi-file workloads are a version bump, not a format
-	// break.
-	if len(wf.Files) != 1 {
+	// v1/v2 workloads carry a single input file — those schedulers'
+	// constructors take one segment plan. v3 allows several (the
+	// multi-plan constructors route jobs by file).
+	if h.Version < 3 && len(wf.Files) != 1 {
 		return fmt.Errorf("workload %q: v%d requires exactly one file record, got %d", h.Name, h.Version, len(wf.Files))
 	}
-	f := &wf.Files[0]
-	if f.Name == "" {
-		return fmt.Errorf("workload %q: file has no name", h.Name)
+	if len(wf.Files) == 0 {
+		return fmt.Errorf("workload %q: no file records", h.Name)
 	}
-	switch f.Content {
-	case ContentText, ContentLineitem, ContentMeta:
-	default:
-		return fmt.Errorf("workload %q: file %q has unknown content %q (want %s|%s|%s)",
-			h.Name, f.Name, f.Content, ContentText, ContentLineitem, ContentMeta)
-	}
-	if f.Blocks <= 0 || f.BlockBytes <= 0 {
-		return fmt.Errorf("workload %q: file %q needs positive blocks (%d) and block bytes (%d)", h.Name, f.Name, f.Blocks, f.BlockBytes)
-	}
-	if f.SegmentBlocks < 1 || f.SegmentBlocks > f.Blocks {
-		return fmt.Errorf("workload %q: file %q segment size %d out of range [1, %d blocks]", h.Name, f.Name, f.SegmentBlocks, f.Blocks)
-	}
-	if f.Vocab < 0 {
-		return fmt.Errorf("workload %q: file %q has negative vocabulary %d", h.Name, f.Name, f.Vocab)
-	}
-	if f.Vocab > 0 && f.Content != ContentText {
-		return fmt.Errorf("workload %q: file %q sets vocab for %s content (text only)", h.Name, f.Name, f.Content)
+	fileIdx := make(map[string]int, len(wf.Files))
+	for i := range wf.Files {
+		f := &wf.Files[i]
+		fl := lines.fileLine(i)
+		if f.Name == "" {
+			return at(fl, fmt.Errorf("workload %q: file has no name", h.Name))
+		}
+		if _, dup := fileIdx[f.Name]; dup {
+			return at(fl, fmt.Errorf("workload %q: duplicate file %q", h.Name, f.Name))
+		}
+		fileIdx[f.Name] = i
+		switch f.Content {
+		case ContentText, ContentLineitem, ContentMeta:
+		default:
+			return at(fl, fmt.Errorf("workload %q: file %q has unknown content %q (want %s|%s|%s)",
+				h.Name, f.Name, f.Content, ContentText, ContentLineitem, ContentMeta))
+		}
+		if f.Blocks <= 0 || f.BlockBytes <= 0 {
+			return at(fl, fmt.Errorf("workload %q: file %q needs positive blocks (%d) and block bytes (%d)", h.Name, f.Name, f.Blocks, f.BlockBytes))
+		}
+		if f.SegmentBlocks < 1 || f.SegmentBlocks > f.Blocks {
+			return at(fl, fmt.Errorf("workload %q: file %q segment size %d out of range [1, %d blocks]", h.Name, f.Name, f.SegmentBlocks, f.Blocks))
+		}
+		if f.Vocab < 0 {
+			return at(fl, fmt.Errorf("workload %q: file %q has negative vocabulary %d", h.Name, f.Name, f.Vocab))
+		}
+		if f.Vocab > 0 && f.Content != ContentText {
+			return at(fl, fmt.Errorf("workload %q: file %q sets vocab for %s content (text only)", h.Name, f.Name, f.Content))
+		}
 	}
 	if len(wf.Jobs) == 0 {
 		return fmt.Errorf("workload %q: no job records", h.Name)
 	}
-	seen := make(map[scheduler.JobID]bool, len(wf.Jobs))
+	jobIdx := make(map[scheduler.JobID]int, len(wf.Jobs))
+	hasDAG := false
 	for i := range wf.Jobs {
 		j := &wf.Jobs[i]
+		jl := lines.jobLine(i)
 		if j.ID <= 0 {
-			return fmt.Errorf("workload %q: job %d has non-positive id %d", h.Name, i+1, j.ID)
+			return at(jl, fmt.Errorf("workload %q: job %d has non-positive id %d", h.Name, i+1, j.ID))
 		}
-		if seen[j.ID] {
-			return fmt.Errorf("workload %q: duplicate job id %d", h.Name, j.ID)
+		if _, dup := jobIdx[j.ID]; dup {
+			return at(jl, fmt.Errorf("workload %q: duplicate job id %d", h.Name, j.ID))
 		}
-		seen[j.ID] = true
+		jobIdx[j.ID] = i
+		if len(j.DependsOn) > 0 {
+			hasDAG = true
+		}
+	}
+	for i := range wf.Jobs {
+		j := &wf.Jobs[i]
+		jl := lines.jobLine(i)
 		if j.At < 0 {
-			return fmt.Errorf("workload %q: job %d arrives at negative time %v", h.Name, j.ID, j.At)
+			return at(jl, fmt.Errorf("workload %q: job %d arrives at negative time %v", h.Name, j.ID, j.At))
 		}
-		if j.File != f.Name {
-			return fmt.Errorf("workload %q: job %d reads %q, not the workload's file %q", h.Name, j.ID, j.File, f.Name)
+		if len(j.DependsOn) > 0 && h.Version < 3 {
+			return at(jl, fmt.Errorf("workload %q: job %d: dependsOn needs schema v3, header says v%d", h.Name, j.ID, h.Version))
+		}
+		depSet := make(map[scheduler.JobID]bool, len(j.DependsOn))
+		for _, dep := range j.DependsOn {
+			if dep == j.ID {
+				return at(jl, fmt.Errorf("workload %q: job %d depends on itself", h.Name, j.ID))
+			}
+			if _, ok := jobIdx[dep]; !ok {
+				return at(jl, fmt.Errorf("workload %q: job %d depends on unknown job %d", h.Name, j.ID, dep))
+			}
+			if depSet[dep] {
+				return at(jl, fmt.Errorf("workload %q: job %d lists dependency %d twice", h.Name, j.ID, dep))
+			}
+			depSet[dep] = true
+		}
+		// Resolve the input: a declared file, or the derived output of
+		// one of this job's dependencies.
+		content := ""
+		if fi, ok := fileIdx[j.File]; ok {
+			content = wf.Files[fi].Content
+		} else {
+			producer, derived := wf.derivedProducer(j.File)
+			switch {
+			case !derived:
+				return at(jl, fmt.Errorf("workload %q: job %d reads unknown file %q", h.Name, j.ID, j.File))
+			case !depSet[producer]:
+				return at(jl, fmt.Errorf("workload %q: job %d reads derived file %q without depending on job %d", h.Name, j.ID, j.File, producer))
+			}
+			content = ContentDerived
 		}
 		if j.Weight < 0 || j.ReduceWeight < 0 {
-			return fmt.Errorf("workload %q: job %d has negative weight (%v/%v)", h.Name, j.ID, j.Weight, j.ReduceWeight)
+			return at(jl, fmt.Errorf("workload %q: job %d has negative weight (%v/%v)", h.Name, j.ID, j.Weight, j.ReduceWeight))
 		}
 		if j.NumReduce < 0 {
-			return fmt.Errorf("workload %q: job %d has negative reduce count %d", h.Name, j.ID, j.NumReduce)
+			return at(jl, fmt.Errorf("workload %q: job %d has negative reduce count %d", h.Name, j.ID, j.NumReduce))
 		}
 		if j.EmitFactor < 0 {
-			return fmt.Errorf("workload %q: job %d has negative emit factor %d", h.Name, j.ID, j.EmitFactor)
+			return at(jl, fmt.Errorf("workload %q: job %d has negative emit factor %d", h.Name, j.ID, j.EmitFactor))
+		}
+		if j.EmitFactor > 0 && j.Factory != FactoryHeavyWordCount {
+			return at(jl, fmt.Errorf("workload %q: job %d sets emitFactor for factory %q (%s only)", h.Name, j.ID, j.Factory, FactoryHeavyWordCount))
 		}
 		switch j.Factory {
 		case FactoryWordCount, FactoryHeavyWordCount:
-			if f.Content != ContentText && f.Content != ContentMeta {
-				return fmt.Errorf("workload %q: job %d (%s) needs %s content, file %q is %s", h.Name, j.ID, j.Factory, ContentText, f.Name, f.Content)
-			}
-			if j.EmitFactor > 0 && j.Factory != FactoryHeavyWordCount {
-				return fmt.Errorf("workload %q: job %d sets emitFactor for factory %q (%s only)", h.Name, j.ID, j.Factory, FactoryHeavyWordCount)
+			if content != ContentText && content != ContentMeta && content != ContentDerived {
+				return at(jl, fmt.Errorf("workload %q: job %d (%s) needs %s content, file %q is %s", h.Name, j.ID, j.Factory, ContentText, j.File, content))
 			}
 		case FactorySelection:
-			if f.Content != ContentLineitem && f.Content != ContentMeta {
-				return fmt.Errorf("workload %q: job %d (%s) needs %s content, file %q is %s", h.Name, j.ID, j.Factory, ContentLineitem, f.Name, f.Content)
+			if content != ContentLineitem && content != ContentMeta {
+				return at(jl, fmt.Errorf("workload %q: job %d (%s) needs %s content, file %q is %s", h.Name, j.ID, j.Factory, ContentLineitem, j.File, content))
 			}
 			if _, err := strconv.Atoi(j.Param); err != nil {
-				return fmt.Errorf("workload %q: job %d: selection param must be an integer quantity, got %q", h.Name, j.ID, j.Param)
-			}
-			if j.EmitFactor > 0 {
-				return fmt.Errorf("workload %q: job %d sets emitFactor for factory %q (%s only)", h.Name, j.ID, j.Factory, FactoryHeavyWordCount)
+				return at(jl, fmt.Errorf("workload %q: job %d: selection param must be an integer quantity, got %q", h.Name, j.ID, j.Param))
 			}
 		case FactoryAggregation:
-			if f.Content != ContentLineitem && f.Content != ContentMeta {
-				return fmt.Errorf("workload %q: job %d (%s) needs %s content, file %q is %s", h.Name, j.ID, j.Factory, ContentLineitem, f.Name, f.Content)
+			if content != ContentLineitem && content != ContentMeta {
+				return at(jl, fmt.Errorf("workload %q: job %d (%s) needs %s content, file %q is %s", h.Name, j.ID, j.Factory, ContentLineitem, j.File, content))
 			}
-			if j.EmitFactor > 0 {
-				return fmt.Errorf("workload %q: job %d sets emitFactor for factory %q (%s only)", h.Name, j.ID, j.Factory, FactoryHeavyWordCount)
+		case FactoryTopK:
+			if content != ContentDerived {
+				return at(jl, fmt.Errorf("workload %q: job %d (%s) reads %q (%s); topk scans a dependency's derived output", h.Name, j.ID, j.Factory, j.File, content))
+			}
+			if k, err := strconv.Atoi(j.Param); err != nil || k < 1 {
+				return at(jl, fmt.Errorf("workload %q: job %d: topk param must be a positive integer k, got %q", h.Name, j.ID, j.Param))
 			}
 		default:
-			return fmt.Errorf("workload %q: job %d has unknown factory %q", h.Name, j.ID, j.Factory)
+			return at(jl, fmt.Errorf("workload %q: job %d has unknown factory %q", h.Name, j.ID, j.Factory))
+		}
+	}
+	if hasDAG {
+		// Derived-file geometry comes from actually executing the
+		// producing stages, so a DAG workload cannot be metadata-only.
+		for i := range wf.Files {
+			if wf.Files[i].Content == ContentMeta {
+				return at(lines.fileLine(i), fmt.Errorf("workload %q: file %q is %s content; DAG workloads need real bytes to materialize stage outputs", h.Name, wf.Files[i].Name, ContentMeta))
+			}
+		}
+		if err := wf.checkAcyclic(jobIdx, lines); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DerivedProducer reports whether name is some job's derived output
+// file and, if so, which job produces it.
+func (wf *File) DerivedProducer(name string) (scheduler.JobID, bool) {
+	return wf.derivedProducer(name)
+}
+
+// derivedProducer reports whether name is some job's derived output
+// file and, if so, which job produces it.
+func (wf *File) derivedProducer(name string) (scheduler.JobID, bool) {
+	for i := range wf.Jobs {
+		if DerivedFileName(wf.Jobs[i].ID) == name {
+			return wf.Jobs[i].ID, true
+		}
+	}
+	return 0, false
+}
+
+// HasDAG reports whether any job declares dependencies — the workloads
+// that need a pipeline coordinator and a plan-registering scheduler.
+func (wf *File) HasDAG() bool {
+	for i := range wf.Jobs {
+		if len(wf.Jobs[i].DependsOn) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAcyclic rejects dependency cycles with a three-color DFS. The
+// error is attributed to the job record the cycle was first entered
+// through.
+func (wf *File) checkAcyclic(jobIdx map[scheduler.JobID]int, lines *lineIndex) error {
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the current DFS path
+		black = 2 // finished, known acyclic
+	)
+	color := make(map[scheduler.JobID]int, len(wf.Jobs))
+	var visit func(id scheduler.JobID) error
+	visit = func(id scheduler.JobID) error {
+		color[id] = gray
+		for _, dep := range wf.Jobs[jobIdx[id]].DependsOn {
+			switch color[dep] {
+			case gray:
+				err := fmt.Errorf("workload %q: job %d is on a dependency cycle (via job %d)", wf.Header.Name, id, dep)
+				if l := lines.jobLine(jobIdx[id]); l > 0 {
+					return &LineError{Line: l, Err: err}
+				}
+				return err
+			case white:
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		color[id] = black
+		return nil
+	}
+	for i := range wf.Jobs {
+		if color[wf.Jobs[i].ID] == white {
+			if err := visit(wf.Jobs[i].ID); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -478,10 +665,32 @@ func (j *FileJob) EngineSpec(content string) (mapreduce.JobSpec, error) {
 		spec.Mapper = AggregationMapper{}
 		spec.Reducer = SumReducer{}
 		spec.Combiner = SumReducer{}
+	case FactoryTopK:
+		k, err := strconv.Atoi(j.Param)
+		if err != nil || k < 1 {
+			return mapreduce.JobSpec{}, fmt.Errorf("workload: job %d: topk param %q is not a positive integer", j.ID, j.Param)
+		}
+		spec.Mapper = TopKMapper{}
+		spec.Reducer = TopKReducer{K: k}
 	default:
 		return mapreduce.JobSpec{}, fmt.Errorf("workload: job %d has unknown factory %q", j.ID, j.Factory)
 	}
 	return spec, nil
+}
+
+// ContentOf resolves a job input name to its content kind: a declared
+// file's content, or ContentDerived when the name is some job's
+// materialized output.
+func (wf *File) ContentOf(name string) (string, bool) {
+	for i := range wf.Files {
+		if wf.Files[i].Name == name {
+			return wf.Files[i].Content, true
+		}
+	}
+	if _, ok := wf.derivedProducer(name); ok {
+		return ContentDerived, true
+	}
+	return "", false
 }
 
 // EngineSpecs builds the executable specs for every job, keyed by id —
@@ -489,7 +698,11 @@ func (j *FileJob) EngineSpec(content string) (mapreduce.JobSpec, error) {
 func (wf *File) EngineSpecs() (map[scheduler.JobID]mapreduce.JobSpec, error) {
 	out := make(map[scheduler.JobID]mapreduce.JobSpec, len(wf.Jobs))
 	for i := range wf.Jobs {
-		spec, err := wf.Jobs[i].EngineSpec(wf.Files[0].Content)
+		content, ok := wf.ContentOf(wf.Jobs[i].File)
+		if !ok {
+			return nil, fmt.Errorf("workload: job %d reads unknown file %q", wf.Jobs[i].ID, wf.Jobs[i].File)
+		}
+		spec, err := wf.Jobs[i].EngineSpec(content)
 		if err != nil {
 			return nil, err
 		}
@@ -518,11 +731,24 @@ func (f *FileSpec) AddTo(store *dfs.Store) (*dfs.File, error) {
 // Summary renders a one-line human description ("canonical: 12 jobs
 // over corpus (32×16KiB text blocks) on 4×2 nodes").
 func (wf *File) Summary() string {
-	f := &wf.Files[0]
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: %d jobs over %s (%d×%s %s blocks) on %d×%d slots",
-		wf.Header.Name, len(wf.Jobs), f.Name, f.Blocks, byteSize(f.BlockBytes), f.Content,
-		wf.Header.Nodes, wf.Header.SlotsPerNode)
+	if len(wf.Files) == 1 {
+		f := &wf.Files[0]
+		fmt.Fprintf(&b, "%s: %d jobs over %s (%d×%s %s blocks) on %d×%d slots",
+			wf.Header.Name, len(wf.Jobs), f.Name, f.Blocks, byteSize(f.BlockBytes), f.Content,
+			wf.Header.Nodes, wf.Header.SlotsPerNode)
+	} else {
+		names := make([]string, len(wf.Files))
+		for i := range wf.Files {
+			names[i] = wf.Files[i].Name
+		}
+		fmt.Fprintf(&b, "%s: %d jobs over %d files (%s) on %d×%d slots",
+			wf.Header.Name, len(wf.Jobs), len(wf.Files), strings.Join(names, ", "),
+			wf.Header.Nodes, wf.Header.SlotsPerNode)
+	}
+	if wf.HasDAG() {
+		b.WriteString(", DAG")
+	}
 	return b.String()
 }
 

@@ -99,7 +99,7 @@ func TestParseFileErrors(t *testing.T) {
 		{"bad segment", header + strings.Replace(file, `"segmentBlocks":2`, `"segmentBlocks":9`, 1) + job, 0, "segment size"},
 		{"dup job id", header + file + job + job, 0, "duplicate job id"},
 		{"negative at", header + file + strings.Replace(job, `"at":0`, `"at":-1`, 1), 0, "negative time"},
-		{"wrong file ref", header + file + strings.Replace(job, `"file":"f"`, `"file":"x"`, 1), 0, "not the workload's file"},
+		{"wrong file ref", header + file + strings.Replace(job, `"file":"f"`, `"file":"x"`, 1), 3, "unknown file"},
 		{"unknown factory", header + file + strings.Replace(job, `"factory":"wordcount"`, `"factory":"join"`, 1), 0, "unknown factory"},
 		{"selection on text", header + file + `{"kind":"job","id":1,"at":0,"file":"f","factory":"selection","param":"5"}` + "\n", 0, "needs lineitem content"},
 		{"selection bad param", header + strings.Replace(file, `"content":"text"`, `"content":"lineitem"`, 1) + `{"kind":"job","id":1,"at":0,"file":"f","factory":"selection","param":"five"}` + "\n", 0, "integer quantity"},
@@ -129,9 +129,123 @@ func TestParseFileErrors(t *testing.T) {
 		})
 	}
 	// Version mismatch is errors.Is-able.
-	_, err := ParseFile(strings.NewReader(strings.Replace(header, `"version":1`, `"version":3`, 1) + file + job))
+	_, err := ParseFile(strings.NewReader(strings.Replace(header, `"version":1`, `"version":99`, 1) + file + job))
 	if !errors.Is(err, ErrUnsupportedVersion) {
 		t.Fatalf("version error %v is not ErrUnsupportedVersion", err)
+	}
+}
+
+// TestParseFileV3Errors pins the DAG schema rules: cycles, dangling
+// dependsOn, duplicate ids and version gating are all rejected with
+// typed *LineErrors pointing at the offending record.
+func TestParseFileV3Errors(t *testing.T) {
+	header := `{"kind":"workload","version":3,"name":"w","nodes":2,"slotsPerNode":1,"replicas":1}` + "\n"
+	file := `{"kind":"file","name":"f","content":"text","blocks":4,"blockBytes":64,"segmentBlocks":2}` + "\n"
+	job1 := `{"kind":"job","id":1,"at":0,"file":"f","factory":"wordcount","param":"t"}` + "\n"
+
+	cases := []struct {
+		name     string
+		in       string
+		wantLine int
+		wantSub  string
+	}{
+		{"dependsOn on v1",
+			strings.Replace(header, `"version":3`, `"version":1`, 1) + file + job1 +
+				`{"kind":"job","id":2,"at":0,"file":"f","factory":"wordcount","param":"a","dependsOn":[1]}` + "\n",
+			4, "needs schema v3"},
+		{"self cycle",
+			header + file + `{"kind":"job","id":1,"at":0,"file":"f","factory":"wordcount","param":"t","dependsOn":[1]}` + "\n",
+			3, "depends on itself"},
+		{"two-node cycle",
+			header + file +
+				`{"kind":"job","id":1,"at":0,"file":"f","factory":"wordcount","param":"t","dependsOn":[2]}` + "\n" +
+				`{"kind":"job","id":2,"at":0,"file":"f","factory":"wordcount","param":"a","dependsOn":[1]}` + "\n",
+			4, "dependency cycle"},
+		{"dangling dependsOn",
+			header + file + job1 +
+				`{"kind":"job","id":2,"at":0,"file":"f","factory":"wordcount","param":"a","dependsOn":[7]}` + "\n",
+			4, "depends on unknown job 7"},
+		{"duplicate dependency",
+			header + file + job1 +
+				`{"kind":"job","id":2,"at":0,"file":"f","factory":"wordcount","param":"a","dependsOn":[1,1]}` + "\n",
+			4, "dependency 1 twice"},
+		{"duplicate id with deps",
+			header + file + job1 +
+				`{"kind":"job","id":1,"at":0,"file":"f","factory":"wordcount","param":"a","dependsOn":[1]}` + "\n",
+			4, "duplicate job id"},
+		{"derived without dep",
+			header + file + job1 +
+				`{"kind":"job","id":2,"at":0,"file":"job-1.out","factory":"topk","param":"3"}` + "\n",
+			4, "without depending on job 1"},
+		{"topk on raw corpus",
+			header + file + job1 +
+				`{"kind":"job","id":2,"at":0,"file":"f","factory":"topk","param":"3","dependsOn":[1]}` + "\n",
+			4, "topk scans a dependency's derived output"},
+		{"topk bad k",
+			header + file + job1 +
+				`{"kind":"job","id":2,"at":0,"file":"job-1.out","factory":"topk","param":"0","dependsOn":[1]}` + "\n",
+			4, "positive integer k"},
+		{"DAG over meta file",
+			header + strings.Replace(file, `"content":"text"`, `"content":"meta"`, 1) + job1 +
+				`{"kind":"job","id":2,"at":0,"file":"job-1.out","factory":"topk","param":"3","dependsOn":[1]}` + "\n",
+			2, "need real bytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseFile(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("ParseFile accepted %q", tc.in)
+			}
+			var le *LineError
+			if !errors.As(err, &le) {
+				t.Fatalf("error %v is not a *LineError", err)
+			}
+			if le.Line != tc.wantLine {
+				t.Fatalf("error on line %d, want %d: %v", le.Line, tc.wantLine, err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestParseFileV3Good pins the accepted DAG form: multiple files, a
+// chained topk over a derived output, and round-trip stability.
+func TestParseFileV3Good(t *testing.T) {
+	in := `{"kind":"workload","version":3,"name":"dag","nodes":2,"slotsPerNode":1,"replicas":1}
+{"kind":"file","name":"corpus","content":"text","blocks":4,"blockBytes":64,"segmentBlocks":2}
+{"kind":"file","name":"lineitem","content":"lineitem","blocks":4,"blockBytes":64,"segmentBlocks":2}
+{"kind":"job","id":1,"at":0,"file":"corpus","factory":"wordcount","param":"t"}
+{"kind":"job","id":2,"at":0,"file":"job-1.out","factory":"topk","param":"3","dependsOn":[1]}
+{"kind":"job","id":3,"at":1,"file":"lineitem","factory":"aggregation","dependsOn":[1,2]}
+`
+	wf, err := ParseFile(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	if !wf.HasDAG() {
+		t.Fatal("HasDAG() = false for a DAG workload")
+	}
+	if got, ok := wf.DerivedProducer("job-1.out"); !ok || got != 1 {
+		t.Fatalf("DerivedProducer(job-1.out) = %d, %v", got, ok)
+	}
+	if c, ok := wf.ContentOf("job-1.out"); !ok || c != ContentDerived {
+		t.Fatalf("ContentOf(job-1.out) = %q, %v", c, ok)
+	}
+	var buf bytes.Buffer
+	if err := wf.Serialize(&buf); err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	again, err := ParseFile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !reflect.DeepEqual(wf, again) {
+		t.Fatalf("round trip changed workload")
+	}
+	if !reflect.DeepEqual(again.Jobs[2].DependsOn, []scheduler.JobID{1, 2}) {
+		t.Fatalf("dependsOn lost in round trip: %+v", again.Jobs[2])
 	}
 }
 

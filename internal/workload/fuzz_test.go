@@ -105,6 +105,27 @@ func FuzzWorkloadFile(f *testing.F) {
 	f.Add([]byte(`{"kind":"job","id":1}`))
 	f.Add([]byte("{\"kind\":\"workload\"\xff"))
 	f.Add([]byte(`{"kind":"workload","version":1,"name":"w","nodes":1,"slotsPerNode":1,"replicas":1,"cost":{"scanMBps":1e309}}`))
+	// v3 DAG seeds: a valid chain, a dependency cycle, a dangling
+	// dependsOn, a duplicate id, and a dependsOn on a v1 header — the
+	// rejects must all surface as typed *LineErrors, never panics.
+	f.Add([]byte(`{"kind":"workload","version":3,"name":"dag","nodes":1,"slotsPerNode":1,"replicas":1}
+{"kind":"file","name":"f","content":"text","blocks":2,"blockBytes":64,"segmentBlocks":1}
+{"kind":"job","id":1,"at":0,"file":"f","factory":"wordcount","param":"t"}
+{"kind":"job","id":2,"at":0,"file":"job-1.out","factory":"topk","param":"3","dependsOn":[1]}`))
+	f.Add([]byte(`{"kind":"workload","version":3,"name":"cyc","nodes":1,"slotsPerNode":1,"replicas":1}
+{"kind":"file","name":"f","content":"text","blocks":2,"blockBytes":64,"segmentBlocks":1}
+{"kind":"job","id":1,"at":0,"file":"f","factory":"wordcount","param":"t","dependsOn":[2]}
+{"kind":"job","id":2,"at":0,"file":"f","factory":"wordcount","param":"a","dependsOn":[1]}`))
+	f.Add([]byte(`{"kind":"workload","version":3,"name":"dangling","nodes":1,"slotsPerNode":1,"replicas":1}
+{"kind":"file","name":"f","content":"text","blocks":2,"blockBytes":64,"segmentBlocks":1}
+{"kind":"job","id":1,"at":0,"file":"f","factory":"wordcount","param":"t","dependsOn":[9]}`))
+	f.Add([]byte(`{"kind":"workload","version":3,"name":"dup","nodes":1,"slotsPerNode":1,"replicas":1}
+{"kind":"file","name":"f","content":"text","blocks":2,"blockBytes":64,"segmentBlocks":1}
+{"kind":"job","id":1,"at":0,"file":"f","factory":"wordcount","param":"t"}
+{"kind":"job","id":1,"at":0,"file":"f","factory":"wordcount","param":"a","dependsOn":[1]}`))
+	f.Add([]byte(`{"kind":"workload","version":1,"name":"old","nodes":1,"slotsPerNode":1,"replicas":1}
+{"kind":"file","name":"f","content":"text","blocks":2,"blockBytes":64,"segmentBlocks":1}
+{"kind":"job","id":1,"at":0,"file":"f","factory":"wordcount","param":"t","dependsOn":[1]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		wf, err := ParseFile(bytes.NewReader(data))
 		if err != nil {

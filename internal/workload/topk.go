@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"s3sched/internal/dfs"
+	"s3sched/internal/mapreduce"
+)
+
+// The top-k job: the canonical second stage of a wordcount pipeline.
+// Its input is another job's materialized reduce output ("word\tcount"
+// lines, the framing mapreduce.StoreResult writes); it selects the k
+// records with the highest counts. All candidates funnel through a
+// single reduce key so one reducer sees the whole ranking — fine at
+// derived-file scale, where the input is already an aggregate.
+
+// topKKey is the single shuffle key every candidate is emitted under.
+const topKKey = "top"
+
+// TopKMapper parses "word\tcount" lines from a derived file and emits
+// each record under topKKey with a "count word" value the reducer can
+// rank. Malformed lines are errors, not skips: a derived file is
+// machine-written, so damage means a real bug upstream.
+type TopKMapper struct{}
+
+var _ mapreduce.Mapper = TopKMapper{}
+
+// Map implements mapreduce.Mapper.
+func (TopKMapper) Map(id dfs.BlockID, data []byte, emit mapreduce.Emit) error {
+	inner := mapreduce.KVLineMapper{Each: func(key, value string, _ mapreduce.Emit) error {
+		if _, err := strconv.ParseInt(strings.TrimSpace(value), 10, 64); err != nil {
+			return fmt.Errorf("workload: topk input %q=%q: count is not an integer", key, value)
+		}
+		emit(mapreduce.KV{Key: topKKey, Value: strings.TrimSpace(value) + " " + key})
+		return nil
+	}}
+	return inner.Map(id, data, emit)
+}
+
+// TopKReducer ranks the candidates and keeps the K highest counts,
+// breaking count ties by word so the selection is total-ordered and
+// deterministic. Output records are KV{word, count}, the same shape a
+// wordcount stage produces — a top-k stage's output is itself
+// chainable.
+type TopKReducer struct {
+	K int
+}
+
+var _ mapreduce.Reducer = TopKReducer{}
+
+// Reduce implements mapreduce.Reducer.
+func (r TopKReducer) Reduce(_ string, values []string, emit mapreduce.Emit) error {
+	if r.K < 1 {
+		return fmt.Errorf("workload: topk reducer needs k >= 1, got %d", r.K)
+	}
+	// Re-sum per word: the same word can arrive from several map tasks
+	// when the derived input was written by a multi-partition reduce.
+	counts := make(map[string]int64, len(values))
+	for _, v := range values {
+		count, word, ok := strings.Cut(v, " ")
+		if !ok {
+			return fmt.Errorf("workload: topk shuffle value %q has no separator", v)
+		}
+		n, err := strconv.ParseInt(count, 10, 64)
+		if err != nil {
+			return fmt.Errorf("workload: topk shuffle value %q: %w", v, err)
+		}
+		counts[word] += n
+	}
+	type ranked struct {
+		word  string
+		count int64
+	}
+	all := make([]ranked, 0, len(counts))
+	for w, c := range counts {
+		all = append(all, ranked{w, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].word < all[j].word
+	})
+	k := r.K
+	if k > len(all) {
+		k = len(all)
+	}
+	for _, rec := range all[:k] {
+		emit(mapreduce.KV{Key: rec.word, Value: strconv.FormatInt(rec.count, 10)})
+	}
+	return nil
+}
